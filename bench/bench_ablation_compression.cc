@@ -1,0 +1,49 @@
+// Ablation: raw vs delta+varint-compressed posting lists — index size,
+// build time, and query latency tradeoff.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "index/index_builder.h"
+
+int main() {
+  using namespace ndss;
+  const uint32_t base_texts = bench::Scaled(4000);
+  SyntheticCorpus sc = bench::MakeBenchCorpus(base_texts, 32000, 1);
+  const auto queries =
+      bench::MakeQueries(sc.corpus, 100, 64, 0.05, 32000, 29);
+
+  bench::PrintHeader(
+      "Ablation: posting-list compression (k = 16, t = 25, theta = 0.8)",
+      "delta+varint with restart points at zone entries vs raw 16-byte "
+      "records");
+  std::printf("%-12s %12s %12s %12s %12s %10s\n", "format", "index MB",
+              "build s", "latency ms", "io ms", "io KB");
+  for (auto format : {index_format::kFormatRaw,
+                      index_format::kFormatCompressed}) {
+    IndexBuildOptions build;
+    build.k = 16;
+    build.t = 25;
+    build.posting_format = format;
+    const std::string dir = bench::ScratchDir(
+        format == index_format::kFormatRaw ? "comp_raw" : "comp_varint");
+    auto stats = BuildIndexInMemory(sc.corpus, dir, build);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    auto searcher = Searcher::Open(dir);
+    if (!searcher.ok()) return 1;
+    SearchOptions options;
+    options.theta = 0.8;
+    options.long_list_threshold = searcher->ListCountPercentile(0.10);
+    const auto run = bench::RunQueries(*searcher, queries, options);
+    std::printf("%-12s %12.2f %12.3f %12.3f %12.3f %10.1f\n",
+                format == index_format::kFormatRaw ? "raw" : "compressed",
+                stats->index_bytes / 1e6, stats->total_seconds,
+                run.mean_latency * 1e3, run.mean_io_seconds * 1e3,
+                run.mean_io_bytes / 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation: effect of prefix filtering (on/off) and the zone-map step size
+// on query cost. Prefix filtering avoids scanning the longest inverted
+// lists; the zone map makes the second-pass point lookups cheap.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "index/index_builder.h"
+
+int main() {
+  using namespace ndss;
+  const uint32_t base_texts = bench::Scaled(4000);
+  SyntheticCorpus sc = bench::MakeBenchCorpus(base_texts, 32000, 1);
+  const auto queries =
+      bench::MakeQueries(sc.corpus, 100, 64, 0.05, 32000, 23);
+
+  bench::PrintHeader(
+      "Ablation: prefix filtering on/off (k = 16, t = 25, theta = 0.8)",
+      "prefix filtering trades full scans of frequent-token lists for "
+      "zone-map probes of candidate texts");
+  {
+    IndexBuildOptions build;
+    build.k = 16;
+    build.t = 25;
+    const std::string dir = bench::ScratchDir("ablation_prefix");
+    if (!BuildIndexInMemory(sc.corpus, dir, build).ok()) return 1;
+    auto searcher = Searcher::Open(dir);
+    if (!searcher.ok()) return 1;
+
+    std::printf("%-22s %12s %12s %12s %10s %10s\n", "config", "latency ms",
+                "io ms", "cpu ms", "io KB", "#matches");
+    SearchOptions off;
+    off.theta = 0.8;
+    off.use_prefix_filter = false;
+    const auto off_run = bench::RunQueries(*searcher, queries, off);
+    std::printf("%-22s %12.3f %12.3f %12.3f %10.1f %10.2f\n",
+                "prefix filter off", off_run.mean_latency * 1e3,
+                off_run.mean_io_seconds * 1e3, off_run.mean_cpu_seconds * 1e3,
+                off_run.mean_io_bytes / 1e3, off_run.mean_spans);
+    for (double fraction : {0.05, 0.10, 0.20}) {
+      SearchOptions on;
+      on.theta = 0.8;
+      on.use_prefix_filter = true;
+      on.long_list_threshold = searcher->ListCountPercentile(fraction);
+      const auto run = bench::RunQueries(*searcher, queries, on);
+      std::printf("prefix filter %3.0f%%    %12.3f %12.3f %12.3f %10.1f "
+                  "%10.2f\n",
+                  fraction * 100, run.mean_latency * 1e3,
+                  run.mean_io_seconds * 1e3, run.mean_cpu_seconds * 1e3,
+                  run.mean_io_bytes / 1e3, run.mean_spans);
+    }
+    // Cost-model selection of the deferred lists (per-query adaptive).
+    SearchOptions adaptive;
+    adaptive.theta = 0.8;
+    adaptive.use_prefix_filter = true;
+    adaptive.use_cost_model = true;
+    const auto run = bench::RunQueries(*searcher, queries, adaptive);
+    std::printf("%-22s %12.3f %12.3f %12.3f %10.1f %10.2f\n", "cost model",
+                run.mean_latency * 1e3, run.mean_io_seconds * 1e3,
+                run.mean_cpu_seconds * 1e3, run.mean_io_bytes / 1e3,
+                run.mean_spans);
+  }
+
+  bench::PrintHeader(
+      "Ablation: zone-map step size s (prefix filter at 10%)",
+      "smaller steps = finer zone maps = less scanning per probe but a "
+      "bigger zone section");
+  std::printf("%8s %12s %12s %12s %10s\n", "step", "index MB", "latency ms",
+              "io ms", "io KB");
+  for (uint32_t step : {16u, 64u, 256u, 1024u}) {
+    IndexBuildOptions build;
+    build.k = 16;
+    build.t = 25;
+    build.zone_step = step;
+    const std::string dir =
+        bench::ScratchDir("ablation_zone" + std::to_string(step));
+    auto stats = BuildIndexInMemory(sc.corpus, dir, build);
+    if (!stats.ok()) return 1;
+    auto searcher = Searcher::Open(dir);
+    if (!searcher.ok()) return 1;
+    SearchOptions options;
+    options.theta = 0.8;
+    options.long_list_threshold = searcher->ListCountPercentile(0.10);
+    const auto run = bench::RunQueries(*searcher, queries, options);
+    std::printf("%8u %12.2f %12.3f %12.3f %10.1f\n", step,
+                stats->index_bytes / 1e6, run.mean_latency * 1e3,
+                run.mean_io_seconds * 1e3, run.mean_io_bytes / 1e3);
+  }
+  return 0;
+}

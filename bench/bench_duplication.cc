@@ -1,0 +1,86 @@
+// Extension experiment: memorization vs training-data duplication. Prior
+// work (cited in the paper's introduction) observed that the chance a
+// model emits a training sequence grows super-linearly with how often the
+// sequence appears in the training corpus. Reproduction: canary sequences
+// are planted at controlled duplication counts, an n-gram model is trained
+// on the corpus, text is generated, and each canary is searched for in the
+// *generated* text with an ephemeral in-memory index.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "lm/memorizing_generator.h"
+#include "query/searcher.h"
+
+int main() {
+  using namespace ndss;
+  SyntheticCorpusOptions base;
+  base.num_texts = bench::Scaled(2000);
+  base.min_text_length = 150;
+  base.max_text_length = 400;
+  base.vocab_size = 4000;  // small vocab so the LM can actually learn
+  base.seed = 33;
+  const std::vector<uint32_t> factors = {1, 4, 16, 64};
+  const uint32_t kCanariesPerFactor = 20;
+  const uint32_t kCanaryLength = 48;
+  DuplicationCorpus dc = GenerateDuplicationCorpus(
+      base, factors, kCanariesPerFactor, kCanaryLength);
+
+  bench::PrintHeader(
+      "Memorization vs duplication count (canary experiment)",
+      "canaries planted 1..64x; the n-gram model is likelier to regenerate "
+      "frequent spans; hit = canary has a near-duplicate in the generated "
+      "text (theta = 0.8)");
+  std::printf("training corpus: %zu texts, %llu tokens; %zu canaries of %u "
+              "tokens\n",
+              dc.corpus.num_texts(),
+              static_cast<unsigned long long>(dc.corpus.total_tokens()),
+              dc.canaries.size(), kCanaryLength);
+
+  // Train the model on the corpus (canaries included) and generate.
+  NGramModel model(4);  // higher order = more verbatim regurgitation
+  model.Train(dc.corpus);
+  Rng rng(7);
+  SamplingOptions sampling;
+  sampling.top_k = 10;  // low-entropy sampling memorizes more
+  Corpus generated;
+  const uint32_t kGeneratedTexts = bench::Scaled(300);
+  for (uint32_t i = 0; i < kGeneratedTexts; ++i) {
+    generated.AddText(model.Generate(512, sampling, rng));
+  }
+  std::printf("generated %zu texts of 512 tokens\n", generated.num_texts());
+
+  // Index the generated text and query each canary against it.
+  IndexBuildOptions build;
+  build.k = 32;
+  build.t = 25;
+  auto searcher = Searcher::InMemory(generated, build);
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "in-memory index failed: %s\n",
+                 searcher.status().ToString().c_str());
+    return 1;
+  }
+  SearchOptions search;
+  search.theta = 0.8;
+  search.use_prefix_filter = false;
+
+  std::map<uint32_t, std::pair<uint32_t, uint32_t>> by_factor;  // hits/total
+  for (const Canary& canary : dc.canaries) {
+    auto result = searcher->Search(canary.tokens, search);
+    if (!result.ok()) return 1;
+    auto& [hits, total] = by_factor[canary.duplication];
+    ++total;
+    if (!result->spans.empty()) ++hits;
+  }
+  std::printf("\n%12s %10s %12s\n", "duplication", "canaries",
+              "emitted near-dup");
+  for (const auto& [factor, counts] : by_factor) {
+    std::printf("%12u %10u %11.1f%%\n", factor, counts.second,
+                100.0 * counts.first / counts.second);
+  }
+  std::printf(
+      "\nThe emission rate should grow sharply (super-linearly) with the\n"
+      "duplication count, matching the behaviour the paper cites.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extension experiment: exact vs fuzzy memorization. The paper's central
+// motivation is that exact-substring tools (suffix-array style, Lee et al.
+// 2022) undercount memorization because models emit *near*-verbatim spans.
+// Here both detectors run on the same generated texts: the suffix-array
+// verbatim check vs near-duplicate search at several thetas.
+
+#include <cstdio>
+
+#include "baseline/suffix_array.h"
+#include "bench_util.h"
+#include "eval/memorization_eval.h"
+#include "index/index_builder.h"
+#include "lm/memorizing_generator.h"
+
+int main() {
+  using namespace ndss;
+  const uint32_t base_texts = bench::Scaled(1500);
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = base_texts;
+  corpus_options.min_text_length = 200;
+  corpus_options.max_text_length = 600;
+  corpus_options.vocab_size = 16000;
+  corpus_options.plant_rate = 0.0;
+  corpus_options.seed = 5;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+
+  IndexBuildOptions build;
+  build.k = 32;
+  build.t = 25;
+  const std::string dir = bench::ScratchDir("exact_vs_fuzzy");
+  if (!BuildIndexInMemory(sc.corpus, dir, build).ok()) return 1;
+  auto searcher = Searcher::Open(dir);
+  if (!searcher.ok()) return 1;
+  SuffixArrayIndex suffix_array = SuffixArrayIndex::Build(sc.corpus);
+
+  NGramModel model(3);
+  model.Train(sc.corpus);
+
+  bench::PrintHeader(
+      "Exact vs fuzzy memorization per copy fidelity (x = 32, k = 32)",
+      "exact = verbatim window in corpus (suffix array); fuzzy = "
+      "near-duplicate at theta; near-verbatim copies are invisible to the "
+      "exact detector");
+  std::printf("%10s %10s | %10s %12s %12s %12s\n", "fidelity", "copies",
+              "exact", "theta=1.0", "theta=0.9", "theta=0.8");
+  const uint32_t x = 32;
+  for (double fidelity : {1.0, 0.98, 0.95, 0.90}) {
+    MemorizationProfile profile;
+    profile.copy_start_prob = 0.01;
+    profile.fidelity = fidelity;
+    MemorizingGenerator generator(model, sc.corpus, profile, 314);
+    const GeneratedTexts generated =
+        generator.Generate(20, 512, SamplingOptions{});
+
+    // Exact detector: fraction of windows occurring verbatim.
+    uint64_t windows = 0, exact_hits = 0;
+    for (const auto& text : generated.texts) {
+      for (size_t begin = 0; begin + x <= text.size(); begin += x) {
+        ++windows;
+        if (suffix_array.Contains(
+                std::span<const Token>(text.data() + begin, x))) {
+          ++exact_hits;
+        }
+      }
+    }
+    std::printf("%10.2f %10zu | %9.1f%%", fidelity, generated.copies.size(),
+                100.0 * exact_hits / windows);
+
+    for (double theta : {1.0, 0.9, 0.8}) {
+      MemorizationEvalOptions eval;
+      eval.window_width = x;
+      eval.search.theta = theta;
+      auto report = EvaluateMemorization(*searcher, generated.texts, eval);
+      if (!report.ok()) return 1;
+      std::printf("   %9.1f%%", 100.0 * report->ratio);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nAt fidelity 1.0 exact and theta=1.0 agree; as copies degrade the\n"
+      "exact detector collapses while near-duplicate search keeps finding\n"
+      "the memorized spans — the paper's core argument.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 2(e)-(h): inverted-index size vs length threshold t, number of
+// hash functions k, and corpus size — plus the index-to-corpus size ratio
+// the paper bounds by 16/t per function (4 integers per window,
+// 2N/t windows).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "index/index_builder.h"
+
+int main() {
+  using namespace ndss;
+  const uint32_t base_texts = bench::Scaled(2000);
+  SyntheticCorpus sc = bench::MakeBenchCorpus(base_texts, 32000, 1);
+  const double corpus_bytes =
+      static_cast<double>(sc.corpus.total_tokens()) * sizeof(Token);
+
+  bench::PrintHeader(
+      "Figure 2(e)-(f): index size vs t and k",
+      "paper: size inversely proportional to t, linear in k; per-function "
+      "ratio <= 16/t of the corpus");
+  std::printf("corpus: %zu texts, %.1f MB tokenized\n", sc.corpus.num_texts(),
+              corpus_bytes / 1e6);
+  std::printf("%6s %4s %12s %12s %18s\n", "t", "k", "windows", "index MB",
+              "per-func ratio");
+  for (uint32_t t : {25u, 50u, 100u}) {
+    for (uint32_t k : {1u, 4u, 16u}) {
+      IndexBuildOptions options;
+      options.k = k;
+      options.t = t;
+      const std::string dir = bench::ScratchDir("fig2_size");
+      auto stats = BuildIndexInMemory(sc.corpus, dir, options);
+      if (!stats.ok()) {
+        std::fprintf(stderr, "build failed: %s\n",
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      const double per_func_ratio =
+          stats->index_bytes / corpus_bytes / k;
+      std::printf("%6u %4u %12llu %12.2f %12.4f (<= %.4f)\n", t, k,
+                  static_cast<unsigned long long>(stats->num_windows),
+                  stats->index_bytes / 1e6, per_func_ratio, 16.0 / t);
+    }
+  }
+
+  bench::PrintHeader("Figure 2(g)-(h): index size vs corpus size",
+                     "paper: index size grows linearly with the corpus");
+  std::printf("%10s %12s %12s %12s\n", "texts", "corpus MB", "windows",
+              "index MB");
+  for (uint32_t factor : {1u, 2u, 4u}) {
+    SyntheticCorpus scaled =
+        bench::MakeBenchCorpus(base_texts * factor / 2, 32000, 3);
+    IndexBuildOptions options;
+    options.k = 4;
+    options.t = 50;
+    const std::string dir = bench::ScratchDir("fig2_size_scale");
+    auto stats = BuildIndexInMemory(scaled.corpus, dir, options);
+    if (!stats.ok()) return 1;
+    std::printf("%10zu %12.1f %12llu %12.2f\n", scaled.corpus.num_texts(),
+                scaled.corpus.total_tokens() * 4.0 / 1e6,
+                static_cast<unsigned long long>(stats->num_windows),
+                stats->index_bytes / 1e6);
+  }
+  return 0;
+}

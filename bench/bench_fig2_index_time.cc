@@ -1,0 +1,90 @@
+// Figure 2(i)-(l): index construction time (compact-window generation CPU
+// vs disk IO) vs t, k, and corpus size, for both the in-memory build
+// (Algorithm 1) and the out-of-core hash-aggregation build.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "index/index_builder.h"
+#include "text/corpus_file.h"
+
+int main() {
+  using namespace ndss;
+  const uint32_t base_texts = bench::Scaled(2000);
+  SyntheticCorpus sc = bench::MakeBenchCorpus(base_texts, 32000, 1);
+
+  bench::PrintHeader(
+      "Figure 2(i)-(j): index build time vs t and k (in-memory build)",
+      "paper: time inversely proportional to t, linear in k; bars split "
+      "into generation (CPU) and IO");
+  std::printf("corpus: %zu texts, %llu tokens\n", sc.corpus.num_texts(),
+              static_cast<unsigned long long>(sc.corpus.total_tokens()));
+  std::printf("%6s %4s %10s %10s %10s %10s\n", "t", "k", "gen s", "sort s",
+              "io s", "total s");
+  for (uint32_t t : {25u, 50u, 100u}) {
+    for (uint32_t k : {1u, 4u, 16u}) {
+      IndexBuildOptions options;
+      options.k = k;
+      options.t = t;
+      const std::string dir = bench::ScratchDir("fig2_time");
+      auto stats = BuildIndexInMemory(sc.corpus, dir, options);
+      if (!stats.ok()) {
+        std::fprintf(stderr, "build failed: %s\n",
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%6u %4u %10.3f %10.3f %10.3f %10.3f\n", t, k,
+                  stats->generate_seconds, stats->sort_seconds,
+                  stats->io_seconds, stats->total_seconds);
+    }
+  }
+
+  bench::PrintHeader(
+      "Figure 2(k): index build time vs corpus size (in-memory build)",
+      "paper: time linear in corpus size");
+  std::printf("%10s %12s %10s %10s %10s\n", "texts", "tokens", "gen s",
+              "io s", "total s");
+  for (uint32_t factor : {1u, 2u, 4u}) {
+    SyntheticCorpus scaled =
+        bench::MakeBenchCorpus(base_texts * factor / 2, 32000, 5);
+    IndexBuildOptions options;
+    options.k = 4;
+    options.t = 50;
+    const std::string dir = bench::ScratchDir("fig2_time_scale");
+    auto stats = BuildIndexInMemory(scaled.corpus, dir, options);
+    if (!stats.ok()) return 1;
+    std::printf("%10zu %12llu %10.3f %10.3f %10.3f\n",
+                scaled.corpus.num_texts(),
+                static_cast<unsigned long long>(
+                    scaled.corpus.total_tokens()),
+                stats->generate_seconds, stats->io_seconds,
+                stats->total_seconds);
+  }
+
+  bench::PrintHeader(
+      "Figure 2(l): out-of-core hash-aggregation build (Section 3.4)",
+      "streamed batches + spill partitions; same index as in-memory");
+  {
+    const std::string dir = bench::ScratchDir("fig2_external");
+    const std::string corpus_path = dir + "/corpus.crp";
+    if (!WriteCorpusFile(corpus_path, sc.corpus).ok()) return 1;
+    IndexBuildOptions options;
+    options.k = 4;
+    options.t = 50;
+    options.batch_tokens = 1 << 18;  // force many batches
+    options.num_partitions = 8;
+    auto stats = BuildIndexExternal(corpus_path, dir + "/idx", options);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "external build failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("windows %llu  spill %.1f MB  gen %.3f s  sort %.3f s  "
+                "io %.3f s  total %.3f s\n",
+                static_cast<unsigned long long>(stats->num_windows),
+                stats->spill_bytes / 1e6, stats->generate_seconds,
+                stats->sort_seconds, stats->io_seconds,
+                stats->total_seconds);
+  }
+  return 0;
+}

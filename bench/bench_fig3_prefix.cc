@@ -1,0 +1,54 @@
+// Figure 3(d): query latency split (IO vs CPU) under various prefix
+// lengths — classifying the top 5%..20% most frequent min-hash keys' lists
+// as "long" (not scanned; probed via zone maps). The paper observes total
+// latency roughly flat while IO grows and CPU shrinks with prefix length.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "index/index_builder.h"
+
+int main() {
+  using namespace ndss;
+  const uint32_t base_texts = bench::Scaled(4000);
+  SyntheticCorpus sc = bench::MakeBenchCorpus(base_texts, 32000, 1);
+  IndexBuildOptions build;
+  build.k = 16;
+  build.t = 25;
+  const std::string dir = bench::ScratchDir("fig3_prefix");
+  if (!BuildIndexInMemory(sc.corpus, dir, build).ok()) return 1;
+  auto searcher = Searcher::Open(dir);
+  if (!searcher.ok()) return 1;
+  const auto queries =
+      bench::MakeQueries(sc.corpus, 100, 64, 0.05, 32000, 17);
+
+  bench::PrintHeader(
+      "Figure 3(d): latency split vs prefix length (share of lists "
+      "classified short)",
+      "prefix fraction = share of lists (by frequency rank) treated as "
+      "LONG and only probed via zone maps");
+  std::printf("%10s %14s %12s %12s %12s %10s\n", "prefix", "long thresh",
+              "latency ms", "io ms", "cpu ms", "io KB");
+  for (double fraction : {0.05, 0.10, 0.15, 0.20}) {
+    SearchOptions options;
+    options.theta = 0.8;
+    options.use_prefix_filter = true;
+    options.long_list_threshold = searcher->ListCountPercentile(fraction);
+    const auto run = bench::RunQueries(*searcher, queries, options);
+    std::printf("%9.0f%% %14llu %12.3f %12.3f %12.3f %10.1f\n",
+                fraction * 100,
+                static_cast<unsigned long long>(options.long_list_threshold),
+                run.mean_latency * 1e3, run.mean_io_seconds * 1e3,
+                run.mean_cpu_seconds * 1e3, run.mean_io_bytes / 1e3);
+  }
+
+  // Reference point: no prefix filtering at all.
+  SearchOptions no_filter;
+  no_filter.theta = 0.8;
+  no_filter.use_prefix_filter = false;
+  const auto run = bench::RunQueries(*searcher, queries, no_filter);
+  std::printf("%10s %14s %12.3f %12.3f %12.3f %10.1f\n", "off", "-",
+              run.mean_latency * 1e3, run.mean_io_seconds * 1e3,
+              run.mean_cpu_seconds * 1e3, run.mean_io_bytes / 1e3);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 3(c),(g),(h): query latency vs corpus size, similarity threshold,
+// and length threshold t.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "index/index_builder.h"
+
+int main() {
+  using namespace ndss;
+  const uint32_t base_texts = bench::Scaled(2000);
+
+  bench::PrintHeader(
+      "Figure 3(c): query latency vs corpus size",
+      "paper: latency grows linearly with the corpus; IO dominates at "
+      "scale");
+  std::printf("%10s %12s %12s %12s %12s\n", "texts", "tokens", "latency ms",
+              "io ms", "cpu ms");
+  for (uint32_t factor : {1u, 2u, 4u, 8u}) {
+    SyntheticCorpus sc =
+        bench::MakeBenchCorpus(base_texts * factor / 2, 32000, factor);
+    IndexBuildOptions build;
+    build.k = 16;
+    build.t = 25;
+    const std::string dir = bench::ScratchDir("fig3_scale");
+    if (!BuildIndexInMemory(sc.corpus, dir, build).ok()) return 1;
+    auto searcher = Searcher::Open(dir);
+    if (!searcher.ok()) return 1;
+    const auto queries =
+        bench::MakeQueries(sc.corpus, 100, 64, 0.05, 32000, 11);
+    SearchOptions options;
+    options.theta = 0.8;
+    options.long_list_threshold = searcher->ListCountPercentile(0.10);
+    const auto run = bench::RunQueries(*searcher, queries, options);
+    std::printf("%10zu %12llu %12.3f %12.3f %12.3f\n", sc.corpus.num_texts(),
+                static_cast<unsigned long long>(sc.corpus.total_tokens()),
+                run.mean_latency * 1e3, run.mean_io_seconds * 1e3,
+                run.mean_cpu_seconds * 1e3);
+  }
+
+  bench::PrintHeader(
+      "Figure 3(g)-(h): query latency vs theta and length threshold t",
+      "paper: latency rises as theta drops; latency is inversely "
+      "proportional to t");
+  SyntheticCorpus sc = bench::MakeBenchCorpus(base_texts * 2, 32000, 1);
+  const auto queries =
+      bench::MakeQueries(sc.corpus, 100, 128, 0.05, 32000, 13);
+  std::printf("%6s %7s %12s %12s %12s %10s\n", "t", "theta", "latency ms",
+              "io ms", "cpu ms", "#matches");
+  for (uint32_t t : {25u, 50u, 100u}) {
+    IndexBuildOptions build;
+    build.k = 16;
+    build.t = t;
+    const std::string dir =
+        bench::ScratchDir("fig3_t" + std::to_string(t));
+    if (!BuildIndexInMemory(sc.corpus, dir, build).ok()) return 1;
+    auto searcher = Searcher::Open(dir);
+    if (!searcher.ok()) return 1;
+    const uint64_t long_threshold = searcher->ListCountPercentile(0.10);
+    for (double theta : {0.9, 0.8, 0.7}) {
+      SearchOptions options;
+      options.theta = theta;
+      options.long_list_threshold = long_threshold;
+      const auto run = bench::RunQueries(*searcher, queries, options);
+      std::printf("%6u %7.2f %12.3f %12.3f %12.3f %10.2f\n", t, theta,
+                  run.mean_latency * 1e3, run.mean_io_seconds * 1e3,
+                  run.mean_cpu_seconds * 1e3, run.mean_spans);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Microbenchmark: BPE encode/decode throughput with a trained model.
+
+#include <benchmark/benchmark.h>
+
+#include "corpusgen/synthetic.h"
+#include "tokenizer/bpe_tokenizer.h"
+#include "tokenizer/bpe_trainer.h"
+
+namespace ndss {
+namespace {
+
+const BpeModel& TrainedModel() {
+  static const BpeModel* model = [] {
+    BpeTrainerOptions options;
+    options.vocab_size = 2000;
+    BpeTrainer trainer(options);
+    trainer.AddText(GenerateSyntheticEnglish(5000, 1));
+    auto result = trainer.Train();
+    return new BpeModel(std::move(result).value());
+  }();
+  return *model;
+}
+
+void BM_BpeEncode(benchmark::State& state) {
+  const std::string text = GenerateSyntheticEnglish(state.range(0), 2);
+  BpeTokenizer tokenizer(TrainedModel());
+  for (auto _ : state) {
+    auto tokens = tokenizer.Encode(text);
+    benchmark::DoNotOptimize(tokens.data());
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_BpeEncode)->Arg(100)->Arg(1000);
+
+void BM_BpeDecode(benchmark::State& state) {
+  const std::string text = GenerateSyntheticEnglish(1000, 3);
+  BpeTokenizer tokenizer(TrainedModel());
+  const auto tokens = tokenizer.Encode(text);
+  for (auto _ : state) {
+    auto decoded = tokenizer.Decode(tokens);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_BpeDecode);
+
+void BM_BpeTrain(benchmark::State& state) {
+  const std::string text = GenerateSyntheticEnglish(1000, 4);
+  for (auto _ : state) {
+    BpeTrainerOptions options;
+    options.vocab_size = 512;
+    BpeTrainer trainer(options);
+    trainer.AddText(text);
+    auto model = trainer.Train();
+    benchmark::DoNotOptimize(model.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_BpeTrain);
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,53 @@
+// Microbenchmark: token hashing and sketch computation throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "hash/hash_family.h"
+
+namespace ndss {
+namespace {
+
+std::vector<Token> RandomTokens(size_t n) {
+  Rng rng(11);
+  std::vector<Token> tokens(n);
+  for (auto& token : tokens) token = static_cast<Token>(rng.Uniform(64000));
+  return tokens;
+}
+
+void BM_TokenHash(benchmark::State& state) {
+  HashFamily family(1, 3);
+  const auto tokens = RandomTokens(4096);
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (Token token : tokens) acc ^= family.Hash(0, token);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * tokens.size());
+}
+BENCHMARK(BM_TokenHash);
+
+void BM_ComputeSketch(benchmark::State& state) {
+  HashFamily family(state.range(0), 3);
+  const auto tokens = RandomTokens(64);  // a typical query window
+  for (auto _ : state) {
+    MinHashSketch sketch = ComputeSketch(family, tokens.data(), tokens.size());
+    benchmark::DoNotOptimize(sketch.argmin_tokens.data());
+  }
+  state.SetItemsProcessed(state.iterations() * tokens.size() *
+                          state.range(0));
+}
+BENCHMARK(BM_ComputeSketch)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ExactJaccard(benchmark::State& state) {
+  const auto a = RandomTokens(state.range(0));
+  const auto b = RandomTokens(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExactDistinctJaccard(a.data(), a.size(), b.data(), b.size()));
+  }
+}
+BENCHMARK(BM_ExactJaccard)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace ndss

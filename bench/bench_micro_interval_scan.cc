@@ -1,0 +1,63 @@
+// Microbenchmark: IntervalScan and CollisionCount on synthetic window
+// groups of varying size (the per-text query-processing kernel).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "query/collision_count.h"
+#include "query/interval_scan.h"
+
+namespace ndss {
+namespace {
+
+std::vector<Interval> RandomIntervals(size_t m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Interval> intervals;
+  intervals.reserve(m);
+  for (uint32_t id = 0; id < m; ++id) {
+    const uint32_t begin = static_cast<uint32_t>(rng.Uniform(500));
+    intervals.push_back(
+        {begin, begin + static_cast<uint32_t>(rng.Uniform(100)), id});
+  }
+  return intervals;
+}
+
+std::vector<PostedWindow> RandomGroup(size_t m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PostedWindow> windows;
+  windows.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t c = 100 + static_cast<uint32_t>(rng.Uniform(300));
+    windows.push_back(PostedWindow{
+        0, c - static_cast<uint32_t>(rng.Uniform(100)), c,
+        c + static_cast<uint32_t>(rng.Uniform(100))});
+  }
+  return windows;
+}
+
+void BM_IntervalScan(benchmark::State& state) {
+  const auto intervals = RandomIntervals(state.range(0), 3);
+  std::vector<IntervalGroup> groups;
+  for (auto _ : state) {
+    groups.clear();
+    IntervalScan(intervals, 2, &groups);
+    benchmark::DoNotOptimize(groups.data());
+  }
+  state.SetItemsProcessed(state.iterations() * intervals.size());
+}
+BENCHMARK(BM_IntervalScan)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_CollisionCount(benchmark::State& state) {
+  const auto windows = RandomGroup(state.range(0), 5);
+  std::vector<MatchRectangle> rects;
+  for (auto _ : state) {
+    rects.clear();
+    CollisionCount(windows, windows.size() / 4 + 1, &rects);
+    benchmark::DoNotOptimize(rects.data());
+  }
+  state.SetItemsProcessed(state.iterations() * windows.size());
+}
+BENCHMARK(BM_CollisionCount)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,110 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/stopwatch.h"
+
+namespace ndss {
+namespace bench {
+
+double ScaleFactor() {
+  static const double scale = [] {
+    const char* env = std::getenv("NDSS_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double value = std::atof(env);
+    return value > 0 ? value : 1.0;
+  }();
+  return scale;
+}
+
+uint32_t Scaled(uint32_t base) {
+  const double scaled = base * ScaleFactor();
+  return scaled < 1 ? 1u : static_cast<uint32_t>(scaled);
+}
+
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = "/tmp/ndss_bench/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+SyntheticCorpus MakeBenchCorpus(uint32_t num_texts, uint32_t vocab_size,
+                                uint64_t seed) {
+  SyntheticCorpusOptions options;
+  options.num_texts = num_texts;
+  options.min_text_length = 100;
+  options.max_text_length = 1000;
+  options.vocab_size = vocab_size;
+  options.zipf_exponent = 1.0;
+  options.plant_rate = 0.2;
+  options.min_plant_length = 50;
+  options.max_plant_length = 200;
+  options.plant_noise = 0.05;
+  options.seed = seed;
+  return GenerateSyntheticCorpus(options);
+}
+
+std::vector<std::vector<Token>> MakeQueries(const Corpus& corpus,
+                                            uint32_t count, uint32_t length,
+                                            double noise, uint32_t vocab_size,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Token>> queries;
+  queries.reserve(count);
+  while (queries.size() < count) {
+    const TextId id = static_cast<TextId>(rng.Uniform(corpus.num_texts()));
+    const auto text = corpus.text(id);
+    if (text.size() < length) continue;
+    const uint32_t begin =
+        static_cast<uint32_t>(rng.Uniform(text.size() - length + 1));
+    queries.push_back(
+        PerturbSequence(text, begin, length, noise, vocab_size, rng));
+  }
+  return queries;
+}
+
+QueryRunResult RunQueries(Searcher& searcher,
+                          const std::vector<std::vector<Token>>& queries,
+                          const SearchOptions& options) {
+  QueryRunResult result;
+  if (queries.empty()) return result;
+  for (const auto& query : queries) {
+    Stopwatch watch;
+    auto search = searcher.Search(query, options);
+    const double elapsed = watch.ElapsedSeconds();
+    if (!search.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   search.status().ToString().c_str());
+      std::exit(1);
+    }
+    result.mean_latency += elapsed;
+    result.mean_io_seconds += search->stats.io_seconds;
+    result.mean_cpu_seconds += search->stats.cpu_seconds;
+    result.mean_io_bytes += static_cast<double>(search->stats.io_bytes);
+    result.mean_spans += static_cast<double>(search->spans.size());
+  }
+  const double n = static_cast<double>(queries.size());
+  result.mean_latency /= n;
+  result.mean_io_seconds /= n;
+  result.mean_cpu_seconds /= n;
+  result.mean_io_bytes /= n;
+  result.mean_spans /= n;
+  return result;
+}
+
+void PrintHeader(const std::string& experiment, const std::string& note) {
+  std::printf("\n================================================="
+              "=============================\n");
+  std::printf("%s\n", experiment.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("scale factor: %.2f (set NDSS_BENCH_SCALE to change)\n",
+              ScaleFactor());
+  std::printf("---------------------------------------------------"
+              "---------------------------\n");
+}
+
+}  // namespace bench
+}  // namespace ndss

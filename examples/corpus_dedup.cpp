@@ -1,0 +1,91 @@
+// Training-data near-deduplication, the use case motivating the paper's
+// introduction (Lee et al. 2022 showed deduplicating training corpora
+// reduces memorization): index a corpus, then query each text's windows
+// against the index to surface cross-text near-duplicate spans.
+//
+//   ./corpus_dedup [index_dir]
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "corpusgen/synthetic.h"
+#include "ndss/ndss.h"
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : std::string("/tmp/ndss_dedup");
+  std::filesystem::remove_all(dir);
+
+  // Corpus with a known fraction of planted near-duplicates.
+  ndss::SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 800;
+  corpus_options.vocab_size = 8000;
+  corpus_options.plant_rate = 0.15;
+  corpus_options.min_plant_length = 60;
+  corpus_options.max_plant_length = 150;
+  corpus_options.plant_noise = 0.03;
+  ndss::SyntheticCorpus sc = ndss::GenerateSyntheticCorpus(corpus_options);
+
+  ndss::IndexBuildOptions build;
+  build.k = 16;
+  build.t = 50;  // only long shared spans are interesting for dedup
+  auto stats = ndss::NearDuplicateIndex::Build(sc.corpus, dir, build);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %zu texts, %llu windows\n", sc.corpus.num_texts(),
+              static_cast<unsigned long long>(stats->num_windows));
+
+  // Query each text's prefix windows; collect cross-text duplicate pairs.
+  auto index = ndss::NearDuplicateIndex::Open(dir);
+  if (!index.ok()) return 1;
+  ndss::SearchOptions search;
+  search.theta = 0.85;
+
+  std::set<std::pair<ndss::TextId, ndss::TextId>> duplicate_pairs;
+  const uint32_t x = 64;
+  for (ndss::TextId id = 0; id < sc.corpus.num_texts(); ++id) {
+    const auto text = sc.corpus.text(id);
+    for (size_t begin = 0; begin + x <= text.size(); begin += x) {
+      auto result = index->Search(
+          std::span<const ndss::Token>(text.data() + begin, x), search);
+      if (!result.ok()) return 1;
+      for (const ndss::MatchSpan& span : result->spans) {
+        if (span.text == id) continue;  // self-match
+        duplicate_pairs.insert(
+            {std::min(id, span.text), std::max(id, span.text)});
+      }
+    }
+  }
+
+  // Compare with the planted ground truth.
+  std::set<std::pair<ndss::TextId, ndss::TextId>> planted;
+  for (const ndss::PlantedSpan& plant : sc.plants) {
+    if (plant.length >= x) {
+      planted.insert({std::min(plant.source_text, plant.target_text),
+                      std::max(plant.source_text, plant.target_text)});
+    }
+  }
+  size_t recovered = 0;
+  for (const auto& pair : planted) {
+    if (duplicate_pairs.count(pair) != 0) ++recovered;
+  }
+  std::printf("near-duplicate text pairs found: %zu\n",
+              duplicate_pairs.size());
+  std::printf("planted pairs with spans >= %u tokens: %zu, recovered: %zu "
+              "(%.0f%%)\n",
+              x, planted.size(), recovered,
+              planted.empty() ? 100.0 : 100.0 * recovered / planted.size());
+  for (auto it = duplicate_pairs.begin();
+       it != duplicate_pairs.end() && std::distance(duplicate_pairs.begin(),
+                                                    it) < 10;
+       ++it) {
+    std::printf("  texts %u and %u share a near-duplicate span\n", it->first,
+                it->second);
+  }
+  return recovered * 10 >= planted.size() * 8 ? 0 : 1;  // >= 80% recall
+}

@@ -1,0 +1,91 @@
+// End-to-end LLM memorization evaluation (Section 5 of the paper):
+//
+//   1. Build a training corpus and index it.
+//   2. Train a language model on the corpus (backoff n-gram; stand-in for
+//      GPT-2/GPT-Neo) and wrap it in a memorizing generator for each of the
+//      four simulated model capacities.
+//   3. Generate texts unprompted with top-50 sampling, slide fixed-width
+//      windows over them, and search each window in the training corpus.
+//   4. Report, per model and threshold, the fraction of generated windows
+//      that have near-duplicates in the training data.
+//
+//   ./memorization_eval [index_dir]
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "corpusgen/synthetic.h"
+#include "eval/memorization_eval.h"
+#include "index/index_builder.h"
+#include "lm/memorizing_generator.h"
+#include "ndss/ndss.h"
+
+int main(int argc, char** argv) {
+  const std::string dir =
+      argc > 1 ? argv[1] : std::string("/tmp/ndss_memorization_eval");
+  std::filesystem::remove_all(dir);
+
+  // Training corpus.
+  ndss::SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 2000;
+  corpus_options.min_text_length = 200;
+  corpus_options.max_text_length = 600;
+  corpus_options.vocab_size = 8000;
+  corpus_options.plant_rate = 0.0;
+  ndss::SyntheticCorpus sc = ndss::GenerateSyntheticCorpus(corpus_options);
+  std::printf("training corpus: %zu texts, %llu tokens\n",
+              sc.corpus.num_texts(),
+              static_cast<unsigned long long>(sc.corpus.total_tokens()));
+
+  // Index it (paper settings: x = 32, t = 25, k = 32).
+  ndss::IndexBuildOptions build;
+  build.k = 32;
+  build.t = 25;
+  auto build_stats = ndss::NearDuplicateIndex::Build(sc.corpus, dir, build);
+  if (!build_stats.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 build_stats.status().ToString().c_str());
+    return 1;
+  }
+
+  auto searcher = ndss::Searcher::Open(dir);
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 searcher.status().ToString().c_str());
+    return 1;
+  }
+
+  // Language model trained on the corpus.
+  ndss::NGramModel model(3);
+  model.Train(sc.corpus);
+  ndss::SamplingOptions sampling;  // top-50, as in the paper
+
+  std::printf("\n%-18s %8s | theta=1.0  theta=0.9  theta=0.8\n", "model",
+              "copies");
+  for (const ndss::SimulatedModel& sim : ndss::DefaultSimulatedModels()) {
+    ndss::MemorizingGenerator generator(model, sc.corpus, sim.profile, 1234);
+    ndss::GeneratedTexts generated = generator.Generate(
+        /*num_texts=*/20, /*text_length=*/512, sampling);
+
+    std::printf("%-18s %8zu |", sim.name.c_str(), generated.copies.size());
+    for (double theta : {1.0, 0.9, 0.8}) {
+      ndss::MemorizationEvalOptions eval;
+      eval.window_width = 32;
+      eval.search.theta = theta;
+      auto report =
+          ndss::EvaluateMemorization(*searcher, generated.texts, eval);
+      if (!report.ok()) {
+        std::fprintf(stderr, "eval failed: %s\n",
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("   %5.1f%%  ", 100.0 * report->ratio);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nHigher-capacity simulated models memorize more, and lower theta\n"
+      "surfaces more fuzzy memorization — the Figure 4 trends.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Quickstart: build an index over a tiny corpus, run one near-duplicate
+// search, and print the matches.
+//
+//   ./quickstart [index_dir]
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "corpusgen/synthetic.h"
+#include "ndss/ndss.h"
+
+int main(int argc, char** argv) {
+  const std::string dir =
+      argc > 1 ? argv[1] : std::string("/tmp/ndss_quickstart");
+  std::filesystem::remove_all(dir);
+
+  // 1. Make a small synthetic corpus: 1000 texts, 20% of which contain a
+  //    near-duplicate span copied from an earlier text.
+  ndss::SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 1000;
+  corpus_options.vocab_size = 10000;
+  corpus_options.plant_rate = 0.2;
+  corpus_options.plant_noise = 0.05;
+  ndss::SyntheticCorpus sc = ndss::GenerateSyntheticCorpus(corpus_options);
+  std::printf("corpus: %zu texts, %llu tokens, %zu planted near-dups\n",
+              sc.corpus.num_texts(),
+              static_cast<unsigned long long>(sc.corpus.total_tokens()),
+              sc.plants.size());
+
+  // 2. Build the index: k = 16 min-hash functions, sequences >= t = 25.
+  ndss::IndexBuildOptions build;
+  build.k = 16;
+  build.t = 25;
+  auto build_stats = ndss::NearDuplicateIndex::Build(sc.corpus, dir, build);
+  if (!build_stats.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 build_stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("index: %llu compact windows, %.2f MB on disk, %.3f s\n",
+              static_cast<unsigned long long>(build_stats->num_windows),
+              build_stats->index_bytes / 1e6, build_stats->total_seconds);
+
+  // 3. Query: a perturbed copy of a planted span — a true near-duplicate.
+  auto index = ndss::NearDuplicateIndex::Open(dir);
+  if (!index.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  const ndss::PlantedSpan& plant = sc.plants.front();
+  ndss::Rng rng(7);
+  const std::vector<ndss::Token> query = ndss::PerturbSequence(
+      sc.corpus.text(plant.source_text), plant.source_begin, plant.length,
+      /*noise=*/0.05, corpus_options.vocab_size, rng);
+
+  ndss::SearchOptions search;
+  search.theta = 0.8;
+  auto result = index->Search(query, search);
+  if (!result.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nquery: %zu tokens (perturbed copy of text %u [%u..%u])\n",
+              query.size(), plant.source_text, plant.source_begin,
+              plant.source_begin + plant.length - 1);
+  std::printf("found %zu near-duplicate spans (theta = %.2f):\n",
+              result->spans.size(), search.theta);
+  for (const ndss::MatchSpan& span : result->spans) {
+    std::printf("  text %-5u tokens [%u..%u]  est. Jaccard %.2f\n",
+                span.text, span.begin, span.end, span.estimated_similarity);
+  }
+  std::printf("stats: %.2f KB read, %u short lists, %u long lists\n",
+              result->stats.io_bytes / 1e3, result->stats.short_lists,
+              result->stats.long_lists);
+
+  // The planted source and target must both be among the results.
+  bool found_source = false, found_target = false;
+  for (const ndss::MatchSpan& span : result->spans) {
+    if (span.text == plant.source_text) found_source = true;
+    if (span.text == plant.target_text) found_target = true;
+  }
+  std::printf("\nplanted source found: %s, planted copy found: %s\n",
+              found_source ? "yes" : "no", found_target ? "yes" : "no");
+  return (found_source && found_target) ? 0 : 1;
+}

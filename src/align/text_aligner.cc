@@ -1,0 +1,80 @@
+#include "align/text_aligner.h"
+
+#include <algorithm>
+
+#include "query/searcher.h"
+#include "text/corpus.h"
+
+namespace ndss {
+
+Result<std::vector<AlignedSpanPair>> AlignTexts(
+    std::span<const Token> a, std::span<const Token> b,
+    const AlignmentOptions& options) {
+  if (options.window == 0 || options.stride == 0) {
+    return Status::InvalidArgument("window and stride must be positive");
+  }
+  if (options.stride > options.window) {
+    return Status::InvalidArgument("stride must not exceed window");
+  }
+  std::vector<AlignedSpanPair> pairs;
+  if (a.size() < options.window || b.empty()) return pairs;
+
+  Corpus corpus;
+  corpus.AddText(b);
+  IndexBuildOptions build;
+  build.k = options.k;
+  build.t = options.t;
+  build.seed = options.seed;
+  NDSS_ASSIGN_OR_RETURN(Searcher searcher,
+                        Searcher::InMemory(corpus, build));
+
+  SearchOptions search;
+  search.theta = options.theta;
+  search.use_prefix_filter = false;  // one document: lists are short
+
+  // Collect raw (a-window, b-span) matches.
+  std::vector<AlignedSpanPair> raw;
+  for (size_t begin = 0; begin + options.window <= a.size();
+       begin += options.stride) {
+    const std::span<const Token> window =
+        a.subspan(begin, options.window);
+    NDSS_ASSIGN_OR_RETURN(SearchResult result,
+                          searcher.Search(window, search));
+    for (const MatchSpan& span : result.spans) {
+      raw.push_back(AlignedSpanPair{
+          static_cast<uint32_t>(begin),
+          static_cast<uint32_t>(begin + options.window - 1), span.begin,
+          span.end, span.estimated_similarity});
+    }
+  }
+
+  // Merge pairs whose regions overlap (or touch) on both sides.
+  std::sort(raw.begin(), raw.end(),
+            [](const AlignedSpanPair& x, const AlignedSpanPair& y) {
+              if (x.a_begin != y.a_begin) return x.a_begin < y.a_begin;
+              return x.b_begin < y.b_begin;
+            });
+  for (const AlignedSpanPair& pair : raw) {
+    bool merged = false;
+    // Only recent spans can still overlap in a-coordinates; scan backwards.
+    for (auto it = pairs.rbegin(); it != pairs.rend(); ++it) {
+      if (it->a_end + 1 < pair.a_begin) break;  // sorted by a_begin
+      const bool a_overlaps = pair.a_begin <= it->a_end + 1;
+      const bool b_overlaps =
+          pair.b_begin <= it->b_end + 1 && it->b_begin <= pair.b_end + 1;
+      if (a_overlaps && b_overlaps) {
+        it->a_end = std::max(it->a_end, pair.a_end);
+        it->b_begin = std::min(it->b_begin, pair.b_begin);
+        it->b_end = std::max(it->b_end, pair.b_end);
+        it->estimated_similarity =
+            std::max(it->estimated_similarity, pair.estimated_similarity);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) pairs.push_back(pair);
+  }
+  return pairs;
+}
+
+}  // namespace ndss

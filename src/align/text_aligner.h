@@ -1,0 +1,53 @@
+#ifndef NDSS_ALIGN_TEXT_ALIGNER_H_
+#define NDSS_ALIGN_TEXT_ALIGNER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "text/types.h"
+
+namespace ndss {
+
+/// Options for document-vs-document alignment.
+struct AlignmentOptions {
+  /// Width of the sliding query windows taken from the left document.
+  uint32_t window = 64;
+
+  /// Stride between consecutive query windows (<= window for overlap).
+  uint32_t stride = 32;
+
+  /// Jaccard similarity threshold for a window to count as aligned.
+  double theta = 0.8;
+
+  /// Min-hash functions / length threshold / seed for the ephemeral index.
+  uint32_t k = 16;
+  uint32_t t = 25;
+  uint64_t seed = 0x5eed5eed5eed5eedULL;
+};
+
+/// A pair of near-duplicate regions: tokens [a_begin, a_end] of the left
+/// document align with tokens [b_begin, b_end] of the right document.
+struct AlignedSpanPair {
+  uint32_t a_begin;
+  uint32_t a_end;
+  uint32_t b_begin;
+  uint32_t b_end;
+  /// Best estimated Jaccard similarity among the merged window matches.
+  double estimated_similarity;
+};
+
+/// Finds all near-duplicate region pairs between two token sequences — the
+/// text-alignment problem of ALIGN/TXTALIGN (the paper's closest related
+/// work), solved with this library's machinery: an ephemeral in-memory
+/// compact-window index over document `b`, queried with sliding windows of
+/// document `a`; overlapping window matches are merged into maximal region
+/// pairs.
+Result<std::vector<AlignedSpanPair>> AlignTexts(std::span<const Token> a,
+                                                std::span<const Token> b,
+                                                const AlignmentOptions& options);
+
+}  // namespace ndss
+
+#endif  // NDSS_ALIGN_TEXT_ALIGNER_H_

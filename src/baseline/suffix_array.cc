@@ -1,0 +1,160 @@
+#include "baseline/suffix_array.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace ndss {
+
+SuffixArrayIndex SuffixArrayIndex::Build(const Corpus& corpus) {
+  SuffixArrayIndex index;
+  index.sequence_.reserve(corpus.total_tokens() + corpus.num_texts());
+  index.text_offsets_.reserve(corpus.num_texts());
+  for (size_t i = 0; i < corpus.num_texts(); ++i) {
+    index.text_offsets_.push_back(index.sequence_.size());
+    for (Token token : corpus.text(i)) index.sequence_.push_back(token);
+    index.sequence_.push_back(kSeparatorBase + i);
+  }
+  const size_t n = index.sequence_.size();
+  if (n == 0) return index;
+
+  // Prefix doubling: rank[i] is the rank of suffix i by its first 2^k
+  // elements; each round sorts by (rank[i], rank[i + 2^k]).
+  std::vector<uint32_t>& sa = index.suffix_array_;
+  sa.resize(n);
+  std::iota(sa.begin(), sa.end(), 0);
+  std::vector<uint64_t> rank(n);
+  // Initial ranks: compress the element values.
+  {
+    std::sort(sa.begin(), sa.end(), [&](uint32_t a, uint32_t b) {
+      return index.sequence_[a] < index.sequence_[b];
+    });
+    uint64_t r = 0;
+    rank[sa[0]] = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (index.sequence_[sa[i]] != index.sequence_[sa[i - 1]]) ++r;
+      rank[sa[i]] = r;
+    }
+  }
+  std::vector<uint64_t> next_rank(n);
+  for (size_t k = 1; k < n; k <<= 1) {
+    auto key = [&](uint32_t i) {
+      const uint64_t second = i + k < n ? rank[i + k] + 1 : 0;
+      return (rank[i] << 32) | second;  // safe: ranks < n <= 2^32
+    };
+    std::sort(sa.begin(), sa.end(),
+              [&](uint32_t a, uint32_t b) { return key(a) < key(b); });
+    uint64_t r = 0;
+    next_rank[sa[0]] = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (key(sa[i]) != key(sa[i - 1])) ++r;
+      next_rank[sa[i]] = r;
+    }
+    rank.swap(next_rank);
+    if (rank[sa[n - 1]] == n - 1) break;  // all distinct: done
+  }
+  return index;
+}
+
+int SuffixArrayIndex::CompareSuffix(size_t pos,
+                                    std::span<const Token> pattern) const {
+  const size_t n = sequence_.size();
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pos + i >= n) return -1;  // suffix exhausted: suffix < pattern
+    const uint64_t element = sequence_[pos + i];
+    const uint64_t wanted = pattern[i];
+    if (element < wanted) return -1;
+    if (element > wanted) return 1;
+  }
+  return 0;
+}
+
+std::pair<size_t, size_t> SuffixArrayIndex::EqualRange(
+    std::span<const Token> pattern) const {
+  // lower bound: first suffix >= pattern (as prefix comparison).
+  size_t lo = 0, hi = suffix_array_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (CompareSuffix(suffix_array_[mid], pattern) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const size_t begin = lo;
+  hi = suffix_array_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (CompareSuffix(suffix_array_[mid], pattern) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {begin, lo};
+}
+
+bool SuffixArrayIndex::Contains(std::span<const Token> pattern) const {
+  if (pattern.empty()) return true;
+  const auto [lo, hi] = EqualRange(pattern);
+  return lo < hi;
+}
+
+uint64_t SuffixArrayIndex::CountOccurrences(
+    std::span<const Token> pattern) const {
+  if (pattern.empty()) return 0;
+  const auto [lo, hi] = EqualRange(pattern);
+  return hi - lo;
+}
+
+SuffixArrayIndex::Occurrence SuffixArrayIndex::ToOccurrence(
+    size_t pos) const {
+  auto it = std::upper_bound(text_offsets_.begin(), text_offsets_.end(), pos);
+  const size_t text = static_cast<size_t>(it - text_offsets_.begin()) - 1;
+  return Occurrence{static_cast<TextId>(text),
+                    static_cast<uint32_t>(pos - text_offsets_[text])};
+}
+
+std::vector<SuffixArrayIndex::Occurrence> SuffixArrayIndex::FindOccurrences(
+    std::span<const Token> pattern, size_t limit) const {
+  std::vector<Occurrence> occurrences;
+  if (pattern.empty()) return occurrences;
+  const auto [lo, hi] = EqualRange(pattern);
+  for (size_t i = lo; i < hi; ++i) {
+    if (limit != 0 && occurrences.size() >= limit) break;
+    occurrences.push_back(ToOccurrence(suffix_array_[i]));
+  }
+  return occurrences;
+}
+
+uint32_t SuffixArrayIndex::LongestPrefixMatch(
+    std::span<const Token> pattern) const {
+  if (pattern.empty() || suffix_array_.empty()) return 0;
+  // The suffix sharing the longest prefix with the pattern is adjacent to
+  // the pattern's insertion position in suffix order.
+  size_t lo = 0, hi = suffix_array_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (CompareSuffix(suffix_array_[mid], pattern) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  auto common_prefix = [&](size_t sa_index) -> uint32_t {
+    const size_t pos = suffix_array_[sa_index];
+    uint32_t len = 0;
+    while (len < pattern.size() && pos + len < sequence_.size() &&
+           sequence_[pos + len] == pattern[len]) {
+      ++len;
+    }
+    return len;
+  };
+  uint32_t best = 0;
+  if (lo < suffix_array_.size()) best = std::max(best, common_prefix(lo));
+  if (lo > 0) best = std::max(best, common_prefix(lo - 1));
+  return best;
+}
+
+}  // namespace ndss

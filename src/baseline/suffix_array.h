@@ -1,0 +1,77 @@
+#ifndef NDSS_BASELINE_SUFFIX_ARRAY_H_
+#define NDSS_BASELINE_SUFFIX_ARRAY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "text/corpus.h"
+#include "text/types.h"
+
+namespace ndss {
+
+/// Suffix array over an entire corpus, supporting exact (verbatim)
+/// sequence queries: the "exact memorization" baseline the paper contrasts
+/// with near-duplicate search, and the machinery behind exact-substring
+/// training-data dedup (Lee et al. 2022).
+///
+/// Texts are concatenated with per-text unique separators, so matches never
+/// cross text boundaries. Construction is prefix-doubling, O(N log² N);
+/// queries are binary searches, O(m log N) for a pattern of m tokens.
+class SuffixArrayIndex {
+ public:
+  /// One verbatim occurrence of a pattern.
+  struct Occurrence {
+    TextId text;
+    uint32_t begin;
+
+    friend bool operator==(const Occurrence& a, const Occurrence& b) {
+      return a.text == b.text && a.begin == b.begin;
+    }
+  };
+
+  /// Builds the index; the corpus does not need to outlive it.
+  static SuffixArrayIndex Build(const Corpus& corpus);
+
+  /// True iff `pattern` occurs verbatim in some text.
+  bool Contains(std::span<const Token> pattern) const;
+
+  /// Number of verbatim occurrences of `pattern` across all texts.
+  uint64_t CountOccurrences(std::span<const Token> pattern) const;
+
+  /// Up to `limit` occurrences of `pattern` (0 = all), in suffix order.
+  std::vector<Occurrence> FindOccurrences(std::span<const Token> pattern,
+                                          size_t limit) const;
+
+  /// Length of the longest prefix of `pattern` that occurs verbatim
+  /// somewhere in the corpus (0 if even the first token is absent).
+  uint32_t LongestPrefixMatch(std::span<const Token> pattern) const;
+
+  /// Number of elements in the concatenated sequence (tokens + separators).
+  size_t size() const { return sequence_.size(); }
+
+ private:
+  SuffixArrayIndex() = default;
+
+  /// Lexicographic comparison of the suffix at `pos` against `pattern`:
+  /// negative / 0 / positive like memcmp, where 0 means the pattern is a
+  /// prefix of the suffix.
+  int CompareSuffix(size_t pos, std::span<const Token> pattern) const;
+
+  /// [lo, hi) range of suffixes having `pattern` as a prefix.
+  std::pair<size_t, size_t> EqualRange(std::span<const Token> pattern) const;
+
+  Occurrence ToOccurrence(size_t pos) const;
+
+  // Concatenated corpus: tokens as-is; separator after text i is
+  // kSeparatorBase + i (distinct from every token and from each other).
+  std::vector<uint64_t> sequence_;
+  std::vector<uint32_t> suffix_array_;
+  std::vector<uint64_t> text_offsets_;  // start of each text in sequence_
+
+  static constexpr uint64_t kSeparatorBase = 1ull << 32;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_BASELINE_SUFFIX_ARRAY_H_

@@ -1,0 +1,279 @@
+#include "common/file_io.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/coding.h"
+
+namespace ndss {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- FileWriter
+
+FileWriter::FileWriter(std::FILE* file, std::string path, size_t buffer_size)
+    : file_(file), path_(std::move(path)), buffer_capacity_(buffer_size) {
+  buffer_.reserve(buffer_capacity_);
+}
+
+Result<FileWriter> FileWriter::Open(const std::string& path,
+                                    size_t buffer_size) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError(ErrnoMessage("open for write", path));
+  }
+  return FileWriter(file, path, buffer_size);
+}
+
+Result<FileWriter> FileWriter::OpenForAppend(const std::string& path,
+                                             size_t buffer_size) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IOError(ErrnoMessage("open for append", path));
+  }
+  return FileWriter(file, path, buffer_size);
+}
+
+FileWriter::FileWriter(FileWriter&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      buffer_(std::move(other.buffer_)),
+      buffer_capacity_(other.buffer_capacity_),
+      bytes_written_(other.bytes_written_) {
+  other.file_ = nullptr;
+}
+
+FileWriter& FileWriter::operator=(FileWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) {
+      Flush().ok();  // best effort; destructor-path close
+      std::fclose(file_);
+    }
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    buffer_ = std::move(other.buffer_);
+    buffer_capacity_ = other.buffer_capacity_;
+    bytes_written_ = other.bytes_written_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+FileWriter::~FileWriter() {
+  if (file_ != nullptr) {
+    Flush().ok();  // best effort
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status FileWriter::Append(const void* data, size_t size) {
+  if (file_ == nullptr) return Status::IOError("writer is closed: " + path_);
+  const char* src = static_cast<const char*>(data);
+  // Large writes bypass the buffer after draining it.
+  if (size >= buffer_capacity_) {
+    NDSS_RETURN_NOT_OK(Flush());
+    if (std::fwrite(src, 1, size, file_) != size) {
+      return Status::IOError(ErrnoMessage("write", path_));
+    }
+    bytes_written_ += size;
+    return Status::OK();
+  }
+  if (buffer_.size() + size > buffer_capacity_) {
+    NDSS_RETURN_NOT_OK(Flush());
+  }
+  buffer_.append(src, size);
+  bytes_written_ += size;
+  return Status::OK();
+}
+
+Status FileWriter::AppendU32(uint32_t value) {
+  char buf[4];
+  EncodeFixed32(buf, value);
+  return Append(buf, sizeof(buf));
+}
+
+Status FileWriter::AppendU64(uint64_t value) {
+  char buf[8];
+  EncodeFixed64(buf, value);
+  return Append(buf, sizeof(buf));
+}
+
+Status FileWriter::Flush() {
+  if (file_ == nullptr) return Status::IOError("writer is closed: " + path_);
+  if (!buffer_.empty()) {
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+        buffer_.size()) {
+      return Status::IOError(ErrnoMessage("write", path_));
+    }
+    buffer_.clear();
+  }
+  return Status::OK();
+}
+
+Status FileWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status flush_status = Flush();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (!flush_status.ok()) return flush_status;
+  if (rc != 0) return Status::IOError(ErrnoMessage("close", path_));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- FileReader
+
+FileReader::FileReader(std::FILE* file, std::string path, uint64_t file_size)
+    : file_(file), path_(std::move(path)), file_size_(file_size) {}
+
+Result<FileReader> FileReader::Open(const std::string& path,
+                                    size_t buffer_size) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError(ErrnoMessage("open for read", path));
+  }
+  if (buffer_size > 0) {
+    // stdio's own buffer provides read-ahead for sequential scans.
+    std::setvbuf(file, nullptr, _IOFBF, buffer_size);
+  }
+  struct stat st;
+  if (fstat(fileno(file), &st) != 0) {
+    std::fclose(file);
+    return Status::IOError(ErrnoMessage("stat", path));
+  }
+  return FileReader(file, path, static_cast<uint64_t>(st.st_size));
+}
+
+FileReader::FileReader(FileReader&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      file_size_(other.file_size_),
+      position_(other.position_),
+      bytes_read_(other.bytes_read_) {
+  other.file_ = nullptr;
+}
+
+FileReader& FileReader::operator=(FileReader&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    file_size_ = other.file_size_;
+    position_ = other.position_;
+    bytes_read_ = other.bytes_read_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+FileReader::~FileReader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status FileReader::ReadExact(void* out, size_t size) {
+  NDSS_ASSIGN_OR_RETURN(size_t n, Read(out, size));
+  if (n != size) {
+    return Status::IOError("short read from '" + path_ + "': wanted " +
+                           std::to_string(size) + " got " + std::to_string(n));
+  }
+  return Status::OK();
+}
+
+Result<size_t> FileReader::Read(void* out, size_t size) {
+  if (file_ == nullptr) return Status::IOError("reader is closed: " + path_);
+  size_t n = std::fread(out, 1, size, file_);
+  if (n < size && std::ferror(file_)) {
+    return Status::IOError(ErrnoMessage("read", path_));
+  }
+  position_ += n;
+  bytes_read_ += n;
+  return n;
+}
+
+Status FileReader::ReadAt(uint64_t offset, void* out, size_t size) {
+  NDSS_RETURN_NOT_OK(Seek(offset));
+  return ReadExact(out, size);
+}
+
+Result<uint32_t> FileReader::ReadU32() {
+  char buf[4];
+  NDSS_RETURN_NOT_OK(ReadExact(buf, sizeof(buf)));
+  return DecodeFixed32(buf);
+}
+
+Result<uint64_t> FileReader::ReadU64() {
+  char buf[8];
+  NDSS_RETURN_NOT_OK(ReadExact(buf, sizeof(buf)));
+  return DecodeFixed64(buf);
+}
+
+Status FileReader::Seek(uint64_t offset) {
+  if (file_ == nullptr) return Status::IOError("reader is closed: " + path_);
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError(ErrnoMessage("seek", path_));
+  }
+  position_ = offset;
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------- helpers
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::NotFound("file_size '" + path + "': " + ec.message());
+  return size;
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) return Status::IOError("remove '" + path + "': " + ec.message());
+  return Status::OK();
+}
+
+Status CreateDirectories(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("create_directories '" + path +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  NDSS_ASSIGN_OR_RETURN(FileReader reader, FileReader::Open(path));
+  std::string data;
+  data.resize(reader.size());
+  if (!data.empty()) {
+    NDSS_RETURN_NOT_OK(reader.ReadExact(data.data(), data.size()));
+  }
+  return data;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& data) {
+  NDSS_ASSIGN_OR_RETURN(FileWriter writer, FileWriter::Open(path));
+  NDSS_RETURN_NOT_OK(writer.Append(data));
+  return writer.Close();
+}
+
+}  // namespace ndss

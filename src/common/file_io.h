@@ -1,0 +1,148 @@
+#ifndef NDSS_COMMON_FILE_IO_H_
+#define NDSS_COMMON_FILE_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ndss {
+
+/// Sequential buffered writer over a file, used for index and corpus files.
+///
+/// All writes go through an in-memory buffer (default 1 MiB) and are flushed
+/// on demand or at Close(). Not thread-safe. Move-only.
+class FileWriter {
+ public:
+  /// Creates (truncates) `path` for writing.
+  static Result<FileWriter> Open(const std::string& path,
+                                 size_t buffer_size = 1 << 20);
+
+  /// Opens `path` for appending, creating it if absent. `bytes_written()`
+  /// counts only bytes appended through this writer.
+  static Result<FileWriter> OpenForAppend(const std::string& path,
+                                          size_t buffer_size = 1 << 20);
+
+  FileWriter(FileWriter&& other) noexcept;
+  FileWriter& operator=(FileWriter&& other) noexcept;
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+  ~FileWriter();
+
+  /// Appends `size` bytes from `data`.
+  Status Append(const void* data, size_t size);
+
+  /// Appends the bytes of `data`.
+  Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+
+  /// Appends a little-endian 32-bit integer.
+  Status AppendU32(uint32_t value);
+
+  /// Appends a little-endian 64-bit integer.
+  Status AppendU64(uint64_t value);
+
+  /// Total bytes appended so far (buffered or not).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Flushes the buffer to the OS.
+  Status Flush();
+
+  /// Flushes and closes the file. Idempotent. Must be called (and checked)
+  /// before destruction for durability; the destructor closes silently.
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  FileWriter(std::FILE* file, std::string path, size_t buffer_size);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string buffer_;
+  size_t buffer_capacity_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Sequential/positional buffered reader over a file.
+///
+/// Supports both streaming reads and absolute-offset reads (used by the query
+/// path to fetch one inverted list or one zone-map region). Not thread-safe.
+/// Move-only.
+class FileReader {
+ public:
+  /// Opens `path` for reading.
+  static Result<FileReader> Open(const std::string& path,
+                                 size_t buffer_size = 1 << 20);
+
+  FileReader(FileReader&& other) noexcept;
+  FileReader& operator=(FileReader&& other) noexcept;
+  FileReader(const FileReader&) = delete;
+  FileReader& operator=(const FileReader&) = delete;
+  ~FileReader();
+
+  /// Reads exactly `size` bytes into `out`; fails with IOError on short read.
+  Status ReadExact(void* out, size_t size);
+
+  /// Reads up to `size` bytes; returns the number of bytes read (0 at EOF).
+  Result<size_t> Read(void* out, size_t size);
+
+  /// Reads exactly `size` bytes at absolute offset `offset` without
+  /// disturbing the current stream position semantics for future ReadAt
+  /// calls (sequential Read* continue from offset+size).
+  Status ReadAt(uint64_t offset, void* out, size_t size);
+
+  /// Reads a little-endian 32-bit integer.
+  Result<uint32_t> ReadU32();
+
+  /// Reads a little-endian 64-bit integer.
+  Result<uint64_t> ReadU64();
+
+  /// Repositions the stream to absolute `offset`.
+  Status Seek(uint64_t offset);
+
+  /// File size in bytes.
+  uint64_t size() const { return file_size_; }
+
+  /// Current absolute stream position.
+  uint64_t position() const { return position_; }
+
+  /// Total bytes physically read from the file so far (an IO-cost counter
+  /// used by the experiments to split IO vs CPU time).
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  FileReader(std::FILE* file, std::string path, uint64_t file_size);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t file_size_ = 0;
+  uint64_t position_ = 0;
+  uint64_t bytes_read_ = 0;
+};
+
+/// Returns true if `path` exists.
+bool FileExists(const std::string& path);
+
+/// Returns the size of `path` in bytes, or NotFound.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// Deletes `path` if it exists; OK if it does not.
+Status RemoveFile(const std::string& path);
+
+/// Creates directory `path` (and parents); OK if it already exists.
+Status CreateDirectories(const std::string& path);
+
+/// Reads the whole of `path` into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `data` to `path`, replacing any existing contents.
+Status WriteStringToFile(const std::string& path, const std::string& data);
+
+}  // namespace ndss
+
+#endif  // NDSS_COMMON_FILE_IO_H_

@@ -1,0 +1,67 @@
+#ifndef NDSS_COMMON_LOGGING_H_
+#define NDSS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ndss {
+
+/// Severity of a log message. Messages below the global threshold are
+/// discarded; kFatal aborts the process after emitting.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the global minimum severity that is emitted. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: collects a message and emits it on destruction.
+/// Use through the NDSS_LOG macro rather than directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ndss
+
+/// Emits a log line at the given severity, e.g.
+///   NDSS_LOG(kInfo) << "built " << n << " windows";
+#define NDSS_LOG(severity)                                        \
+  ::ndss::internal::LogMessage(::ndss::LogLevel::severity, __FILE__, \
+                               __LINE__)
+
+/// Aborts with a message if `condition` is false. Active in all build types;
+/// use for invariants whose violation implies memory corruption or an
+/// unrecoverable programming error.
+#define NDSS_CHECK(condition)                                    \
+  if (!(condition))                                              \
+  ::ndss::internal::LogMessage(::ndss::LogLevel::kFatal, __FILE__, \
+                               __LINE__)                         \
+      << "Check failed: " #condition " "
+
+#endif  // NDSS_COMMON_LOGGING_H_

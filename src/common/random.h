@@ -1,0 +1,82 @@
+#ifndef NDSS_COMMON_RANDOM_H_
+#define NDSS_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace ndss {
+
+/// SplitMix64 mixing step. A high-quality 64-bit finalizer; used both to
+/// derive hash-function seeds and as the token hash itself.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** pseudo-random generator.
+///
+/// Deterministic given the seed; used everywhere randomness is needed so
+/// experiments are reproducible run-to-run. Satisfies the requirements of a
+/// C++ UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit state words from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x = SplitMix64(x);
+      word = x;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 random bits.
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t Uniform(uint64_t bound) {
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with success probability `p`.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_COMMON_RANDOM_H_

@@ -1,0 +1,89 @@
+#ifndef NDSS_COMMON_RESULT_H_
+#define NDSS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ndss {
+
+/// Result of a fallible operation that produces a value of type `T`.
+///
+/// Holds either an OK status and a value, or a non-OK status and no value.
+/// Mirrors `arrow::Result` / `absl::StatusOr`.
+///
+///   Result<Corpus> r = Corpus::Load(path);
+///   if (!r.ok()) return r.status();
+///   Corpus corpus = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT: implicit by design, mirrors StatusOr
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT: implicit by design, mirrors StatusOr
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  const Status& status() const { return status_; }
+
+  /// The held value. Must not be called when !ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `alternative` if this result failed.
+  T value_or(T alternative) const& {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ndss
+
+/// Assigns the value of a Result expression to `lhs`, propagating failure.
+/// `lhs` may include a declaration, e.g.
+///   NDSS_ASSIGN_OR_RETURN(auto corpus, Corpus::Load(path));
+#define NDSS_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  NDSS_ASSIGN_OR_RETURN_IMPL_(                            \
+      NDSS_RESULT_CONCAT_(_ndss_result_, __LINE__), lhs, rexpr)
+
+#define NDSS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define NDSS_RESULT_CONCAT_(a, b) NDSS_RESULT_CONCAT_IMPL_(a, b)
+#define NDSS_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // NDSS_COMMON_RESULT_H_

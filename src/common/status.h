@@ -1,0 +1,119 @@
+#ifndef NDSS_COMMON_STATUS_H_
+#define NDSS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ndss {
+
+/// Error category for a failed operation.
+///
+/// The set mirrors the categories used by storage engines (RocksDB, Arrow):
+/// a small closed enum that callers can branch on, plus a free-form message
+/// for humans.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIOError = 3,
+  kCorruption = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "IOError").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation that produces no value.
+///
+/// The library does not throw exceptions on its regular control paths; every
+/// fallible operation returns a `Status` (or a `Result<T>`, see result.h).
+/// A `Status` is cheap to copy when OK (no allocation) and carries a message
+/// only on failure.
+///
+/// Typical use:
+///
+///   Status s = writer.Append(data);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The failure message; empty when ok().
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace ndss
+
+/// Propagates a non-OK Status to the caller. Usable in functions returning
+/// Status. The expression is evaluated exactly once.
+#define NDSS_RETURN_NOT_OK(expr)                   \
+  do {                                             \
+    ::ndss::Status _ndss_status_ = (expr);         \
+    if (!_ndss_status_.ok()) return _ndss_status_; \
+  } while (0)
+
+#endif  // NDSS_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+#ifndef NDSS_COMMON_STOPWATCH_H_
+#define NDSS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ndss {
+
+/// Wall-clock stopwatch for timing experiment phases.
+///
+/// Starts on construction; `ElapsedSeconds()` can be read repeatedly and
+/// `Restart()` resets the origin. Resolution is that of steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_COMMON_STOPWATCH_H_

@@ -1,0 +1,57 @@
+#ifndef NDSS_COMMON_THREAD_POOL_H_
+#define NDSS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ndss {
+
+/// Fixed-size worker pool used by the parallel index builder.
+///
+/// Tasks are arbitrary callables; `WaitIdle()` blocks until every submitted
+/// task has finished, which is how the builder joins a batch of per-thread
+/// compact-window generation jobs before merging (Section 3.4 of the paper).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Waits for outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `fn(i)` for every i in [0, n) on up to `num_threads` threads and
+/// waits for completion. Work is distributed in contiguous chunks.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace ndss
+
+#endif  // NDSS_COMMON_THREAD_POOL_H_

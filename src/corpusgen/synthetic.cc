@@ -1,0 +1,186 @@
+#include "corpusgen/synthetic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "corpusgen/zipf.h"
+
+namespace ndss {
+
+SyntheticCorpus GenerateSyntheticCorpus(
+    const SyntheticCorpusOptions& options) {
+  NDSS_CHECK(options.num_texts > 0);
+  NDSS_CHECK(options.vocab_size > 0);
+  NDSS_CHECK(options.min_text_length >= 1 &&
+             options.min_text_length <= options.max_text_length);
+  NDSS_CHECK(options.min_plant_length <= options.max_plant_length);
+
+  Rng rng(options.seed);
+  const ZipfSampler zipf(options.vocab_size, options.zipf_exponent);
+
+  SyntheticCorpus result;
+  result.corpus.Reserve(
+      static_cast<size_t>(options.num_texts) *
+          (options.min_text_length + options.max_text_length) / 2,
+      options.num_texts);
+
+  std::vector<Token> text;
+  for (uint32_t id = 0; id < options.num_texts; ++id) {
+    const uint32_t length =
+        options.min_text_length +
+        static_cast<uint32_t>(rng.Uniform(
+            options.max_text_length - options.min_text_length + 1));
+    text.resize(length);
+    for (uint32_t i = 0; i < length; ++i) {
+      text[i] = static_cast<Token>(zipf.Sample(rng));
+    }
+    // Optionally plant a (possibly perturbed) copy of a span from an
+    // earlier text.
+    if (id > 0 && rng.NextBool(options.plant_rate)) {
+      const TextId source = static_cast<TextId>(rng.Uniform(id));
+      const std::span<const Token> source_text = result.corpus.text(source);
+      uint32_t plant_length = options.min_plant_length +
+                              static_cast<uint32_t>(rng.Uniform(
+                                  options.max_plant_length -
+                                  options.min_plant_length + 1));
+      plant_length = std::min<uint32_t>(
+          plant_length,
+          static_cast<uint32_t>(std::min<size_t>(source_text.size(), length)));
+      if (plant_length >= 2) {
+        const uint32_t source_begin = static_cast<uint32_t>(
+            rng.Uniform(source_text.size() - plant_length + 1));
+        const uint32_t target_begin =
+            static_cast<uint32_t>(rng.Uniform(length - plant_length + 1));
+        uint32_t perturbed = 0;
+        for (uint32_t i = 0; i < plant_length; ++i) {
+          if (rng.NextBool(options.plant_noise)) {
+            text[target_begin + i] = static_cast<Token>(zipf.Sample(rng));
+            ++perturbed;
+          } else {
+            text[target_begin + i] = source_text[source_begin + i];
+          }
+        }
+        result.plants.push_back(PlantedSpan{source, source_begin, id,
+                                            target_begin, plant_length,
+                                            perturbed});
+      }
+    }
+    result.corpus.AddText(text);
+  }
+  return result;
+}
+
+std::vector<Token> PerturbSequence(std::span<const Token> text,
+                                   uint32_t begin, uint32_t length,
+                                   double noise, uint32_t vocab_size,
+                                   Rng& rng) {
+  NDSS_CHECK(begin + length <= text.size());
+  std::vector<Token> query(text.begin() + begin,
+                           text.begin() + begin + length);
+  for (Token& token : query) {
+    if (rng.NextBool(noise)) {
+      token = static_cast<Token>(rng.Uniform(vocab_size));
+    }
+  }
+  return query;
+}
+
+DuplicationCorpus GenerateDuplicationCorpus(
+    const SyntheticCorpusOptions& base,
+    const std::vector<uint32_t>& duplication_factors,
+    uint32_t canaries_per_factor, uint32_t canary_length) {
+  NDSS_CHECK(canary_length >= 1);
+  NDSS_CHECK(base.min_text_length >= canary_length)
+      << "texts must be able to hold a canary";
+  uint64_t copies_needed = 0;
+  for (uint32_t factor : duplication_factors) {
+    copies_needed += static_cast<uint64_t>(factor) * canaries_per_factor;
+  }
+  NDSS_CHECK(copies_needed <= base.num_texts)
+      << "not enough texts to host every canary copy disjointly";
+
+  Rng rng(base.seed);
+  const ZipfSampler zipf(base.vocab_size, base.zipf_exponent);
+
+  // Base texts.
+  std::vector<std::vector<Token>> texts(base.num_texts);
+  for (auto& text : texts) {
+    const uint32_t length =
+        base.min_text_length +
+        static_cast<uint32_t>(rng.Uniform(base.max_text_length -
+                                          base.min_text_length + 1));
+    text.resize(length);
+    for (auto& token : text) token = static_cast<Token>(zipf.Sample(rng));
+  }
+
+  // Plant canaries into disjoint host texts (a shuffled id sequence).
+  std::vector<uint32_t> hosts(base.num_texts);
+  for (uint32_t i = 0; i < base.num_texts; ++i) hosts[i] = i;
+  for (uint32_t i = base.num_texts; i-- > 1;) {
+    std::swap(hosts[i], hosts[rng.Uniform(i + 1)]);
+  }
+  DuplicationCorpus result;
+  size_t next_host = 0;
+  for (uint32_t factor : duplication_factors) {
+    for (uint32_t c = 0; c < canaries_per_factor; ++c) {
+      Canary canary;
+      canary.duplication = factor;
+      canary.tokens.resize(canary_length);
+      for (auto& token : canary.tokens) {
+        token = static_cast<Token>(zipf.Sample(rng));
+      }
+      for (uint32_t copy = 0; copy < factor; ++copy) {
+        std::vector<Token>& host = texts[hosts[next_host++]];
+        const uint32_t begin = static_cast<uint32_t>(
+            rng.Uniform(host.size() - canary_length + 1));
+        std::copy(canary.tokens.begin(), canary.tokens.end(),
+                  host.begin() + begin);
+      }
+      result.canaries.push_back(std::move(canary));
+    }
+  }
+  for (const auto& text : texts) result.corpus.AddText(text);
+  return result;
+}
+
+namespace {
+
+/// Builds a deterministic pseudo-English word list: word lengths 2–10,
+/// letters weighted toward common English letter frequencies.
+std::vector<std::string> MakeWordList(uint32_t num_words, Rng& rng) {
+  static constexpr char kLetters[] = "etaoinshrdlcumwfgypbvkjxqz";
+  std::vector<std::string> words;
+  words.reserve(num_words);
+  ZipfSampler letter_dist(26, 1.0);
+  for (uint32_t w = 0; w < num_words; ++w) {
+    const uint32_t length = 2 + static_cast<uint32_t>(rng.Uniform(9));
+    std::string word;
+    word.reserve(length);
+    for (uint32_t i = 0; i < length; ++i) {
+      word.push_back(kLetters[letter_dist.Sample(rng)]);
+    }
+    words.push_back(std::move(word));
+  }
+  return words;
+}
+
+}  // namespace
+
+std::string GenerateSyntheticEnglish(uint32_t num_sentences, uint64_t seed) {
+  Rng rng(seed);
+  const uint32_t kVocabWords = 5000;
+  const std::vector<std::string> words = MakeWordList(kVocabWords, rng);
+  const ZipfSampler word_dist(kVocabWords, 1.05);
+  std::string text;
+  for (uint32_t s = 0; s < num_sentences; ++s) {
+    const uint32_t sentence_words = 4 + static_cast<uint32_t>(rng.Uniform(16));
+    for (uint32_t w = 0; w < sentence_words; ++w) {
+      if (w > 0) text.push_back(' ');
+      text += words[word_dist.Sample(rng)];
+    }
+    text += ". ";
+  }
+  return text;
+}
+
+}  // namespace ndss

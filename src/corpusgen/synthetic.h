@@ -1,0 +1,106 @@
+#ifndef NDSS_CORPUSGEN_SYNTHETIC_H_
+#define NDSS_CORPUSGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "text/corpus.h"
+#include "text/types.h"
+
+namespace ndss {
+
+/// Parameters of the synthetic tokenized corpus used by the experiments
+/// (the offline stand-in for OpenWebText / the Pile; see DESIGN.md §4).
+struct SyntheticCorpusOptions {
+  /// Number of texts.
+  uint32_t num_texts = 10000;
+
+  /// Text lengths are uniform in [min_text_length, max_text_length].
+  uint32_t min_text_length = 100;
+  uint32_t max_text_length = 1000;
+
+  /// Vocabulary size; tokens are drawn Zipf(s = zipf_exponent) so the token
+  /// frequency skew of natural language (and hence the long-list behaviour
+  /// the prefix filter targets) is reproduced.
+  uint32_t vocab_size = 32000;
+  double zipf_exponent = 1.0;
+
+  /// Fraction of texts that contain a span copied from an earlier text
+  /// ("near-duplicate planting"): web corpora are 30–45% near-duplicate.
+  double plant_rate = 0.2;
+
+  /// Planted span length is uniform in [min_plant_length, max_plant_length].
+  uint32_t min_plant_length = 50;
+  uint32_t max_plant_length = 200;
+
+  /// Fraction of tokens of a planted span that are re-randomized, turning
+  /// exact copies into near-duplicates.
+  double plant_noise = 0.05;
+
+  /// RNG seed; equal options produce byte-identical corpora.
+  uint64_t seed = 42;
+};
+
+/// Ground truth for one planted near-duplicate span.
+struct PlantedSpan {
+  TextId source_text;
+  uint32_t source_begin;  ///< first copied token position in the source
+  TextId target_text;
+  uint32_t target_begin;  ///< position of the copy in the target
+  uint32_t length;
+  uint32_t perturbed;  ///< how many tokens were re-randomized
+};
+
+/// A synthetic corpus plus the ground truth of its planted spans (used by
+/// recall experiments: every planted span is a known near-duplicate pair).
+struct SyntheticCorpus {
+  Corpus corpus;
+  std::vector<PlantedSpan> plants;
+};
+
+/// Generates a corpus per `options`.
+SyntheticCorpus GenerateSyntheticCorpus(const SyntheticCorpusOptions& options);
+
+/// Generates `num_sentences` of synthetic English-like raw text (Zipfian
+/// word choice over a generated word list) — input for BPE training and the
+/// vocabulary-size experiments of Figure 2.
+std::string GenerateSyntheticEnglish(uint32_t num_sentences, uint64_t seed);
+
+/// Takes a query sequence from a corpus text with optional perturbation:
+/// copies `length` tokens starting at `begin` of `text` and re-randomizes a
+/// `noise` fraction of them. Used to create queries with known answers.
+std::vector<Token> PerturbSequence(std::span<const Token> text,
+                                   uint32_t begin, uint32_t length,
+                                   double noise, uint32_t vocab_size,
+                                   Rng& rng);
+
+/// A canary sequence planted into a corpus a controlled number of times —
+/// the instrument for the duplication-vs-memorization experiment (prior
+/// work: the chance a model emits a training sequence grows super-linearly
+/// with its duplication count).
+struct Canary {
+  std::vector<Token> tokens;
+  uint32_t duplication;  ///< how many texts contain a copy
+};
+
+/// A corpus with canaries planted at known duplication counts.
+struct DuplicationCorpus {
+  Corpus corpus;
+  std::vector<Canary> canaries;
+};
+
+/// Generates a corpus per `base` (plant_rate is ignored) and plants
+/// `canaries_per_factor` canaries of `canary_length` tokens for every
+/// factor in `duplication_factors`: a canary with factor D is copied
+/// verbatim into D distinct texts at random positions.
+DuplicationCorpus GenerateDuplicationCorpus(
+    const SyntheticCorpusOptions& base,
+    const std::vector<uint32_t>& duplication_factors,
+    uint32_t canaries_per_factor, uint32_t canary_length);
+
+}  // namespace ndss
+
+#endif  // NDSS_CORPUSGEN_SYNTHETIC_H_

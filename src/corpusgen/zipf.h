@@ -1,0 +1,40 @@
+#ifndef NDSS_CORPUSGEN_ZIPF_H_
+#define NDSS_CORPUSGEN_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ndss {
+
+/// Samples item ranks from a Zipf distribution: P(rank = r) ∝ 1 / r^s for
+/// ranks 1..n (returned 0-based). Natural-language token frequencies follow
+/// Zipf's law (s ≈ 1), which is what makes a few inverted lists very long
+/// and motivates the paper's prefix filtering.
+///
+/// Implementation: exact inverse-CDF sampling over a precomputed table
+/// (O(n) memory, O(log n) per sample). Deterministic given the caller's Rng.
+class ZipfSampler {
+ public:
+  /// Distribution over `n >= 1` items with exponent `s >= 0` (s = 0 is
+  /// uniform).
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws one 0-based rank using `rng`.
+  uint64_t Sample(Rng& rng) const;
+
+  /// Probability of (0-based) rank `r`.
+  double Probability(uint64_t r) const;
+
+  uint64_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_CORPUSGEN_ZIPF_H_

@@ -1,0 +1,36 @@
+#include "eval/memorization_eval.h"
+
+namespace ndss {
+
+Result<MemorizationReport> EvaluateMemorization(
+    Searcher& searcher, const std::vector<std::vector<Token>>& texts,
+    const MemorizationEvalOptions& options) {
+  if (options.window_width == 0) {
+    return Status::InvalidArgument("window_width must be >= 1");
+  }
+  MemorizationReport report;
+  const uint32_t x = options.window_width;
+  // One query per non-overlapping window; processed as a batch so hot
+  // inverted lists are read once (see Searcher::SearchBatch).
+  std::vector<std::vector<Token>> queries;
+  for (const std::vector<Token>& text : texts) {
+    for (size_t begin = 0; begin + x <= text.size(); begin += x) {
+      queries.emplace_back(text.begin() + begin, text.begin() + begin + x);
+    }
+  }
+  NDSS_ASSIGN_OR_RETURN(std::vector<SearchResult> results,
+                        searcher.SearchBatch(queries, options.search));
+  report.windows = queries.size();
+  for (const SearchResult& result : results) {
+    if (!result.rectangles.empty()) ++report.memorized;
+    report.total_io_seconds += result.stats.io_seconds;
+    report.total_cpu_seconds += result.stats.cpu_seconds;
+    report.total_io_bytes += result.stats.io_bytes;
+  }
+  if (report.windows > 0) {
+    report.ratio = static_cast<double>(report.memorized) / report.windows;
+  }
+  return report;
+}
+
+}  // namespace ndss

@@ -1,0 +1,45 @@
+#ifndef NDSS_EVAL_MEMORIZATION_EVAL_H_
+#define NDSS_EVAL_MEMORIZATION_EVAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "query/searcher.h"
+#include "text/types.h"
+
+namespace ndss {
+
+/// Result of one memorization evaluation run (Section 5): the fraction of
+/// fixed-width query windows taken from generated texts that have at least
+/// one near-duplicate sequence in the training corpus.
+struct MemorizationReport {
+  uint64_t windows = 0;       ///< query sequences evaluated
+  uint64_t memorized = 0;     ///< windows with >= 1 near-duplicate
+  double ratio = 0.0;         ///< memorized / windows
+  double total_io_seconds = 0;
+  double total_cpu_seconds = 0;
+  uint64_t total_io_bytes = 0;
+};
+
+/// Evaluation parameters.
+struct MemorizationEvalOptions {
+  /// Sliding-window width x: each generated text contributes the query
+  /// sequences T[i·x, (i+1)·x - 1] (the paper evaluates x = 32, 64, 128).
+  uint32_t window_width = 32;
+
+  /// Near-duplicate search parameters for each window.
+  SearchOptions search;
+};
+
+/// Slides non-overlapping windows of `options.window_width` tokens over
+/// every generated text and reports the fraction with a near-duplicate in
+/// the indexed training corpus.
+Result<MemorizationReport> EvaluateMemorization(
+    Searcher& searcher, const std::vector<std::vector<Token>>& texts,
+    const MemorizationEvalOptions& options);
+
+}  // namespace ndss
+
+#endif  // NDSS_EVAL_MEMORIZATION_EVAL_H_

@@ -1,0 +1,87 @@
+#include "hash/hash_family.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace ndss {
+
+HashFamily::HashFamily(uint32_t k, uint64_t seed) : seed_(seed) {
+  NDSS_CHECK(k >= 1) << "hash family needs at least one function";
+  seeds_.reserve(k);
+  uint64_t x = seed;
+  for (uint32_t i = 0; i < k; ++i) {
+    x = SplitMix64(x + i);
+    seeds_.push_back(x);
+  }
+}
+
+MinHashSketch ComputeSketch(const HashFamily& family, const Token* tokens,
+                            size_t n) {
+  NDSS_CHECK(n >= 1) << "cannot sketch an empty sequence";
+  MinHashSketch sketch;
+  const uint32_t k = family.k();
+  sketch.argmin_tokens.resize(k);
+  sketch.min_hashes.resize(k);
+  for (uint32_t f = 0; f < k; ++f) {
+    uint64_t best_hash = family.Hash(f, tokens[0]);
+    Token best_token = tokens[0];
+    for (size_t i = 1; i < n; ++i) {
+      const uint64_t h = family.Hash(f, tokens[i]);
+      if (h < best_hash || (h == best_hash && tokens[i] < best_token)) {
+        best_hash = h;
+        best_token = tokens[i];
+      }
+    }
+    sketch.argmin_tokens[f] = best_token;
+    sketch.min_hashes[f] = best_hash;
+  }
+  return sketch;
+}
+
+double EstimateJaccard(const MinHashSketch& a, const MinHashSketch& b) {
+  NDSS_CHECK(a.min_hashes.size() == b.min_hashes.size())
+      << "sketches from different families";
+  if (a.min_hashes.empty()) return 0.0;
+  size_t collisions = 0;
+  for (size_t i = 0; i < a.min_hashes.size(); ++i) {
+    if (a.min_hashes[i] == b.min_hashes[i]) ++collisions;
+  }
+  return static_cast<double>(collisions) /
+         static_cast<double>(a.min_hashes.size());
+}
+
+double ExactDistinctJaccard(const Token* a, size_t na, const Token* b,
+                            size_t nb) {
+  if (na == 0 && nb == 0) return 1.0;
+  std::unordered_set<Token> set_a(a, a + na);
+  std::unordered_set<Token> set_b(b, b + nb);
+  size_t intersection = 0;
+  for (Token token : set_a) {
+    if (set_b.count(token) != 0) ++intersection;
+  }
+  const size_t union_size = set_a.size() + set_b.size() - intersection;
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+double ExactMultisetJaccard(const Token* a, size_t na, const Token* b,
+                            size_t nb) {
+  if (na == 0 && nb == 0) return 1.0;
+  std::unordered_map<Token, size_t> counts_a;
+  for (size_t i = 0; i < na; ++i) ++counts_a[a[i]];
+  std::unordered_map<Token, size_t> counts_b;
+  for (size_t i = 0; i < nb; ++i) ++counts_b[b[i]];
+  size_t intersection = 0;
+  for (const auto& [token, count] : counts_a) {
+    auto it = counts_b.find(token);
+    if (it != counts_b.end()) intersection += std::min(count, it->second);
+  }
+  const size_t union_size = na + nb - intersection;
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+}  // namespace ndss

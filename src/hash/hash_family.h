@@ -1,0 +1,80 @@
+#ifndef NDSS_HASH_HASH_FAMILY_H_
+#define NDSS_HASH_HASH_FAMILY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "text/types.h"
+
+namespace ndss {
+
+/// Family of `k` independent 64-bit token-hash functions.
+///
+/// Function `i` maps a token id to a 64-bit value by mixing the token with a
+/// per-function seed through SplitMix64. Each function behaves as a random
+/// permutation of the vocabulary for all practical purposes (64-bit outputs
+/// over vocabularies of at most a few million tokens make collisions between
+/// distinct tokens vanishingly unlikely), which is the property min-hash
+/// needs: the arg-min token of a sequence is a uniform sample of its distinct
+/// tokens.
+///
+/// The family is deterministic given (k, seed), so an index built offline and
+/// a query computed later agree on every hash value.
+class HashFamily {
+ public:
+  /// Creates `k` functions derived from `seed`. `k` must be >= 1.
+  HashFamily(uint32_t k, uint64_t seed);
+
+  /// Number of functions in the family.
+  uint32_t k() const { return static_cast<uint32_t>(seeds_.size()); }
+
+  /// The seed the family was constructed with.
+  uint64_t seed() const { return seed_; }
+
+  /// Hash of `token` under function `func`. `func` must be < k().
+  uint64_t Hash(uint32_t func, Token token) const {
+    return SplitMix64(seeds_[func] ^ (static_cast<uint64_t>(token) + 1));
+  }
+
+ private:
+  uint64_t seed_;
+  std::vector<uint64_t> seeds_;
+};
+
+/// The k-mins sketch of a sequence: for each hash function, the token of the
+/// sequence achieving the minimum hash value (ties broken toward the smaller
+/// token id, which is deterministic and consistent between index and query
+/// sides because equal hash values imply equal tokens w.h.p.).
+struct MinHashSketch {
+  /// argmin_tokens[i] is the arg-min token under hash function i.
+  std::vector<Token> argmin_tokens;
+
+  /// min_hashes[i] is the corresponding minimum hash value.
+  std::vector<uint64_t> min_hashes;
+};
+
+/// Computes the k-mins sketch of `tokens` (all k functions, one pass per
+/// function). `n` must be >= 1.
+MinHashSketch ComputeSketch(const HashFamily& family, const Token* tokens,
+                            size_t n);
+
+/// Estimated Jaccard similarity from two sketches of the same family:
+/// the fraction of functions on which the min-hash values collide.
+double EstimateJaccard(const MinHashSketch& a, const MinHashSketch& b);
+
+/// Exact distinct Jaccard similarity of two token sequences (the measure the
+/// sketch estimates): |distinct(a) ∩ distinct(b)| / |distinct(a) ∪
+/// distinct(b)|. Used by tests and the optional re-verification pass.
+double ExactDistinctJaccard(const Token* a, size_t na, const Token* b,
+                            size_t nb);
+
+/// Exact multi-set Jaccard similarity, where the i-th occurrence of a token
+/// only matches the i-th occurrence in the other sequence (Section 3.1).
+double ExactMultisetJaccard(const Token* a, size_t na, const Token* b,
+                            size_t nb);
+
+}  // namespace ndss
+
+#endif  // NDSS_HASH_HASH_FAMILY_H_

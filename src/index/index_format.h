@@ -1,0 +1,43 @@
+#ifndef NDSS_INDEX_INDEX_FORMAT_H_
+#define NDSS_INDEX_INDEX_FORMAT_H_
+
+#include <cstdint>
+
+namespace ndss {
+namespace index_format {
+
+/// Magic number opening and closing every inverted-index file.
+inline constexpr uint64_t kIndexMagic = 0x3158444e53534447ULL;
+
+/// Posting-list encoding.
+enum PostingFormat : uint32_t {
+  /// Fixed 16-byte PostedWindow records; zone entries are
+  /// (text, window index).
+  kFormatRaw = 0,
+  /// Delta + varint encoding with restart points every zone_step windows
+  /// (text absolute at restarts, delta otherwise; l, c-l, r-c varints);
+  /// zone entries are (text, byte offset within the list). Lists are
+  /// limited to 4 GiB of encoded bytes each.
+  kFormatCompressed = 1,
+};
+
+/// Size of the fixed file header in bytes:
+/// magic u64, func u32, zone_step u32, zone_threshold u32, format u32.
+inline constexpr uint64_t kHeaderSize = 24;
+
+/// Size of one serialized directory entry in bytes:
+/// key u32, pad u32, count u64, list_offset u64, list_bytes u64,
+/// zone_offset u64, zone_count u32, pad u32.
+inline constexpr uint64_t kDirectoryEntrySize = 48;
+
+/// Size of the footer in bytes:
+/// num_lists u64, num_windows u64, directory_offset u64, magic u64.
+inline constexpr uint64_t kFooterSize = 32;
+
+/// Size of one zone-map entry in bytes (text u32 + position u32).
+inline constexpr uint64_t kZoneEntrySize = 8;
+
+}  // namespace index_format
+}  // namespace ndss
+
+#endif  // NDSS_INDEX_INDEX_FORMAT_H_

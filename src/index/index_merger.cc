@@ -1,0 +1,107 @@
+#include "index/index_merger.h"
+
+#include <algorithm>
+
+#include "common/file_io.h"
+#include "common/stopwatch.h"
+#include "index/inverted_index_reader.h"
+#include "index/inverted_index_writer.h"
+
+namespace ndss {
+
+Result<IndexBuildStats> MergeIndexes(
+    const std::vector<std::string>& shard_dirs, const std::string& out_dir,
+    const IndexMergeOptions& options) {
+  if (shard_dirs.empty()) {
+    return Status::InvalidArgument("no shards to merge");
+  }
+  Stopwatch total;
+  // Load and validate shard metas; compute text-id offsets.
+  std::vector<IndexMeta> metas;
+  std::vector<TextId> offsets;
+  uint64_t num_texts = 0;
+  uint64_t total_tokens = 0;
+  for (const std::string& dir : shard_dirs) {
+    NDSS_ASSIGN_OR_RETURN(IndexMeta meta, IndexMeta::Load(dir));
+    if (!metas.empty() &&
+        (meta.k != metas[0].k || meta.seed != metas[0].seed ||
+         meta.t != metas[0].t)) {
+      return Status::InvalidArgument(
+          "shard " + dir + " was built with different (k, seed, t)");
+    }
+    offsets.push_back(static_cast<TextId>(num_texts));
+    num_texts += meta.num_texts;
+    total_tokens += meta.total_tokens;
+    metas.push_back(meta);
+  }
+  if (num_texts > 0xffffffffULL) {
+    return Status::InvalidArgument("merged corpus exceeds 2^32 texts");
+  }
+  NDSS_RETURN_NOT_OK(CreateDirectories(out_dir));
+
+  IndexBuildStats stats;
+  const uint32_t k = metas[0].k;
+  std::vector<PostedWindow> buffer;
+  for (uint32_t func = 0; func < k; ++func) {
+    // Open every shard's file for this function.
+    std::vector<InvertedIndexReader> readers;
+    readers.reserve(shard_dirs.size());
+    for (const std::string& dir : shard_dirs) {
+      NDSS_ASSIGN_OR_RETURN(
+          InvertedIndexReader reader,
+          InvertedIndexReader::Open(IndexMeta::InvertedIndexPath(dir, func)));
+      readers.push_back(std::move(reader));
+    }
+    NDSS_ASSIGN_OR_RETURN(
+        InvertedIndexWriter writer,
+        InvertedIndexWriter::Create(
+            IndexMeta::InvertedIndexPath(out_dir, func), func,
+            options.zone_step, options.zone_threshold,
+            options.posting_format));
+
+    // Union of keys across shards, in increasing key order. Each shard's
+    // directory is already sorted; a cursor per shard suffices.
+    std::vector<size_t> cursors(readers.size(), 0);
+    for (;;) {
+      Token next_key = kInvalidToken;
+      bool any = false;
+      for (size_t s = 0; s < readers.size(); ++s) {
+        const auto& directory = readers[s].directory();
+        if (cursors[s] < directory.size()) {
+          const Token key = directory[cursors[s]].key;
+          if (!any || key < next_key) next_key = key;
+          any = true;
+        }
+      }
+      if (!any) break;
+      NDSS_RETURN_NOT_OK(writer.BeginList(next_key));
+      for (size_t s = 0; s < readers.size(); ++s) {
+        const auto& directory = readers[s].directory();
+        if (cursors[s] >= directory.size() ||
+            directory[cursors[s]].key != next_key) {
+          continue;
+        }
+        buffer.clear();
+        NDSS_RETURN_NOT_OK(
+            readers[s].ReadList(directory[cursors[s]], &buffer));
+        for (PostedWindow& window : buffer) window.text += offsets[s];
+        NDSS_RETURN_NOT_OK(writer.AddWindows(buffer.data(), buffer.size()));
+        ++cursors[s];
+      }
+    }
+    NDSS_RETURN_NOT_OK(writer.Finish());
+    stats.num_windows += writer.num_windows();
+    stats.index_bytes += writer.bytes_written();
+  }
+
+  IndexMeta merged = metas[0];
+  merged.num_texts = num_texts;
+  merged.total_tokens = total_tokens;
+  merged.zone_step = options.zone_step;
+  merged.zone_threshold = options.zone_threshold;
+  NDSS_RETURN_NOT_OK(merged.Save(out_dir));
+  stats.total_seconds = total.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace ndss

@@ -1,0 +1,40 @@
+#ifndef NDSS_INDEX_INDEX_MERGER_H_
+#define NDSS_INDEX_INDEX_MERGER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "index/index_builder.h"
+
+namespace ndss {
+
+/// Options for merging shard indexes.
+struct IndexMergeOptions {
+  /// Zone-map parameters of the merged output.
+  uint32_t zone_step = 64;
+  uint32_t zone_threshold = 256;
+
+  /// Posting format of the merged output (inputs may differ).
+  index_format::PostingFormat posting_format = index_format::kFormatRaw;
+};
+
+/// Merges several shard indexes into one.
+///
+/// Shards must have been built with identical (k, seed, t) — the merge
+/// fails otherwise — over disjoint corpus shards whose texts are numbered
+/// locally from 0. Shard i's text ids are offset in the output by the total
+/// text count of shards 0..i-1, i.e. the merged index describes the
+/// concatenation of the shard corpora in the given order.
+///
+/// This enables distributed or incremental construction: index corpus
+/// partitions independently (possibly on different machines), then merge —
+/// one sequential pass over every shard's lists per hash function.
+Result<IndexBuildStats> MergeIndexes(
+    const std::vector<std::string>& shard_dirs, const std::string& out_dir,
+    const IndexMergeOptions& options = {});
+
+}  // namespace ndss
+
+#endif  // NDSS_INDEX_INDEX_MERGER_H_

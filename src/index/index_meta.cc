@@ -1,0 +1,48 @@
+#include "index/index_meta.h"
+
+#include "common/file_io.h"
+
+namespace ndss {
+
+namespace {
+constexpr uint64_t kMetaMagic = 0x314154454d58444eULL;  // "NDXMETA1"-ish
+}  // namespace
+
+Status IndexMeta::Save(const std::string& dir) const {
+  NDSS_ASSIGN_OR_RETURN(FileWriter writer,
+                        FileWriter::Open(dir + "/index.meta"));
+  NDSS_RETURN_NOT_OK(writer.AppendU64(kMetaMagic));
+  NDSS_RETURN_NOT_OK(writer.AppendU32(k));
+  NDSS_RETURN_NOT_OK(writer.AppendU64(seed));
+  NDSS_RETURN_NOT_OK(writer.AppendU32(t));
+  NDSS_RETURN_NOT_OK(writer.AppendU64(num_texts));
+  NDSS_RETURN_NOT_OK(writer.AppendU64(total_tokens));
+  NDSS_RETURN_NOT_OK(writer.AppendU32(zone_step));
+  NDSS_RETURN_NOT_OK(writer.AppendU32(zone_threshold));
+  return writer.Close();
+}
+
+Result<IndexMeta> IndexMeta::Load(const std::string& dir) {
+  NDSS_ASSIGN_OR_RETURN(FileReader reader,
+                        FileReader::Open(dir + "/index.meta"));
+  NDSS_ASSIGN_OR_RETURN(uint64_t magic, reader.ReadU64());
+  if (magic != kMetaMagic) {
+    return Status::Corruption("bad index meta magic in " + dir);
+  }
+  IndexMeta meta;
+  NDSS_ASSIGN_OR_RETURN(meta.k, reader.ReadU32());
+  NDSS_ASSIGN_OR_RETURN(meta.seed, reader.ReadU64());
+  NDSS_ASSIGN_OR_RETURN(meta.t, reader.ReadU32());
+  NDSS_ASSIGN_OR_RETURN(meta.num_texts, reader.ReadU64());
+  NDSS_ASSIGN_OR_RETURN(meta.total_tokens, reader.ReadU64());
+  NDSS_ASSIGN_OR_RETURN(meta.zone_step, reader.ReadU32());
+  NDSS_ASSIGN_OR_RETURN(meta.zone_threshold, reader.ReadU32());
+  return meta;
+}
+
+std::string IndexMeta::InvertedIndexPath(const std::string& dir,
+                                         uint32_t func) {
+  return dir + "/inverted." + std::to_string(func) + ".ndx";
+}
+
+}  // namespace ndss

@@ -1,0 +1,48 @@
+#ifndef NDSS_INDEX_INDEX_META_H_
+#define NDSS_INDEX_INDEX_META_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ndss {
+
+/// Parameters an index was built with; stored beside the k inverted-index
+/// files so queries agree with the build on hashing and thresholds.
+struct IndexMeta {
+  /// Number of hash functions (inverted-index files).
+  uint32_t k = 16;
+
+  /// Master seed of the hash family.
+  uint64_t seed = 0x5eed5eed5eed5eedULL;
+
+  /// Length threshold t: only sequences with >= t tokens are indexed.
+  uint32_t t = 25;
+
+  /// Number of texts in the indexed corpus.
+  uint64_t num_texts = 0;
+
+  /// Total tokens in the indexed corpus.
+  uint64_t total_tokens = 0;
+
+  /// Zone-map step: one zone entry every `zone_step` windows.
+  uint32_t zone_step = 64;
+
+  /// Lists with at least this many windows get a zone map.
+  uint32_t zone_threshold = 256;
+
+  /// Saves to `<dir>/index.meta`.
+  Status Save(const std::string& dir) const;
+
+  /// Loads from `<dir>/index.meta`.
+  static Result<IndexMeta> Load(const std::string& dir);
+
+  /// Path of the inverted-index file for hash function `func` under `dir`.
+  static std::string InvertedIndexPath(const std::string& dir, uint32_t func);
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_INDEX_INDEX_META_H_

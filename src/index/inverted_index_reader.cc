@@ -1,0 +1,237 @@
+#include "index/inverted_index_reader.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace ndss {
+
+namespace idx = index_format;
+
+InvertedIndexReader::InvertedIndexReader(FileReader reader, uint32_t func,
+                                         uint32_t zone_step,
+                                         idx::PostingFormat format)
+    : reader_(std::move(reader)),
+      func_(func),
+      zone_step_(zone_step),
+      format_(format) {}
+
+Result<InvertedIndexReader> InvertedIndexReader::Open(
+    const std::string& path) {
+  NDSS_ASSIGN_OR_RETURN(FileReader reader, FileReader::Open(path));
+  if (reader.size() < idx::kHeaderSize + idx::kFooterSize) {
+    return Status::Corruption("inverted index too small: " + path);
+  }
+  // Header.
+  NDSS_ASSIGN_OR_RETURN(uint64_t magic, reader.ReadU64());
+  if (magic != idx::kIndexMagic) {
+    return Status::Corruption("bad index header magic: " + path);
+  }
+  NDSS_ASSIGN_OR_RETURN(uint32_t func, reader.ReadU32());
+  NDSS_ASSIGN_OR_RETURN(uint32_t zone_step, reader.ReadU32());
+  NDSS_ASSIGN_OR_RETURN(uint32_t zone_threshold, reader.ReadU32());
+  (void)zone_threshold;
+  NDSS_ASSIGN_OR_RETURN(uint32_t format_raw, reader.ReadU32());
+  if (format_raw > idx::kFormatCompressed) {
+    return Status::Corruption("unknown posting format in " + path);
+  }
+  // Footer.
+  char footer[idx::kFooterSize];
+  NDSS_RETURN_NOT_OK(
+      reader.ReadAt(reader.size() - idx::kFooterSize, footer, sizeof(footer)));
+  const uint64_t num_lists = DecodeFixed64(footer);
+  const uint64_t num_windows = DecodeFixed64(footer + 8);
+  const uint64_t directory_offset = DecodeFixed64(footer + 16);
+  const uint64_t footer_magic = DecodeFixed64(footer + 24);
+  if (footer_magic != idx::kIndexMagic) {
+    return Status::Corruption("bad index footer magic: " + path);
+  }
+  if (directory_offset + num_lists * idx::kDirectoryEntrySize +
+          idx::kFooterSize !=
+      reader.size()) {
+    return Status::Corruption("index directory size mismatch: " + path);
+  }
+  InvertedIndexReader result(std::move(reader), func, zone_step,
+                             static_cast<idx::PostingFormat>(format_raw));
+  result.num_windows_ = num_windows;
+  // Directory.
+  std::vector<char> raw(num_lists * idx::kDirectoryEntrySize);
+  if (!raw.empty()) {
+    NDSS_RETURN_NOT_OK(
+        result.reader_.ReadAt(directory_offset, raw.data(), raw.size()));
+  }
+  result.directory_.resize(num_lists);
+  for (uint64_t i = 0; i < num_lists; ++i) {
+    const char* p = raw.data() + i * idx::kDirectoryEntrySize;
+    ListMeta& meta = result.directory_[i];
+    meta.key = DecodeFixed32(p);
+    meta.count = DecodeFixed64(p + 8);
+    meta.list_offset = DecodeFixed64(p + 16);
+    meta.list_bytes = DecodeFixed64(p + 24);
+    meta.zone_offset = DecodeFixed64(p + 32);
+    meta.zone_count = DecodeFixed32(p + 40);
+  }
+  return result;
+}
+
+const ListMeta* InvertedIndexReader::FindList(Token key) const {
+  auto it = std::lower_bound(
+      directory_.begin(), directory_.end(), key,
+      [](const ListMeta& meta, Token k) { return meta.key < k; });
+  if (it == directory_.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+Status InvertedIndexReader::DecodeRun(const char* p, const char* limit,
+                                      uint64_t max_windows,
+                                      std::vector<PostedWindow>* out) const {
+  TextId prev_text = 0;
+  for (uint64_t i = 0; i < max_windows && p < limit; ++i) {
+    uint32_t text_field, l, c_delta, r_delta;
+    p = GetVarint32(p, limit, &text_field);
+    if (p != nullptr) p = GetVarint32(p, limit, &l);
+    if (p != nullptr) p = GetVarint32(p, limit, &c_delta);
+    if (p != nullptr) p = GetVarint32(p, limit, &r_delta);
+    if (p == nullptr) {
+      return Status::Corruption("truncated varint in compressed list");
+    }
+    // Window 0 of the run is a restart point (absolute text).
+    const TextId text = i == 0 ? text_field : prev_text + text_field;
+    prev_text = text;
+    out->push_back(PostedWindow{text, l, l + c_delta, l + c_delta + r_delta});
+  }
+  return Status::OK();
+}
+
+Status InvertedIndexReader::ReadList(const ListMeta& meta,
+                                     std::vector<PostedWindow>* out) {
+  if (format_ == idx::kFormatRaw) {
+    if (meta.list_bytes != meta.count * sizeof(PostedWindow)) {
+      return Status::Corruption("raw list size mismatch");
+    }
+    const size_t old_size = out->size();
+    out->resize(old_size + meta.count);
+    return reader_.ReadAt(meta.list_offset, out->data() + old_size,
+                          meta.count * sizeof(PostedWindow));
+  }
+  // Compressed: read the encoded bytes and decode run by run (restart
+  // points every zone_step_ windows).
+  std::vector<char> buffer(meta.list_bytes);
+  if (!buffer.empty()) {
+    NDSS_RETURN_NOT_OK(
+        reader_.ReadAt(meta.list_offset, buffer.data(), buffer.size()));
+  }
+  const char* limit = buffer.data() + buffer.size();
+  // One sequential pass; the delta base resets every zone_step_ windows
+  // (restart points carry absolute text ids).
+  TextId prev_text = 0;
+  const char* q = buffer.data();
+  for (uint64_t i = 0; i < meta.count; ++i) {
+    uint32_t text_field, l, c_delta, r_delta;
+    q = GetVarint32(q, limit, &text_field);
+    if (q != nullptr) q = GetVarint32(q, limit, &l);
+    if (q != nullptr) q = GetVarint32(q, limit, &c_delta);
+    if (q != nullptr) q = GetVarint32(q, limit, &r_delta);
+    if (q == nullptr) {
+      return Status::Corruption("truncated varint in compressed list");
+    }
+    const TextId text =
+        i % zone_step_ == 0 ? text_field : prev_text + text_field;
+    prev_text = text;
+    out->push_back(PostedWindow{text, l, l + c_delta, l + c_delta + r_delta});
+  }
+  return Status::OK();
+}
+
+Status InvertedIndexReader::ReadWindowsForText(const ListMeta& meta,
+                                               TextId text,
+                                               std::vector<PostedWindow>* out) {
+  if (meta.zone_count == 0) {
+    // Short list: read fully and filter.
+    std::vector<PostedWindow> all;
+    all.reserve(meta.count);
+    NDSS_RETURN_NOT_OK(ReadList(meta, &all));
+    for (const PostedWindow& window : all) {
+      if (window.text == text) out->push_back(window);
+    }
+    return Status::OK();
+  }
+  // Zone map: locate the first segment that can contain `text`.
+  std::vector<char> zones(meta.zone_count * idx::kZoneEntrySize);
+  NDSS_RETURN_NOT_OK(
+      reader_.ReadAt(meta.zone_offset, zones.data(), zones.size()));
+  // Zone entries are (text, position) with non-decreasing text. Find the
+  // first entry with entry.text >= text and start one segment earlier:
+  // every window before that point has text strictly below the target.
+  uint32_t lo = 0;
+  uint32_t hi = meta.zone_count;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    const TextId entry_text =
+        DecodeFixed32(zones.data() + mid * idx::kZoneEntrySize);
+    if (entry_text >= text) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  uint32_t segment = lo == 0 ? 0 : lo - 1;
+
+  auto zone_position = [&zones](uint32_t index) {
+    return DecodeFixed32(zones.data() + index * idx::kZoneEntrySize + 4);
+  };
+
+  if (format_ == idx::kFormatRaw) {
+    uint64_t index = zone_position(segment);
+    std::vector<PostedWindow> buffer;
+    while (index < meta.count) {
+      const size_t batch = std::min<uint64_t>(zone_step_, meta.count - index);
+      buffer.resize(batch);
+      NDSS_RETURN_NOT_OK(
+          reader_.ReadAt(meta.list_offset + index * sizeof(PostedWindow),
+                         buffer.data(), batch * sizeof(PostedWindow)));
+      for (const PostedWindow& window : buffer) {
+        if (window.text == text) {
+          out->push_back(window);
+        } else if (window.text > text) {
+          return Status::OK();
+        }
+      }
+      index += batch;
+    }
+    return Status::OK();
+  }
+
+  // Compressed: each zone entry is a restart point's byte offset. Decode
+  // segment by segment until texts pass the target.
+  std::vector<char> buffer;
+  std::vector<PostedWindow> decoded;
+  for (; segment < meta.zone_count; ++segment) {
+    const uint64_t begin = zone_position(segment);
+    const uint64_t end = segment + 1 < meta.zone_count
+                             ? zone_position(segment + 1)
+                             : meta.list_bytes;
+    const uint64_t windows_in_segment =
+        std::min<uint64_t>(zone_step_,
+                           meta.count - static_cast<uint64_t>(segment) *
+                                            zone_step_);
+    buffer.resize(end - begin);
+    NDSS_RETURN_NOT_OK(
+        reader_.ReadAt(meta.list_offset + begin, buffer.data(),
+                       buffer.size()));
+    decoded.clear();
+    NDSS_RETURN_NOT_OK(DecodeRun(buffer.data(),
+                                 buffer.data() + buffer.size(),
+                                 windows_in_segment, &decoded));
+    for (const PostedWindow& window : decoded) {
+      if (window.text == text) {
+        out->push_back(window);
+      } else if (window.text > text) {
+        return Status::OK();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ndss

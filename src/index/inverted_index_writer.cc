@@ -1,0 +1,184 @@
+#include "index/inverted_index_writer.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace ndss {
+
+namespace idx = index_format;
+
+InvertedIndexWriter::InvertedIndexWriter(FileWriter writer, uint32_t zone_step,
+                                         uint32_t zone_threshold,
+                                         idx::PostingFormat format)
+    : writer_(std::move(writer)),
+      zone_step_(zone_step),
+      zone_threshold_(zone_threshold),
+      format_(format) {}
+
+Result<InvertedIndexWriter> InvertedIndexWriter::Create(
+    const std::string& path, uint32_t func, uint32_t zone_step,
+    uint32_t zone_threshold, idx::PostingFormat format) {
+  if (zone_step == 0) {
+    return Status::InvalidArgument("zone_step must be positive");
+  }
+  NDSS_ASSIGN_OR_RETURN(FileWriter writer, FileWriter::Open(path));
+  NDSS_RETURN_NOT_OK(writer.AppendU64(idx::kIndexMagic));
+  NDSS_RETURN_NOT_OK(writer.AppendU32(func));
+  NDSS_RETURN_NOT_OK(writer.AppendU32(zone_step));
+  NDSS_RETURN_NOT_OK(writer.AppendU32(zone_threshold));
+  NDSS_RETURN_NOT_OK(writer.AppendU32(static_cast<uint32_t>(format)));
+  return InvertedIndexWriter(std::move(writer), zone_step, zone_threshold,
+                             format);
+}
+
+Status InvertedIndexWriter::FlushCurrentList() {
+  if (!list_open_) return Status::OK();
+  DirectoryEntry entry;
+  entry.key = current_key_;
+  entry.count = current_count_;
+  entry.list_offset = current_offset_;
+  entry.list_bytes = writer_.bytes_written() - current_offset_;
+  if (format_ == idx::kFormatCompressed &&
+      entry.list_bytes > 0xffffffffULL) {
+    return Status::ResourceExhausted(
+        "compressed list exceeds 4 GiB; raise zone_step or use raw format");
+  }
+  if (current_count_ >= zone_threshold_) {
+    entry.zone_first = zone_entries_.size();
+    entry.zone_count = static_cast<uint32_t>(current_zones_.size());
+    zone_entries_.insert(zone_entries_.end(), current_zones_.begin(),
+                         current_zones_.end());
+  } else {
+    entry.zone_first = 0;
+    entry.zone_count = 0;
+  }
+  directory_.push_back(entry);
+  list_open_ = false;
+  current_zones_.clear();
+  return Status::OK();
+}
+
+Status InvertedIndexWriter::BeginList(Token key) {
+  if (finished_) return Status::Internal("writer already finished");
+  NDSS_RETURN_NOT_OK(FlushCurrentList());
+  list_open_ = true;
+  current_key_ = key;
+  current_count_ = 0;
+  current_offset_ = writer_.bytes_written();
+  prev_text_ = 0;
+  return Status::OK();
+}
+
+Status InvertedIndexWriter::AddWindow(const PostedWindow& window) {
+  return AddWindows(&window, 1);
+}
+
+Status InvertedIndexWriter::AddWindows(const PostedWindow* windows,
+                                       size_t count) {
+  if (!list_open_) return Status::Internal("no open list");
+  if (format_ == idx::kFormatRaw) {
+    for (size_t i = 0; i < count; ++i) {
+      if (current_count_ % zone_step_ == 0) {
+        current_zones_.push_back(
+            {windows[i].text, static_cast<uint32_t>(current_count_)});
+      }
+      ++current_count_;
+    }
+    NDSS_RETURN_NOT_OK(writer_.Append(windows, count * sizeof(PostedWindow)));
+  } else {
+    encode_buffer_.clear();
+    const uint64_t base = writer_.bytes_written() - current_offset_;
+    for (size_t i = 0; i < count; ++i) {
+      const PostedWindow& w = windows[i];
+      NDSS_CHECK(w.l <= w.c && w.c <= w.r) << "malformed window";
+      const bool restart = current_count_ % zone_step_ == 0;
+      if (restart) {
+        // Restart point: absolute text id; decoding can begin here.
+        current_zones_.push_back(
+            {w.text, static_cast<uint32_t>(base + encode_buffer_.size())});
+        PutVarint32(&encode_buffer_, w.text);
+      } else {
+        NDSS_CHECK(w.text >= prev_text_) << "list not sorted by text";
+        PutVarint32(&encode_buffer_, w.text - prev_text_);
+      }
+      PutVarint32(&encode_buffer_, w.l);
+      PutVarint32(&encode_buffer_, w.c - w.l);
+      PutVarint32(&encode_buffer_, w.r - w.c);
+      prev_text_ = w.text;
+      ++current_count_;
+    }
+    NDSS_RETURN_NOT_OK(writer_.Append(encode_buffer_));
+  }
+  num_windows_ += count;
+  return Status::OK();
+}
+
+Status InvertedIndexWriter::WriteSorted(const KeyedWindow* windows,
+                                        size_t count) {
+  size_t i = 0;
+  std::vector<PostedWindow> run;
+  while (i < count) {
+    const Token key = windows[i].key;
+    size_t j = i;
+    run.clear();
+    while (j < count && windows[j].key == key) {
+      run.push_back(windows[j].ToPosted());
+      ++j;
+    }
+    NDSS_RETURN_NOT_OK(BeginList(key));
+    NDSS_RETURN_NOT_OK(AddWindows(run.data(), run.size()));
+    i = j;
+  }
+  return Status::OK();
+}
+
+Status InvertedIndexWriter::Finish() {
+  if (finished_) return Status::OK();
+  NDSS_RETURN_NOT_OK(FlushCurrentList());
+  finished_ = true;
+  // Lists may be appended in any key order (the out-of-core builder emits
+  // hash partitions); the directory is sorted here so the reader can binary
+  // search. Keys must still be distinct across lists.
+  std::sort(directory_.begin(), directory_.end(),
+            [](const DirectoryEntry& a, const DirectoryEntry& b) {
+              return a.key < b.key;
+            });
+  for (size_t i = 1; i < directory_.size(); ++i) {
+    if (directory_[i].key == directory_[i - 1].key) {
+      return Status::InvalidArgument(
+          "duplicate inverted-list key " + std::to_string(directory_[i].key));
+    }
+  }
+  // Zone section.
+  const uint64_t zone_section_offset = writer_.bytes_written();
+  for (const auto& [text, position] : zone_entries_) {
+    NDSS_RETURN_NOT_OK(writer_.AppendU32(text));
+    NDSS_RETURN_NOT_OK(writer_.AppendU32(position));
+  }
+  // Directory.
+  const uint64_t directory_offset = writer_.bytes_written();
+  for (const DirectoryEntry& entry : directory_) {
+    NDSS_RETURN_NOT_OK(writer_.AppendU32(entry.key));
+    NDSS_RETURN_NOT_OK(writer_.AppendU32(0));  // pad
+    NDSS_RETURN_NOT_OK(writer_.AppendU64(entry.count));
+    NDSS_RETURN_NOT_OK(writer_.AppendU64(entry.list_offset));
+    NDSS_RETURN_NOT_OK(writer_.AppendU64(entry.list_bytes));
+    const uint64_t zone_offset =
+        entry.zone_count == 0
+            ? 0
+            : zone_section_offset + entry.zone_first * idx::kZoneEntrySize;
+    NDSS_RETURN_NOT_OK(writer_.AppendU64(zone_offset));
+    NDSS_RETURN_NOT_OK(writer_.AppendU32(entry.zone_count));
+    NDSS_RETURN_NOT_OK(writer_.AppendU32(0));  // pad
+  }
+  // Footer.
+  NDSS_RETURN_NOT_OK(writer_.AppendU64(directory_.size()));
+  NDSS_RETURN_NOT_OK(writer_.AppendU64(num_windows_));
+  NDSS_RETURN_NOT_OK(writer_.AppendU64(directory_offset));
+  NDSS_RETURN_NOT_OK(writer_.AppendU64(idx::kIndexMagic));
+  return writer_.Close();
+}
+
+}  // namespace ndss

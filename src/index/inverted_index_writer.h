@@ -1,0 +1,106 @@
+#ifndef NDSS_INDEX_INVERTED_INDEX_WRITER_H_
+#define NDSS_INDEX_INVERTED_INDEX_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/file_io.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "index/index_format.h"
+#include "index/posting.h"
+
+namespace ndss {
+
+/// Writes one inverted-index file (one hash function's index, Section 3.4).
+///
+/// File layout:
+///
+///   header    : magic u64, func u32, zone_step u32, zone_threshold u32,
+///               posting format u32
+///   lists     : posting lists back to back, each sorted by (text, l);
+///               raw (16-byte records) or delta+varint compressed with
+///               restart points every zone_step windows
+///   zones     : (text u32, position u32) pairs; lists with at least
+///               `zone_threshold` windows get one entry every `zone_step`
+///               windows (always including window 0) so a single text's
+///               windows can be located without reading the whole list.
+///               `position` is a window index (raw) or a byte offset into
+///               the list (compressed).
+///   directory : per list — key, count, list offset, list bytes, zone
+///               offset, zone count — sorted by key
+///   footer    : num_lists u64, num_windows u64, directory_offset u64,
+///               magic u64
+///
+/// Lists may be fed in any key order (the directory is sorted at Finish)
+/// but keys must be distinct, and windows within a list must be sorted by
+/// (text, l) — the builders guarantee this by sorting KeyedWindows first.
+class InvertedIndexWriter {
+ public:
+  static Result<InvertedIndexWriter> Create(
+      const std::string& path, uint32_t func, uint32_t zone_step,
+      uint32_t zone_threshold,
+      index_format::PostingFormat format = index_format::kFormatRaw);
+
+  InvertedIndexWriter(InvertedIndexWriter&&) noexcept = default;
+  InvertedIndexWriter& operator=(InvertedIndexWriter&&) noexcept = default;
+
+  /// Starts the list for `key`.
+  Status BeginList(Token key);
+
+  /// Appends one window to the open list. Windows must be sorted by
+  /// (text, l) within the list.
+  Status AddWindow(const PostedWindow& window);
+
+  /// Appends a whole sorted run to the open list.
+  Status AddWindows(const PostedWindow* windows, size_t count);
+
+  /// Convenience for builders: writes an entire sorted KeyedWindow array
+  /// (grouped by key) in one pass. The array must be sorted with
+  /// KeyedWindowLess.
+  Status WriteSorted(const KeyedWindow* windows, size_t count);
+
+  /// Closes the current list, writes zones/directory/footer, closes file.
+  Status Finish();
+
+  uint64_t num_windows() const { return num_windows_; }
+  uint64_t bytes_written() const { return writer_.bytes_written(); }
+  index_format::PostingFormat format() const { return format_; }
+
+ private:
+  struct DirectoryEntry {
+    Token key;
+    uint64_t count;
+    uint64_t list_offset;
+    uint64_t list_bytes;
+    uint64_t zone_first;  // index into zone_entries_ until Finish
+    uint32_t zone_count;
+  };
+
+  InvertedIndexWriter(FileWriter writer, uint32_t zone_step,
+                      uint32_t zone_threshold,
+                      index_format::PostingFormat format);
+
+  Status FlushCurrentList();
+
+  FileWriter writer_;
+  uint32_t zone_step_;
+  uint32_t zone_threshold_;
+  index_format::PostingFormat format_;
+  bool list_open_ = false;
+  Token current_key_ = 0;
+  uint64_t current_count_ = 0;
+  uint64_t current_offset_ = 0;
+  TextId prev_text_ = 0;        // delta base (compressed format)
+  std::string encode_buffer_;   // per-call encoding scratch (compressed)
+  std::vector<std::pair<TextId, uint32_t>> current_zones_;
+  std::vector<std::pair<TextId, uint32_t>> zone_entries_;
+  std::vector<DirectoryEntry> directory_;
+  uint64_t num_windows_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_INDEX_INVERTED_INDEX_WRITER_H_

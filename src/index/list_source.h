@@ -1,0 +1,52 @@
+#ifndef NDSS_INDEX_LIST_SOURCE_H_
+#define NDSS_INDEX_LIST_SOURCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "index/posting.h"
+
+namespace ndss {
+
+/// Directory metadata of one inverted list.
+struct ListMeta {
+  Token key = 0;
+  uint64_t count = 0;        ///< number of windows in the list
+  uint64_t list_offset = 0;  ///< absolute file offset of the list (on disk)
+  uint64_t list_bytes = 0;   ///< encoded size of the list in bytes
+  uint64_t zone_offset = 0;  ///< absolute offset of zone entries (0 = none)
+  uint32_t zone_count = 0;   ///< number of zone entries
+};
+
+/// Access interface to one hash function's inverted lists, implemented by
+/// the on-disk reader (InvertedIndexReader) and the embedded in-memory
+/// index (InMemoryInvertedIndex). The query processor (Searcher) only
+/// depends on this interface.
+class InvertedListSource {
+ public:
+  virtual ~InvertedListSource() = default;
+
+  /// Directory entry for `key`, or nullptr if the key has no list.
+  virtual const ListMeta* FindList(Token key) const = 0;
+
+  /// Appends an entire list to `out`.
+  virtual Status ReadList(const ListMeta& meta,
+                          std::vector<PostedWindow>* out) = 0;
+
+  /// Appends only the windows of `text` from the list to `out` (the
+  /// second-pass point lookup of prefix filtering).
+  virtual Status ReadWindowsForText(const ListMeta& meta, TextId text,
+                                    std::vector<PostedWindow>* out) = 0;
+
+  /// All directory entries, sorted by key.
+  virtual const std::vector<ListMeta>& directory() const = 0;
+
+  /// Cumulative bytes of posting data served (IO for the on-disk reader,
+  /// logical bytes for the in-memory index) — the experiments' IO metric.
+  virtual uint64_t bytes_read() const = 0;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_INDEX_LIST_SOURCE_H_

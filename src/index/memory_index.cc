@@ -1,0 +1,74 @@
+#include "index/memory_index.h"
+
+#include <algorithm>
+
+namespace ndss {
+
+InMemoryInvertedIndex::InMemoryInvertedIndex(const Corpus& corpus,
+                                             const HashFamily& family,
+                                             uint32_t func, uint32_t t,
+                                             WindowGenMethod method) {
+  WindowGenerator generator(method);
+  std::vector<CompactWindow> scratch;
+  std::vector<KeyedWindow> keyed;
+  for (size_t i = 0; i < corpus.num_texts(); ++i) {
+    const std::span<const Token> text = corpus.text(i);
+    scratch.clear();
+    generator.Generate(family, func, text, t, &scratch);
+    const TextId id = corpus.base_id() + static_cast<TextId>(i);
+    for (const CompactWindow& w : scratch) {
+      keyed.push_back(KeyedWindow{text[w.c], id, w.l, w.c, w.r});
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(), KeyedWindowLess);
+
+  windows_.reserve(keyed.size());
+  size_t i = 0;
+  while (i < keyed.size()) {
+    const Token key = keyed[i].key;
+    ListMeta meta;
+    meta.key = key;
+    meta.list_offset = windows_.size();
+    while (i < keyed.size() && keyed[i].key == key) {
+      windows_.push_back(keyed[i].ToPosted());
+      ++i;
+    }
+    meta.count = windows_.size() - meta.list_offset;
+    meta.list_bytes = meta.count * sizeof(PostedWindow);
+    directory_.push_back(meta);
+  }
+}
+
+const ListMeta* InMemoryInvertedIndex::FindList(Token key) const {
+  auto it = std::lower_bound(
+      directory_.begin(), directory_.end(), key,
+      [](const ListMeta& meta, Token k) { return meta.key < k; });
+  if (it == directory_.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+Status InMemoryInvertedIndex::ReadList(const ListMeta& meta,
+                                       std::vector<PostedWindow>* out) {
+  const PostedWindow* begin = windows_.data() + meta.list_offset;
+  out->insert(out->end(), begin, begin + meta.count);
+  bytes_served_ += meta.count * sizeof(PostedWindow);
+  return Status::OK();
+}
+
+Status InMemoryInvertedIndex::ReadWindowsForText(
+    const ListMeta& meta, TextId text, std::vector<PostedWindow>* out) {
+  const PostedWindow* begin = windows_.data() + meta.list_offset;
+  const PostedWindow* end = begin + meta.count;
+  // Lists are sorted by (text, l): binary search the text's run.
+  const PostedWindow* lo = std::lower_bound(
+      begin, end, text,
+      [](const PostedWindow& w, TextId t) { return w.text < t; });
+  const PostedWindow* hi = std::upper_bound(
+      lo, end, text,
+      [](TextId t, const PostedWindow& w) { return t < w.text; });
+  out->insert(out->end(), lo, hi);
+  bytes_served_ += static_cast<uint64_t>(hi - lo) * sizeof(PostedWindow);
+  return Status::OK();
+}
+
+}  // namespace ndss

@@ -1,0 +1,53 @@
+#ifndef NDSS_INDEX_MEMORY_INDEX_H_
+#define NDSS_INDEX_MEMORY_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash_family.h"
+#include "index/list_source.h"
+#include "index/posting.h"
+#include "text/corpus.h"
+#include "window/window_generator.h"
+
+namespace ndss {
+
+/// One hash function's inverted index held entirely in memory — the
+/// embedded counterpart of InvertedIndexWriter/Reader. Used when the corpus
+/// is small or ephemeral (text alignment between two documents, tests) and
+/// index files on disk would be overhead.
+///
+/// Lists are stored contiguously, sorted by (key, text, l); the directory
+/// carries offsets into the window array (list_offset doubles as the array
+/// index). Zone maps are unnecessary: per-text point lookups binary search
+/// the list directly.
+class InMemoryInvertedIndex : public InvertedListSource {
+ public:
+  /// Builds the index of hash function `func` over `corpus`: all valid
+  /// compact windows with length threshold `t`, grouped by min-hash key.
+  InMemoryInvertedIndex(const Corpus& corpus, const HashFamily& family,
+                        uint32_t func, uint32_t t,
+                        WindowGenMethod method = WindowGenMethod::kMonotonicStack);
+
+  const ListMeta* FindList(Token key) const override;
+  Status ReadList(const ListMeta& meta,
+                  std::vector<PostedWindow>* out) override;
+  Status ReadWindowsForText(const ListMeta& meta, TextId text,
+                            std::vector<PostedWindow>* out) override;
+  const std::vector<ListMeta>& directory() const override {
+    return directory_;
+  }
+  uint64_t bytes_read() const override { return bytes_served_; }
+
+  /// Total windows in the index.
+  uint64_t num_windows() const { return windows_.size(); }
+
+ private:
+  std::vector<PostedWindow> windows_;  // all lists, contiguous
+  std::vector<ListMeta> directory_;    // list_offset = index into windows_
+  uint64_t bytes_served_ = 0;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_INDEX_MEMORY_INDEX_H_

@@ -1,0 +1,78 @@
+#include "lm/memorizing_generator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ndss {
+
+std::vector<SimulatedModel> DefaultSimulatedModels() {
+  // Copy-start probabilities set so the measured memorization ratios order
+  // like Figure 4: gpt-neo-2.7b-sim > gpt-neo-1.3b-sim, and the GPT-2
+  // small model slightly above the medium one (the paper's anomaly).
+  return {
+      {"gpt2-small-sim", {0.0060, 40, 120, 0.97}},
+      {"gpt2-medium-sim", {0.0045, 40, 120, 0.97}},
+      {"gpt-neo-1.3b-sim", {0.0080, 40, 120, 0.97}},
+      {"gpt-neo-2.7b-sim", {0.0130, 40, 120, 0.97}},
+  };
+}
+
+MemorizingGenerator::MemorizingGenerator(const NGramModel& model,
+                                         const Corpus& corpus,
+                                         MemorizationProfile profile,
+                                         uint64_t seed)
+    : model_(model), corpus_(corpus), profile_(profile), rng_(seed) {
+  NDSS_CHECK(corpus_.num_texts() > 0) << "training corpus is empty";
+  NDSS_CHECK(profile_.min_copy_length >= 1 &&
+             profile_.min_copy_length <= profile_.max_copy_length);
+}
+
+GeneratedTexts MemorizingGenerator::Generate(
+    uint32_t num_texts, uint32_t text_length,
+    const SamplingOptions& sampling) {
+  GeneratedTexts result;
+  result.texts.reserve(num_texts);
+  for (uint32_t index = 0; index < num_texts; ++index) {
+    std::vector<Token> text;
+    text.reserve(text_length);
+    while (text.size() < text_length) {
+      if (rng_.NextBool(profile_.copy_start_prob)) {
+        // Begin a memorized span: pick a training text and span.
+        const TextId source =
+            static_cast<TextId>(rng_.Uniform(corpus_.num_texts()));
+        const std::span<const Token> source_text = corpus_.text(source);
+        uint32_t length =
+            profile_.min_copy_length +
+            static_cast<uint32_t>(rng_.Uniform(profile_.max_copy_length -
+                                               profile_.min_copy_length + 1));
+        length = std::min<uint32_t>(
+            length, static_cast<uint32_t>(text_length - text.size()));
+        length = std::min<uint32_t>(
+            length, static_cast<uint32_t>(source_text.size()));
+        if (length < 2) continue;
+        const uint32_t source_begin = static_cast<uint32_t>(
+            rng_.Uniform(source_text.size() - length + 1));
+        const uint32_t target_begin = static_cast<uint32_t>(text.size());
+        uint32_t corrupted = 0;
+        for (uint32_t i = 0; i < length; ++i) {
+          if (rng_.NextBool(1.0 - profile_.fidelity)) {
+            // Corrupt: substitute a model-sampled token.
+            text.push_back(model_.SampleNext(text, sampling, rng_));
+            ++corrupted;
+          } else {
+            text.push_back(source_text[source_begin + i]);
+          }
+        }
+        result.copies.push_back(CopiedSpan{index, target_begin, source,
+                                           source_begin, length, corrupted});
+      } else {
+        text.push_back(model_.SampleNext(text, sampling, rng_));
+      }
+    }
+    result.texts.push_back(std::move(text));
+  }
+  return result;
+}
+
+}  // namespace ndss

@@ -1,0 +1,171 @@
+#include "lm/ngram_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ndss {
+
+NGramModel::NGramModel(uint32_t order) : order_(order) {
+  NDSS_CHECK(order_ >= 1) << "n-gram order must be >= 1";
+  context_maps_.resize(order_);  // index 0 unused (unigrams_)
+}
+
+uint64_t NGramModel::ContextKey(std::span<const Token> context) {
+  uint64_t key = 0xcbf29ce484222325ULL;
+  for (Token token : context) {
+    key = SplitMix64(key ^ token);
+  }
+  return key;
+}
+
+void NGramModel::Train(const Corpus& corpus) {
+  for (size_t i = 0; i < corpus.num_texts(); ++i) {
+    TrainText(corpus.text(i));
+  }
+}
+
+void NGramModel::TrainText(std::span<const Token> text) {
+  const size_t n = text.size();
+  total_tokens_ += n;
+  for (size_t i = 0; i < n; ++i) {
+    ++unigrams_[text[i]];
+    for (uint32_t len = 1; len < order_ && len <= i; ++len) {
+      const std::span<const Token> context = text.subspan(i - len, len);
+      ++context_maps_[len][ContextKey(context)][text[i]];
+    }
+  }
+}
+
+Token NGramModel::SampleFrom(const NextCounts& counts,
+                             const SamplingOptions& options, Rng& rng) const {
+  NDSS_CHECK(!counts.empty());
+  // Materialize and sort by count descending (ties by token id for
+  // determinism) so greedy / top-k / top-p all reduce to a prefix.
+  std::vector<std::pair<Token, uint32_t>> items(counts.begin(), counts.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (options.greedy) return items[0].first;
+  size_t limit = items.size();
+  if (options.top_k > 0) limit = std::min<size_t>(limit, options.top_k);
+  if (options.top_p > 0.0) {
+    uint64_t total = 0;
+    for (const auto& [token, count] : items) total += count;
+    uint64_t cumulative = 0;
+    size_t p_limit = 0;
+    while (p_limit < items.size() &&
+           static_cast<double>(cumulative) < options.top_p * total) {
+      cumulative += items[p_limit].second;
+      ++p_limit;
+    }
+    limit = std::min(limit, std::max<size_t>(1, p_limit));
+  }
+  uint64_t total = 0;
+  for (size_t i = 0; i < limit; ++i) total += items[i].second;
+  uint64_t draw = rng.Uniform(total);
+  for (size_t i = 0; i < limit; ++i) {
+    if (draw < items[i].second) return items[i].first;
+    draw -= items[i].second;
+  }
+  return items[limit - 1].first;
+}
+
+Token NGramModel::SampleNext(std::span<const Token> context,
+                             const SamplingOptions& options, Rng& rng) const {
+  // Back off from the longest usable context to unigrams.
+  const uint32_t max_len = std::min<uint32_t>(
+      order_ - 1, static_cast<uint32_t>(context.size()));
+  for (uint32_t len = max_len; len >= 1; --len) {
+    const std::span<const Token> suffix =
+        context.subspan(context.size() - len, len);
+    auto it = context_maps_[len].find(ContextKey(suffix));
+    if (it != context_maps_[len].end() && !it->second.empty()) {
+      return SampleFrom(it->second, options, rng);
+    }
+  }
+  NDSS_CHECK(!unigrams_.empty()) << "model was not trained";
+  return SampleFrom(unigrams_, options, rng);
+}
+
+std::vector<Token> NGramModel::Generate(uint32_t length,
+                                        const SamplingOptions& options,
+                                        Rng& rng) const {
+  std::vector<Token> text;
+  text.reserve(length);
+  for (uint32_t i = 0; i < length; ++i) {
+    text.push_back(SampleNext(text, options, rng));
+  }
+  return text;
+}
+
+std::vector<std::pair<Token, double>> NGramModel::TopCandidates(
+    std::span<const Token> context, size_t n) const {
+  const NextCounts* counts = &unigrams_;
+  const uint32_t max_len = std::min<uint32_t>(
+      order_ - 1, static_cast<uint32_t>(context.size()));
+  for (uint32_t len = max_len; len >= 1; --len) {
+    const std::span<const Token> suffix =
+        context.subspan(context.size() - len, len);
+    auto it = context_maps_[len].find(ContextKey(suffix));
+    if (it != context_maps_[len].end() && !it->second.empty()) {
+      counts = &it->second;
+      break;
+    }
+  }
+  NDSS_CHECK(!counts->empty()) << "model was not trained";
+  std::vector<std::pair<Token, uint32_t>> items(counts->begin(),
+                                                counts->end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  uint64_t total = 0;
+  for (const auto& [token, count] : *counts) total += count;
+  std::vector<std::pair<Token, double>> candidates;
+  candidates.reserve(std::min(n, items.size()));
+  for (size_t i = 0; i < items.size() && i < n; ++i) {
+    candidates.push_back(
+        {items[i].first, static_cast<double>(items[i].second) / total});
+  }
+  return candidates;
+}
+
+std::vector<Token> NGramModel::GenerateBeam(uint32_t length,
+                                            uint32_t beam_width) const {
+  NDSS_CHECK(beam_width >= 1);
+  struct Beam {
+    std::vector<Token> tokens;
+    double log_prob = 0.0;
+  };
+  std::vector<Beam> beams(1);
+  std::vector<Beam> expanded;
+  for (uint32_t step = 0; step < length; ++step) {
+    expanded.clear();
+    for (const Beam& beam : beams) {
+      // Expanding with the top beam_width candidates per beam suffices:
+      // a lower candidate could never enter the kept set ahead of one of
+      // these from the same parent.
+      for (const auto& [token, prob] :
+           TopCandidates(beam.tokens, beam_width)) {
+        Beam next = beam;
+        next.tokens.push_back(token);
+        next.log_prob += std::log(prob);
+        expanded.push_back(std::move(next));
+      }
+    }
+    const size_t keep = std::min<size_t>(beam_width, expanded.size());
+    std::partial_sort(expanded.begin(), expanded.begin() + keep,
+                      expanded.end(), [](const Beam& a, const Beam& b) {
+                        return a.log_prob > b.log_prob;
+                      });
+    expanded.resize(keep);
+    beams.swap(expanded);
+  }
+  return std::move(beams.front().tokens);
+}
+
+}  // namespace ndss

@@ -1,0 +1,94 @@
+#ifndef NDSS_LM_NGRAM_MODEL_H_
+#define NDSS_LM_NGRAM_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "text/corpus.h"
+#include "text/types.h"
+
+namespace ndss {
+
+/// Token-sampling strategy (Section 2 of the paper: random sampling, greedy,
+/// top-k, top-p).
+struct SamplingOptions {
+  /// 0 = sample from the full distribution; otherwise restrict to the k
+  /// most probable next tokens (the paper's experiments use top-50).
+  uint32_t top_k = 50;
+
+  /// 0 = off; otherwise restrict to the smallest set of most probable
+  /// tokens whose cumulative probability reaches top_p.
+  double top_p = 0.0;
+
+  /// Greedy decoding: always take the most probable next token.
+  bool greedy = false;
+};
+
+/// Backoff n-gram language model over token sequences.
+///
+/// Stand-in for the GPT-2/GPT-Neo text generators of Section 5 (see
+/// DESIGN.md §4): the memorization evaluation needs a generator whose output
+/// is distributed like the training corpus; an order-`order` model with
+/// backoff to shorter contexts provides exactly that at CPU scale.
+class NGramModel {
+ public:
+  /// Model conditioning on up to `order - 1` previous tokens; order >= 1.
+  explicit NGramModel(uint32_t order = 3);
+
+  /// Accumulates counts from every text of `corpus`.
+  void Train(const Corpus& corpus);
+
+  /// Accumulates counts from one token sequence.
+  void TrainText(std::span<const Token> text);
+
+  /// Samples the next token given `context` (the most recent tokens; only
+  /// the last order-1 are used), backing off to shorter contexts (and
+  /// finally the unigram distribution) when a context was never seen.
+  Token SampleNext(std::span<const Token> context,
+                   const SamplingOptions& options, Rng& rng) const;
+
+  /// Generates `length` tokens starting from an empty context (unprompted
+  /// generation, as in the paper's memorization study).
+  std::vector<Token> Generate(uint32_t length, const SamplingOptions& options,
+                              Rng& rng) const;
+
+  /// The `n` most probable next tokens for `context` with their backoff
+  /// probabilities (sorted descending; ties by token id).
+  std::vector<std::pair<Token, double>> TopCandidates(
+      std::span<const Token> context, size_t n) const;
+
+  /// Deterministic beam-search generation (the remaining strategy from the
+  /// paper's Section 2): keeps the `beam_width` highest-log-probability
+  /// prefixes, expanding each with its top candidates, and returns the best
+  /// final sequence. Prefers globally probable sequences over greedy's
+  /// locally probable tokens.
+  std::vector<Token> GenerateBeam(uint32_t length, uint32_t beam_width) const;
+
+  uint32_t order() const { return order_; }
+  uint64_t total_tokens_trained() const { return total_tokens_; }
+
+ private:
+  /// Sparse distribution: next-token counts for one context.
+  using NextCounts = std::unordered_map<Token, uint32_t>;
+
+  /// Hash of a context (token window); contexts of different lengths live
+  /// in different maps so no length tagging is needed.
+  static uint64_t ContextKey(std::span<const Token> context);
+
+  Token SampleFrom(const NextCounts& counts, const SamplingOptions& options,
+                   Rng& rng) const;
+
+  uint32_t order_;
+  /// context_maps_[len] holds contexts of exactly `len` tokens,
+  /// len in [1, order-1]. Unigram counts live in unigrams_.
+  std::vector<std::unordered_map<uint64_t, NextCounts>> context_maps_;
+  NextCounts unigrams_;
+  uint64_t total_tokens_ = 0;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_LM_NGRAM_MODEL_H_

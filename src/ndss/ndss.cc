@@ -1,0 +1,27 @@
+#include "ndss/ndss.h"
+
+namespace ndss {
+
+Result<IndexBuildStats> NearDuplicateIndex::Build(
+    const Corpus& corpus, const std::string& dir,
+    const IndexBuildOptions& options) {
+  return BuildIndexInMemory(corpus, dir, options);
+}
+
+Result<IndexBuildStats> NearDuplicateIndex::BuildFromFile(
+    const std::string& corpus_path, const std::string& dir,
+    const IndexBuildOptions& options) {
+  return BuildIndexExternal(corpus_path, dir, options);
+}
+
+Result<NearDuplicateIndex> NearDuplicateIndex::Open(const std::string& dir) {
+  NDSS_ASSIGN_OR_RETURN(Searcher searcher, Searcher::Open(dir));
+  return NearDuplicateIndex(std::move(searcher));
+}
+
+Result<SearchResult> NearDuplicateIndex::Search(std::span<const Token> query,
+                                                const SearchOptions& options) {
+  return searcher_.Search(query, options);
+}
+
+}  // namespace ndss

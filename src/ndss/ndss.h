@@ -1,0 +1,78 @@
+#ifndef NDSS_NDSS_NDSS_H_
+#define NDSS_NDSS_NDSS_H_
+
+/// \file
+/// Umbrella header and top-level facade of the NDSS library — near-duplicate
+/// sequence search at scale (Peng, Wang & Deng, SIGMOD 2023).
+///
+/// Quickstart:
+///
+///   #include "ndss/ndss.h"
+///
+///   ndss::Corpus corpus = ...;                     // tokenized texts
+///   ndss::IndexBuildOptions build;
+///   build.k = 32;                                  // min-hash functions
+///   build.t = 25;                                  // min sequence length
+///   auto stats = ndss::NearDuplicateIndex::Build(corpus, "/tmp/idx", build);
+///
+///   auto index = ndss::NearDuplicateIndex::Open("/tmp/idx");
+///   ndss::SearchOptions search;
+///   search.theta = 0.8;                            // Jaccard threshold
+///   auto result = index->Search(query_tokens, search);
+///   for (const ndss::MatchSpan& span : result->spans) { ... }
+
+#include <span>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "index/index_builder.h"
+#include "index/index_meta.h"
+#include "query/searcher.h"
+#include "text/corpus.h"
+#include "text/corpus_file.h"
+#include "text/types.h"
+
+namespace ndss {
+
+/// High-level handle over a built index: hides the builder/searcher split.
+class NearDuplicateIndex {
+ public:
+  /// Builds an index for an in-memory corpus into `dir`.
+  static Result<IndexBuildStats> Build(const Corpus& corpus,
+                                       const std::string& dir,
+                                       const IndexBuildOptions& options = {});
+
+  /// Builds an index for an on-disk corpus (possibly larger than memory)
+  /// into `dir` using the out-of-core hash-aggregation path.
+  static Result<IndexBuildStats> BuildFromFile(
+      const std::string& corpus_path, const std::string& dir,
+      const IndexBuildOptions& options = {});
+
+  /// Opens a previously built index.
+  static Result<NearDuplicateIndex> Open(const std::string& dir);
+
+  NearDuplicateIndex(NearDuplicateIndex&&) noexcept = default;
+  NearDuplicateIndex& operator=(NearDuplicateIndex&&) noexcept = default;
+
+  /// Finds all sequences in the indexed corpus whose estimated Jaccard
+  /// similarity with `query` is at least `options.theta`.
+  Result<SearchResult> Search(std::span<const Token> query,
+                              const SearchOptions& options = {});
+
+  /// Build-time parameters.
+  const IndexMeta& meta() const { return searcher_.meta(); }
+
+  /// Direct access to the underlying searcher (percentile helpers etc.).
+  Searcher& searcher() { return searcher_; }
+
+ private:
+  explicit NearDuplicateIndex(Searcher searcher)
+      : searcher_(std::move(searcher)) {}
+
+  Searcher searcher_;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_NDSS_NDSS_H_

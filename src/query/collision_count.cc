@@ -1,0 +1,38 @@
+#include "query/collision_count.h"
+
+#include "query/interval_scan.h"
+
+namespace ndss {
+
+void CollisionCount(std::span<const PostedWindow> windows, uint32_t alpha,
+                    std::vector<MatchRectangle>* out) {
+  if (alpha == 0) alpha = 1;
+  if (windows.size() < alpha) return;
+
+  // Left intervals [l, c]; interval id = index into `windows`.
+  std::vector<Interval> left;
+  left.reserve(windows.size());
+  for (uint32_t i = 0; i < windows.size(); ++i) {
+    left.push_back({windows[i].l, windows[i].c, i});
+  }
+  std::vector<IntervalGroup> left_groups;
+  IntervalScan(left, alpha, &left_groups);
+
+  std::vector<Interval> right;
+  std::vector<IntervalGroup> right_groups;
+  for (const IntervalGroup& group : left_groups) {
+    right.clear();
+    for (uint32_t id : group.members) {
+      right.push_back({windows[id].c, windows[id].r, id});
+    }
+    right_groups.clear();
+    IntervalScan(right, alpha, &right_groups);
+    for (const IntervalGroup& rg : right_groups) {
+      out->push_back(MatchRectangle{
+          group.overlap_begin, group.overlap_end, rg.overlap_begin,
+          rg.overlap_end, static_cast<uint32_t>(rg.members.size())});
+    }
+  }
+}
+
+}  // namespace ndss

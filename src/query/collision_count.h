@@ -1,0 +1,37 @@
+#ifndef NDSS_QUERY_COLLISION_COUNT_H_
+#define NDSS_QUERY_COLLISION_COUNT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/posting.h"
+
+namespace ndss {
+
+/// A rectangle of matching sequences within one text: every sequence
+/// T[i, j] with i in [x_begin, x_end] and j in [y_begin, y_end] lies in
+/// exactly `collisions` compact windows of the group, i.e. shares
+/// `collisions` min-hash values with the query. Rectangles produced for one
+/// group are pairwise disjoint in (i, j) space.
+struct MatchRectangle {
+  uint32_t x_begin;
+  uint32_t x_end;
+  uint32_t y_begin;
+  uint32_t y_end;
+  uint32_t collisions;
+};
+
+/// Algorithm 4 (CollisionCount): given all compact windows of one text that
+/// collide with the query (from up to k inverted lists) and the collision
+/// threshold `alpha` = ⌈kθ⌉ (or the reduced first-pass threshold under
+/// prefix filtering), finds every rectangle of sequences contained in at
+/// least `alpha` windows. Splits each window (l, c, r) into a left interval
+/// [l, c] and right interval [c, r] and runs IntervalScan on each side.
+/// O(m^2 log m) for a group of m windows.
+void CollisionCount(std::span<const PostedWindow> windows, uint32_t alpha,
+                    std::vector<MatchRectangle>* out);
+
+}  // namespace ndss
+
+#endif  // NDSS_QUERY_COLLISION_COUNT_H_

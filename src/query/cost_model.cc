@@ -1,0 +1,53 @@
+#include "query/cost_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ndss {
+
+std::vector<bool> SelectDeferredLists(const std::vector<uint64_t>& list_counts,
+                                      uint32_t beta, double bytes_per_window,
+                                      const CostModelParams& params) {
+  const size_t k = list_counts.size();
+  std::vector<bool> deferred(k, false);
+  if (beta <= 1) return deferred;  // every list must stay in pass 1
+
+  // Candidate lists to defer, longest first.
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return list_counts[a] > list_counts[b];
+  });
+
+  uint32_t num_deferred = 0;
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    if (num_deferred + 1 > beta - 1) break;
+    const uint64_t count = list_counts[order[pos]];
+    if (count == 0) break;  // remaining lists are empty
+    // Scanning this list costs IO for its bytes plus CPU for its windows.
+    const double scan_cost =
+        count * bytes_per_window * params.io_seconds_per_byte +
+        count * params.cpu_seconds_per_window;
+    // Deferring it costs one probe per candidate text per deferred list.
+    // Pigeonhole bound on candidates: a text surviving pass 1 needs
+    // >= beta1 collisions among the scanned lists, so it must hit at least
+    // one scanned list outside the beta1 - 1 largest — candidates are
+    // bounded by the windows in the scanned lists excluding those largest.
+    const uint32_t beta1 = beta - (num_deferred + 1);
+    uint64_t est_candidates = 0;
+    // order[pos + 1 ...] are the scanned lists, still sorted descending;
+    // skip the first beta1 - 1 of them.
+    for (size_t rest = pos + 1 + (beta1 > 0 ? beta1 - 1 : 0);
+         rest < order.size(); ++rest) {
+      est_candidates += list_counts[order[rest]];
+    }
+    const double defer_cost =
+        static_cast<double>(est_candidates) * params.probe_seconds;
+    if (scan_cost <= defer_cost) break;  // shorter lists are cheaper still
+    deferred[order[pos]] = true;
+    ++num_deferred;
+  }
+  return deferred;
+}
+
+}  // namespace ndss

@@ -1,0 +1,44 @@
+#ifndef NDSS_QUERY_COST_MODEL_H_
+#define NDSS_QUERY_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ndss {
+
+/// Calibration constants for the prefix-selection cost model. Defaults are
+/// rough figures for a SATA-class disk and one modern core; the ablation
+/// benchmark shows the selection is insensitive to small calibration error
+/// because list lengths are Zipf-skewed (the longest lists dominate).
+struct CostModelParams {
+  /// Sequential-read cost per posting byte.
+  double io_seconds_per_byte = 1.0e-9;
+
+  /// CPU cost per window fed through grouping + CollisionCount.
+  double cpu_seconds_per_window = 2.0e-8;
+
+  /// Cost of one zone-map point lookup for one candidate text in one
+  /// deferred list (seek + zone read + one segment decode).
+  double probe_seconds = 5.0e-6;
+};
+
+/// Chooses which of the query's k inverted lists to defer to the second
+/// pass (the paper's prefix filtering, Section 3.5, with the cutoff chosen
+/// by a cost model in the spirit of the works it cites instead of a fixed
+/// length threshold).
+///
+/// `list_counts[i]` is the window count of the i-th list (0 for an absent
+/// key — those are never deferred). `bytes_per_window` converts counts to
+/// IO bytes. At most `beta - 1` lists may be deferred (the first-pass
+/// threshold must stay >= 1). Candidate count is bounded by
+/// (windows scanned) / first-pass-threshold, which the model uses to price
+/// second-pass probes.
+///
+/// Returns a parallel vector: true = defer this list.
+std::vector<bool> SelectDeferredLists(const std::vector<uint64_t>& list_counts,
+                                      uint32_t beta, double bytes_per_window,
+                                      const CostModelParams& params);
+
+}  // namespace ndss
+
+#endif  // NDSS_QUERY_COST_MODEL_H_

@@ -1,0 +1,62 @@
+#include "query/interval_scan.h"
+
+#include <algorithm>
+
+namespace ndss {
+
+void IntervalScan(std::span<const Interval> intervals, uint32_t alpha,
+                  std::vector<IntervalGroup>* out) {
+  if (alpha == 0) alpha = 1;
+  if (intervals.size() < alpha) return;
+
+  // Endpoint (coordinate, is_start, interval id). An interval [x, y]
+  // contributes a start at x and an end at y + 1 (it no longer covers y+1).
+  struct Endpoint {
+    uint32_t coord;
+    bool is_start;
+    uint32_t id;
+  };
+  std::vector<Endpoint> endpoints;
+  endpoints.reserve(intervals.size() * 2);
+  for (const Interval& interval : intervals) {
+    endpoints.push_back({interval.begin, true, interval.id});
+    endpoints.push_back({interval.end + 1, false, interval.id});
+  }
+  std::sort(endpoints.begin(), endpoints.end(),
+            [](const Endpoint& a, const Endpoint& b) {
+              return a.coord < b.coord;
+            });
+
+  // Sweep: at each distinct coordinate apply all starts/ends, then the
+  // active set is constant on [coord, next_coord - 1].
+  std::vector<uint32_t> active;
+  active.reserve(intervals.size());
+  size_t i = 0;
+  while (i < endpoints.size()) {
+    const uint32_t coord = endpoints[i].coord;
+    while (i < endpoints.size() && endpoints[i].coord == coord) {
+      const Endpoint& endpoint = endpoints[i];
+      if (endpoint.is_start) {
+        active.push_back(endpoint.id);
+      } else {
+        // Remove one occurrence of the id (swap-erase keeps O(1)).
+        auto it = std::find(active.begin(), active.end(), endpoint.id);
+        if (it != active.end()) {
+          *it = active.back();
+          active.pop_back();
+        }
+      }
+      ++i;
+    }
+    if (i == endpoints.size()) break;  // past the last interval end
+    if (active.size() >= alpha) {
+      IntervalGroup group;
+      group.members = active;
+      group.overlap_begin = coord;
+      group.overlap_end = endpoints[i].coord - 1;
+      out->push_back(std::move(group));
+    }
+  }
+}
+
+}  // namespace ndss

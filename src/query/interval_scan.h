@@ -1,0 +1,39 @@
+#ifndef NDSS_QUERY_INTERVAL_SCAN_H_
+#define NDSS_QUERY_INTERVAL_SCAN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ndss {
+
+/// A closed integer interval [begin, end] tagged with the index of the
+/// compact window it came from.
+struct Interval {
+  uint32_t begin;
+  uint32_t end;
+  uint32_t id;
+};
+
+/// One maximal group found by IntervalScan: the ids of all input intervals
+/// that contain every point of [overlap_begin, overlap_end], where that
+/// range is an elementary segment of the endpoint subdivision (so the
+/// containing set is constant across it).
+struct IntervalGroup {
+  std::vector<uint32_t> members;
+  uint32_t overlap_begin;
+  uint32_t overlap_end;
+};
+
+/// Algorithm 5 (IntervalScan): sweeps the endpoints of `intervals` in order
+/// and reports, for every elementary segment covered by at least `alpha`
+/// intervals, the set of covering intervals together with the segment.
+/// Each qualifying (subset, segment) pair is reported exactly once, and the
+/// reported segments are pairwise disjoint (Lemma 1). O(m log m) for the
+/// sort plus O(m) per reported group.
+void IntervalScan(std::span<const Interval> intervals, uint32_t alpha,
+                  std::vector<IntervalGroup>* out);
+
+}  // namespace ndss
+
+#endif  // NDSS_QUERY_INTERVAL_SCAN_H_

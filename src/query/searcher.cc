@@ -1,0 +1,332 @@
+#include "query/searcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "index/inverted_index_reader.h"
+#include "index/memory_index.h"
+
+namespace ndss {
+
+Searcher::Searcher(IndexMeta meta, HashFamily family,
+                   std::vector<std::unique_ptr<InvertedListSource>> sources)
+    : meta_(meta), family_(std::move(family)), sources_(std::move(sources)) {}
+
+Result<Searcher> Searcher::Open(const std::string& dir) {
+  NDSS_ASSIGN_OR_RETURN(IndexMeta meta, IndexMeta::Load(dir));
+  std::vector<std::unique_ptr<InvertedListSource>> sources;
+  sources.reserve(meta.k);
+  for (uint32_t func = 0; func < meta.k; ++func) {
+    NDSS_ASSIGN_OR_RETURN(
+        InvertedIndexReader reader,
+        InvertedIndexReader::Open(IndexMeta::InvertedIndexPath(dir, func)));
+    if (reader.func() != func) {
+      return Status::Corruption("inverted index func id mismatch in " + dir);
+    }
+    sources.push_back(
+        std::make_unique<InvertedIndexReader>(std::move(reader)));
+  }
+  return Searcher(meta, HashFamily(meta.k, meta.seed), std::move(sources));
+}
+
+Result<Searcher> Searcher::InMemory(const Corpus& corpus,
+                                    const IndexBuildOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (options.t == 0) return Status::InvalidArgument("t must be >= 1");
+  const HashFamily family(options.k, options.seed);
+  std::vector<std::unique_ptr<InvertedListSource>> sources;
+  sources.reserve(options.k);
+  for (uint32_t func = 0; func < options.k; ++func) {
+    sources.push_back(std::make_unique<InMemoryInvertedIndex>(
+        corpus, family, func, options.t, options.window_method));
+  }
+  IndexMeta meta;
+  meta.k = options.k;
+  meta.seed = options.seed;
+  meta.t = options.t;
+  meta.num_texts = corpus.num_texts();
+  meta.total_tokens = corpus.total_tokens();
+  return Searcher(meta, family, std::move(sources));
+}
+
+uint64_t Searcher::ListCountPercentile(double fraction) const {
+  std::vector<uint64_t> counts;
+  for (const auto& source : sources_) {
+    for (const ListMeta& meta : source->directory()) {
+      counts.push_back(meta.count);
+    }
+  }
+  if (counts.empty()) return 0;
+  std::sort(counts.begin(), counts.end(), std::greater<uint64_t>());
+  const size_t num_long = static_cast<size_t>(
+      std::floor(fraction * static_cast<double>(counts.size())));
+  if (num_long == 0) return counts[0];  // nothing classified long
+  if (num_long >= counts.size()) return 0;
+  return counts[num_long];  // lists strictly longer than this are "long"
+}
+
+namespace {
+
+/// Collision totals can never reach beta for a text whose group is smaller,
+/// so groups below the threshold are skipped without running Algorithm 4.
+struct TextGroup {
+  TextId text;
+  std::vector<PostedWindow> windows;
+};
+
+void GroupByText(std::vector<PostedWindow>& windows,
+                 std::vector<TextGroup>* groups, uint32_t min_size) {
+  std::sort(windows.begin(), windows.end(),
+            [](const PostedWindow& a, const PostedWindow& b) {
+              if (a.text != b.text) return a.text < b.text;
+              return a.l < b.l;
+            });
+  size_t i = 0;
+  while (i < windows.size()) {
+    size_t j = i;
+    while (j < windows.size() && windows[j].text == windows[i].text) ++j;
+    if (j - i >= min_size) {
+      TextGroup group;
+      group.text = windows[i].text;
+      group.windows.assign(windows.begin() + i, windows.begin() + j);
+      groups->push_back(std::move(group));
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+std::vector<MatchSpan> MergeRectangles(
+    std::vector<TextMatchRectangle> rectangles, uint32_t t, uint32_t k) {
+  std::vector<MatchSpan> spans;
+  // Raw spans: a rectangle contains a sequence of length >= t iff its
+  // longest sequence [x_begin, y_end] is long enough; the union of its
+  // sequences covers exactly [x_begin, y_end].
+  std::vector<MatchSpan> raw;
+  raw.reserve(rectangles.size());
+  for (const TextMatchRectangle& tr : rectangles) {
+    const MatchRectangle& r = tr.rect;
+    if (r.y_end < r.x_begin || r.y_end - r.x_begin + 1 < t) continue;
+    raw.push_back(MatchSpan{tr.text, r.x_begin, r.y_end, r.collisions,
+                            static_cast<double>(r.collisions) / k});
+  }
+  std::sort(raw.begin(), raw.end(), [](const MatchSpan& a, const MatchSpan& b) {
+    if (a.text != b.text) return a.text < b.text;
+    return a.begin < b.begin;
+  });
+  for (const MatchSpan& span : raw) {
+    if (!spans.empty() && spans.back().text == span.text &&
+        span.begin <= spans.back().end + 1) {
+      spans.back().end = std::max(spans.back().end, span.end);
+      if (span.collisions > spans.back().collisions) {
+        spans.back().collisions = span.collisions;
+        spans.back().estimated_similarity = span.estimated_similarity;
+      }
+    } else {
+      spans.push_back(span);
+    }
+  }
+  return spans;
+}
+
+/// Per-batch cache of fully read pass-1 lists, keyed by (func, min-hash
+/// key). Bounded by a byte budget; lists beyond it are read directly.
+struct Searcher::ListCache {
+  std::unordered_map<uint64_t, std::vector<PostedWindow>> lists;
+  uint64_t bytes = 0;
+  uint64_t budget = 0;
+
+  static uint64_t Key(uint32_t func, Token token) {
+    return (static_cast<uint64_t>(func) << 32) | token;
+  }
+};
+
+Result<SearchResult> Searcher::Search(std::span<const Token> query,
+                                      const SearchOptions& options) {
+  return SearchInternal(query, options, nullptr);
+}
+
+Result<std::vector<SearchResult>> Searcher::SearchBatch(
+    const std::vector<std::vector<Token>>& queries,
+    const SearchOptions& options, uint64_t cache_budget_bytes) {
+  ListCache cache;
+  cache.budget = cache_budget_bytes;
+  std::vector<SearchResult> results;
+  results.reserve(queries.size());
+  for (const auto& query : queries) {
+    NDSS_ASSIGN_OR_RETURN(SearchResult result,
+                          SearchInternal(query, options, &cache));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+Result<SearchResult> Searcher::SearchInternal(std::span<const Token> query,
+                                              const SearchOptions& options,
+                                              ListCache* cache) {
+  if (query.empty()) {
+    return Status::InvalidArgument("query sequence is empty");
+  }
+  if (options.theta <= 0.0 || options.theta > 1.0) {
+    return Status::InvalidArgument("theta must be in (0, 1]");
+  }
+  const uint32_t k = meta_.k;
+  const uint32_t beta = std::min<uint32_t>(
+      k, static_cast<uint32_t>(std::ceil(options.theta * k)));
+
+  SearchResult result;
+  const uint64_t io_bytes_before = [&] {
+    uint64_t total = 0;
+    for (const auto& source : sources_) total += source->bytes_read();
+    return total;
+  }();
+
+  Stopwatch cpu;
+  const MinHashSketch sketch =
+      ComputeSketch(family_, query.data(), query.size());
+  result.stats.cpu_seconds += cpu.ElapsedSeconds();
+
+  // Classify the k lists. Absent keys contribute nothing and count as
+  // scanned-short (they cost no IO). Under prefix filtering at most
+  // beta - 1 lists may be skipped, or the first-pass threshold would drop
+  // to zero; if more exceed the length threshold, the shortest of them are
+  // demoted to the scan set.
+  struct ListRef {
+    uint32_t func;
+    const ListMeta* meta;
+  };
+  std::vector<ListRef> short_lists;
+  std::vector<ListRef> long_lists;
+  std::vector<const ListMeta*> metas(k, nullptr);
+  for (uint32_t func = 0; func < k; ++func) {
+    metas[func] = sources_[func]->FindList(sketch.argmin_tokens[func]);
+    if (metas[func] == nullptr) ++result.stats.empty_lists;
+  }
+  if (options.use_prefix_filter && options.use_cost_model) {
+    // Cost-model selection of the deferred lists.
+    std::vector<uint64_t> counts(k, 0);
+    for (uint32_t func = 0; func < k; ++func) {
+      if (metas[func] != nullptr) counts[func] = metas[func]->count;
+    }
+    const std::vector<bool> deferred = SelectDeferredLists(
+        counts, beta, static_cast<double>(sizeof(PostedWindow)),
+        options.cost_model);
+    for (uint32_t func = 0; func < k; ++func) {
+      if (metas[func] == nullptr) continue;
+      if (deferred[func]) {
+        long_lists.push_back({func, metas[func]});
+      } else {
+        short_lists.push_back({func, metas[func]});
+      }
+    }
+  } else {
+    for (uint32_t func = 0; func < k; ++func) {
+      if (metas[func] == nullptr) continue;
+      if (options.use_prefix_filter &&
+          metas[func]->count > options.long_list_threshold) {
+        long_lists.push_back({func, metas[func]});
+      } else {
+        short_lists.push_back({func, metas[func]});
+      }
+    }
+  }
+  if (long_lists.size() > beta - 1) {
+    std::sort(long_lists.begin(), long_lists.end(),
+              [](const ListRef& a, const ListRef& b) {
+                return a.meta->count < b.meta->count;
+              });
+    while (long_lists.size() > beta - 1) {
+      short_lists.push_back(long_lists.front());
+      long_lists.erase(long_lists.begin());
+    }
+  }
+  result.stats.short_lists = static_cast<uint32_t>(short_lists.size());
+  result.stats.long_lists = static_cast<uint32_t>(long_lists.size());
+  const uint32_t beta1 = beta - static_cast<uint32_t>(long_lists.size());
+
+  // Pass 1: scan the short lists fully, through the batch cache if one is
+  // active (each distinct list is read from disk at most once per batch).
+  Stopwatch io;
+  std::vector<PostedWindow> windows;
+  for (const ListRef& ref : short_lists) {
+    if (cache != nullptr) {
+      const uint64_t key = ListCache::Key(ref.func, ref.meta->key);
+      auto it = cache->lists.find(key);
+      if (it != cache->lists.end()) {
+        windows.insert(windows.end(), it->second.begin(), it->second.end());
+        ++result.stats.cache_hits;
+        continue;
+      }
+      const uint64_t list_bytes = ref.meta->count * sizeof(PostedWindow);
+      if (cache->bytes + list_bytes <= cache->budget) {
+        std::vector<PostedWindow> list;
+        list.reserve(ref.meta->count);
+        NDSS_RETURN_NOT_OK(sources_[ref.func]->ReadList(*ref.meta, &list));
+        windows.insert(windows.end(), list.begin(), list.end());
+        cache->bytes += list_bytes;
+        cache->lists.emplace(key, std::move(list));
+        continue;
+      }
+    }
+    NDSS_RETURN_NOT_OK(sources_[ref.func]->ReadList(*ref.meta, &windows));
+  }
+  result.stats.io_seconds += io.ElapsedSeconds();
+  result.stats.windows_scanned += windows.size();
+
+  cpu.Restart();
+  std::vector<TextGroup> groups;
+  GroupByText(windows, &groups, beta1);
+  std::vector<MatchRectangle> rects;
+  std::vector<TextGroup> candidates;
+  for (TextGroup& group : groups) {
+    rects.clear();
+    CollisionCount(group.windows, beta1, &rects);
+    if (rects.empty()) continue;
+    if (long_lists.empty()) {
+      // No second pass: these rectangles are final.
+      for (const MatchRectangle& r : rects) {
+        result.rectangles.push_back({group.text, r});
+      }
+    } else {
+      candidates.push_back(std::move(group));
+    }
+  }
+  result.stats.cpu_seconds += cpu.ElapsedSeconds();
+
+  // Pass 2: candidates probe the long lists through zone maps, then rerun
+  // CollisionCount with the full threshold beta.
+  result.stats.candidate_texts = candidates.size();
+  for (TextGroup& group : candidates) {
+    io.Restart();
+    for (const ListRef& ref : long_lists) {
+      NDSS_RETURN_NOT_OK(sources_[ref.func]->ReadWindowsForText(
+          *ref.meta, group.text, &group.windows));
+    }
+    result.stats.io_seconds += io.ElapsedSeconds();
+    cpu.Restart();
+    result.stats.windows_scanned += group.windows.size();
+    rects.clear();
+    CollisionCount(group.windows, beta, &rects);
+    for (const MatchRectangle& r : rects) {
+      result.rectangles.push_back({group.text, r});
+    }
+    result.stats.cpu_seconds += cpu.ElapsedSeconds();
+  }
+
+  // Length clamp + merged disjoint spans (the paper's Remark).
+  cpu.Restart();
+  if (options.merge_matches) {
+    result.spans = MergeRectangles(result.rectangles, meta_.t, k);
+  }
+  result.stats.cpu_seconds += cpu.ElapsedSeconds();
+
+  uint64_t io_bytes_after = 0;
+  for (const auto& source : sources_) io_bytes_after += source->bytes_read();
+  result.stats.io_bytes = io_bytes_after - io_bytes_before;
+  return result;
+}
+
+}  // namespace ndss

@@ -1,0 +1,161 @@
+#ifndef NDSS_QUERY_SEARCHER_H_
+#define NDSS_QUERY_SEARCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "hash/hash_family.h"
+#include "index/index_builder.h"
+#include "index/index_meta.h"
+#include "index/list_source.h"
+#include "query/collision_count.h"
+#include "query/cost_model.h"
+#include "text/corpus.h"
+#include "text/types.h"
+
+namespace ndss {
+
+/// Options for one near-duplicate search.
+struct SearchOptions {
+  /// Jaccard similarity threshold θ; a sequence qualifies when it shares at
+  /// least ⌈kθ⌉ of the k min-hash values with the query (Definition 2).
+  double theta = 0.8;
+
+  /// Enables prefix filtering: some inverted lists are not scanned in pass
+  /// 1; candidate texts probe them through zone maps instead (Section 3.5).
+  bool use_prefix_filter = true;
+
+  /// Lists with more than this many windows are "long". Use
+  /// Searcher::ListCountPercentile to derive a value from the corpus's token
+  /// frequency distribution (the paper's 5%–20% prefix-length experiments).
+  uint64_t long_list_threshold = 4096;
+
+  /// When prefix filtering is on, pick the deferred lists with the IO/CPU
+  /// cost model (SelectDeferredLists) instead of the fixed
+  /// `long_list_threshold`.
+  bool use_cost_model = false;
+
+  /// Calibration for the cost model (ignored unless use_cost_model).
+  CostModelParams cost_model;
+
+  /// Merge overlapping result sequences into disjoint spans per text (the
+  /// paper's Remark in Section 3.5).
+  bool merge_matches = true;
+};
+
+/// A rectangle of matching sequences in a specific text (see
+/// MatchRectangle).
+struct TextMatchRectangle {
+  TextId text;
+  MatchRectangle rect;
+};
+
+/// A merged, disjoint match span: tokens [begin, end] of `text` contain at
+/// least one sequence sharing >= ⌈kθ⌉ min-hashes with the query.
+struct MatchSpan {
+  TextId text;
+  uint32_t begin;
+  uint32_t end;
+  /// Highest collision count among the rectangles merged into this span.
+  uint32_t collisions;
+  /// collisions / k — the estimated Jaccard similarity.
+  double estimated_similarity;
+};
+
+/// Cost counters for one search; these feed the Figure 3 experiments.
+struct SearchStats {
+  uint64_t io_bytes = 0;          ///< bytes read from index files
+  uint32_t short_lists = 0;       ///< lists scanned fully (pass 1)
+  uint32_t long_lists = 0;        ///< lists handled by zone-map probes
+  uint32_t empty_lists = 0;       ///< query min-hash keys absent from index
+  uint32_t cache_hits = 0;        ///< pass-1 lists served from a batch cache
+  uint64_t windows_scanned = 0;   ///< windows fed to CollisionCount
+  uint64_t candidate_texts = 0;   ///< texts surviving pass 1
+  double io_seconds = 0;          ///< time in index reads
+  double cpu_seconds = 0;         ///< time in grouping + CollisionCount
+};
+
+/// Result of one near-duplicate search.
+struct SearchResult {
+  /// All qualifying rectangles (exact compact representation).
+  std::vector<TextMatchRectangle> rectangles;
+  /// Disjoint merged spans (filled when options.merge_matches).
+  std::vector<MatchSpan> spans;
+  SearchStats stats;
+};
+
+/// Near-duplicate sequence search over an index directory (Algorithm 3).
+///
+///   NDSS_ASSIGN_OR_RETURN(Searcher searcher, Searcher::Open(dir));
+///   NDSS_ASSIGN_OR_RETURN(SearchResult result,
+///                         searcher.Search(query_tokens, options));
+///
+/// The searcher keeps the k inverted-index directories in memory and reads
+/// lists on demand. Not thread-safe; open one per thread.
+class Searcher {
+ public:
+  /// Opens the index previously built into `dir`.
+  static Result<Searcher> Open(const std::string& dir);
+
+  /// Builds an ephemeral, fully in-memory index over `corpus` and returns a
+  /// searcher on it — no files touched. For small or short-lived corpora
+  /// (document-vs-document alignment, tests). Only k, t, seed, and the
+  /// window method of `options` apply.
+  static Result<Searcher> InMemory(const Corpus& corpus,
+                                   const IndexBuildOptions& options);
+
+  Searcher(Searcher&&) noexcept = default;
+  Searcher& operator=(Searcher&&) noexcept = default;
+
+  /// Finds all sequences of the indexed corpus sharing at least ⌈kθ⌉
+  /// min-hash values with `query`. Output sequences are clamped to length
+  /// >= t (the index's length threshold).
+  Result<SearchResult> Search(std::span<const Token> query,
+                              const SearchOptions& options);
+
+  /// Runs many queries with a shared pass-1 list cache: Zipfian token
+  /// skew makes nearby queries hit the same min-hash keys, so each
+  /// distinct list is read from disk at most once per batch (the workload
+  /// shape of the Section 5 evaluation, which issues one query per sliding
+  /// window). Results are identical to per-query Search.
+  Result<std::vector<SearchResult>> SearchBatch(
+      const std::vector<std::vector<Token>>& queries,
+      const SearchOptions& options,
+      uint64_t cache_budget_bytes = 256ull << 20);
+
+  /// Build-time parameters of the open index.
+  const IndexMeta& meta() const { return meta_; }
+
+  /// The smallest list-length threshold such that at most `fraction` of all
+  /// windows live in lists above it — used to set
+  /// SearchOptions::long_list_threshold from a target prefix length.
+  uint64_t ListCountPercentile(double fraction) const;
+
+ private:
+  struct ListCache;
+
+  Searcher(IndexMeta meta, HashFamily family,
+           std::vector<std::unique_ptr<InvertedListSource>> sources);
+
+  Result<SearchResult> SearchInternal(std::span<const Token> query,
+                                      const SearchOptions& options,
+                                      ListCache* cache);
+
+  IndexMeta meta_;
+  HashFamily family_;
+  std::vector<std::unique_ptr<InvertedListSource>> sources_;
+};
+
+/// Merges all rectangles of `rectangles` (any text order) into disjoint
+/// per-text spans, keeping only sequences of length >= t. Exposed for tests.
+std::vector<MatchSpan> MergeRectangles(
+    std::vector<TextMatchRectangle> rectangles, uint32_t t, uint32_t k);
+
+}  // namespace ndss
+
+#endif  // NDSS_QUERY_SEARCHER_H_

@@ -1,0 +1,69 @@
+#include "query/verify.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ndss {
+
+double BestWindowJaccard(std::span<const Token> tokens, uint32_t begin,
+                         uint32_t end, std::span<const Token> query) {
+  const std::unordered_set<Token> query_set(query.begin(), query.end());
+  const uint32_t span_length = end - begin + 1;
+  const uint32_t window =
+      std::min<uint32_t>(span_length, static_cast<uint32_t>(query.size()));
+  if (window == 0) return 0.0;
+
+  // Sliding window with distinct-token counts.
+  std::unordered_map<Token, uint32_t> counts;
+  size_t distinct = 0;
+  size_t intersection = 0;
+  auto add = [&](Token token) {
+    uint32_t& count = counts[token];
+    if (count == 0) {
+      ++distinct;
+      if (query_set.count(token) != 0) ++intersection;
+    }
+    ++count;
+  };
+  auto remove = [&](Token token) {
+    uint32_t& count = counts[token];
+    if (--count == 0) {
+      --distinct;
+      if (query_set.count(token) != 0) --intersection;
+    }
+  };
+
+  double best = 0.0;
+  for (uint32_t i = begin; i <= end; ++i) {
+    add(tokens[i]);
+    if (i - begin + 1 > window) remove(tokens[i - window]);
+    if (i - begin + 1 >= window) {
+      const size_t union_size = distinct + query_set.size() - intersection;
+      const double jaccard =
+          union_size == 0
+              ? 1.0
+              : static_cast<double>(intersection) / union_size;
+      best = std::max(best, jaccard);
+    }
+  }
+  return best;
+}
+
+std::vector<VerifiedMatch> VerifySpans(const Corpus& corpus,
+                                       std::span<const Token> query,
+                                       const std::vector<MatchSpan>& spans,
+                                       double theta) {
+  std::vector<VerifiedMatch> verified;
+  for (const MatchSpan& span : spans) {
+    const std::span<const Token> tokens = corpus.text_by_id(span.text);
+    const double exact =
+        BestWindowJaccard(tokens, span.begin, span.end, query);
+    if (exact >= theta) {
+      verified.push_back(VerifiedMatch{span, exact});
+    }
+  }
+  return verified;
+}
+
+}  // namespace ndss

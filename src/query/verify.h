@@ -1,0 +1,38 @@
+#ifndef NDSS_QUERY_VERIFY_H_
+#define NDSS_QUERY_VERIFY_H_
+
+#include <span>
+#include <vector>
+
+#include "query/searcher.h"
+#include "text/corpus.h"
+
+namespace ndss {
+
+/// A match span annotated with its exact similarity to the query.
+struct VerifiedMatch {
+  MatchSpan span;
+  /// The best exact distinct Jaccard similarity of any query-length window
+  /// inside the span (the span itself when shorter than the query).
+  double exact_jaccard;
+};
+
+/// Best exact distinct Jaccard between `query` and any window of
+/// |query| tokens inside tokens[begin..end]; computed incrementally in
+/// O(end - begin) hash operations.
+double BestWindowJaccard(std::span<const Token> tokens, uint32_t begin,
+                         uint32_t end, std::span<const Token> query);
+
+/// Exact re-verification of merged search results (the optional second
+/// stage after the min-hash approximate search): recomputes the true
+/// similarity of every span against the corpus and drops spans below
+/// `theta`. This removes the estimation error of Definition 2 at the cost
+/// of corpus access.
+std::vector<VerifiedMatch> VerifySpans(const Corpus& corpus,
+                                       std::span<const Token> query,
+                                       const std::vector<MatchSpan>& spans,
+                                       double theta);
+
+}  // namespace ndss
+
+#endif  // NDSS_QUERY_VERIFY_H_

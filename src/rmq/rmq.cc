@@ -1,0 +1,212 @@
+#include "rmq/rmq.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace ndss {
+
+// ------------------------------------------------------------ SegmentTreeRmq
+
+SegmentTreeRmq::SegmentTreeRmq(std::span<const uint64_t> values)
+    : n_(values.size()), values_(values) {
+  NDSS_CHECK(n_ > 0) << "RMQ over empty array";
+  tree_.resize(4 * n_);
+  Build(1, 0, n_ - 1);
+}
+
+size_t SegmentTreeRmq::Better(size_t a, size_t b) const {
+  if (values_[a] < values_[b]) return a;
+  if (values_[b] < values_[a]) return b;
+  return std::min(a, b);  // leftmost tie-break
+}
+
+void SegmentTreeRmq::Build(size_t node, size_t l, size_t r) {
+  if (l == r) {
+    tree_[node] = static_cast<uint32_t>(l);
+    return;
+  }
+  const size_t mid = l + (r - l) / 2;
+  Build(2 * node, l, mid);
+  Build(2 * node + 1, mid + 1, r);
+  tree_[node] =
+      static_cast<uint32_t>(Better(tree_[2 * node], tree_[2 * node + 1]));
+}
+
+size_t SegmentTreeRmq::Query(size_t node, size_t l, size_t r, size_t ql,
+                             size_t qr) const {
+  if (ql <= l && r <= qr) return tree_[node];
+  const size_t mid = l + (r - l) / 2;
+  if (qr <= mid) return Query(2 * node, l, mid, ql, qr);
+  if (ql > mid) return Query(2 * node + 1, mid + 1, r, ql, qr);
+  return Better(Query(2 * node, l, mid, ql, qr),
+                Query(2 * node + 1, mid + 1, r, ql, qr));
+}
+
+size_t SegmentTreeRmq::ArgMin(size_t l, size_t r) const {
+  NDSS_CHECK(l <= r && r < n_) << "RMQ range out of bounds";
+  return Query(1, 0, n_ - 1, l, r);
+}
+
+// ------------------------------------------------------------ SparseTableRmq
+
+SparseTableRmq::SparseTableRmq(std::span<const uint64_t> values)
+    : n_(values.size()), values_(values) {
+  NDSS_CHECK(n_ > 0) << "RMQ over empty array";
+  levels_ = static_cast<size_t>(std::bit_width(n_));
+  table_.resize(levels_ * n_);
+  for (size_t i = 0; i < n_; ++i) table_[i] = static_cast<uint32_t>(i);
+  for (size_t lvl = 1; lvl < levels_; ++lvl) {
+    const size_t half = size_t{1} << (lvl - 1);
+    const size_t span = size_t{1} << lvl;
+    for (size_t i = 0; i + span <= n_; ++i) {
+      table_[lvl * n_ + i] = static_cast<uint32_t>(
+          Better(table_[(lvl - 1) * n_ + i], table_[(lvl - 1) * n_ + i + half]));
+    }
+  }
+}
+
+size_t SparseTableRmq::Better(size_t a, size_t b) const {
+  if (values_[a] < values_[b]) return a;
+  if (values_[b] < values_[a]) return b;
+  return std::min(a, b);
+}
+
+size_t SparseTableRmq::ArgMin(size_t l, size_t r) const {
+  NDSS_CHECK(l <= r && r < n_) << "RMQ range out of bounds";
+  const size_t len = r - l + 1;
+  const size_t lvl = static_cast<size_t>(std::bit_width(len)) - 1;
+  const size_t a = table_[lvl * n_ + l];
+  const size_t b = table_[lvl * n_ + r + 1 - (size_t{1} << lvl)];
+  return Better(a, b);
+}
+
+// ------------------------------------------------------------ FischerHeunRmq
+
+FischerHeunRmq::FischerHeunRmq(std::span<const uint64_t> values)
+    : n_(values.size()), values_(values) {
+  NDSS_CHECK(n_ > 0) << "RMQ over empty array";
+  // Block size b = max(1, floor(log2(n) / 4)); the number of distinct
+  // Cartesian-tree signatures is at most 4^b <= n^(1/2), so the per-shape
+  // tables cost o(n) in total.
+  const size_t log_n = static_cast<size_t>(std::bit_width(n_));
+  block_size_ = std::max<size_t>(1, log_n / 4);
+  num_blocks_ = (n_ + block_size_ - 1) / block_size_;
+
+  block_minima_.resize(num_blocks_);
+  block_signature_.resize(num_blocks_);
+  signature_to_table_.assign(size_t{1} << (2 * block_size_), -1);
+
+  std::vector<size_t> stack;
+  std::vector<size_t> block_argmin(num_blocks_);
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    const size_t begin = b * block_size_;
+    const size_t end = std::min(n_, begin + block_size_);
+    // Cartesian-tree signature: simulate the rightmost-path stack; each push
+    // is a 1 bit, each pop a 0 bit. Equal shapes answer every in-block RMQ
+    // identically (positionally).
+    uint32_t signature = 0;
+    int bit = 0;
+    stack.clear();
+    size_t argmin = begin;
+    for (size_t i = begin; i < end; ++i) {
+      while (!stack.empty() && values_[stack.back()] > values_[i]) {
+        stack.pop_back();
+        ++bit;  // 0 bit: leave it as is, just advance
+      }
+      signature |= (1u << bit);
+      ++bit;
+      stack.push_back(i);
+      if (values_[i] < values_[argmin]) argmin = i;
+    }
+    block_argmin[b] = argmin;
+    block_minima_[b] = values_[argmin];
+    block_signature_[b] = signature;
+
+    if (signature_to_table_[signature] < 0) {
+      // Build the triangular in-block answer table for this shape by direct
+      // scanning; done once per distinct shape.
+      signature_to_table_[signature] =
+          static_cast<int32_t>(in_block_tables_.size());
+      const size_t len = end - begin;
+      std::vector<uint8_t> table(block_size_ * block_size_, 0);
+      for (size_t i = 0; i < len; ++i) {
+        size_t best = i;
+        table[i * block_size_ + i] = static_cast<uint8_t>(i);
+        for (size_t j = i + 1; j < len; ++j) {
+          if (values_[begin + j] < values_[begin + best]) best = j;
+          table[i * block_size_ + j] = static_cast<uint8_t>(best);
+        }
+      }
+      in_block_tables_.push_back(std::move(table));
+    }
+  }
+  summary_ = std::make_unique<SparseTableRmq>(
+      std::span<const uint64_t>(block_minima_));
+  // Keep per-block argmins implicitly: the summary returns a block; we
+  // resolve inside the block through the shape table, so block_argmin is not
+  // retained beyond construction.
+  (void)block_argmin;
+}
+
+size_t FischerHeunRmq::Better(size_t a, size_t b) const {
+  if (values_[a] < values_[b]) return a;
+  if (values_[b] < values_[a]) return b;
+  return std::min(a, b);
+}
+
+size_t FischerHeunRmq::InBlockArgMin(size_t block, size_t l, size_t r) const {
+  const size_t begin = block * block_size_;
+  const size_t li = l - begin;
+  const size_t ri = r - begin;
+  const auto& table =
+      in_block_tables_[signature_to_table_[block_signature_[block]]];
+  return begin + table[li * block_size_ + ri];
+}
+
+size_t FischerHeunRmq::ArgMin(size_t l, size_t r) const {
+  NDSS_CHECK(l <= r && r < n_) << "RMQ range out of bounds";
+  const size_t bl = l / block_size_;
+  const size_t br = r / block_size_;
+  if (bl == br) return InBlockArgMin(bl, l, r);
+  // Prefix of the left block, suffix of the right block, full blocks between.
+  size_t best = InBlockArgMin(bl, l, (bl + 1) * block_size_ - 1);
+  best = Better(best, InBlockArgMin(br, br * block_size_, r));
+  if (bl + 1 <= br - 1) {
+    const size_t mid_block = summary_->ArgMin(bl + 1, br - 1);
+    const size_t mid_begin = mid_block * block_size_;
+    const size_t mid_end = std::min(n_, mid_begin + block_size_) - 1;
+    best = Better(best, InBlockArgMin(mid_block, mid_begin, mid_end));
+  }
+  return best;
+}
+
+// ------------------------------------------------------------------ factory
+
+std::unique_ptr<RangeMinQuery> MakeRmq(RmqKind kind,
+                                       std::span<const uint64_t> values) {
+  switch (kind) {
+    case RmqKind::kSegmentTree:
+      return std::make_unique<SegmentTreeRmq>(values);
+    case RmqKind::kSparseTable:
+      return std::make_unique<SparseTableRmq>(values);
+    case RmqKind::kFischerHeun:
+      return std::make_unique<FischerHeunRmq>(values);
+  }
+  return nullptr;
+}
+
+const char* RmqKindName(RmqKind kind) {
+  switch (kind) {
+    case RmqKind::kSegmentTree:
+      return "segment_tree";
+    case RmqKind::kSparseTable:
+      return "sparse_table";
+    case RmqKind::kFischerHeun:
+      return "fischer_heun";
+  }
+  return "?";
+}
+
+}  // namespace ndss

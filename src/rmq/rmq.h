@@ -1,0 +1,116 @@
+#ifndef NDSS_RMQ_RMQ_H_
+#define NDSS_RMQ_RMQ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace ndss {
+
+/// Range-minimum query over a fixed array of 64-bit values.
+///
+/// `ArgMin(l, r)` returns the index of the minimum value in the inclusive
+/// range [l, r]; ties are broken toward the leftmost index, which makes the
+/// compact-window recursion deterministic (the paper allows arbitrary
+/// tie-breaking). The queried array must outlive the structure.
+class RangeMinQuery {
+ public:
+  virtual ~RangeMinQuery() = default;
+
+  /// Index of the leftmost minimum in [l, r]. Requires l <= r < size().
+  virtual size_t ArgMin(size_t l, size_t r) const = 0;
+
+  /// Number of elements indexed.
+  virtual size_t size() const = 0;
+};
+
+/// Which RMQ implementation to use for compact-window generation; compared
+/// in the RMQ ablation benchmark.
+enum class RmqKind {
+  /// Segment tree: O(n) build, O(log n) query. What ALIGN used.
+  kSegmentTree,
+  /// Sparse table: O(n log n) build/space, O(1) query.
+  kSparseTable,
+  /// Fischer–Heun block decomposition with per-block Cartesian-tree lookup
+  /// tables: O(n) build/space, O(1) query. The structure the paper cites to
+  /// reach O(n) total generation time.
+  kFischerHeun,
+};
+
+/// Segment-tree RMQ (the baseline used by ALIGN).
+class SegmentTreeRmq : public RangeMinQuery {
+ public:
+  explicit SegmentTreeRmq(std::span<const uint64_t> values);
+
+  size_t ArgMin(size_t l, size_t r) const override;
+  size_t size() const override { return n_; }
+
+ private:
+  size_t n_;
+  std::span<const uint64_t> values_;
+  // tree_[v] holds the argmin index of the node's range.
+  std::vector<uint32_t> tree_;
+
+  void Build(size_t node, size_t l, size_t r);
+  size_t Query(size_t node, size_t l, size_t r, size_t ql, size_t qr) const;
+  size_t Better(size_t a, size_t b) const;
+};
+
+/// Sparse-table RMQ: O(n log n) precomputation, O(1) query.
+class SparseTableRmq : public RangeMinQuery {
+ public:
+  explicit SparseTableRmq(std::span<const uint64_t> values);
+
+  size_t ArgMin(size_t l, size_t r) const override;
+  size_t size() const override { return n_; }
+
+ private:
+  size_t n_;
+  std::span<const uint64_t> values_;
+  size_t levels_;
+  // table_[lvl * n_ + i] = argmin of [i, i + 2^lvl - 1].
+  std::vector<uint32_t> table_;
+
+  size_t Better(size_t a, size_t b) const;
+};
+
+/// Fischer–Heun RMQ: splits the array into blocks of size Θ(log n), indexes
+/// block minima with a sparse table, and answers in-block queries through
+/// precomputed tables keyed by the block's Cartesian-tree signature. O(n)
+/// build time and space, O(1) query.
+class FischerHeunRmq : public RangeMinQuery {
+ public:
+  explicit FischerHeunRmq(std::span<const uint64_t> values);
+
+  size_t ArgMin(size_t l, size_t r) const override;
+  size_t size() const override { return n_; }
+
+ private:
+  size_t n_;
+  std::span<const uint64_t> values_;
+  size_t block_size_;
+  size_t num_blocks_;
+  std::unique_ptr<SparseTableRmq> summary_;  // over block minima
+  std::vector<uint64_t> block_minima_;
+  std::vector<uint32_t> block_signature_;  // Cartesian-tree code per block
+  // For each distinct signature, a (block_size x block_size) triangular table
+  // of in-block argmins; indexed lazily by signature id.
+  std::vector<std::vector<uint8_t>> in_block_tables_;
+  std::vector<int32_t> signature_to_table_;  // 4^b entries, -1 = unseen
+
+  size_t InBlockArgMin(size_t block, size_t l, size_t r) const;
+  size_t Better(size_t a, size_t b) const;
+};
+
+/// Creates an RMQ of the requested kind over `values`.
+std::unique_ptr<RangeMinQuery> MakeRmq(RmqKind kind,
+                                       std::span<const uint64_t> values);
+
+/// Human-readable name for `kind` (used by the ablation bench output).
+const char* RmqKindName(RmqKind kind);
+
+}  // namespace ndss
+
+#endif  // NDSS_RMQ_RMQ_H_

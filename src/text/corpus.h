@@ -1,0 +1,82 @@
+#ifndef NDSS_TEXT_CORPUS_H_
+#define NDSS_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "text/types.h"
+
+namespace ndss {
+
+/// An in-memory collection of tokenized texts.
+///
+/// Texts are stored back-to-back in one flat token array with an offsets
+/// table, so a corpus of N tokens costs 4N bytes plus 8 bytes per text —
+/// matching the paper's "4-byte integer per token" accounting. Text ids are
+/// ordinals: the i-th text added has id `base_id() + i`, where `base_id` is
+/// nonzero when this object holds one batch of a larger streamed corpus.
+class Corpus {
+ public:
+  Corpus() { offsets_.push_back(0); }
+
+  /// Appends a text; returns its id.
+  TextId AddText(std::span<const Token> tokens) {
+    tokens_.insert(tokens_.end(), tokens.begin(), tokens.end());
+    offsets_.push_back(tokens_.size());
+    return base_id_ + static_cast<TextId>(num_texts() - 1);
+  }
+
+  /// Number of texts held.
+  size_t num_texts() const { return offsets_.size() - 1; }
+
+  /// Total tokens across all held texts.
+  uint64_t total_tokens() const { return tokens_.size(); }
+
+  /// True if no text is held.
+  bool empty() const { return num_texts() == 0; }
+
+  /// Id of the first held text (for streamed batches).
+  TextId base_id() const { return base_id_; }
+
+  /// Sets the id of the first held text.
+  void set_base_id(TextId id) { base_id_ = id; }
+
+  /// The tokens of the `local`-th held text, 0 <= local < num_texts().
+  std::span<const Token> text(size_t local) const {
+    return {tokens_.data() + offsets_[local],
+            offsets_[local + 1] - offsets_[local]};
+  }
+
+  /// The tokens of the text with (global) id `id`.
+  std::span<const Token> text_by_id(TextId id) const {
+    return text(static_cast<size_t>(id - base_id_));
+  }
+
+  /// Length in tokens of the `local`-th held text.
+  size_t text_length(size_t local) const {
+    return offsets_[local + 1] - offsets_[local];
+  }
+
+  /// Removes all texts (keeps capacity).
+  void Clear() {
+    tokens_.clear();
+    offsets_.assign(1, 0);
+    base_id_ = 0;
+  }
+
+  /// Pre-allocates storage for `tokens` tokens and `texts` texts.
+  void Reserve(size_t tokens, size_t texts) {
+    tokens_.reserve(tokens);
+    offsets_.reserve(texts + 1);
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  std::vector<uint64_t> offsets_;  // offsets_[i]..offsets_[i+1] is text i
+  TextId base_id_ = 0;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_TEXT_CORPUS_H_

@@ -1,0 +1,165 @@
+#include "text/corpus_file.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace ndss {
+
+namespace {
+
+constexpr uint64_t kHeaderMagic = 0x3150524353534447ULL;  // "NDSSCRP1"-ish
+constexpr uint64_t kFooterMagic = 0x31544f4f46505243ULL;
+
+}  // namespace
+
+// --------------------------------------------------------- CorpusFileWriter
+
+CorpusFileWriter::CorpusFileWriter(FileWriter writer)
+    : writer_(std::move(writer)) {}
+
+Result<CorpusFileWriter> CorpusFileWriter::Create(const std::string& path) {
+  NDSS_ASSIGN_OR_RETURN(FileWriter writer, FileWriter::Open(path));
+  NDSS_RETURN_NOT_OK(writer.AppendU64(kHeaderMagic));
+  return CorpusFileWriter(std::move(writer));
+}
+
+Result<TextId> CorpusFileWriter::Append(std::span<const Token> tokens) {
+  if (tokens.empty()) {
+    return Status::InvalidArgument("cannot append an empty text");
+  }
+  offsets_.push_back(writer_.bytes_written());
+  NDSS_RETURN_NOT_OK(writer_.AppendU32(static_cast<uint32_t>(tokens.size())));
+  NDSS_RETURN_NOT_OK(
+      writer_.Append(tokens.data(), tokens.size() * sizeof(Token)));
+  total_tokens_ += tokens.size();
+  return static_cast<TextId>(offsets_.size() - 1);
+}
+
+Status CorpusFileWriter::AppendCorpus(const Corpus& corpus) {
+  for (size_t i = 0; i < corpus.num_texts(); ++i) {
+    NDSS_RETURN_NOT_OK(Append(corpus.text(i)).status());
+  }
+  return Status::OK();
+}
+
+Status CorpusFileWriter::Finish() {
+  for (uint64_t offset : offsets_) {
+    NDSS_RETURN_NOT_OK(writer_.AppendU64(offset));
+  }
+  NDSS_RETURN_NOT_OK(writer_.AppendU64(offsets_.size()));
+  NDSS_RETURN_NOT_OK(writer_.AppendU64(total_tokens_));
+  NDSS_RETURN_NOT_OK(writer_.AppendU64(kFooterMagic));
+  return writer_.Close();
+}
+
+// --------------------------------------------------------- CorpusFileReader
+
+CorpusFileReader::CorpusFileReader(FileReader reader, uint64_t num_texts,
+                                   uint64_t total_tokens,
+                                   uint64_t offsets_start)
+    : reader_(std::move(reader)),
+      num_texts_(num_texts),
+      total_tokens_(total_tokens),
+      offsets_start_(offsets_start) {}
+
+Result<CorpusFileReader> CorpusFileReader::Open(const std::string& path) {
+  NDSS_ASSIGN_OR_RETURN(FileReader reader, FileReader::Open(path));
+  constexpr uint64_t kFooterTailSize = 24;  // num_texts, total_tokens, magic
+  if (reader.size() < 8 + kFooterTailSize) {
+    return Status::Corruption("corpus file too small: " + path);
+  }
+  char tail[kFooterTailSize];
+  NDSS_RETURN_NOT_OK(
+      reader.ReadAt(reader.size() - kFooterTailSize, tail, sizeof(tail)));
+  const uint64_t num_texts = DecodeFixed64(tail);
+  const uint64_t total_tokens = DecodeFixed64(tail + 8);
+  const uint64_t footer_magic = DecodeFixed64(tail + 16);
+  if (footer_magic != kFooterMagic) {
+    return Status::Corruption("bad corpus footer magic: " + path);
+  }
+  NDSS_RETURN_NOT_OK(reader.Seek(0));
+  NDSS_ASSIGN_OR_RETURN(uint64_t header_magic, reader.ReadU64());
+  if (header_magic != kHeaderMagic) {
+    return Status::Corruption("bad corpus header magic: " + path);
+  }
+  const uint64_t offsets_bytes = num_texts * 8;
+  if (reader.size() < 8 + kFooterTailSize + offsets_bytes) {
+    return Status::Corruption("corpus file truncated: " + path);
+  }
+  const uint64_t offsets_start = reader.size() - kFooterTailSize -
+                                 offsets_bytes;
+  return CorpusFileReader(std::move(reader), num_texts, total_tokens,
+                          offsets_start);
+}
+
+Status CorpusFileReader::ReadOffset(TextId id, uint64_t* offset) {
+  char buf[8];
+  NDSS_RETURN_NOT_OK(reader_.ReadAt(offsets_start_ + 8ull * id, buf, 8));
+  *offset = DecodeFixed64(buf);
+  return Status::OK();
+}
+
+Result<std::vector<Token>> CorpusFileReader::ReadText(TextId id) {
+  if (id >= num_texts_) {
+    return Status::OutOfRange("text id " + std::to_string(id) +
+                              " out of range (num_texts=" +
+                              std::to_string(num_texts_) + ")");
+  }
+  cursor_valid_ = false;
+  uint64_t offset = 0;
+  NDSS_RETURN_NOT_OK(ReadOffset(id, &offset));
+  NDSS_RETURN_NOT_OK(reader_.Seek(offset));
+  NDSS_ASSIGN_OR_RETURN(uint32_t length, reader_.ReadU32());
+  std::vector<Token> tokens(length);
+  NDSS_RETURN_NOT_OK(
+      reader_.ReadExact(tokens.data(), length * sizeof(Token)));
+  return tokens;
+}
+
+Status CorpusFileReader::SeekToStart() {
+  NDSS_RETURN_NOT_OK(reader_.Seek(8));  // skip header magic
+  next_text_ = 0;
+  cursor_valid_ = true;
+  return Status::OK();
+}
+
+Result<Corpus> CorpusFileReader::ReadBatch(uint64_t max_tokens) {
+  if (!cursor_valid_) NDSS_RETURN_NOT_OK(SeekToStart());
+  Corpus batch;
+  batch.set_base_id(next_text_);
+  std::vector<Token> tokens;
+  while (next_text_ < num_texts_ &&
+         (batch.empty() || batch.total_tokens() < max_tokens)) {
+    NDSS_ASSIGN_OR_RETURN(uint32_t length, reader_.ReadU32());
+    tokens.resize(length);
+    NDSS_RETURN_NOT_OK(
+        reader_.ReadExact(tokens.data(), length * sizeof(Token)));
+    batch.AddText(tokens);
+    ++next_text_;
+  }
+  return batch;
+}
+
+Result<Corpus> CorpusFileReader::ReadAll() {
+  NDSS_RETURN_NOT_OK(SeekToStart());
+  NDSS_ASSIGN_OR_RETURN(
+      Corpus corpus, ReadBatch(total_tokens_ == 0 ? 1 : total_tokens_));
+  return corpus;
+}
+
+// ------------------------------------------------------------- conveniences
+
+Status WriteCorpusFile(const std::string& path, const Corpus& corpus) {
+  NDSS_ASSIGN_OR_RETURN(CorpusFileWriter writer,
+                        CorpusFileWriter::Create(path));
+  NDSS_RETURN_NOT_OK(writer.AppendCorpus(corpus));
+  return writer.Finish();
+}
+
+Result<Corpus> ReadCorpusFile(const std::string& path) {
+  NDSS_ASSIGN_OR_RETURN(CorpusFileReader reader, CorpusFileReader::Open(path));
+  return reader.ReadAll();
+}
+
+}  // namespace ndss

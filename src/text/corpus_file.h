@@ -1,0 +1,107 @@
+#ifndef NDSS_TEXT_CORPUS_FILE_H_
+#define NDSS_TEXT_CORPUS_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/file_io.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "text/corpus.h"
+#include "text/types.h"
+
+namespace ndss {
+
+/// On-disk tokenized-corpus format.
+///
+/// Layout (all integers little-endian):
+///
+///   header : magic u64
+///   body   : per text — length u32, then `length` u32 tokens
+///   footer : per-text body offsets (u64 each), num_texts u64,
+///            total_tokens u64, footer magic u64
+///
+/// The body is written strictly sequentially, so corpora larger than memory
+/// can be produced in one streaming pass; the offsets table enables random
+/// access for result verification and display.
+class CorpusFileWriter {
+ public:
+  /// Creates (truncates) the corpus file at `path`.
+  static Result<CorpusFileWriter> Create(const std::string& path);
+
+  CorpusFileWriter(CorpusFileWriter&&) noexcept = default;
+  CorpusFileWriter& operator=(CorpusFileWriter&&) noexcept = default;
+
+  /// Appends one text; returns its id.
+  Result<TextId> Append(std::span<const Token> tokens);
+
+  /// Appends every text of `corpus` in order.
+  Status AppendCorpus(const Corpus& corpus);
+
+  /// Writes the footer and closes the file. Must be called for the file to
+  /// be readable.
+  Status Finish();
+
+  uint64_t num_texts() const { return offsets_.size(); }
+  uint64_t total_tokens() const { return total_tokens_; }
+
+ private:
+  explicit CorpusFileWriter(FileWriter writer);
+
+  FileWriter writer_;
+  std::vector<uint64_t> offsets_;
+  uint64_t total_tokens_ = 0;
+};
+
+/// Reader over the corpus format above, supporting both streaming batch
+/// scans (for index construction over corpora larger than memory) and random
+/// access by text id (for verification/display).
+class CorpusFileReader {
+ public:
+  /// Opens and validates `path`.
+  static Result<CorpusFileReader> Open(const std::string& path);
+
+  CorpusFileReader(CorpusFileReader&&) noexcept = default;
+  CorpusFileReader& operator=(CorpusFileReader&&) noexcept = default;
+
+  uint64_t num_texts() const { return num_texts_; }
+  uint64_t total_tokens() const { return total_tokens_; }
+
+  /// Reads the text with id `id`.
+  Result<std::vector<Token>> ReadText(TextId id);
+
+  /// Resets the streaming cursor to the first text.
+  Status SeekToStart();
+
+  /// Reads the next batch of texts, up to `max_tokens` tokens (at least one
+  /// text if any remain). Returns an empty corpus at end of stream. The
+  /// returned corpus has base_id set to the id of its first text.
+  Result<Corpus> ReadBatch(uint64_t max_tokens);
+
+  /// Loads the entire corpus into memory.
+  Result<Corpus> ReadAll();
+
+ private:
+  CorpusFileReader(FileReader reader, uint64_t num_texts,
+                   uint64_t total_tokens, uint64_t offsets_start);
+
+  Status ReadOffset(TextId id, uint64_t* offset);
+
+  FileReader reader_;
+  uint64_t num_texts_ = 0;
+  uint64_t total_tokens_ = 0;
+  uint64_t offsets_start_ = 0;  // absolute position of the offsets table
+  TextId next_text_ = 0;        // streaming cursor
+  bool cursor_valid_ = false;   // stream position matches next_text_
+};
+
+/// Convenience: writes `corpus` to `path` in the format above.
+Status WriteCorpusFile(const std::string& path, const Corpus& corpus);
+
+/// Convenience: loads the corpus at `path` fully into memory.
+Result<Corpus> ReadCorpusFile(const std::string& path);
+
+}  // namespace ndss
+
+#endif  // NDSS_TEXT_CORPUS_FILE_H_

@@ -1,0 +1,23 @@
+#ifndef NDSS_TEXT_TYPES_H_
+#define NDSS_TEXT_TYPES_H_
+
+#include <cstdint>
+
+namespace ndss {
+
+/// A token id produced by a tokenizer. The paper stores each token as a
+/// 4-byte integer; we do the same.
+using Token = uint32_t;
+
+/// Identifier of a text within a corpus (its ordinal position).
+using TextId = uint32_t;
+
+/// Sentinel for "no token".
+inline constexpr Token kInvalidToken = 0xffffffffu;
+
+/// Sentinel for "no text".
+inline constexpr TextId kInvalidTextId = 0xffffffffu;
+
+}  // namespace ndss
+
+#endif  // NDSS_TEXT_TYPES_H_

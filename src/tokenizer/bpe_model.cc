@@ -1,0 +1,68 @@
+#include "tokenizer/bpe_model.h"
+
+#include "common/coding.h"
+#include "common/file_io.h"
+
+namespace ndss {
+
+namespace {
+constexpr uint64_t kModelMagic = 0x314c444d45504244ULL;  // "DBPEMDL1"-ish
+}  // namespace
+
+BpeModel BpeModel::ByteLevel() {
+  BpeModel model;
+  model.vocab_.reserve(256);
+  for (int b = 0; b < 256; ++b) {
+    model.vocab_.push_back(std::string(1, static_cast<char>(b)));
+  }
+  return model;
+}
+
+Result<BpeModel> BpeModel::FromMerges(
+    const std::vector<std::pair<Token, Token>>& merges) {
+  BpeModel model = ByteLevel();
+  model.merges_.reserve(merges.size());
+  model.merge_rank_.reserve(merges.size());
+  for (size_t rank = 0; rank < merges.size(); ++rank) {
+    const auto [a, b] = merges[rank];
+    const Token next_id = static_cast<Token>(256 + rank);
+    if (a >= next_id || b >= next_id) {
+      return Status::InvalidArgument(
+          "merge " + std::to_string(rank) + " refers to a later token id");
+    }
+    model.merges_.push_back({a, b});
+    model.merge_rank_[PairKey(a, b)] = static_cast<uint32_t>(rank);
+    model.vocab_.push_back(model.vocab_[a] + model.vocab_[b]);
+  }
+  return model;
+}
+
+Status BpeModel::Save(const std::string& path) const {
+  NDSS_ASSIGN_OR_RETURN(FileWriter writer, FileWriter::Open(path));
+  NDSS_RETURN_NOT_OK(writer.AppendU64(kModelMagic));
+  NDSS_RETURN_NOT_OK(writer.AppendU64(merges_.size()));
+  for (const auto& [a, b] : merges_) {
+    NDSS_RETURN_NOT_OK(writer.AppendU32(a));
+    NDSS_RETURN_NOT_OK(writer.AppendU32(b));
+  }
+  return writer.Close();
+}
+
+Result<BpeModel> BpeModel::Load(const std::string& path) {
+  NDSS_ASSIGN_OR_RETURN(FileReader reader, FileReader::Open(path));
+  NDSS_ASSIGN_OR_RETURN(uint64_t magic, reader.ReadU64());
+  if (magic != kModelMagic) {
+    return Status::Corruption("bad BPE model magic: " + path);
+  }
+  NDSS_ASSIGN_OR_RETURN(uint64_t num_merges, reader.ReadU64());
+  std::vector<std::pair<Token, Token>> merges;
+  merges.reserve(num_merges);
+  for (uint64_t i = 0; i < num_merges; ++i) {
+    NDSS_ASSIGN_OR_RETURN(uint32_t a, reader.ReadU32());
+    NDSS_ASSIGN_OR_RETURN(uint32_t b, reader.ReadU32());
+    merges.push_back({a, b});
+  }
+  return FromMerges(merges);
+}
+
+}  // namespace ndss

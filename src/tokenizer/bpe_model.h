@@ -1,0 +1,75 @@
+#ifndef NDSS_TOKENIZER_BPE_MODEL_H_
+#define NDSS_TOKENIZER_BPE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "text/types.h"
+
+namespace ndss {
+
+/// A trained byte-pair-encoding model: the ordered merge list plus the
+/// derived vocabulary.
+///
+/// Token ids 0..255 are the raw bytes; each merge (a, b) introduces the next
+/// id whose byte string is vocab[a] + vocab[b]. `vocab_size()` is therefore
+/// 256 + number of merges. The model is immutable once built.
+class BpeModel {
+ public:
+  /// Builds a model from an ordered merge list. Merge operands must refer to
+  /// byte ids or earlier merges.
+  static Result<BpeModel> FromMerges(
+      const std::vector<std::pair<Token, Token>>& merges);
+
+  /// A model with no merges (byte-level tokenization).
+  static BpeModel ByteLevel();
+
+  /// Loads a model saved with Save().
+  static Result<BpeModel> Load(const std::string& path);
+
+  /// Serializes the model to `path`.
+  Status Save(const std::string& path) const;
+
+  /// Total number of token ids (256 + merges).
+  uint32_t vocab_size() const { return static_cast<uint32_t>(vocab_.size()); }
+
+  /// Number of merges.
+  size_t num_merges() const { return merges_.size(); }
+
+  /// Byte string of token `id`.
+  const std::string& TokenString(Token id) const { return vocab_[id]; }
+
+  /// Merge rank of the pair (a, b), or kNoMerge if the pair never merges.
+  /// Lower rank = applied earlier.
+  static constexpr uint32_t kNoMerge = 0xffffffffu;
+  uint32_t MergeRank(Token a, Token b) const {
+    auto it = merge_rank_.find(PairKey(a, b));
+    return it == merge_rank_.end() ? kNoMerge : it->second;
+  }
+
+  /// Token id produced by merge number `rank`.
+  Token MergedToken(uint32_t rank) const {
+    return static_cast<Token>(256 + rank);
+  }
+
+  const std::vector<std::pair<Token, Token>>& merges() const {
+    return merges_;
+  }
+
+ private:
+  static uint64_t PairKey(Token a, Token b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  std::vector<std::pair<Token, Token>> merges_;
+  std::vector<std::string> vocab_;
+  std::unordered_map<uint64_t, uint32_t> merge_rank_;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_TOKENIZER_BPE_MODEL_H_

@@ -1,0 +1,80 @@
+#include "tokenizer/bpe_tokenizer.h"
+
+#include "tokenizer/pre_tokenizer.h"
+
+namespace ndss {
+
+std::vector<Token> BpeTokenizer::Encode(std::string_view text) {
+  std::vector<Token> out;
+  EncodeAppend(text, &out);
+  return out;
+}
+
+void BpeTokenizer::EncodeAppend(std::string_view text,
+                                std::vector<Token>* out) {
+  for (std::string_view chunk : PreTokenize(text)) {
+    EncodeChunk(chunk, out);
+  }
+}
+
+void BpeTokenizer::EncodeChunk(std::string_view chunk,
+                               std::vector<Token>* out) {
+  if (chunk.empty()) return;
+  if (chunk.size() == 1) {
+    out->push_back(static_cast<Token>(static_cast<uint8_t>(chunk[0])));
+    return;
+  }
+  auto cached = cache_.find(std::string(chunk));
+  if (cached != cache_.end()) {
+    out->insert(out->end(), cached->second.begin(), cached->second.end());
+    return;
+  }
+  symbols_.clear();
+  symbols_.reserve(chunk.size());
+  for (char ch : chunk) {
+    symbols_.push_back(static_cast<Token>(static_cast<uint8_t>(ch)));
+  }
+  // Repeatedly apply the lowest-ranked merge present; identical to training
+  // order, so any word seen during training tokenizes to its trained form.
+  for (;;) {
+    uint32_t best_rank = BpeModel::kNoMerge;
+    size_t best_pos = 0;
+    for (size_t i = 0; i + 1 < symbols_.size(); ++i) {
+      const uint32_t rank = model_.MergeRank(symbols_[i], symbols_[i + 1]);
+      if (rank < best_rank) {
+        best_rank = rank;
+        best_pos = i;
+      }
+    }
+    if (best_rank == BpeModel::kNoMerge) break;
+    // Merge every occurrence of this pair (left to right), matching the
+    // trainer's greedy rewrite.
+    const Token a = symbols_[best_pos];
+    const Token b = symbols_[best_pos + 1];
+    const Token z = model_.MergedToken(best_rank);
+    size_t write = 0;
+    for (size_t read = 0; read < symbols_.size();) {
+      if (read + 1 < symbols_.size() && symbols_[read] == a &&
+          symbols_[read + 1] == b) {
+        symbols_[write++] = z;
+        read += 2;
+      } else {
+        symbols_[write++] = symbols_[read++];
+      }
+    }
+    symbols_.resize(write);
+    if (symbols_.size() == 1) break;
+  }
+  cache_.emplace(std::string(chunk), symbols_);
+  out->insert(out->end(), symbols_.begin(), symbols_.end());
+}
+
+std::string BpeTokenizer::Decode(std::span<const Token> tokens) const {
+  std::string text;
+  for (Token token : tokens) {
+    text += model_.TokenString(token);
+  }
+  return text;
+}
+
+}  // namespace ndss

@@ -1,0 +1,49 @@
+#ifndef NDSS_TOKENIZER_BPE_TOKENIZER_H_
+#define NDSS_TOKENIZER_BPE_TOKENIZER_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/types.h"
+#include "tokenizer/bpe_model.h"
+
+namespace ndss {
+
+/// Encodes raw text to token ids (and back) with a trained BpeModel.
+///
+/// Encoding pre-tokenizes the text (see PreTokenize), then for each chunk
+/// repeatedly applies the lowest-ranked applicable merge, exactly mirroring
+/// training order. A per-chunk cache makes repeated words O(1). Decoding
+/// concatenates token byte strings; Decode(Encode(text)) == text.
+///
+/// Not thread-safe (the cache is mutable); use one encoder per thread.
+class BpeTokenizer {
+ public:
+  /// The tokenizer keeps a reference to `model`; the model must outlive it.
+  explicit BpeTokenizer(const BpeModel& model) : model_(model) {}
+
+  /// Tokenizes `text`.
+  std::vector<Token> Encode(std::string_view text);
+
+  /// Appends the tokens of `text` to `out`.
+  void EncodeAppend(std::string_view text, std::vector<Token>* out);
+
+  /// Reconstructs the exact byte string of `tokens`.
+  std::string Decode(std::span<const Token> tokens) const;
+
+  const BpeModel& model() const { return model_; }
+
+ private:
+  void EncodeChunk(std::string_view chunk, std::vector<Token>* out);
+
+  const BpeModel& model_;
+  std::unordered_map<std::string, std::vector<Token>> cache_;
+  std::vector<Token> symbols_;  // scratch
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_TOKENIZER_BPE_TOKENIZER_H_

@@ -1,0 +1,154 @@
+#include "tokenizer/bpe_trainer.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "tokenizer/pre_tokenizer.h"
+
+namespace ndss {
+
+namespace {
+
+uint64_t PairKey(Token a, Token b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+struct HeapEntry {
+  uint64_t count;
+  uint64_t pair;  // smaller key wins ties for determinism
+
+  bool operator<(const HeapEntry& other) const {
+    if (count != other.count) return count < other.count;
+    return pair > other.pair;  // max-heap: prefer numerically smaller pair
+  }
+};
+
+}  // namespace
+
+BpeTrainer::BpeTrainer(BpeTrainerOptions options)
+    : options_(std::move(options)) {}
+
+void BpeTrainer::AddText(std::string_view text) {
+  for (std::string_view chunk : PreTokenize(text)) {
+    if (chunk.size() > options_.max_word_length) continue;
+    ++word_counts_[std::string(chunk)];
+  }
+}
+
+Result<BpeModel> BpeTrainer::Train() {
+  if (options_.vocab_size < 256) {
+    return Status::InvalidArgument("vocab_size must be at least 256");
+  }
+  // Materialize distinct words as symbol sequences.
+  struct Word {
+    std::vector<Token> symbols;
+    uint64_t count;
+  };
+  std::vector<Word> words;
+  words.reserve(word_counts_.size());
+  for (const auto& [text, count] : word_counts_) {
+    Word word;
+    word.count = count;
+    word.symbols.reserve(text.size());
+    for (char ch : text) {
+      word.symbols.push_back(static_cast<Token>(static_cast<uint8_t>(ch)));
+    }
+    words.push_back(std::move(word));
+  }
+  word_counts_.clear();
+
+  // Pair statistics: total weighted count plus the set of words where the
+  // pair occurs (a superset after merges; occurrences are re-checked).
+  std::unordered_map<uint64_t, uint64_t> pair_counts;
+  std::unordered_map<uint64_t, std::unordered_set<uint32_t>> pair_words;
+  for (uint32_t w = 0; w < words.size(); ++w) {
+    const Word& word = words[w];
+    for (size_t i = 0; i + 1 < word.symbols.size(); ++i) {
+      const uint64_t key = PairKey(word.symbols[i], word.symbols[i + 1]);
+      pair_counts[key] += word.count;
+      pair_words[key].insert(w);
+    }
+  }
+
+  std::priority_queue<HeapEntry> heap;
+  for (const auto& [key, count] : pair_counts) heap.push({count, key});
+
+  std::vector<std::pair<Token, Token>> merges;
+  const uint32_t target_merges = options_.vocab_size - 256;
+  std::vector<Token> merged;  // scratch for rewriting a word
+
+  while (merges.size() < target_merges && !heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    auto it = pair_counts.find(top.pair);
+    if (it == pair_counts.end() || it->second != top.count) {
+      continue;  // stale heap entry
+    }
+    if (top.count < options_.min_pair_frequency) break;
+
+    const Token a = static_cast<Token>(top.pair >> 32);
+    const Token b = static_cast<Token>(top.pair & 0xffffffffu);
+    const Token z = static_cast<Token>(256 + merges.size());
+    merges.push_back({a, b});
+    pair_counts.erase(it);
+
+    // Rewrite every word that (maybe) contains (a, b). Pair statistics are
+    // updated wholesale per affected word: retract the word's old adjacent
+    // pairs, rewrite, then re-add the new ones. A merge can only create
+    // pairs involving the brand-new token z, so pair_words sets never miss
+    // an occurrence of a pair chosen later.
+    auto words_it = pair_words.find(top.pair);
+    if (words_it == pair_words.end()) continue;
+    const std::unordered_set<uint32_t> affected = std::move(words_it->second);
+    pair_words.erase(words_it);
+
+    for (uint32_t w : affected) {
+      Word& word = words[w];
+      const std::vector<Token>& syms = word.symbols;
+      bool contains = false;
+      for (size_t i = 0; i + 1 < syms.size(); ++i) {
+        if (syms[i] == a && syms[i + 1] == b) {
+          contains = true;
+          break;
+        }
+      }
+      if (!contains) continue;  // stale registration from an earlier rewrite
+      // Retract old pairs.
+      for (size_t i = 0; i + 1 < syms.size(); ++i) {
+        const uint64_t key = PairKey(syms[i], syms[i + 1]);
+        auto pc = pair_counts.find(key);
+        if (pc != pair_counts.end()) {
+          pc->second -= word.count;
+          heap.push({pc->second, key});
+        }
+      }
+      // Greedy left-to-right rewrite of (a, b) -> z.
+      merged.clear();
+      for (size_t i = 0; i < syms.size();) {
+        if (i + 1 < syms.size() && syms[i] == a && syms[i + 1] == b) {
+          merged.push_back(z);
+          i += 2;
+        } else {
+          merged.push_back(syms[i]);
+          ++i;
+        }
+      }
+      word.symbols = merged;
+      // Re-add new pairs.
+      for (size_t i = 0; i + 1 < merged.size(); ++i) {
+        const uint64_t key = PairKey(merged[i], merged[i + 1]);
+        uint64_t& count = pair_counts[key];
+        count += word.count;
+        pair_words[key].insert(w);
+        heap.push({count, key});
+      }
+    }
+  }
+
+  NDSS_LOG(kDebug) << "BPE training produced " << merges.size() << " merges";
+  return BpeModel::FromMerges(merges);
+}
+
+}  // namespace ndss

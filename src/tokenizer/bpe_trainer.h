@@ -1,0 +1,63 @@
+#ifndef NDSS_TOKENIZER_BPE_TRAINER_H_
+#define NDSS_TOKENIZER_BPE_TRAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "tokenizer/bpe_model.h"
+
+namespace ndss {
+
+/// Options controlling BPE training.
+struct BpeTrainerOptions {
+  /// Target total vocabulary size, including the 256 byte tokens. Training
+  /// stops once this many ids exist (or no pair is frequent enough).
+  uint32_t vocab_size = 4096;
+
+  /// Pairs occurring fewer than this many times are never merged.
+  uint64_t min_pair_frequency = 2;
+
+  /// Pre-tokens longer than this are skipped during statistics collection
+  /// (guards against pathological unbroken runs).
+  size_t max_word_length = 128;
+};
+
+/// Trains a byte-pair-encoding model from raw text (Section 4 of the paper
+/// trains a 64K-vocabulary BPE on one million OpenWebText texts; this is the
+/// same algorithm at configurable scale).
+///
+/// Usage:
+///   BpeTrainer trainer(options);
+///   for (const std::string& text : texts) trainer.AddText(text);
+///   NDSS_ASSIGN_OR_RETURN(BpeModel model, trainer.Train());
+///
+/// Greedy agglomerative training: repeatedly merge the globally most
+/// frequent adjacent symbol pair (ties broken deterministically toward the
+/// numerically smaller pair), updating pair statistics incrementally. A
+/// max-heap with lazy invalidation keeps each step near O(log P) amortized.
+class BpeTrainer {
+ public:
+  explicit BpeTrainer(BpeTrainerOptions options = {});
+
+  /// Accumulates word statistics from one document.
+  void AddText(std::string_view text);
+
+  /// Runs training over the accumulated statistics. The trainer can be
+  /// reused afterwards (statistics are consumed).
+  Result<BpeModel> Train();
+
+  /// Number of distinct pre-tokens seen so far.
+  size_t num_distinct_words() const { return word_counts_.size(); }
+
+ private:
+  BpeTrainerOptions options_;
+  std::unordered_map<std::string, uint64_t> word_counts_;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_TOKENIZER_BPE_TRAINER_H_

@@ -1,0 +1,41 @@
+#include "tokenizer/pre_tokenizer.h"
+
+namespace ndss {
+
+namespace {
+
+bool IsSpaceChar(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+}  // namespace
+
+std::vector<std::string_view> PreTokenize(std::string_view text) {
+  std::vector<std::string_view> chunks;
+  const size_t n = text.size();
+  size_t i = 0;
+  while (i < n) {
+    const size_t start = i;
+    if (text[i] == ' ' && i + 1 < n && !IsSpaceChar(text[i + 1])) {
+      // Single space glued to the following word.
+      ++i;
+      while (i < n && !IsSpaceChar(text[i])) ++i;
+    } else if (!IsSpaceChar(text[i])) {
+      while (i < n && !IsSpaceChar(text[i])) ++i;
+    } else {
+      // Whitespace run; stop before a space that glues to the next word.
+      while (i < n && IsSpaceChar(text[i])) {
+        if (text[i] == ' ' && i + 1 < n && !IsSpaceChar(text[i + 1]) &&
+            i > start) {
+          break;
+        }
+        ++i;
+      }
+    }
+    chunks.push_back(text.substr(start, i - start));
+  }
+  return chunks;
+}
+
+}  // namespace ndss

@@ -1,0 +1,18 @@
+#ifndef NDSS_TOKENIZER_PRE_TOKENIZER_H_
+#define NDSS_TOKENIZER_PRE_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndss {
+
+/// Splits raw text into pre-token chunks for BPE, GPT-2 style: a word keeps
+/// its single leading space (" world"), longer whitespace runs form their own
+/// chunks. The split is lossless: concatenating the chunks reproduces the
+/// input exactly, so Encode/Decode round-trips.
+std::vector<std::string_view> PreTokenize(std::string_view text);
+
+}  // namespace ndss
+
+#endif  // NDSS_TOKENIZER_PRE_TOKENIZER_H_

@@ -1,0 +1,38 @@
+#ifndef NDSS_WINDOW_COMPACT_WINDOW_H_
+#define NDSS_WINDOW_COMPACT_WINDOW_H_
+
+#include <cstdint>
+
+namespace ndss {
+
+/// A compact window (l, c, r) within one text under one hash function
+/// (Section 3.3 of the paper): it represents every sequence T[i, j] with
+/// l <= i <= c <= j <= r, and all of those sequences share the min-hash
+/// value f(T[c]). Positions are 0-based and inclusive (the paper uses
+/// 1-based).
+///
+/// A window is *valid* for length threshold t when its width r - l + 1 >= t;
+/// the generator only emits valid windows.
+struct CompactWindow {
+  uint32_t l;  ///< leftmost start position represented
+  uint32_t c;  ///< centre: position of the (leftmost) minimum token hash
+  uint32_t r;  ///< rightmost end position represented
+
+  /// Width of the window, r - l + 1.
+  uint32_t width() const { return r - l + 1; }
+
+  friend bool operator==(const CompactWindow& a, const CompactWindow& b) {
+    return a.l == b.l && a.c == b.c && a.r == b.r;
+  }
+};
+
+/// Expected number of valid compact windows for a text of n distinct tokens
+/// and length threshold t (Theorem 1): 2(n+1)/(t+1) - 1 when n >= t, else 0.
+inline double ExpectedWindowCount(uint64_t n, uint64_t t) {
+  if (n < t) return 0.0;
+  return 2.0 * static_cast<double>(n + 1) / static_cast<double>(t + 1) - 1.0;
+}
+
+}  // namespace ndss
+
+#endif  // NDSS_WINDOW_COMPACT_WINDOW_H_

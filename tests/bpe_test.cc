@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "corpusgen/synthetic.h"
+#include "tokenizer/bpe_model.h"
+#include "tokenizer/bpe_tokenizer.h"
+#include "tokenizer/bpe_trainer.h"
+
+namespace ndss {
+namespace {
+
+TEST(BpeModelTest, ByteLevelHas256Tokens) {
+  BpeModel model = BpeModel::ByteLevel();
+  EXPECT_EQ(model.vocab_size(), 256u);
+  EXPECT_EQ(model.num_merges(), 0u);
+  EXPECT_EQ(model.TokenString('a'), "a");
+}
+
+TEST(BpeModelTest, FromMergesBuildsVocabStrings) {
+  // Merge 'a'+'b' -> 256, then 256+'c' -> 257.
+  auto model = BpeModel::FromMerges({{'a', 'b'}, {256, 'c'}});
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->vocab_size(), 258u);
+  EXPECT_EQ(model->TokenString(256), "ab");
+  EXPECT_EQ(model->TokenString(257), "abc");
+  EXPECT_EQ(model->MergeRank('a', 'b'), 0u);
+  EXPECT_EQ(model->MergeRank(256, 'c'), 1u);
+  EXPECT_EQ(model->MergeRank('x', 'y'), BpeModel::kNoMerge);
+}
+
+TEST(BpeModelTest, ForwardReferenceRejected) {
+  EXPECT_FALSE(BpeModel::FromMerges({{300, 'a'}}).ok());
+}
+
+TEST(BpeModelTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bpe_model_test.bpe";
+  auto model = BpeModel::FromMerges({{'a', 'b'}, {256, 'c'}, {'d', 'e'}});
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->Save(path).ok());
+  auto loaded = BpeModel::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->vocab_size(), model->vocab_size());
+  EXPECT_EQ(loaded->merges(), model->merges());
+  std::filesystem::remove(path);
+}
+
+TEST(BpeTokenizerTest, ByteLevelEncodesBytes) {
+  BpeModel model = BpeModel::ByteLevel();
+  BpeTokenizer tokenizer(model);
+  std::vector<Token> tokens = tokenizer.Encode("hi");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], static_cast<Token>('h'));
+  EXPECT_EQ(tokens[1], static_cast<Token>('i'));
+}
+
+TEST(BpeTokenizerTest, MergesApplyInOrder) {
+  auto model = BpeModel::FromMerges({{'a', 'b'}, {256, 'c'}});
+  ASSERT_TRUE(model.ok());
+  BpeTokenizer tokenizer(*model);
+  std::vector<Token> tokens = tokenizer.Encode("abc");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], 257u);
+  EXPECT_EQ(tokenizer.Decode(tokens), "abc");
+}
+
+TEST(BpeTokenizerTest, TrainedModelRoundTripsText) {
+  const std::string text = GenerateSyntheticEnglish(500, 11);
+  BpeTrainerOptions options;
+  options.vocab_size = 600;
+  BpeTrainer trainer(options);
+  trainer.AddText(text);
+  auto model = trainer.Train();
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_GT(model->num_merges(), 50u);
+  EXPECT_LE(model->vocab_size(), 600u);
+
+  BpeTokenizer tokenizer(*model);
+  const std::string sample = text.substr(0, 2000);
+  std::vector<Token> tokens = tokenizer.Encode(sample);
+  EXPECT_EQ(tokenizer.Decode(tokens), sample);
+  // Compression: trained BPE should use fewer tokens than bytes.
+  EXPECT_LT(tokens.size(), sample.size());
+}
+
+TEST(BpeTokenizerTest, LargerVocabCompressesBetter) {
+  const std::string text = GenerateSyntheticEnglish(800, 13);
+  std::vector<size_t> token_counts;
+  for (uint32_t vocab : {300u, 600u, 1200u}) {
+    BpeTrainerOptions options;
+    options.vocab_size = vocab;
+    BpeTrainer trainer(options);
+    trainer.AddText(text);
+    auto model = trainer.Train();
+    ASSERT_TRUE(model.ok());
+    BpeTokenizer tokenizer(*model);
+    token_counts.push_back(tokenizer.Encode(text).size());
+  }
+  EXPECT_LE(token_counts[1], token_counts[0]);
+  EXPECT_LE(token_counts[2], token_counts[1]);
+}
+
+TEST(BpeTokenizerTest, EncodeDecodeRoundTripsArbitraryBytes) {
+  auto model = BpeModel::FromMerges({{'t', 'h'}, {256, 'e'}});
+  ASSERT_TRUE(model.ok());
+  BpeTokenizer tokenizer(*model);
+  const std::string cases[] = {
+      "the theme thereof",
+      "  spaces   galore  ",
+      "bytes\x01\x02\xff\x80mixed",
+      "",
+      "\n\n\n",
+  };
+  for (const std::string& input : cases) {
+    EXPECT_EQ(tokenizer.Decode(tokenizer.Encode(input)), input);
+  }
+}
+
+TEST(BpeTokenizerTest, EncoderMatchesTrainerSegmentation) {
+  // Words seen during training must re-tokenize to single tokens when their
+  // full merge chain exists.
+  BpeTrainerOptions options;
+  options.vocab_size = 300;
+  options.min_pair_frequency = 1;
+  BpeTrainer trainer(options);
+  for (int i = 0; i < 50; ++i) trainer.AddText("cat cat cat");
+  auto model = trainer.Train();
+  ASSERT_TRUE(model.ok());
+  BpeTokenizer tokenizer(*model);
+  std::vector<Token> tokens = tokenizer.Encode("cat");
+  EXPECT_EQ(tokens.size(), 1u) << "'cat' should be one merged token";
+}
+
+TEST(BpeTrainerTest, VocabBelow256Rejected) {
+  BpeTrainerOptions options;
+  options.vocab_size = 100;
+  BpeTrainer trainer(options);
+  trainer.AddText("abc");
+  EXPECT_FALSE(trainer.Train().ok());
+}
+
+TEST(BpeTrainerTest, MinFrequencyStopsMerging) {
+  BpeTrainerOptions options;
+  options.vocab_size = 10000;
+  options.min_pair_frequency = 100;  // nothing is that frequent here
+  BpeTrainer trainer(options);
+  trainer.AddText("a few rare words only once");
+  auto model = trainer.Train();
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_merges(), 0u);
+}
+
+TEST(BpeTrainerTest, DeterministicAcrossRuns) {
+  const std::string text = GenerateSyntheticEnglish(200, 17);
+  auto train = [&text]() {
+    BpeTrainerOptions options;
+    options.vocab_size = 400;
+    BpeTrainer trainer(options);
+    trainer.AddText(text);
+    return trainer.Train();
+  };
+  auto m1 = train();
+  auto m2 = train();
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_EQ(m1->merges(), m2->merges());
+}
+
+}  // namespace
+}  // namespace ndss

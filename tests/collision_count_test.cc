@@ -1,0 +1,143 @@
+#include "query/collision_count.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace ndss {
+namespace {
+
+// Naive ground truth: number of windows containing sequence (i, j).
+uint32_t NaiveCollisions(const std::vector<PostedWindow>& windows, uint32_t i,
+                         uint32_t j) {
+  uint32_t count = 0;
+  for (const PostedWindow& w : windows) {
+    if (w.l <= i && i <= w.c && w.c <= j && j <= w.r) ++count;
+  }
+  return count;
+}
+
+// Rectangle cover of (i, j) among CollisionCount results.
+int RectanglesContaining(const std::vector<MatchRectangle>& rects, uint32_t i,
+                         uint32_t j, uint32_t* collisions) {
+  int containing = 0;
+  for (const MatchRectangle& r : rects) {
+    if (r.x_begin <= i && i <= r.x_end && r.y_begin <= j && j <= r.y_end) {
+      ++containing;
+      *collisions = r.collisions;
+    }
+  }
+  return containing;
+}
+
+void CheckAgainstNaive(const std::vector<PostedWindow>& windows,
+                       uint32_t alpha, uint32_t max_pos) {
+  std::vector<MatchRectangle> rects;
+  CollisionCount(windows, alpha, &rects);
+  for (uint32_t i = 0; i <= max_pos; ++i) {
+    for (uint32_t j = i; j <= max_pos; ++j) {
+      const uint32_t naive = NaiveCollisions(windows, i, j);
+      uint32_t reported = 0;
+      const int containing = RectanglesContaining(rects, i, j, &reported);
+      if (naive >= alpha) {
+        ASSERT_EQ(containing, 1) << "(" << i << "," << j << ")";
+        ASSERT_EQ(reported, naive) << "(" << i << "," << j << ")";
+      } else {
+        ASSERT_EQ(containing, 0) << "(" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+PostedWindow W(uint32_t l, uint32_t c, uint32_t r) {
+  return PostedWindow{0, l, c, r};
+}
+
+TEST(CollisionCountTest, EmptyGroup) {
+  std::vector<MatchRectangle> rects;
+  CollisionCount({}, 1, &rects);
+  EXPECT_TRUE(rects.empty());
+}
+
+TEST(CollisionCountTest, SingleWindowAlphaOne) {
+  std::vector<PostedWindow> windows = {W(2, 4, 7)};
+  std::vector<MatchRectangle> rects;
+  CollisionCount(windows, 1, &rects);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0].x_begin, 2u);
+  EXPECT_EQ(rects[0].x_end, 4u);
+  EXPECT_EQ(rects[0].y_begin, 4u);
+  EXPECT_EQ(rects[0].y_end, 7u);
+  EXPECT_EQ(rects[0].collisions, 1u);
+}
+
+TEST(CollisionCountTest, TwoWindowsSharedCore) {
+  // Windows overlap both on left and right sides.
+  std::vector<PostedWindow> windows = {W(0, 5, 10), W(3, 6, 12)};
+  CheckAgainstNaive(windows, 1, 14);
+  CheckAgainstNaive(windows, 2, 14);
+}
+
+TEST(CollisionCountTest, LeftOverlapButNoRightOverlap) {
+  // Left intervals overlap, right intervals are disjoint → no pair at
+  // alpha = 2.
+  std::vector<PostedWindow> windows = {W(0, 5, 6), W(2, 8, 12)};
+  std::vector<MatchRectangle> rects;
+  CollisionCount(windows, 2, &rects);
+  EXPECT_TRUE(rects.empty());
+  CheckAgainstNaive(windows, 1, 14);
+}
+
+TEST(CollisionCountTest, AlphaAboveGroupSize) {
+  std::vector<PostedWindow> windows = {W(0, 2, 4), W(1, 3, 5)};
+  std::vector<MatchRectangle> rects;
+  CollisionCount(windows, 3, &rects);
+  EXPECT_TRUE(rects.empty());
+}
+
+TEST(CollisionCountTest, IdenticalWindows) {
+  std::vector<PostedWindow> windows = {W(1, 3, 8), W(1, 3, 8), W(1, 3, 8)};
+  for (uint32_t alpha = 1; alpha <= 3; ++alpha) {
+    CheckAgainstNaive(windows, alpha, 10);
+  }
+}
+
+TEST(CollisionCountTest, RandomizedAgainstNaive) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t m = 1 + rng.Uniform(12);
+    std::vector<PostedWindow> windows;
+    for (size_t w = 0; w < m; ++w) {
+      const uint32_t c = static_cast<uint32_t>(rng.Uniform(25));
+      const uint32_t l = c - std::min<uint32_t>(c, rng.Uniform(8));
+      const uint32_t r = c + static_cast<uint32_t>(rng.Uniform(8));
+      windows.push_back(W(l, c, r));
+    }
+    for (uint32_t alpha : {1u, 2u, 3u, 4u}) {
+      CheckAgainstNaive(windows, alpha, 35);
+    }
+  }
+}
+
+TEST(CollisionCountTest, CollisionsNeverExceedGroupSize) {
+  Rng rng(5);
+  std::vector<PostedWindow> windows;
+  for (size_t w = 0; w < 10; ++w) {
+    const uint32_t c = 10 + static_cast<uint32_t>(rng.Uniform(5));
+    windows.push_back(W(c - rng.Uniform(10), c, c + rng.Uniform(10)));
+  }
+  std::vector<MatchRectangle> rects;
+  CollisionCount(windows, 1, &rects);
+  for (const MatchRectangle& r : rects) {
+    EXPECT_LE(r.collisions, windows.size());
+    EXPECT_GE(r.collisions, 1u);
+    EXPECT_LE(r.x_begin, r.x_end);
+    EXPECT_LE(r.y_begin, r.y_end);
+    EXPECT_LE(r.x_end, r.y_begin + 0u + 25u);  // sanity
+  }
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,141 @@
+// Concurrency: one searcher per thread over the same index files must
+// produce identical results; parallel index builds into distinct
+// directories must not interfere.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "corpusgen/synthetic.h"
+#include "index/index_builder.h"
+#include "query/searcher.h"
+
+namespace ndss {
+namespace {
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_conc_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ConcurrencyTest, OneSearcherPerThreadAgrees) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 100;
+  corpus_options.vocab_size = 1000;
+  corpus_options.plant_rate = 0.3;
+  corpus_options.seed = 90;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  IndexBuildOptions build;
+  build.k = 8;
+  build.t = 20;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_, build).ok());
+
+  // Reference results from a single searcher.
+  auto reference = Searcher::Open(dir_);
+  ASSERT_TRUE(reference.ok());
+  std::vector<std::vector<Token>> queries;
+  Rng rng(4);
+  for (int q = 0; q < 12; ++q) {
+    const TextId id = static_cast<TextId>(rng.Uniform(100));
+    const auto text = sc.corpus.text(id);
+    const uint32_t length =
+        std::min<uint32_t>(40, static_cast<uint32_t>(text.size()));
+    queries.push_back(PerturbSequence(text, 0, length, 0.05, 1000, rng));
+  }
+  SearchOptions options;
+  options.theta = 0.8;
+  std::vector<size_t> expected_counts;
+  for (const auto& query : queries) {
+    auto result = reference->Search(query, options);
+    ASSERT_TRUE(result.ok());
+    expected_counts.push_back(result->spans.size());
+  }
+
+  // 4 threads, each with its own searcher, each running all queries.
+  std::vector<std::thread> threads;
+  std::vector<int> failures(4, 0);
+  for (int th = 0; th < 4; ++th) {
+    threads.emplace_back([&, th] {
+      auto searcher = Searcher::Open(dir_);
+      if (!searcher.ok()) {
+        failures[th] = -1;
+        return;
+      }
+      for (size_t q = 0; q < queries.size(); ++q) {
+        auto result = searcher->Search(queries[q], options);
+        if (!result.ok() || result->spans.size() != expected_counts[q]) {
+          ++failures[th];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int th = 0; th < 4; ++th) {
+    EXPECT_EQ(failures[th], 0) << "thread " << th;
+  }
+}
+
+TEST_F(ConcurrencyTest, ParallelBuildsIntoSeparateDirectories) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 60;
+  corpus_options.vocab_size = 500;
+  corpus_options.seed = 91;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  IndexBuildOptions build;
+  build.k = 4;
+  build.t = 15;
+
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> window_counts(3, 0);
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&, i] {
+      auto stats = BuildIndexInMemory(sc.corpus,
+                                      dir_ + "/b" + std::to_string(i), build);
+      if (stats.ok()) window_counts[i] = stats->num_windows;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_GT(window_counts[0], 0u);
+  EXPECT_EQ(window_counts[0], window_counts[1]);
+  EXPECT_EQ(window_counts[1], window_counts[2]);
+}
+
+TEST_F(ConcurrencyTest, InMemorySearchersShareNothing) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 40;
+  corpus_options.vocab_size = 500;
+  corpus_options.seed = 92;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  IndexBuildOptions build;
+  build.k = 4;
+  build.t = 15;
+
+  std::vector<std::thread> threads;
+  std::vector<int> ok(4, 0);
+  for (int th = 0; th < 4; ++th) {
+    threads.emplace_back([&, th] {
+      auto searcher = Searcher::InMemory(sc.corpus, build);
+      if (!searcher.ok()) return;
+      const auto text = sc.corpus.text(th);
+      const std::vector<Token> query(text.begin(), text.begin() + 20);
+      SearchOptions options;
+      options.theta = 0.9;
+      auto result = searcher->Search(query, options);
+      if (result.ok() && !result->spans.empty()) ok[th] = 1;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int th = 0; th < 4; ++th) EXPECT_EQ(ok[th], 1) << "thread " << th;
+}
+
+}  // namespace
+}  // namespace ndss

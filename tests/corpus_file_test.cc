@@ -1,0 +1,150 @@
+#include "text/corpus_file.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ndss {
+namespace {
+
+class CorpusFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ndss_corpus_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".crp";
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  Corpus MakeCorpus(uint32_t num_texts, uint32_t max_len, uint64_t seed) {
+    Corpus corpus;
+    Rng rng(seed);
+    for (uint32_t i = 0; i < num_texts; ++i) {
+      std::vector<Token> text(1 + rng.Uniform(max_len));
+      for (auto& token : text) token = static_cast<Token>(rng.Uniform(1000));
+      corpus.AddText(text);
+    }
+    return corpus;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CorpusFileTest, WriteReadAllRoundTrip) {
+  Corpus corpus = MakeCorpus(50, 100, 1);
+  ASSERT_TRUE(WriteCorpusFile(path_, corpus).ok());
+  auto loaded = ReadCorpusFile(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_texts(), corpus.num_texts());
+  EXPECT_EQ(loaded->total_tokens(), corpus.total_tokens());
+  for (size_t i = 0; i < corpus.num_texts(); ++i) {
+    ASSERT_EQ(std::vector<Token>(loaded->text(i).begin(),
+                                 loaded->text(i).end()),
+              std::vector<Token>(corpus.text(i).begin(),
+                                 corpus.text(i).end()));
+  }
+}
+
+TEST_F(CorpusFileTest, RandomAccessReadText) {
+  Corpus corpus = MakeCorpus(30, 50, 2);
+  ASSERT_TRUE(WriteCorpusFile(path_, corpus).ok());
+  auto reader = CorpusFileReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  for (TextId id : {0u, 29u, 7u, 15u, 7u}) {
+    auto text = reader->ReadText(id);
+    ASSERT_TRUE(text.ok());
+    EXPECT_EQ(*text, std::vector<Token>(corpus.text(id).begin(),
+                                        corpus.text(id).end()));
+  }
+}
+
+TEST_F(CorpusFileTest, ReadTextOutOfRange) {
+  Corpus corpus = MakeCorpus(3, 10, 3);
+  ASSERT_TRUE(WriteCorpusFile(path_, corpus).ok());
+  auto reader = CorpusFileReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->ReadText(3).status().IsOutOfRange());
+}
+
+TEST_F(CorpusFileTest, StreamingBatchesCoverEverythingInOrder) {
+  Corpus corpus = MakeCorpus(100, 40, 4);
+  ASSERT_TRUE(WriteCorpusFile(path_, corpus).ok());
+  auto reader = CorpusFileReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+
+  size_t texts_seen = 0;
+  uint64_t tokens_seen = 0;
+  for (;;) {
+    auto batch = reader->ReadBatch(500);
+    ASSERT_TRUE(batch.ok());
+    if (batch->empty()) break;
+    EXPECT_EQ(batch->base_id(), texts_seen);
+    for (size_t i = 0; i < batch->num_texts(); ++i) {
+      const size_t global = texts_seen + i;
+      ASSERT_EQ(std::vector<Token>(batch->text(i).begin(),
+                                   batch->text(i).end()),
+                std::vector<Token>(corpus.text(global).begin(),
+                                   corpus.text(global).end()));
+    }
+    texts_seen += batch->num_texts();
+    tokens_seen += batch->total_tokens();
+  }
+  EXPECT_EQ(texts_seen, corpus.num_texts());
+  EXPECT_EQ(tokens_seen, corpus.total_tokens());
+}
+
+TEST_F(CorpusFileTest, BatchRespectsTokenBudgetButProgresses) {
+  Corpus corpus = MakeCorpus(10, 30, 5);
+  ASSERT_TRUE(WriteCorpusFile(path_, corpus).ok());
+  auto reader = CorpusFileReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  // A 1-token budget still returns one text per batch.
+  size_t batches = 0;
+  for (;;) {
+    auto batch = reader->ReadBatch(1);
+    ASSERT_TRUE(batch.ok());
+    if (batch->empty()) break;
+    EXPECT_EQ(batch->num_texts(), 1u);
+    ++batches;
+  }
+  EXPECT_EQ(batches, 10u);
+}
+
+TEST_F(CorpusFileTest, EmptyTextRejected) {
+  auto writer = CorpusFileWriter::Create(path_);
+  ASSERT_TRUE(writer.ok());
+  std::vector<Token> empty;
+  EXPECT_TRUE(writer->Append(empty).status().IsInvalidArgument());
+}
+
+TEST_F(CorpusFileTest, CorruptFileRejected) {
+  ASSERT_TRUE(WriteStringToFile(path_, "not a corpus file at all").ok());
+  EXPECT_FALSE(CorpusFileReader::Open(path_).ok());
+}
+
+TEST_F(CorpusFileTest, MixedRandomAndStreamingAccess) {
+  Corpus corpus = MakeCorpus(20, 20, 6);
+  ASSERT_TRUE(WriteCorpusFile(path_, corpus).ok());
+  auto reader = CorpusFileReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  auto batch = reader->ReadBatch(10);
+  ASSERT_TRUE(batch.ok());
+  // Random access invalidates the cursor; the next batch restarts cleanly.
+  ASSERT_TRUE(reader->ReadText(5).ok());
+  ASSERT_TRUE(reader->SeekToStart().ok());
+  size_t texts = 0;
+  for (;;) {
+    auto b = reader->ReadBatch(1000000);
+    ASSERT_TRUE(b.ok());
+    if (b->empty()) break;
+    texts += b->num_texts();
+  }
+  EXPECT_EQ(texts, 20u);
+}
+
+}  // namespace
+}  // namespace ndss

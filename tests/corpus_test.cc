@@ -1,0 +1,75 @@
+#include "text/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ndss {
+namespace {
+
+TEST(CorpusTest, EmptyCorpus) {
+  Corpus corpus;
+  EXPECT_TRUE(corpus.empty());
+  EXPECT_EQ(corpus.num_texts(), 0u);
+  EXPECT_EQ(corpus.total_tokens(), 0u);
+}
+
+TEST(CorpusTest, AddTextAssignsSequentialIds) {
+  Corpus corpus;
+  std::vector<Token> a = {1, 2, 3};
+  std::vector<Token> b = {4, 5};
+  EXPECT_EQ(corpus.AddText(a), 0u);
+  EXPECT_EQ(corpus.AddText(b), 1u);
+  EXPECT_EQ(corpus.num_texts(), 2u);
+  EXPECT_EQ(corpus.total_tokens(), 5u);
+  EXPECT_EQ(corpus.text_length(0), 3u);
+  EXPECT_EQ(corpus.text_length(1), 2u);
+}
+
+TEST(CorpusTest, TextContentsPreserved) {
+  Corpus corpus;
+  std::vector<Token> a = {10, 20, 30};
+  corpus.AddText(a);
+  std::span<const Token> view = corpus.text(0);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], 10u);
+  EXPECT_EQ(view[2], 30u);
+}
+
+TEST(CorpusTest, BaseIdOffsetsIds) {
+  Corpus corpus;
+  corpus.set_base_id(100);
+  std::vector<Token> a = {1};
+  EXPECT_EQ(corpus.AddText(a), 100u);
+  EXPECT_EQ(corpus.AddText(a), 101u);
+  EXPECT_EQ(corpus.text_by_id(100).size(), 1u);
+  EXPECT_EQ(corpus.base_id(), 100u);
+}
+
+TEST(CorpusTest, ClearResets) {
+  Corpus corpus;
+  std::vector<Token> a = {1, 2};
+  corpus.AddText(a);
+  corpus.set_base_id(5);
+  corpus.Clear();
+  EXPECT_TRUE(corpus.empty());
+  EXPECT_EQ(corpus.base_id(), 0u);
+  EXPECT_EQ(corpus.AddText(a), 0u);
+}
+
+TEST(CorpusTest, ManyTextsFlatStorage) {
+  Corpus corpus;
+  for (Token t = 0; t < 1000; ++t) {
+    std::vector<Token> text(7, t);
+    corpus.AddText(text);
+  }
+  EXPECT_EQ(corpus.num_texts(), 1000u);
+  EXPECT_EQ(corpus.total_tokens(), 7000u);
+  for (size_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(corpus.text(i).size(), 7u);
+    ASSERT_EQ(corpus.text(i)[3], i);
+  }
+}
+
+}  // namespace
+}  // namespace ndss

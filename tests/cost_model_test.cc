@@ -1,0 +1,121 @@
+#include "query/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "corpusgen/synthetic.h"
+#include "index/index_builder.h"
+#include "query/searcher.h"
+
+namespace ndss {
+namespace {
+
+TEST(CostModelTest, BetaOneDefersNothing) {
+  std::vector<uint64_t> counts = {1000000, 1000, 10};
+  auto deferred = SelectDeferredLists(counts, 1, 16.0, CostModelParams{});
+  for (bool d : deferred) EXPECT_FALSE(d);
+}
+
+TEST(CostModelTest, DefersAtMostBetaMinusOne) {
+  std::vector<uint64_t> counts(8, 100000000);  // all enormous
+  auto deferred = SelectDeferredLists(counts, 3, 16.0, CostModelParams{});
+  int num_deferred = 0;
+  for (bool d : deferred) num_deferred += d ? 1 : 0;
+  EXPECT_LE(num_deferred, 2);
+}
+
+TEST(CostModelTest, DefersLongestListsFirst) {
+  std::vector<uint64_t> counts = {10, 50000000, 20, 40000000, 30};
+  auto deferred = SelectDeferredLists(counts, 3, 16.0, CostModelParams{});
+  EXPECT_TRUE(deferred[1]);
+  EXPECT_TRUE(deferred[3]);
+  EXPECT_FALSE(deferred[0]);
+  EXPECT_FALSE(deferred[2]);
+  EXPECT_FALSE(deferred[4]);
+}
+
+TEST(CostModelTest, TinyListsAreNotDeferred) {
+  // Scanning a 10-window list is far cheaper than probing candidates.
+  std::vector<uint64_t> counts = {10, 12, 9, 11};
+  auto deferred = SelectDeferredLists(counts, 4, 16.0, CostModelParams{});
+  for (bool d : deferred) EXPECT_FALSE(d);
+}
+
+TEST(CostModelTest, EmptyListsNeverDeferred) {
+  std::vector<uint64_t> counts = {0, 0, 50000000, 0};
+  auto deferred = SelectDeferredLists(counts, 4, 16.0, CostModelParams{});
+  EXPECT_FALSE(deferred[0]);
+  EXPECT_FALSE(deferred[1]);
+  EXPECT_FALSE(deferred[3]);
+}
+
+TEST(CostModelTest, ExpensiveProbesDisableDeferral) {
+  std::vector<uint64_t> counts = {100000, 90000, 100, 100};
+  CostModelParams expensive;
+  expensive.probe_seconds = 1.0;  // probes cost a second each
+  auto deferred = SelectDeferredLists(counts, 4, 16.0, expensive);
+  for (bool d : deferred) EXPECT_FALSE(d);
+}
+
+class CostModelSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_costmodel_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(CostModelSearchTest, CostModelSearchMatchesFixedThreshold) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 100;
+  corpus_options.vocab_size = 150;
+  corpus_options.zipf_exponent = 1.2;
+  corpus_options.plant_rate = 0.4;
+  corpus_options.seed = 17;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+
+  IndexBuildOptions build;
+  build.k = 8;
+  build.t = 20;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_, build).ok());
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+
+  Rng rng(3);
+  for (int q = 0; q < 6; ++q) {
+    const TextId source = static_cast<TextId>(rng.Uniform(100));
+    const auto text = sc.corpus.text(source);
+    const uint32_t length =
+        std::min<uint32_t>(40, static_cast<uint32_t>(text.size()));
+    const uint32_t begin =
+        static_cast<uint32_t>(rng.Uniform(text.size() - length + 1));
+    const std::vector<Token> query =
+        PerturbSequence(text, begin, length, 0.1, 150, rng);
+
+    SearchOptions cost_model;
+    cost_model.theta = 0.7;
+    cost_model.use_cost_model = true;
+    SearchOptions fixed;
+    fixed.theta = 0.7;
+    fixed.use_prefix_filter = false;
+
+    auto a = searcher->Search(query, cost_model);
+    auto b = searcher->Search(query, fixed);
+    ASSERT_TRUE(a.ok() && b.ok());
+    // Same result rectangles regardless of deferral strategy.
+    ASSERT_EQ(a->rectangles.size(), b->rectangles.size()) << "query " << q;
+    for (size_t i = 0; i < a->rectangles.size(); ++i) {
+      EXPECT_EQ(a->rectangles[i].text, b->rectangles[i].text);
+      EXPECT_EQ(a->rectangles[i].rect.collisions,
+                b->rectangles[i].rect.collisions);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,67 @@
+// The memorization harness moved to SearchBatch; this guards that the
+// batched evaluation reports exactly what a per-window loop would.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "corpusgen/synthetic.h"
+#include "eval/memorization_eval.h"
+#include "index/index_builder.h"
+#include "lm/memorizing_generator.h"
+
+namespace ndss {
+namespace {
+
+TEST(EvalBatchEquivalenceTest, BatchedRatioMatchesPerWindowLoop) {
+  const std::string dir = ::testing::TempDir() + "/ndss_evalbatch";
+  std::filesystem::remove_all(dir);
+
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 100;
+  corpus_options.min_text_length = 150;
+  corpus_options.max_text_length = 300;
+  corpus_options.vocab_size = 1500;
+  corpus_options.plant_rate = 0.0;
+  corpus_options.seed = 77;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+
+  IndexBuildOptions build;
+  build.k = 8;
+  build.t = 20;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir, build).ok());
+  auto searcher = Searcher::Open(dir);
+  ASSERT_TRUE(searcher.ok());
+
+  NGramModel model(3);
+  model.Train(sc.corpus);
+  MemorizationProfile profile;
+  profile.copy_start_prob = 0.02;
+  MemorizingGenerator generator(model, sc.corpus, profile, 5);
+  const GeneratedTexts generated =
+      generator.Generate(5, 256, SamplingOptions{});
+
+  MemorizationEvalOptions options;
+  options.window_width = 32;
+  options.search.theta = 0.8;
+  auto report = EvaluateMemorization(*searcher, generated.texts, options);
+  ASSERT_TRUE(report.ok());
+
+  // Per-window reference loop.
+  uint64_t windows = 0, memorized = 0;
+  for (const auto& text : generated.texts) {
+    for (size_t begin = 0; begin + 32 <= text.size(); begin += 32) {
+      auto result = searcher->Search(
+          std::span<const Token>(text.data() + begin, 32), options.search);
+      ASSERT_TRUE(result.ok());
+      ++windows;
+      if (!result->rectangles.empty()) ++memorized;
+    }
+  }
+  EXPECT_EQ(report->windows, windows);
+  EXPECT_EQ(report->memorized, memorized);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,159 @@
+// Failure injection: truncated and bit-flipped index/corpus/model files
+// must produce clean Status errors (Corruption / IOError), never crashes or
+// silent wrong answers.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "corpusgen/synthetic.h"
+#include "index/index_builder.h"
+#include "index/inverted_index_reader.h"
+#include "query/searcher.h"
+#include "text/corpus_file.h"
+#include "tokenizer/bpe_model.h"
+
+namespace ndss {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_fail_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(CreateDirectories(dir_).ok());
+
+    SyntheticCorpusOptions options;
+    options.num_texts = 30;
+    options.vocab_size = 200;
+    options.seed = 50;
+    sc_ = GenerateSyntheticCorpus(options);
+
+    IndexBuildOptions build;
+    build.k = 4;
+    build.t = 15;
+    ASSERT_TRUE(BuildIndexInMemory(sc_.corpus, dir_ + "/idx", build).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Truncates `path` to `size` bytes.
+  static void Truncate(const std::string& path, uint64_t size) {
+    std::filesystem::resize_file(path, size);
+  }
+
+  /// Flips one byte of `path` at `offset`.
+  static void FlipByte(const std::string& path, uint64_t offset) {
+    auto data = ReadFileToString(path);
+    ASSERT_TRUE(data.ok());
+    ASSERT_LT(offset, data->size());
+    (*data)[offset] ^= 0x5a;
+    ASSERT_TRUE(WriteStringToFile(path, *data).ok());
+  }
+
+  std::string dir_;
+  SyntheticCorpus sc_;
+};
+
+TEST_F(FailureInjectionTest, TruncatedIndexFileRejectedAtEveryLength) {
+  const std::string path = IndexMeta::InvertedIndexPath(dir_ + "/idx", 0);
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  // A range of truncation points: header, mid-lists, mid-directory.
+  for (uint64_t keep :
+       {uint64_t{0}, uint64_t{10}, uint64_t{24}, *size / 2, *size - 8,
+        *size - 1}) {
+    const std::string copy = dir_ + "/trunc.ndx";
+    std::filesystem::copy_file(
+        path, copy, std::filesystem::copy_options::overwrite_existing);
+    Truncate(copy, keep);
+    auto reader = InvertedIndexReader::Open(copy);
+    EXPECT_FALSE(reader.ok()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST_F(FailureInjectionTest, CorruptHeaderMagicRejected) {
+  const std::string path = IndexMeta::InvertedIndexPath(dir_ + "/idx", 1);
+  FlipByte(path, 3);
+  EXPECT_FALSE(InvertedIndexReader::Open(path).ok());
+}
+
+TEST_F(FailureInjectionTest, CorruptFooterMagicRejected) {
+  const std::string path = IndexMeta::InvertedIndexPath(dir_ + "/idx", 1);
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  FlipByte(path, *size - 2);
+  EXPECT_FALSE(InvertedIndexReader::Open(path).ok());
+}
+
+TEST_F(FailureInjectionTest, MissingIndexFileFailsOpen) {
+  ASSERT_TRUE(
+      RemoveFile(IndexMeta::InvertedIndexPath(dir_ + "/idx", 2)).ok());
+  EXPECT_FALSE(Searcher::Open(dir_ + "/idx").ok());
+}
+
+TEST_F(FailureInjectionTest, CorruptMetaRejected) {
+  FlipByte(dir_ + "/idx/index.meta", 0);
+  EXPECT_FALSE(Searcher::Open(dir_ + "/idx").ok());
+}
+
+TEST_F(FailureInjectionTest, TruncatedMetaRejected) {
+  Truncate(dir_ + "/idx/index.meta", 10);
+  EXPECT_FALSE(Searcher::Open(dir_ + "/idx").ok());
+}
+
+TEST_F(FailureInjectionTest, TruncatedCorpusRejected) {
+  const std::string path = dir_ + "/corpus.crp";
+  ASSERT_TRUE(WriteCorpusFile(path, sc_.corpus).ok());
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  for (uint64_t keep : {uint64_t{0}, uint64_t{7}, *size / 2, *size - 3}) {
+    const std::string copy = dir_ + "/trunc.crp";
+    std::filesystem::copy_file(
+        path, copy, std::filesystem::copy_options::overwrite_existing);
+    Truncate(copy, keep);
+    auto reader = CorpusFileReader::Open(copy);
+    if (reader.ok()) {
+      // A truncation can preserve the footer region only if it removed
+      // nothing relevant; reading all texts must then still fail or
+      // succeed without crashing.
+      auto all = reader->ReadAll();
+      (void)all;
+    }
+  }
+  SUCCEED();
+}
+
+TEST_F(FailureInjectionTest, CorruptBpeModelRejected) {
+  const std::string path = dir_ + "/model.bpe";
+  auto model = BpeModel::FromMerges({{'a', 'b'}, {256, 'c'}});
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->Save(path).ok());
+  FlipByte(path, 1);
+  EXPECT_FALSE(BpeModel::Load(path).ok());
+  // Truncated model file.
+  ASSERT_TRUE(model->Save(path).ok());
+  Truncate(path, 12);
+  EXPECT_FALSE(BpeModel::Load(path).ok());
+}
+
+TEST_F(FailureInjectionTest, SearchAfterListRegionCorruptionIsContained) {
+  // Flip a byte inside the posting region; opening still succeeds (the
+  // directory is intact) and searches must not crash — results may change
+  // but every path returns a Status.
+  const std::string path = IndexMeta::InvertedIndexPath(dir_ + "/idx", 0);
+  FlipByte(path, 30);  // inside the first list
+  auto searcher = Searcher::Open(dir_ + "/idx");
+  if (!searcher.ok()) return;  // also acceptable
+  const auto text = sc_.corpus.text(0);
+  const std::vector<Token> query(text.begin(), text.begin() + 20);
+  SearchOptions options;
+  options.theta = 0.5;
+  auto result = searcher->Search(query, options);
+  (void)result;  // ok() either way; must simply not crash
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,163 @@
+#include "common/file_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/coding.h"
+
+namespace ndss {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_file_io_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(CreateDirectories(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(FileIoTest, WriteThenReadRoundTrip) {
+  const std::string path = Path("roundtrip");
+  {
+    auto writer = FileWriter::Open(path);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    ASSERT_TRUE(writer->Append("hello ").ok());
+    ASSERT_TRUE(writer->Append("world").ok());
+    ASSERT_TRUE(writer->AppendU32(123u).ok());
+    ASSERT_TRUE(writer->AppendU64(456ull).ok());
+    EXPECT_EQ(writer->bytes_written(), 11u + 4 + 8);
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto reader = FileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->size(), 23u);
+  char buf[11];
+  ASSERT_TRUE(reader->ReadExact(buf, 11).ok());
+  EXPECT_EQ(std::string(buf, 11), "hello world");
+  auto u32 = reader->ReadU32();
+  ASSERT_TRUE(u32.ok());
+  EXPECT_EQ(u32.value(), 123u);
+  auto u64 = reader->ReadU64();
+  ASSERT_TRUE(u64.ok());
+  EXPECT_EQ(u64.value(), 456ull);
+}
+
+TEST_F(FileIoTest, ShortReadIsIOError) {
+  const std::string path = Path("short");
+  ASSERT_TRUE(WriteStringToFile(path, "abc").ok());
+  auto reader = FileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  char buf[8];
+  EXPECT_TRUE(reader->ReadExact(buf, 8).IsIOError());
+}
+
+TEST_F(FileIoTest, ReadAtRandomAccess) {
+  const std::string path = Path("random");
+  ASSERT_TRUE(WriteStringToFile(path, "0123456789").ok());
+  auto reader = FileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  char buf[3];
+  ASSERT_TRUE(reader->ReadAt(7, buf, 3).ok());
+  EXPECT_EQ(std::string(buf, 3), "789");
+  ASSERT_TRUE(reader->ReadAt(0, buf, 3).ok());
+  EXPECT_EQ(std::string(buf, 3), "012");
+  EXPECT_EQ(reader->bytes_read(), 6u);
+}
+
+TEST_F(FileIoTest, LargeWriteBypassesBuffer) {
+  const std::string path = Path("large");
+  const std::string big(3 << 20, 'x');  // 3 MiB > 1 MiB buffer
+  {
+    auto writer = FileWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(big).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), big.size());
+}
+
+TEST_F(FileIoTest, AppendModeExtendsFile) {
+  const std::string path = Path("append");
+  ASSERT_TRUE(WriteStringToFile(path, "one").ok());
+  {
+    auto writer = FileWriter::OpenForAppend(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("two").ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto data = ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "onetwo");
+}
+
+TEST_F(FileIoTest, OpenMissingFileFails) {
+  EXPECT_TRUE(FileReader::Open(Path("missing")).status().IsIOError());
+}
+
+TEST_F(FileIoTest, FileExistsAndRemove) {
+  const std::string path = Path("exists");
+  EXPECT_FALSE(FileExists(path));
+  ASSERT_TRUE(WriteStringToFile(path, "x").ok());
+  EXPECT_TRUE(FileExists(path));
+  ASSERT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(RemoveFile(path).ok());  // idempotent
+}
+
+TEST_F(FileIoTest, FileSizeOfMissingIsNotFound) {
+  EXPECT_TRUE(FileSize(Path("missing")).status().IsNotFound());
+}
+
+TEST_F(FileIoTest, SeekAndSequentialMix) {
+  const std::string path = Path("seek");
+  ASSERT_TRUE(WriteStringToFile(path, "abcdefgh").ok());
+  auto reader = FileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader->Seek(4).ok());
+  char c;
+  ASSERT_TRUE(reader->ReadExact(&c, 1).ok());
+  EXPECT_EQ(c, 'e');
+  EXPECT_EQ(reader->position(), 5u);
+}
+
+TEST_F(FileIoTest, CodingRoundTrip) {
+  char buf[8];
+  EncodeFixed32(buf, 0xdeadbeefu);
+  EXPECT_EQ(DecodeFixed32(buf), 0xdeadbeefu);
+  EncodeFixed64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(DecodeFixed64(buf), 0x0123456789abcdefULL);
+  std::string s;
+  PutFixed32(&s, 7);
+  PutFixed64(&s, 9);
+  EXPECT_EQ(s.size(), 12u);
+  EXPECT_EQ(DecodeFixed32(s.data()), 7u);
+  EXPECT_EQ(DecodeFixed64(s.data() + 4), 9u);
+}
+
+TEST_F(FileIoTest, ReadPastEofReturnsZero) {
+  const std::string path = Path("eof");
+  ASSERT_TRUE(WriteStringToFile(path, "ab").ok());
+  auto reader = FileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  char buf[4];
+  auto n = reader->Read(buf, 4);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 2u);
+  n = reader->Read(buf, 4);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+}
+
+}  // namespace
+}  // namespace ndss

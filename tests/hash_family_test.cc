@@ -1,0 +1,150 @@
+#include "hash/hash_family.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ndss {
+namespace {
+
+TEST(HashFamilyTest, DeterministicGivenSeed) {
+  HashFamily a(8, 42), b(8, 42), c(8, 43);
+  for (uint32_t f = 0; f < 8; ++f) {
+    EXPECT_EQ(a.Hash(f, 100), b.Hash(f, 100));
+  }
+  // Different seeds disagree somewhere.
+  bool any_diff = false;
+  for (uint32_t f = 0; f < 8; ++f) {
+    any_diff |= a.Hash(f, 100) != c.Hash(f, 100);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(HashFamilyTest, FunctionsAreIndependent) {
+  HashFamily family(4, 1);
+  std::set<uint64_t> values;
+  for (uint32_t f = 0; f < 4; ++f) values.insert(family.Hash(f, 7));
+  EXPECT_EQ(values.size(), 4u) << "functions should hash the token apart";
+}
+
+TEST(HashFamilyTest, NoCollisionsOnSmallVocab) {
+  HashFamily family(1, 7);
+  std::set<uint64_t> values;
+  for (Token t = 0; t < 100000; ++t) values.insert(family.Hash(0, t));
+  EXPECT_EQ(values.size(), 100000u);
+}
+
+TEST(SketchTest, SketchOfSingleToken) {
+  HashFamily family(16, 5);
+  Token token = 9;
+  MinHashSketch sketch = ComputeSketch(family, &token, 1);
+  ASSERT_EQ(sketch.argmin_tokens.size(), 16u);
+  for (uint32_t f = 0; f < 16; ++f) {
+    EXPECT_EQ(sketch.argmin_tokens[f], 9u);
+    EXPECT_EQ(sketch.min_hashes[f], family.Hash(f, 9));
+  }
+}
+
+TEST(SketchTest, SketchIsOrderInvariant) {
+  HashFamily family(8, 11);
+  std::vector<Token> a = {1, 2, 3, 4, 5};
+  std::vector<Token> b = {5, 3, 1, 2, 4};
+  MinHashSketch sa = ComputeSketch(family, a.data(), a.size());
+  MinHashSketch sb = ComputeSketch(family, b.data(), b.size());
+  EXPECT_EQ(sa.argmin_tokens, sb.argmin_tokens);
+  EXPECT_EQ(sa.min_hashes, sb.min_hashes);
+}
+
+TEST(SketchTest, SketchIgnoresDuplicates) {
+  HashFamily family(8, 11);
+  std::vector<Token> a = {1, 2, 3};
+  std::vector<Token> b = {1, 1, 2, 2, 3, 3, 3};
+  EXPECT_EQ(ComputeSketch(family, a.data(), a.size()).min_hashes,
+            ComputeSketch(family, b.data(), b.size()).min_hashes);
+}
+
+TEST(SketchTest, IdenticalSequencesEstimateOne) {
+  HashFamily family(32, 3);
+  std::vector<Token> a = {10, 20, 30, 40};
+  MinHashSketch s1 = ComputeSketch(family, a.data(), a.size());
+  MinHashSketch s2 = ComputeSketch(family, a.data(), a.size());
+  EXPECT_DOUBLE_EQ(EstimateJaccard(s1, s2), 1.0);
+}
+
+TEST(SketchTest, DisjointSequencesEstimateNearZero) {
+  HashFamily family(64, 3);
+  std::vector<Token> a, b;
+  for (Token t = 0; t < 50; ++t) a.push_back(t);
+  for (Token t = 1000; t < 1050; ++t) b.push_back(t);
+  MinHashSketch sa = ComputeSketch(family, a.data(), a.size());
+  MinHashSketch sb = ComputeSketch(family, b.data(), b.size());
+  EXPECT_LT(EstimateJaccard(sa, sb), 0.1);
+}
+
+// Statistical property: the estimate is unbiased — for sets with true
+// Jaccard J, the mean collision fraction over many hash functions
+// approaches J (variance O(1/k), Section 3.2).
+TEST(SketchTest, EstimateConvergesToTrueJaccard) {
+  HashFamily family(512, 77);
+  // |A ∩ B| = 50, |A ∪ B| = 100 → J = 0.5.
+  std::vector<Token> a, b;
+  for (Token t = 0; t < 75; ++t) a.push_back(t);
+  for (Token t = 25; t < 100; ++t) b.push_back(t);
+  MinHashSketch sa = ComputeSketch(family, a.data(), a.size());
+  MinHashSketch sb = ComputeSketch(family, b.data(), b.size());
+  EXPECT_NEAR(EstimateJaccard(sa, sb), 0.5, 0.07);
+}
+
+TEST(ExactJaccardTest, DistinctJaccardPaperExample) {
+  // Section 3.1: (A,A,A,B,B) vs (A,B,B,B,C) — treated as (A1,A2,A3,B1,B2)
+  // and (A1,B1,B2,B3,C1): distinct = 2/3, multiset = 3/7.
+  std::vector<Token> a = {0, 0, 0, 1, 1};
+  std::vector<Token> b = {0, 1, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(ExactDistinctJaccard(a.data(), a.size(), b.data(),
+                                        b.size()),
+                   2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ExactMultisetJaccard(a.data(), a.size(), b.data(),
+                                        b.size()),
+                   3.0 / 7.0);
+}
+
+TEST(ExactJaccardTest, EdgeCases) {
+  std::vector<Token> a = {1, 2};
+  EXPECT_DOUBLE_EQ(ExactDistinctJaccard(a.data(), a.size(), a.data(),
+                                        a.size()),
+                   1.0);
+  EXPECT_DOUBLE_EQ(ExactDistinctJaccard(a.data(), 0, a.data(), 0), 1.0);
+  std::vector<Token> b = {3, 4};
+  EXPECT_DOUBLE_EQ(ExactDistinctJaccard(a.data(), a.size(), b.data(),
+                                        b.size()),
+                   0.0);
+}
+
+// Property sweep: min-hash collision probability for random set pairs
+// tracks their exact Jaccard across set sizes.
+class SketchPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SketchPropertyTest, CollisionRateTracksJaccard) {
+  const size_t set_size = GetParam();
+  HashFamily family(256, set_size * 7919 + 1);
+  Rng rng(set_size);
+  std::vector<Token> a, b;
+  for (size_t i = 0; i < set_size; ++i) {
+    a.push_back(static_cast<Token>(rng.Uniform(4 * set_size)));
+    b.push_back(static_cast<Token>(rng.Uniform(4 * set_size)));
+  }
+  const double exact =
+      ExactDistinctJaccard(a.data(), a.size(), b.data(), b.size());
+  MinHashSketch sa = ComputeSketch(family, a.data(), a.size());
+  MinHashSketch sb = ComputeSketch(family, b.data(), b.size());
+  EXPECT_NEAR(EstimateJaccard(sa, sb), exact, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SketchPropertyTest,
+                         ::testing::Values(8, 32, 128, 512));
+
+}  // namespace
+}  // namespace ndss

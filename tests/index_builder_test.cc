@@ -1,0 +1,219 @@
+#include "index/index_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "corpusgen/synthetic.h"
+#include "hash/hash_family.h"
+#include "index/inverted_index_reader.h"
+#include "text/corpus_file.h"
+#include "window/window_generator.h"
+
+namespace ndss {
+namespace {
+
+class IndexBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_build_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static Corpus SmallCorpus(uint32_t num_texts = 100, uint64_t seed = 5) {
+    SyntheticCorpusOptions options;
+    options.num_texts = num_texts;
+    options.min_text_length = 60;
+    options.max_text_length = 200;
+    options.vocab_size = 300;
+    options.plant_rate = 0.3;
+    options.min_plant_length = 30;
+    options.max_plant_length = 60;
+    options.seed = seed;
+    return GenerateSyntheticCorpus(options).corpus;
+  }
+
+  static IndexBuildOptions SmallBuild() {
+    IndexBuildOptions options;
+    options.k = 4;
+    options.t = 20;
+    options.zone_step = 16;
+    options.zone_threshold = 64;
+    return options;
+  }
+
+  /// Reads every window of every list of the index at `dir` as KeyedWindows.
+  static std::vector<KeyedWindow> DumpIndex(const std::string& dir,
+                                            uint32_t k) {
+    std::vector<KeyedWindow> all;
+    for (uint32_t func = 0; func < k; ++func) {
+      auto reader =
+          InvertedIndexReader::Open(IndexMeta::InvertedIndexPath(dir, func));
+      EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+      for (const ListMeta& meta : reader->directory()) {
+        std::vector<PostedWindow> windows;
+        EXPECT_TRUE(reader->ReadList(meta, &windows).ok());
+        for (const PostedWindow& w : windows) {
+          // Tag func into the l... keep func implicit: fold func into key's
+          // upper bits is not possible (Token 32-bit); use separate vectors
+          // per func by offsetting text id instead.
+          all.push_back(KeyedWindow{meta.key, w.text + func * 1000000u, w.l,
+                                    w.c, w.r});
+        }
+      }
+    }
+    std::sort(all.begin(), all.end(), KeyedWindowLess);
+    return all;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(IndexBuilderTest, BuildWritesMetaAndFiles) {
+  Corpus corpus = SmallCorpus();
+  auto stats = BuildIndexInMemory(corpus, dir_, SmallBuild());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->num_windows, 0u);
+  EXPECT_GT(stats->index_bytes, 0u);
+
+  auto meta = IndexMeta::Load(dir_);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->k, 4u);
+  EXPECT_EQ(meta->t, 20u);
+  EXPECT_EQ(meta->num_texts, corpus.num_texts());
+  EXPECT_EQ(meta->total_tokens, corpus.total_tokens());
+  for (uint32_t func = 0; func < 4; ++func) {
+    EXPECT_TRUE(FileExists(IndexMeta::InvertedIndexPath(dir_, func)));
+  }
+}
+
+TEST_F(IndexBuilderTest, IndexContainsExactlyTheGeneratedWindows) {
+  Corpus corpus = SmallCorpus(40);
+  IndexBuildOptions options = SmallBuild();
+  auto stats = BuildIndexInMemory(corpus, dir_, options);
+  ASSERT_TRUE(stats.ok());
+
+  // Regenerate windows directly and compare against the index contents.
+  HashFamily family(options.k, options.seed);
+  WindowGenerator generator;
+  std::vector<KeyedWindow> expected;
+  for (uint32_t func = 0; func < options.k; ++func) {
+    for (size_t i = 0; i < corpus.num_texts(); ++i) {
+      std::vector<CompactWindow> windows;
+      generator.Generate(family, func, corpus.text(i), options.t, &windows);
+      for (const CompactWindow& w : windows) {
+        expected.push_back(KeyedWindow{corpus.text(i)[w.c],
+                                       static_cast<TextId>(i) +
+                                           func * 1000000u,
+                                       w.l, w.c, w.r});
+      }
+    }
+  }
+  std::sort(expected.begin(), expected.end(), KeyedWindowLess);
+  EXPECT_EQ(DumpIndex(dir_, options.k), expected);
+  EXPECT_EQ(stats->num_windows, expected.size());
+}
+
+TEST_F(IndexBuilderTest, ParallelBuildMatchesSerial) {
+  Corpus corpus = SmallCorpus(60);
+  IndexBuildOptions serial = SmallBuild();
+  IndexBuildOptions parallel = SmallBuild();
+  parallel.num_threads = 4;
+  const std::string serial_dir = dir_ + "/serial";
+  const std::string parallel_dir = dir_ + "/parallel";
+  ASSERT_TRUE(BuildIndexInMemory(corpus, serial_dir, serial).ok());
+  ASSERT_TRUE(BuildIndexInMemory(corpus, parallel_dir, parallel).ok());
+  EXPECT_EQ(DumpIndex(serial_dir, serial.k), DumpIndex(parallel_dir, serial.k));
+}
+
+TEST_F(IndexBuilderTest, ExternalBuildMatchesInMemory) {
+  Corpus corpus = SmallCorpus(80);
+  const std::string corpus_path = dir_ + "/corpus.crp";
+  ASSERT_TRUE(CreateDirectories(dir_).ok());
+  ASSERT_TRUE(WriteCorpusFile(corpus_path, corpus).ok());
+
+  IndexBuildOptions options = SmallBuild();
+  const std::string mem_dir = dir_ + "/mem";
+  ASSERT_TRUE(BuildIndexInMemory(corpus, mem_dir, options).ok());
+
+  IndexBuildOptions external = options;
+  external.batch_tokens = 2000;   // force many batches
+  external.num_partitions = 4;
+  const std::string ext_dir = dir_ + "/ext";
+  auto stats = BuildIndexExternal(corpus_path, ext_dir, external);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->spill_bytes, 0u);
+
+  EXPECT_EQ(DumpIndex(mem_dir, options.k), DumpIndex(ext_dir, options.k));
+}
+
+TEST_F(IndexBuilderTest, ExternalBuildWithRecursivePartitioning) {
+  Corpus corpus = SmallCorpus(80);
+  const std::string corpus_path = dir_ + "/corpus.crp";
+  ASSERT_TRUE(CreateDirectories(dir_).ok());
+  ASSERT_TRUE(WriteCorpusFile(corpus_path, corpus).ok());
+
+  IndexBuildOptions options = SmallBuild();
+  const std::string mem_dir = dir_ + "/mem";
+  ASSERT_TRUE(BuildIndexInMemory(corpus, mem_dir, options).ok());
+
+  IndexBuildOptions external = options;
+  external.batch_tokens = 2000;
+  external.num_partitions = 2;
+  external.memory_budget_bytes = 4096;  // force recursive re-partitioning
+  const std::string ext_dir = dir_ + "/ext";
+  auto stats = BuildIndexExternal(corpus_path, ext_dir, external);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(DumpIndex(mem_dir, options.k), DumpIndex(ext_dir, options.k));
+  // No spill files may remain.
+  size_t spills = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(ext_dir)) {
+    if (entry.path().filename().string().rfind("spill.", 0) == 0) ++spills;
+  }
+  EXPECT_EQ(spills, 0u);
+}
+
+TEST_F(IndexBuilderTest, WindowCountTracksTheorem) {
+  // Total windows across a corpus ≈ sum over texts of 2(n+1)/(t+1) - 1.
+  Corpus corpus = SmallCorpus(150);
+  IndexBuildOptions options = SmallBuild();
+  options.k = 8;
+  auto stats = BuildIndexInMemory(corpus, dir_, options);
+  ASSERT_TRUE(stats.ok());
+  double expected = 0;
+  for (size_t i = 0; i < corpus.num_texts(); ++i) {
+    expected += ExpectedWindowCount(corpus.text_length(i), options.t);
+  }
+  expected *= options.k;
+  EXPECT_NEAR(static_cast<double>(stats->num_windows), expected,
+              0.25 * expected);
+}
+
+TEST_F(IndexBuilderTest, InvalidOptionsRejected) {
+  Corpus corpus = SmallCorpus(5);
+  IndexBuildOptions options = SmallBuild();
+  options.k = 0;
+  EXPECT_FALSE(BuildIndexInMemory(corpus, dir_, options).ok());
+  options = SmallBuild();
+  options.t = 0;
+  EXPECT_FALSE(BuildIndexInMemory(corpus, dir_, options).ok());
+}
+
+TEST_F(IndexBuilderTest, IndexSizeInverseInT) {
+  Corpus corpus = SmallCorpus(100);
+  IndexBuildOptions options = SmallBuild();
+  options.t = 20;
+  auto small_t = BuildIndexInMemory(corpus, dir_ + "/t20", options);
+  options.t = 40;
+  auto large_t = BuildIndexInMemory(corpus, dir_ + "/t40", options);
+  ASSERT_TRUE(small_t.ok() && large_t.ok());
+  EXPECT_GT(small_t->num_windows, large_t->num_windows);
+  EXPECT_GT(small_t->index_bytes, large_t->index_bytes);
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,171 @@
+#include "index/index_merger.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "corpusgen/synthetic.h"
+#include "index/inverted_index_reader.h"
+#include "query/searcher.h"
+
+namespace ndss {
+namespace {
+
+class IndexMergerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_merge_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(CreateDirectories(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Dumps every (func, key, window) of an index, sorted.
+  static std::vector<KeyedWindow> Dump(const std::string& dir, uint32_t k) {
+    std::vector<KeyedWindow> all;
+    for (uint32_t func = 0; func < k; ++func) {
+      auto reader =
+          InvertedIndexReader::Open(IndexMeta::InvertedIndexPath(dir, func));
+      EXPECT_TRUE(reader.ok());
+      for (const ListMeta& meta : reader->directory()) {
+        std::vector<PostedWindow> windows;
+        EXPECT_TRUE(reader->ReadList(meta, &windows).ok());
+        for (const PostedWindow& w : windows) {
+          all.push_back(KeyedWindow{meta.key, w.text + func * 10000000u, w.l,
+                                    w.c, w.r});
+        }
+      }
+    }
+    std::sort(all.begin(), all.end(), KeyedWindowLess);
+    return all;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(IndexMergerTest, MergedShardsEqualFullBuild) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 120;
+  corpus_options.vocab_size = 400;
+  corpus_options.plant_rate = 0.3;
+  corpus_options.seed = 71;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+
+  // Split into three contiguous shards.
+  Corpus shard1, shard2, shard3;
+  for (size_t i = 0; i < 40; ++i) shard1.AddText(sc.corpus.text(i));
+  for (size_t i = 40; i < 80; ++i) shard2.AddText(sc.corpus.text(i));
+  for (size_t i = 80; i < 120; ++i) shard3.AddText(sc.corpus.text(i));
+
+  IndexBuildOptions build;
+  build.k = 5;
+  build.t = 20;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/full", build).ok());
+  ASSERT_TRUE(BuildIndexInMemory(shard1, dir_ + "/s1", build).ok());
+  ASSERT_TRUE(BuildIndexInMemory(shard2, dir_ + "/s2", build).ok());
+  ASSERT_TRUE(BuildIndexInMemory(shard3, dir_ + "/s3", build).ok());
+
+  auto stats = MergeIndexes({dir_ + "/s1", dir_ + "/s2", dir_ + "/s3"},
+                            dir_ + "/merged", IndexMergeOptions{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(Dump(dir_ + "/merged", build.k), Dump(dir_ + "/full", build.k));
+
+  auto meta = IndexMeta::Load(dir_ + "/merged");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->num_texts, 120u);
+  EXPECT_EQ(meta->total_tokens, sc.corpus.total_tokens());
+}
+
+TEST_F(IndexMergerTest, MergedIndexSearchesLikeFullIndex) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 80;
+  corpus_options.vocab_size = 300;
+  corpus_options.plant_rate = 0.4;
+  corpus_options.seed = 72;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  Corpus first, second;
+  for (size_t i = 0; i < 40; ++i) first.AddText(sc.corpus.text(i));
+  for (size_t i = 40; i < 80; ++i) second.AddText(sc.corpus.text(i));
+
+  IndexBuildOptions build;
+  build.k = 6;
+  build.t = 15;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/full", build).ok());
+  ASSERT_TRUE(BuildIndexInMemory(first, dir_ + "/s1", build).ok());
+  ASSERT_TRUE(BuildIndexInMemory(second, dir_ + "/s2", build).ok());
+  ASSERT_TRUE(MergeIndexes({dir_ + "/s1", dir_ + "/s2"}, dir_ + "/merged",
+                           IndexMergeOptions{})
+                  .ok());
+
+  auto full = Searcher::Open(dir_ + "/full");
+  auto merged = Searcher::Open(dir_ + "/merged");
+  ASSERT_TRUE(full.ok() && merged.ok());
+  Rng rng(1);
+  for (int q = 0; q < 8; ++q) {
+    const TextId source = static_cast<TextId>(rng.Uniform(80));
+    const auto text = sc.corpus.text(source);
+    const uint32_t length =
+        std::min<uint32_t>(30, static_cast<uint32_t>(text.size()));
+    const std::vector<Token> query =
+        PerturbSequence(text, 0, length, 0.1, 300, rng);
+    SearchOptions options;
+    options.theta = 0.7;
+    auto a = full->Search(query, options);
+    auto b = merged->Search(query, options);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->spans.size(), b->spans.size()) << "query " << q;
+    for (size_t i = 0; i < a->spans.size(); ++i) {
+      EXPECT_EQ(a->spans[i].text, b->spans[i].text);
+      EXPECT_EQ(a->spans[i].begin, b->spans[i].begin);
+      EXPECT_EQ(a->spans[i].end, b->spans[i].end);
+    }
+  }
+}
+
+TEST_F(IndexMergerTest, MergeToCompressedOutput) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 40;
+  corpus_options.vocab_size = 200;
+  corpus_options.seed = 73;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  Corpus first, second;
+  for (size_t i = 0; i < 20; ++i) first.AddText(sc.corpus.text(i));
+  for (size_t i = 20; i < 40; ++i) second.AddText(sc.corpus.text(i));
+
+  IndexBuildOptions build;
+  build.k = 3;
+  build.t = 15;
+  ASSERT_TRUE(BuildIndexInMemory(first, dir_ + "/s1", build).ok());
+  ASSERT_TRUE(BuildIndexInMemory(second, dir_ + "/s2", build).ok());
+  IndexMergeOptions merge;
+  merge.posting_format = index_format::kFormatCompressed;
+  auto stats = MergeIndexes({dir_ + "/s1", dir_ + "/s2"}, dir_ + "/merged",
+                            merge);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/full", build).ok());
+  EXPECT_EQ(Dump(dir_ + "/merged", build.k), Dump(dir_ + "/full", build.k));
+}
+
+TEST_F(IndexMergerTest, IncompatibleShardsRejected) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 10;
+  corpus_options.vocab_size = 100;
+  corpus_options.seed = 74;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  IndexBuildOptions a;
+  a.k = 4;
+  a.t = 15;
+  IndexBuildOptions b = a;
+  b.t = 20;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/s1", a).ok());
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/s2", b).ok());
+  EXPECT_FALSE(
+      MergeIndexes({dir_ + "/s1", dir_ + "/s2"}, dir_ + "/out",
+                   IndexMergeOptions{})
+          .ok());
+  EXPECT_FALSE(MergeIndexes({}, dir_ + "/out", IndexMergeOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace ndss

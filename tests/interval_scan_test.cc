@@ -1,0 +1,146 @@
+#include "query/interval_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ndss {
+namespace {
+
+// Naive ground truth: for every point p, the set of intervals covering p.
+// IntervalScan must report, for each point covered by >= alpha intervals,
+// exactly that covering set via some group whose segment contains p.
+std::vector<uint32_t> Covering(const std::vector<Interval>& intervals,
+                               uint32_t point) {
+  std::vector<uint32_t> ids;
+  for (const Interval& interval : intervals) {
+    if (interval.begin <= point && point <= interval.end) {
+      ids.push_back(interval.id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void CheckAgainstNaive(const std::vector<Interval>& intervals, uint32_t alpha,
+                       uint32_t max_coord) {
+  std::vector<IntervalGroup> groups;
+  IntervalScan(intervals, alpha, &groups);
+
+  // 1. Every reported group is honest: members really cover the segment,
+  //    and sizes are >= alpha.
+  for (const IntervalGroup& group : groups) {
+    ASSERT_GE(group.members.size(), alpha);
+    ASSERT_LE(group.overlap_begin, group.overlap_end);
+    std::vector<uint32_t> sorted_members = group.members;
+    std::sort(sorted_members.begin(), sorted_members.end());
+    for (uint32_t p = group.overlap_begin; p <= group.overlap_end; ++p) {
+      ASSERT_EQ(Covering(intervals, p), sorted_members)
+          << "point " << p << " in segment [" << group.overlap_begin << ","
+          << group.overlap_end << "]";
+    }
+  }
+
+  // 2. Completeness: every point covered >= alpha times is in exactly one
+  //    reported segment.
+  for (uint32_t p = 0; p <= max_coord; ++p) {
+    const size_t cover = Covering(intervals, p).size();
+    int containing = 0;
+    for (const IntervalGroup& group : groups) {
+      if (group.overlap_begin <= p && p <= group.overlap_end) ++containing;
+    }
+    if (cover >= alpha) {
+      ASSERT_EQ(containing, 1) << "point " << p;
+    } else {
+      ASSERT_EQ(containing, 0) << "point " << p;
+    }
+  }
+}
+
+TEST(IntervalScanTest, EmptyInput) {
+  std::vector<IntervalGroup> groups;
+  IntervalScan({}, 1, &groups);
+  EXPECT_TRUE(groups.empty());
+}
+
+TEST(IntervalScanTest, SingleInterval) {
+  std::vector<Interval> intervals = {{2, 5, 0}};
+  std::vector<IntervalGroup> groups;
+  IntervalScan(intervals, 1, &groups);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].overlap_begin, 2u);
+  EXPECT_EQ(groups[0].overlap_end, 5u);
+  EXPECT_EQ(groups[0].members, std::vector<uint32_t>{0});
+}
+
+TEST(IntervalScanTest, AlphaAboveInputSize) {
+  std::vector<Interval> intervals = {{0, 3, 0}, {1, 4, 1}};
+  std::vector<IntervalGroup> groups;
+  IntervalScan(intervals, 3, &groups);
+  EXPECT_TRUE(groups.empty());
+}
+
+TEST(IntervalScanTest, TwoOverlapping) {
+  std::vector<Interval> intervals = {{0, 5, 0}, {3, 8, 1}};
+  CheckAgainstNaive(intervals, 1, 10);
+  CheckAgainstNaive(intervals, 2, 10);
+}
+
+TEST(IntervalScanTest, DisjointIntervals) {
+  std::vector<Interval> intervals = {{0, 2, 0}, {4, 6, 1}, {8, 9, 2}};
+  CheckAgainstNaive(intervals, 1, 12);
+  CheckAgainstNaive(intervals, 2, 12);
+}
+
+TEST(IntervalScanTest, NestedAndTouching) {
+  std::vector<Interval> intervals = {
+      {0, 10, 0}, {2, 4, 1}, {4, 7, 2}, {7, 7, 3}, {10, 12, 4}};
+  for (uint32_t alpha = 1; alpha <= 5; ++alpha) {
+    CheckAgainstNaive(intervals, alpha, 14);
+  }
+}
+
+TEST(IntervalScanTest, IdenticalIntervals) {
+  std::vector<Interval> intervals = {{3, 6, 0}, {3, 6, 1}, {3, 6, 2}};
+  for (uint32_t alpha = 1; alpha <= 3; ++alpha) {
+    CheckAgainstNaive(intervals, alpha, 8);
+  }
+}
+
+TEST(IntervalScanTest, RandomizedAgainstNaive) {
+  Rng rng(2023);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t m = 1 + rng.Uniform(20);
+    std::vector<Interval> intervals;
+    for (uint32_t id = 0; id < m; ++id) {
+      const uint32_t begin = static_cast<uint32_t>(rng.Uniform(30));
+      const uint32_t end = begin + static_cast<uint32_t>(rng.Uniform(10));
+      intervals.push_back({begin, end, id});
+    }
+    for (uint32_t alpha : {1u, 2u, 3u, 5u}) {
+      CheckAgainstNaive(intervals, alpha, 45);
+    }
+  }
+}
+
+TEST(IntervalScanTest, SegmentsAreDisjointAndOrdered) {
+  Rng rng(17);
+  std::vector<Interval> intervals;
+  for (uint32_t id = 0; id < 30; ++id) {
+    const uint32_t begin = static_cast<uint32_t>(rng.Uniform(50));
+    intervals.push_back({begin, begin + static_cast<uint32_t>(rng.Uniform(20)),
+                         id});
+  }
+  std::vector<IntervalGroup> groups;
+  IntervalScan(intervals, 2, &groups);
+  for (size_t i = 1; i < groups.size(); ++i) {
+    EXPECT_GT(groups[i].overlap_begin, groups[i - 1].overlap_end);
+  }
+}
+
+}  // namespace
+}  // namespace ndss

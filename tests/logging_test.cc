@@ -1,0 +1,90 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/stopwatch.h"
+#include "index/index_meta.h"
+
+namespace ndss {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  NDSS_LOG(kDebug) << "this should be filtered " << 42;
+  NDSS_LOG(kInfo) << "and this " << 3.14;
+  SetLogLevel(original);
+  SUCCEED();
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  NDSS_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH({ NDSS_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch watch;
+  const double first = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double second = watch.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedSeconds() * 100);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), second + 1.0);
+}
+
+TEST(IndexMetaTest, SaveLoadRoundTrip) {
+  const std::string dir = ::testing::TempDir() + "/ndss_meta_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  IndexMeta meta;
+  meta.k = 12;
+  meta.seed = 0xabcdef;
+  meta.t = 37;
+  meta.num_texts = 999;
+  meta.total_tokens = 123456789ull;
+  meta.zone_step = 32;
+  meta.zone_threshold = 100;
+  ASSERT_TRUE(meta.Save(dir).ok());
+  auto loaded = IndexMeta::Load(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->k, 12u);
+  EXPECT_EQ(loaded->seed, 0xabcdefull);
+  EXPECT_EQ(loaded->t, 37u);
+  EXPECT_EQ(loaded->num_texts, 999u);
+  EXPECT_EQ(loaded->total_tokens, 123456789ull);
+  EXPECT_EQ(loaded->zone_step, 32u);
+  EXPECT_EQ(loaded->zone_threshold, 100u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IndexMetaTest, PathsAreDistinctPerFunction) {
+  EXPECT_NE(IndexMeta::InvertedIndexPath("/x", 0),
+            IndexMeta::InvertedIndexPath("/x", 1));
+  EXPECT_EQ(IndexMeta::InvertedIndexPath("/x", 3), "/x/inverted.3.ndx");
+}
+
+TEST(IndexMetaTest, LoadFromMissingDirFails) {
+  EXPECT_FALSE(IndexMeta::Load("/nonexistent_dir_xyz").ok());
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,127 @@
+#include "eval/memorization_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "corpusgen/synthetic.h"
+#include "index/index_builder.h"
+#include "lm/memorizing_generator.h"
+
+namespace ndss {
+namespace {
+
+class MemorizationEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_memeval_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+
+    SyntheticCorpusOptions options;
+    options.num_texts = 120;
+    options.min_text_length = 150;
+    options.max_text_length = 400;
+    options.vocab_size = 2000;
+    options.plant_rate = 0.0;
+    options.seed = 21;
+    sc_ = GenerateSyntheticCorpus(options);
+
+    IndexBuildOptions build;
+    build.k = 8;
+    build.t = 20;
+    ASSERT_TRUE(BuildIndexInMemory(sc_.corpus, dir_, build).ok());
+
+    model_ = std::make_unique<NGramModel>(3);
+    model_->Train(sc_.corpus);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  SyntheticCorpus sc_;
+  std::unique_ptr<NGramModel> model_;
+};
+
+TEST_F(MemorizationEvalTest, ZeroCopyModelHasLowRatio) {
+  MemorizationProfile profile;
+  profile.copy_start_prob = 0.0;
+  MemorizingGenerator generator(*model_, sc_.corpus, profile, 9);
+  const auto generated = generator.Generate(6, 256, SamplingOptions{});
+
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  MemorizationEvalOptions options;
+  options.window_width = 32;
+  options.search.theta = 0.9;
+  auto report = EvaluateMemorization(*searcher, generated.texts, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->windows, 6u * (256 / 32));
+  EXPECT_LT(report->ratio, 0.2);
+}
+
+TEST_F(MemorizationEvalTest, HeavyCopyModelHasHighRatio) {
+  MemorizationProfile profile;
+  profile.copy_start_prob = 0.05;  // copies dominate the text
+  profile.min_copy_length = 60;
+  profile.max_copy_length = 120;
+  profile.fidelity = 1.0;
+  MemorizingGenerator generator(*model_, sc_.corpus, profile, 10);
+  const auto generated = generator.Generate(6, 256, SamplingOptions{});
+  ASSERT_FALSE(generated.copies.empty());
+
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  MemorizationEvalOptions options;
+  options.window_width = 32;
+  options.search.theta = 0.8;
+  auto report = EvaluateMemorization(*searcher, generated.texts, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->ratio, 0.3);
+}
+
+TEST_F(MemorizationEvalTest, RatioGrowsAsThetaDrops) {
+  MemorizationProfile profile;
+  profile.copy_start_prob = 0.01;
+  profile.fidelity = 0.9;
+  MemorizingGenerator generator(*model_, sc_.corpus, profile, 11);
+  const auto generated = generator.Generate(8, 256, SamplingOptions{});
+
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  double previous = -1.0;
+  for (double theta : {1.0, 0.8, 0.6}) {
+    MemorizationEvalOptions options;
+    options.window_width = 32;
+    options.search.theta = theta;
+    auto report = EvaluateMemorization(*searcher, generated.texts, options);
+    ASSERT_TRUE(report.ok());
+    EXPECT_GE(report->ratio, previous) << "theta " << theta;
+    previous = report->ratio;
+  }
+}
+
+TEST_F(MemorizationEvalTest, WindowWidthValidation) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  MemorizationEvalOptions options;
+  options.window_width = 0;
+  std::vector<std::vector<Token>> texts;
+  EXPECT_TRUE(EvaluateMemorization(*searcher, texts, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(MemorizationEvalTest, EmptyInputGivesZeroWindows) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  MemorizationEvalOptions options;
+  options.window_width = 32;
+  std::vector<std::vector<Token>> texts;
+  auto report = EvaluateMemorization(*searcher, texts, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->windows, 0u);
+  EXPECT_EQ(report->ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace ndss

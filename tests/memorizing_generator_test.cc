@@ -1,0 +1,114 @@
+#include "lm/memorizing_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "corpusgen/synthetic.h"
+
+namespace ndss {
+namespace {
+
+SyntheticCorpus TrainingCorpus() {
+  SyntheticCorpusOptions options;
+  options.num_texts = 100;
+  options.min_text_length = 100;
+  options.max_text_length = 300;
+  options.vocab_size = 1000;
+  options.plant_rate = 0.0;
+  options.seed = 55;
+  return GenerateSyntheticCorpus(options);
+}
+
+TEST(MemorizingGeneratorTest, ProducesRequestedShape) {
+  SyntheticCorpus sc = TrainingCorpus();
+  NGramModel model(3);
+  model.Train(sc.corpus);
+  MemorizationProfile profile;
+  MemorizingGenerator generator(model, sc.corpus, profile, 1);
+  GeneratedTexts generated = generator.Generate(5, 512, SamplingOptions{});
+  ASSERT_EQ(generated.texts.size(), 5u);
+  for (const auto& text : generated.texts) EXPECT_EQ(text.size(), 512u);
+}
+
+TEST(MemorizingGeneratorTest, CopiedSpansMatchGroundTruth) {
+  SyntheticCorpus sc = TrainingCorpus();
+  NGramModel model(3);
+  model.Train(sc.corpus);
+  MemorizationProfile profile;
+  profile.copy_start_prob = 0.02;
+  profile.fidelity = 1.0;  // exact copies
+  MemorizingGenerator generator(model, sc.corpus, profile, 2);
+  GeneratedTexts generated = generator.Generate(10, 512, SamplingOptions{});
+  ASSERT_FALSE(generated.copies.empty());
+  for (const CopiedSpan& copy : generated.copies) {
+    const auto& text = generated.texts[copy.text_index];
+    const auto source = sc.corpus.text(copy.source_text);
+    ASSERT_LE(copy.target_begin + copy.length, text.size());
+    ASSERT_LE(copy.source_begin + copy.length, source.size());
+    EXPECT_TRUE(std::equal(text.begin() + copy.target_begin,
+                           text.begin() + copy.target_begin + copy.length,
+                           source.begin() + copy.source_begin));
+    EXPECT_EQ(copy.corrupted, 0u);
+  }
+}
+
+TEST(MemorizingGeneratorTest, FidelityControlsCorruption) {
+  SyntheticCorpus sc = TrainingCorpus();
+  NGramModel model(3);
+  model.Train(sc.corpus);
+  MemorizationProfile profile;
+  profile.copy_start_prob = 0.05;
+  profile.fidelity = 0.8;
+  MemorizingGenerator generator(model, sc.corpus, profile, 3);
+  GeneratedTexts generated = generator.Generate(10, 512, SamplingOptions{});
+  ASSERT_FALSE(generated.copies.empty());
+  uint64_t corrupted = 0, total = 0;
+  for (const CopiedSpan& copy : generated.copies) {
+    corrupted += copy.corrupted;
+    total += copy.length;
+  }
+  EXPECT_NEAR(static_cast<double>(corrupted) / total, 0.2, 0.08);
+}
+
+TEST(MemorizingGeneratorTest, HigherCopyRateMeansMoreCopies) {
+  SyntheticCorpus sc = TrainingCorpus();
+  NGramModel model(3);
+  model.Train(sc.corpus);
+  MemorizationProfile low;
+  low.copy_start_prob = 0.002;
+  MemorizationProfile high;
+  high.copy_start_prob = 0.02;
+  MemorizingGenerator low_gen(model, sc.corpus, low, 4);
+  MemorizingGenerator high_gen(model, sc.corpus, high, 4);
+  const auto low_out = low_gen.Generate(20, 512, SamplingOptions{});
+  const auto high_out = high_gen.Generate(20, 512, SamplingOptions{});
+  EXPECT_GT(high_out.copies.size(), low_out.copies.size());
+}
+
+TEST(MemorizingGeneratorTest, ZeroCopyRateProducesNoCopies) {
+  SyntheticCorpus sc = TrainingCorpus();
+  NGramModel model(2);
+  model.Train(sc.corpus);
+  MemorizationProfile profile;
+  profile.copy_start_prob = 0.0;
+  MemorizingGenerator generator(model, sc.corpus, profile, 5);
+  const auto out = generator.Generate(3, 256, SamplingOptions{});
+  EXPECT_TRUE(out.copies.empty());
+}
+
+TEST(MemorizingGeneratorTest, DefaultModelsAreOrderedByCapacity) {
+  const auto models = DefaultSimulatedModels();
+  ASSERT_EQ(models.size(), 4u);
+  // Named after the paper's four models.
+  EXPECT_EQ(models[0].name, "gpt2-small-sim");
+  EXPECT_EQ(models[3].name, "gpt-neo-2.7b-sim");
+  // The paper's ordering: neo-2.7b > neo-1.3b, and small > medium.
+  EXPECT_GT(models[3].profile.copy_start_prob,
+            models[2].profile.copy_start_prob);
+  EXPECT_GT(models[0].profile.copy_start_prob,
+            models[1].profile.copy_start_prob);
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,92 @@
+#include "ndss/ndss.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "corpusgen/synthetic.h"
+
+namespace ndss {
+namespace {
+
+class NdssApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_api_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(NdssApiTest, BuildOpenSearchEndToEnd) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 50;
+  corpus_options.min_text_length = 60;
+  corpus_options.max_text_length = 120;
+  corpus_options.vocab_size = 1000;
+  corpus_options.plant_rate = 0.0;
+  corpus_options.seed = 123;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+
+  IndexBuildOptions build;
+  build.k = 8;
+  build.t = 20;
+  auto stats = NearDuplicateIndex::Build(sc.corpus, dir_, build);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  auto index = NearDuplicateIndex::Open(dir_);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->meta().k, 8u);
+
+  // The first 30 tokens of text 7 must match themselves at theta = 1.
+  const auto text = sc.corpus.text(7);
+  const std::vector<Token> query(text.begin(), text.begin() + 30);
+  SearchOptions search;
+  search.theta = 1.0;
+  auto result = index->Search(query, search);
+  ASSERT_TRUE(result.ok());
+  bool self_found = false;
+  for (const MatchSpan& span : result->spans) {
+    if (span.text == 7 && span.begin == 0) self_found = true;
+  }
+  EXPECT_TRUE(self_found);
+}
+
+TEST_F(NdssApiTest, BuildFromFileEndToEnd) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 40;
+  corpus_options.min_text_length = 60;
+  corpus_options.max_text_length = 100;
+  corpus_options.vocab_size = 500;
+  corpus_options.seed = 9;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  ASSERT_TRUE(CreateDirectories(dir_).ok());
+  const std::string corpus_path = dir_ + "/corpus.crp";
+  ASSERT_TRUE(WriteCorpusFile(corpus_path, sc.corpus).ok());
+
+  IndexBuildOptions build;
+  build.k = 4;
+  build.t = 15;
+  build.batch_tokens = 1000;
+  auto stats =
+      NearDuplicateIndex::BuildFromFile(corpus_path, dir_ + "/idx", build);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  auto index = NearDuplicateIndex::Open(dir_ + "/idx");
+  ASSERT_TRUE(index.ok());
+  const auto text = sc.corpus.text(0);
+  const std::vector<Token> query(text.begin(), text.begin() + 20);
+  auto result = index->Search(query, SearchOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->spans.empty());
+}
+
+TEST_F(NdssApiTest, OpenMissingDirectoryFails) {
+  EXPECT_FALSE(NearDuplicateIndex::Open(dir_ + "/nope").ok());
+}
+
+}  // namespace
+}  // namespace ndss

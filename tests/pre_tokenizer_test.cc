@@ -1,0 +1,79 @@
+#include "tokenizer/pre_tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+namespace ndss {
+namespace {
+
+std::string Rejoin(const std::vector<std::string_view>& chunks) {
+  std::string result;
+  for (auto chunk : chunks) result += std::string(chunk);
+  return result;
+}
+
+TEST(PreTokenizerTest, SimpleWords) {
+  auto chunks = PreTokenize("hello world");
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], "hello");
+  EXPECT_EQ(chunks[1], " world");
+}
+
+TEST(PreTokenizerTest, LeadingSpaceGluesToWord) {
+  auto chunks = PreTokenize(" lead");
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], " lead");
+}
+
+TEST(PreTokenizerTest, MultipleSpacesSplit) {
+  auto chunks = PreTokenize("a  b");
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], "a");
+  EXPECT_EQ(chunks[1], " ");
+  EXPECT_EQ(chunks[2], " b");
+}
+
+TEST(PreTokenizerTest, NewlinesArePreserved) {
+  auto chunks = PreTokenize("one\n\ntwo");
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], "one");
+  EXPECT_EQ(chunks[1], "\n\n");
+  EXPECT_EQ(chunks[2], "two");
+}
+
+TEST(PreTokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(PreTokenize("").empty());
+  auto chunks = PreTokenize("   ");
+  EXPECT_EQ(Rejoin(chunks), "   ");
+}
+
+// The invariant everything else depends on: the split is lossless.
+TEST(PreTokenizerTest, LosslessOnTrickyInputs) {
+  const std::string cases[] = {
+      "hello world",
+      " leading",
+      "trailing ",
+      "a  b   c",
+      "tabs\tand\nnewlines \n mix",
+      "  double lead",
+      "word",
+      " ",
+      "\n",
+      "a \n b",
+      "punct, marks! and? digits 123",
+  };
+  for (const std::string& input : cases) {
+    EXPECT_EQ(Rejoin(PreTokenize(input)), input) << "input: '" << input << "'";
+  }
+}
+
+TEST(PreTokenizerTest, ChunksNeverEmpty) {
+  for (auto chunk : PreTokenize("  a  bb\n\n c   ")) {
+    EXPECT_FALSE(chunk.empty());
+  }
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,86 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ndss {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndMixing) {
+  EXPECT_EQ(SplitMix64(0), SplitMix64(0));
+  EXPECT_NE(SplitMix64(0), SplitMix64(1));
+  // Avalanche sanity: flipping one input bit flips roughly half the output.
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    total_flips += __builtin_popcountll(SplitMix64(42) ^
+                                        SplitMix64(42 ^ (1ULL << bit)));
+  }
+  const double mean_flips = total_flips / 64.0;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+  Rng a2(7);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  // All residues hit for a small bound.
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(2024);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(31337);
+  constexpr uint64_t kBuckets = 10;
+  std::vector<int> counts(kBuckets, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.Uniform(kBuckets)];
+  for (int count : counts) {
+    EXPECT_NEAR(count, trials / kBuckets, 500);
+  }
+}
+
+}  // namespace
+}  // namespace ndss

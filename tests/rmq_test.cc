@@ -1,0 +1,109 @@
+#include "rmq/rmq.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace ndss {
+namespace {
+
+size_t NaiveArgMin(const std::vector<uint64_t>& values, size_t l, size_t r) {
+  size_t best = l;
+  for (size_t i = l + 1; i <= r; ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  return best;
+}
+
+class RmqTest : public ::testing::TestWithParam<RmqKind> {};
+
+TEST_P(RmqTest, SingleElement) {
+  std::vector<uint64_t> values = {42};
+  auto rmq = MakeRmq(GetParam(), values);
+  EXPECT_EQ(rmq->ArgMin(0, 0), 0u);
+  EXPECT_EQ(rmq->size(), 1u);
+}
+
+TEST_P(RmqTest, SmallKnownArray) {
+  std::vector<uint64_t> values = {5, 3, 8, 1, 9, 1, 7};
+  auto rmq = MakeRmq(GetParam(), values);
+  EXPECT_EQ(rmq->ArgMin(0, 6), 3u);  // leftmost of the two 1s
+  EXPECT_EQ(rmq->ArgMin(4, 6), 5u);
+  EXPECT_EQ(rmq->ArgMin(0, 2), 1u);
+  EXPECT_EQ(rmq->ArgMin(2, 2), 2u);
+  EXPECT_EQ(rmq->ArgMin(3, 5), 3u);
+}
+
+TEST_P(RmqTest, LeftmostTieBreak) {
+  std::vector<uint64_t> values = {2, 2, 2, 2, 2};
+  auto rmq = MakeRmq(GetParam(), values);
+  for (size_t l = 0; l < values.size(); ++l) {
+    for (size_t r = l; r < values.size(); ++r) {
+      EXPECT_EQ(rmq->ArgMin(l, r), l);
+    }
+  }
+}
+
+TEST_P(RmqTest, IncreasingAndDecreasing) {
+  std::vector<uint64_t> inc = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto rmq_inc = MakeRmq(GetParam(), inc);
+  for (size_t l = 0; l < inc.size(); ++l) {
+    for (size_t r = l; r < inc.size(); ++r) {
+      EXPECT_EQ(rmq_inc->ArgMin(l, r), l);
+    }
+  }
+  std::vector<uint64_t> dec = {8, 7, 6, 5, 4, 3, 2, 1};
+  auto rmq_dec = MakeRmq(GetParam(), dec);
+  for (size_t l = 0; l < dec.size(); ++l) {
+    for (size_t r = l; r < dec.size(); ++r) {
+      EXPECT_EQ(rmq_dec->ArgMin(l, r), r);
+    }
+  }
+}
+
+TEST_P(RmqTest, ExhaustiveAgainstNaiveRandom) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 101);
+  for (size_t n : {2u, 3u, 17u, 64u, 100u}) {
+    std::vector<uint64_t> values(n);
+    for (auto& v : values) v = rng.Uniform(20);  // many duplicates
+    auto rmq = MakeRmq(GetParam(), values);
+    for (size_t l = 0; l < n; ++l) {
+      for (size_t r = l; r < n; ++r) {
+        ASSERT_EQ(rmq->ArgMin(l, r), NaiveArgMin(values, l, r))
+            << "n=" << n << " l=" << l << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST_P(RmqTest, LargeRandomSpotChecks) {
+  Rng rng(7);
+  const size_t n = 100000;
+  std::vector<uint64_t> values(n);
+  for (auto& v : values) v = rng.Next();
+  auto rmq = MakeRmq(GetParam(), values);
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t l = rng.Uniform(n);
+    size_t r = l + rng.Uniform(n - l);
+    ASSERT_EQ(rmq->ArgMin(l, r), NaiveArgMin(values, l, r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, RmqTest,
+                         ::testing::Values(RmqKind::kSegmentTree,
+                                           RmqKind::kSparseTable,
+                                           RmqKind::kFischerHeun),
+                         [](const auto& info) {
+                           return RmqKindName(info.param);
+                         });
+
+TEST(RmqFactoryTest, NamesAreStable) {
+  EXPECT_STREQ(RmqKindName(RmqKind::kSegmentTree), "segment_tree");
+  EXPECT_STREQ(RmqKindName(RmqKind::kSparseTable), "sparse_table");
+  EXPECT_STREQ(RmqKindName(RmqKind::kFischerHeun), "fischer_heun");
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "corpusgen/synthetic.h"
+#include "index/index_builder.h"
+#include "query/searcher.h"
+
+namespace ndss {
+namespace {
+
+class SearchBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_batch_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+
+    SyntheticCorpusOptions corpus_options;
+    corpus_options.num_texts = 100;
+    corpus_options.vocab_size = 200;  // heavy key sharing across queries
+    corpus_options.zipf_exponent = 1.2;
+    corpus_options.plant_rate = 0.4;
+    corpus_options.seed = 61;
+    sc_ = GenerateSyntheticCorpus(corpus_options);
+
+    IndexBuildOptions build;
+    build.k = 8;
+    build.t = 15;
+    ASSERT_TRUE(BuildIndexInMemory(sc_.corpus, dir_, build).ok());
+
+    Rng rng(9);
+    for (int q = 0; q < 20; ++q) {
+      const TextId id = static_cast<TextId>(rng.Uniform(100));
+      const auto text = sc_.corpus.text(id);
+      const uint32_t length =
+          std::min<uint32_t>(30, static_cast<uint32_t>(text.size()));
+      queries_.push_back(PerturbSequence(text, 0, length, 0.1, 200, rng));
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  SyntheticCorpus sc_;
+  std::vector<std::vector<Token>> queries_;
+};
+
+TEST_F(SearchBatchTest, BatchResultsIdenticalToSingleQueries) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  SearchOptions options;
+  options.theta = 0.7;
+  auto batch = searcher->SearchBatch(queries_, options);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), queries_.size());
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    auto single = searcher->Search(queries_[q], options);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ((*batch)[q].spans.size(), single->spans.size()) << "q=" << q;
+    for (size_t i = 0; i < single->spans.size(); ++i) {
+      EXPECT_EQ((*batch)[q].spans[i].text, single->spans[i].text);
+      EXPECT_EQ((*batch)[q].spans[i].begin, single->spans[i].begin);
+      EXPECT_EQ((*batch)[q].spans[i].end, single->spans[i].end);
+    }
+  }
+}
+
+TEST_F(SearchBatchTest, CacheHitsReduceIo) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  SearchOptions options;
+  options.theta = 0.7;
+  // Duplicate the query list so hits are guaranteed on the second half.
+  std::vector<std::vector<Token>> doubled = queries_;
+  doubled.insert(doubled.end(), queries_.begin(), queries_.end());
+  auto batch = searcher->SearchBatch(doubled, options);
+  ASSERT_TRUE(batch.ok());
+  uint64_t total_hits = 0;
+  uint64_t first_half_io = 0, second_half_io = 0;
+  for (size_t q = 0; q < doubled.size(); ++q) {
+    total_hits += (*batch)[q].stats.cache_hits;
+    if (q < queries_.size()) {
+      first_half_io += (*batch)[q].stats.io_bytes;
+    } else {
+      second_half_io += (*batch)[q].stats.io_bytes;
+    }
+  }
+  EXPECT_GT(total_hits, 0u);
+  EXPECT_LT(second_half_io, first_half_io / 4)
+      << "repeated queries must be served almost entirely from cache";
+}
+
+TEST_F(SearchBatchTest, ZeroBudgetDisablesCaching) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  SearchOptions options;
+  options.theta = 0.7;
+  auto batch = searcher->SearchBatch(queries_, options, /*cache=*/0);
+  ASSERT_TRUE(batch.ok());
+  for (const SearchResult& result : *batch) {
+    EXPECT_EQ(result.stats.cache_hits, 0u);
+  }
+}
+
+TEST_F(SearchBatchTest, EmptyBatch) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  auto batch = searcher->SearchBatch({}, SearchOptions{});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
+}  // namespace
+}  // namespace ndss

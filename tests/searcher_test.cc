@@ -1,0 +1,244 @@
+#include "query/searcher.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "corpusgen/synthetic.h"
+#include "index/index_builder.h"
+
+namespace ndss {
+namespace {
+
+class SearcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_searcher_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Builds a deterministic corpus with text 3 containing an exact copy of
+  /// text 0's tokens [10, 49].
+  void BuildFixture(uint32_t k = 8, uint32_t t = 20) {
+    SyntheticCorpusOptions options;
+    options.num_texts = 50;
+    options.min_text_length = 80;
+    options.max_text_length = 160;
+    options.vocab_size = 5000;
+    options.plant_rate = 0.0;
+    options.seed = 99;
+    sc_ = GenerateSyntheticCorpus(options);
+
+    // Overwrite text 3 with an exact copy of part of text 0 in the middle.
+    Corpus patched;
+    for (size_t i = 0; i < sc_.corpus.num_texts(); ++i) {
+      if (i == 3) {
+        std::vector<Token> text(sc_.corpus.text(3).begin(),
+                                sc_.corpus.text(3).end());
+        const auto source = sc_.corpus.text(0);
+        for (uint32_t p = 0; p < 40; ++p) text[20 + p] = source[10 + p];
+        patched.AddText(text);
+      } else {
+        patched.AddText(sc_.corpus.text(i));
+      }
+    }
+    sc_.corpus = std::move(patched);
+
+    IndexBuildOptions build;
+    build.k = k;
+    build.t = t;
+    ASSERT_TRUE(BuildIndexInMemory(sc_.corpus, dir_, build).ok());
+  }
+
+  std::string dir_;
+  SyntheticCorpus sc_;
+};
+
+TEST_F(SearcherTest, OpenMissingIndexFails) {
+  EXPECT_FALSE(Searcher::Open(dir_ + "/nonexistent").ok());
+}
+
+TEST_F(SearcherTest, MetaRoundTrips) {
+  BuildFixture(8, 20);
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  EXPECT_EQ(searcher->meta().k, 8u);
+  EXPECT_EQ(searcher->meta().t, 20u);
+  EXPECT_EQ(searcher->meta().num_texts, 50u);
+}
+
+TEST_F(SearcherTest, FindsExactCopyAtThetaOne) {
+  BuildFixture();
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  // Query = the 40 copied tokens.
+  const auto source = sc_.corpus.text(0);
+  const std::vector<Token> query(source.begin() + 10, source.begin() + 50);
+
+  SearchOptions options;
+  options.theta = 1.0;
+  auto result = searcher->Search(query, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  bool found_text0 = false, found_text3 = false;
+  for (const MatchSpan& span : result->spans) {
+    if (span.text == 0 && span.begin <= 10 && span.end >= 49) {
+      found_text0 = true;
+    }
+    if (span.text == 3 && span.begin <= 20 && span.end >= 59) {
+      found_text3 = true;
+    }
+    EXPECT_DOUBLE_EQ(span.estimated_similarity, 1.0);
+  }
+  EXPECT_TRUE(found_text0) << "source span must be found";
+  EXPECT_TRUE(found_text3) << "planted copy must be found";
+}
+
+TEST_F(SearcherTest, UnrelatedQueryFindsNothingAtHighTheta) {
+  BuildFixture();
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  // Tokens far outside the corpus vocabulary.
+  std::vector<Token> query;
+  for (Token t = 1000000; t < 1000040; ++t) query.push_back(t);
+  SearchOptions options;
+  options.theta = 0.5;
+  auto result = searcher->Search(query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rectangles.empty());
+  EXPECT_TRUE(result->spans.empty());
+  EXPECT_EQ(result->stats.empty_lists, searcher->meta().k);
+}
+
+TEST_F(SearcherTest, LowerThetaFindsAtLeastAsMuch) {
+  BuildFixture();
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  const auto source = sc_.corpus.text(0);
+  const std::vector<Token> query(source.begin() + 10, source.begin() + 50);
+  size_t previous = 0;
+  for (double theta : {1.0, 0.8, 0.6, 0.4}) {
+    SearchOptions options;
+    options.theta = theta;
+    auto result = searcher->Search(query, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->rectangles.size(), previous) << "theta " << theta;
+    previous = result->rectangles.size();
+  }
+}
+
+TEST_F(SearcherTest, InvalidInputsRejected) {
+  BuildFixture();
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  SearchOptions options;
+  EXPECT_TRUE(searcher->Search({}, options).status().IsInvalidArgument());
+  std::vector<Token> query = {1, 2, 3};
+  options.theta = 0.0;
+  EXPECT_TRUE(
+      searcher->Search(query, options).status().IsInvalidArgument());
+  options.theta = 1.5;
+  EXPECT_TRUE(
+      searcher->Search(query, options).status().IsInvalidArgument());
+}
+
+TEST_F(SearcherTest, MergedSpansAreDisjointAndOrdered) {
+  BuildFixture();
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  const auto source = sc_.corpus.text(0);
+  const std::vector<Token> query(source.begin(), source.begin() + 60);
+  SearchOptions options;
+  options.theta = 0.4;
+  auto result = searcher->Search(query, options);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->spans.size(); ++i) {
+    const MatchSpan& prev = result->spans[i - 1];
+    const MatchSpan& cur = result->spans[i];
+    if (prev.text == cur.text) {
+      EXPECT_GT(cur.begin, prev.end + 1)
+          << "spans must be disjoint and non-adjacent after merging";
+    } else {
+      EXPECT_LT(prev.text, cur.text);
+    }
+  }
+  for (const MatchSpan& span : result->spans) {
+    EXPECT_GE(span.end - span.begin + 1, searcher->meta().t);
+    EXPECT_GE(span.collisions, 1u);
+    EXPECT_LE(span.estimated_similarity, 1.0);
+  }
+}
+
+TEST_F(SearcherTest, StatsArePopulated) {
+  BuildFixture();
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  const auto source = sc_.corpus.text(0);
+  const std::vector<Token> query(source.begin() + 10, source.begin() + 50);
+  SearchOptions options;
+  options.theta = 0.8;
+  auto result = searcher->Search(query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.io_bytes, 0u);
+  EXPECT_EQ(result->stats.short_lists + result->stats.long_lists +
+                result->stats.empty_lists,
+            searcher->meta().k);
+  EXPECT_GT(result->stats.windows_scanned, 0u);
+}
+
+TEST_F(SearcherTest, ListCountPercentileMonotone) {
+  BuildFixture();
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  const uint64_t p5 = searcher->ListCountPercentile(0.05);
+  const uint64_t p20 = searcher->ListCountPercentile(0.20);
+  EXPECT_GE(p5, p20) << "classifying more lists long lowers the threshold";
+}
+
+TEST_F(SearcherTest, MergeCanBeDisabled) {
+  BuildFixture();
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  const auto source = sc_.corpus.text(0);
+  const std::vector<Token> query(source.begin() + 10, source.begin() + 50);
+  SearchOptions options;
+  options.theta = 0.9;
+  options.merge_matches = false;
+  auto result = searcher->Search(query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->rectangles.empty());
+  EXPECT_TRUE(result->spans.empty());
+}
+
+TEST(MergeRectanglesTest, MergesOverlapsKeepsBestCollisions) {
+  std::vector<TextMatchRectangle> rects = {
+      {1, {0, 2, 10, 15, 3}},
+      {1, {3, 5, 12, 20, 5}},   // overlaps [0,15] via span [3,20]
+      {1, {40, 41, 50, 60, 2}},  // separate span
+      {2, {0, 0, 30, 30, 4}},
+  };
+  auto spans = MergeRectangles(rects, 5, 8);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].text, 1u);
+  EXPECT_EQ(spans[0].begin, 0u);
+  EXPECT_EQ(spans[0].end, 20u);
+  EXPECT_EQ(spans[0].collisions, 5u);
+  EXPECT_EQ(spans[1].text, 1u);
+  EXPECT_EQ(spans[1].begin, 40u);
+  EXPECT_EQ(spans[1].end, 60u);
+  EXPECT_EQ(spans[2].text, 2u);
+}
+
+TEST(MergeRectanglesTest, DropsTooShortRectangles) {
+  std::vector<TextMatchRectangle> rects = {
+      {1, {0, 0, 2, 3, 2}},  // longest sequence is 4 tokens
+  };
+  EXPECT_TRUE(MergeRectangles(rects, 5, 8).empty());
+  EXPECT_EQ(MergeRectangles(rects, 4, 8).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ndss

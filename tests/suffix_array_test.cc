@@ -1,0 +1,135 @@
+#include "baseline/suffix_array.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/brute_force.h"
+#include "common/random.h"
+#include "corpusgen/synthetic.h"
+
+namespace ndss {
+namespace {
+
+Corpus MakeCorpus(std::initializer_list<std::vector<Token>> texts) {
+  Corpus corpus;
+  for (const auto& text : texts) corpus.AddText(text);
+  return corpus;
+}
+
+TEST(SuffixArrayTest, ContainsBasic) {
+  Corpus corpus = MakeCorpus({{1, 2, 3, 4, 5}, {6, 7, 8}});
+  SuffixArrayIndex index = SuffixArrayIndex::Build(corpus);
+  EXPECT_TRUE(index.Contains(std::vector<Token>{2, 3, 4}));
+  EXPECT_TRUE(index.Contains(std::vector<Token>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(index.Contains(std::vector<Token>{8}));
+  EXPECT_FALSE(index.Contains(std::vector<Token>{4, 3}));
+  EXPECT_FALSE(index.Contains(std::vector<Token>{5, 6}))
+      << "matches must not cross text boundaries";
+  EXPECT_TRUE(index.Contains(std::vector<Token>{}));
+}
+
+TEST(SuffixArrayTest, CountOccurrences) {
+  Corpus corpus = MakeCorpus({{1, 2, 1, 2, 1}, {2, 1, 2}});
+  SuffixArrayIndex index = SuffixArrayIndex::Build(corpus);
+  EXPECT_EQ(index.CountOccurrences(std::vector<Token>{1, 2}), 3u);
+  EXPECT_EQ(index.CountOccurrences(std::vector<Token>{2, 1}), 3u);
+  EXPECT_EQ(index.CountOccurrences(std::vector<Token>{1}), 4u);
+  EXPECT_EQ(index.CountOccurrences(std::vector<Token>{9}), 0u);
+  EXPECT_EQ(index.CountOccurrences(std::vector<Token>{1, 2, 1, 2, 1}), 1u);
+}
+
+TEST(SuffixArrayTest, FindOccurrencesPositions) {
+  Corpus corpus = MakeCorpus({{5, 9, 5, 9}, {9, 5}});
+  SuffixArrayIndex index = SuffixArrayIndex::Build(corpus);
+  auto occurrences = index.FindOccurrences(std::vector<Token>{9, 5}, 0);
+  ASSERT_EQ(occurrences.size(), 2u);
+  // Sort-order agnostic check.
+  std::vector<SuffixArrayIndex::Occurrence> expected = {{0, 1}, {1, 0}};
+  for (const auto& e : expected) {
+    EXPECT_TRUE(std::find(occurrences.begin(), occurrences.end(), e) !=
+                occurrences.end());
+  }
+  EXPECT_EQ(index.FindOccurrences(std::vector<Token>{5}, 2).size(), 2u);
+}
+
+TEST(SuffixArrayTest, LongestPrefixMatch) {
+  Corpus corpus = MakeCorpus({{10, 20, 30, 40, 50}});
+  SuffixArrayIndex index = SuffixArrayIndex::Build(corpus);
+  EXPECT_EQ(index.LongestPrefixMatch(std::vector<Token>{10, 20, 30, 99}), 3u);
+  EXPECT_EQ(index.LongestPrefixMatch(std::vector<Token>{30, 40, 50, 60}), 3u);
+  EXPECT_EQ(index.LongestPrefixMatch(std::vector<Token>{99}), 0u);
+  EXPECT_EQ(index.LongestPrefixMatch(std::vector<Token>{10, 20, 30, 40, 50}),
+            5u);
+  EXPECT_EQ(index.LongestPrefixMatch(std::vector<Token>{50, 10}), 1u)
+      << "match must stop at the text boundary";
+}
+
+TEST(SuffixArrayTest, AgreesWithRabinKarpOnRandomCorpus) {
+  SyntheticCorpusOptions options;
+  options.num_texts = 50;
+  options.min_text_length = 20;
+  options.max_text_length = 100;
+  options.vocab_size = 20;  // tiny vocab → many repeats
+  options.seed = 12;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(options);
+  SuffixArrayIndex index = SuffixArrayIndex::Build(sc.corpus);
+
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t length = 1 + rng.Uniform(6);
+    std::vector<Token> pattern(length);
+    for (auto& token : pattern) {
+      token = static_cast<Token>(rng.Uniform(20));
+    }
+    ASSERT_EQ(index.Contains(pattern), ContainsVerbatim(sc.corpus, pattern))
+        << "trial " << trial;
+  }
+}
+
+TEST(SuffixArrayTest, CountMatchesNaiveScan) {
+  SyntheticCorpusOptions options;
+  options.num_texts = 20;
+  options.min_text_length = 30;
+  options.max_text_length = 60;
+  options.vocab_size = 5;
+  options.seed = 13;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(options);
+  SuffixArrayIndex index = SuffixArrayIndex::Build(sc.corpus);
+
+  Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t length = 1 + rng.Uniform(4);
+    std::vector<Token> pattern(length);
+    for (auto& token : pattern) token = static_cast<Token>(rng.Uniform(5));
+    uint64_t naive = 0;
+    for (size_t i = 0; i < sc.corpus.num_texts(); ++i) {
+      const auto text = sc.corpus.text(i);
+      for (size_t p = 0; p + length <= text.size(); ++p) {
+        if (std::equal(pattern.begin(), pattern.end(), text.begin() + p)) {
+          ++naive;
+        }
+      }
+    }
+    ASSERT_EQ(index.CountOccurrences(pattern), naive) << "trial " << trial;
+  }
+}
+
+TEST(SuffixArrayTest, EmptyCorpus) {
+  Corpus corpus;
+  SuffixArrayIndex index = SuffixArrayIndex::Build(corpus);
+  EXPECT_FALSE(index.Contains(std::vector<Token>{1}));
+  EXPECT_EQ(index.LongestPrefixMatch(std::vector<Token>{1}), 0u);
+  EXPECT_EQ(index.CountOccurrences(std::vector<Token>{1}), 0u);
+}
+
+TEST(SuffixArrayTest, SingleTokenTexts) {
+  Corpus corpus = MakeCorpus({{7}, {7}, {8}});
+  SuffixArrayIndex index = SuffixArrayIndex::Build(corpus);
+  EXPECT_EQ(index.CountOccurrences(std::vector<Token>{7}), 2u);
+  EXPECT_EQ(index.CountOccurrences(std::vector<Token>{8}), 1u);
+  EXPECT_FALSE(index.Contains(std::vector<Token>{7, 7}));
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,121 @@
+#include "align/text_aligner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace ndss {
+namespace {
+
+std::vector<Token> RandomTokens(size_t n, uint32_t vocab, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Token> tokens(n);
+  for (auto& token : tokens) token = static_cast<Token>(rng.Uniform(vocab));
+  return tokens;
+}
+
+AlignmentOptions SmallOptions() {
+  AlignmentOptions options;
+  options.window = 32;
+  options.stride = 16;
+  options.theta = 0.8;
+  options.k = 16;
+  options.t = 16;
+  return options;
+}
+
+TEST(TextAlignerTest, UnrelatedTextsDoNotAlign) {
+  const auto a = RandomTokens(500, 100000, 1);
+  const auto b = RandomTokens(500, 100000, 2);
+  auto pairs = AlignTexts(a, b, SmallOptions());
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+TEST(TextAlignerTest, FindsSharedRegion) {
+  auto a = RandomTokens(400, 100000, 3);
+  auto b = RandomTokens(400, 100000, 4);
+  // Copy a[100..199] into b[250..349].
+  for (int i = 0; i < 100; ++i) b[250 + i] = a[100 + i];
+  auto pairs = AlignTexts(a, b, SmallOptions());
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_FALSE(pairs->empty());
+  bool found = false;
+  for (const AlignedSpanPair& pair : *pairs) {
+    if (pair.a_begin <= 110 && pair.a_end >= 180 && pair.b_begin <= 260 &&
+        pair.b_end >= 330) {
+      found = true;
+      EXPECT_GE(pair.estimated_similarity, 0.8);
+    }
+  }
+  EXPECT_TRUE(found) << "the shared 100-token region must be reported";
+}
+
+TEST(TextAlignerTest, MultipleSharedRegionsStayDistinct) {
+  auto a = RandomTokens(600, 100000, 5);
+  auto b = RandomTokens(600, 100000, 6);
+  for (int i = 0; i < 64; ++i) b[50 + i] = a[50 + i];
+  for (int i = 0; i < 64; ++i) b[450 + i] = a[450 + i];
+  auto pairs = AlignTexts(a, b, SmallOptions());
+  ASSERT_TRUE(pairs.ok());
+  int early = 0, late = 0;
+  for (const AlignedSpanPair& pair : *pairs) {
+    if (pair.b_begin < 200) ++early;
+    if (pair.b_begin > 350) ++late;
+  }
+  EXPECT_GE(early, 1);
+  EXPECT_GE(late, 1);
+}
+
+TEST(TextAlignerTest, NearDuplicateRegionAligns) {
+  auto a = RandomTokens(300, 100000, 7);
+  auto b = RandomTokens(300, 100000, 8);
+  Rng rng(9);
+  // 95%-fidelity copy.
+  for (int i = 0; i < 100; ++i) {
+    b[100 + i] = rng.NextBool(0.05)
+                     ? static_cast<Token>(rng.Uniform(100000))
+                     : a[100 + i];
+  }
+  AlignmentOptions options = SmallOptions();
+  options.theta = 0.7;
+  auto pairs = AlignTexts(a, b, options);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_FALSE(pairs->empty());
+}
+
+TEST(TextAlignerTest, IdenticalTextsAlignFully) {
+  const auto a = RandomTokens(200, 100000, 10);
+  auto pairs = AlignTexts(a, a, SmallOptions());
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_FALSE(pairs->empty());
+  // The merged alignment should cover nearly the whole document.
+  uint32_t covered = 0;
+  for (const AlignedSpanPair& pair : *pairs) {
+    covered += pair.a_end - pair.a_begin + 1;
+  }
+  EXPECT_GE(covered, 150u);
+}
+
+TEST(TextAlignerTest, InvalidOptionsRejected) {
+  const auto a = RandomTokens(100, 1000, 11);
+  AlignmentOptions options = SmallOptions();
+  options.stride = 0;
+  EXPECT_FALSE(AlignTexts(a, a, options).ok());
+  options = SmallOptions();
+  options.stride = options.window + 1;
+  EXPECT_FALSE(AlignTexts(a, a, options).ok());
+}
+
+TEST(TextAlignerTest, ShortInputsYieldNothing) {
+  const auto a = RandomTokens(10, 1000, 12);
+  const auto b = RandomTokens(100, 1000, 13);
+  auto pairs = AlignTexts(a, b, SmallOptions());  // a shorter than window
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+}  // namespace
+}  // namespace ndss

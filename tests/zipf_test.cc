@@ -1,0 +1,61 @@
+#include "corpusgen/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ndss {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double total = 0;
+  for (uint64_t r = 0; r < 100; ++r) total += zipf.Probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(zipf.Probability(100), 0.0);
+}
+
+TEST(ZipfTest, RankZeroIsMostProbable) {
+  ZipfSampler zipf(1000, 1.0);
+  EXPECT_GT(zipf.Probability(0), zipf.Probability(1));
+  EXPECT_GT(zipf.Probability(1), zipf.Probability(10));
+  // Zipf law: P(rank 0) ≈ 2 * P(rank 1) ≈ 3 * P(rank 2).
+  EXPECT_NEAR(zipf.Probability(0) / zipf.Probability(1), 2.0, 1e-9);
+  EXPECT_NEAR(zipf.Probability(0) / zipf.Probability(2), 3.0, 1e-9);
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (uint64_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.Probability(r), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, SingleItemAlwaysSampled) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchProbabilities) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(12345);
+  std::vector<int> counts(50, 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) ++counts[zipf.Sample(rng)];
+  for (uint64_t r : {0ull, 1ull, 5ull, 20ull}) {
+    const double expected = zipf.Probability(r) * trials;
+    EXPECT_NEAR(counts[r], expected, 5 * std::sqrt(expected) + 10)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, SamplesAlwaysInRange) {
+  ZipfSampler zipf(7, 1.5);
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(rng), 7u);
+}
+
+}  // namespace
+}  // namespace ndss

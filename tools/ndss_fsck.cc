@@ -1,0 +1,134 @@
+// ndss_fsck: integrity checker for an index directory. Verifies meta and
+// every inverted-index file: magics, directory ordering, per-list window
+// counts, (text, l) sort order within lists, zone-map consistency, and the
+// total window count against the footer.
+//
+//   ndss_fsck --index=/data/idx [--deep]
+
+#include <cstdio>
+
+#include "index/index_meta.h"
+#include "index/inverted_index_reader.h"
+#include "tool_flags.h"
+
+namespace {
+
+/// Checks one inverted-index file; returns the number of problems found.
+int CheckFile(const std::string& path, bool deep, uint64_t* total_windows) {
+  int problems = 0;
+  auto reader = ndss::InvertedIndexReader::Open(path);
+  if (!reader.ok()) {
+    std::printf("  %s: OPEN FAILED: %s\n", path.c_str(),
+                reader.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t windows_in_directory = 0;
+  ndss::Token previous_key = 0;
+  bool first = true;
+  for (const ndss::ListMeta& meta : reader->directory()) {
+    if (!first && meta.key <= previous_key) {
+      std::printf("  %s: directory keys not strictly increasing at %u\n",
+                  path.c_str(), meta.key);
+      ++problems;
+    }
+    previous_key = meta.key;
+    first = false;
+    windows_in_directory += meta.count;
+    if (!deep) continue;
+
+    std::vector<ndss::PostedWindow> windows;
+    ndss::Status status = reader->ReadList(meta, &windows);
+    if (!status.ok()) {
+      std::printf("  %s: list %u unreadable: %s\n", path.c_str(), meta.key,
+                  status.ToString().c_str());
+      ++problems;
+      continue;
+    }
+    if (windows.size() != meta.count) {
+      std::printf("  %s: list %u count mismatch (%zu vs %llu)\n",
+                  path.c_str(), meta.key, windows.size(),
+                  static_cast<unsigned long long>(meta.count));
+      ++problems;
+    }
+    for (size_t i = 0; i < windows.size(); ++i) {
+      const ndss::PostedWindow& w = windows[i];
+      if (!(w.l <= w.c && w.c <= w.r)) {
+        std::printf("  %s: list %u window %zu malformed (l=%u c=%u r=%u)\n",
+                    path.c_str(), meta.key, i, w.l, w.c, w.r);
+        ++problems;
+        break;
+      }
+      if (i > 0 && (w.text < windows[i - 1].text ||
+                    (w.text == windows[i - 1].text &&
+                     w.l < windows[i - 1].l))) {
+        std::printf("  %s: list %u not sorted by (text, l) at %zu\n",
+                    path.c_str(), meta.key, i);
+        ++problems;
+        break;
+      }
+    }
+    // Zone-map spot check: the probe path must reproduce the scan for the
+    // first and last text in the list.
+    if (meta.zone_count > 0 && !windows.empty()) {
+      for (ndss::TextId text : {windows.front().text, windows.back().text}) {
+        std::vector<ndss::PostedWindow> probed, expected;
+        if (!reader->ReadWindowsForText(meta, text, &probed).ok()) {
+          std::printf("  %s: list %u zone probe failed for text %u\n",
+                      path.c_str(), meta.key, text);
+          ++problems;
+          continue;
+        }
+        for (const ndss::PostedWindow& w : windows) {
+          if (w.text == text) expected.push_back(w);
+        }
+        if (probed != expected) {
+          std::printf("  %s: list %u zone probe mismatch for text %u\n",
+                      path.c_str(), meta.key, text);
+          ++problems;
+        }
+      }
+    }
+  }
+  if (windows_in_directory != reader->num_windows()) {
+    std::printf("  %s: footer window count %llu != directory sum %llu\n",
+                path.c_str(),
+                static_cast<unsigned long long>(reader->num_windows()),
+                static_cast<unsigned long long>(windows_in_directory));
+    ++problems;
+  }
+  *total_windows += reader->num_windows();
+  std::printf("  %s: %zu lists, %llu windows%s\n", path.c_str(),
+              reader->num_lists(),
+              static_cast<unsigned long long>(reader->num_windows()),
+              problems == 0 ? ", OK" : "");
+  return problems;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ndss::tools::Flags flags(argc, argv);
+  const std::string index_dir = flags.GetString("index", "");
+  if (index_dir.empty()) {
+    ndss::tools::Die("usage: ndss_fsck --index=DIR [--deep]");
+  }
+  const bool deep = flags.GetBool("deep", false);
+
+  auto meta = ndss::IndexMeta::Load(index_dir);
+  if (!meta.ok()) ndss::tools::Die(meta.status().ToString());
+  std::printf("meta: k=%u t=%u seed=%llx texts=%llu tokens=%llu\n", meta->k,
+              meta->t, static_cast<unsigned long long>(meta->seed),
+              static_cast<unsigned long long>(meta->num_texts),
+              static_cast<unsigned long long>(meta->total_tokens));
+
+  int problems = 0;
+  uint64_t total_windows = 0;
+  for (uint32_t func = 0; func < meta->k; ++func) {
+    problems += CheckFile(ndss::IndexMeta::InvertedIndexPath(index_dir, func),
+                          deep, &total_windows);
+  }
+  std::printf("%u files, %llu windows total: %s\n", meta->k,
+              static_cast<unsigned long long>(total_windows),
+              problems == 0 ? "no problems found" : "PROBLEMS FOUND");
+  return problems == 0 ? 0 : 1;
+}

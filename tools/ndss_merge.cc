@@ -1,0 +1,31 @@
+// ndss_merge: merges shard indexes (built over disjoint corpus partitions
+// with identical k/seed/t) into one index, offsetting text ids.
+//
+//   ndss_merge --out=/data/idx /data/shard0 /data/shard1 ... [--compress]
+
+#include <cstdio>
+
+#include "index/index_merger.h"
+#include "tool_flags.h"
+
+int main(int argc, char** argv) {
+  ndss::tools::Flags flags(argc, argv);
+  const std::string out = flags.GetString("out", "");
+  if (out.empty() || flags.positional().empty()) {
+    ndss::tools::Die(
+        "usage: ndss_merge --out=DIR SHARD_DIR... [--compress] "
+        "[--zone-step=S]");
+  }
+  ndss::IndexMergeOptions options;
+  options.zone_step = static_cast<uint32_t>(flags.GetInt("zone-step", 64));
+  if (flags.GetBool("compress", false)) {
+    options.posting_format = ndss::index_format::kFormatCompressed;
+  }
+  auto stats = ndss::MergeIndexes(flags.positional(), out, options);
+  if (!stats.ok()) ndss::tools::Die(stats.status().ToString());
+  std::printf("merged %zu shards into %s: %llu windows, %.2f MB, %.3f s\n",
+              flags.positional().size(), out.c_str(),
+              static_cast<unsigned long long>(stats->num_windows),
+              stats->index_bytes / 1e6, stats->total_seconds);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// ndss_query: runs near-duplicate searches against a built index.
+//
+// The query is either an explicit token list, a span of a corpus text, or
+// a random perturbed span (for quick smoke tests):
+//
+//   ndss_query --index=/data/idx --theta=0.8 --tokens=17,4,99,23,...
+//   ndss_query --index=/data/idx --corpus=/data/corpus.crp \
+//              --text=12 --begin=100 --len=64 [--noise=0.05]
+//   ndss_query --index=/data/idx --corpus=/data/corpus.crp --random=10
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "query/searcher.h"
+#include "text/corpus_file.h"
+#include "tool_flags.h"
+
+namespace {
+
+std::vector<ndss::Token> ParseTokens(const std::string& list) {
+  std::vector<ndss::Token> tokens;
+  std::stringstream stream(list);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    tokens.push_back(
+        static_cast<ndss::Token>(std::strtoul(item.c_str(), nullptr, 10)));
+  }
+  return tokens;
+}
+
+void RunOne(ndss::Searcher& searcher, const std::vector<ndss::Token>& query,
+            const ndss::SearchOptions& options, bool verbose) {
+  ndss::Stopwatch watch;
+  auto result = searcher.Search(query, options);
+  if (!result.ok()) ndss::tools::Die(result.status().ToString());
+  std::printf("query (%zu tokens): %zu matching spans in %.3f ms "
+              "(io %.0f KB)\n",
+              query.size(), result->spans.size(), watch.ElapsedMillis(),
+              result->stats.io_bytes / 1e3);
+  if (verbose) {
+    for (const ndss::MatchSpan& span : result->spans) {
+      std::printf("  text %-8u tokens [%u..%u]  est. Jaccard %.3f\n",
+                  span.text, span.begin, span.end,
+                  span.estimated_similarity);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ndss::tools::Flags flags(argc, argv);
+  const std::string index_dir = flags.GetString("index", "");
+  if (index_dir.empty()) {
+    ndss::tools::Die(
+        "usage: ndss_query --index=DIR (--tokens=a,b,c | --corpus=FILE "
+        "(--text=ID --begin=B --len=L [--noise=P] | --random=N)) "
+        "[--theta=T] [--no-prefix-filter] [--cost-model] [--quiet]");
+  }
+  auto searcher = ndss::Searcher::Open(index_dir);
+  if (!searcher.ok()) ndss::tools::Die(searcher.status().ToString());
+  std::printf("index: k=%u t=%u texts=%llu tokens=%llu\n",
+              searcher->meta().k, searcher->meta().t,
+              static_cast<unsigned long long>(searcher->meta().num_texts),
+              static_cast<unsigned long long>(
+                  searcher->meta().total_tokens));
+
+  ndss::SearchOptions options;
+  options.theta = flags.GetDouble("theta", 0.8);
+  options.use_prefix_filter = !flags.GetBool("no-prefix-filter", false);
+  options.use_cost_model = flags.GetBool("cost-model", false);
+  if (!options.use_cost_model) {
+    options.long_list_threshold = searcher->ListCountPercentile(
+        flags.GetDouble("prefix-fraction", 0.10));
+  }
+  const bool verbose = !flags.GetBool("quiet", false);
+
+  if (flags.Has("tokens")) {
+    RunOne(*searcher, ParseTokens(flags.GetString("tokens", "")), options,
+           verbose);
+    return 0;
+  }
+
+  const std::string corpus_path = flags.GetString("corpus", "");
+  if (corpus_path.empty()) {
+    ndss::tools::Die("need --tokens or --corpus");
+  }
+  auto corpus = ndss::CorpusFileReader::Open(corpus_path);
+  if (!corpus.ok()) ndss::tools::Die(corpus.status().ToString());
+
+  if (flags.Has("random")) {
+    const int count = static_cast<int>(flags.GetInt("random", 10));
+    const uint32_t len = static_cast<uint32_t>(flags.GetInt("len", 64));
+    const double noise = flags.GetDouble("noise", 0.05);
+    ndss::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+    for (int i = 0; i < count; ++i) {
+      const ndss::TextId id =
+          static_cast<ndss::TextId>(rng.Uniform(corpus->num_texts()));
+      auto text = corpus->ReadText(id);
+      if (!text.ok()) ndss::tools::Die(text.status().ToString());
+      if (text->size() < len) {
+        --i;  // resample; assumes some text is long enough
+        continue;
+      }
+      const uint32_t begin =
+          static_cast<uint32_t>(rng.Uniform(text->size() - len + 1));
+      std::vector<ndss::Token> query(text->begin() + begin,
+                                     text->begin() + begin + len);
+      for (auto& token : query) {
+        if (rng.NextBool(noise)) {
+          token = static_cast<ndss::Token>(rng.Uniform(1 << 20));
+        }
+      }
+      RunOne(*searcher, query, options, verbose);
+    }
+    return 0;
+  }
+
+  const ndss::TextId id = static_cast<ndss::TextId>(flags.GetInt("text", 0));
+  const uint32_t begin = static_cast<uint32_t>(flags.GetInt("begin", 0));
+  const uint32_t len = static_cast<uint32_t>(flags.GetInt("len", 64));
+  auto text = corpus->ReadText(id);
+  if (!text.ok()) ndss::tools::Die(text.status().ToString());
+  if (begin + len > text->size()) ndss::tools::Die("span out of range");
+  std::vector<ndss::Token> query(text->begin() + begin,
+                                 text->begin() + begin + len);
+  const double noise = flags.GetDouble("noise", 0.0);
+  if (noise > 0) {
+    ndss::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+    for (auto& token : query) {
+      if (rng.NextBool(noise)) {
+        token = static_cast<ndss::Token>(rng.Uniform(1 << 20));
+      }
+    }
+  }
+  RunOne(*searcher, query, options, verbose);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// ndss_stats: prints posting-list statistics of a built index — the list
+// length distribution that drives prefix filtering (Zipf's law makes a few
+// lists enormous, Section 3.5) — and optionally a compact-window width
+// histogram (--widths, reads every list of hash function 0).
+//
+//   ndss_stats --index=/data/idx [--widths]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "index/index_meta.h"
+#include "index/inverted_index_reader.h"
+#include "tool_flags.h"
+
+int main(int argc, char** argv) {
+  ndss::tools::Flags flags(argc, argv);
+  const std::string index_dir = flags.GetString("index", "");
+  if (index_dir.empty()) {
+    ndss::tools::Die("usage: ndss_stats --index=DIR");
+  }
+  auto meta = ndss::IndexMeta::Load(index_dir);
+  if (!meta.ok()) ndss::tools::Die(meta.status().ToString());
+
+  std::vector<uint64_t> counts;
+  uint64_t total_windows = 0;
+  uint64_t total_bytes = 0;
+  uint64_t zone_lists = 0;
+  for (uint32_t func = 0; func < meta->k; ++func) {
+    const std::string path =
+        ndss::IndexMeta::InvertedIndexPath(index_dir, func);
+    auto reader = ndss::InvertedIndexReader::Open(path);
+    if (!reader.ok()) ndss::tools::Die(reader.status().ToString());
+    for (const ndss::ListMeta& list : reader->directory()) {
+      counts.push_back(list.count);
+      total_bytes += list.list_bytes;
+      if (list.zone_count > 0) ++zone_lists;
+    }
+    total_windows += reader->num_windows();
+  }
+  if (counts.empty()) {
+    std::printf("index is empty\n");
+    return 0;
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<uint64_t>());
+
+  std::printf("k=%u t=%u  lists=%zu  windows=%llu  list bytes=%.2f MB  "
+              "zone-mapped lists=%llu\n",
+              meta->k, meta->t, counts.size(),
+              static_cast<unsigned long long>(total_windows),
+              total_bytes / 1e6,
+              static_cast<unsigned long long>(zone_lists));
+  std::printf("corpus: %llu texts, %llu tokens  (index/corpus byte ratio "
+              "%.3f)\n",
+              static_cast<unsigned long long>(meta->num_texts),
+              static_cast<unsigned long long>(meta->total_tokens),
+              total_bytes / (4.0 * meta->total_tokens));
+
+  std::printf("\nlist length distribution (Zipf skew):\n");
+  std::printf("  %-12s %12s\n", "percentile", "windows");
+  const double n = static_cast<double>(counts.size());
+  for (double pct : {0.0, 0.001, 0.01, 0.05, 0.10, 0.25, 0.50, 0.90}) {
+    const size_t idx = std::min<size_t>(counts.size() - 1,
+                                        static_cast<size_t>(pct * n));
+    std::printf("  top %-7.1f%% %12llu\n", pct * 100,
+                static_cast<unsigned long long>(counts[idx]));
+  }
+  // Share of windows in the top-x% longest lists.
+  uint64_t cumulative = 0;
+  size_t next_report = 0;
+  const double marks[] = {0.01, 0.05, 0.10, 0.20};
+  std::printf("\nwindow mass in the longest lists:\n");
+  for (size_t i = 0; i < counts.size() && next_report < 4; ++i) {
+    cumulative += counts[i];
+    while (next_report < 4 &&
+           i + 1 >= static_cast<size_t>(marks[next_report] * n)) {
+      std::printf("  top %4.0f%% of lists hold %5.1f%% of windows\n",
+                  marks[next_report] * 100,
+                  100.0 * cumulative / total_windows);
+      ++next_report;
+    }
+  }
+
+  if (flags.GetBool("widths", false)) {
+    // Compact-window width histogram over hash function 0 (widths start at
+    // t; the expected width distribution is heavy-tailed because windows
+    // are Cartesian-tree subtree ranges).
+    auto reader = ndss::InvertedIndexReader::Open(
+        ndss::IndexMeta::InvertedIndexPath(index_dir, 0));
+    if (!reader.ok()) ndss::tools::Die(reader.status().ToString());
+    std::vector<uint64_t> histogram;  // log2 buckets of width/t
+    uint64_t windows = 0;
+    double width_sum = 0;
+    std::vector<ndss::PostedWindow> list;
+    for (const ndss::ListMeta& list_meta : reader->directory()) {
+      list.clear();
+      if (!reader->ReadList(list_meta, &list).ok()) continue;
+      for (const ndss::PostedWindow& w : list) {
+        const uint64_t width = w.r - w.l + 1;
+        width_sum += static_cast<double>(width);
+        ++windows;
+        size_t bucket = 0;
+        for (uint64_t x = width / std::max<uint32_t>(1u, meta->t); x > 1;
+             x >>= 1) {
+          ++bucket;
+        }
+        if (histogram.size() <= bucket) histogram.resize(bucket + 1);
+        ++histogram[bucket];
+      }
+    }
+    std::printf("\nwindow width histogram (function 0, %llu windows, mean "
+                "width %.1f):\n",
+                static_cast<unsigned long long>(windows),
+                windows == 0 ? 0.0 : width_sum / windows);
+    for (size_t bucket = 0; bucket < histogram.size(); ++bucket) {
+      std::printf("  width in [%llu*t, %llu*t): %5.1f%%\n",
+                  1ull << bucket, 2ull << bucket,
+                  100.0 * histogram[bucket] / windows);
+    }
+  }
+  return 0;
+}

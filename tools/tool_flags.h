@@ -1,0 +1,80 @@
+#ifndef NDSS_TOOLS_TOOL_FLAGS_H_
+#define NDSS_TOOLS_TOOL_FLAGS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ndss {
+namespace tools {
+
+/// Minimal command-line flag parser for the ndss_* tools. Flags are
+/// `--name=value` or `--name value`; everything else is a positional
+/// argument.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+          values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) !=
+                                       0) {
+          values_[arg.substr(2)] = argv[++i];
+        } else {
+          values_[arg.substr(2)] = "true";
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? default_value : it->second;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t default_value) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? default_value
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& name, double default_value) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? default_value
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& name, bool default_value) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    return it->second == "true" || it->second == "1";
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) != 0; }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Prints `message` to stderr and exits with status 1.
+[[noreturn]] inline void Die(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(1);
+}
+
+}  // namespace tools
+}  // namespace ndss
+
+#endif  // NDSS_TOOLS_TOOL_FLAGS_H_
