@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rmq.dir/bench_ablation_rmq.cc.o"
+  "CMakeFiles/bench_ablation_rmq.dir/bench_ablation_rmq.cc.o.d"
+  "bench_ablation_rmq"
+  "bench_ablation_rmq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rmq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_query.dir/bench_batch_query.cc.o"
+  "CMakeFiles/bench_batch_query.dir/bench_batch_query.cc.o.d"
+  "bench_batch_query"
+  "bench_batch_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

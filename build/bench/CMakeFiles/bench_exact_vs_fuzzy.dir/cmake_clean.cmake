@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exact_vs_fuzzy.dir/bench_exact_vs_fuzzy.cc.o"
+  "CMakeFiles/bench_exact_vs_fuzzy.dir/bench_exact_vs_fuzzy.cc.o.d"
+  "bench_exact_vs_fuzzy"
+  "bench_exact_vs_fuzzy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exact_vs_fuzzy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

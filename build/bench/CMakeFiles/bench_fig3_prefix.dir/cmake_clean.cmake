@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_prefix.dir/bench_fig3_prefix.cc.o"
+  "CMakeFiles/bench_fig3_prefix.dir/bench_fig3_prefix.cc.o.d"
+  "bench_fig3_prefix"
+  "bench_fig3_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

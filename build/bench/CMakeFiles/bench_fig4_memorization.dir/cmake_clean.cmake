@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_memorization.dir/bench_fig4_memorization.cc.o"
+  "CMakeFiles/bench_fig4_memorization.dir/bench_fig4_memorization.cc.o.d"
+  "bench_fig4_memorization"
+  "bench_fig4_memorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_memorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_bpe.dir/bench_micro_bpe.cc.o"
+  "CMakeFiles/bench_micro_bpe.dir/bench_micro_bpe.cc.o.d"
+  "bench_micro_bpe"
+  "bench_micro_bpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_bpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_window_gen.dir/bench_micro_window_gen.cc.o"
+  "CMakeFiles/bench_micro_window_gen.dir/bench_micro_window_gen.cc.o.d"
+  "bench_micro_window_gen"
+  "bench_micro_window_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_window_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_build.dir/bench_parallel_build.cc.o"
+  "CMakeFiles/bench_parallel_build.dir/bench_parallel_build.cc.o.d"
+  "bench_parallel_build"
+  "bench_parallel_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_dedup.dir/corpus_dedup.cpp.o"
+  "CMakeFiles/corpus_dedup.dir/corpus_dedup.cpp.o.d"
+  "corpus_dedup"
+  "corpus_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memorization_eval.dir/memorization_eval.cpp.o"
+  "CMakeFiles/memorization_eval.dir/memorization_eval.cpp.o.d"
+  "memorization_eval"
+  "memorization_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memorization_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

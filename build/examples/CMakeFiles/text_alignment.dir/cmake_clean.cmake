@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_alignment.dir/text_alignment.cpp.o"
+  "CMakeFiles/text_alignment.dir/text_alignment.cpp.o.d"
+  "text_alignment"
+  "text_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hash")
+subdirs("rmq")
+subdirs("text")
+subdirs("tokenizer")
+subdirs("corpusgen")
+subdirs("window")
+subdirs("align")
+subdirs("index")
+subdirs("query")
+subdirs("baseline")
+subdirs("lm")
+subdirs("eval")
+subdirs("ndss")

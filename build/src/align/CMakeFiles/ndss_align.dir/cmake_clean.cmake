@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_align.dir/text_aligner.cc.o"
+  "CMakeFiles/ndss_align.dir/text_aligner.cc.o.d"
+  "libndss_align.a"
+  "libndss_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/brute_force.cc" "src/baseline/CMakeFiles/ndss_baseline.dir/brute_force.cc.o" "gcc" "src/baseline/CMakeFiles/ndss_baseline.dir/brute_force.cc.o.d"
+  "/root/repo/src/baseline/suffix_array.cc" "src/baseline/CMakeFiles/ndss_baseline.dir/suffix_array.cc.o" "gcc" "src/baseline/CMakeFiles/ndss_baseline.dir/suffix_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ndss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ndss_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ndss_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_baseline.dir/brute_force.cc.o"
+  "CMakeFiles/ndss_baseline.dir/brute_force.cc.o.d"
+  "CMakeFiles/ndss_baseline.dir/suffix_array.cc.o"
+  "CMakeFiles/ndss_baseline.dir/suffix_array.cc.o.d"
+  "libndss_baseline.a"
+  "libndss_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

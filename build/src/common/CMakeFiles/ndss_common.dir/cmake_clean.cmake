@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_common.dir/file_io.cc.o"
+  "CMakeFiles/ndss_common.dir/file_io.cc.o.d"
+  "CMakeFiles/ndss_common.dir/logging.cc.o"
+  "CMakeFiles/ndss_common.dir/logging.cc.o.d"
+  "CMakeFiles/ndss_common.dir/status.cc.o"
+  "CMakeFiles/ndss_common.dir/status.cc.o.d"
+  "CMakeFiles/ndss_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ndss_common.dir/thread_pool.cc.o.d"
+  "libndss_common.a"
+  "libndss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

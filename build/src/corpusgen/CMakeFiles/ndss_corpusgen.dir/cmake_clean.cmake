@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_corpusgen.dir/synthetic.cc.o"
+  "CMakeFiles/ndss_corpusgen.dir/synthetic.cc.o.d"
+  "CMakeFiles/ndss_corpusgen.dir/zipf.cc.o"
+  "CMakeFiles/ndss_corpusgen.dir/zipf.cc.o.d"
+  "libndss_corpusgen.a"
+  "libndss_corpusgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_corpusgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ndss_corpusgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_eval.dir/memorization_eval.cc.o"
+  "CMakeFiles/ndss_eval.dir/memorization_eval.cc.o.d"
+  "libndss_eval.a"
+  "libndss_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_hash.dir/hash_family.cc.o"
+  "CMakeFiles/ndss_hash.dir/hash_family.cc.o.d"
+  "libndss_hash.a"
+  "libndss_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/index_builder.cc" "src/index/CMakeFiles/ndss_index.dir/index_builder.cc.o" "gcc" "src/index/CMakeFiles/ndss_index.dir/index_builder.cc.o.d"
+  "/root/repo/src/index/index_merger.cc" "src/index/CMakeFiles/ndss_index.dir/index_merger.cc.o" "gcc" "src/index/CMakeFiles/ndss_index.dir/index_merger.cc.o.d"
+  "/root/repo/src/index/index_meta.cc" "src/index/CMakeFiles/ndss_index.dir/index_meta.cc.o" "gcc" "src/index/CMakeFiles/ndss_index.dir/index_meta.cc.o.d"
+  "/root/repo/src/index/inverted_index_reader.cc" "src/index/CMakeFiles/ndss_index.dir/inverted_index_reader.cc.o" "gcc" "src/index/CMakeFiles/ndss_index.dir/inverted_index_reader.cc.o.d"
+  "/root/repo/src/index/inverted_index_writer.cc" "src/index/CMakeFiles/ndss_index.dir/inverted_index_writer.cc.o" "gcc" "src/index/CMakeFiles/ndss_index.dir/inverted_index_writer.cc.o.d"
+  "/root/repo/src/index/memory_index.cc" "src/index/CMakeFiles/ndss_index.dir/memory_index.cc.o" "gcc" "src/index/CMakeFiles/ndss_index.dir/memory_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ndss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ndss_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmq/CMakeFiles/ndss_rmq.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ndss_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/ndss_window.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

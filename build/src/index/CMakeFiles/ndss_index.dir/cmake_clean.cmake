@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_index.dir/index_builder.cc.o"
+  "CMakeFiles/ndss_index.dir/index_builder.cc.o.d"
+  "CMakeFiles/ndss_index.dir/index_merger.cc.o"
+  "CMakeFiles/ndss_index.dir/index_merger.cc.o.d"
+  "CMakeFiles/ndss_index.dir/index_meta.cc.o"
+  "CMakeFiles/ndss_index.dir/index_meta.cc.o.d"
+  "CMakeFiles/ndss_index.dir/inverted_index_reader.cc.o"
+  "CMakeFiles/ndss_index.dir/inverted_index_reader.cc.o.d"
+  "CMakeFiles/ndss_index.dir/inverted_index_writer.cc.o"
+  "CMakeFiles/ndss_index.dir/inverted_index_writer.cc.o.d"
+  "CMakeFiles/ndss_index.dir/memory_index.cc.o"
+  "CMakeFiles/ndss_index.dir/memory_index.cc.o.d"
+  "libndss_index.a"
+  "libndss_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

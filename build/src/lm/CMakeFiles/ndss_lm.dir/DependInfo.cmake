@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lm/memorizing_generator.cc" "src/lm/CMakeFiles/ndss_lm.dir/memorizing_generator.cc.o" "gcc" "src/lm/CMakeFiles/ndss_lm.dir/memorizing_generator.cc.o.d"
+  "/root/repo/src/lm/ngram_model.cc" "src/lm/CMakeFiles/ndss_lm.dir/ngram_model.cc.o" "gcc" "src/lm/CMakeFiles/ndss_lm.dir/ngram_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ndss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ndss_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

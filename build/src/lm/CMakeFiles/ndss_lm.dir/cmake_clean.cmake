@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_lm.dir/memorizing_generator.cc.o"
+  "CMakeFiles/ndss_lm.dir/memorizing_generator.cc.o.d"
+  "CMakeFiles/ndss_lm.dir/ngram_model.cc.o"
+  "CMakeFiles/ndss_lm.dir/ngram_model.cc.o.d"
+  "libndss_lm.a"
+  "libndss_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

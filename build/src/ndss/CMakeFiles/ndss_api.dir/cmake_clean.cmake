@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_api.dir/ndss.cc.o"
+  "CMakeFiles/ndss_api.dir/ndss.cc.o.d"
+  "libndss_api.a"
+  "libndss_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

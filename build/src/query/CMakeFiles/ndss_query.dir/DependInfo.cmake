@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/collision_count.cc" "src/query/CMakeFiles/ndss_query.dir/collision_count.cc.o" "gcc" "src/query/CMakeFiles/ndss_query.dir/collision_count.cc.o.d"
+  "/root/repo/src/query/cost_model.cc" "src/query/CMakeFiles/ndss_query.dir/cost_model.cc.o" "gcc" "src/query/CMakeFiles/ndss_query.dir/cost_model.cc.o.d"
+  "/root/repo/src/query/interval_scan.cc" "src/query/CMakeFiles/ndss_query.dir/interval_scan.cc.o" "gcc" "src/query/CMakeFiles/ndss_query.dir/interval_scan.cc.o.d"
+  "/root/repo/src/query/searcher.cc" "src/query/CMakeFiles/ndss_query.dir/searcher.cc.o" "gcc" "src/query/CMakeFiles/ndss_query.dir/searcher.cc.o.d"
+  "/root/repo/src/query/verify.cc" "src/query/CMakeFiles/ndss_query.dir/verify.cc.o" "gcc" "src/query/CMakeFiles/ndss_query.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ndss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ndss_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ndss_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/ndss_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmq/CMakeFiles/ndss_rmq.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ndss_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_query.dir/collision_count.cc.o"
+  "CMakeFiles/ndss_query.dir/collision_count.cc.o.d"
+  "CMakeFiles/ndss_query.dir/cost_model.cc.o"
+  "CMakeFiles/ndss_query.dir/cost_model.cc.o.d"
+  "CMakeFiles/ndss_query.dir/interval_scan.cc.o"
+  "CMakeFiles/ndss_query.dir/interval_scan.cc.o.d"
+  "CMakeFiles/ndss_query.dir/searcher.cc.o"
+  "CMakeFiles/ndss_query.dir/searcher.cc.o.d"
+  "CMakeFiles/ndss_query.dir/verify.cc.o"
+  "CMakeFiles/ndss_query.dir/verify.cc.o.d"
+  "libndss_query.a"
+  "libndss_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_rmq.dir/rmq.cc.o"
+  "CMakeFiles/ndss_rmq.dir/rmq.cc.o.d"
+  "libndss_rmq.a"
+  "libndss_rmq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_rmq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

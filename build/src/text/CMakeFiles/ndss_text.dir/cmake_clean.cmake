@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_text.dir/corpus_file.cc.o"
+  "CMakeFiles/ndss_text.dir/corpus_file.cc.o.d"
+  "libndss_text.a"
+  "libndss_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

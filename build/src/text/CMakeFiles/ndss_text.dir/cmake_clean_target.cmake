@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libndss_text.a"
+)

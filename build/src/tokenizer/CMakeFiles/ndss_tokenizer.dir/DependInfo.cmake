@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tokenizer/bpe_model.cc" "src/tokenizer/CMakeFiles/ndss_tokenizer.dir/bpe_model.cc.o" "gcc" "src/tokenizer/CMakeFiles/ndss_tokenizer.dir/bpe_model.cc.o.d"
+  "/root/repo/src/tokenizer/bpe_tokenizer.cc" "src/tokenizer/CMakeFiles/ndss_tokenizer.dir/bpe_tokenizer.cc.o" "gcc" "src/tokenizer/CMakeFiles/ndss_tokenizer.dir/bpe_tokenizer.cc.o.d"
+  "/root/repo/src/tokenizer/bpe_trainer.cc" "src/tokenizer/CMakeFiles/ndss_tokenizer.dir/bpe_trainer.cc.o" "gcc" "src/tokenizer/CMakeFiles/ndss_tokenizer.dir/bpe_trainer.cc.o.d"
+  "/root/repo/src/tokenizer/pre_tokenizer.cc" "src/tokenizer/CMakeFiles/ndss_tokenizer.dir/pre_tokenizer.cc.o" "gcc" "src/tokenizer/CMakeFiles/ndss_tokenizer.dir/pre_tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ndss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ndss_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

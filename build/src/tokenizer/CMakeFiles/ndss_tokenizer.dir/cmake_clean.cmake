@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_tokenizer.dir/bpe_model.cc.o"
+  "CMakeFiles/ndss_tokenizer.dir/bpe_model.cc.o.d"
+  "CMakeFiles/ndss_tokenizer.dir/bpe_tokenizer.cc.o"
+  "CMakeFiles/ndss_tokenizer.dir/bpe_tokenizer.cc.o.d"
+  "CMakeFiles/ndss_tokenizer.dir/bpe_trainer.cc.o"
+  "CMakeFiles/ndss_tokenizer.dir/bpe_trainer.cc.o.d"
+  "CMakeFiles/ndss_tokenizer.dir/pre_tokenizer.cc.o"
+  "CMakeFiles/ndss_tokenizer.dir/pre_tokenizer.cc.o.d"
+  "libndss_tokenizer.a"
+  "libndss_tokenizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_tokenizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_window.dir/window_generator.cc.o"
+  "CMakeFiles/ndss_window.dir/window_generator.cc.o.d"
+  "libndss_window.a"
+  "libndss_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_count_test.dir/collision_count_test.cc.o"
+  "CMakeFiles/collision_count_test.dir/collision_count_test.cc.o.d"
+  "collision_count_test"
+  "collision_count_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

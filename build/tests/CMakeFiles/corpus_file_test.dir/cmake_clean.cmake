@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_file_test.dir/corpus_file_test.cc.o"
+  "CMakeFiles/corpus_file_test.dir/corpus_file_test.cc.o.d"
+  "corpus_file_test"
+  "corpus_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_batch_equivalence_test.dir/eval_batch_equivalence_test.cc.o"
+  "CMakeFiles/eval_batch_equivalence_test.dir/eval_batch_equivalence_test.cc.o.d"
+  "eval_batch_equivalence_test"
+  "eval_batch_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_batch_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_family_test.dir/hash_family_test.cc.o"
+  "CMakeFiles/hash_family_test.dir/hash_family_test.cc.o.d"
+  "hash_family_test"
+  "hash_family_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_family_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

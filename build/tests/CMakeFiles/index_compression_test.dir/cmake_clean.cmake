@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_compression_test.dir/index_compression_test.cc.o"
+  "CMakeFiles/index_compression_test.dir/index_compression_test.cc.o.d"
+  "index_compression_test"
+  "index_compression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_compression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_merger_test.dir/index_merger_test.cc.o"
+  "CMakeFiles/index_merger_test.dir/index_merger_test.cc.o.d"
+  "index_merger_test"
+  "index_merger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_merger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_scan_test.dir/interval_scan_test.cc.o"
+  "CMakeFiles/interval_scan_test.dir/interval_scan_test.cc.o.d"
+  "interval_scan_test"
+  "interval_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memorization_eval_test.dir/memorization_eval_test.cc.o"
+  "CMakeFiles/memorization_eval_test.dir/memorization_eval_test.cc.o.d"
+  "memorization_eval_test"
+  "memorization_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memorization_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memorizing_generator_test.dir/memorizing_generator_test.cc.o"
+  "CMakeFiles/memorizing_generator_test.dir/memorizing_generator_test.cc.o.d"
+  "memorizing_generator_test"
+  "memorizing_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memorizing_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

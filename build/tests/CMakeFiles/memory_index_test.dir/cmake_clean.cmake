@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_index_test.dir/memory_index_test.cc.o"
+  "CMakeFiles/memory_index_test.dir/memory_index_test.cc.o.d"
+  "memory_index_test"
+  "memory_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

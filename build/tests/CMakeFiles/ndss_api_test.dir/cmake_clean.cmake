@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndss_api_test.dir/ndss_api_test.cc.o"
+  "CMakeFiles/ndss_api_test.dir/ndss_api_test.cc.o.d"
+  "ndss_api_test"
+  "ndss_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndss_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

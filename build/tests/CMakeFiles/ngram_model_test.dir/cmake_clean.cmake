@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngram_model_test.dir/ngram_model_test.cc.o"
+  "CMakeFiles/ngram_model_test.dir/ngram_model_test.cc.o.d"
+  "ngram_model_test"
+  "ngram_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngram_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pre_tokenizer_test.dir/pre_tokenizer_test.cc.o"
+  "CMakeFiles/pre_tokenizer_test.dir/pre_tokenizer_test.cc.o.d"
+  "pre_tokenizer_test"
+  "pre_tokenizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pre_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmq_test.dir/rmq_test.cc.o"
+  "CMakeFiles/rmq_test.dir/rmq_test.cc.o.d"
+  "rmq_test"
+  "rmq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

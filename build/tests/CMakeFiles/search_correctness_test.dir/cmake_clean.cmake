@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_correctness_test.dir/search_correctness_test.cc.o"
+  "CMakeFiles/search_correctness_test.dir/search_correctness_test.cc.o.d"
+  "search_correctness_test"
+  "search_correctness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

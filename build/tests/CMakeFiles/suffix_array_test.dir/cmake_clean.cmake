@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suffix_array_test.dir/suffix_array_test.cc.o"
+  "CMakeFiles/suffix_array_test.dir/suffix_array_test.cc.o.d"
+  "suffix_array_test"
+  "suffix_array_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suffix_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

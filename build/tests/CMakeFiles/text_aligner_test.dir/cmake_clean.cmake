@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_aligner_test.dir/text_aligner_test.cc.o"
+  "CMakeFiles/text_aligner_test.dir/text_aligner_test.cc.o.d"
+  "text_aligner_test"
+  "text_aligner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_aligner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/window_generator_test.cc" "tests/CMakeFiles/window_generator_test.dir/window_generator_test.cc.o" "gcc" "tests/CMakeFiles/window_generator_test.dir/window_generator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ndss/CMakeFiles/ndss_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/ndss_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ndss_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpusgen/CMakeFiles/ndss_corpusgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ndss_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/ndss_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/ndss_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ndss_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ndss_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/ndss_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ndss_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmq/CMakeFiles/ndss_rmq.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ndss_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ndss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_generator_test.dir/window_generator_test.cc.o"
+  "CMakeFiles/window_generator_test.dir/window_generator_test.cc.o.d"
+  "window_generator_test"
+  "window_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

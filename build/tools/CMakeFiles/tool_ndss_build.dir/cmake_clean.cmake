@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_ndss_build.dir/ndss_build.cc.o"
+  "CMakeFiles/tool_ndss_build.dir/ndss_build.cc.o.d"
+  "ndss_build"
+  "ndss_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_ndss_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

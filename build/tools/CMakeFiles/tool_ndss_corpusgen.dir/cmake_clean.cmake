@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_ndss_corpusgen.dir/ndss_corpusgen.cc.o"
+  "CMakeFiles/tool_ndss_corpusgen.dir/ndss_corpusgen.cc.o.d"
+  "ndss_corpusgen"
+  "ndss_corpusgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_ndss_corpusgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

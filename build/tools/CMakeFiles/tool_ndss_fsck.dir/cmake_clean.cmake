@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_ndss_fsck.dir/ndss_fsck.cc.o"
+  "CMakeFiles/tool_ndss_fsck.dir/ndss_fsck.cc.o.d"
+  "ndss_fsck"
+  "ndss_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_ndss_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

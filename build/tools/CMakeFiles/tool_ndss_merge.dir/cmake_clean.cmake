@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_ndss_merge.dir/ndss_merge.cc.o"
+  "CMakeFiles/tool_ndss_merge.dir/ndss_merge.cc.o.d"
+  "ndss_merge"
+  "ndss_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_ndss_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_ndss_query.dir/ndss_query.cc.o"
+  "CMakeFiles/tool_ndss_query.dir/ndss_query.cc.o.d"
+  "ndss_query"
+  "ndss_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_ndss_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_ndss_stats.dir/ndss_stats.cc.o"
+  "CMakeFiles/tool_ndss_stats.dir/ndss_stats.cc.o.d"
+  "ndss_stats"
+  "ndss_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_ndss_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
