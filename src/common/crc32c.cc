@@ -1,0 +1,73 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+#include "common/coding.h"
+
+namespace ndss {
+namespace crc32c {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+
+struct Tables {
+  // table[j][b]: CRC contribution of byte value b at lane j of an 8-byte
+  // slice (slice-by-8).
+  uint32_t table[8][256];
+
+  Tables() {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = b;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      table[0][b] = crc;
+    }
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = table[0][b];
+      for (int j = 1; j < 8; ++j) {
+        crc = table[0][crc & 0xff] ^ (crc >> 8);
+        table[j][b] = crc;
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  const Tables& t = GetTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t l = crc ^ 0xffffffffu;
+
+  // Align to 8 bytes.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    l = t.table[0][(l ^ *p++) & 0xff] ^ (l >> 8);
+    --n;
+  }
+  // Slice-by-8 over the aligned middle.
+  while (n >= 8) {
+    const uint64_t word = DecodeFixed64(reinterpret_cast<const char*>(p)) ^ l;
+    l = t.table[7][word & 0xff] ^ t.table[6][(word >> 8) & 0xff] ^
+        t.table[5][(word >> 16) & 0xff] ^ t.table[4][(word >> 24) & 0xff] ^
+        t.table[3][(word >> 32) & 0xff] ^ t.table[2][(word >> 40) & 0xff] ^
+        t.table[1][(word >> 48) & 0xff] ^ t.table[0][(word >> 56) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  // Tail.
+  while (n > 0) {
+    l = t.table[0][(l ^ *p++) & 0xff] ^ (l >> 8);
+    --n;
+  }
+  return l ^ 0xffffffffu;
+}
+
+}  // namespace crc32c
+}  // namespace ndss

@@ -1,0 +1,214 @@
+#include "common/env.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+namespace ndss {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(const void* data, size_t size) override {
+    if (file_ == nullptr) return Status::IOError("file is closed: " + path_);
+    if (std::fwrite(data, 1, size, file_) != size) {
+      return Status::IOError(ErrnoMessage("write", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (file_ == nullptr) return Status::IOError("file is closed: " + path_);
+    if (std::fflush(file_) != 0) {
+      return Status::IOError(ErrnoMessage("flush", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    NDSS_RETURN_NOT_OK(Flush());
+    if (::fsync(fileno(file_)) != 0) {
+      return Status::IOError(ErrnoMessage("fsync", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return Status::IOError(ErrnoMessage("close", path_));
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::FILE* file, std::string path, uint64_t size)
+      : file_(file), path_(std::move(path)), size_(size) {}
+
+  ~PosixRandomAccessFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Result<size_t> Read(void* out, size_t size) override {
+    const size_t n = std::fread(out, 1, size, file_);
+    if (n < size && std::ferror(file_)) {
+      return Status::IOError(ErrnoMessage("read", path_));
+    }
+    return n;
+  }
+
+  Status Seek(uint64_t offset) override {
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError(ErrnoMessage("seek", path_));
+    }
+    return Status::OK();
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+  uint64_t size_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) override {
+    std::FILE* file = std::fopen(path.c_str(), append ? "ab" : "wb");
+    if (file == nullptr) {
+      return Status::IOError(
+          ErrnoMessage(append ? "open for append" : "open for write", path));
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(file, path));
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path, size_t buffer_size) override {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      return Status::IOError(ErrnoMessage("open for read", path));
+    }
+    if (buffer_size > 0) {
+      // stdio's own buffer provides read-ahead for sequential scans.
+      std::setvbuf(file, nullptr, _IOFBF, buffer_size);
+    }
+    struct stat st;
+    if (fstat(fileno(file), &st) != 0) {
+      std::fclose(file);
+      return Status::IOError(ErrnoMessage("stat", path));
+    }
+    return std::unique_ptr<RandomAccessFile>(
+        std::make_unique<PosixRandomAccessFile>(
+            file, path, static_cast<uint64_t>(st.st_size)));
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    std::error_code ec;
+    const uint64_t size = std::filesystem::file_size(path, ec);
+    if (ec) {
+      return Status::NotFound("file_size '" + path + "': " + ec.message());
+    }
+    return size;
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (ec) return Status::IOError("remove '" + path + "': " + ec.message());
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);
+    if (ec) {
+      return Status::IOError("rename '" + from + "' -> '" + to +
+                             "': " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirectories(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) {
+      return Status::IOError("create_directories '" + path +
+                             "': " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(path, ec);
+    if (ec) {
+      return Status::IOError("list '" + path + "': " + ec.message());
+    }
+    std::vector<std::string> names;
+    for (const auto& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    return names;
+  }
+
+  void SleepMicros(uint64_t micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+std::atomic<Env*>& DefaultEnvSlot() {
+  static std::atomic<Env*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv env;
+  return &env;
+}
+
+Env* GetDefaultEnv() {
+  Env* env = DefaultEnvSlot().load(std::memory_order_acquire);
+  return env != nullptr ? env : Env::Posix();
+}
+
+void SetDefaultEnv(Env* env) {
+  DefaultEnvSlot().store(env, std::memory_order_release);
+}
+
+}  // namespace ndss

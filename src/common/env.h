@@ -1,0 +1,101 @@
+#ifndef NDSS_COMMON_ENV_H_
+#define NDSS_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ndss {
+
+/// Abstract append-only file handle produced by an Env.
+///
+/// Appends are not durable until Sync() succeeds: a process or machine crash
+/// may lose any bytes written since the last Sync. Implementations are not
+/// thread-safe.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `size` bytes from `data`.
+  virtual Status Append(const void* data, size_t size) = 0;
+
+  /// Pushes application-level buffers to the OS (no durability guarantee).
+  virtual Status Flush() = 0;
+
+  /// Flushes and makes all appended bytes durable (fsync).
+  virtual Status Sync() = 0;
+
+  /// Flushes and closes the handle. Idempotent.
+  virtual Status Close() = 0;
+};
+
+/// Abstract positioned/sequential read handle produced by an Env.
+/// Implementations are not thread-safe.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `size` bytes at the cursor; returns bytes read (0 at EOF).
+  virtual Result<size_t> Read(void* out, size_t size) = 0;
+
+  /// Moves the cursor to absolute `offset`.
+  virtual Status Seek(uint64_t offset) = 0;
+
+  /// File size at open time.
+  virtual uint64_t size() const = 0;
+};
+
+/// File-system abstraction (the RocksDB Env idiom). All NDSS file IO routes
+/// through an Env, so tests can substitute a FaultInjectionEnv that fails,
+/// corrupts, or "crashes" at any file operation. Production code uses the
+/// POSIX Env returned by Env::Posix().
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment.
+  static Env* Posix();
+
+  /// Opens `path` for writing; truncates unless `append`.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) = 0;
+
+  /// Opens `path` for reading. `buffer_size` sizes the OS read-ahead buffer
+  /// (0 disables).
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path, size_t buffer_size) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Atomically renames `from` to `to`, replacing `to` if it exists. This is
+  /// the commit primitive of the crash-safe build protocol.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  virtual Status CreateDirectories(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries of directory `path`.
+  virtual Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) = 0;
+
+  /// Sleeps for `micros` microseconds (retry backoff hook; fake envs may
+  /// return immediately).
+  virtual void SleepMicros(uint64_t micros) = 0;
+};
+
+/// The Env used when one is not passed explicitly. Defaults to Env::Posix().
+Env* GetDefaultEnv();
+
+/// Overrides the default Env (tests). Pass nullptr to restore Env::Posix().
+/// Not synchronized with in-flight IO: call only while no NDSS file handles
+/// are open.
+void SetDefaultEnv(Env* env);
+
+}  // namespace ndss
+
+#endif  // NDSS_COMMON_ENV_H_

@@ -1,0 +1,277 @@
+#include "common/fault_injection_env.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace ndss {
+
+// The wrapper classes live at namespace scope (not in an anonymous
+// namespace) so the friend declarations in the header apply.
+
+/// Writer wrapper: counts operations, applies payload faults, and tracks
+/// written/synced sizes in the owning env.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::string path,
+                    std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(const void* data, size_t size) override {
+    NDSS_RETURN_NOT_OK(env_->CountOp("append " + path_));
+    bool corrupt = false;
+    bool short_append = false;
+    {
+      std::lock_guard<std::mutex> lock(env_->mu_);
+      corrupt = env_->corrupt_next_append_;
+      env_->corrupt_next_append_ = false;
+      short_append = env_->short_appends_;
+    }
+    if (short_append && size > 1) {
+      const size_t half = size / 2;
+      NDSS_RETURN_NOT_OK(base_->Append(data, half));
+      Record(half);
+      return Status::IOError("injected short write to " + path_);
+    }
+    if (corrupt && size > 0) {
+      std::string mangled(static_cast<const char*>(data), size);
+      mangled[mangled.size() / 2] ^= 0x40;
+      NDSS_RETURN_NOT_OK(base_->Append(mangled.data(), mangled.size()));
+      Record(size);
+      return Status::OK();
+    }
+    NDSS_RETURN_NOT_OK(base_->Append(data, size));
+    Record(size);
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    NDSS_RETURN_NOT_OK(env_->CountOp("flush " + path_));
+    return base_->Flush();
+  }
+
+  Status Sync() override {
+    NDSS_RETURN_NOT_OK(env_->CountOp("sync " + path_));
+    NDSS_RETURN_NOT_OK(base_->Sync());
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    auto& state = env_->StateLocked(path_);
+    state.synced_size = state.written_size;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (closed_) return Status::OK();
+    NDSS_RETURN_NOT_OK(env_->CountOp("close " + path_));
+    closed_ = true;
+    return base_->Close();
+  }
+
+ private:
+  void Record(size_t appended) {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    env_->StateLocked(path_).written_size += appended;
+  }
+
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+  bool closed_ = false;
+};
+
+/// Reader wrapper: counts read and seek operations.
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(FaultInjectionEnv* env, std::string path,
+                        std::unique_ptr<RandomAccessFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Result<size_t> Read(void* out, size_t size) override {
+    NDSS_RETURN_NOT_OK(env_->CountOp("read " + path_));
+    return base_->Read(out, size);
+  }
+
+  Status Seek(uint64_t offset) override {
+    NDSS_RETURN_NOT_OK(env_->CountOp("seek " + path_));
+    return base_->Seek(offset);
+  }
+
+  uint64_t size() const override { return base_->size(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+void FaultInjectionEnv::FailAtOp(int64_t op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_op_ = op;
+  crash_on_fault_ = false;
+}
+
+void FaultInjectionEnv::ArmCrashAtOp(int64_t op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_op_ = op;
+  crash_on_fault_ = true;
+}
+
+void FaultInjectionEnv::SetFailOnce(bool fail_once) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_once_ = fail_once;
+}
+
+void FaultInjectionEnv::CorruptNextAppend() {
+  std::lock_guard<std::mutex> lock(mu_);
+  corrupt_next_append_ = true;
+}
+
+void FaultInjectionEnv::SetShortAppends(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  short_appends_ = on;
+}
+
+void FaultInjectionEnv::Heal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_op_ = -1;
+  crash_on_fault_ = false;
+  crashed_ = false;
+  corrupt_next_append_ = false;
+  short_appends_ = false;
+}
+
+void FaultInjectionEnv::ResetOpCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_count_ = 0;
+}
+
+int64_t FaultInjectionEnv::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_count_;
+}
+
+int64_t FaultInjectionEnv::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+Status FaultInjectionEnv::CountOp(const std::string& what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::IOError("injected crash (env is down): " + what);
+  }
+  const int64_t op = op_count_++;
+  if (fail_at_op_ >= 0 && op == fail_at_op_) {
+    ++faults_injected_;
+    if (crash_on_fault_) crashed_ = true;
+    if (fail_once_) fail_at_op_ = -1;
+    return Status::IOError("injected fault at op " + std::to_string(op) +
+                           ": " + what);
+  }
+  return Status::OK();
+}
+
+FaultInjectionEnv::FileState& FaultInjectionEnv::StateLocked(
+    const std::string& path) {
+  return files_[path];
+}
+
+Status FaultInjectionEnv::DropUnsyncedData() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [path, state] : files_) {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) continue;
+    std::filesystem::resize_file(path, state.synced_size, ec);
+    if (ec) {
+      return Status::IOError("drop unsynced data of '" + path +
+                             "': " + ec.message());
+    }
+    state.written_size = state.synced_size;
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool append) {
+  NDSS_RETURN_NOT_OK(CountOp("open for write " + path));
+  NDSS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                        base_->NewWritableFile(path, append));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (!append) {
+      // Truncating open: previous contents (synced or not) are gone.
+      files_[path] = FileState{};
+    } else if (it == files_.end()) {
+      // Appending to a file this env has never written: treat pre-existing
+      // bytes as durable.
+      FileState state;
+      auto size = base_->GetFileSize(path);
+      state.written_size = state.synced_size = size.ok() ? *size : 0;
+      files_[path] = state;
+    }
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, path, std::move(base)));
+}
+
+Result<std::unique_ptr<RandomAccessFile>>
+FaultInjectionEnv::NewRandomAccessFile(const std::string& path,
+                                       size_t buffer_size) {
+  NDSS_RETURN_NOT_OK(CountOp("open for read " + path));
+  NDSS_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> base,
+                        base_->NewRandomAccessFile(path, buffer_size));
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<FaultRandomAccessFile>(this, path, std::move(base)));
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectionEnv::GetFileSize(const std::string& path) {
+  return base_->GetFileSize(path);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  NDSS_RETURN_NOT_OK(CountOp("remove " + path));
+  NDSS_RETURN_NOT_OK(base_->RemoveFile(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  NDSS_RETURN_NOT_OK(CountOp("rename " + from));
+  NDSS_RETURN_NOT_OK(base_->RenameFile(from, to));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = it->second;
+    files_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CreateDirectories(const std::string& path) {
+  NDSS_RETURN_NOT_OK(CountOp("mkdir " + path));
+  return base_->CreateDirectories(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDirectory(
+    const std::string& path) {
+  NDSS_RETURN_NOT_OK(CountOp("list " + path));
+  return base_->ListDirectory(path);
+}
+
+void FaultInjectionEnv::SleepMicros(uint64_t micros) {
+  // Backoff delays are pointless against injected faults; return instantly
+  // so retry sweeps stay fast.
+  (void)micros;
+}
+
+}  // namespace ndss

@@ -1,0 +1,127 @@
+#ifndef NDSS_COMMON_FAULT_INJECTION_ENV_H_
+#define NDSS_COMMON_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/env.h"
+
+namespace ndss {
+
+/// An Env wrapper that injects faults into file operations (tests only).
+///
+/// Every file operation routed through this Env — appends, flushes, syncs,
+/// closes, opens, reads, seeks, renames, removes — consumes one slot of a
+/// global operation counter. Faults are programmed against that counter:
+///
+///   FaultInjectionEnv fault(Env::Posix());
+///   SetDefaultEnv(&fault);
+///   fault.FailAtOp(17);        // the 18th operation returns IOError
+///   fault.ArmCrashAtOp(17);    // ...and every operation after it, too
+///
+/// Crash simulation follows the power-loss model: the env tracks, per file,
+/// how many bytes have been made durable by Sync(). DropUnsyncedData()
+/// truncates every tracked file back to its last synced size — exactly what
+/// the file system may do when the machine dies — so a test can sweep a
+/// crash point across a whole index build and assert that reopening either
+/// fails cleanly or serves a complete index. Call DropUnsyncedData() only
+/// after all writers have been destroyed.
+///
+/// Additional knobs: CorruptNextAppend() flips one bit of the next appended
+/// payload (checksum coverage tests); SetShortAppends() makes appends
+/// persist only half of each payload before failing (torn writes);
+/// SetFailOnce() disarms an injected fault after it fires (retry tests).
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  // ---- fault programming ----
+
+  /// Fails the operation with 0-based index `op` (relative to the counter's
+  /// last reset). Negative disarms.
+  void FailAtOp(int64_t op);
+
+  /// Like FailAtOp, but the env stays failed afterwards (as if the process
+  /// died at that operation): every subsequent operation returns IOError
+  /// until Heal().
+  void ArmCrashAtOp(int64_t op);
+
+  /// When set, an injected failure disarms itself after firing once, so the
+  /// next attempt succeeds (models a transient fault for retry tests).
+  void SetFailOnce(bool fail_once);
+
+  /// Flips one bit in the payload of the next Append that goes through.
+  void CorruptNextAppend();
+
+  /// When set, every Append persists only the first half of its payload and
+  /// then reports IOError (a torn write).
+  void SetShortAppends(bool on);
+
+  /// Disarms all faults and clears the crashed state. Data already dropped
+  /// stays dropped.
+  void Heal();
+
+  /// Resets the operation counter to zero (faults are interpreted against
+  /// the new numbering).
+  void ResetOpCount();
+
+  int64_t op_count() const;
+  int64_t faults_injected() const;
+  bool crashed() const;
+
+  /// Truncates every file written through this env back to its last-synced
+  /// size (zero for never-synced files), simulating the loss of all
+  /// non-durable data in a crash. Files merely renamed keep their tracked
+  /// state. Must not race with open writers on the same files.
+  Status DropUnsyncedData();
+
+  // ---- Env interface ----
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path, size_t buffer_size) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDirectories(const std::string& path) override;
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) override;
+  void SleepMicros(uint64_t micros) override;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultRandomAccessFile;
+
+  struct FileState {
+    uint64_t written_size = 0;  // bytes the writer believes are on disk
+    uint64_t synced_size = 0;   // bytes guaranteed durable
+  };
+
+  /// Accounts one operation; returns the injected error if this operation is
+  /// the armed one (or the env has crashed).
+  Status CountOp(const std::string& what);
+
+  /// Called by writer wrappers with the lock held.
+  FileState& StateLocked(const std::string& path);
+
+  Env* const base_;
+  mutable std::mutex mu_;
+  int64_t op_count_ = 0;
+  int64_t fail_at_op_ = -1;
+  int64_t faults_injected_ = 0;
+  bool crash_on_fault_ = false;
+  bool fail_once_ = false;
+  bool crashed_ = false;
+  bool corrupt_next_append_ = false;
+  bool short_appends_ = false;
+  std::unordered_map<std::string, FileState> files_;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_COMMON_FAULT_INJECTION_ENV_H_

@@ -1,51 +1,38 @@
 #include "common/file_io.h"
 
-#include <sys/stat.h>
-#include <sys/types.h>
-
-#include <cerrno>
-#include <cstring>
-#include <filesystem>
-
 #include "common/coding.h"
+#include "common/logging.h"
 
 namespace ndss {
 
-namespace {
-
-std::string ErrnoMessage(const std::string& op, const std::string& path) {
-  return op + " '" + path + "': " + std::strerror(errno);
-}
-
-}  // namespace
-
 // ---------------------------------------------------------------- FileWriter
 
-FileWriter::FileWriter(std::FILE* file, std::string path, size_t buffer_size)
-    : file_(file), path_(std::move(path)), buffer_capacity_(buffer_size) {
+FileWriter::FileWriter(std::unique_ptr<WritableFile> file, std::string path,
+                       size_t buffer_size)
+    : file_(std::move(file)),
+      path_(std::move(path)),
+      buffer_capacity_(buffer_size) {
   buffer_.reserve(buffer_capacity_);
 }
 
 Result<FileWriter> FileWriter::Open(const std::string& path,
-                                    size_t buffer_size) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IOError(ErrnoMessage("open for write", path));
-  }
-  return FileWriter(file, path, buffer_size);
+                                    size_t buffer_size, Env* env) {
+  if (env == nullptr) env = GetDefaultEnv();
+  NDSS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        env->NewWritableFile(path, /*append=*/false));
+  return FileWriter(std::move(file), path, buffer_size);
 }
 
 Result<FileWriter> FileWriter::OpenForAppend(const std::string& path,
-                                             size_t buffer_size) {
-  std::FILE* file = std::fopen(path.c_str(), "ab");
-  if (file == nullptr) {
-    return Status::IOError(ErrnoMessage("open for append", path));
-  }
-  return FileWriter(file, path, buffer_size);
+                                             size_t buffer_size, Env* env) {
+  if (env == nullptr) env = GetDefaultEnv();
+  NDSS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        env->NewWritableFile(path, /*append=*/true));
+  return FileWriter(std::move(file), path, buffer_size);
 }
 
 FileWriter::FileWriter(FileWriter&& other) noexcept
-    : file_(other.file_),
+    : file_(std::move(other.file_)),
       path_(std::move(other.path_)),
       buffer_(std::move(other.buffer_)),
       buffer_capacity_(other.buffer_capacity_),
@@ -56,10 +43,13 @@ FileWriter::FileWriter(FileWriter&& other) noexcept
 FileWriter& FileWriter::operator=(FileWriter&& other) noexcept {
   if (this != &other) {
     if (file_ != nullptr) {
-      Flush().ok();  // best effort; destructor-path close
-      std::fclose(file_);
+      NDSS_LOG(kWarning) << "FileWriter '" << path_
+                         << "' replaced without Close(); write errors (and "
+                            "possibly data) are being dropped";
+      Flush().ok();  // best effort
+      file_->Close().ok();
     }
-    file_ = other.file_;
+    file_ = std::move(other.file_);
     path_ = std::move(other.path_);
     buffer_ = std::move(other.buffer_);
     buffer_capacity_ = other.buffer_capacity_;
@@ -71,8 +61,14 @@ FileWriter& FileWriter::operator=(FileWriter&& other) noexcept {
 
 FileWriter::~FileWriter() {
   if (file_ != nullptr) {
+    // A dirty implicit close cannot report failures: the final flush/close
+    // status has nowhere to go, so lost writes would be silent. Call sites
+    // must Close() and check; this warning catches the ones that do not.
+    NDSS_LOG(kWarning) << "FileWriter '" << path_
+                       << "' destroyed without Close(); write errors (and "
+                          "possibly data) are being dropped";
     Flush().ok();  // best effort
-    std::fclose(file_);
+    file_->Close().ok();
     file_ = nullptr;
   }
 }
@@ -83,9 +79,7 @@ Status FileWriter::Append(const void* data, size_t size) {
   // Large writes bypass the buffer after draining it.
   if (size >= buffer_capacity_) {
     NDSS_RETURN_NOT_OK(Flush());
-    if (std::fwrite(src, 1, size, file_) != size) {
-      return Status::IOError(ErrnoMessage("write", path_));
-    }
+    NDSS_RETURN_NOT_OK(file_->Append(src, size));
     bytes_written_ += size;
     return Status::OK();
   }
@@ -112,75 +106,39 @@ Status FileWriter::AppendU64(uint64_t value) {
 Status FileWriter::Flush() {
   if (file_ == nullptr) return Status::IOError("writer is closed: " + path_);
   if (!buffer_.empty()) {
-    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
-        buffer_.size()) {
-      return Status::IOError(ErrnoMessage("write", path_));
-    }
+    NDSS_RETURN_NOT_OK(file_->Append(buffer_.data(), buffer_.size()));
     buffer_.clear();
   }
   return Status::OK();
 }
 
+Status FileWriter::Sync() {
+  NDSS_RETURN_NOT_OK(Flush());
+  return file_->Sync();
+}
+
 Status FileWriter::Close() {
   if (file_ == nullptr) return Status::OK();
   Status flush_status = Flush();
-  int rc = std::fclose(file_);
+  Status close_status = file_->Close();
   file_ = nullptr;
   if (!flush_status.ok()) return flush_status;
-  if (rc != 0) return Status::IOError(ErrnoMessage("close", path_));
-  return Status::OK();
+  return close_status;
 }
 
 // ---------------------------------------------------------------- FileReader
 
-FileReader::FileReader(std::FILE* file, std::string path, uint64_t file_size)
-    : file_(file), path_(std::move(path)), file_size_(file_size) {}
+FileReader::FileReader(std::unique_ptr<RandomAccessFile> file,
+                       std::string path, uint64_t file_size)
+    : file_(std::move(file)), path_(std::move(path)), file_size_(file_size) {}
 
 Result<FileReader> FileReader::Open(const std::string& path,
-                                    size_t buffer_size) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::IOError(ErrnoMessage("open for read", path));
-  }
-  if (buffer_size > 0) {
-    // stdio's own buffer provides read-ahead for sequential scans.
-    std::setvbuf(file, nullptr, _IOFBF, buffer_size);
-  }
-  struct stat st;
-  if (fstat(fileno(file), &st) != 0) {
-    std::fclose(file);
-    return Status::IOError(ErrnoMessage("stat", path));
-  }
-  return FileReader(file, path, static_cast<uint64_t>(st.st_size));
-}
-
-FileReader::FileReader(FileReader&& other) noexcept
-    : file_(other.file_),
-      path_(std::move(other.path_)),
-      file_size_(other.file_size_),
-      position_(other.position_),
-      bytes_read_(other.bytes_read_) {
-  other.file_ = nullptr;
-}
-
-FileReader& FileReader::operator=(FileReader&& other) noexcept {
-  if (this != &other) {
-    if (file_ != nullptr) std::fclose(file_);
-    file_ = other.file_;
-    path_ = std::move(other.path_);
-    file_size_ = other.file_size_;
-    position_ = other.position_;
-    bytes_read_ = other.bytes_read_;
-    other.file_ = nullptr;
-  }
-  return *this;
-}
-
-FileReader::~FileReader() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
-  }
+                                    size_t buffer_size, Env* env) {
+  if (env == nullptr) env = GetDefaultEnv();
+  NDSS_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                        env->NewRandomAccessFile(path, buffer_size));
+  const uint64_t size = file->size();
+  return FileReader(std::move(file), path, size);
 }
 
 Status FileReader::ReadExact(void* out, size_t size) {
@@ -194,10 +152,7 @@ Status FileReader::ReadExact(void* out, size_t size) {
 
 Result<size_t> FileReader::Read(void* out, size_t size) {
   if (file_ == nullptr) return Status::IOError("reader is closed: " + path_);
-  size_t n = std::fread(out, 1, size, file_);
-  if (n < size && std::ferror(file_)) {
-    return Status::IOError(ErrnoMessage("read", path_));
-  }
+  NDSS_ASSIGN_OR_RETURN(size_t n, file_->Read(out, size));
   position_ += n;
   bytes_read_ += n;
   return n;
@@ -222,9 +177,7 @@ Result<uint64_t> FileReader::ReadU64() {
 
 Status FileReader::Seek(uint64_t offset) {
   if (file_ == nullptr) return Status::IOError("reader is closed: " + path_);
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    return Status::IOError(ErrnoMessage("seek", path_));
-  }
+  NDSS_RETURN_NOT_OK(file_->Seek(offset));
   position_ = offset;
   return Status::OK();
 }
@@ -232,32 +185,27 @@ Status FileReader::Seek(uint64_t offset) {
 // ------------------------------------------------------------------- helpers
 
 bool FileExists(const std::string& path) {
-  std::error_code ec;
-  return std::filesystem::exists(path, ec);
+  return GetDefaultEnv()->FileExists(path);
 }
 
 Result<uint64_t> FileSize(const std::string& path) {
-  std::error_code ec;
-  uint64_t size = std::filesystem::file_size(path, ec);
-  if (ec) return Status::NotFound("file_size '" + path + "': " + ec.message());
-  return size;
+  return GetDefaultEnv()->GetFileSize(path);
 }
 
 Status RemoveFile(const std::string& path) {
-  std::error_code ec;
-  std::filesystem::remove(path, ec);
-  if (ec) return Status::IOError("remove '" + path + "': " + ec.message());
-  return Status::OK();
+  return GetDefaultEnv()->RemoveFile(path);
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  return GetDefaultEnv()->RenameFile(from, to);
 }
 
 Status CreateDirectories(const std::string& path) {
-  std::error_code ec;
-  std::filesystem::create_directories(path, ec);
-  if (ec) {
-    return Status::IOError("create_directories '" + path +
-                           "': " + ec.message());
-  }
-  return Status::OK();
+  return GetDefaultEnv()->CreateDirectories(path);
+}
+
+Result<std::vector<std::string>> ListDirectory(const std::string& path) {
+  return GetDefaultEnv()->ListDirectory(path);
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
@@ -274,6 +222,18 @@ Status WriteStringToFile(const std::string& path, const std::string& data) {
   NDSS_ASSIGN_OR_RETURN(FileWriter writer, FileWriter::Open(path));
   NDSS_RETURN_NOT_OK(writer.Append(data));
   return writer.Close();
+}
+
+Status WriteStringToFileAtomic(const std::string& path,
+                               const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    NDSS_ASSIGN_OR_RETURN(FileWriter writer, FileWriter::Open(tmp));
+    NDSS_RETURN_NOT_OK(writer.Append(data));
+    NDSS_RETURN_NOT_OK(writer.Sync());
+    NDSS_RETURN_NOT_OK(writer.Close());
+  }
+  return RenameFile(tmp, path);
 }
 
 }  // namespace ndss

@@ -2,10 +2,11 @@
 #define NDSS_COMMON_FILE_IO_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -14,17 +15,21 @@ namespace ndss {
 /// Sequential buffered writer over a file, used for index and corpus files.
 ///
 /// All writes go through an in-memory buffer (default 1 MiB) and are flushed
-/// on demand or at Close(). Not thread-safe. Move-only.
+/// on demand or at Close(). The underlying file handle comes from an Env
+/// (GetDefaultEnv() unless one is passed), so tests can inject faults into
+/// any operation. Not thread-safe. Move-only.
 class FileWriter {
  public:
   /// Creates (truncates) `path` for writing.
   static Result<FileWriter> Open(const std::string& path,
-                                 size_t buffer_size = 1 << 20);
+                                 size_t buffer_size = 1 << 20,
+                                 Env* env = nullptr);
 
   /// Opens `path` for appending, creating it if absent. `bytes_written()`
   /// counts only bytes appended through this writer.
   static Result<FileWriter> OpenForAppend(const std::string& path,
-                                          size_t buffer_size = 1 << 20);
+                                          size_t buffer_size = 1 << 20,
+                                          Env* env = nullptr);
 
   FileWriter(FileWriter&& other) noexcept;
   FileWriter& operator=(FileWriter&& other) noexcept;
@@ -52,16 +57,24 @@ class FileWriter {
   /// Flushes the buffer to the OS.
   Status Flush();
 
+  /// Flushes and makes every appended byte durable (fsync). Data not synced
+  /// may be lost if the machine crashes, even after Close().
+  Status Sync();
+
   /// Flushes and closes the file. Idempotent. Must be called (and checked)
-  /// before destruction for durability; the destructor closes silently.
+  /// before destruction; an implicit destructor-path close logs a warning
+  /// because its errors — and possibly the data — are silently dropped.
   Status Close();
 
   bool is_open() const { return file_ != nullptr; }
 
- private:
-  FileWriter(std::FILE* file, std::string path, size_t buffer_size);
+  const std::string& path() const { return path_; }
 
-  std::FILE* file_ = nullptr;
+ private:
+  FileWriter(std::unique_ptr<WritableFile> file, std::string path,
+             size_t buffer_size);
+
+  std::unique_ptr<WritableFile> file_;
   std::string path_;
   std::string buffer_;
   size_t buffer_capacity_ = 0;
@@ -71,19 +84,20 @@ class FileWriter {
 /// Sequential/positional buffered reader over a file.
 ///
 /// Supports both streaming reads and absolute-offset reads (used by the query
-/// path to fetch one inverted list or one zone-map region). Not thread-safe.
-/// Move-only.
+/// path to fetch one inverted list or one zone-map region). Backed by an Env
+/// file handle. Not thread-safe. Move-only.
 class FileReader {
  public:
   /// Opens `path` for reading.
   static Result<FileReader> Open(const std::string& path,
-                                 size_t buffer_size = 1 << 20);
+                                 size_t buffer_size = 1 << 20,
+                                 Env* env = nullptr);
 
-  FileReader(FileReader&& other) noexcept;
-  FileReader& operator=(FileReader&& other) noexcept;
+  FileReader(FileReader&& other) noexcept = default;
+  FileReader& operator=(FileReader&& other) noexcept = default;
   FileReader(const FileReader&) = delete;
   FileReader& operator=(const FileReader&) = delete;
-  ~FileReader();
+  ~FileReader() = default;
 
   /// Reads exactly `size` bytes into `out`; fails with IOError on short read.
   Status ReadExact(void* out, size_t size);
@@ -116,9 +130,10 @@ class FileReader {
   uint64_t bytes_read() const { return bytes_read_; }
 
  private:
-  FileReader(std::FILE* file, std::string path, uint64_t file_size);
+  FileReader(std::unique_ptr<RandomAccessFile> file, std::string path,
+             uint64_t file_size);
 
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<RandomAccessFile> file_;
   std::string path_;
   uint64_t file_size_ = 0;
   uint64_t position_ = 0;
@@ -134,14 +149,27 @@ Result<uint64_t> FileSize(const std::string& path);
 /// Deletes `path` if it exists; OK if it does not.
 Status RemoveFile(const std::string& path);
 
+/// Atomically renames `from` to `to`, replacing `to` if it exists.
+Status RenameFile(const std::string& from, const std::string& to);
+
 /// Creates directory `path` (and parents); OK if it already exists.
 Status CreateDirectories(const std::string& path);
+
+/// Names (not paths) of the entries of directory `path`.
+Result<std::vector<std::string>> ListDirectory(const std::string& path);
 
 /// Reads the whole of `path` into a string.
 Result<std::string> ReadFileToString(const std::string& path);
 
-/// Writes `data` to `path`, replacing any existing contents.
+/// Writes `data` to `path`, replacing any existing contents. Not atomic and
+/// not durable; use WriteStringToFileAtomic for commit points.
 Status WriteStringToFile(const std::string& path, const std::string& data);
+
+/// Durably replaces `path` with `data`: writes `path`.tmp, fsyncs, then
+/// renames over `path`. After it returns OK, a crash leaves either the old
+/// or the new contents, never a mixture.
+Status WriteStringToFileAtomic(const std::string& path,
+                               const std::string& data);
 
 }  // namespace ndss
 

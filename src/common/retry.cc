@@ -1,0 +1,30 @@
+#include "common/retry.h"
+
+#include "common/logging.h"
+
+namespace ndss {
+
+bool IsRetryableStatus(const Status& status) {
+  return status.IsIOError();
+}
+
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& op, Env* env) {
+  if (env == nullptr) env = GetDefaultEnv();
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  uint64_t backoff = policy.initial_backoff_micros;
+  Status status;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    status = op();
+    if (status.ok() || !IsRetryableStatus(status)) return status;
+    if (attempt == attempts) break;
+    NDSS_LOG(kWarning) << "retryable IO failure (attempt " << attempt << "/"
+                       << attempts << "): " << status.ToString();
+    env->SleepMicros(backoff);
+    backoff = static_cast<uint64_t>(static_cast<double>(backoff) *
+                                    policy.backoff_multiplier);
+  }
+  return status;
+}
+
+}  // namespace ndss

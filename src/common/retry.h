@@ -1,0 +1,41 @@
+#ifndef NDSS_COMMON_RETRY_H_
+#define NDSS_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace ndss {
+
+/// Exponential-backoff retry policy for transient IO failures (the
+/// out-of-core spill/merge path uses it so one flaky write does not abort a
+/// multi-hour build).
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  int max_attempts = 3;
+
+  /// Backoff before the first retry; doubles (x `backoff_multiplier`) after
+  /// each failed attempt.
+  uint64_t initial_backoff_micros = 1000;
+
+  double backoff_multiplier = 2.0;
+};
+
+/// True for failures worth retrying: transient IOError. Corruption,
+/// InvalidArgument, and the other categories are deterministic and retrying
+/// them only hides bugs.
+bool IsRetryableStatus(const Status& status);
+
+/// Runs `op` until it succeeds, returns a non-retryable error, or
+/// `policy.max_attempts` attempts are exhausted (the last error is
+/// returned). Sleeps through `env` between attempts (nullptr = default env).
+/// Retried operations must be idempotent — callers reset their own state
+/// (e.g. reopen a file, rewind a buffer) inside `op`.
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& op, Env* env = nullptr);
+
+}  // namespace ndss
+
+#endif  // NDSS_COMMON_RETRY_H_

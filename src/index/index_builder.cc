@@ -1,10 +1,12 @@
 #include "index/index_builder.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "common/file_io.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "hash/hash_family.h"
@@ -92,6 +94,10 @@ Result<IndexBuildStats> BuildIndexInMemory(const Corpus& corpus,
                                            const IndexBuildOptions& options) {
   NDSS_RETURN_NOT_OK(ValidateOptions(options));
   NDSS_RETURN_NOT_OK(CreateDirectories(dir));
+  // Invalidate any previous build before the first byte is written and sweep
+  // leftovers of a crashed one; the marker is re-written as the last step.
+  NDSS_RETURN_NOT_OK(RemoveIndexCommitMarker(dir));
+  NDSS_RETURN_NOT_OK(CleanupIndexOrphans(dir));
   const HashFamily family(options.k, options.seed);
   Stopwatch total;
   IndexBuildStats stats;
@@ -124,6 +130,7 @@ Result<IndexBuildStats> BuildIndexInMemory(const Corpus& corpus,
   const IndexMeta meta =
       MakeMeta(options, corpus.num_texts(), corpus.total_tokens());
   NDSS_RETURN_NOT_OK(meta.Save(dir));
+  NDSS_RETURN_NOT_OK(WriteIndexCommitMarker(dir));
   stats.total_seconds = total.ElapsedSeconds();
   return stats;
 }
@@ -144,17 +151,24 @@ uint32_t PartitionOf(Token key, uint32_t num_partitions, uint32_t depth) {
   return static_cast<uint32_t>(value % num_partitions);
 }
 
-/// Reads a whole spill file of raw KeyedWindow records.
+/// Reads a whole spill file of raw KeyedWindow records. The read is
+/// idempotent, so transient IO errors are retried with backoff rather than
+/// aborting a multi-hour build.
 Result<std::vector<KeyedWindow>> LoadSpill(const std::string& path) {
-  NDSS_ASSIGN_OR_RETURN(FileReader reader, FileReader::Open(path));
-  if (reader.size() % sizeof(KeyedWindow) != 0) {
-    return Status::Corruption("spill file size not a record multiple: " +
-                              path);
-  }
-  std::vector<KeyedWindow> records(reader.size() / sizeof(KeyedWindow));
-  if (!records.empty()) {
-    NDSS_RETURN_NOT_OK(reader.ReadExact(records.data(), reader.size()));
-  }
+  std::vector<KeyedWindow> records;
+  NDSS_RETURN_NOT_OK(RunWithRetry(RetryPolicy{}, [&]() -> Status {
+    records.clear();
+    NDSS_ASSIGN_OR_RETURN(FileReader reader, FileReader::Open(path));
+    if (reader.size() % sizeof(KeyedWindow) != 0) {
+      return Status::Corruption("spill file size not a record multiple: " +
+                                path);
+    }
+    records.resize(reader.size() / sizeof(KeyedWindow));
+    if (!records.empty()) {
+      NDSS_RETURN_NOT_OK(reader.ReadExact(records.data(), reader.size()));
+    }
+    return Status::OK();
+  }));
   return records;
 }
 
@@ -230,6 +244,10 @@ Result<IndexBuildStats> BuildIndexExternal(const std::string& corpus_path,
                                            const IndexBuildOptions& options) {
   NDSS_RETURN_NOT_OK(ValidateOptions(options));
   NDSS_RETURN_NOT_OK(CreateDirectories(dir));
+  // Invalidate any previous build and sweep temp/spill leftovers of a
+  // crashed one before writing anything.
+  NDSS_RETURN_NOT_OK(RemoveIndexCommitMarker(dir));
+  NDSS_RETURN_NOT_OK(CleanupIndexOrphans(dir));
   const HashFamily family(options.k, options.seed);
   Stopwatch total;
   IndexBuildStats stats;
@@ -251,12 +269,19 @@ Result<IndexBuildStats> BuildIndexExternal(const std::string& corpus_path,
     auto& buffer = spill_buffers[static_cast<size_t>(func) * P + p];
     if (buffer.empty()) return Status::OK();
     Stopwatch phase;
-    NDSS_ASSIGN_OR_RETURN(FileWriter writer,
-                          FileWriter::OpenForAppend(SpillPath(dir, func, p,
-                                                              0)));
+    // Only the open is retried: an append that failed mid-way may have
+    // reached the file, and re-appending the buffer would duplicate records.
+    std::optional<FileWriter> writer;
+    NDSS_RETURN_NOT_OK(RunWithRetry(RetryPolicy{}, [&]() -> Status {
+      NDSS_ASSIGN_OR_RETURN(FileWriter opened,
+                            FileWriter::OpenForAppend(SpillPath(dir, func, p,
+                                                                0)));
+      writer.emplace(std::move(opened));
+      return Status::OK();
+    }));
     NDSS_RETURN_NOT_OK(
-        writer.Append(buffer.data(), buffer.size() * sizeof(KeyedWindow)));
-    NDSS_RETURN_NOT_OK(writer.Close());
+        writer->Append(buffer.data(), buffer.size() * sizeof(KeyedWindow)));
+    NDSS_RETURN_NOT_OK(writer->Close());
     stats.spill_bytes += buffer.size() * sizeof(KeyedWindow);
     stats.io_seconds += phase.ElapsedSeconds();
     buffer.clear();
@@ -309,6 +334,7 @@ Result<IndexBuildStats> BuildIndexExternal(const std::string& corpus_path,
   const IndexMeta meta =
       MakeMeta(options, corpus.num_texts(), corpus.total_tokens());
   NDSS_RETURN_NOT_OK(meta.Save(dir));
+  NDSS_RETURN_NOT_OK(WriteIndexCommitMarker(dir));
   stats.total_seconds = total.ElapsedSeconds();
   return stats;
 }

@@ -6,8 +6,12 @@
 namespace ndss {
 namespace index_format {
 
-/// Magic number opening and closing every inverted-index file.
-inline constexpr uint64_t kIndexMagic = 0x3158444e53534447ULL;
+/// Magic number of the retired v1 format (no checksums). v1 files are
+/// recognized and rejected with a clear error instead of being misread.
+inline constexpr uint64_t kIndexMagicV1 = 0x3158444e53534447ULL;
+
+/// Magic number opening and closing every v2 inverted-index file.
+inline constexpr uint64_t kIndexMagic = 0x3258444e53534447ULL;
 
 /// Posting-list encoding.
 enum PostingFormat : uint32_t {
@@ -26,13 +30,25 @@ enum PostingFormat : uint32_t {
 inline constexpr uint64_t kHeaderSize = 24;
 
 /// Size of one serialized directory entry in bytes:
-/// key u32, pad u32, count u64, list_offset u64, list_bytes u64,
-/// zone_offset u64, zone_count u32, pad u32.
+/// key u32, list_crc u32, count u64, list_offset u64, list_bytes u64,
+/// zone_offset u64, zone_count u32, zone_crc u32.
+///
+/// list_crc is the masked CRC32C of the list's on-disk bytes; zone_crc the
+/// masked CRC32C of the list's zone-map region (0 when zone_count == 0).
 inline constexpr uint64_t kDirectoryEntrySize = 48;
 
-/// Size of the footer in bytes:
-/// num_lists u64, num_windows u64, directory_offset u64, magic u64.
-inline constexpr uint64_t kFooterSize = 32;
+/// Size of the v2 footer in bytes:
+/// num_lists u64, num_windows u64, directory_offset u64, checksum u32,
+/// pad u32, magic u64.
+///
+/// `checksum` is the masked CRC32C of header bytes ++ directory bytes ++
+/// the footer's first 24 bytes, so any corruption of the file's metadata
+/// skeleton is detected at open.
+inline constexpr uint64_t kFooterSize = 40;
+
+/// Size of the retired v1 footer (num_lists, num_windows, directory_offset,
+/// magic — no checksum), used only to recognize v1 files for rejection.
+inline constexpr uint64_t kFooterSizeV1 = 32;
 
 /// Size of one zone-map entry in bytes (text u32 + position u32).
 inline constexpr uint64_t kZoneEntrySize = 8;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/file_io.h"
+#include "common/retry.h"
 #include "common/stopwatch.h"
 #include "index/inverted_index_reader.h"
 #include "index/inverted_index_writer.h"
@@ -16,12 +17,14 @@ Result<IndexBuildStats> MergeIndexes(
     return Status::InvalidArgument("no shards to merge");
   }
   Stopwatch total;
-  // Load and validate shard metas; compute text-id offsets.
+  // Load and validate shard metas; compute text-id offsets. Incomplete
+  // shards (crashed builds, no commit marker) are rejected up front.
   std::vector<IndexMeta> metas;
   std::vector<TextId> offsets;
   uint64_t num_texts = 0;
   uint64_t total_tokens = 0;
   for (const std::string& dir : shard_dirs) {
+    NDSS_RETURN_NOT_OK(CheckIndexCommitMarker(dir));
     NDSS_ASSIGN_OR_RETURN(IndexMeta meta, IndexMeta::Load(dir));
     if (!metas.empty() &&
         (meta.k != metas[0].k || meta.seed != metas[0].seed ||
@@ -38,6 +41,8 @@ Result<IndexBuildStats> MergeIndexes(
     return Status::InvalidArgument("merged corpus exceeds 2^32 texts");
   }
   NDSS_RETURN_NOT_OK(CreateDirectories(out_dir));
+  NDSS_RETURN_NOT_OK(RemoveIndexCommitMarker(out_dir));
+  NDSS_RETURN_NOT_OK(CleanupIndexOrphans(out_dir));
 
   IndexBuildStats stats;
   const uint32_t k = metas[0].k;
@@ -81,9 +86,12 @@ Result<IndexBuildStats> MergeIndexes(
             directory[cursors[s]].key != next_key) {
           continue;
         }
-        buffer.clear();
-        NDSS_RETURN_NOT_OK(
-            readers[s].ReadList(directory[cursors[s]], &buffer));
+        // List reads are idempotent; transient IO errors are retried so one
+        // flaky read does not abort the merge. Corruption is not retried.
+        NDSS_RETURN_NOT_OK(RunWithRetry(RetryPolicy{}, [&]() -> Status {
+          buffer.clear();
+          return readers[s].ReadList(directory[cursors[s]], &buffer);
+        }));
         for (PostedWindow& window : buffer) window.text += offsets[s];
         NDSS_RETURN_NOT_OK(writer.AddWindows(buffer.data(), buffer.size()));
         ++cursors[s];
@@ -100,6 +108,7 @@ Result<IndexBuildStats> MergeIndexes(
   merged.zone_step = options.zone_step;
   merged.zone_threshold = options.zone_threshold;
   NDSS_RETURN_NOT_OK(merged.Save(out_dir));
+  NDSS_RETURN_NOT_OK(WriteIndexCommitMarker(out_dir));
   stats.total_seconds = total.ElapsedSeconds();
   return stats;
 }

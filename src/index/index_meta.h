@@ -33,15 +33,40 @@ struct IndexMeta {
   /// Lists with at least this many windows get a zone map.
   uint32_t zone_threshold = 256;
 
-  /// Saves to `<dir>/index.meta`.
+  /// Saves to `<dir>/index.meta` (v2: checksummed, written atomically via a
+  /// temp file + rename).
   Status Save(const std::string& dir) const;
 
-  /// Loads from `<dir>/index.meta`.
+  /// Loads from `<dir>/index.meta`, verifying the checksum. v1 files are
+  /// rejected with InvalidArgument.
   static Result<IndexMeta> Load(const std::string& dir);
 
   /// Path of the inverted-index file for hash function `func` under `dir`.
   static std::string InvertedIndexPath(const std::string& dir, uint32_t func);
 };
+
+/// Commit-marker protocol. A completed index build writes `<dir>/CURRENT`
+/// as its very last durable step; Searcher::Open refuses a directory with
+/// no marker, so a build that crashed at any earlier point is never
+/// mistaken for a complete index. Builders remove any stale marker before
+/// writing the first byte.
+std::string IndexCommitMarkerPath(const std::string& dir);
+
+/// Durably writes the commit marker. Call only after every index file has
+/// been published.
+Status WriteIndexCommitMarker(const std::string& dir);
+
+/// OK if the marker exists; Corruption (with guidance) otherwise.
+Status CheckIndexCommitMarker(const std::string& dir);
+
+/// Removes the marker if present (start-of-build invalidation).
+Status RemoveIndexCommitMarker(const std::string& dir);
+
+/// Deletes build leftovers in `dir`: `*.tmp` temp files and `spill.*`
+/// partitions from a crashed out-of-core build. Returns the number of
+/// entries removed via `removed` if non-null. Missing directory is OK.
+Status CleanupIndexOrphans(const std::string& dir,
+                           size_t* removed = nullptr);
 
 }  // namespace ndss
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "common/crc32c.h"
 
 namespace ndss {
 
@@ -22,16 +23,21 @@ Result<InvertedIndexReader> InvertedIndexReader::Open(
   if (reader.size() < idx::kHeaderSize + idx::kFooterSize) {
     return Status::Corruption("inverted index too small: " + path);
   }
-  // Header.
-  NDSS_ASSIGN_OR_RETURN(uint64_t magic, reader.ReadU64());
+  // Header (read raw — the bytes participate in the footer checksum).
+  char header[idx::kHeaderSize];
+  NDSS_RETURN_NOT_OK(reader.ReadAt(0, header, sizeof(header)));
+  const uint64_t magic = DecodeFixed64(header);
+  if (magic == idx::kIndexMagicV1) {
+    return Status::InvalidArgument(
+        "index file is format v1 (no checksums): " + path +
+        "; rebuild the index with this version");
+  }
   if (magic != idx::kIndexMagic) {
     return Status::Corruption("bad index header magic: " + path);
   }
-  NDSS_ASSIGN_OR_RETURN(uint32_t func, reader.ReadU32());
-  NDSS_ASSIGN_OR_RETURN(uint32_t zone_step, reader.ReadU32());
-  NDSS_ASSIGN_OR_RETURN(uint32_t zone_threshold, reader.ReadU32());
-  (void)zone_threshold;
-  NDSS_ASSIGN_OR_RETURN(uint32_t format_raw, reader.ReadU32());
+  const uint32_t func = DecodeFixed32(header + 8);
+  const uint32_t zone_step = DecodeFixed32(header + 12);
+  const uint32_t format_raw = DecodeFixed32(header + 20);
   if (format_raw > idx::kFormatCompressed) {
     return Status::Corruption("unknown posting format in " + path);
   }
@@ -42,7 +48,8 @@ Result<InvertedIndexReader> InvertedIndexReader::Open(
   const uint64_t num_lists = DecodeFixed64(footer);
   const uint64_t num_windows = DecodeFixed64(footer + 8);
   const uint64_t directory_offset = DecodeFixed64(footer + 16);
-  const uint64_t footer_magic = DecodeFixed64(footer + 24);
+  const uint32_t stored_checksum = DecodeFixed32(footer + 24);
+  const uint64_t footer_magic = DecodeFixed64(footer + 32);
   if (footer_magic != idx::kIndexMagic) {
     return Status::Corruption("bad index footer magic: " + path);
   }
@@ -54,22 +61,31 @@ Result<InvertedIndexReader> InvertedIndexReader::Open(
   InvertedIndexReader result(std::move(reader), func, zone_step,
                              static_cast<idx::PostingFormat>(format_raw));
   result.num_windows_ = num_windows;
-  // Directory.
+  // Directory, verified against the footer checksum (which covers header ++
+  // directory ++ the footer's first 24 bytes).
   std::vector<char> raw(num_lists * idx::kDirectoryEntrySize);
   if (!raw.empty()) {
     NDSS_RETURN_NOT_OK(
         result.reader_.ReadAt(directory_offset, raw.data(), raw.size()));
+  }
+  uint32_t crc = crc32c::Value(header, sizeof(header));
+  crc = crc32c::Extend(crc, raw.data(), raw.size());
+  crc = crc32c::Extend(crc, footer, 24);
+  if (crc != crc32c::Unmask(stored_checksum)) {
+    return Status::Corruption("index metadata checksum mismatch: " + path);
   }
   result.directory_.resize(num_lists);
   for (uint64_t i = 0; i < num_lists; ++i) {
     const char* p = raw.data() + i * idx::kDirectoryEntrySize;
     ListMeta& meta = result.directory_[i];
     meta.key = DecodeFixed32(p);
+    meta.list_crc = DecodeFixed32(p + 4);
     meta.count = DecodeFixed64(p + 8);
     meta.list_offset = DecodeFixed64(p + 16);
     meta.list_bytes = DecodeFixed64(p + 24);
     meta.zone_offset = DecodeFixed64(p + 32);
     meta.zone_count = DecodeFixed32(p + 40);
+    meta.zone_crc = DecodeFixed32(p + 44);
   }
   return result;
 }
@@ -111,8 +127,16 @@ Status InvertedIndexReader::ReadList(const ListMeta& meta,
     }
     const size_t old_size = out->size();
     out->resize(old_size + meta.count);
-    return reader_.ReadAt(meta.list_offset, out->data() + old_size,
-                          meta.count * sizeof(PostedWindow));
+    NDSS_RETURN_NOT_OK(reader_.ReadAt(meta.list_offset, out->data() + old_size,
+                                      meta.count * sizeof(PostedWindow)));
+    const uint32_t actual = crc32c::Value(out->data() + old_size,
+                                          meta.count * sizeof(PostedWindow));
+    if (actual != crc32c::Unmask(meta.list_crc)) {
+      out->resize(old_size);
+      return Status::Corruption("list checksum mismatch for key " +
+                                std::to_string(meta.key));
+    }
+    return Status::OK();
   }
   // Compressed: read the encoded bytes and decode run by run (restart
   // points every zone_step_ windows).
@@ -120,6 +144,11 @@ Status InvertedIndexReader::ReadList(const ListMeta& meta,
   if (!buffer.empty()) {
     NDSS_RETURN_NOT_OK(
         reader_.ReadAt(meta.list_offset, buffer.data(), buffer.size()));
+  }
+  if (crc32c::Value(buffer.data(), buffer.size()) !=
+      crc32c::Unmask(meta.list_crc)) {
+    return Status::Corruption("list checksum mismatch for key " +
+                              std::to_string(meta.key));
   }
   const char* limit = buffer.data() + buffer.size();
   // One sequential pass; the delta base resets every zone_step_ windows
@@ -156,10 +185,17 @@ Status InvertedIndexReader::ReadWindowsForText(const ListMeta& meta,
     }
     return Status::OK();
   }
-  // Zone map: locate the first segment that can contain `text`.
+  // Zone map: locate the first segment that can contain `text`. The zone
+  // region has its own CRC (partial list reads below can't verify the full
+  // list checksum).
   std::vector<char> zones(meta.zone_count * idx::kZoneEntrySize);
   NDSS_RETURN_NOT_OK(
       reader_.ReadAt(meta.zone_offset, zones.data(), zones.size()));
+  if (crc32c::Value(zones.data(), zones.size()) !=
+      crc32c::Unmask(meta.zone_crc)) {
+    return Status::Corruption("zone map checksum mismatch for key " +
+                              std::to_string(meta.key));
+  }
   // Zone entries are (text, position) with non-decreasing text. Find the
   // first entry with entry.text >= text and start one segment earlier:
   // every window before that point has text strictly below the target.

@@ -3,16 +3,22 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "common/crc32c.h"
 #include "common/logging.h"
 
 namespace ndss {
 
 namespace idx = index_format;
 
-InvertedIndexWriter::InvertedIndexWriter(FileWriter writer, uint32_t zone_step,
+InvertedIndexWriter::InvertedIndexWriter(FileWriter writer,
+                                         std::string final_path,
+                                         std::string header_bytes,
+                                         uint32_t zone_step,
                                          uint32_t zone_threshold,
                                          idx::PostingFormat format)
     : writer_(std::move(writer)),
+      final_path_(std::move(final_path)),
+      header_bytes_(std::move(header_bytes)),
       zone_step_(zone_step),
       zone_threshold_(zone_threshold),
       format_(format) {}
@@ -23,14 +29,16 @@ Result<InvertedIndexWriter> InvertedIndexWriter::Create(
   if (zone_step == 0) {
     return Status::InvalidArgument("zone_step must be positive");
   }
-  NDSS_ASSIGN_OR_RETURN(FileWriter writer, FileWriter::Open(path));
-  NDSS_RETURN_NOT_OK(writer.AppendU64(idx::kIndexMagic));
-  NDSS_RETURN_NOT_OK(writer.AppendU32(func));
-  NDSS_RETURN_NOT_OK(writer.AppendU32(zone_step));
-  NDSS_RETURN_NOT_OK(writer.AppendU32(zone_threshold));
-  NDSS_RETURN_NOT_OK(writer.AppendU32(static_cast<uint32_t>(format)));
-  return InvertedIndexWriter(std::move(writer), zone_step, zone_threshold,
-                             format);
+  NDSS_ASSIGN_OR_RETURN(FileWriter writer, FileWriter::Open(path + ".tmp"));
+  std::string header;
+  PutFixed64(&header, idx::kIndexMagic);
+  PutFixed32(&header, func);
+  PutFixed32(&header, zone_step);
+  PutFixed32(&header, zone_threshold);
+  PutFixed32(&header, static_cast<uint32_t>(format));
+  NDSS_RETURN_NOT_OK(writer.Append(header));
+  return InvertedIndexWriter(std::move(writer), path, std::move(header),
+                             zone_step, zone_threshold, format);
 }
 
 Status InvertedIndexWriter::FlushCurrentList() {
@@ -40,6 +48,7 @@ Status InvertedIndexWriter::FlushCurrentList() {
   entry.count = current_count_;
   entry.list_offset = current_offset_;
   entry.list_bytes = writer_.bytes_written() - current_offset_;
+  entry.list_crc = crc32c::Mask(current_crc_);
   if (format_ == idx::kFormatCompressed &&
       entry.list_bytes > 0xffffffffULL) {
     return Status::ResourceExhausted(
@@ -67,6 +76,7 @@ Status InvertedIndexWriter::BeginList(Token key) {
   current_key_ = key;
   current_count_ = 0;
   current_offset_ = writer_.bytes_written();
+  current_crc_ = 0;
   prev_text_ = 0;
   return Status::OK();
 }
@@ -87,6 +97,8 @@ Status InvertedIndexWriter::AddWindows(const PostedWindow* windows,
       ++current_count_;
     }
     NDSS_RETURN_NOT_OK(writer_.Append(windows, count * sizeof(PostedWindow)));
+    current_crc_ =
+        crc32c::Extend(current_crc_, windows, count * sizeof(PostedWindow));
   } else {
     encode_buffer_.clear();
     const uint64_t base = writer_.bytes_written() - current_offset_;
@@ -110,6 +122,8 @@ Status InvertedIndexWriter::AddWindows(const PostedWindow* windows,
       ++current_count_;
     }
     NDSS_RETURN_NOT_OK(writer_.Append(encode_buffer_));
+    current_crc_ = crc32c::Extend(current_crc_, encode_buffer_.data(),
+                                  encode_buffer_.size());
   }
   num_windows_ += count;
   return Status::OK();
@@ -151,34 +165,60 @@ Status InvertedIndexWriter::Finish() {
           "duplicate inverted-list key " + std::to_string(directory_[i].key));
     }
   }
-  // Zone section.
+  // Zone section. Zone CRCs are computed per list over its serialized
+  // entries, keyed by zone_first (entries were appended in list order, which
+  // the directory sort above may have permuted).
   const uint64_t zone_section_offset = writer_.bytes_written();
+  std::string zone_bytes;
+  zone_bytes.reserve(zone_entries_.size() * idx::kZoneEntrySize);
   for (const auto& [text, position] : zone_entries_) {
-    NDSS_RETURN_NOT_OK(writer_.AppendU32(text));
-    NDSS_RETURN_NOT_OK(writer_.AppendU32(position));
+    PutFixed32(&zone_bytes, text);
+    PutFixed32(&zone_bytes, position);
   }
+  NDSS_RETURN_NOT_OK(writer_.Append(zone_bytes));
   // Directory.
   const uint64_t directory_offset = writer_.bytes_written();
+  std::string directory_bytes;
+  directory_bytes.reserve(directory_.size() * idx::kDirectoryEntrySize);
   for (const DirectoryEntry& entry : directory_) {
-    NDSS_RETURN_NOT_OK(writer_.AppendU32(entry.key));
-    NDSS_RETURN_NOT_OK(writer_.AppendU32(0));  // pad
-    NDSS_RETURN_NOT_OK(writer_.AppendU64(entry.count));
-    NDSS_RETURN_NOT_OK(writer_.AppendU64(entry.list_offset));
-    NDSS_RETURN_NOT_OK(writer_.AppendU64(entry.list_bytes));
-    const uint64_t zone_offset =
-        entry.zone_count == 0
-            ? 0
-            : zone_section_offset + entry.zone_first * idx::kZoneEntrySize;
-    NDSS_RETURN_NOT_OK(writer_.AppendU64(zone_offset));
-    NDSS_RETURN_NOT_OK(writer_.AppendU32(entry.zone_count));
-    NDSS_RETURN_NOT_OK(writer_.AppendU32(0));  // pad
+    uint32_t zone_crc = 0;
+    uint64_t zone_offset = 0;
+    if (entry.zone_count > 0) {
+      zone_offset =
+          zone_section_offset + entry.zone_first * idx::kZoneEntrySize;
+      zone_crc = crc32c::Mask(crc32c::Value(
+          zone_bytes.data() + entry.zone_first * idx::kZoneEntrySize,
+          entry.zone_count * idx::kZoneEntrySize));
+    }
+    PutFixed32(&directory_bytes, entry.key);
+    PutFixed32(&directory_bytes, entry.list_crc);
+    PutFixed64(&directory_bytes, entry.count);
+    PutFixed64(&directory_bytes, entry.list_offset);
+    PutFixed64(&directory_bytes, entry.list_bytes);
+    PutFixed64(&directory_bytes, zone_offset);
+    PutFixed32(&directory_bytes, entry.zone_count);
+    PutFixed32(&directory_bytes, zone_crc);
   }
-  // Footer.
-  NDSS_RETURN_NOT_OK(writer_.AppendU64(directory_.size()));
-  NDSS_RETURN_NOT_OK(writer_.AppendU64(num_windows_));
-  NDSS_RETURN_NOT_OK(writer_.AppendU64(directory_offset));
-  NDSS_RETURN_NOT_OK(writer_.AppendU64(idx::kIndexMagic));
-  return writer_.Close();
+  NDSS_RETURN_NOT_OK(writer_.Append(directory_bytes));
+  // Footer: the checksum covers the header, the directory, and the footer's
+  // own prefix, so a flipped bit in any metadata region fails the open.
+  std::string footer;
+  PutFixed64(&footer, directory_.size());
+  PutFixed64(&footer, num_windows_);
+  PutFixed64(&footer, directory_offset);
+  uint32_t crc = crc32c::Value(header_bytes_.data(), header_bytes_.size());
+  crc = crc32c::Extend(crc, directory_bytes.data(), directory_bytes.size());
+  crc = crc32c::Extend(crc, footer.data(), footer.size());
+  PutFixed32(&footer, crc32c::Mask(crc));
+  PutFixed32(&footer, 0);  // pad
+  PutFixed64(&footer, idx::kIndexMagic);
+  NDSS_RETURN_NOT_OK(writer_.Append(footer));
+  // Publish: fsync the temp file, then atomically rename onto the final
+  // path. A crash before the rename leaves only the temp file, which open
+  // never considers.
+  NDSS_RETURN_NOT_OK(writer_.Sync());
+  NDSS_RETURN_NOT_OK(writer_.Close());
+  return RenameFile(final_path_ + ".tmp", final_path_);
 }
 
 }  // namespace ndss

@@ -13,7 +13,8 @@
 
 namespace ndss {
 
-/// Writes one inverted-index file (one hash function's index, Section 3.4).
+/// Writes one inverted-index file (one hash function's index, Section 3.4),
+/// format v2 — checksummed and crash-safe.
 ///
 /// File layout:
 ///
@@ -28,10 +29,15 @@ namespace ndss {
 ///               windows can be located without reading the whole list.
 ///               `position` is a window index (raw) or a byte offset into
 ///               the list (compressed).
-///   directory : per list — key, count, list offset, list bytes, zone
-///               offset, zone count — sorted by key
+///   directory : per list — key, list CRC32C, count, list offset, list
+///               bytes, zone offset, zone count, zone CRC32C — sorted by key
 ///   footer    : num_lists u64, num_windows u64, directory_offset u64,
-///               magic u64
+///               checksum u32 (CRC32C of header ++ directory ++ footer
+///               prefix), pad u32, magic u64
+///
+/// Durability: all bytes go to `<path>.tmp`; Finish() fsyncs and atomically
+/// renames onto `path`, so a crash at any earlier point leaves no file at
+/// `path` (a stale temp is swept by the builders' orphan cleanup).
 ///
 /// Lists may be fed in any key order (the directory is sorted at Finish)
 /// but keys must be distinct, and windows within a list must be sorted by
@@ -61,7 +67,8 @@ class InvertedIndexWriter {
   /// KeyedWindowLess.
   Status WriteSorted(const KeyedWindow* windows, size_t count);
 
-  /// Closes the current list, writes zones/directory/footer, closes file.
+  /// Closes the current list, writes zones/directory/footer, fsyncs, and
+  /// atomically publishes the file at its final path.
   Status Finish();
 
   uint64_t num_windows() const { return num_windows_; }
@@ -76,15 +83,19 @@ class InvertedIndexWriter {
     uint64_t list_bytes;
     uint64_t zone_first;  // index into zone_entries_ until Finish
     uint32_t zone_count;
+    uint32_t list_crc;    // masked CRC32C of the list bytes
   };
 
-  InvertedIndexWriter(FileWriter writer, uint32_t zone_step,
+  InvertedIndexWriter(FileWriter writer, std::string final_path,
+                      std::string header_bytes, uint32_t zone_step,
                       uint32_t zone_threshold,
                       index_format::PostingFormat format);
 
   Status FlushCurrentList();
 
   FileWriter writer_;
+  std::string final_path_;
+  std::string header_bytes_;    // retained for the footer checksum
   uint32_t zone_step_;
   uint32_t zone_threshold_;
   index_format::PostingFormat format_;
@@ -92,6 +103,7 @@ class InvertedIndexWriter {
   Token current_key_ = 0;
   uint64_t current_count_ = 0;
   uint64_t current_offset_ = 0;
+  uint32_t current_crc_ = 0;    // running CRC32C of the open list's bytes
   TextId prev_text_ = 0;        // delta base (compressed format)
   std::string encode_buffer_;   // per-call encoding scratch (compressed)
   std::vector<std::pair<TextId, uint32_t>> current_zones_;

@@ -17,6 +17,9 @@ struct ListMeta {
   uint64_t list_bytes = 0;   ///< encoded size of the list in bytes
   uint64_t zone_offset = 0;  ///< absolute offset of zone entries (0 = none)
   uint32_t zone_count = 0;   ///< number of zone entries
+  uint32_t list_crc = 0;     ///< masked CRC32C of the list bytes (v2; 0 in
+                             ///< the in-memory index, which skips checks)
+  uint32_t zone_crc = 0;     ///< masked CRC32C of the zone region (v2)
 };
 
 /// Access interface to one hash function's inverted lists, implemented by

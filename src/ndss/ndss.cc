@@ -14,8 +14,9 @@ Result<IndexBuildStats> NearDuplicateIndex::BuildFromFile(
   return BuildIndexExternal(corpus_path, dir, options);
 }
 
-Result<NearDuplicateIndex> NearDuplicateIndex::Open(const std::string& dir) {
-  NDSS_ASSIGN_OR_RETURN(Searcher searcher, Searcher::Open(dir));
+Result<NearDuplicateIndex> NearDuplicateIndex::Open(
+    const std::string& dir, const SearcherOptions& options) {
+  NDSS_ASSIGN_OR_RETURN(Searcher searcher, Searcher::Open(dir, options));
   return NearDuplicateIndex(std::move(searcher));
 }
 

@@ -49,8 +49,12 @@ class NearDuplicateIndex {
       const std::string& corpus_path, const std::string& dir,
       const IndexBuildOptions& options = {});
 
-  /// Opens a previously built index.
-  static Result<NearDuplicateIndex> Open(const std::string& dir);
+  /// Opens a previously built index. Fails on an interrupted build (no
+  /// commit marker) or checksum damage; with `options.allow_degraded`,
+  /// damaged index files are dropped and queries may run degraded (see
+  /// SearcherOptions).
+  static Result<NearDuplicateIndex> Open(const std::string& dir,
+                                         const SearcherOptions& options = {});
 
   NearDuplicateIndex(NearDuplicateIndex&&) noexcept = default;
   NearDuplicateIndex& operator=(NearDuplicateIndex&&) noexcept = default;

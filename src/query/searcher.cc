@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "index/inverted_index_reader.h"
 #include "index/memory_index.h"
@@ -14,19 +15,34 @@ Searcher::Searcher(IndexMeta meta, HashFamily family,
                    std::vector<std::unique_ptr<InvertedListSource>> sources)
     : meta_(meta), family_(std::move(family)), sources_(std::move(sources)) {}
 
-Result<Searcher> Searcher::Open(const std::string& dir) {
+Result<Searcher> Searcher::Open(const std::string& dir,
+                                const SearcherOptions& options) {
+  // A directory without the commit marker is an interrupted build: some
+  // files may be missing or stale even if the ones present look healthy.
+  NDSS_RETURN_NOT_OK(CheckIndexCommitMarker(dir));
   NDSS_ASSIGN_OR_RETURN(IndexMeta meta, IndexMeta::Load(dir));
   std::vector<std::unique_ptr<InvertedListSource>> sources;
   sources.reserve(meta.k);
+  uint32_t healthy = 0;
   for (uint32_t func = 0; func < meta.k; ++func) {
-    NDSS_ASSIGN_OR_RETURN(
-        InvertedIndexReader reader,
-        InvertedIndexReader::Open(IndexMeta::InvertedIndexPath(dir, func)));
-    if (reader.func() != func) {
+    const std::string path = IndexMeta::InvertedIndexPath(dir, func);
+    Result<InvertedIndexReader> reader = InvertedIndexReader::Open(path);
+    if (!reader.ok()) {
+      if (!options.allow_degraded) return reader.status();
+      NDSS_LOG(kWarning) << "degraded open: dropping " << path << ": "
+                         << reader.status().ToString();
+      sources.push_back(nullptr);
+      continue;
+    }
+    if (reader->func() != func) {
       return Status::Corruption("inverted index func id mismatch in " + dir);
     }
     sources.push_back(
-        std::make_unique<InvertedIndexReader>(std::move(reader)));
+        std::make_unique<InvertedIndexReader>(std::move(*reader)));
+    ++healthy;
+  }
+  if (healthy == 0) {
+    return Status::Corruption("no healthy inverted-index file in " + dir);
   }
   return Searcher(meta, HashFamily(meta.k, meta.seed), std::move(sources));
 }
@@ -51,9 +67,18 @@ Result<Searcher> Searcher::InMemory(const Corpus& corpus,
   return Searcher(meta, family, std::move(sources));
 }
 
+uint32_t Searcher::degraded_funcs() const {
+  uint32_t dropped = 0;
+  for (const auto& source : sources_) {
+    if (source == nullptr) ++dropped;
+  }
+  return dropped;
+}
+
 uint64_t Searcher::ListCountPercentile(double fraction) const {
   std::vector<uint64_t> counts;
   for (const auto& source : sources_) {
+    if (source == nullptr) continue;
     for (const ListMeta& meta : source->directory()) {
       counts.push_back(meta.count);
     }
@@ -167,6 +192,27 @@ Result<std::vector<SearchResult>> Searcher::SearchBatch(
 Result<SearchResult> Searcher::SearchInternal(std::span<const Token> query,
                                               const SearchOptions& options,
                                               ListCache* cache) {
+  constexpr uint32_t kNoFunc = 0xffffffffu;
+  for (;;) {
+    uint32_t failed_func = kNoFunc;
+    Result<SearchResult> result =
+        SearchOnce(query, options, cache, &failed_func);
+    if (result.ok() || failed_func == kNoFunc || !options.allow_degraded) {
+      return result;
+    }
+    // A list failed its checksum mid-query. Drop the whole function — its
+    // file is corrupt — and answer with the survivors at rescaled β.
+    NDSS_LOG(kWarning) << "degraded search: dropping hash function "
+                       << failed_func << ": "
+                       << result.status().ToString();
+    sources_[failed_func] = nullptr;
+  }
+}
+
+Result<SearchResult> Searcher::SearchOnce(std::span<const Token> query,
+                                          const SearchOptions& options,
+                                          ListCache* cache,
+                                          uint32_t* failed_func) {
   if (query.empty()) {
     return Status::InvalidArgument("query sequence is empty");
   }
@@ -174,13 +220,31 @@ Result<SearchResult> Searcher::SearchInternal(std::span<const Token> query,
     return Status::InvalidArgument("theta must be in (0, 1]");
   }
   const uint32_t k = meta_.k;
+  const uint32_t dropped = degraded_funcs();
+  if (dropped > 0 && !options.allow_degraded) {
+    return Status::Corruption(
+        std::to_string(dropped) +
+        " of " + std::to_string(k) +
+        " index files are corrupt or missing; set "
+        "SearchOptions::allow_degraded to search with the survivors");
+  }
+  // Effective family size k' = k - dropped. The hash family's seeds are
+  // chained, so the surviving functions compute exactly what an index built
+  // with fewer functions would; β is rescaled to ⌈θk'⌉ accordingly.
+  const uint32_t k_eff = k - dropped;
+  if (k_eff == 0) {
+    return Status::Corruption("every index file is corrupt or missing");
+  }
   const uint32_t beta = std::min<uint32_t>(
-      k, static_cast<uint32_t>(std::ceil(options.theta * k)));
+      k_eff, static_cast<uint32_t>(std::ceil(options.theta * k_eff)));
 
   SearchResult result;
+  result.stats.degraded_funcs = dropped;
   const uint64_t io_bytes_before = [&] {
     uint64_t total = 0;
-    for (const auto& source : sources_) total += source->bytes_read();
+    for (const auto& source : sources_) {
+      if (source != nullptr) total += source->bytes_read();
+    }
     return total;
   }();
 
@@ -202,6 +266,7 @@ Result<SearchResult> Searcher::SearchInternal(std::span<const Token> query,
   std::vector<ListRef> long_lists;
   std::vector<const ListMeta*> metas(k, nullptr);
   for (uint32_t func = 0; func < k; ++func) {
+    if (sources_[func] == nullptr) continue;  // dropped (degraded)
     metas[func] = sources_[func]->FindList(sketch.argmin_tokens[func]);
     if (metas[func] == nullptr) ++result.stats.empty_lists;
   }
@@ -264,14 +329,22 @@ Result<SearchResult> Searcher::SearchInternal(std::span<const Token> query,
       if (cache->bytes + list_bytes <= cache->budget) {
         std::vector<PostedWindow> list;
         list.reserve(ref.meta->count);
-        NDSS_RETURN_NOT_OK(sources_[ref.func]->ReadList(*ref.meta, &list));
+        Status read = sources_[ref.func]->ReadList(*ref.meta, &list);
+        if (!read.ok()) {
+          if (read.IsCorruption()) *failed_func = ref.func;
+          return read;
+        }
         windows.insert(windows.end(), list.begin(), list.end());
         cache->bytes += list_bytes;
         cache->lists.emplace(key, std::move(list));
         continue;
       }
     }
-    NDSS_RETURN_NOT_OK(sources_[ref.func]->ReadList(*ref.meta, &windows));
+    Status read = sources_[ref.func]->ReadList(*ref.meta, &windows);
+    if (!read.ok()) {
+      if (read.IsCorruption()) *failed_func = ref.func;
+      return read;
+    }
   }
   result.stats.io_seconds += io.ElapsedSeconds();
   result.stats.windows_scanned += windows.size();
@@ -302,8 +375,12 @@ Result<SearchResult> Searcher::SearchInternal(std::span<const Token> query,
   for (TextGroup& group : candidates) {
     io.Restart();
     for (const ListRef& ref : long_lists) {
-      NDSS_RETURN_NOT_OK(sources_[ref.func]->ReadWindowsForText(
-          *ref.meta, group.text, &group.windows));
+      Status read = sources_[ref.func]->ReadWindowsForText(
+          *ref.meta, group.text, &group.windows);
+      if (!read.ok()) {
+        if (read.IsCorruption()) *failed_func = ref.func;
+        return read;
+      }
     }
     result.stats.io_seconds += io.ElapsedSeconds();
     cpu.Restart();
@@ -319,12 +396,14 @@ Result<SearchResult> Searcher::SearchInternal(std::span<const Token> query,
   // Length clamp + merged disjoint spans (the paper's Remark).
   cpu.Restart();
   if (options.merge_matches) {
-    result.spans = MergeRectangles(result.rectangles, meta_.t, k);
+    result.spans = MergeRectangles(result.rectangles, meta_.t, k_eff);
   }
   result.stats.cpu_seconds += cpu.ElapsedSeconds();
 
   uint64_t io_bytes_after = 0;
-  for (const auto& source : sources_) io_bytes_after += source->bytes_read();
+  for (const auto& source : sources_) {
+    if (source != nullptr) io_bytes_after += source->bytes_read();
+  }
   result.stats.io_bytes = io_bytes_after - io_bytes_before;
   return result;
 }

@@ -46,6 +46,24 @@ struct SearchOptions {
   /// Merge overlapping result sequences into disjoint spans per text (the
   /// paper's Remark in Section 3.5).
   bool merge_matches = true;
+
+  /// Opt-in graceful degradation: when an inverted-index file fails its
+  /// checksum (at open with SearcherOptions::allow_degraded, or during a
+  /// query), drop that hash function and answer with k' = k - dropped and
+  /// β rescaled to ⌈θk'⌉, instead of failing the query. Dropped functions
+  /// are logged and surfaced in SearchStats::degraded_funcs. Results are
+  /// exactly those of an index built with the surviving k' functions
+  /// (min-hash seeds are chained, so function f is identical across k).
+  bool allow_degraded = false;
+};
+
+/// Options for opening a Searcher.
+struct SearcherOptions {
+  /// When true, an index file that is missing or fails its checksum is
+  /// dropped (with a warning) instead of failing Open; queries must then
+  /// also pass SearchOptions::allow_degraded. At least one file must
+  /// survive.
+  bool allow_degraded = false;
 };
 
 /// A rectangle of matching sequences in a specific text (see
@@ -76,6 +94,8 @@ struct SearchStats {
   uint32_t cache_hits = 0;        ///< pass-1 lists served from a batch cache
   uint64_t windows_scanned = 0;   ///< windows fed to CollisionCount
   uint64_t candidate_texts = 0;   ///< texts surviving pass 1
+  uint32_t degraded_funcs = 0;    ///< hash functions dropped for this query
+                                  ///< (0 = full-fidelity answer)
   double io_seconds = 0;          ///< time in index reads
   double cpu_seconds = 0;         ///< time in grouping + CollisionCount
 };
@@ -99,8 +119,12 @@ struct SearchResult {
 /// lists on demand. Not thread-safe; open one per thread.
 class Searcher {
  public:
-  /// Opens the index previously built into `dir`.
-  static Result<Searcher> Open(const std::string& dir);
+  /// Opens the index previously built into `dir`. Refuses a directory with
+  /// no CURRENT commit marker (an interrupted build). With
+  /// `options.allow_degraded`, checksum-failed index files are dropped
+  /// instead of failing the open.
+  static Result<Searcher> Open(const std::string& dir,
+                               const SearcherOptions& options = {});
 
   /// Builds an ephemeral, fully in-memory index over `corpus` and returns a
   /// searcher on it — no files touched. For small or short-lived corpora
@@ -136,6 +160,9 @@ class Searcher {
   /// SearchOptions::long_list_threshold from a target prefix length.
   uint64_t ListCountPercentile(double fraction) const;
 
+  /// Number of hash functions currently dropped due to corruption.
+  uint32_t degraded_funcs() const;
+
  private:
   struct ListCache;
 
@@ -145,6 +172,13 @@ class Searcher {
   Result<SearchResult> SearchInternal(std::span<const Token> query,
                                       const SearchOptions& options,
                                       ListCache* cache);
+
+  /// One search attempt over the currently healthy sources. On a list
+  /// checksum failure, reports the offending function via `failed_func` so
+  /// SearchInternal can drop it and retry when degradation is allowed.
+  Result<SearchResult> SearchOnce(std::span<const Token> query,
+                                  const SearchOptions& options,
+                                  ListCache* cache, uint32_t* failed_func);
 
   IndexMeta meta_;
   HashFamily family_;

@@ -3,25 +3,46 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "common/crc32c.h"
 
 namespace ndss {
 
 namespace {
 
-constexpr uint64_t kHeaderMagic = 0x3150524353534447ULL;  // "NDSSCRP1"-ish
-constexpr uint64_t kFooterMagic = 0x31544f4f46505243ULL;
+// v1 magics (no checksums) — recognized only to reject v1 files clearly.
+constexpr uint64_t kHeaderMagicV1 = 0x3150524353534447ULL;  // "NDSSCRP1"-ish
+constexpr uint64_t kFooterMagicV1 = 0x31544f4f46505243ULL;
+
+constexpr uint64_t kHeaderMagic = 0x3250524353534447ULL;  // "NDSSCRP2"-ish
+constexpr uint64_t kFooterMagic = 0x32544f4f46505243ULL;
+
+// v2 footer tail: num_texts u64, total_tokens u64, footer_crc u32, pad u32,
+// footer magic u64. footer_crc covers the offsets table and the tail's first
+// 16 bytes.
+constexpr uint64_t kFooterTailSize = 32;
+constexpr uint64_t kFooterTailSizeV1 = 24;
+
+// Masked CRC32C of one text record: the length field's encoding followed by
+// the token bytes.
+uint32_t TextCrc(uint32_t length, const Token* tokens) {
+  char lenbuf[4];
+  EncodeFixed32(lenbuf, length);
+  uint32_t crc = crc32c::Value(lenbuf, sizeof(lenbuf));
+  crc = crc32c::Extend(crc, tokens, length * sizeof(Token));
+  return crc32c::Mask(crc);
+}
 
 }  // namespace
 
 // --------------------------------------------------------- CorpusFileWriter
 
-CorpusFileWriter::CorpusFileWriter(FileWriter writer)
-    : writer_(std::move(writer)) {}
+CorpusFileWriter::CorpusFileWriter(FileWriter writer, std::string final_path)
+    : writer_(std::move(writer)), final_path_(std::move(final_path)) {}
 
 Result<CorpusFileWriter> CorpusFileWriter::Create(const std::string& path) {
-  NDSS_ASSIGN_OR_RETURN(FileWriter writer, FileWriter::Open(path));
+  NDSS_ASSIGN_OR_RETURN(FileWriter writer, FileWriter::Open(path + ".tmp"));
   NDSS_RETURN_NOT_OK(writer.AppendU64(kHeaderMagic));
-  return CorpusFileWriter(std::move(writer));
+  return CorpusFileWriter(std::move(writer), path);
 }
 
 Result<TextId> CorpusFileWriter::Append(std::span<const Token> tokens) {
@@ -29,9 +50,11 @@ Result<TextId> CorpusFileWriter::Append(std::span<const Token> tokens) {
     return Status::InvalidArgument("cannot append an empty text");
   }
   offsets_.push_back(writer_.bytes_written());
-  NDSS_RETURN_NOT_OK(writer_.AppendU32(static_cast<uint32_t>(tokens.size())));
+  const uint32_t length = static_cast<uint32_t>(tokens.size());
+  NDSS_RETURN_NOT_OK(writer_.AppendU32(length));
   NDSS_RETURN_NOT_OK(
       writer_.Append(tokens.data(), tokens.size() * sizeof(Token)));
+  NDSS_RETURN_NOT_OK(writer_.AppendU32(TextCrc(length, tokens.data())));
   total_tokens_ += tokens.size();
   return static_cast<TextId>(offsets_.size() - 1);
 }
@@ -44,13 +67,24 @@ Status CorpusFileWriter::AppendCorpus(const Corpus& corpus) {
 }
 
 Status CorpusFileWriter::Finish() {
+  std::string footer;
+  footer.reserve(offsets_.size() * 8 + kFooterTailSize);
   for (uint64_t offset : offsets_) {
-    NDSS_RETURN_NOT_OK(writer_.AppendU64(offset));
+    PutFixed64(&footer, offset);
   }
-  NDSS_RETURN_NOT_OK(writer_.AppendU64(offsets_.size()));
-  NDSS_RETURN_NOT_OK(writer_.AppendU64(total_tokens_));
-  NDSS_RETURN_NOT_OK(writer_.AppendU64(kFooterMagic));
-  return writer_.Close();
+  PutFixed64(&footer, offsets_.size());
+  PutFixed64(&footer, total_tokens_);
+  // The footer checksum covers the offsets table and the counts above, so a
+  // corrupted offsets table (which would misdirect every random access) is
+  // caught at open.
+  PutFixed32(&footer, crc32c::Mask(crc32c::Value(footer.data(),
+                                                 footer.size())));
+  PutFixed32(&footer, 0);  // pad
+  PutFixed64(&footer, kFooterMagic);
+  NDSS_RETURN_NOT_OK(writer_.Append(footer));
+  NDSS_RETURN_NOT_OK(writer_.Sync());
+  NDSS_RETURN_NOT_OK(writer_.Close());
+  return RenameFile(final_path_ + ".tmp", final_path_);
 }
 
 // --------------------------------------------------------- CorpusFileReader
@@ -65,7 +99,19 @@ CorpusFileReader::CorpusFileReader(FileReader reader, uint64_t num_texts,
 
 Result<CorpusFileReader> CorpusFileReader::Open(const std::string& path) {
   NDSS_ASSIGN_OR_RETURN(FileReader reader, FileReader::Open(path));
-  constexpr uint64_t kFooterTailSize = 24;  // num_texts, total_tokens, magic
+  if (reader.size() < 8 + kFooterTailSizeV1) {
+    return Status::Corruption("corpus file too small: " + path);
+  }
+  NDSS_RETURN_NOT_OK(reader.Seek(0));
+  NDSS_ASSIGN_OR_RETURN(uint64_t header_magic, reader.ReadU64());
+  if (header_magic == kHeaderMagicV1) {
+    return Status::InvalidArgument(
+        "corpus file is format v1 (no checksums): " + path +
+        "; re-import the corpus with this version");
+  }
+  if (header_magic != kHeaderMagic) {
+    return Status::Corruption("bad corpus header magic: " + path);
+  }
   if (reader.size() < 8 + kFooterTailSize) {
     return Status::Corruption("corpus file too small: " + path);
   }
@@ -74,14 +120,10 @@ Result<CorpusFileReader> CorpusFileReader::Open(const std::string& path) {
       reader.ReadAt(reader.size() - kFooterTailSize, tail, sizeof(tail)));
   const uint64_t num_texts = DecodeFixed64(tail);
   const uint64_t total_tokens = DecodeFixed64(tail + 8);
-  const uint64_t footer_magic = DecodeFixed64(tail + 16);
+  const uint32_t stored_crc = DecodeFixed32(tail + 16);
+  const uint64_t footer_magic = DecodeFixed64(tail + 24);
   if (footer_magic != kFooterMagic) {
     return Status::Corruption("bad corpus footer magic: " + path);
-  }
-  NDSS_RETURN_NOT_OK(reader.Seek(0));
-  NDSS_ASSIGN_OR_RETURN(uint64_t header_magic, reader.ReadU64());
-  if (header_magic != kHeaderMagic) {
-    return Status::Corruption("bad corpus header magic: " + path);
   }
   const uint64_t offsets_bytes = num_texts * 8;
   if (reader.size() < 8 + kFooterTailSize + offsets_bytes) {
@@ -89,6 +131,18 @@ Result<CorpusFileReader> CorpusFileReader::Open(const std::string& path) {
   }
   const uint64_t offsets_start = reader.size() - kFooterTailSize -
                                  offsets_bytes;
+  // Verify the footer checksum (offsets table ++ counts); a bad offsets
+  // table would misdirect every random access.
+  std::vector<char> offsets_raw(offsets_bytes);
+  if (!offsets_raw.empty()) {
+    NDSS_RETURN_NOT_OK(
+        reader.ReadAt(offsets_start, offsets_raw.data(), offsets_raw.size()));
+  }
+  uint32_t crc = crc32c::Value(offsets_raw.data(), offsets_raw.size());
+  crc = crc32c::Extend(crc, tail, 16);
+  if (crc != crc32c::Unmask(stored_crc)) {
+    return Status::Corruption("corpus footer checksum mismatch: " + path);
+  }
   return CorpusFileReader(std::move(reader), num_texts, total_tokens,
                           offsets_start);
 }
@@ -114,6 +168,11 @@ Result<std::vector<Token>> CorpusFileReader::ReadText(TextId id) {
   std::vector<Token> tokens(length);
   NDSS_RETURN_NOT_OK(
       reader_.ReadExact(tokens.data(), length * sizeof(Token)));
+  NDSS_ASSIGN_OR_RETURN(uint32_t stored_crc, reader_.ReadU32());
+  if (TextCrc(length, tokens.data()) != stored_crc) {
+    return Status::Corruption("corpus text " + std::to_string(id) +
+                              " checksum mismatch");
+  }
   return tokens;
 }
 
@@ -135,6 +194,11 @@ Result<Corpus> CorpusFileReader::ReadBatch(uint64_t max_tokens) {
     tokens.resize(length);
     NDSS_RETURN_NOT_OK(
         reader_.ReadExact(tokens.data(), length * sizeof(Token)));
+    NDSS_ASSIGN_OR_RETURN(uint32_t stored_crc, reader_.ReadU32());
+    if (TextCrc(length, tokens.data()) != stored_crc) {
+      return Status::Corruption("corpus text " + std::to_string(next_text_) +
+                                " checksum mismatch");
+    }
     batch.AddText(tokens);
     ++next_text_;
   }

@@ -13,18 +13,26 @@
 
 namespace ndss {
 
-/// On-disk tokenized-corpus format.
+/// On-disk tokenized-corpus format, v2 (checksummed).
 ///
 /// Layout (all integers little-endian):
 ///
 ///   header : magic u64
-///   body   : per text — length u32, then `length` u32 tokens
+///   body   : per text — length u32, `length` u32 tokens, then the masked
+///            CRC32C of the length field and token bytes (u32)
 ///   footer : per-text body offsets (u64 each), num_texts u64,
-///            total_tokens u64, footer magic u64
+///            total_tokens u64, footer CRC32C u32 (over the offsets table
+///            and the two counts), pad u32, footer magic u64
 ///
 /// The body is written strictly sequentially, so corpora larger than memory
 /// can be produced in one streaming pass; the offsets table enables random
-/// access for result verification and display.
+/// access for result verification and display. Every read path (random and
+/// streaming) verifies the per-text checksum; the footer checksum is
+/// verified at open. v1 files (no checksums) are rejected with
+/// InvalidArgument.
+///
+/// Durability: the writer targets `<path>.tmp`; Finish() fsyncs and
+/// atomically renames onto `path`.
 class CorpusFileWriter {
  public:
   /// Creates (truncates) the corpus file at `path`.
@@ -39,17 +47,18 @@ class CorpusFileWriter {
   /// Appends every text of `corpus` in order.
   Status AppendCorpus(const Corpus& corpus);
 
-  /// Writes the footer and closes the file. Must be called for the file to
-  /// be readable.
+  /// Writes the footer, fsyncs, and atomically publishes the file at its
+  /// final path. Must be called for the file to exist at all.
   Status Finish();
 
   uint64_t num_texts() const { return offsets_.size(); }
   uint64_t total_tokens() const { return total_tokens_; }
 
  private:
-  explicit CorpusFileWriter(FileWriter writer);
+  CorpusFileWriter(FileWriter writer, std::string final_path);
 
   FileWriter writer_;
+  std::string final_path_;
   std::vector<uint64_t> offsets_;
   uint64_t total_tokens_ = 0;
 };

@@ -1,0 +1,66 @@
+// CRC32C (Castagnoli) against the published reference vectors (RFC 3720
+// appendix B.4 / the values every other implementation agrees on), plus the
+// incremental-Extend and Mask/Unmask properties the index format relies on.
+
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace ndss {
+namespace {
+
+TEST(Crc32cTest, StandardVectors) {
+  // "123456789"
+  EXPECT_EQ(0xE3069283u, crc32c::Value("123456789", 9));
+
+  char buf[32];
+  std::memset(buf, 0, sizeof(buf));
+  EXPECT_EQ(0x8A9136AAu, crc32c::Value(buf, sizeof(buf)));
+
+  std::memset(buf, 0xff, sizeof(buf));
+  EXPECT_EQ(0x62A8AB43u, crc32c::Value(buf, sizeof(buf)));
+
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<char>(i);
+  EXPECT_EQ(0x46DD794Eu, crc32c::Value(buf, sizeof(buf)));
+
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<char>(31 - i);
+  EXPECT_EQ(0x113FDB5Cu, crc32c::Value(buf, sizeof(buf)));
+}
+
+TEST(Crc32cTest, EmptyInput) {
+  EXPECT_EQ(0u, crc32c::Value("", 0));
+  EXPECT_EQ(crc32c::Value("abc", 3), crc32c::Extend(crc32c::Value("abc", 3),
+                                                    nullptr, 0));
+}
+
+TEST(Crc32cTest, ExtendEqualsWhole) {
+  const std::string data =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "every slice-by-8 alignment boundary at least once. 0123456789.";
+  const uint32_t whole = crc32c::Value(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = crc32c::Value(data.data(), split);
+    crc = crc32c::Extend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(whole, crc) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DistinguishesInputs) {
+  EXPECT_NE(crc32c::Value("a", 1), crc32c::Value("b", 1));
+  EXPECT_NE(crc32c::Value("ab", 2), crc32c::Value("ba", 2));
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDiffers) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu,
+                       crc32c::Value("123456789", 9)}) {
+    const uint32_t masked = crc32c::Mask(crc);
+    EXPECT_NE(crc, masked);
+    EXPECT_EQ(crc, crc32c::Unmask(masked));
+  }
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,332 @@
+// Fault-injection coverage of the crash-safe build protocol (DESIGN.md §7).
+//
+// The central test sweeps a simulated power loss across every file operation
+// of a full index build: for each crash point the build runs against a
+// FaultInjectionEnv armed to die at that operation, un-synced data is
+// dropped (what the file system may do on power loss), and the directory is
+// reopened. The invariant under test is all-or-nothing: reopening either
+// fails with a clean Status (the CURRENT commit marker is missing) or serves
+// answers byte-identical to an uninterrupted build. There is no third
+// outcome — no torn index that opens and answers wrong.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/fault_injection_env.h"
+#include "common/file_io.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "corpusgen/synthetic.h"
+#include "index/index_builder.h"
+#include "index/index_meta.h"
+#include "index/inverted_index_reader.h"
+#include "query/searcher.h"
+#include "text/corpus_file.h"
+
+namespace ndss {
+namespace {
+
+class EnvFaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_env_fault_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+
+    SyntheticCorpusOptions options;
+    options.num_texts = 24;
+    options.min_text_length = 80;
+    options.max_text_length = 200;
+    options.vocab_size = 150;
+    options.seed = 7;
+    sc_ = GenerateSyntheticCorpus(options);
+
+    build_.k = 3;
+    build_.t = 15;
+
+    fault_ = std::make_unique<FaultInjectionEnv>(Env::Posix());
+    SetDefaultEnv(fault_.get());
+  }
+
+  void TearDown() override {
+    SetDefaultEnv(nullptr);
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::vector<std::vector<Token>> Queries() const {
+    std::vector<std::vector<Token>> queries;
+    for (TextId text = 0; text < 5; ++text) {
+      const auto tokens = sc_.corpus.text(text);
+      queries.emplace_back(tokens.begin(), tokens.begin() + 40);
+    }
+    return queries;
+  }
+
+  /// Runs the fixed query set and flattens the result spans into strings, so
+  /// two searchers can be compared for exact agreement.
+  static Result<std::vector<std::string>> RunQueries(
+      Searcher& searcher, const std::vector<std::vector<Token>>& queries) {
+    SearchOptions options;
+    options.theta = 0.5;
+    std::vector<std::string> fingerprints;
+    for (const auto& query : queries) {
+      NDSS_ASSIGN_OR_RETURN(SearchResult result,
+                            searcher.Search(query, options));
+      std::string fp;
+      for (const MatchSpan& span : result.spans) {
+        fp += std::to_string(span.text) + ":" + std::to_string(span.begin) +
+              "-" + std::to_string(span.end) + "/" +
+              std::to_string(span.collisions) + ";";
+      }
+      fingerprints.push_back(std::move(fp));
+    }
+    return fingerprints;
+  }
+
+  /// One crash-sweep iteration: arm a crash at `crash_op`, run `build`, drop
+  /// un-synced data, heal, and check the all-or-nothing invariant against
+  /// `baseline`.
+  void CheckCrashPoint(int64_t crash_op,
+                       const std::function<Status(const std::string&)>& build,
+                       const std::vector<std::string>& baseline) {
+    SCOPED_TRACE("crash at op " + std::to_string(crash_op));
+    const std::string sweep_dir = dir_ + "/sweep";
+    std::filesystem::remove_all(sweep_dir);
+    fault_->ResetOpCount();
+    fault_->ArmCrashAtOp(crash_op);
+    const Status status = build(sweep_dir);
+    (void)status;  // usually fails; a swallowed late fault may not
+    ASSERT_TRUE(fault_->DropUnsyncedData().ok());
+    fault_->Heal();
+
+    auto searcher = Searcher::Open(sweep_dir);
+    if (!searcher.ok()) {
+      ++failed_opens_;
+      return;  // clean refusal is one of the two allowed outcomes
+    }
+    auto answers = RunQueries(*searcher, Queries());
+    ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+    EXPECT_EQ(baseline, *answers);
+  }
+
+  std::string dir_;
+  SyntheticCorpus sc_;
+  IndexBuildOptions build_;
+  std::unique_ptr<FaultInjectionEnv> fault_;
+  int failed_opens_ = 0;
+};
+
+TEST_F(EnvFaultInjectionTest, CrashSweepInMemoryBuild) {
+  // Uninterrupted counted run: measures the op budget and produces the
+  // ground-truth answers.
+  const std::string clean_dir = dir_ + "/clean";
+  fault_->ResetOpCount();
+  ASSERT_TRUE(BuildIndexInMemory(sc_.corpus, clean_dir, build_).ok());
+  const int64_t total_ops = fault_->op_count();
+  ASSERT_GT(total_ops, 20) << "suspiciously few ops; is the env wired in?";
+
+  auto clean = Searcher::Open(clean_dir);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  auto baseline = RunQueries(*clean, Queries());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_FALSE(baseline->empty());
+
+  const auto build = [&](const std::string& out) {
+    return BuildIndexInMemory(sc_.corpus, out, build_).status();
+  };
+  for (int64_t op = 0; op < total_ops; ++op) {
+    CheckCrashPoint(op, build, *baseline);
+    if (HasFatalFailure()) return;
+  }
+  // Early crash points must leave nothing openable.
+  EXPECT_GT(failed_opens_, 0);
+}
+
+TEST_F(EnvFaultInjectionTest, CrashSweepExternalBuild) {
+  // Force the spill path: tiny memory budget and batches.
+  build_.memory_budget_bytes = 1 << 16;
+  build_.num_partitions = 4;
+  build_.batch_tokens = 1 << 12;
+
+  const std::string corpus_path = dir_ + "/corpus.ndc";
+  ASSERT_TRUE(WriteCorpusFile(corpus_path, sc_.corpus).ok());
+
+  const std::string clean_dir = dir_ + "/clean";
+  fault_->ResetOpCount();
+  ASSERT_TRUE(BuildIndexExternal(corpus_path, clean_dir, build_).ok());
+  const int64_t total_ops = fault_->op_count();
+  ASSERT_GT(total_ops, 20);
+
+  auto clean = Searcher::Open(clean_dir);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  auto baseline = RunQueries(*clean, Queries());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // The external build does hundreds of spill operations; a strided sweep
+  // (always including the first and last 16 ops, which cover directory
+  // setup and the meta/marker commit) keeps the test fast.
+  const int64_t stride = std::max<int64_t>(1, total_ops / 96);
+  const auto build = [&](const std::string& out) {
+    return BuildIndexExternal(corpus_path, out, build_).status();
+  };
+  for (int64_t op = 0; op < total_ops; ++op) {
+    if (op >= 16 && op < total_ops - 16 && op % stride != 0) continue;
+    CheckCrashPoint(op, build, *baseline);
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GT(failed_opens_, 0);
+}
+
+TEST_F(EnvFaultInjectionTest, CrashedEnvFailsEverythingUntilHealed) {
+  fault_->ArmCrashAtOp(0);
+  EXPECT_FALSE(WriteStringToFile(dir_ + "/x", "data").ok());
+  EXPECT_FALSE(WriteStringToFile(dir_ + "/x", "data").ok());
+  EXPECT_TRUE(fault_->crashed());
+  // Existence probes stay usable (Searcher::Open consults the commit marker
+  // through FileExists before any counted operation).
+  EXPECT_FALSE(FileExists(dir_ + "/x"));
+  fault_->Heal();
+  EXPECT_TRUE(WriteStringToFile(dir_ + "/x", "data").ok());
+}
+
+TEST_F(EnvFaultInjectionTest, DropUnsyncedDataKeepsOnlySyncedPrefix) {
+  const std::string path = dir_ + "/partial";
+  {
+    auto file = fault_->NewWritableFile(path, false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("durable", 7).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+    ASSERT_TRUE((*file)->Append("-volatile", 9).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto before = ReadFileToString(path);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ("durable-volatile", *before);
+
+  ASSERT_TRUE(fault_->DropUnsyncedData().ok());
+  auto after = ReadFileToString(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ("durable", *after);
+}
+
+TEST_F(EnvFaultInjectionTest, RenamePreservesSyncedState) {
+  const std::string tmp = dir_ + "/f.tmp";
+  {
+    auto file = fault_->NewWritableFile(tmp, false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("payload", 7).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  ASSERT_TRUE(fault_->RenameFile(tmp, dir_ + "/f").ok());
+  ASSERT_TRUE(fault_->DropUnsyncedData().ok());
+  auto content = ReadFileToString(dir_ + "/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ("payload", *content);
+}
+
+TEST_F(EnvFaultInjectionTest, RetryRecoversFromTransientFault) {
+  fault_->SetFailOnce(true);
+  fault_->FailAtOp(fault_->op_count());  // the very next operation fails once
+  int attempts = 0;
+  const Status status = RunWithRetry(RetryPolicy{}, [&] {
+    ++attempts;
+    return WriteStringToFile(dir_ + "/retry", "payload");
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(2, attempts);
+  EXPECT_EQ(1, fault_->faults_injected());
+  auto content = ReadFileToString(dir_ + "/retry");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ("payload", *content);
+}
+
+TEST_F(EnvFaultInjectionTest, RetryGivesUpAfterMaxAttempts) {
+  int attempts = 0;
+  const Status status = RunWithRetry(RetryPolicy{}, [&] {
+    ++attempts;
+    return Status::IOError("persistent");
+  });
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_EQ(3, attempts);
+}
+
+TEST_F(EnvFaultInjectionTest, RetryDoesNotRetryCorruption) {
+  int attempts = 0;
+  const Status status = RunWithRetry(RetryPolicy{}, [&] {
+    ++attempts;
+    return Status::Corruption("deterministic");
+  });
+  EXPECT_TRUE(status.IsCorruption());
+  EXPECT_EQ(1, attempts);
+}
+
+TEST_F(EnvFaultInjectionTest, ShortAppendsFailBuildAndLeaveNothingOpenable) {
+  fault_->SetShortAppends(true);
+  const std::string idx = dir_ + "/idx";
+  EXPECT_FALSE(BuildIndexInMemory(sc_.corpus, idx, build_).ok());
+  fault_->Heal();
+  // The torn build never reached the commit marker.
+  EXPECT_FALSE(Searcher::Open(idx).ok());
+}
+
+TEST_F(EnvFaultInjectionTest, CorruptedIndexAppendIsDetectedByChecksums) {
+  // The first flushed buffer holds an entire inverted-index file (they are
+  // far below the 1 MiB writer buffer); its middle byte lands in the
+  // posting/zone/directory region, all of which is checksum-covered.
+  const std::string idx = dir_ + "/idx";
+  fault_->CorruptNextAppend();
+  const auto build = BuildIndexInMemory(sc_.corpus, idx, build_);
+  bool detected = !build.ok();
+  if (!detected) {
+    auto meta = IndexMeta::Load(idx);
+    ASSERT_TRUE(meta.ok());
+    for (uint32_t func = 0; func < meta->k && !detected; ++func) {
+      auto reader =
+          InvertedIndexReader::Open(IndexMeta::InvertedIndexPath(idx, func));
+      if (!reader.ok()) {
+        detected = true;
+        break;
+      }
+      std::vector<PostedWindow> windows;
+      for (const ListMeta& list : reader->directory()) {
+        windows.clear();
+        if (!reader->ReadList(list, &windows).ok()) {
+          detected = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(detected) << "a flipped bit survived every checksum";
+}
+
+TEST_F(EnvFaultInjectionTest, CorruptedCorpusAppendIsDetectedByChecksums) {
+  const std::string path = dir_ + "/corpus.ndc";
+  auto writer = CorpusFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendCorpus(sc_.corpus).ok());
+  // Everything is still in the writer buffer; the corrupted append is the
+  // whole file image, so the flipped bit lands mid-records.
+  fault_->CorruptNextAppend();
+  ASSERT_TRUE(writer->Finish().ok());
+
+  auto reader = CorpusFileReader::Open(path);
+  bool detected = !reader.ok();
+  if (!detected) {
+    auto all = reader->ReadAll();
+    detected = !all.ok();
+  }
+  EXPECT_TRUE(detected) << "a flipped bit survived every corpus checksum";
+}
+
+}  // namespace
+}  // namespace ndss

@@ -7,8 +7,12 @@
 #include <filesystem>
 #include <string>
 
+#include "common/coding.h"
+#include "common/file_io.h"
 #include "corpusgen/synthetic.h"
 #include "index/index_builder.h"
+#include "index/index_format.h"
+#include "index/index_merger.h"
 #include "index/inverted_index_reader.h"
 #include "query/searcher.h"
 #include "text/corpus_file.h"
@@ -50,6 +54,58 @@ class FailureInjectionTest : public ::testing::Test {
     ASSERT_LT(offset, data->size());
     (*data)[offset] ^= 0x5a;
     ASSERT_TRUE(WriteStringToFile(path, *data).ok());
+  }
+
+  /// Overwrites one byte of `path` at `offset` with `value`.
+  static void PatchByte(const std::string& path, uint64_t offset,
+                        char value) {
+    auto data = ReadFileToString(path);
+    ASSERT_TRUE(data.ok());
+    ASSERT_LT(offset, data->size());
+    (*data)[offset] = value;
+    ASSERT_TRUE(WriteStringToFile(path, *data).ok());
+  }
+
+  /// XORs every byte of the posting/zone region of an inverted-index file,
+  /// leaving header, directory, and footer intact: the file still opens, but
+  /// every list and zone read fails its CRC.
+  static void CorruptAllLists(const std::string& path) {
+    auto data = ReadFileToString(path);
+    ASSERT_TRUE(data.ok());
+    ASSERT_GT(data->size(), index_format::kHeaderSize +
+                                index_format::kFooterSize);
+    const uint64_t directory_offset =
+        DecodeFixed64(data->data() + data->size() -
+                      index_format::kFooterSize + 16);
+    ASSERT_LE(directory_offset, data->size());
+    for (uint64_t i = index_format::kHeaderSize; i < directory_offset; ++i) {
+      (*data)[i] ^= 0x5a;
+    }
+    ASSERT_TRUE(WriteStringToFile(path, *data).ok());
+  }
+
+  /// Runs a fixed query set and flattens the spans, so two searchers can be
+  /// compared for exact agreement.
+  std::vector<std::string> RunQueries(Searcher& searcher, bool degraded) {
+    SearchOptions options;
+    options.theta = 0.5;
+    options.allow_degraded = degraded;
+    std::vector<std::string> fingerprints;
+    for (TextId text = 0; text < 6; ++text) {
+      const auto tokens = sc_.corpus.text(text);
+      const std::vector<Token> query(tokens.begin(), tokens.begin() + 40);
+      auto result = searcher.Search(query, options);
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      if (!result.ok()) return fingerprints;
+      std::string fp;
+      for (const MatchSpan& span : result->spans) {
+        fp += std::to_string(span.text) + ":" + std::to_string(span.begin) +
+              "-" + std::to_string(span.end) + "/" +
+              std::to_string(span.collisions) + ";";
+      }
+      fingerprints.push_back(std::move(fp));
+    }
+    return fingerprints;
   }
 
   std::string dir_;
@@ -136,6 +192,201 @@ TEST_F(FailureInjectionTest, CorruptBpeModelRejected) {
   ASSERT_TRUE(model->Save(path).ok());
   Truncate(path, 12);
   EXPECT_FALSE(BpeModel::Load(path).ok());
+}
+
+TEST_F(FailureInjectionTest, ExternalBuildOnTruncatedCorpusFailsCleanly) {
+  const std::string path = dir_ + "/corpus.crp";
+  ASSERT_TRUE(WriteCorpusFile(path, sc_.corpus).ok());
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  Truncate(path, *size / 2);
+  IndexBuildOptions build;
+  build.k = 3;
+  build.t = 15;
+  build.memory_budget_bytes = 1 << 16;  // force the spill path
+  build.num_partitions = 4;
+  build.batch_tokens = 1 << 12;
+  EXPECT_FALSE(BuildIndexExternal(path, dir_ + "/xidx", build).ok());
+  // The aborted build must not have published a searchable directory.
+  EXPECT_FALSE(Searcher::Open(dir_ + "/xidx").ok());
+}
+
+TEST_F(FailureInjectionTest, ExternalBuildOnCorruptCorpusFailsCleanly) {
+  const std::string path = dir_ + "/corpus.crp";
+  ASSERT_TRUE(WriteCorpusFile(path, sc_.corpus).ok());
+  FlipByte(path, 20);  // inside the first text's token payload
+  IndexBuildOptions build;
+  build.k = 3;
+  build.t = 15;
+  build.memory_budget_bytes = 1 << 16;
+  build.num_partitions = 4;
+  build.batch_tokens = 1 << 12;
+  auto stats = BuildIndexExternal(path, dir_ + "/xidx", build);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsCorruption()) << stats.status().ToString();
+}
+
+TEST_F(FailureInjectionTest, MergerRejectsCorruptShardMeta) {
+  // The SetUp index is shard 0; build a second shard over a different
+  // corpus with identical (k, seed, t).
+  SyntheticCorpusOptions options;
+  options.num_texts = 20;
+  options.vocab_size = 200;
+  options.seed = 51;
+  SyntheticCorpus other = GenerateSyntheticCorpus(options);
+  IndexBuildOptions build;
+  build.k = 4;
+  build.t = 15;
+  ASSERT_TRUE(
+      BuildIndexInMemory(other.corpus, dir_ + "/shard1", build).ok());
+
+  FlipByte(dir_ + "/shard1/index.meta", 12);
+  auto merged = MergeIndexes({dir_ + "/idx", dir_ + "/shard1"},
+                             dir_ + "/merged");
+  ASSERT_FALSE(merged.ok());
+  EXPECT_FALSE(Searcher::Open(dir_ + "/merged").ok());
+}
+
+TEST_F(FailureInjectionTest, MergerRejectsShardWithoutCommitMarker) {
+  SyntheticCorpusOptions options;
+  options.num_texts = 20;
+  options.vocab_size = 200;
+  options.seed = 52;
+  SyntheticCorpus other = GenerateSyntheticCorpus(options);
+  IndexBuildOptions build;
+  build.k = 4;
+  build.t = 15;
+  ASSERT_TRUE(
+      BuildIndexInMemory(other.corpus, dir_ + "/shard1", build).ok());
+
+  // Simulate an interrupted shard build: data present, marker absent.
+  ASSERT_TRUE(RemoveFile(dir_ + "/shard1/CURRENT").ok());
+  auto merged = MergeIndexes({dir_ + "/idx", dir_ + "/shard1"},
+                             dir_ + "/merged");
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().ToString().find("commit marker"),
+            std::string::npos)
+      << merged.status().ToString();
+}
+
+TEST_F(FailureInjectionTest, OrphanTempAndSpillFilesSweptBeforeBuild) {
+  // Leftovers of a crashed out-of-core build: a truncated spill partition
+  // and a half-written index temp file.
+  const std::string idx = dir_ + "/idx2";
+  ASSERT_TRUE(CreateDirectories(idx).ok());
+  ASSERT_TRUE(WriteStringToFile(idx + "/spill.0007", "truncated junk").ok());
+  ASSERT_TRUE(
+      WriteStringToFile(idx + "/inverted.0.ndx.tmp", "half a file").ok());
+
+  size_t removed = 0;
+  ASSERT_TRUE(CleanupIndexOrphans(idx, &removed).ok());
+  EXPECT_EQ(2u, removed);
+  EXPECT_FALSE(FileExists(idx + "/spill.0007"));
+  EXPECT_FALSE(FileExists(idx + "/inverted.0.ndx.tmp"));
+
+  // A rebuild over the same directory (planting fresh orphans first) also
+  // sweeps them and produces a healthy index.
+  ASSERT_TRUE(WriteStringToFile(idx + "/spill.0001", "junk").ok());
+  IndexBuildOptions build;
+  build.k = 4;
+  build.t = 15;
+  ASSERT_TRUE(BuildIndexInMemory(sc_.corpus, idx, build).ok());
+  EXPECT_FALSE(FileExists(idx + "/spill.0001"));
+  EXPECT_TRUE(Searcher::Open(idx).ok());
+}
+
+TEST_F(FailureInjectionTest, V1IndexFileRejectedWithClearError) {
+  // v1 and v2 magics differ only in the version character ('1' vs '2') at
+  // byte 7 of the little-endian header magic.
+  const std::string path = IndexMeta::InvertedIndexPath(dir_ + "/idx", 0);
+  PatchByte(path, 7, '1');
+  auto reader = InvertedIndexReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.status().IsInvalidArgument())
+      << reader.status().ToString();
+  EXPECT_NE(reader.status().ToString().find("v1"), std::string::npos);
+}
+
+TEST_F(FailureInjectionTest, V1CorpusFileRejectedWithClearError) {
+  const std::string path = dir_ + "/corpus.crp";
+  ASSERT_TRUE(WriteCorpusFile(path, sc_.corpus).ok());
+  PatchByte(path, 7, '1');
+  auto reader = CorpusFileReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.status().IsInvalidArgument())
+      << reader.status().ToString();
+}
+
+TEST_F(FailureInjectionTest, V1IndexMetaRejectedWithClearError) {
+  PatchByte(dir_ + "/idx/index.meta", 7, '1');
+  auto meta = IndexMeta::Load(dir_ + "/idx");
+  ASSERT_FALSE(meta.ok());
+  EXPECT_TRUE(meta.status().IsInvalidArgument()) << meta.status().ToString();
+}
+
+TEST_F(FailureInjectionTest, DegradedOpenDropsMissingFileAndMatchesSmallerIndex) {
+  // Chained min-hash seeds make functions 0..k'-1 of a k-function family
+  // identical to a k'-function family, so an index degraded by losing its
+  // LAST file must answer exactly like an index built with k-1 functions.
+  IndexBuildOptions build;
+  build.k = 3;
+  build.t = 15;
+  ASSERT_TRUE(BuildIndexInMemory(sc_.corpus, dir_ + "/idx3", build).ok());
+  auto small = Searcher::Open(dir_ + "/idx3");
+  ASSERT_TRUE(small.ok());
+  const auto expected = RunQueries(*small, /*degraded=*/false);
+
+  ASSERT_TRUE(
+      RemoveFile(IndexMeta::InvertedIndexPath(dir_ + "/idx", 3)).ok());
+  EXPECT_FALSE(Searcher::Open(dir_ + "/idx").ok());  // strict mode refuses
+
+  SearcherOptions degraded;
+  degraded.allow_degraded = true;
+  auto searcher = Searcher::Open(dir_ + "/idx", degraded);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  EXPECT_EQ(1u, searcher->degraded_funcs());
+  EXPECT_EQ(expected, RunQueries(*searcher, /*degraded=*/true));
+}
+
+TEST_F(FailureInjectionTest, DegradedSearchDropsCorruptListsAndMatchesSmallerIndex) {
+  IndexBuildOptions build;
+  build.k = 3;
+  build.t = 15;
+  ASSERT_TRUE(BuildIndexInMemory(sc_.corpus, dir_ + "/idx3", build).ok());
+  auto small = Searcher::Open(dir_ + "/idx3");
+  ASSERT_TRUE(small.ok());
+  const auto expected = RunQueries(*small, /*degraded=*/false);
+
+  // Corrupt every posting of the last file: the file still opens (its
+  // directory checksum is intact), so the failure surfaces mid-query and
+  // the searcher must drop the function on the fly and retry.
+  CorruptAllLists(IndexMeta::InvertedIndexPath(dir_ + "/idx", 3));
+  SearcherOptions degraded;
+  degraded.allow_degraded = true;
+  auto searcher = Searcher::Open(dir_ + "/idx", degraded);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  EXPECT_EQ(0u, searcher->degraded_funcs());  // nothing dropped yet
+
+  EXPECT_EQ(expected, RunQueries(*searcher, /*degraded=*/true));
+  EXPECT_EQ(1u, searcher->degraded_funcs());
+}
+
+TEST_F(FailureInjectionTest, CorruptIndexWithoutOptInFailsWithHint) {
+  CorruptAllLists(IndexMeta::InvertedIndexPath(dir_ + "/idx", 3));
+  SearcherOptions degraded;
+  degraded.allow_degraded = true;
+  auto searcher = Searcher::Open(dir_ + "/idx", degraded);
+  ASSERT_TRUE(searcher.ok());
+
+  // Degraded open, strict search: the first corrupt list read must fail the
+  // query with Corruption, never silently degrade.
+  const auto tokens = sc_.corpus.text(0);
+  const std::vector<Token> query(tokens.begin(), tokens.begin() + 40);
+  SearchOptions options;
+  options.theta = 0.5;
+  auto result = searcher->Search(query, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status().ToString();
 }
 
 TEST_F(FailureInjectionTest, SearchAfterListRegionCorruptionIsContained) {
