@@ -4,6 +4,7 @@
 // hot lists are read once instead of once per query.
 
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
@@ -30,6 +31,10 @@ int main() {
   bench::PrintHeader(
       "Batch query processing (500 queries, k = 16, theta = 0.8)",
       "SearchBatch shares a pass-1 list cache across queries");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u%s\n", hw,
+              hw <= 1 ? "  (parallel modes can only measure overhead here)"
+                      : "");
 
   // One-by-one.
   Stopwatch watch;
@@ -41,30 +46,40 @@ int main() {
   }
   const double single_seconds = watch.ElapsedSeconds();
 
-  // Batched.
-  watch.Restart();
-  auto batch = searcher->SearchBatch(queries, options);
-  if (!batch.ok()) return 1;
-  const double batch_seconds = watch.ElapsedSeconds();
-  uint64_t batch_spans = 0, cache_hits = 0, batch_io = 0;
-  for (const SearchResult& result : *batch) {
-    batch_spans += result.spans.size();
-    cache_hits += result.stats.cache_hits;
-    batch_io += result.stats.io_bytes;
-  }
-
+  // Batched, sequential and parallel.
   std::printf("%-14s %12s %14s %12s %12s\n", "mode", "seconds",
               "queries/sec", "spans", "cache hits");
   std::printf("%-14s %12.3f %14.1f %12llu %12s\n", "one-by-one",
               single_seconds, queries.size() / single_seconds,
               static_cast<unsigned long long>(single_spans), "-");
-  std::printf("%-14s %12.3f %14.1f %12llu %12llu\n", "batched",
-              batch_seconds, queries.size() / batch_seconds,
-              static_cast<unsigned long long>(batch_spans),
-              static_cast<unsigned long long>(cache_hits));
-  std::printf("batched IO: %.1f MB; speedup %.2fx; identical span totals: "
-              "%s\n",
-              batch_io / 1e6, single_seconds / batch_seconds,
-              single_spans == batch_spans ? "yes" : "NO (BUG)");
-  return single_spans == batch_spans ? 0 : 1;
+  double sequential_seconds = 0;
+  bool spans_agree = true;
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    watch.Restart();
+    auto batch = searcher->SearchBatch(queries, options,
+                                       /*cache_budget_bytes=*/256ull << 20,
+                                       threads);
+    if (!batch.ok()) return 1;
+    const double batch_seconds = watch.ElapsedSeconds();
+    if (threads == 1) sequential_seconds = batch_seconds;
+    uint64_t batch_spans = 0, cache_hits = 0, batch_io = 0;
+    for (const SearchResult& result : *batch) {
+      batch_spans += result.spans.size();
+      cache_hits += result.stats.cache_hits;
+      batch_io += result.stats.io_bytes;
+    }
+    spans_agree = spans_agree && batch_spans == single_spans;
+    char mode[32];
+    std::snprintf(mode, sizeof(mode), "batch x%zu", threads);
+    std::printf("%-14s %12.3f %14.1f %12llu %12llu  (io %.1f MB, "
+                "%.2fx vs 1-by-1, %.2fx vs batch x1)\n",
+                mode, batch_seconds, queries.size() / batch_seconds,
+                static_cast<unsigned long long>(batch_spans),
+                static_cast<unsigned long long>(cache_hits), batch_io / 1e6,
+                single_seconds / batch_seconds,
+                sequential_seconds / batch_seconds);
+  }
+  std::printf("identical span totals across all modes: %s\n",
+              spans_agree ? "yes" : "NO (BUG)");
+  return spans_agree ? 0 : 1;
 }

@@ -82,6 +82,24 @@ class PosixRandomAccessFile : public RandomAccessFile {
     return n;
   }
 
+  Result<size_t> ReadAt(uint64_t offset, void* out, size_t size) override {
+    // pread neither consults nor moves the stdio cursor, so positional reads
+    // from many threads can share this handle with a sequential scanner.
+    char* dst = static_cast<char*>(out);
+    size_t total = 0;
+    while (total < size) {
+      const ssize_t n = ::pread(fileno(file_), dst + total, size - total,
+                                static_cast<off_t>(offset + total));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pread", path_));
+      }
+      if (n == 0) break;  // EOF
+      total += static_cast<size_t>(n);
+    }
+    return total;
+  }
+
   Status Seek(uint64_t offset) override {
     if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
       return Status::IOError(ErrnoMessage("seek", path_));

@@ -34,13 +34,21 @@ class WritableFile {
 };
 
 /// Abstract positioned/sequential read handle produced by an Env.
-/// Implementations are not thread-safe.
+///
+/// The streaming cursor (Read/Seek) carries mutable state and is not
+/// thread-safe. ReadAt is positional (pread-style), touches no shared
+/// state, and may be called concurrently from any number of threads —
+/// including concurrently with the streaming cursor.
 class RandomAccessFile {
  public:
   virtual ~RandomAccessFile() = default;
 
   /// Reads up to `size` bytes at the cursor; returns bytes read (0 at EOF).
   virtual Result<size_t> Read(void* out, size_t size) = 0;
+
+  /// Reads up to `size` bytes at absolute `offset` without touching the
+  /// streaming cursor; returns bytes read (short only at EOF). Thread-safe.
+  virtual Result<size_t> ReadAt(uint64_t offset, void* out, size_t size) = 0;
 
   /// Moves the cursor to absolute `offset`.
   virtual Status Seek(uint64_t offset) = 0;

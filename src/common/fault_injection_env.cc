@@ -89,6 +89,11 @@ class FaultRandomAccessFile : public RandomAccessFile {
     return base_->Read(out, size);
   }
 
+  Result<size_t> ReadAt(uint64_t offset, void* out, size_t size) override {
+    NDSS_RETURN_NOT_OK(env_->CountOp("pread " + path_));
+    return base_->ReadAt(offset, out, size);
+  }
+
   Status Seek(uint64_t offset) override {
     NDSS_RETURN_NOT_OK(env_->CountOp("seek " + path_));
     return base_->Seek(offset);

@@ -132,6 +132,25 @@ FileReader::FileReader(std::unique_ptr<RandomAccessFile> file,
                        std::string path, uint64_t file_size)
     : file_(std::move(file)), path_(std::move(path)), file_size_(file_size) {}
 
+FileReader::FileReader(FileReader&& other) noexcept
+    : file_(std::move(other.file_)),
+      path_(std::move(other.path_)),
+      file_size_(other.file_size_),
+      position_(other.position_),
+      bytes_read_(other.bytes_read_.load(std::memory_order_relaxed)) {}
+
+FileReader& FileReader::operator=(FileReader&& other) noexcept {
+  if (this != &other) {
+    file_ = std::move(other.file_);
+    path_ = std::move(other.path_);
+    file_size_ = other.file_size_;
+    position_ = other.position_;
+    bytes_read_.store(other.bytes_read_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 Result<FileReader> FileReader::Open(const std::string& path,
                                     size_t buffer_size, Env* env) {
   if (env == nullptr) env = GetDefaultEnv();
@@ -154,13 +173,20 @@ Result<size_t> FileReader::Read(void* out, size_t size) {
   if (file_ == nullptr) return Status::IOError("reader is closed: " + path_);
   NDSS_ASSIGN_OR_RETURN(size_t n, file_->Read(out, size));
   position_ += n;
-  bytes_read_ += n;
+  bytes_read_.fetch_add(n, std::memory_order_relaxed);
   return n;
 }
 
 Status FileReader::ReadAt(uint64_t offset, void* out, size_t size) {
-  NDSS_RETURN_NOT_OK(Seek(offset));
-  return ReadExact(out, size);
+  if (file_ == nullptr) return Status::IOError("reader is closed: " + path_);
+  NDSS_ASSIGN_OR_RETURN(size_t n, file_->ReadAt(offset, out, size));
+  bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  if (n != size) {
+    return Status::IOError("short read from '" + path_ + "' at offset " +
+                           std::to_string(offset) + ": wanted " +
+                           std::to_string(size) + " got " + std::to_string(n));
+  }
+  return Status::OK();
 }
 
 Result<uint32_t> FileReader::ReadU32() {

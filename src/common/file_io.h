@@ -1,6 +1,7 @@
 #ifndef NDSS_COMMON_FILE_IO_H_
 #define NDSS_COMMON_FILE_IO_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -85,7 +86,12 @@ class FileWriter {
 ///
 /// Supports both streaming reads and absolute-offset reads (used by the query
 /// path to fetch one inverted list or one zone-map region). Backed by an Env
-/// file handle. Not thread-safe. Move-only.
+/// file handle.
+///
+/// Thread-safety: ReadAt is positional (pread-style), keeps no stream state,
+/// and may be called from any number of threads concurrently. The streaming
+/// interface (Read*, Seek, position) carries cursor state and must stay on
+/// one thread at a time. Move-only; moving must not race with reads.
 class FileReader {
  public:
   /// Opens `path` for reading.
@@ -93,8 +99,8 @@ class FileReader {
                                  size_t buffer_size = 1 << 20,
                                  Env* env = nullptr);
 
-  FileReader(FileReader&& other) noexcept = default;
-  FileReader& operator=(FileReader&& other) noexcept = default;
+  FileReader(FileReader&& other) noexcept;
+  FileReader& operator=(FileReader&& other) noexcept;
   FileReader(const FileReader&) = delete;
   FileReader& operator=(const FileReader&) = delete;
   ~FileReader() = default;
@@ -105,9 +111,8 @@ class FileReader {
   /// Reads up to `size` bytes; returns the number of bytes read (0 at EOF).
   Result<size_t> Read(void* out, size_t size);
 
-  /// Reads exactly `size` bytes at absolute offset `offset` without
-  /// disturbing the current stream position semantics for future ReadAt
-  /// calls (sequential Read* continue from offset+size).
+  /// Reads exactly `size` bytes at absolute offset `offset`. Does not touch
+  /// the streaming cursor; safe to call concurrently from many threads.
   Status ReadAt(uint64_t offset, void* out, size_t size);
 
   /// Reads a little-endian 32-bit integer.
@@ -126,8 +131,11 @@ class FileReader {
   uint64_t position() const { return position_; }
 
   /// Total bytes physically read from the file so far (an IO-cost counter
-  /// used by the experiments to split IO vs CPU time).
-  uint64_t bytes_read() const { return bytes_read_; }
+  /// used by the experiments to split IO vs CPU time). Atomic so concurrent
+  /// ReadAt callers can account without a lock.
+  uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
 
  private:
   FileReader(std::unique_ptr<RandomAccessFile> file, std::string path,
@@ -137,7 +145,7 @@ class FileReader {
   std::string path_;
   uint64_t file_size_ = 0;
   uint64_t position_ = 0;
-  uint64_t bytes_read_ = 0;
+  std::atomic<uint64_t> bytes_read_{0};
 };
 
 /// Returns true if `path` exists.

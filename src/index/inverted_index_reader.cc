@@ -120,7 +120,8 @@ Status InvertedIndexReader::DecodeRun(const char* p, const char* limit,
 }
 
 Status InvertedIndexReader::ReadList(const ListMeta& meta,
-                                     std::vector<PostedWindow>* out) {
+                                     std::vector<PostedWindow>* out,
+                                     uint64_t* io_bytes) {
   if (format_ == idx::kFormatRaw) {
     if (meta.list_bytes != meta.count * sizeof(PostedWindow)) {
       return Status::Corruption("raw list size mismatch");
@@ -129,6 +130,7 @@ Status InvertedIndexReader::ReadList(const ListMeta& meta,
     out->resize(old_size + meta.count);
     NDSS_RETURN_NOT_OK(reader_.ReadAt(meta.list_offset, out->data() + old_size,
                                       meta.count * sizeof(PostedWindow)));
+    if (io_bytes != nullptr) *io_bytes += meta.count * sizeof(PostedWindow);
     const uint32_t actual = crc32c::Value(out->data() + old_size,
                                           meta.count * sizeof(PostedWindow));
     if (actual != crc32c::Unmask(meta.list_crc)) {
@@ -145,6 +147,7 @@ Status InvertedIndexReader::ReadList(const ListMeta& meta,
     NDSS_RETURN_NOT_OK(
         reader_.ReadAt(meta.list_offset, buffer.data(), buffer.size()));
   }
+  if (io_bytes != nullptr) *io_bytes += buffer.size();
   if (crc32c::Value(buffer.data(), buffer.size()) !=
       crc32c::Unmask(meta.list_crc)) {
     return Status::Corruption("list checksum mismatch for key " +
@@ -172,25 +175,49 @@ Status InvertedIndexReader::ReadList(const ListMeta& meta,
   return Status::OK();
 }
 
+namespace {
+
+/// Structural validation of one window against its in-list predecessor.
+/// Lists always satisfy l <= c <= r per window and non-decreasing text ids
+/// (the zone map depends on the latter); a probe that cannot afford the
+/// full-list checksum rejects any window breaking those invariants instead
+/// of handing corrupt positions to CollisionCount.
+Status CheckWindowInvariants(const PostedWindow& w, bool has_prev,
+                             TextId prev_text, Token key) {
+  if (w.l > w.c || w.c > w.r) {
+    return Status::Corruption("zone probe: invalid window bounds in list " +
+                              std::to_string(key));
+  }
+  if (has_prev && w.text < prev_text) {
+    return Status::Corruption("zone probe: windows out of order in list " +
+                              std::to_string(key));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status InvertedIndexReader::ReadWindowsForText(const ListMeta& meta,
                                                TextId text,
-                                               std::vector<PostedWindow>* out) {
+                                               std::vector<PostedWindow>* out,
+                                               uint64_t* io_bytes) {
   if (meta.zone_count == 0) {
     // Short list: read fully and filter.
     std::vector<PostedWindow> all;
     all.reserve(meta.count);
-    NDSS_RETURN_NOT_OK(ReadList(meta, &all));
+    NDSS_RETURN_NOT_OK(ReadList(meta, &all, io_bytes));
     for (const PostedWindow& window : all) {
       if (window.text == text) out->push_back(window);
     }
     return Status::OK();
   }
   // Zone map: locate the first segment that can contain `text`. The zone
-  // region has its own CRC (partial list reads below can't verify the full
-  // list checksum).
+  // region has its own CRC (partial list reads below can't always verify
+  // the full list checksum).
   std::vector<char> zones(meta.zone_count * idx::kZoneEntrySize);
   NDSS_RETURN_NOT_OK(
       reader_.ReadAt(meta.zone_offset, zones.data(), zones.size()));
+  if (io_bytes != nullptr) *io_bytes += zones.size();
   if (crc32c::Value(zones.data(), zones.size()) !=
       crc32c::Unmask(meta.zone_crc)) {
     return Status::Corruption("zone map checksum mismatch for key " +
@@ -218,7 +245,17 @@ Status InvertedIndexReader::ReadWindowsForText(const ListMeta& meta,
   };
 
   if (format_ == idx::kFormatRaw) {
+    if (meta.list_bytes != meta.count * sizeof(PostedWindow)) {
+      return Status::Corruption("raw list size mismatch");
+    }
     uint64_t index = zone_position(segment);
+    // When the probe starts at the head of the list and runs to its end, it
+    // has seen every byte and can verify the full-list checksum; a probe
+    // that stops early falls back to the per-window invariant checks.
+    const bool from_start = index == 0;
+    uint32_t crc = 0;
+    bool has_prev = false;
+    TextId prev_text = 0;
     std::vector<PostedWindow> buffer;
     while (index < meta.count) {
       const size_t batch = std::min<uint64_t>(zone_step_, meta.count - index);
@@ -226,7 +263,15 @@ Status InvertedIndexReader::ReadWindowsForText(const ListMeta& meta,
       NDSS_RETURN_NOT_OK(
           reader_.ReadAt(meta.list_offset + index * sizeof(PostedWindow),
                          buffer.data(), batch * sizeof(PostedWindow)));
+      if (io_bytes != nullptr) *io_bytes += batch * sizeof(PostedWindow);
+      if (from_start) {
+        crc = crc32c::Extend(crc, buffer.data(), batch * sizeof(PostedWindow));
+      }
       for (const PostedWindow& window : buffer) {
+        NDSS_RETURN_NOT_OK(
+            CheckWindowInvariants(window, has_prev, prev_text, meta.key));
+        has_prev = true;
+        prev_text = window.text;
         if (window.text == text) {
           out->push_back(window);
         } else if (window.text > text) {
@@ -235,11 +280,21 @@ Status InvertedIndexReader::ReadWindowsForText(const ListMeta& meta,
       }
       index += batch;
     }
+    if (from_start && crc != crc32c::Unmask(meta.list_crc)) {
+      return Status::Corruption("list checksum mismatch for key " +
+                                std::to_string(meta.key));
+    }
     return Status::OK();
   }
 
   // Compressed: each zone entry is a restart point's byte offset. Decode
-  // segment by segment until texts pass the target.
+  // segment by segment until texts pass the target. As in the raw path, a
+  // probe covering the whole list verifies the list checksum; otherwise the
+  // per-window invariants are the corruption guard.
+  const uint32_t first_segment = segment;
+  uint32_t crc = 0;
+  bool has_prev = false;
+  TextId prev_text = 0;
   std::vector<char> buffer;
   std::vector<PostedWindow> decoded;
   for (; segment < meta.zone_count; ++segment) {
@@ -247,6 +302,10 @@ Status InvertedIndexReader::ReadWindowsForText(const ListMeta& meta,
     const uint64_t end = segment + 1 < meta.zone_count
                              ? zone_position(segment + 1)
                              : meta.list_bytes;
+    if (begin > end || end > meta.list_bytes) {
+      return Status::Corruption("zone probe: bad restart offsets in list " +
+                                std::to_string(meta.key));
+    }
     const uint64_t windows_in_segment =
         std::min<uint64_t>(zone_step_,
                            meta.count - static_cast<uint64_t>(segment) *
@@ -255,17 +314,29 @@ Status InvertedIndexReader::ReadWindowsForText(const ListMeta& meta,
     NDSS_RETURN_NOT_OK(
         reader_.ReadAt(meta.list_offset + begin, buffer.data(),
                        buffer.size()));
+    if (io_bytes != nullptr) *io_bytes += buffer.size();
+    if (first_segment == 0) {
+      crc = crc32c::Extend(crc, buffer.data(), buffer.size());
+    }
     decoded.clear();
     NDSS_RETURN_NOT_OK(DecodeRun(buffer.data(),
                                  buffer.data() + buffer.size(),
                                  windows_in_segment, &decoded));
     for (const PostedWindow& window : decoded) {
+      NDSS_RETURN_NOT_OK(
+          CheckWindowInvariants(window, has_prev, prev_text, meta.key));
+      has_prev = true;
+      prev_text = window.text;
       if (window.text == text) {
         out->push_back(window);
       } else if (window.text > text) {
         return Status::OK();
       }
     }
+  }
+  if (first_segment == 0 && crc != crc32c::Unmask(meta.list_crc)) {
+    return Status::Corruption("list checksum mismatch for key " +
+                              std::to_string(meta.key));
   }
   return Status::OK();
 }

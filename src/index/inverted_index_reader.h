@@ -18,8 +18,10 @@ namespace ndss {
 /// compressed posting format; the format is self-described in the header).
 ///
 /// The directory is held in memory (one entry per distinct min-hash key, at
-/// most vocabulary-sized); list and zone reads hit the disk. The
-/// `bytes_read()` counter is the IO-cost metric the experiments report.
+/// most vocabulary-sized); list and zone reads hit the disk through
+/// positional pread-style IO, so any number of threads may read lists
+/// concurrently. The `bytes_read()` counter is the IO-cost metric the
+/// experiments report.
 class InvertedIndexReader : public InvertedListSource {
  public:
   static Result<InvertedIndexReader> Open(const std::string& path);
@@ -27,18 +29,25 @@ class InvertedIndexReader : public InvertedListSource {
   InvertedIndexReader(InvertedIndexReader&&) noexcept = default;
   InvertedIndexReader& operator=(InvertedIndexReader&&) noexcept = default;
 
+  using InvertedListSource::ReadList;
+  using InvertedListSource::ReadWindowsForText;
+
   /// Directory entry for `key`, or nullptr if the key has no list.
   const ListMeta* FindList(Token key) const override;
 
   /// Reads an entire list into `out` (appending).
-  Status ReadList(const ListMeta& meta,
-                  std::vector<PostedWindow>* out) override;
+  Status ReadList(const ListMeta& meta, std::vector<PostedWindow>* out,
+                  uint64_t* io_bytes) override;
 
   /// Reads only the windows of text `text` from the list (appending),
   /// using the zone map to avoid scanning the whole list when one exists
-  /// (the paper's point-lookup path for long lists, Section 3.5).
+  /// (the paper's point-lookup path for long lists, Section 3.5). Partial
+  /// reads that cannot verify the full list checksum validate structural
+  /// invariants of every window instead (and verify the checksum whenever
+  /// the probe does cover the whole list).
   Status ReadWindowsForText(const ListMeta& meta, TextId text,
-                            std::vector<PostedWindow>* out) override;
+                            std::vector<PostedWindow>* out,
+                            uint64_t* io_bytes) override;
 
   /// Hash function id this file was written for.
   uint32_t func() const { return func_; }

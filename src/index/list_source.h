@@ -26,6 +26,12 @@ struct ListMeta {
 /// the on-disk reader (InvertedIndexReader) and the embedded in-memory
 /// index (InMemoryInvertedIndex). The query processor (Searcher) only
 /// depends on this interface.
+///
+/// Thread-safety: FindList, directory, and the read methods may be called
+/// concurrently from any number of threads once the source is open. Each
+/// read method takes an optional `io_bytes` accumulator so a caller can
+/// attribute IO to one query without reading the shared `bytes_read()`
+/// counter (whose deltas are meaningless under concurrency).
 class InvertedListSource {
  public:
   virtual ~InvertedListSource() = default;
@@ -33,20 +39,32 @@ class InvertedListSource {
   /// Directory entry for `key`, or nullptr if the key has no list.
   virtual const ListMeta* FindList(Token key) const = 0;
 
-  /// Appends an entire list to `out`.
-  virtual Status ReadList(const ListMeta& meta,
-                          std::vector<PostedWindow>* out) = 0;
+  /// Appends an entire list to `out`. Adds the bytes read by this call to
+  /// `*io_bytes` when non-null.
+  virtual Status ReadList(const ListMeta& meta, std::vector<PostedWindow>* out,
+                          uint64_t* io_bytes) = 0;
 
   /// Appends only the windows of `text` from the list to `out` (the
-  /// second-pass point lookup of prefix filtering).
+  /// second-pass point lookup of prefix filtering). Adds the bytes read by
+  /// this call to `*io_bytes` when non-null.
   virtual Status ReadWindowsForText(const ListMeta& meta, TextId text,
-                                    std::vector<PostedWindow>* out) = 0;
+                                    std::vector<PostedWindow>* out,
+                                    uint64_t* io_bytes) = 0;
+
+  /// Convenience overloads without per-call IO accounting.
+  Status ReadList(const ListMeta& meta, std::vector<PostedWindow>* out) {
+    return ReadList(meta, out, nullptr);
+  }
+  Status ReadWindowsForText(const ListMeta& meta, TextId text,
+                            std::vector<PostedWindow>* out) {
+    return ReadWindowsForText(meta, text, out, nullptr);
+  }
 
   /// All directory entries, sorted by key.
   virtual const std::vector<ListMeta>& directory() const = 0;
 
-  /// Cumulative bytes of posting data served (IO for the on-disk reader,
-  /// logical bytes for the in-memory index) — the experiments' IO metric.
+  /// Cumulative bytes of posting data served across all callers (IO for the
+  /// on-disk reader, logical bytes for the in-memory index).
   virtual uint64_t bytes_read() const = 0;
 };
 

@@ -48,15 +48,19 @@ const ListMeta* InMemoryInvertedIndex::FindList(Token key) const {
 }
 
 Status InMemoryInvertedIndex::ReadList(const ListMeta& meta,
-                                       std::vector<PostedWindow>* out) {
+                                       std::vector<PostedWindow>* out,
+                                       uint64_t* io_bytes) {
   const PostedWindow* begin = windows_.data() + meta.list_offset;
   out->insert(out->end(), begin, begin + meta.count);
-  bytes_served_ += meta.count * sizeof(PostedWindow);
+  const uint64_t bytes = meta.count * sizeof(PostedWindow);
+  bytes_served_.fetch_add(bytes, std::memory_order_relaxed);
+  if (io_bytes != nullptr) *io_bytes += bytes;
   return Status::OK();
 }
 
 Status InMemoryInvertedIndex::ReadWindowsForText(
-    const ListMeta& meta, TextId text, std::vector<PostedWindow>* out) {
+    const ListMeta& meta, TextId text, std::vector<PostedWindow>* out,
+    uint64_t* io_bytes) {
   const PostedWindow* begin = windows_.data() + meta.list_offset;
   const PostedWindow* end = begin + meta.count;
   // Lists are sorted by (text, l): binary search the text's run.
@@ -67,7 +71,9 @@ Status InMemoryInvertedIndex::ReadWindowsForText(
       lo, end, text,
       [](TextId t, const PostedWindow& w) { return t < w.text; });
   out->insert(out->end(), lo, hi);
-  bytes_served_ += static_cast<uint64_t>(hi - lo) * sizeof(PostedWindow);
+  const uint64_t bytes = static_cast<uint64_t>(hi - lo) * sizeof(PostedWindow);
+  bytes_served_.fetch_add(bytes, std::memory_order_relaxed);
+  if (io_bytes != nullptr) *io_bytes += bytes;
   return Status::OK();
 }
 

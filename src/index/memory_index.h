@@ -1,6 +1,7 @@
 #ifndef NDSS_INDEX_MEMORY_INDEX_H_
 #define NDSS_INDEX_MEMORY_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -29,15 +30,21 @@ class InMemoryInvertedIndex : public InvertedListSource {
                         uint32_t func, uint32_t t,
                         WindowGenMethod method = WindowGenMethod::kMonotonicStack);
 
+  using InvertedListSource::ReadList;
+  using InvertedListSource::ReadWindowsForText;
+
   const ListMeta* FindList(Token key) const override;
-  Status ReadList(const ListMeta& meta,
-                  std::vector<PostedWindow>* out) override;
+  Status ReadList(const ListMeta& meta, std::vector<PostedWindow>* out,
+                  uint64_t* io_bytes) override;
   Status ReadWindowsForText(const ListMeta& meta, TextId text,
-                            std::vector<PostedWindow>* out) override;
+                            std::vector<PostedWindow>* out,
+                            uint64_t* io_bytes) override;
   const std::vector<ListMeta>& directory() const override {
     return directory_;
   }
-  uint64_t bytes_read() const override { return bytes_served_; }
+  uint64_t bytes_read() const override {
+    return bytes_served_.load(std::memory_order_relaxed);
+  }
 
   /// Total windows in the index.
   uint64_t num_windows() const { return windows_.size(); }
@@ -45,7 +52,7 @@ class InMemoryInvertedIndex : public InvertedListSource {
  private:
   std::vector<PostedWindow> windows_;  // all lists, contiguous
   std::vector<ListMeta> directory_;    // list_offset = index into windows_
-  uint64_t bytes_served_ = 0;
+  std::atomic<uint64_t> bytes_served_{0};
 };
 
 }  // namespace ndss

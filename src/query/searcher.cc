@@ -1,19 +1,62 @@
 #include "query/searcher.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "index/inverted_index_reader.h"
 #include "index/memory_index.h"
 
 namespace ndss {
 
+/// Mid-query degradation state, shared by all threads querying one
+/// Searcher. A dropped function's source object stays alive (in-flight
+/// queries may still hold a pointer to it from their snapshot); it is just
+/// excluded from every snapshot taken after the drop.
+struct Searcher::DegradedState {
+  mutable std::mutex mu;
+  std::vector<char> dropped;  ///< 1 = function dropped after a read failure
+};
+
 Searcher::Searcher(IndexMeta meta, HashFamily family,
                    std::vector<std::unique_ptr<InvertedListSource>> sources)
-    : meta_(meta), family_(std::move(family)), sources_(std::move(sources)) {}
+    : meta_(meta),
+      family_(std::move(family)),
+      sources_(std::move(sources)),
+      degraded_(std::make_unique<DegradedState>()) {
+  degraded_->dropped.assign(sources_.size(), 0);
+}
+
+Searcher::Searcher(Searcher&&) noexcept = default;
+Searcher& Searcher::operator=(Searcher&&) noexcept = default;
+Searcher::~Searcher() = default;
+
+std::vector<InvertedListSource*> Searcher::SnapshotSources() const {
+  std::vector<InvertedListSource*> out(sources_.size(), nullptr);
+  std::lock_guard<std::mutex> lock(degraded_->mu);
+  for (size_t func = 0; func < sources_.size(); ++func) {
+    if (sources_[func] != nullptr && degraded_->dropped[func] == 0) {
+      out[func] = sources_[func].get();
+    }
+  }
+  return out;
+}
+
+void Searcher::DropFunc(uint32_t func, const Status& cause) {
+  std::lock_guard<std::mutex> lock(degraded_->mu);
+  if (func >= degraded_->dropped.size() || degraded_->dropped[func] != 0) {
+    return;  // concurrent query already dropped it
+  }
+  degraded_->dropped[func] = 1;
+  NDSS_LOG(kWarning) << "degraded search: dropping hash function " << func
+                     << ": " << cause.ToString();
+}
 
 Result<Searcher> Searcher::Open(const std::string& dir,
                                 const SearcherOptions& options) {
@@ -35,7 +78,19 @@ Result<Searcher> Searcher::Open(const std::string& dir,
       continue;
     }
     if (reader->func() != func) {
-      return Status::Corruption("inverted index func id mismatch in " + dir);
+      // The file passed its checksums but belongs to another slot (e.g. it
+      // was copied over the right file): its postings would be computed
+      // with the wrong hash function, so it is as unusable as a corrupt
+      // file and gets the same degraded treatment.
+      const Status mismatch = Status::Corruption(
+          "inverted index func id mismatch in " + path + ": file says " +
+          std::to_string(reader->func()) + ", slot is " +
+          std::to_string(func));
+      if (!options.allow_degraded) return mismatch;
+      NDSS_LOG(kWarning) << "degraded open: dropping " << path << ": "
+                         << mismatch.ToString();
+      sources.push_back(nullptr);
+      continue;
     }
     sources.push_back(
         std::make_unique<InvertedIndexReader>(std::move(*reader)));
@@ -68,28 +123,53 @@ Result<Searcher> Searcher::InMemory(const Corpus& corpus,
 }
 
 uint32_t Searcher::degraded_funcs() const {
+  std::lock_guard<std::mutex> lock(degraded_->mu);
   uint32_t dropped = 0;
-  for (const auto& source : sources_) {
-    if (source == nullptr) ++dropped;
+  for (size_t func = 0; func < sources_.size(); ++func) {
+    if (sources_[func] == nullptr || degraded_->dropped[func] != 0) ++dropped;
   }
   return dropped;
 }
 
 uint64_t Searcher::ListCountPercentile(double fraction) const {
   std::vector<uint64_t> counts;
-  for (const auto& source : sources_) {
+  uint64_t total_windows = 0;
+  for (InvertedListSource* source : SnapshotSources()) {
     if (source == nullptr) continue;
     for (const ListMeta& meta : source->directory()) {
       counts.push_back(meta.count);
+      total_windows += meta.count;
     }
   }
-  if (counts.empty()) return 0;
+  if (counts.empty() || total_windows == 0) return 0;
+  // The contract is about windows, not lists: under a Zipfian token
+  // distribution the few head lists hold most windows, so a list-counted
+  // percentile would put far more than `fraction` of the windows into the
+  // "long" class. Walk lists from the longest, accumulating their window
+  // counts, and stop at the first threshold whose strictly-longer lists
+  // hold at most `fraction` of all windows. Ties share a threshold, so the
+  // walk moves one distinct count value at a time.
   std::sort(counts.begin(), counts.end(), std::greater<uint64_t>());
-  const size_t num_long = static_cast<size_t>(
-      std::floor(fraction * static_cast<double>(counts.size())));
-  if (num_long == 0) return counts[0];  // nothing classified long
-  if (num_long >= counts.size()) return 0;
-  return counts[num_long];  // lists strictly longer than this are "long"
+  const double budget = fraction * static_cast<double>(total_windows);
+  uint64_t long_windows = 0;
+  size_t i = 0;
+  while (i < counts.size()) {
+    const uint64_t count = counts[i];
+    uint64_t group_windows = 0;
+    size_t j = i;
+    while (j < counts.size() && counts[j] == count) {
+      group_windows += count;
+      ++j;
+    }
+    if (static_cast<double>(long_windows + group_windows) > budget) {
+      // Classifying this group long would exceed the budget; with the
+      // threshold at `count`, the group (count == threshold) stays short.
+      return count;
+    }
+    long_windows += group_windows;
+    i = j;
+  }
+  return 0;  // every list can be long without exceeding the budget
 }
 
 namespace {
@@ -159,13 +239,55 @@ std::vector<MatchSpan> MergeRectangles(
 
 /// Per-batch cache of fully read pass-1 lists, keyed by (func, min-hash
 /// key). Bounded by a byte budget; lists beyond it are read directly.
+///
+/// Sharded for concurrent SearchBatch workers: a shard mutex only guards
+/// map lookup/insert, while each entry's std::once_flag serializes the
+/// actual disk read, preserving the batch guarantee that every distinct
+/// list is read at most once no matter how many threads want it. After
+/// call_once returns, the entry is immutable and read lock-free.
 struct Searcher::ListCache {
-  std::unordered_map<uint64_t, std::vector<PostedWindow>> lists;
-  uint64_t bytes = 0;
+  struct Entry {
+    std::once_flag once;
+    std::vector<PostedWindow> windows;
+    Status status = Status::OK();
+    bool stored = false;  ///< read succeeded and fit within the budget
+  };
+
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, std::shared_ptr<Entry>> map;
+  };
+  Shard shards[kShards];
+  std::atomic<uint64_t> bytes{0};
   uint64_t budget = 0;
 
   static uint64_t Key(uint32_t func, Token token) {
     return (static_cast<uint64_t>(func) << 32) | token;
+  }
+
+  std::shared_ptr<Entry> GetOrCreate(uint64_t key) {
+    Shard& shard = shards[key % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::shared_ptr<Entry>& entry = shard.map[key];
+    if (entry == nullptr) entry = std::make_shared<Entry>();
+    return entry;
+  }
+
+  /// Reserves `size` bytes of the budget; false when it does not fit.
+  bool Reserve(uint64_t size) {
+    uint64_t current = bytes.load(std::memory_order_relaxed);
+    while (current + size <= budget) {
+      if (bytes.compare_exchange_weak(current, current + size,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Unreserve(uint64_t size) {
+    bytes.fetch_sub(size, std::memory_order_relaxed);
   }
 };
 
@@ -176,15 +298,44 @@ Result<SearchResult> Searcher::Search(std::span<const Token> query,
 
 Result<std::vector<SearchResult>> Searcher::SearchBatch(
     const std::vector<std::vector<Token>>& queries,
-    const SearchOptions& options, uint64_t cache_budget_bytes) {
+    const SearchOptions& options, uint64_t cache_budget_bytes,
+    size_t num_threads) {
   ListCache cache;
   cache.budget = cache_budget_bytes;
-  std::vector<SearchResult> results;
-  results.reserve(queries.size());
-  for (const auto& query : queries) {
-    NDSS_ASSIGN_OR_RETURN(SearchResult result,
-                          SearchInternal(query, options, &cache));
-    results.push_back(std::move(result));
+  std::vector<SearchResult> results(queries.size());
+  if (num_threads <= 1 || queries.size() <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      NDSS_ASSIGN_OR_RETURN(results[i],
+                            SearchInternal(queries[i], options, &cache));
+    }
+    return results;
+  }
+  // Workers pull query indices from a shared counter, so a handful of
+  // expensive queries cannot strand the rest of the batch on one thread.
+  // Results land at their query's index; matches and spans are exactly
+  // those of the sequential loop.
+  std::vector<Status> statuses(queries.size(), Status::OK());
+  std::atomic<size_t> next{0};
+  const size_t workers = std::min(num_threads, queries.size());
+  ThreadPool pool(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.Submit([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= queries.size()) return;
+        Result<SearchResult> result =
+            SearchInternal(queries[i], options, &cache);
+        if (result.ok()) {
+          results[i] = std::move(*result);
+        } else {
+          statuses[i] = result.status();
+        }
+      }
+    });
+  }
+  pool.WaitIdle();
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
   }
   return results;
 }
@@ -194,25 +345,25 @@ Result<SearchResult> Searcher::SearchInternal(std::span<const Token> query,
                                               ListCache* cache) {
   constexpr uint32_t kNoFunc = 0xffffffffu;
   for (;;) {
+    // Each attempt runs over an immutable snapshot: a function dropped by
+    // a concurrent query mid-attempt does not change this attempt's view.
+    const std::vector<InvertedListSource*> snapshot = SnapshotSources();
     uint32_t failed_func = kNoFunc;
     Result<SearchResult> result =
-        SearchOnce(query, options, cache, &failed_func);
+        SearchOnce(query, options, cache, snapshot, &failed_func);
     if (result.ok() || failed_func == kNoFunc || !options.allow_degraded) {
       return result;
     }
     // A list failed its checksum mid-query. Drop the whole function — its
     // file is corrupt — and answer with the survivors at rescaled β.
-    NDSS_LOG(kWarning) << "degraded search: dropping hash function "
-                       << failed_func << ": "
-                       << result.status().ToString();
-    sources_[failed_func] = nullptr;
+    DropFunc(failed_func, result.status());
   }
 }
 
-Result<SearchResult> Searcher::SearchOnce(std::span<const Token> query,
-                                          const SearchOptions& options,
-                                          ListCache* cache,
-                                          uint32_t* failed_func) {
+Result<SearchResult> Searcher::SearchOnce(
+    std::span<const Token> query, const SearchOptions& options,
+    ListCache* cache, const std::vector<InvertedListSource*>& sources,
+    uint32_t* failed_func) {
   if (query.empty()) {
     return Status::InvalidArgument("query sequence is empty");
   }
@@ -220,7 +371,8 @@ Result<SearchResult> Searcher::SearchOnce(std::span<const Token> query,
     return Status::InvalidArgument("theta must be in (0, 1]");
   }
   const uint32_t k = meta_.k;
-  const uint32_t dropped = degraded_funcs();
+  const uint32_t dropped = static_cast<uint32_t>(
+      std::count(sources.begin(), sources.end(), nullptr));
   if (dropped > 0 && !options.allow_degraded) {
     return Status::Corruption(
         std::to_string(dropped) +
@@ -240,13 +392,9 @@ Result<SearchResult> Searcher::SearchOnce(std::span<const Token> query,
 
   SearchResult result;
   result.stats.degraded_funcs = dropped;
-  const uint64_t io_bytes_before = [&] {
-    uint64_t total = 0;
-    for (const auto& source : sources_) {
-      if (source != nullptr) total += source->bytes_read();
-    }
-    return total;
-  }();
+  // Per-query IO accumulator, threaded through every list read: a global
+  // bytes_read() delta would also count concurrent queries' reads.
+  uint64_t io_bytes = 0;
 
   Stopwatch cpu;
   const MinHashSketch sketch =
@@ -266,8 +414,8 @@ Result<SearchResult> Searcher::SearchOnce(std::span<const Token> query,
   std::vector<ListRef> long_lists;
   std::vector<const ListMeta*> metas(k, nullptr);
   for (uint32_t func = 0; func < k; ++func) {
-    if (sources_[func] == nullptr) continue;  // dropped (degraded)
-    metas[func] = sources_[func]->FindList(sketch.argmin_tokens[func]);
+    if (sources[func] == nullptr) continue;  // dropped (degraded)
+    metas[func] = sources[func]->FindList(sketch.argmin_tokens[func]);
     if (metas[func] == nullptr) ++result.stats.empty_lists;
   }
   if (options.use_prefix_filter && options.use_cost_model) {
@@ -303,10 +451,12 @@ Result<SearchResult> Searcher::SearchOnce(std::span<const Token> query,
               [](const ListRef& a, const ListRef& b) {
                 return a.meta->count < b.meta->count;
               });
-    while (long_lists.size() > beta - 1) {
-      short_lists.push_back(long_lists.front());
-      long_lists.erase(long_lists.begin());
-    }
+    // Demote the shortest overflowing lists in one splice (erasing the
+    // front one element at a time is quadratic in the overflow).
+    const size_t demote = long_lists.size() - (beta - 1);
+    short_lists.insert(short_lists.end(), long_lists.begin(),
+                       long_lists.begin() + demote);
+    long_lists.erase(long_lists.begin(), long_lists.begin() + demote);
   }
   result.stats.short_lists = static_cast<uint32_t>(short_lists.size());
   result.stats.long_lists = static_cast<uint32_t>(long_lists.size());
@@ -319,28 +469,37 @@ Result<SearchResult> Searcher::SearchOnce(std::span<const Token> query,
   for (const ListRef& ref : short_lists) {
     if (cache != nullptr) {
       const uint64_t key = ListCache::Key(ref.func, ref.meta->key);
-      auto it = cache->lists.find(key);
-      if (it != cache->lists.end()) {
-        windows.insert(windows.end(), it->second.begin(), it->second.end());
-        ++result.stats.cache_hits;
-        continue;
-      }
-      const uint64_t list_bytes = ref.meta->count * sizeof(PostedWindow);
-      if (cache->bytes + list_bytes <= cache->budget) {
-        std::vector<PostedWindow> list;
-        list.reserve(ref.meta->count);
-        Status read = sources_[ref.func]->ReadList(*ref.meta, &list);
-        if (!read.ok()) {
-          if (read.IsCorruption()) *failed_func = ref.func;
-          return read;
+      std::shared_ptr<ListCache::Entry> entry = cache->GetOrCreate(key);
+      bool loaded_here = false;
+      std::call_once(entry->once, [&] {
+        loaded_here = true;
+        const uint64_t list_bytes = ref.meta->count * sizeof(PostedWindow);
+        if (!cache->Reserve(list_bytes)) return;  // over budget: stays direct
+        entry->windows.reserve(ref.meta->count);
+        entry->status =
+            sources[ref.func]->ReadList(*ref.meta, &entry->windows, &io_bytes);
+        if (!entry->status.ok()) {
+          cache->Unreserve(list_bytes);
+          return;
         }
-        windows.insert(windows.end(), list.begin(), list.end());
-        cache->bytes += list_bytes;
-        cache->lists.emplace(key, std::move(list));
+        entry->stored = true;
+      });
+      if (!entry->status.ok()) {
+        // The loader (this query or another) hit a bad list; every query
+        // touching the entry fails the same way so degraded retries agree
+        // on which function to drop.
+        if (entry->status.IsCorruption()) *failed_func = ref.func;
+        return entry->status;
+      }
+      if (entry->stored) {
+        windows.insert(windows.end(), entry->windows.begin(),
+                       entry->windows.end());
+        if (!loaded_here) ++result.stats.cache_hits;
         continue;
       }
+      // Over budget: fall through to an uncached direct read.
     }
-    Status read = sources_[ref.func]->ReadList(*ref.meta, &windows);
+    Status read = sources[ref.func]->ReadList(*ref.meta, &windows, &io_bytes);
     if (!read.ok()) {
       if (read.IsCorruption()) *failed_func = ref.func;
       return read;
@@ -375,8 +534,8 @@ Result<SearchResult> Searcher::SearchOnce(std::span<const Token> query,
   for (TextGroup& group : candidates) {
     io.Restart();
     for (const ListRef& ref : long_lists) {
-      Status read = sources_[ref.func]->ReadWindowsForText(
-          *ref.meta, group.text, &group.windows);
+      Status read = sources[ref.func]->ReadWindowsForText(
+          *ref.meta, group.text, &group.windows, &io_bytes);
       if (!read.ok()) {
         if (read.IsCorruption()) *failed_func = ref.func;
         return read;
@@ -400,11 +559,7 @@ Result<SearchResult> Searcher::SearchOnce(std::span<const Token> query,
   }
   result.stats.cpu_seconds += cpu.ElapsedSeconds();
 
-  uint64_t io_bytes_after = 0;
-  for (const auto& source : sources_) {
-    if (source != nullptr) io_bytes_after += source->bytes_read();
-  }
-  result.stats.io_bytes = io_bytes_after - io_bytes_before;
+  result.stats.io_bytes = io_bytes;
   return result;
 }
 

@@ -116,7 +116,16 @@ struct SearchResult {
 ///                         searcher.Search(query_tokens, options));
 ///
 /// The searcher keeps the k inverted-index directories in memory and reads
-/// lists on demand. Not thread-safe; open one per thread.
+/// lists on demand through positional (pread-style) IO.
+///
+/// Thread-safety: once opened, Search and SearchBatch may be called from
+/// any number of threads on one Searcher, and SearchBatch itself fans
+/// queries out across an internal pool when `num_threads > 1`. Degraded-
+/// mode function drops are coordinated under a mutex: each query runs over
+/// an immutable snapshot of the currently healthy sources, and a dropped
+/// source stays alive (but unused) for the Searcher's lifetime so in-flight
+/// queries never race with its destruction. Moving a Searcher must not
+/// overlap with any in-flight query.
 class Searcher {
  public:
   /// Opens the index previously built into `dir`. Refuses a directory with
@@ -133,8 +142,10 @@ class Searcher {
   static Result<Searcher> InMemory(const Corpus& corpus,
                                    const IndexBuildOptions& options);
 
-  Searcher(Searcher&&) noexcept = default;
-  Searcher& operator=(Searcher&&) noexcept = default;
+  // Defined out of line: the destructor needs the complete DegradedState.
+  Searcher(Searcher&&) noexcept;
+  Searcher& operator=(Searcher&&) noexcept;
+  ~Searcher();
 
   /// Finds all sequences of the indexed corpus sharing at least ⌈kθ⌉
   /// min-hash values with `query`. Output sequences are clamped to length
@@ -146,11 +157,20 @@ class Searcher {
   /// skew makes nearby queries hit the same min-hash keys, so each
   /// distinct list is read from disk at most once per batch (the workload
   /// shape of the Section 5 evaluation, which issues one query per sliding
-  /// window). Results are identical to per-query Search.
+  /// window). With `num_threads > 1` the queries are partitioned across an
+  /// internal thread pool; matches and spans are identical to the
+  /// sequential run and returned in input order. Per-query SearchStats
+  /// attribute each list read to the query that performed it (a cached
+  /// list's bytes are charged to the loader; later users count a
+  /// cache_hit), so aggregate batch cost is the element-wise sum of the
+  /// per-query stats regardless of thread count or scheduling.
+  ///
+  /// On error the whole batch fails; with several failing queries the
+  /// status of the lowest-index one is returned.
   Result<std::vector<SearchResult>> SearchBatch(
       const std::vector<std::vector<Token>>& queries,
       const SearchOptions& options,
-      uint64_t cache_budget_bytes = 256ull << 20);
+      uint64_t cache_budget_bytes = 256ull << 20, size_t num_threads = 1);
 
   /// Build-time parameters of the open index.
   const IndexMeta& meta() const { return meta_; }
@@ -165,24 +185,36 @@ class Searcher {
 
  private:
   struct ListCache;
+  struct DegradedState;
 
   Searcher(IndexMeta meta, HashFamily family,
            std::vector<std::unique_ptr<InvertedListSource>> sources);
+
+  /// Raw pointers to the sources healthy right now (nullptr per dropped
+  /// function). Pointees outlive every query: sources are never destroyed
+  /// after Open, only flagged dropped.
+  std::vector<InvertedListSource*> SnapshotSources() const;
+
+  /// Flags `func` dropped (idempotent; logs on the first drop).
+  void DropFunc(uint32_t func, const Status& cause);
 
   Result<SearchResult> SearchInternal(std::span<const Token> query,
                                       const SearchOptions& options,
                                       ListCache* cache);
 
-  /// One search attempt over the currently healthy sources. On a list
-  /// checksum failure, reports the offending function via `failed_func` so
+  /// One search attempt over the `sources` snapshot. On a list checksum
+  /// failure, reports the offending function via `failed_func` so
   /// SearchInternal can drop it and retry when degradation is allowed.
-  Result<SearchResult> SearchOnce(std::span<const Token> query,
-                                  const SearchOptions& options,
-                                  ListCache* cache, uint32_t* failed_func);
+  Result<SearchResult> SearchOnce(
+      std::span<const Token> query, const SearchOptions& options,
+      ListCache* cache, const std::vector<InvertedListSource*>& sources,
+      uint32_t* failed_func);
 
   IndexMeta meta_;
   HashFamily family_;
   std::vector<std::unique_ptr<InvertedListSource>> sources_;
+  /// Heap-allocated so Searcher stays movable (holds a mutex).
+  std::unique_ptr<DegradedState> degraded_;
 };
 
 /// Merges all rectangles of `rectangles` (any text order) into disjoint

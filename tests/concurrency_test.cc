@@ -1,15 +1,22 @@
 // Concurrency: one searcher per thread over the same index files must
-// produce identical results; parallel index builds into distinct
-// directories must not interfere.
+// produce identical results; a SHARED searcher must be safe to call from
+// many threads (including through parallel SearchBatch); parallel index
+// builds into distinct directories must not interfere. These tests are
+// written to run under TSan (cmake -DNDSS_SANITIZE=thread).
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/coding.h"
+#include "common/file_io.h"
 #include "corpusgen/synthetic.h"
 #include "index/index_builder.h"
+#include "index/index_format.h"
+#include "index/index_meta.h"
 #include "query/searcher.h"
 
 namespace ndss {
@@ -23,6 +30,40 @@ class ConcurrencyTest : public ::testing::Test {
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Flattens one result into a comparable fingerprint string.
+  static std::string Fingerprint(const SearchResult& result) {
+    std::string fp;
+    for (const MatchSpan& span : result.spans) {
+      fp += std::to_string(span.text) + ":" + std::to_string(span.begin) +
+            "-" + std::to_string(span.end) + "/" +
+            std::to_string(span.collisions) + ";";
+    }
+    fp += "|";
+    for (const TextMatchRectangle& r : result.rectangles) {
+      fp += std::to_string(r.text) + ":" + std::to_string(r.rect.x_begin) +
+            "," + std::to_string(r.rect.x_end) + "," +
+            std::to_string(r.rect.y_begin) + "," +
+            std::to_string(r.rect.y_end) + "/" +
+            std::to_string(r.rect.collisions) + ";";
+    }
+    return fp;
+  }
+
+  /// XORs the posting/zone region of an inverted-index file so it still
+  /// opens but every list read fails its CRC (mirrors the failure-injection
+  /// suite's helper).
+  static void CorruptAllLists(const std::string& path) {
+    auto data = ReadFileToString(path);
+    ASSERT_TRUE(data.ok());
+    const uint64_t directory_offset = DecodeFixed64(
+        data->data() + data->size() - index_format::kFooterSize + 16);
+    ASSERT_LE(directory_offset, data->size());
+    for (uint64_t i = index_format::kHeaderSize; i < directory_offset; ++i) {
+      (*data)[i] ^= 0x5a;
+    }
+    ASSERT_TRUE(WriteStringToFile(path, *data).ok());
+  }
 
   std::string dir_;
 };
@@ -82,6 +123,158 @@ TEST_F(ConcurrencyTest, OneSearcherPerThreadAgrees) {
   for (int th = 0; th < 4; ++th) {
     EXPECT_EQ(failures[th], 0) << "thread " << th;
   }
+}
+
+TEST_F(ConcurrencyTest, SharedSearcherConcurrentSearchAgrees) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 100;
+  corpus_options.vocab_size = 800;
+  corpus_options.plant_rate = 0.3;
+  corpus_options.seed = 93;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  IndexBuildOptions build;
+  build.k = 8;
+  build.t = 20;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_, build).ok());
+
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  std::vector<std::vector<Token>> queries;
+  Rng rng(5);
+  for (int q = 0; q < 16; ++q) {
+    const TextId id = static_cast<TextId>(rng.Uniform(100));
+    const auto text = sc.corpus.text(id);
+    const uint32_t length =
+        std::min<uint32_t>(40, static_cast<uint32_t>(text.size()));
+    queries.push_back(PerturbSequence(text, 0, length, 0.05, 800, rng));
+  }
+  SearchOptions options;
+  options.theta = 0.7;
+  std::vector<std::string> expected;
+  for (const auto& query : queries) {
+    auto result = searcher->Search(query, options);
+    ASSERT_TRUE(result.ok());
+    expected.push_back(Fingerprint(*result));
+  }
+
+  // 4 threads hammering ONE searcher with interleaved queries.
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(4, 0);
+  for (int th = 0; th < 4; ++th) {
+    threads.emplace_back([&, th] {
+      for (int round = 0; round < 3; ++round) {
+        for (size_t q = th % queries.size(); q < queries.size(); ++q) {
+          auto result = searcher->Search(queries[q], options);
+          if (!result.ok() || Fingerprint(*result) != expected[q]) {
+            ++mismatches[th];
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int th = 0; th < 4; ++th) {
+    EXPECT_EQ(mismatches[th], 0) << "thread " << th;
+  }
+}
+
+TEST_F(ConcurrencyTest, ParallelSearchBatchMatchesSequential) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 100;
+  corpus_options.vocab_size = 300;  // heavy key sharing across queries
+  corpus_options.zipf_exponent = 1.2;
+  corpus_options.plant_rate = 0.4;
+  corpus_options.seed = 94;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  IndexBuildOptions build;
+  build.k = 8;
+  build.t = 15;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_, build).ok());
+
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  std::vector<std::vector<Token>> queries;
+  Rng rng(6);
+  for (int q = 0; q < 32; ++q) {
+    const TextId id = static_cast<TextId>(rng.Uniform(100));
+    const auto text = sc.corpus.text(id);
+    const uint32_t length =
+        std::min<uint32_t>(30, static_cast<uint32_t>(text.size()));
+    queries.push_back(PerturbSequence(text, 0, length, 0.1, 300, rng));
+  }
+  SearchOptions options;
+  options.theta = 0.6;
+
+  auto sequential = searcher->SearchBatch(queries, options);
+  ASSERT_TRUE(sequential.ok());
+  for (size_t threads : {2u, 4u, 8u}) {
+    auto parallel =
+        searcher->SearchBatch(queries, options, 256ull << 20, threads);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    ASSERT_EQ(parallel->size(), sequential->size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(Fingerprint((*parallel)[q]), Fingerprint((*sequential)[q]))
+          << "threads=" << threads << " q=" << q;
+    }
+    // Stats attribution is scheduling-dependent per query, but the batch
+    // totals are not: each distinct list is loaded exactly once either way.
+    uint64_t seq_io = 0, par_io = 0, seq_hits = 0, par_hits = 0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      seq_io += (*sequential)[q].stats.io_bytes;
+      par_io += (*parallel)[q].stats.io_bytes;
+      seq_hits += (*sequential)[q].stats.cache_hits;
+      par_hits += (*parallel)[q].stats.cache_hits;
+    }
+    EXPECT_EQ(par_io, seq_io) << "threads=" << threads;
+    EXPECT_EQ(par_hits, seq_hits) << "threads=" << threads;
+  }
+}
+
+TEST_F(ConcurrencyTest, DegradedDropUnderParallelBatchMatchesSmallerIndex) {
+  // Mid-batch degradation from many worker threads at once: every query
+  // must still answer exactly like an index built with k-1 functions, and
+  // the corrupt function must be dropped exactly once.
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 60;
+  corpus_options.vocab_size = 200;
+  corpus_options.seed = 95;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  IndexBuildOptions build;
+  build.k = 4;
+  build.t = 15;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/idx", build).ok());
+  build.k = 3;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/idx3", build).ok());
+
+  std::vector<std::vector<Token>> queries;
+  for (TextId text = 0; text < 12; ++text) {
+    const auto tokens = sc.corpus.text(text);
+    queries.emplace_back(tokens.begin(), tokens.begin() + 40);
+  }
+  SearchOptions options;
+  options.theta = 0.5;
+
+  auto small = Searcher::Open(dir_ + "/idx3");
+  ASSERT_TRUE(small.ok());
+  auto expected = small->SearchBatch(queries, options);
+  ASSERT_TRUE(expected.ok());
+
+  CorruptAllLists(IndexMeta::InvertedIndexPath(dir_ + "/idx", 3));
+  SearcherOptions open_options;
+  open_options.allow_degraded = true;
+  auto searcher = Searcher::Open(dir_ + "/idx", open_options);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  ASSERT_EQ(0u, searcher->degraded_funcs());  // nothing dropped yet
+
+  options.allow_degraded = true;
+  auto batch = searcher->SearchBatch(queries, options, 256ull << 20, 4);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), expected->size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(Fingerprint((*batch)[q]), Fingerprint((*expected)[q]))
+        << "q=" << q;
+  }
+  EXPECT_EQ(1u, searcher->degraded_funcs());
 }
 
 TEST_F(ConcurrencyTest, ParallelBuildsIntoSeparateDirectories) {

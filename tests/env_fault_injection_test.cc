@@ -309,6 +309,82 @@ TEST_F(EnvFaultInjectionTest, CorruptedIndexAppendIsDetectedByChecksums) {
   EXPECT_TRUE(detected) << "a flipped bit survived every checksum";
 }
 
+TEST_F(EnvFaultInjectionTest, CorruptedAppendNeverYieldsSilentZoneProbes) {
+  // Zone probes read only a slice of a list, so they cannot always verify
+  // the full-list CRC. The contract after the probe hardening: a probe over
+  // a corrupted file either (a) returns Corruption itself, (b) returns the
+  // same windows as a clean index, or (c) differs — but then the full-list
+  // read of that list MUST flag Corruption, so an fsck-style scan always
+  // catches what a probe might miss. No fourth outcome.
+  build_.zone_step = 4;
+  build_.zone_threshold = 16;  // plenty of zoned lists at vocab 150
+
+  const std::string clean_idx = dir_ + "/clean";
+  ASSERT_TRUE(BuildIndexInMemory(sc_.corpus, clean_idx, build_).ok());
+
+  const std::string idx = dir_ + "/idx";
+  fault_->CorruptNextAppend();
+  const auto build = BuildIndexInMemory(sc_.corpus, idx, build_);
+  if (!build.ok()) return;  // flagged before publishing — fine
+
+  auto meta = IndexMeta::Load(idx);
+  ASSERT_TRUE(meta.ok());
+  bool detected = false;
+  size_t zoned_lists = 0;
+  for (uint32_t func = 0; func < meta->k; ++func) {
+    auto clean =
+        InvertedIndexReader::Open(IndexMeta::InvertedIndexPath(clean_idx, func));
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    auto dirty =
+        InvertedIndexReader::Open(IndexMeta::InvertedIndexPath(idx, func));
+    if (!dirty.ok()) {
+      detected = true;
+      continue;
+    }
+    for (const ListMeta& clean_list : clean->directory()) {
+      const ListMeta* dirty_list = dirty->FindList(clean_list.key);
+      if (dirty_list == nullptr || dirty_list->count != clean_list.count) {
+        detected = true;  // directory drift is only reachable via corruption
+        continue;
+      }
+      std::vector<PostedWindow> full;
+      const bool full_read_corrupt =
+          !dirty->ReadList(*dirty_list, &full).ok();
+      detected = detected || full_read_corrupt;
+      if (dirty_list->zone_count == 0) continue;
+      ++zoned_lists;
+      for (TextId text = 0; text < meta->num_texts; ++text) {
+        std::vector<PostedWindow> expected, got;
+        ASSERT_TRUE(
+            clean->ReadWindowsForText(clean_list, text, &expected).ok());
+        const Status probe =
+            dirty->ReadWindowsForText(*dirty_list, text, &got);
+        if (!probe.ok()) {
+          EXPECT_TRUE(probe.IsCorruption()) << probe.ToString();
+          detected = true;
+          continue;
+        }
+        const bool same =
+            got.size() == expected.size() &&
+            std::equal(got.begin(), got.end(), expected.begin(),
+                       [](const PostedWindow& a, const PostedWindow& b) {
+                         return a.text == b.text && a.l == b.l &&
+                                a.c == b.c && a.r == b.r;
+                       });
+        if (!same) {
+          detected = true;
+          EXPECT_TRUE(full_read_corrupt)
+              << "silent probe divergence invisible to a full-list read "
+                 "(func " << func << ", key " << clean_list.key
+              << ", text " << text << ")";
+        }
+      }
+    }
+  }
+  ASSERT_GT(zoned_lists, 0u) << "fixture produced no zoned lists";
+  EXPECT_TRUE(detected) << "a flipped bit survived every checksum and probe";
+}
+
 TEST_F(EnvFaultInjectionTest, CorruptedCorpusAppendIsDetectedByChecksums) {
   const std::string path = dir_ + "/corpus.ndc";
   auto writer = CorpusFileWriter::Create(path);

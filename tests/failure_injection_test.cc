@@ -14,6 +14,7 @@
 #include "index/index_format.h"
 #include "index/index_merger.h"
 #include "index/inverted_index_reader.h"
+#include "index/inverted_index_writer.h"
 #include "query/searcher.h"
 #include "text/corpus_file.h"
 #include "tokenizer/bpe_model.h"
@@ -387,6 +388,133 @@ TEST_F(FailureInjectionTest, CorruptIndexWithoutOptInFailsWithHint) {
   auto result = searcher->Search(query, options);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsCorruption()) << result.status().ToString();
+}
+
+/// Writes a raw-format index file with a single zoned list under key 7.
+/// Each window's text is produced by `text_of(i)`; l/c/r are i+5/i+10/i+20.
+/// Returns the absolute file offset of window `i` via list_offset + 16 * i.
+template <typename TextOf>
+void WriteSingleListFile(const std::string& path, int num_windows,
+                         TextOf text_of) {
+  auto writer = InvertedIndexWriter::Create(path, /*func=*/0, /*zone_step=*/4,
+                                            /*zone_threshold=*/8,
+                                            index_format::kFormatRaw);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE(writer->BeginList(7).ok());
+  for (int i = 0; i < num_windows; ++i) {
+    PostedWindow w;
+    w.text = text_of(i);
+    w.l = static_cast<uint32_t>(i) + 5;
+    w.c = static_cast<uint32_t>(i) + 10;
+    w.r = static_cast<uint32_t>(i) + 20;
+    ASSERT_TRUE(writer->AddWindow(w).ok());
+  }
+  ASSERT_TRUE(writer->Finish().ok());
+}
+
+TEST_F(FailureInjectionTest, ZoneProbeDetectsOutOfOrderWindows) {
+  // Raw zone probes used to trust the posting bytes blindly. A flipped text
+  // id that breaks the (text, l) sort order must now surface as Corruption
+  // from the probe itself, not just from a full-list read.
+  const std::string path = dir_ + "/probe.ndx";
+  WriteSingleListFile(path, 100,
+                      [](int i) { return static_cast<TextId>(i); });
+  {
+    auto reader = InvertedIndexReader::Open(path);
+    ASSERT_TRUE(reader.ok());
+    const ListMeta* meta = reader->FindList(7);
+    ASSERT_NE(meta, nullptr);
+    ASSERT_GT(meta->zone_count, 0u) << "list must be zoned for this test";
+    // Rewrite window 50's text id (4 bytes little-endian) to 0: texts now
+    // run ... 48, 49, 0, 51 ... inside one zone segment.
+    for (int b = 0; b < 4; ++b) {
+      PatchByte(path, meta->list_offset + 50 * sizeof(PostedWindow) + b, 0);
+    }
+  }
+  auto reader = InvertedIndexReader::Open(path);
+  ASSERT_TRUE(reader.ok());  // directory/footer untouched
+  const ListMeta* meta = reader->FindList(7);
+  ASSERT_NE(meta, nullptr);
+  std::vector<PostedWindow> out;
+  auto probe = reader->ReadWindowsForText(*meta, /*text=*/50, &out);
+  EXPECT_TRUE(probe.IsCorruption()) << probe.ToString();
+  out.clear();
+  EXPECT_TRUE(reader->ReadList(*meta, &out).IsCorruption());
+}
+
+TEST_F(FailureInjectionTest, ZoneProbeDetectsInvalidWindowBounds) {
+  const std::string path = dir_ + "/probe.ndx";
+  WriteSingleListFile(path, 100,
+                      [](int i) { return static_cast<TextId>(i); });
+  auto clean = InvertedIndexReader::Open(path);
+  ASSERT_TRUE(clean.ok());
+  const ListMeta* meta = clean->FindList(7);
+  ASSERT_NE(meta, nullptr);
+  ASSERT_GT(meta->zone_count, 0u);
+  // Set the high byte of window 50's l field: l becomes > c, which no
+  // writer can produce (windows always satisfy l <= c <= r).
+  PatchByte(path, meta->list_offset + 50 * sizeof(PostedWindow) + 7, 0x7f);
+  auto reader = InvertedIndexReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  const ListMeta* reloaded = reader->FindList(7);
+  ASSERT_NE(reloaded, nullptr);
+  std::vector<PostedWindow> out;
+  auto probe = reader->ReadWindowsForText(*reloaded, /*text=*/50, &out);
+  EXPECT_TRUE(probe.IsCorruption()) << probe.ToString();
+}
+
+TEST_F(FailureInjectionTest, ZoneProbeFromListStartVerifiesFullCrc) {
+  // All windows share one text, so a probe for it scans the entire list
+  // from offset 0 and must verify the full-list CRC. The corruption below
+  // keeps every per-window invariant intact (r only grows), so the CRC is
+  // the only line of defense — exactly the check the old probe skipped.
+  const std::string path = dir_ + "/probe.ndx";
+  WriteSingleListFile(path, 100, [](int) { return TextId{7}; });
+  auto clean = InvertedIndexReader::Open(path);
+  ASSERT_TRUE(clean.ok());
+  const ListMeta* meta = clean->FindList(7);
+  ASSERT_NE(meta, nullptr);
+  ASSERT_GT(meta->zone_count, 0u);
+  PatchByte(path, meta->list_offset + 80 * sizeof(PostedWindow) + 15, 0x01);
+  auto reader = InvertedIndexReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  const ListMeta* reloaded = reader->FindList(7);
+  ASSERT_NE(reloaded, nullptr);
+  std::vector<PostedWindow> out;
+  auto probe = reader->ReadWindowsForText(*reloaded, /*text=*/7, &out);
+  EXPECT_TRUE(probe.IsCorruption()) << probe.ToString();
+}
+
+TEST_F(FailureInjectionTest, DegradedOpenDropsFuncIdMismatchAndMatchesSmallerIndex) {
+  // An index file whose embedded function id disagrees with its file name
+  // (e.g. files shuffled by a bad restore) answers queries with the WRONG
+  // hash function. Strict open must refuse; degraded open must drop the
+  // mismatched file and answer exactly like a k-1 index.
+  IndexBuildOptions build;
+  build.k = 3;
+  build.t = 15;
+  ASSERT_TRUE(BuildIndexInMemory(sc_.corpus, dir_ + "/idx3", build).ok());
+  auto small = Searcher::Open(dir_ + "/idx3");
+  ASSERT_TRUE(small.ok());
+  const auto expected = RunQueries(*small, /*degraded=*/false);
+
+  // Overwrite function 3's file with function 2's: checksums are all
+  // valid, only the header's func id betrays the swap.
+  std::filesystem::copy_file(
+      IndexMeta::InvertedIndexPath(dir_ + "/idx", 2),
+      IndexMeta::InvertedIndexPath(dir_ + "/idx", 3),
+      std::filesystem::copy_options::overwrite_existing);
+
+  auto strict = Searcher::Open(dir_ + "/idx");
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsCorruption()) << strict.status().ToString();
+
+  SearcherOptions degraded;
+  degraded.allow_degraded = true;
+  auto searcher = Searcher::Open(dir_ + "/idx", degraded);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  EXPECT_EQ(1u, searcher->degraded_funcs());
+  EXPECT_EQ(expected, RunQueries(*searcher, /*degraded=*/true));
 }
 
 TEST_F(FailureInjectionTest, SearchAfterListRegionCorruptionIsContained) {

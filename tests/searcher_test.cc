@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <vector>
 
 #include "corpusgen/synthetic.h"
 #include "index/index_builder.h"
+#include "index/index_meta.h"
+#include "index/inverted_index_reader.h"
 
 namespace ndss {
 namespace {
@@ -196,6 +199,55 @@ TEST_F(SearcherTest, ListCountPercentileMonotone) {
   const uint64_t p5 = searcher->ListCountPercentile(0.05);
   const uint64_t p20 = searcher->ListCountPercentile(0.20);
   EXPECT_GE(p5, p20) << "classifying more lists long lowers the threshold";
+}
+
+TEST_F(SearcherTest, ListCountPercentileWeightsByWindows) {
+  BuildFixture();
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+
+  // Gather every list's window count straight from the index files.
+  std::vector<uint64_t> counts;
+  uint64_t total_windows = 0;
+  for (uint32_t f = 0; f < searcher->meta().k; ++f) {
+    auto reader =
+        InvertedIndexReader::Open(IndexMeta::InvertedIndexPath(dir_, f));
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    for (const ListMeta& meta : reader->directory()) {
+      counts.push_back(meta.count);
+      total_windows += meta.count;
+    }
+  }
+  ASSERT_GT(total_windows, 0u);
+  // The Zipfian fixture must actually have skew, or the test is vacuous.
+  ASSERT_GT(*std::max_element(counts.begin(), counts.end()), 1u);
+
+  // Brute force: the percentile is the smallest threshold T (either 0 or
+  // one of the observed counts) such that the windows living in lists
+  // strictly longer than T are at most fraction * total. The old
+  // implementation ranked by list count alone, which under Zipfian skew
+  // puts far more than `fraction` of the windows in the long class.
+  std::vector<uint64_t> candidates = counts;
+  candidates.push_back(0);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (double fraction : {0.0, 0.05, 0.2, 0.5, 1.0}) {
+    uint64_t expected = 0;
+    for (uint64_t t : candidates) {
+      uint64_t above = 0;
+      for (uint64_t c : counts) {
+        if (c > t) above += c;
+      }
+      if (static_cast<double>(above) <=
+          fraction * static_cast<double>(total_windows)) {
+        expected = t;
+        break;
+      }
+    }
+    EXPECT_EQ(searcher->ListCountPercentile(fraction), expected)
+        << "fraction " << fraction;
+  }
 }
 
 TEST_F(SearcherTest, MergeCanBeDisabled) {

@@ -7,7 +7,11 @@
 //   ndss_query --index=/data/idx --corpus=/data/corpus.crp \
 //              --text=12 --begin=100 --len=64 [--noise=0.05]
 //   ndss_query --index=/data/idx --corpus=/data/corpus.crp --random=10
+//
+// --random mode runs the whole set through SearchBatch (shared list cache);
+// --threads=N fans the batch out across N worker threads.
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -57,7 +61,8 @@ int main(int argc, char** argv) {
     ndss::tools::Die(
         "usage: ndss_query --index=DIR (--tokens=a,b,c | --corpus=FILE "
         "(--text=ID --begin=B --len=L [--noise=P] | --random=N)) "
-        "[--theta=T] [--no-prefix-filter] [--cost-model] [--quiet]");
+        "[--theta=T] [--threads=N] [--no-prefix-filter] [--cost-model] "
+        "[--quiet]");
   }
   auto searcher = ndss::Searcher::Open(index_dir);
   if (!searcher.ok()) ndss::tools::Die(searcher.status().ToString());
@@ -94,7 +99,10 @@ int main(int argc, char** argv) {
     const int count = static_cast<int>(flags.GetInt("random", 10));
     const uint32_t len = static_cast<uint32_t>(flags.GetInt("len", 64));
     const double noise = flags.GetDouble("noise", 0.05);
+    const size_t threads =
+        static_cast<size_t>(std::max<int64_t>(1, flags.GetInt("threads", 1)));
     ndss::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+    std::vector<std::vector<ndss::Token>> queries;
     for (int i = 0; i < count; ++i) {
       const ndss::TextId id =
           static_cast<ndss::TextId>(rng.Uniform(corpus->num_texts()));
@@ -113,8 +121,30 @@ int main(int argc, char** argv) {
           token = static_cast<ndss::Token>(rng.Uniform(1 << 20));
         }
       }
-      RunOne(*searcher, query, options, verbose);
+      queries.push_back(std::move(query));
     }
+    ndss::Stopwatch watch;
+    auto batch = searcher->SearchBatch(queries, options,
+                                       /*cache_budget_bytes=*/256ull << 20,
+                                       threads);
+    if (!batch.ok()) ndss::tools::Die(batch.status().ToString());
+    const double elapsed = watch.ElapsedMillis();
+    uint64_t spans = 0, io_bytes = 0, cache_hits = 0;
+    for (const ndss::SearchResult& result : *batch) {
+      spans += result.spans.size();
+      io_bytes += result.stats.io_bytes;
+      cache_hits += result.stats.cache_hits;
+      if (verbose) {
+        std::printf("query (%zu tokens): %zu matching spans (io %.0f KB)\n",
+                    queries[&result - batch->data()].size(),
+                    result.spans.size(), result.stats.io_bytes / 1e3);
+      }
+    }
+    std::printf("batch: %zu queries, %llu spans, %.3f ms total "
+                "(%zu threads, io %.0f KB, %llu cache hits)\n",
+                queries.size(), static_cast<unsigned long long>(spans),
+                elapsed, threads, io_bytes / 1e3,
+                static_cast<unsigned long long>(cache_hits));
     return 0;
   }
 
