@@ -2,13 +2,34 @@
 // query per sliding window — thousands of queries against the same index.
 // SearchBatch shares a pass-1 list cache across the batch, so Zipf-skewed
 // hot lists are read once instead of once per query.
+//
+// The second section measures governed batches: per-query deadlines trade
+// completeness for tail latency (p99 is bounded by the deadline plus one
+// checkpoint interval), and an aggregate batch deadline sheds the queue
+// tail instead of blocking on it.
 
+#include <algorithm>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
 #include "index/index_builder.h"
+
+namespace {
+
+/// Linear-interpolated percentile of an unsorted sample (q in [0, 1]).
+double Percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * (sample.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sample.size() - 1);
+  return sample[lo] + (pos - lo) * (sample[hi] - sample[lo]);
+}
+
+}  // namespace
 
 int main() {
   using namespace ndss;
@@ -81,5 +102,58 @@ int main() {
   }
   std::printf("identical span totals across all modes: %s\n",
               spans_agree ? "yes" : "NO (BUG)");
-  return spans_agree ? 0 : 1;
+
+  // Governed batches: sweep per-query deadlines, then cap the whole batch.
+  bench::PrintHeader(
+      "Governed batch (4 threads): deadline vs tail latency and shed rate",
+      "latency percentiles over completed queries (shed ones excluded)");
+  std::printf("%-22s %10s %10s %10s %8s %8s %8s %9s\n", "limits", "p50 ms",
+              "p95 ms", "p99 ms", "ok", "dl_exc", "shed", "shed rate");
+  struct Setting {
+    const char* name;
+    int64_t query_micros;
+    int64_t batch_micros;
+  };
+  const Setting settings[] = {
+      {"none", 0, 0},
+      {"query 10ms", 10'000, 0},
+      {"query 1ms", 1'000, 0},
+      {"query 0.2ms", 200, 0},
+      {"batch 20ms", 0, 20'000},
+  };
+  bool governed_ok = true;
+  for (const Setting& setting : settings) {
+    BatchLimits limits;
+    limits.query_timeout_micros = setting.query_micros;
+    limits.batch_timeout_micros = setting.batch_micros;
+    auto governed = searcher->SearchBatch(queries, options, limits,
+                                          /*cache_budget_bytes=*/256ull << 20,
+                                          /*num_threads=*/4);
+    if (!governed.ok()) return 1;
+    std::vector<double> latencies_ms;
+    for (size_t i = 0; i < governed->results.size(); ++i) {
+      // A shed query never ran; its zero wall time would skew the tail.
+      if (governed->statuses[i].IsCancelled()) continue;
+      latencies_ms.push_back(governed->results[i].stats.wall_seconds * 1e3);
+    }
+    const BatchStats& stats = governed->stats;
+    governed_ok = governed_ok &&
+                  stats.queries_ok + stats.queries_deadline_exceeded +
+                          stats.queries_shed +
+                          stats.queries_resource_exhausted +
+                          stats.queries_failed ==
+                      queries.size();
+    std::printf("%-22s %10.3f %10.3f %10.3f %8llu %8llu %8llu %8.1f%%\n",
+                setting.name, Percentile(latencies_ms, 0.50),
+                Percentile(latencies_ms, 0.95),
+                Percentile(latencies_ms, 0.99),
+                static_cast<unsigned long long>(stats.queries_ok),
+                static_cast<unsigned long long>(
+                    stats.queries_deadline_exceeded),
+                static_cast<unsigned long long>(stats.queries_shed),
+                100.0 * stats.queries_shed / queries.size());
+  }
+  std::printf("governance counters partition every batch: %s\n",
+              governed_ok ? "yes" : "NO (BUG)");
+  return spans_agree && governed_ok ? 0 : 1;
 }

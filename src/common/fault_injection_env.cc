@@ -86,12 +86,12 @@ class FaultRandomAccessFile : public RandomAccessFile {
 
   Result<size_t> Read(void* out, size_t size) override {
     NDSS_RETURN_NOT_OK(env_->CountOp("read " + path_));
-    return base_->Read(out, size);
+    return base_->Read(out, ClampSize(size));
   }
 
   Result<size_t> ReadAt(uint64_t offset, void* out, size_t size) override {
     NDSS_RETURN_NOT_OK(env_->CountOp("pread " + path_));
-    return base_->ReadAt(offset, out, size);
+    return base_->ReadAt(offset, out, ClampSize(size));
   }
 
   Status Seek(uint64_t offset) override {
@@ -102,6 +102,12 @@ class FaultRandomAccessFile : public RandomAccessFile {
   uint64_t size() const override { return base_->size(); }
 
  private:
+  /// Under SetShortReads, deliver only half of each multi-byte request.
+  size_t ClampSize(size_t size) const {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    return env_->short_reads_ && size > 1 ? size / 2 : size;
+  }
+
   FaultInjectionEnv* env_;
   std::string path_;
   std::unique_ptr<RandomAccessFile> base_;
@@ -134,6 +140,11 @@ void FaultInjectionEnv::SetShortAppends(bool on) {
   short_appends_ = on;
 }
 
+void FaultInjectionEnv::SetShortReads(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  short_reads_ = on;
+}
+
 void FaultInjectionEnv::Heal() {
   std::lock_guard<std::mutex> lock(mu_);
   fail_at_op_ = -1;
@@ -141,6 +152,7 @@ void FaultInjectionEnv::Heal() {
   crashed_ = false;
   corrupt_next_append_ = false;
   short_appends_ = false;
+  short_reads_ = false;
 }
 
 void FaultInjectionEnv::ResetOpCount() {

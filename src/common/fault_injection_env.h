@@ -60,6 +60,11 @@ class FaultInjectionEnv : public Env {
   /// then reports IOError (a torn write).
   void SetShortAppends(bool on);
 
+  /// When set, every Read/ReadAt returns only the first half of the
+  /// requested bytes (a short read, as a signal-interrupted or truncated
+  /// pread would). The caller's short-read detection turns it into IOError.
+  void SetShortReads(bool on);
+
   /// Disarms all faults and clears the crashed state. Data already dropped
   /// stays dropped.
   void Heal();
@@ -119,6 +124,7 @@ class FaultInjectionEnv : public Env {
   bool crashed_ = false;
   bool corrupt_next_append_ = false;
   bool short_appends_ = false;
+  bool short_reads_ = false;
   std::unordered_map<std::string, FileState> files_;
 };
 

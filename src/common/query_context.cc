@@ -1,0 +1,57 @@
+#include "common/query_context.h"
+
+#include <string>
+
+namespace ndss {
+
+Status MemoryBudget::Charge(uint64_t bytes) {
+  if (bytes == 0) return Status::OK();
+  uint64_t current = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (max_bytes_ != 0 && current + bytes > max_bytes_) {
+      return Status::ResourceExhausted(
+          "query memory budget exceeded: " + std::to_string(current) + " + " +
+          std::to_string(bytes) + " > " + std::to_string(max_bytes_) +
+          " bytes");
+    }
+    if (used_.compare_exchange_weak(current, current + bytes,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  if (parent_ != nullptr) {
+    const Status parent = parent_->Charge(bytes);
+    if (!parent.ok()) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return parent;
+    }
+  }
+  // The peak is a best-effort high-water mark: under concurrent charges it
+  // may briefly trail `used`, but it never reports a value that was not
+  // actually reached.
+  const uint64_t now_used = used_.load(std::memory_order_relaxed);
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now_used > peak &&
+         !peak_.compare_exchange_weak(peak, now_used,
+                                      std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryBudget::Release(uint64_t bytes) {
+  if (bytes == 0) return;
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+Status QueryContext::Check() const {
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (has_deadline_ && Clock::now() >= deadline_) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace ndss

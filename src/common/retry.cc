@@ -1,5 +1,7 @@
 #include "common/retry.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace ndss {
@@ -9,18 +11,38 @@ bool IsRetryableStatus(const Status& status) {
 }
 
 Status RunWithRetry(const RetryPolicy& policy,
-                    const std::function<Status()>& op, Env* env) {
+                    const std::function<Status()>& op, Env* env,
+                    const QueryContext* ctx) {
   if (env == nullptr) env = GetDefaultEnv();
   const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
   uint64_t backoff = policy.initial_backoff_micros;
+  uint64_t slept = 0;
   Status status;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (ctx != nullptr) {
+      // A deadline or cancellation that stops the retrying wins over the
+      // last transient error: the operation had attempts left and only the
+      // caller's limit ended them (the error itself was already logged
+      // below).
+      NDSS_RETURN_NOT_OK(ctx->Check());
+    }
     status = op();
     if (status.ok() || !IsRetryableStatus(status)) return status;
     if (attempt == attempts) break;
+    uint64_t sleep = backoff;
+    if (policy.max_total_micros > 0) {
+      if (slept >= policy.max_total_micros) break;
+      sleep = std::min(sleep, policy.max_total_micros - slept);
+    }
+    if (ctx != nullptr) {
+      const int64_t remaining = ctx->remaining_micros();
+      if (remaining <= 0) return ctx->Check();
+      sleep = std::min(sleep, static_cast<uint64_t>(remaining));
+    }
     NDSS_LOG(kWarning) << "retryable IO failure (attempt " << attempt << "/"
                        << attempts << "): " << status.ToString();
-    env->SleepMicros(backoff);
+    env->SleepMicros(sleep);
+    slept += sleep;
     backoff = static_cast<uint64_t>(static_cast<double>(backoff) *
                                     policy.backoff_multiplier);
   }

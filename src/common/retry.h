@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/env.h"
+#include "common/query_context.h"
 #include "common/status.h"
 
 namespace ndss {
@@ -21,6 +22,12 @@ struct RetryPolicy {
   uint64_t initial_backoff_micros = 1000;
 
   double backoff_multiplier = 2.0;
+
+  /// Cap on the cumulative backoff slept across all retries of one
+  /// RunWithRetry call (0 = no cap). Once the cap is reached, the last
+  /// error is returned instead of sleeping again — a flaky read under a
+  /// query deadline must not back off past the point of usefulness.
+  uint64_t max_total_micros = 0;
 };
 
 /// True for failures worth retrying: transient IOError. Corruption,
@@ -33,8 +40,17 @@ bool IsRetryableStatus(const Status& status);
 /// returned). Sleeps through `env` between attempts (nullptr = default env).
 /// Retried operations must be idempotent — callers reset their own state
 /// (e.g. reopen a file, rewind a buffer) inside `op`.
+///
+/// With a `ctx`, retrying is deadline-aware: the backoff sleep is clamped
+/// to the remaining time and no attempt is made once the deadline passes
+/// (or the query is cancelled). When the context stops the retrying, its
+/// status — DeadlineExceeded / Cancelled — is returned rather than the last
+/// transient error: the operation had retries left and only the caller's
+/// limit ended them, so the outcome classifies as a governed stop (the
+/// transient error is still logged by the retry loop).
 Status RunWithRetry(const RetryPolicy& policy,
-                    const std::function<Status()>& op, Env* env = nullptr);
+                    const std::function<Status()>& op, Env* env = nullptr,
+                    const QueryContext* ctx = nullptr);
 
 }  // namespace ndss
 

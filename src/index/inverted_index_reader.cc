@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/crc32c.h"
+#include "common/query_context.h"
 
 namespace ndss {
 
@@ -121,7 +122,9 @@ Status InvertedIndexReader::DecodeRun(const char* p, const char* limit,
 
 Status InvertedIndexReader::ReadList(const ListMeta& meta,
                                      std::vector<PostedWindow>* out,
-                                     uint64_t* io_bytes) {
+                                     uint64_t* io_bytes,
+                                     const QueryContext* ctx) {
+  NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
   if (format_ == idx::kFormatRaw) {
     if (meta.list_bytes != meta.count * sizeof(PostedWindow)) {
       return Status::Corruption("raw list size mismatch");
@@ -141,7 +144,11 @@ Status InvertedIndexReader::ReadList(const ListMeta& meta,
     return Status::OK();
   }
   // Compressed: read the encoded bytes and decode run by run (restart
-  // points every zone_step_ windows).
+  // points every zone_step_ windows). The encoded scratch buffer is charged
+  // to the query's budget for its lifetime (the decoded windows are charged
+  // by the caller, which knows where they end up).
+  ScopedMemoryCharge scratch(ctx);
+  NDSS_RETURN_NOT_OK(scratch.Charge(meta.list_bytes));
   std::vector<char> buffer(meta.list_bytes);
   if (!buffer.empty()) {
     NDSS_RETURN_NOT_OK(
@@ -159,6 +166,9 @@ Status InvertedIndexReader::ReadList(const ListMeta& meta,
   TextId prev_text = 0;
   const char* q = buffer.data();
   for (uint64_t i = 0; i < meta.count; ++i) {
+    if (i != 0 && (i & (QueryContext::kCheckIntervalWindows - 1)) == 0) {
+      NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
+    }
     uint32_t text_field, l, c_delta, r_delta;
     q = GetVarint32(q, limit, &text_field);
     if (q != nullptr) q = GetVarint32(q, limit, &l);
@@ -200,12 +210,17 @@ Status CheckWindowInvariants(const PostedWindow& w, bool has_prev,
 Status InvertedIndexReader::ReadWindowsForText(const ListMeta& meta,
                                                TextId text,
                                                std::vector<PostedWindow>* out,
-                                               uint64_t* io_bytes) {
+                                               uint64_t* io_bytes,
+                                               const QueryContext* ctx) {
+  NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
+  ScopedMemoryCharge scratch(ctx);
   if (meta.zone_count == 0) {
-    // Short list: read fully and filter.
+    // Short list: read fully and filter. The full decoded list is scratch
+    // here — only the filtered windows survive into `out`.
+    NDSS_RETURN_NOT_OK(scratch.Charge(meta.count * sizeof(PostedWindow)));
     std::vector<PostedWindow> all;
     all.reserve(meta.count);
-    NDSS_RETURN_NOT_OK(ReadList(meta, &all, io_bytes));
+    NDSS_RETURN_NOT_OK(ReadList(meta, &all, io_bytes, ctx));
     for (const PostedWindow& window : all) {
       if (window.text == text) out->push_back(window);
     }
@@ -214,6 +229,7 @@ Status InvertedIndexReader::ReadWindowsForText(const ListMeta& meta,
   // Zone map: locate the first segment that can contain `text`. The zone
   // region has its own CRC (partial list reads below can't always verify
   // the full list checksum).
+  NDSS_RETURN_NOT_OK(scratch.Charge(meta.zone_count * idx::kZoneEntrySize));
   std::vector<char> zones(meta.zone_count * idx::kZoneEntrySize);
   NDSS_RETURN_NOT_OK(
       reader_.ReadAt(meta.zone_offset, zones.data(), zones.size()));
@@ -258,6 +274,9 @@ Status InvertedIndexReader::ReadWindowsForText(const ListMeta& meta,
     TextId prev_text = 0;
     std::vector<PostedWindow> buffer;
     while (index < meta.count) {
+      // One batch is at most zone_step_ windows — the probe's checkpoint
+      // granularity.
+      NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
       const size_t batch = std::min<uint64_t>(zone_step_, meta.count - index);
       buffer.resize(batch);
       NDSS_RETURN_NOT_OK(
@@ -298,6 +317,9 @@ Status InvertedIndexReader::ReadWindowsForText(const ListMeta& meta,
   std::vector<char> buffer;
   std::vector<PostedWindow> decoded;
   for (; segment < meta.zone_count; ++segment) {
+    // One segment is at most zone_step_ windows — the probe's checkpoint
+    // granularity.
+    NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
     const uint64_t begin = zone_position(segment);
     const uint64_t end = segment + 1 < meta.zone_count
                              ? zone_position(segment + 1)

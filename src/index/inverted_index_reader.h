@@ -35,9 +35,11 @@ class InvertedIndexReader : public InvertedListSource {
   /// Directory entry for `key`, or nullptr if the key has no list.
   const ListMeta* FindList(Token key) const override;
 
-  /// Reads an entire list into `out` (appending).
+  /// Reads an entire list into `out` (appending). With a `ctx`, the decode
+  /// loop checks the deadline/cancellation at bounded granularity and the
+  /// compressed path charges its scratch buffer to the memory budget.
   Status ReadList(const ListMeta& meta, std::vector<PostedWindow>* out,
-                  uint64_t* io_bytes) override;
+                  uint64_t* io_bytes, const QueryContext* ctx) override;
 
   /// Reads only the windows of text `text` from the list (appending),
   /// using the zone map to avoid scanning the whole list when one exists
@@ -47,7 +49,8 @@ class InvertedIndexReader : public InvertedListSource {
   /// the probe does cover the whole list).
   Status ReadWindowsForText(const ListMeta& meta, TextId text,
                             std::vector<PostedWindow>* out,
-                            uint64_t* io_bytes) override;
+                            uint64_t* io_bytes,
+                            const QueryContext* ctx) override;
 
   /// Hash function id this file was written for.
   uint32_t func() const { return func_; }

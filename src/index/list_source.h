@@ -9,6 +9,8 @@
 
 namespace ndss {
 
+class QueryContext;
+
 /// Directory metadata of one inverted list.
 struct ListMeta {
   Token key = 0;
@@ -31,7 +33,11 @@ struct ListMeta {
 /// concurrently from any number of threads once the source is open. Each
 /// read method takes an optional `io_bytes` accumulator so a caller can
 /// attribute IO to one query without reading the shared `bytes_read()`
-/// counter (whose deltas are meaningless under concurrency).
+/// counter (whose deltas are meaningless under concurrency), plus an
+/// optional QueryContext checked at bounded granularity inside long decode
+/// loops — a read under an expired deadline (or a cancelled / out-of-budget
+/// query) stops early with the context's error and a possibly partial
+/// `out`. nullptr means ungoverned.
 class InvertedListSource {
  public:
   virtual ~InvertedListSource() = default;
@@ -42,22 +48,32 @@ class InvertedListSource {
   /// Appends an entire list to `out`. Adds the bytes read by this call to
   /// `*io_bytes` when non-null.
   virtual Status ReadList(const ListMeta& meta, std::vector<PostedWindow>* out,
-                          uint64_t* io_bytes) = 0;
+                          uint64_t* io_bytes, const QueryContext* ctx) = 0;
 
   /// Appends only the windows of `text` from the list to `out` (the
   /// second-pass point lookup of prefix filtering). Adds the bytes read by
   /// this call to `*io_bytes` when non-null.
   virtual Status ReadWindowsForText(const ListMeta& meta, TextId text,
                                     std::vector<PostedWindow>* out,
-                                    uint64_t* io_bytes) = 0;
+                                    uint64_t* io_bytes,
+                                    const QueryContext* ctx) = 0;
 
-  /// Convenience overloads without per-call IO accounting.
+  /// Convenience overloads without per-call IO accounting / governance.
+  Status ReadList(const ListMeta& meta, std::vector<PostedWindow>* out,
+                  uint64_t* io_bytes) {
+    return ReadList(meta, out, io_bytes, nullptr);
+  }
   Status ReadList(const ListMeta& meta, std::vector<PostedWindow>* out) {
-    return ReadList(meta, out, nullptr);
+    return ReadList(meta, out, nullptr, nullptr);
+  }
+  Status ReadWindowsForText(const ListMeta& meta, TextId text,
+                            std::vector<PostedWindow>* out,
+                            uint64_t* io_bytes) {
+    return ReadWindowsForText(meta, text, out, io_bytes, nullptr);
   }
   Status ReadWindowsForText(const ListMeta& meta, TextId text,
                             std::vector<PostedWindow>* out) {
-    return ReadWindowsForText(meta, text, out, nullptr);
+    return ReadWindowsForText(meta, text, out, nullptr, nullptr);
   }
 
   /// All directory entries, sorted by key.

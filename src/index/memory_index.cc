@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/query_context.h"
+
 namespace ndss {
 
 InMemoryInvertedIndex::InMemoryInvertedIndex(const Corpus& corpus,
@@ -49,7 +51,10 @@ const ListMeta* InMemoryInvertedIndex::FindList(Token key) const {
 
 Status InMemoryInvertedIndex::ReadList(const ListMeta& meta,
                                        std::vector<PostedWindow>* out,
-                                       uint64_t* io_bytes) {
+                                       uint64_t* io_bytes,
+                                       const QueryContext* ctx) {
+  // One memcpy of an in-memory run: a single checkpoint suffices.
+  NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
   const PostedWindow* begin = windows_.data() + meta.list_offset;
   out->insert(out->end(), begin, begin + meta.count);
   const uint64_t bytes = meta.count * sizeof(PostedWindow);
@@ -60,7 +65,8 @@ Status InMemoryInvertedIndex::ReadList(const ListMeta& meta,
 
 Status InMemoryInvertedIndex::ReadWindowsForText(
     const ListMeta& meta, TextId text, std::vector<PostedWindow>* out,
-    uint64_t* io_bytes) {
+    uint64_t* io_bytes, const QueryContext* ctx) {
+  NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
   const PostedWindow* begin = windows_.data() + meta.list_offset;
   const PostedWindow* end = begin + meta.count;
   // Lists are sorted by (text, l): binary search the text's run.

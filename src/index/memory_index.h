@@ -35,10 +35,11 @@ class InMemoryInvertedIndex : public InvertedListSource {
 
   const ListMeta* FindList(Token key) const override;
   Status ReadList(const ListMeta& meta, std::vector<PostedWindow>* out,
-                  uint64_t* io_bytes) override;
+                  uint64_t* io_bytes, const QueryContext* ctx) override;
   Status ReadWindowsForText(const ListMeta& meta, TextId text,
                             std::vector<PostedWindow>* out,
-                            uint64_t* io_bytes) override;
+                            uint64_t* io_bytes,
+                            const QueryContext* ctx) override;
   const std::vector<ListMeta>& directory() const override {
     return directory_;
   }

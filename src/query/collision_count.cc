@@ -1,13 +1,37 @@
 #include "query/collision_count.h"
 
+#include "common/query_context.h"
 #include "query/interval_scan.h"
 
 namespace ndss {
 
-void CollisionCount(std::span<const PostedWindow> windows, uint32_t alpha,
-                    std::vector<MatchRectangle>* out) {
+namespace {
+
+/// Accounted footprint of the groups one IntervalScan call emitted: the
+/// member id arrays plus per-group bookkeeping. Charged after the scan —
+/// detection lags one sweep, but the sweep itself checks the deadline, so
+/// enforcement granularity stays one IntervalScan call.
+uint64_t GroupBytes(const std::vector<IntervalGroup>& groups) {
+  uint64_t bytes = 0;
+  for (const IntervalGroup& group : groups) {
+    bytes += group.members.size() * sizeof(uint32_t) + sizeof(IntervalGroup);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Status CollisionCount(std::span<const PostedWindow> windows, uint32_t alpha,
+                      std::vector<MatchRectangle>* out,
+                      const QueryContext* ctx) {
   if (alpha == 0) alpha = 1;
-  if (windows.size() < alpha) return;
+  if (windows.size() < alpha) return Status::OK();
+
+  // The left intervals plus the endpoint array their sweep builds. Released
+  // when this call returns, like the vectors themselves.
+  ScopedMemoryCharge scratch(ctx);
+  NDSS_RETURN_NOT_OK(
+      scratch.Charge(windows.size() * 3 * sizeof(Interval)));
 
   // Left intervals [l, c]; interval id = index into `windows`.
   std::vector<Interval> left;
@@ -16,23 +40,33 @@ void CollisionCount(std::span<const PostedWindow> windows, uint32_t alpha,
     left.push_back({windows[i].l, windows[i].c, i});
   }
   std::vector<IntervalGroup> left_groups;
-  IntervalScan(left, alpha, &left_groups);
+  NDSS_RETURN_NOT_OK(IntervalScan(left, alpha, &left_groups, ctx));
+  NDSS_RETURN_NOT_OK(scratch.Charge(GroupBytes(left_groups)));
 
   std::vector<Interval> right;
   std::vector<IntervalGroup> right_groups;
   for (const IntervalGroup& group : left_groups) {
+    NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
+    // Per-iteration scratch: the right intervals and the groups of their
+    // sweep are reused next iteration, so their charge is scoped to this
+    // one (summing iterations would overstate a peak that never exists).
+    ScopedMemoryCharge iteration_scratch(ctx);
+    NDSS_RETURN_NOT_OK(
+        iteration_scratch.Charge(group.members.size() * 3 * sizeof(Interval)));
     right.clear();
     for (uint32_t id : group.members) {
       right.push_back({windows[id].c, windows[id].r, id});
     }
     right_groups.clear();
-    IntervalScan(right, alpha, &right_groups);
+    NDSS_RETURN_NOT_OK(IntervalScan(right, alpha, &right_groups, ctx));
+    NDSS_RETURN_NOT_OK(iteration_scratch.Charge(GroupBytes(right_groups)));
     for (const IntervalGroup& rg : right_groups) {
       out->push_back(MatchRectangle{
           group.overlap_begin, group.overlap_end, rg.overlap_begin,
           rg.overlap_end, static_cast<uint32_t>(rg.members.size())});
     }
   }
+  return Status::OK();
 }
 
 }  // namespace ndss

@@ -5,9 +5,12 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "index/posting.h"
 
 namespace ndss {
+
+class QueryContext;
 
 /// A rectangle of matching sequences within one text: every sequence
 /// T[i, j] with i in [x_begin, x_end] and j in [y_begin, y_end] lies in
@@ -29,8 +32,16 @@ struct MatchRectangle {
 /// least `alpha` windows. Splits each window (l, c, r) into a left interval
 /// [l, c] and right interval [c, r] and runs IntervalScan on each side.
 /// O(m^2 log m) for a group of m windows.
-void CollisionCount(std::span<const PostedWindow> windows, uint32_t alpha,
-                    std::vector<MatchRectangle>* out);
+///
+/// With a `ctx`, the deadline/cancellation is checked per left group (plus
+/// inside each IntervalScan sweep) and the O(m^2) scan scratch — interval
+/// arrays, endpoint arrays, and the groups the sweeps emit — is charged to
+/// the memory budget, so a pathological group fails with ResourceExhausted
+/// instead of growing without bound. `out` may hold a prefix of the
+/// rectangles on early exit.
+Status CollisionCount(std::span<const PostedWindow> windows, uint32_t alpha,
+                      std::vector<MatchRectangle>* out,
+                      const QueryContext* ctx = nullptr);
 
 }  // namespace ndss
 

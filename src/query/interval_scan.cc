@@ -2,12 +2,16 @@
 
 #include <algorithm>
 
+#include "common/query_context.h"
+
 namespace ndss {
 
-void IntervalScan(std::span<const Interval> intervals, uint32_t alpha,
-                  std::vector<IntervalGroup>* out) {
+Status IntervalScan(std::span<const Interval> intervals, uint32_t alpha,
+                    std::vector<IntervalGroup>* out,
+                    const QueryContext* ctx) {
   if (alpha == 0) alpha = 1;
-  if (intervals.size() < alpha) return;
+  if (intervals.size() < alpha) return Status::OK();
+  NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
 
   // Endpoint (coordinate, is_start, interval id). An interval [x, y]
   // contributes a start at x and an end at y + 1 (it no longer covers y+1).
@@ -32,7 +36,11 @@ void IntervalScan(std::span<const Interval> intervals, uint32_t alpha,
   std::vector<uint32_t> active;
   active.reserve(intervals.size());
   size_t i = 0;
+  uint64_t coords_swept = 0;
   while (i < endpoints.size()) {
+    if ((++coords_swept & (QueryContext::kCheckIntervalWindows - 1)) == 0) {
+      NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
+    }
     const uint32_t coord = endpoints[i].coord;
     while (i < endpoints.size() && endpoints[i].coord == coord) {
       const Endpoint& endpoint = endpoints[i];
@@ -57,6 +65,7 @@ void IntervalScan(std::span<const Interval> intervals, uint32_t alpha,
       out->push_back(std::move(group));
     }
   }
+  return Status::OK();
 }
 
 }  // namespace ndss

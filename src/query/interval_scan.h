@@ -5,7 +5,11 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
+
 namespace ndss {
+
+class QueryContext;
 
 /// A closed integer interval [begin, end] tagged with the index of the
 /// compact window it came from.
@@ -31,8 +35,13 @@ struct IntervalGroup {
 /// Each qualifying (subset, segment) pair is reported exactly once, and the
 /// reported segments are pairwise disjoint (Lemma 1). O(m log m) for the
 /// sort plus O(m) per reported group.
-void IntervalScan(std::span<const Interval> intervals, uint32_t alpha,
-                  std::vector<IntervalGroup>* out);
+///
+/// With a `ctx`, the sweep checks the deadline/cancellation every
+/// QueryContext::kCheckIntervalWindows distinct coordinates and stops early
+/// with the context's error (`out` may hold a prefix of the groups).
+Status IntervalScan(std::span<const Interval> intervals, uint32_t alpha,
+                    std::vector<IntervalGroup>* out,
+                    const QueryContext* ctx = nullptr);
 
 }  // namespace ndss
 

@@ -7,13 +7,59 @@
 #include <mutex>
 #include <unordered_map>
 
+#include <chrono>
+
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "index/inverted_index_reader.h"
 #include "index/memory_index.h"
 
 namespace ndss {
+
+namespace {
+
+/// True for outcomes imposed by the caller's QueryContext rather than by
+/// the data: they say nothing about the health of a list or a file.
+bool IsGovernanceStatus(const Status& status) {
+  return status.IsDeadlineExceeded() || status.IsCancelled() ||
+         status.IsResourceExhausted();
+}
+
+/// Reads a whole list under the options' retry policy. A failed attempt
+/// rewinds `out` so the retry does not duplicate windows; governance errors
+/// are not retryable (IsRetryableStatus) and propagate immediately.
+Status ReadListRetrying(InvertedListSource* source, const ListMeta& meta,
+                        std::vector<PostedWindow>* out, uint64_t* io_bytes,
+                        const QueryContext* ctx, const RetryPolicy& policy) {
+  const size_t before = out->size();
+  auto op = [&]() -> Status {
+    Status status = source->ReadList(meta, out, io_bytes, ctx);
+    if (!status.ok()) out->resize(before);
+    return status;
+  };
+  if (policy.max_attempts <= 1) return op();
+  return RunWithRetry(policy, op, nullptr, ctx);
+}
+
+/// ReadWindowsForText counterpart of ReadListRetrying.
+Status ReadWindowsForTextRetrying(InvertedListSource* source,
+                                  const ListMeta& meta, TextId text,
+                                  std::vector<PostedWindow>* out,
+                                  uint64_t* io_bytes, const QueryContext* ctx,
+                                  const RetryPolicy& policy) {
+  const size_t before = out->size();
+  auto op = [&]() -> Status {
+    Status status = source->ReadWindowsForText(meta, text, out, io_bytes, ctx);
+    if (!status.ok()) out->resize(before);
+    return status;
+  };
+  if (policy.max_attempts <= 1) return op();
+  return RunWithRetry(policy, op, nullptr, ctx);
+}
+
+}  // namespace
 
 /// Mid-query degradation state, shared by all threads querying one
 /// Searcher. A dropped function's source object stays alive (in-flight
@@ -261,6 +307,9 @@ struct Searcher::ListCache {
   Shard shards[kShards];
   std::atomic<uint64_t> bytes{0};
   uint64_t budget = 0;
+  /// Optional batch-wide inflight budget (governed SearchBatch): cached
+  /// list bytes are accounted there alongside the per-query arenas.
+  MemoryBudget* inflight = nullptr;
 
   static uint64_t Key(uint32_t func, Token token) {
     return (static_cast<uint64_t>(func) << 32) | token;
@@ -274,12 +323,28 @@ struct Searcher::ListCache {
     return entry;
   }
 
-  /// Reserves `size` bytes of the budget; false when it does not fit.
+  /// Drops `key` iff it still maps to `entry`, so a later query can retry
+  /// the load. Used when a loader's own governance failure (deadline,
+  /// cancel, budget) poisoned the entry: that failure says nothing about
+  /// the list and must not fail other queries.
+  void Invalidate(uint64_t key, const std::shared_ptr<Entry>& entry) {
+    Shard& shard = shards[key % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end() && it->second == entry) shard.map.erase(it);
+  }
+
+  /// Reserves `size` bytes of the budget; false when it does not fit (or
+  /// the batch inflight cap is reached — the list is then read directly).
   bool Reserve(uint64_t size) {
     uint64_t current = bytes.load(std::memory_order_relaxed);
     while (current + size <= budget) {
       if (bytes.compare_exchange_weak(current, current + size,
                                       std::memory_order_relaxed)) {
+        if (inflight != nullptr && !inflight->Charge(size).ok()) {
+          bytes.fetch_sub(size, std::memory_order_relaxed);
+          return false;
+        }
         return true;
       }
     }
@@ -288,82 +353,173 @@ struct Searcher::ListCache {
 
   void Unreserve(uint64_t size) {
     bytes.fetch_sub(size, std::memory_order_relaxed);
+    if (inflight != nullptr) inflight->Release(size);
   }
 };
 
 Result<SearchResult> Searcher::Search(std::span<const Token> query,
                                       const SearchOptions& options) {
-  return SearchInternal(query, options, nullptr);
+  SearchResult result;
+  NDSS_RETURN_NOT_OK(
+      SearchInternal(query, options, nullptr, nullptr, &result));
+  return result;
+}
+
+Status Searcher::Search(std::span<const Token> query,
+                        const SearchOptions& options, const QueryContext* ctx,
+                        SearchResult* result) {
+  if (result == nullptr) {
+    return Status::InvalidArgument("result must be non-null");
+  }
+  *result = SearchResult();
+  return SearchInternal(query, options, nullptr, ctx, result);
 }
 
 Result<std::vector<SearchResult>> Searcher::SearchBatch(
     const std::vector<std::vector<Token>>& queries,
     const SearchOptions& options, uint64_t cache_budget_bytes,
     size_t num_threads) {
-  ListCache cache;
-  cache.budget = cache_budget_bytes;
-  std::vector<SearchResult> results(queries.size());
-  if (num_threads <= 1 || queries.size() <= 1) {
-    for (size_t i = 0; i < queries.size(); ++i) {
-      NDSS_ASSIGN_OR_RETURN(results[i],
-                            SearchInternal(queries[i], options, &cache));
-    }
-    return results;
-  }
-  // Workers pull query indices from a shared counter, so a handful of
-  // expensive queries cannot strand the rest of the batch on one thread.
-  // Results land at their query's index; matches and spans are exactly
-  // those of the sequential loop.
-  std::vector<Status> statuses(queries.size(), Status::OK());
-  std::atomic<size_t> next{0};
-  const size_t workers = std::min(num_threads, queries.size());
-  ThreadPool pool(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    pool.Submit([&] {
-      for (;;) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= queries.size()) return;
-        Result<SearchResult> result =
-            SearchInternal(queries[i], options, &cache);
-        if (result.ok()) {
-          results[i] = std::move(*result);
-        } else {
-          statuses[i] = result.status();
-        }
-      }
-    });
-  }
-  pool.WaitIdle();
-  for (const Status& status : statuses) {
+  NDSS_ASSIGN_OR_RETURN(
+      BatchResult batch, SearchBatch(queries, options, BatchLimits{},
+                                     cache_budget_bytes, num_threads));
+  // Preserve the ungoverned contract: all queries run, and with several
+  // failures the lowest-index status is returned.
+  for (const Status& status : batch.statuses) {
     if (!status.ok()) return status;
   }
-  return results;
+  return std::move(batch.results);
 }
 
-Result<SearchResult> Searcher::SearchInternal(std::span<const Token> query,
-                                              const SearchOptions& options,
-                                              ListCache* cache) {
+Result<BatchResult> Searcher::SearchBatch(
+    const std::vector<std::vector<Token>>& queries,
+    const SearchOptions& options, const BatchLimits& limits,
+    uint64_t cache_budget_bytes, size_t num_threads) {
+  if (limits.batch_timeout_micros < 0 || limits.query_timeout_micros < 0) {
+    return Status::InvalidArgument("batch timeouts must be >= 0");
+  }
+  BatchResult batch;
+  batch.results.resize(queries.size());
+  batch.statuses.assign(queries.size(), Status::OK());
+
+  // Inflight budget: shared list cache + every live per-query arena.
+  // Unlimited (accounting only) unless max_inflight_bytes is set.
+  MemoryBudget inflight(limits.max_inflight_bytes);
+  ListCache cache;
+  cache.budget = cache_budget_bytes;
+  cache.inflight = &inflight;
+
+  const bool has_batch_deadline = limits.batch_timeout_micros > 0;
+  const QueryContext::Clock::time_point batch_deadline =
+      QueryContext::Clock::now() +
+      std::chrono::microseconds(limits.batch_timeout_micros);
+
+  auto run_query = [&](size_t i) {
+    // Admission control: past the batch deadline a queued query is shed
+    // outright — running it could only steal time from nothing.
+    if (has_batch_deadline &&
+        QueryContext::Clock::now() >= batch_deadline) {
+      batch.statuses[i] = Status::Cancelled("shed: batch deadline exceeded");
+      return;
+    }
+    QueryContext ctx;
+    if (limits.query_timeout_micros > 0) {
+      ctx.set_deadline(QueryContext::Clock::now() +
+                       std::chrono::microseconds(limits.query_timeout_micros));
+    }
+    if (has_batch_deadline &&
+        limits.shed_policy == ShedPolicy::kCancelRunning &&
+        (!ctx.has_deadline() || batch_deadline < ctx.deadline())) {
+      // In-flight queries inherit the batch deadline: they stop at their
+      // next checkpoint instead of finishing past it.
+      ctx.set_deadline(batch_deadline);
+    }
+    MemoryBudget arena(limits.max_query_bytes, &inflight);
+    ctx.set_memory_budget(&arena);
+    batch.statuses[i] =
+        SearchInternal(queries[i], options, &cache, &ctx, &batch.results[i]);
+  };
+
+  if (num_threads <= 1 || queries.size() <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i) run_query(i);
+  } else {
+    // Workers pull query indices from a shared counter, so a handful of
+    // expensive queries cannot strand the rest of the batch on one thread.
+    // Results land at their query's index; matches and spans are exactly
+    // those of the sequential loop.
+    std::atomic<size_t> next{0};
+    const size_t workers = std::min(num_threads, queries.size());
+    ThreadPool pool(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.Submit([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= queries.size()) return;
+          run_query(i);
+        }
+      });
+    }
+    pool.WaitIdle();
+  }
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Status& status = batch.statuses[i];
+    if (status.ok()) {
+      ++batch.stats.queries_ok;
+      if (batch.results[i].stats.degraded_funcs > 0) {
+        ++batch.stats.queries_degraded;
+      }
+    } else if (status.IsDeadlineExceeded()) {
+      ++batch.stats.queries_deadline_exceeded;
+    } else if (status.IsCancelled()) {
+      ++batch.stats.queries_shed;
+    } else if (status.IsResourceExhausted()) {
+      ++batch.stats.queries_resource_exhausted;
+    } else {
+      ++batch.stats.queries_failed;
+    }
+    batch.stats.peak_query_bytes = std::max(
+        batch.stats.peak_query_bytes, batch.results[i].stats.peak_memory_bytes);
+  }
+  batch.stats.peak_inflight_bytes = inflight.peak();
+  return batch;
+}
+
+Status Searcher::SearchInternal(std::span<const Token> query,
+                                const SearchOptions& options, ListCache* cache,
+                                const QueryContext* ctx,
+                                SearchResult* result) {
   constexpr uint32_t kNoFunc = 0xffffffffu;
+  Stopwatch wall;
+  Status status;
   for (;;) {
+    // A degraded retry starts over: stats of the aborted attempt would
+    // double-count.
+    *result = SearchResult();
     // Each attempt runs over an immutable snapshot: a function dropped by
     // a concurrent query mid-attempt does not change this attempt's view.
     const std::vector<InvertedListSource*> snapshot = SnapshotSources();
     uint32_t failed_func = kNoFunc;
-    Result<SearchResult> result =
-        SearchOnce(query, options, cache, snapshot, &failed_func);
-    if (result.ok() || failed_func == kNoFunc || !options.allow_degraded) {
-      return result;
+    status =
+        SearchOnce(query, options, cache, snapshot, ctx, &failed_func, result);
+    if (status.ok() || failed_func == kNoFunc || !options.allow_degraded) {
+      break;
     }
     // A list failed its checksum mid-query. Drop the whole function — its
     // file is corrupt — and answer with the survivors at rescaled β.
-    DropFunc(failed_func, result.status());
+    DropFunc(failed_func, status);
   }
+  result->stats.wall_seconds = wall.ElapsedSeconds();
+  if (ctx != nullptr && ctx->memory_budget() != nullptr) {
+    result->stats.peak_memory_bytes = ctx->memory_budget()->peak();
+  }
+  return status;
 }
 
-Result<SearchResult> Searcher::SearchOnce(
-    std::span<const Token> query, const SearchOptions& options,
-    ListCache* cache, const std::vector<InvertedListSource*>& sources,
-    uint32_t* failed_func) {
+Status Searcher::SearchOnce(std::span<const Token> query,
+                            const SearchOptions& options, ListCache* cache,
+                            const std::vector<InvertedListSource*>& sources,
+                            const QueryContext* ctx, uint32_t* failed_func,
+                            SearchResult* result_out) {
   if (query.empty()) {
     return Status::InvalidArgument("query sequence is empty");
   }
@@ -390,11 +546,21 @@ Result<SearchResult> Searcher::SearchOnce(
   const uint32_t beta = std::min<uint32_t>(
       k_eff, static_cast<uint32_t>(std::ceil(options.theta * k_eff)));
 
-  SearchResult result;
+  SearchResult& result = *result_out;
   result.stats.degraded_funcs = dropped;
   // Per-query IO accumulator, threaded through every list read: a global
   // bytes_read() delta would also count concurrent queries' reads.
   uint64_t io_bytes = 0;
+  // Arena for the query's working set (decoded lists, candidate groups).
+  // Scope-bound: released when this attempt returns, success or not.
+  ScopedMemoryCharge arena(ctx);
+  // Partial stats survive an early governance exit: whatever IO happened is
+  // recorded no matter which return path is taken.
+  struct IoBytesGuard {
+    const uint64_t& bytes;
+    SearchStats& stats;
+    ~IoBytesGuard() { stats.io_bytes = bytes; }
+  } io_guard{io_bytes, result.stats};
 
   Stopwatch cpu;
   const MinHashSketch sketch =
@@ -461,12 +627,22 @@ Result<SearchResult> Searcher::SearchOnce(
   result.stats.short_lists = static_cast<uint32_t>(short_lists.size());
   result.stats.long_lists = static_cast<uint32_t>(long_lists.size());
   const uint32_t beta1 = beta - static_cast<uint32_t>(long_lists.size());
+  // First governance checkpoint, after list classification: even a query
+  // that arrives with an expired deadline reports which lists it would
+  // have touched (the partial-stats contract).
+  NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
 
   // Pass 1: scan the short lists fully, through the batch cache if one is
   // active (each distinct list is read from disk at most once per batch).
   Stopwatch io;
   std::vector<PostedWindow> windows;
   for (const ListRef& ref : short_lists) {
+    // Per-list checkpoint, plus the arena charge for the windows this list
+    // appends below (exact: cached copy and direct read both append
+    // `count` windows).
+    NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
+    NDSS_RETURN_NOT_OK(
+        arena.Charge(ref.meta->count * sizeof(PostedWindow)));
     if (cache != nullptr) {
       const uint64_t key = ListCache::Key(ref.func, ref.meta->key);
       std::shared_ptr<ListCache::Entry> entry = cache->GetOrCreate(key);
@@ -476,8 +652,9 @@ Result<SearchResult> Searcher::SearchOnce(
         const uint64_t list_bytes = ref.meta->count * sizeof(PostedWindow);
         if (!cache->Reserve(list_bytes)) return;  // over budget: stays direct
         entry->windows.reserve(ref.meta->count);
-        entry->status =
-            sources[ref.func]->ReadList(*ref.meta, &entry->windows, &io_bytes);
+        entry->status = ReadListRetrying(sources[ref.func], *ref.meta,
+                                         &entry->windows, &io_bytes, ctx,
+                                         options.read_retry);
         if (!entry->status.ok()) {
           cache->Unreserve(list_bytes);
           return;
@@ -485,21 +662,33 @@ Result<SearchResult> Searcher::SearchOnce(
         entry->stored = true;
       });
       if (!entry->status.ok()) {
-        // The loader (this query or another) hit a bad list; every query
-        // touching the entry fails the same way so degraded retries agree
-        // on which function to drop.
-        if (entry->status.IsCorruption()) *failed_func = ref.func;
-        return entry->status;
-      }
-      if (entry->stored) {
+        if (IsGovernanceStatus(entry->status)) {
+          if (loaded_here) {
+            // This query's own limits aborted the load. Drop the entry so
+            // a later query can retry the read.
+            cache->Invalidate(key, entry);
+            return entry->status;
+          }
+          // Another query's limits poisoned the entry; that says nothing
+          // about the list — read it directly.
+        } else {
+          // The loader (this query or another) hit a bad list; every query
+          // touching the entry fails the same way so degraded retries
+          // agree on which function to drop.
+          if (entry->status.IsCorruption()) *failed_func = ref.func;
+          return entry->status;
+        }
+      } else if (entry->stored) {
         windows.insert(windows.end(), entry->windows.begin(),
                        entry->windows.end());
         if (!loaded_here) ++result.stats.cache_hits;
         continue;
       }
-      // Over budget: fall through to an uncached direct read.
+      // Over budget (or governance-poisoned by another query): fall
+      // through to an uncached direct read.
     }
-    Status read = sources[ref.func]->ReadList(*ref.meta, &windows, &io_bytes);
+    Status read = ReadListRetrying(sources[ref.func], *ref.meta, &windows,
+                                   &io_bytes, ctx, options.read_retry);
     if (!read.ok()) {
       if (read.IsCorruption()) *failed_func = ref.func;
       return read;
@@ -509,13 +698,15 @@ Result<SearchResult> Searcher::SearchOnce(
   result.stats.windows_scanned += windows.size();
 
   cpu.Restart();
+  // Grouping copies (at most) every pass-1 window into its text's group.
+  NDSS_RETURN_NOT_OK(arena.Charge(windows.size() * sizeof(PostedWindow)));
   std::vector<TextGroup> groups;
   GroupByText(windows, &groups, beta1);
   std::vector<MatchRectangle> rects;
   std::vector<TextGroup> candidates;
   for (TextGroup& group : groups) {
     rects.clear();
-    CollisionCount(group.windows, beta1, &rects);
+    NDSS_RETURN_NOT_OK(CollisionCount(group.windows, beta1, &rects, ctx));
     if (rects.empty()) continue;
     if (long_lists.empty()) {
       // No second pass: these rectangles are final.
@@ -532,20 +723,27 @@ Result<SearchResult> Searcher::SearchOnce(
   // CollisionCount with the full threshold beta.
   result.stats.candidate_texts = candidates.size();
   for (TextGroup& group : candidates) {
+    // Per-candidate checkpoint (probes themselves re-check per segment).
+    NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
     io.Restart();
     for (const ListRef& ref : long_lists) {
-      Status read = sources[ref.func]->ReadWindowsForText(
-          *ref.meta, group.text, &group.windows, &io_bytes);
+      const size_t before = group.windows.size();
+      Status read = ReadWindowsForTextRetrying(sources[ref.func], *ref.meta,
+                                               group.text, &group.windows,
+                                               &io_bytes, ctx,
+                                               options.read_retry);
       if (!read.ok()) {
         if (read.IsCorruption()) *failed_func = ref.func;
         return read;
       }
+      NDSS_RETURN_NOT_OK(arena.Charge((group.windows.size() - before) *
+                                      sizeof(PostedWindow)));
     }
     result.stats.io_seconds += io.ElapsedSeconds();
     cpu.Restart();
     result.stats.windows_scanned += group.windows.size();
     rects.clear();
-    CollisionCount(group.windows, beta, &rects);
+    NDSS_RETURN_NOT_OK(CollisionCount(group.windows, beta, &rects, ctx));
     for (const MatchRectangle& r : rects) {
       result.rectangles.push_back({group.text, r});
     }
@@ -554,13 +752,12 @@ Result<SearchResult> Searcher::SearchOnce(
 
   // Length clamp + merged disjoint spans (the paper's Remark).
   cpu.Restart();
+  NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
   if (options.merge_matches) {
     result.spans = MergeRectangles(result.rectangles, meta_.t, k_eff);
   }
   result.stats.cpu_seconds += cpu.ElapsedSeconds();
-
-  result.stats.io_bytes = io_bytes;
-  return result;
+  return Status::OK();
 }
 
 }  // namespace ndss

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "hash/hash_family.h"
 #include "index/index_builder.h"
@@ -55,6 +57,13 @@ struct SearchOptions {
   /// exactly those of an index built with the surviving k' functions
   /// (min-hash seeds are chained, so function f is identical across k).
   bool allow_degraded = false;
+
+  /// Retry policy for transient IOErrors on inverted-list reads. The
+  /// default (a single attempt) preserves fail-fast behaviour; raising
+  /// max_attempts makes list reads ride out flaky IO. Retries respect the
+  /// query's deadline: the backoff sleep is clamped to the remaining time
+  /// and retrying stops once the deadline passes.
+  RetryPolicy read_retry{.max_attempts = 1};
 };
 
 /// Options for opening a Searcher.
@@ -98,6 +107,9 @@ struct SearchStats {
                                   ///< (0 = full-fidelity answer)
   double io_seconds = 0;          ///< time in index reads
   double cpu_seconds = 0;         ///< time in grouping + CollisionCount
+  double wall_seconds = 0;        ///< end-to-end latency of the query
+  uint64_t peak_memory_bytes = 0; ///< high-water mark of the query's memory
+                                  ///< budget (0 when no budget is attached)
 };
 
 /// Result of one near-duplicate search.
@@ -107,6 +119,67 @@ struct SearchResult {
   /// Disjoint merged spans (filled when options.merge_matches).
   std::vector<MatchSpan> spans;
   SearchStats stats;
+};
+
+/// What SearchBatch does with queries it can no longer serve once the
+/// batch deadline has passed.
+enum class ShedPolicy {
+  /// Queries not yet started are shed (rejected without running); queries
+  /// already in flight run to completion under their own deadlines.
+  kRejectNew,
+  /// Additionally, in-flight queries inherit the batch deadline and stop at
+  /// their next checkpoint with DeadlineExceeded.
+  kCancelRunning,
+};
+
+/// Resource limits for one governed SearchBatch call. Zero disables the
+/// corresponding limit; a default-constructed BatchLimits governs nothing.
+struct BatchLimits {
+  /// Aggregate wall-clock budget for the whole batch, measured from the
+  /// SearchBatch call. Once exceeded, unstarted queries are shed (see
+  /// `shed_policy` for in-flight ones).
+  int64_t batch_timeout_micros = 0;
+
+  /// Per-query wall-clock budget, measured from the moment the query is
+  /// picked up by a worker (not from batch start: a queued query has not
+  /// spent anything yet).
+  int64_t query_timeout_micros = 0;
+
+  /// Cap on one query's working memory (decoded lists, candidate groups,
+  /// scan scratch). A query that would exceed it fails with
+  /// ResourceExhausted; the rest of the batch is unaffected.
+  uint64_t max_query_bytes = 0;
+
+  /// Cap on batch-wide in-flight memory: the shared list cache plus every
+  /// live query arena. Cache inserts beyond it fall back to direct reads;
+  /// query charges beyond it fail that query with ResourceExhausted.
+  uint64_t max_inflight_bytes = 0;
+
+  ShedPolicy shed_policy = ShedPolicy::kCancelRunning;
+};
+
+/// Batch-level governance counters. `queries_degraded` counts ok queries
+/// answered with dropped functions, so it overlaps `queries_ok`; the other
+/// outcome counters partition the batch:
+/// ok + deadline_exceeded + shed + resource_exhausted + failed == size.
+struct BatchStats {
+  uint64_t queries_ok = 0;
+  uint64_t queries_degraded = 0;
+  uint64_t queries_deadline_exceeded = 0;
+  uint64_t queries_shed = 0;  ///< rejected unstarted (status Cancelled)
+  uint64_t queries_resource_exhausted = 0;
+  uint64_t queries_failed = 0;  ///< any other error (IO, corruption, ...)
+  uint64_t peak_query_bytes = 0;     ///< max per-query arena high-water mark
+  uint64_t peak_inflight_bytes = 0;  ///< cache + arenas high-water mark
+};
+
+/// Result of one governed SearchBatch call. `results[i]` holds whatever
+/// query i produced before `statuses[i]` (partial stats survive a deadline
+/// or budget failure; a shed query's result is empty).
+struct BatchResult {
+  std::vector<SearchResult> results;
+  std::vector<Status> statuses;
+  BatchStats stats;
 };
 
 /// Near-duplicate sequence search over an index directory (Algorithm 3).
@@ -153,6 +226,17 @@ class Searcher {
   Result<SearchResult> Search(std::span<const Token> query,
                               const SearchOptions& options);
 
+  /// Governed variant: the query runs under `ctx` (deadline, cancellation,
+  /// memory budget; nullptr = ungoverned, bit-identical to the overload
+  /// above). Returns the outcome as a Status and writes into `*result`
+  /// either the full answer (OK) or whatever was computed before the
+  /// failure — on DeadlineExceeded / Cancelled / ResourceExhausted the
+  /// partial SearchStats (lists classified, bytes read, windows scanned so
+  /// far) survive for observability, which the Result-returning overload
+  /// cannot express.
+  Status Search(std::span<const Token> query, const SearchOptions& options,
+                const QueryContext* ctx, SearchResult* result);
+
   /// Runs many queries with a shared pass-1 list cache: Zipfian token
   /// skew makes nearby queries hit the same min-hash keys, so each
   /// distinct list is read from disk at most once per batch (the workload
@@ -170,6 +254,23 @@ class Searcher {
   Result<std::vector<SearchResult>> SearchBatch(
       const std::vector<std::vector<Token>>& queries,
       const SearchOptions& options,
+      uint64_t cache_budget_bytes = 256ull << 20, size_t num_threads = 1);
+
+  /// Governed batch: admission control and load shedding on top of the
+  /// shared-cache batch above. Every query runs under its own QueryContext
+  /// derived from `limits` (per-query deadline, per-query arena parented to
+  /// a batch-wide inflight budget); once the batch deadline passes,
+  /// unstarted queries are shed and — under ShedPolicy::kCancelRunning —
+  /// in-flight ones stop at their next checkpoint, so total batch
+  /// wall-clock stays within the deadline plus one checkpoint interval.
+  ///
+  /// Per-query outcomes land in `statuses` (the call itself only fails on
+  /// invalid arguments); counters in `stats` classify them. With a
+  /// default-constructed BatchLimits the results are identical to the
+  /// ungoverned SearchBatch.
+  Result<BatchResult> SearchBatch(
+      const std::vector<std::vector<Token>>& queries,
+      const SearchOptions& options, const BatchLimits& limits,
       uint64_t cache_budget_bytes = 256ull << 20, size_t num_threads = 1);
 
   /// Build-time parameters of the open index.
@@ -198,17 +299,20 @@ class Searcher {
   /// Flags `func` dropped (idempotent; logs on the first drop).
   void DropFunc(uint32_t func, const Status& cause);
 
-  Result<SearchResult> SearchInternal(std::span<const Token> query,
-                                      const SearchOptions& options,
-                                      ListCache* cache);
+  /// Full search (degraded retries included) writing into `*result`; on
+  /// failure the partial stats computed so far are left in place.
+  Status SearchInternal(std::span<const Token> query,
+                        const SearchOptions& options, ListCache* cache,
+                        const QueryContext* ctx, SearchResult* result);
 
   /// One search attempt over the `sources` snapshot. On a list checksum
   /// failure, reports the offending function via `failed_func` so
   /// SearchInternal can drop it and retry when degradation is allowed.
-  Result<SearchResult> SearchOnce(
-      std::span<const Token> query, const SearchOptions& options,
-      ListCache* cache, const std::vector<InvertedListSource*>& sources,
-      uint32_t* failed_func);
+  Status SearchOnce(std::span<const Token> query, const SearchOptions& options,
+                    ListCache* cache,
+                    const std::vector<InvertedListSource*>& sources,
+                    const QueryContext* ctx, uint32_t* failed_func,
+                    SearchResult* result);
 
   IndexMeta meta_;
   HashFamily family_;

@@ -55,15 +55,23 @@ std::vector<VerifiedMatch> VerifySpans(const Corpus& corpus,
                                        const std::vector<MatchSpan>& spans,
                                        double theta) {
   std::vector<VerifiedMatch> verified;
+  (void)VerifySpans(corpus, query, spans, theta, nullptr, &verified);
+  return verified;
+}
+
+Status VerifySpans(const Corpus& corpus, std::span<const Token> query,
+                   const std::vector<MatchSpan>& spans, double theta,
+                   const QueryContext* ctx, std::vector<VerifiedMatch>* out) {
   for (const MatchSpan& span : spans) {
+    NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
     const std::span<const Token> tokens = corpus.text_by_id(span.text);
     const double exact =
         BestWindowJaccard(tokens, span.begin, span.end, query);
     if (exact >= theta) {
-      verified.push_back(VerifiedMatch{span, exact});
+      out->push_back(VerifiedMatch{span, exact});
     }
   }
-  return verified;
+  return Status::OK();
 }
 
 }  // namespace ndss

@@ -33,6 +33,13 @@ std::vector<VerifiedMatch> VerifySpans(const Corpus& corpus,
                                        const std::vector<MatchSpan>& spans,
                                        double theta);
 
+/// Governed VerifySpans: re-checks `ctx` between spans (each span costs one
+/// sliding-window pass over its tokens) and returns the context's error
+/// with the spans verified so far in `*out`. nullptr ctx = ungoverned.
+Status VerifySpans(const Corpus& corpus, std::span<const Token> query,
+                   const std::vector<MatchSpan>& spans, double theta,
+                   const QueryContext* ctx, std::vector<VerifiedMatch>* out);
+
 }  // namespace ndss
 
 #endif  // NDSS_QUERY_VERIFY_H_

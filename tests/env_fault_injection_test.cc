@@ -385,6 +385,80 @@ TEST_F(EnvFaultInjectionTest, CorruptedAppendNeverYieldsSilentZoneProbes) {
   EXPECT_TRUE(detected) << "a flipped bit survived every checksum and probe";
 }
 
+// ---- positional-read routing (regression: query-path preads must consume
+// ---- fault-injection ops like every other file operation) ----
+
+TEST_F(EnvFaultInjectionTest, ReadAtCountsOpsAndHonorsFaults) {
+  const std::string path = dir_ + "/blob";
+  ASSERT_TRUE(WriteStringToFile(path, std::string(4096, 'x')).ok());
+  auto reader = FileReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  char buf[64];
+  const int64_t before = fault_->op_count();
+  ASSERT_TRUE(reader->ReadAt(1000, buf, sizeof(buf)).ok());
+  EXPECT_GT(fault_->op_count(), before)
+      << "positional reads bypass the fault-injection env";
+
+  fault_->SetFailOnce(true);
+  fault_->FailAtOp(fault_->op_count());  // the very next pread fails once
+  EXPECT_TRUE(reader->ReadAt(0, buf, sizeof(buf)).IsIOError());
+  EXPECT_EQ(1, fault_->faults_injected());
+  EXPECT_TRUE(reader->ReadAt(0, buf, sizeof(buf)).ok());  // disarmed
+}
+
+TEST_F(EnvFaultInjectionTest, ShortPositionalReadsSurfaceAsIOError) {
+  const std::string path = dir_ + "/blob";
+  ASSERT_TRUE(WriteStringToFile(path, std::string(4096, 'x')).ok());
+  auto reader = FileReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  char buf[64];
+  fault_->SetShortReads(true);
+  const Status status = reader->ReadAt(0, buf, sizeof(buf));
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+  EXPECT_NE(status.ToString().find("short read"), std::string::npos)
+      << status.ToString();
+  fault_->Heal();
+  EXPECT_TRUE(reader->ReadAt(0, buf, sizeof(buf)).ok());
+}
+
+TEST_F(EnvFaultInjectionTest, QueryPreadsRouteThroughEnv) {
+  const std::string idx = dir_ + "/idx";
+  ASSERT_TRUE(BuildIndexInMemory(sc_.corpus, idx, build_).ok());
+
+  auto searcher = Searcher::Open(idx);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  const auto queries = Queries();
+  const int64_t before = fault_->op_count();
+  auto baseline = RunQueries(*searcher, queries);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_GT(fault_->op_count(), before)
+      << "query-path preads bypass the fault-injection env";
+
+  // A fault armed on the next operation must surface through the query.
+  fault_->SetFailOnce(true);
+  fault_->FailAtOp(fault_->op_count());
+  auto failed = RunQueries(*searcher, queries);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsIOError()) << failed.status().ToString();
+  EXPECT_EQ(1, fault_->faults_injected());
+
+  // With the fault disarmed the same searcher answers again — and a read
+  // retry policy rides out the transient fault without failing the query.
+  auto healed = RunQueries(*searcher, queries);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(*baseline, *healed);
+
+  fault_->SetFailOnce(true);
+  fault_->FailAtOp(fault_->op_count());
+  SearchOptions retrying;
+  retrying.theta = 0.5;
+  retrying.read_retry.max_attempts = 3;
+  retrying.read_retry.initial_backoff_micros = 1;
+  auto result = searcher->Search(queries[0], retrying);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(2, fault_->faults_injected());
+}
+
 TEST_F(EnvFaultInjectionTest, CorruptedCorpusAppendIsDetectedByChecksums) {
   const std::string path = dir_ + "/corpus.ndc";
   auto writer = CorpusFileWriter::Create(path);

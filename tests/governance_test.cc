@@ -1,0 +1,503 @@
+// Query-side resource governance: deadlines, cooperative cancellation,
+// memory budgets, and batch overload shedding (DESIGN.md §7c).
+//
+// The contract under test: a governed query either completes normally
+// (bit-identical to an ungoverned run) or stops at a checkpoint with
+// DeadlineExceeded / Cancelled / ResourceExhausted while its partial
+// SearchStats survive; a governed batch sheds or cancels rather than
+// blocking past its deadline, and its outcome counters partition the batch.
+// The stress test at the bottom combines 4 worker threads with injected IO
+// faults, degraded mode, and tight deadlines (run it under TSan too).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/env.h"
+#include "common/fault_injection_env.h"
+#include "common/file_io.h"
+#include "common/query_context.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "corpusgen/synthetic.h"
+#include "index/index_builder.h"
+#include "index/index_format.h"
+#include "index/index_meta.h"
+#include "query/collision_count.h"
+#include "query/interval_scan.h"
+#include "query/searcher.h"
+
+namespace ndss {
+namespace {
+
+// ---- MemoryBudget ----
+
+TEST(MemoryBudgetTest, UnlimitedBudgetOnlyAccounts) {
+  MemoryBudget budget(0);
+  EXPECT_TRUE(budget.Charge(1ull << 40).ok());
+  EXPECT_EQ(1ull << 40, budget.used());
+  EXPECT_EQ(1ull << 40, budget.peak());
+  budget.Release(1ull << 40);
+  EXPECT_EQ(0u, budget.used());
+  EXPECT_EQ(1ull << 40, budget.peak());  // high-water mark survives
+}
+
+TEST(MemoryBudgetTest, CapIsEnforcedWithoutNetChange) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.Charge(600).ok());
+  const Status status = budget.Charge(500);
+  EXPECT_TRUE(status.IsResourceExhausted()) << status.ToString();
+  EXPECT_EQ(600u, budget.used());  // failed charge left no residue
+  EXPECT_TRUE(budget.Charge(400).ok());
+  EXPECT_EQ(1000u, budget.used());
+}
+
+TEST(MemoryBudgetTest, ParentChainChargesAndRollsBack) {
+  MemoryBudget inflight(1000);
+  MemoryBudget arena_a(0, &inflight);
+  MemoryBudget arena_b(0, &inflight);
+  EXPECT_TRUE(arena_a.Charge(700).ok());
+  EXPECT_EQ(700u, inflight.used());
+  // arena_b has no cap of its own, but the shared parent is nearly full.
+  const Status status = arena_b.Charge(400);
+  EXPECT_TRUE(status.IsResourceExhausted()) << status.ToString();
+  EXPECT_EQ(0u, arena_b.used());  // rolled back locally
+  EXPECT_EQ(700u, inflight.used());
+  arena_a.Release(700);
+  EXPECT_EQ(0u, inflight.used());
+  EXPECT_EQ(700u, inflight.peak());
+}
+
+// ---- QueryContext ----
+
+TEST(QueryContextTest, DefaultContextGovernsNothing) {
+  QueryContext ctx;
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_TRUE(ctx.ChargeMemory(1ull << 40).ok());
+  EXPECT_TRUE(CheckQueryContext(nullptr).ok());
+  EXPECT_FALSE(ctx.has_deadline());
+}
+
+TEST(QueryContextTest, ExpiredDeadlineFailsCheck) {
+  const QueryContext ctx = QueryContext::WithTimeout(-1);
+  const Status status = ctx.Check();
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_LT(ctx.remaining_micros(), 0);
+}
+
+TEST(QueryContextTest, CancellationWinsOverDeadline) {
+  std::atomic<bool> cancel{true};
+  QueryContext ctx = QueryContext::WithTimeout(-1);  // also expired
+  ctx.set_cancel_flag(&cancel);
+  EXPECT_TRUE(ctx.Check().IsCancelled());
+  cancel.store(false);
+  EXPECT_TRUE(ctx.Check().IsDeadlineExceeded());
+}
+
+TEST(QueryContextTest, ScopedChargeReleasesOnExit) {
+  MemoryBudget budget(1000);
+  QueryContext ctx;
+  ctx.set_memory_budget(&budget);
+  {
+    ScopedMemoryCharge scratch(&ctx);
+    EXPECT_TRUE(scratch.Charge(300).ok());
+    EXPECT_TRUE(scratch.Charge(300).ok());
+    EXPECT_TRUE(scratch.Charge(500).IsResourceExhausted());
+    EXPECT_EQ(600u, scratch.charged());  // the failed charge is not recorded
+    EXPECT_EQ(600u, budget.used());
+  }
+  EXPECT_EQ(0u, budget.used());
+  EXPECT_EQ(600u, budget.peak());
+}
+
+// ---- deadline-aware RunWithRetry (satellite: retry governance) ----
+
+TEST(RetryGovernanceTest, MaxTotalMicrosCapsCumulativeBackoff) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_micros = 1000;
+  policy.backoff_multiplier = 2.0;
+  policy.max_total_micros = 2500;
+  int attempts = 0;
+  const Status status = RunWithRetry(policy, [&] {
+    ++attempts;
+    return Status::IOError("flaky");
+  });
+  EXPECT_TRUE(status.IsIOError());
+  // Sleeps 1000 then 1500 (clamped), hits the 2500 cap, stops: 3 attempts,
+  // not 10.
+  EXPECT_EQ(3, attempts);
+}
+
+TEST(RetryGovernanceTest, ExpiredContextShortCircuitsBeforeFirstAttempt) {
+  const QueryContext ctx = QueryContext::WithTimeout(-1);
+  int attempts = 0;
+  const Status status = RunWithRetry(
+      RetryPolicy{},
+      [&] {
+        ++attempts;
+        return Status::IOError("never reached");
+      },
+      /*env=*/nullptr, &ctx);
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_EQ(0, attempts);
+}
+
+TEST(RetryGovernanceTest, DeadlineClampsBackoffAndStopsRetrying) {
+  // 50 ms of deadline against a 10 s backoff: the sleep is clamped to the
+  // remaining time and the next gate fires. The deadline that stopped the
+  // retrying is returned (the op had attempts left), not the transient
+  // error.
+  const QueryContext ctx = QueryContext::WithTimeout(50'000);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_micros = 10'000'000;
+  int attempts = 0;
+  const auto start = QueryContext::Clock::now();
+  const Status status = RunWithRetry(
+      policy,
+      [&] {
+        ++attempts;
+        return Status::IOError("flaky");
+      },
+      /*env=*/nullptr, &ctx);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      QueryContext::Clock::now() - start);
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_EQ(1, attempts);
+  EXPECT_LT(elapsed.count(), 5000) << "backoff ignored the deadline";
+}
+
+TEST(RetryGovernanceTest, CancelledContextIsNotRetryable) {
+  EXPECT_FALSE(IsRetryableStatus(Status::DeadlineExceeded("d")));
+  EXPECT_FALSE(IsRetryableStatus(Status::Cancelled("c")));
+  EXPECT_FALSE(IsRetryableStatus(Status::ResourceExhausted("r")));
+  EXPECT_TRUE(IsRetryableStatus(Status::IOError("io")));
+}
+
+// ---- governed IntervalScan / CollisionCount ----
+
+TEST(GovernedScanTest, IntervalScanStopsOnExpiredContext) {
+  std::vector<Interval> intervals;
+  for (uint32_t i = 0; i < 100; ++i) {
+    intervals.push_back(Interval{i, i + 10, i});
+  }
+  std::vector<IntervalGroup> groups;
+  EXPECT_TRUE(IntervalScan(intervals, 2, &groups).ok());
+  EXPECT_FALSE(groups.empty());
+
+  const QueryContext expired = QueryContext::WithTimeout(-1);
+  groups.clear();
+  const Status status = IntervalScan(intervals, 2, &groups, &expired);
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+}
+
+TEST(GovernedScanTest, CollisionCountStopsOnExpiredContext) {
+  std::vector<PostedWindow> windows;
+  for (uint32_t i = 0; i < 50; ++i) {
+    windows.push_back(PostedWindow{0, i, i + 5, i + 10});
+  }
+  std::vector<MatchRectangle> rects;
+  EXPECT_TRUE(CollisionCount(windows, 2, &rects).ok());
+
+  const QueryContext expired = QueryContext::WithTimeout(-1);
+  rects.clear();
+  const Status status = CollisionCount(windows, 2, &rects, &expired);
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+}
+
+TEST(GovernedScanTest, CollisionCountChargesScanScratch) {
+  std::vector<PostedWindow> windows;
+  for (uint32_t i = 0; i < 50; ++i) {
+    windows.push_back(PostedWindow{0, i, i + 5, i + 10});
+  }
+  // Room for the interval arrays (50 windows x 3 intervals x 12 bytes) but
+  // not for the groups the sweeps emit.
+  MemoryBudget budget(2000);
+  QueryContext ctx;
+  ctx.set_memory_budget(&budget);
+  std::vector<MatchRectangle> rects;
+  const Status status = CollisionCount(windows, 2, &rects, &ctx);
+  EXPECT_TRUE(status.IsResourceExhausted()) << status.ToString();
+  EXPECT_EQ(0u, budget.used()) << "scan scratch leaked accounted bytes";
+  EXPECT_GT(budget.peak(), 0u);
+}
+
+// ---- governed Searcher ----
+
+class GovernanceSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_governance_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+
+    // Zipf-skewed vocabulary: hot tokens concentrate windows into few long
+    // lists, the workload governance exists for.
+    SyntheticCorpusOptions corpus_options;
+    corpus_options.num_texts = 120;
+    corpus_options.vocab_size = 300;
+    corpus_options.zipf_exponent = 1.2;
+    corpus_options.plant_rate = 0.4;
+    corpus_options.seed = 17;
+    sc_ = GenerateSyntheticCorpus(corpus_options);
+
+    build_.k = 8;
+    build_.t = 15;
+    ASSERT_TRUE(BuildIndexInMemory(sc_.corpus, dir_, build_).ok());
+
+    options_.theta = 0.6;
+
+    Rng rng(11);
+    for (int q = 0; q < 24; ++q) {
+      const TextId id = static_cast<TextId>(rng.Uniform(120));
+      const auto text = sc_.corpus.text(id);
+      const uint32_t length =
+          std::min<uint32_t>(40, static_cast<uint32_t>(text.size()));
+      queries_.push_back(PerturbSequence(text, 0, length, 0.05, 300, rng));
+    }
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::string Fingerprint(const SearchResult& result) {
+    std::string fp;
+    for (const MatchSpan& span : result.spans) {
+      fp += std::to_string(span.text) + ":" + std::to_string(span.begin) +
+            "-" + std::to_string(span.end) + "/" +
+            std::to_string(span.collisions) + ";";
+    }
+    return fp;
+  }
+
+  /// XORs the posting/zone region of an inverted-index file so it still
+  /// opens but every list read fails its CRC.
+  static void CorruptAllLists(const std::string& path) {
+    auto data = ReadFileToString(path);
+    ASSERT_TRUE(data.ok());
+    const uint64_t directory_offset = DecodeFixed64(
+        data->data() + data->size() - index_format::kFooterSize + 16);
+    ASSERT_LE(directory_offset, data->size());
+    for (uint64_t i = index_format::kHeaderSize; i < directory_offset; ++i) {
+      (*data)[i] ^= 0x5a;
+    }
+    ASSERT_TRUE(WriteStringToFile(path, *data).ok());
+  }
+
+  std::string dir_;
+  SyntheticCorpus sc_;
+  IndexBuildOptions build_;
+  SearchOptions options_;
+  std::vector<std::vector<Token>> queries_;
+};
+
+TEST_F(GovernanceSearchTest, PermissiveContextIsBitIdenticalToUngoverned) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  MemoryBudget budget(1ull << 30);
+  QueryContext ctx = QueryContext::WithTimeout(60'000'000);
+  ctx.set_memory_budget(&budget);
+  for (const auto& query : queries_) {
+    auto ungoverned = searcher->Search(query, options_);
+    ASSERT_TRUE(ungoverned.ok());
+    SearchResult governed;
+    ASSERT_TRUE(searcher->Search(query, options_, &ctx, &governed).ok());
+    EXPECT_EQ(Fingerprint(*ungoverned), Fingerprint(governed));
+    EXPECT_EQ(ungoverned->stats.io_bytes, governed.stats.io_bytes);
+    EXPECT_GT(governed.stats.wall_seconds, 0.0);
+  }
+  EXPECT_EQ(0u, budget.used()) << "queries leaked accounted bytes";
+  EXPECT_GT(budget.peak(), 0u) << "nothing was ever charged";
+}
+
+TEST_F(GovernanceSearchTest, ExpiredDeadlineStopsPromptlyWithPartialStats) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  const QueryContext ctx = QueryContext::WithTimeout(-1);
+  SearchResult result;
+  const Status status =
+      searcher->Search(queries_[0], options_, &ctx, &result);
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  // List classification happens before the first checkpoint, so the partial
+  // stats identify how far the query got.
+  EXPECT_EQ(build_.k, result.stats.short_lists + result.stats.long_lists +
+                          result.stats.empty_lists);
+  EXPECT_GT(result.stats.wall_seconds, 0.0);
+}
+
+TEST_F(GovernanceSearchTest, CancellationFlagStopsTheQuery) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  std::atomic<bool> cancel{true};
+  QueryContext ctx;
+  ctx.set_cancel_flag(&cancel);
+  SearchResult result;
+  const Status status =
+      searcher->Search(queries_[0], options_, &ctx, &result);
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+
+  cancel.store(false);
+  ASSERT_TRUE(searcher->Search(queries_[0], options_, &ctx, &result).ok());
+}
+
+TEST_F(GovernanceSearchTest, TinyMemoryBudgetFailsWithResourceExhausted) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  MemoryBudget budget(256);  // a handful of windows
+  QueryContext ctx;
+  ctx.set_memory_budget(&budget);
+  SearchResult result;
+  const Status status =
+      searcher->Search(queries_[0], options_, &ctx, &result);
+  EXPECT_TRUE(status.IsResourceExhausted()) << status.ToString();
+  EXPECT_EQ(0u, budget.used()) << "failed query leaked accounted bytes";
+
+  // A generous budget admits the same query and reports its footprint.
+  MemoryBudget ample(1ull << 30);
+  QueryContext ample_ctx;
+  ample_ctx.set_memory_budget(&ample);
+  ASSERT_TRUE(
+      searcher->Search(queries_[0], options_, &ample_ctx, &result).ok());
+  EXPECT_GT(result.stats.peak_memory_bytes, 256u);
+}
+
+TEST_F(GovernanceSearchTest, GovernedBatchWithNoLimitsMatchesUngoverned) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  auto ungoverned = searcher->SearchBatch(queries_, options_);
+  ASSERT_TRUE(ungoverned.ok());
+  auto governed = searcher->SearchBatch(queries_, options_, BatchLimits{});
+  ASSERT_TRUE(governed.ok());
+  ASSERT_EQ(queries_.size(), governed->results.size());
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    EXPECT_TRUE(governed->statuses[q].ok());
+    EXPECT_EQ(Fingerprint((*ungoverned)[q]),
+              Fingerprint(governed->results[q]));
+  }
+  EXPECT_EQ(queries_.size(), governed->stats.queries_ok);
+  EXPECT_EQ(0u, governed->stats.queries_shed);
+  EXPECT_GT(governed->stats.peak_query_bytes, 0u);
+}
+
+TEST_F(GovernanceSearchTest, BatchDeadlineShedsInsteadOfBlocking) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  BatchLimits limits;
+  limits.batch_timeout_micros = 1;  // effectively already expired
+  const auto start = QueryContext::Clock::now();
+  auto batch = searcher->SearchBatch(queries_, options_, limits,
+                                     256ull << 20, /*num_threads=*/4);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      QueryContext::Clock::now() - start);
+  ASSERT_TRUE(batch.ok());
+  const BatchStats& stats = batch->stats;
+  EXPECT_EQ(queries_.size(), stats.queries_shed +
+                                 stats.queries_deadline_exceeded +
+                                 stats.queries_ok + stats.queries_failed +
+                                 stats.queries_resource_exhausted);
+  EXPECT_GT(stats.queries_shed + stats.queries_deadline_exceeded, 0u);
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    const Status& status = batch->statuses[q];
+    EXPECT_TRUE(status.ok() || status.IsCancelled() ||
+                status.IsDeadlineExceeded())
+        << "q=" << q << ": " << status.ToString();
+  }
+  // Wall-clock is bounded by the (expired) deadline plus checkpoint slack,
+  // not by the work the batch would have done. Generous bound for CI.
+  EXPECT_LT(elapsed.count(), 10'000);
+}
+
+TEST_F(GovernanceSearchTest, RejectNewLetsRunningQueriesFinish) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  BatchLimits limits;
+  limits.batch_timeout_micros = 1;
+  limits.shed_policy = ShedPolicy::kRejectNew;
+  auto batch = searcher->SearchBatch(queries_, options_, limits,
+                                     256ull << 20, /*num_threads=*/2);
+  ASSERT_TRUE(batch.ok());
+  // Without deadline folding, a picked-up query runs to completion: every
+  // status is ok or shed, never DeadlineExceeded.
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    const Status& status = batch->statuses[q];
+    EXPECT_TRUE(status.ok() || status.IsCancelled())
+        << "q=" << q << ": " << status.ToString();
+  }
+  EXPECT_EQ(0u, batch->stats.queries_deadline_exceeded);
+  EXPECT_GT(batch->stats.queries_shed, 0u);
+}
+
+TEST_F(GovernanceSearchTest, PerQueryBudgetFailsOnlyOversizedQueries) {
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  BatchLimits limits;
+  limits.max_query_bytes = 256;
+  auto batch = searcher->SearchBatch(queries_, options_, limits);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_GT(batch->stats.queries_resource_exhausted, 0u)
+      << "a 256-byte arena should not fit a real query";
+  EXPECT_EQ(queries_.size(), batch->stats.queries_ok +
+                                 batch->stats.queries_resource_exhausted);
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    const Status& status = batch->statuses[q];
+    EXPECT_TRUE(status.ok() || status.IsResourceExhausted())
+        << "q=" << q << ": " << status.ToString();
+  }
+}
+
+TEST_F(GovernanceSearchTest, StressFaultsDeadlinesAndThreads) {
+  // The combined stress: 4 worker threads, one corrupted hash function
+  // (degraded mode drops it mid-batch), a transient injected IO fault
+  // (ridden out by the read retry policy), tight per-query deadlines, and a
+  // batch deadline. Every query must end in exactly one of
+  // {ok, deadline_exceeded, shed}; nothing may crash or race.
+  CorruptAllLists(IndexMeta::InvertedIndexPath(dir_, 5));
+  auto fault = std::make_unique<FaultInjectionEnv>(Env::Posix());
+  SetDefaultEnv(fault.get());
+  SearcherOptions open_options;
+  open_options.allow_degraded = true;
+  auto searcher = Searcher::Open(dir_, open_options);
+  if (!searcher.ok()) {
+    SetDefaultEnv(nullptr);
+    FAIL() << searcher.status().ToString();
+  }
+
+  SearchOptions options = options_;
+  options.allow_degraded = true;
+  options.read_retry.max_attempts = 3;
+  options.read_retry.initial_backoff_micros = 1;
+  fault->SetFailOnce(true);
+  fault->FailAtOp(fault->op_count() + 20);  // one transient mid-batch fault
+
+  BatchLimits limits;
+  limits.query_timeout_micros = 2'000;  // tight but not always fatal
+  limits.batch_timeout_micros = 200'000;
+  for (int round = 0; round < 4; ++round) {
+    auto batch = searcher->SearchBatch(queries_, options, limits,
+                                       256ull << 20, /*num_threads=*/4);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    const BatchStats& stats = batch->stats;
+    EXPECT_EQ(0u, stats.queries_failed) << "round " << round;
+    EXPECT_EQ(0u, stats.queries_resource_exhausted);
+    EXPECT_EQ(queries_.size(),
+              stats.queries_ok + stats.queries_deadline_exceeded +
+                  stats.queries_shed)
+        << "round " << round;
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      const Status& status = batch->statuses[q];
+      EXPECT_TRUE(status.ok() || status.IsDeadlineExceeded() ||
+                  status.IsCancelled())
+          << "round " << round << " q=" << q << ": " << status.ToString();
+    }
+  }
+  SetDefaultEnv(nullptr);
+}
+
+}  // namespace
+}  // namespace ndss

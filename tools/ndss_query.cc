@@ -10,11 +10,20 @@
 //
 // --random mode runs the whole set through SearchBatch (shared list cache);
 // --threads=N fans the batch out across N worker threads.
+//
+// Resource governance: --deadline-ms bounds each query's wall-clock,
+// --query-memory-mb bounds its working memory, --batch-deadline-ms bounds
+// the whole --random batch (with --shed-policy=reject-new|cancel-running).
+// Governed failures exit with distinct codes so scripts can tell an
+// overloaded query from a broken index: 4 = deadline exceeded,
+// 5 = memory budget exhausted, 6 = shed by batch admission control
+// (1 remains the generic error exit).
 
 #include <algorithm>
 #include <cstdio>
 #include <sstream>
 
+#include "common/query_context.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "query/searcher.h"
@@ -22,6 +31,10 @@
 #include "tool_flags.h"
 
 namespace {
+
+constexpr int kExitDeadline = 4;
+constexpr int kExitMemory = 5;
+constexpr int kExitShed = 6;
 
 std::vector<ndss::Token> ParseTokens(const std::string& list) {
   std::vector<ndss::Token> tokens;
@@ -34,22 +47,63 @@ std::vector<ndss::Token> ParseTokens(const std::string& list) {
   return tokens;
 }
 
-void RunOne(ndss::Searcher& searcher, const std::vector<ndss::Token>& query,
-            const ndss::SearchOptions& options, bool verbose) {
+/// Exit code for one governed query outcome (0 = keep going).
+int ExitCodeFor(const ndss::Status& status) {
+  if (status.IsDeadlineExceeded()) return kExitDeadline;
+  if (status.IsResourceExhausted()) return kExitMemory;
+  if (status.IsCancelled()) return kExitShed;
+  return status.ok() ? 0 : 1;
+}
+
+/// Per-query governance from flags; `budget` must outlive the context.
+ndss::QueryContext MakeContext(const ndss::tools::Flags& flags,
+                               ndss::MemoryBudget* budget) {
+  ndss::QueryContext ctx;
+  const double deadline_ms = flags.GetDouble("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    ctx.set_deadline(ndss::QueryContext::Clock::now() +
+                     std::chrono::microseconds(
+                         static_cast<int64_t>(deadline_ms * 1000)));
+  }
+  if (budget->max_bytes() > 0) ctx.set_memory_budget(budget);
+  return ctx;
+}
+
+int RunOne(ndss::Searcher& searcher, const std::vector<ndss::Token>& query,
+           const ndss::SearchOptions& options,
+           const ndss::tools::Flags& flags, bool verbose) {
+  ndss::MemoryBudget budget(static_cast<uint64_t>(
+      flags.GetDouble("query-memory-mb", 0) * (1 << 20)));
+  const ndss::QueryContext ctx = MakeContext(flags, &budget);
   ndss::Stopwatch watch;
-  auto result = searcher.Search(query, options);
-  if (!result.ok()) ndss::tools::Die(result.status().ToString());
+  ndss::SearchResult result;
+  const ndss::Status status = searcher.Search(query, options, &ctx, &result);
+  if (!status.ok()) {
+    const int code = ExitCodeFor(status);
+    if (code == 1) ndss::tools::Die(status.ToString());
+    // Governed exit: report the partial stats the query accumulated.
+    std::fprintf(stderr,
+                 "query stopped: %s (after %.3f ms, io %.0f KB, "
+                 "%llu windows scanned, peak memory %.0f KB)\n",
+                 status.ToString().c_str(), watch.ElapsedMillis(),
+                 result.stats.io_bytes / 1e3,
+                 static_cast<unsigned long long>(
+                     result.stats.windows_scanned),
+                 result.stats.peak_memory_bytes / 1e3);
+    return code;
+  }
   std::printf("query (%zu tokens): %zu matching spans in %.3f ms "
               "(io %.0f KB)\n",
-              query.size(), result->spans.size(), watch.ElapsedMillis(),
-              result->stats.io_bytes / 1e3);
+              query.size(), result.spans.size(), watch.ElapsedMillis(),
+              result.stats.io_bytes / 1e3);
   if (verbose) {
-    for (const ndss::MatchSpan& span : result->spans) {
+    for (const ndss::MatchSpan& span : result.spans) {
       std::printf("  text %-8u tokens [%u..%u]  est. Jaccard %.3f\n",
                   span.text, span.begin, span.end,
                   span.estimated_similarity);
     }
   }
+  return 0;
 }
 
 }  // namespace
@@ -62,7 +116,8 @@ int main(int argc, char** argv) {
         "usage: ndss_query --index=DIR (--tokens=a,b,c | --corpus=FILE "
         "(--text=ID --begin=B --len=L [--noise=P] | --random=N)) "
         "[--theta=T] [--threads=N] [--no-prefix-filter] [--cost-model] "
-        "[--quiet]");
+        "[--deadline-ms=D] [--query-memory-mb=M] [--batch-deadline-ms=D] "
+        "[--shed-policy=reject-new|cancel-running] [--quiet]");
   }
   auto searcher = ndss::Searcher::Open(index_dir);
   if (!searcher.ok()) ndss::tools::Die(searcher.status().ToString());
@@ -83,9 +138,8 @@ int main(int argc, char** argv) {
   const bool verbose = !flags.GetBool("quiet", false);
 
   if (flags.Has("tokens")) {
-    RunOne(*searcher, ParseTokens(flags.GetString("tokens", "")), options,
-           verbose);
-    return 0;
+    return RunOne(*searcher, ParseTokens(flags.GetString("tokens", "")),
+                  options, flags, verbose);
   }
 
   const std::string corpus_path = flags.GetString("corpus", "");
@@ -123,28 +177,63 @@ int main(int argc, char** argv) {
       }
       queries.push_back(std::move(query));
     }
+    ndss::BatchLimits limits;
+    limits.batch_timeout_micros = static_cast<int64_t>(
+        flags.GetDouble("batch-deadline-ms", 0) * 1000);
+    limits.query_timeout_micros = static_cast<int64_t>(
+        flags.GetDouble("deadline-ms", 0) * 1000);
+    limits.max_query_bytes = static_cast<uint64_t>(
+        flags.GetDouble("query-memory-mb", 0) * (1 << 20));
+    const std::string shed = flags.GetString("shed-policy", "cancel-running");
+    if (shed == "reject-new") {
+      limits.shed_policy = ndss::ShedPolicy::kRejectNew;
+    } else if (shed != "cancel-running") {
+      ndss::tools::Die("--shed-policy must be reject-new or cancel-running");
+    }
     ndss::Stopwatch watch;
-    auto batch = searcher->SearchBatch(queries, options,
+    auto batch = searcher->SearchBatch(queries, options, limits,
                                        /*cache_budget_bytes=*/256ull << 20,
                                        threads);
     if (!batch.ok()) ndss::tools::Die(batch.status().ToString());
     const double elapsed = watch.ElapsedMillis();
     uint64_t spans = 0, io_bytes = 0, cache_hits = 0;
-    for (const ndss::SearchResult& result : *batch) {
+    for (size_t i = 0; i < batch->results.size(); ++i) {
+      const ndss::SearchResult& result = batch->results[i];
       spans += result.spans.size();
       io_bytes += result.stats.io_bytes;
       cache_hits += result.stats.cache_hits;
       if (verbose) {
-        std::printf("query (%zu tokens): %zu matching spans (io %.0f KB)\n",
-                    queries[&result - batch->data()].size(),
-                    result.spans.size(), result.stats.io_bytes / 1e3);
+        if (batch->statuses[i].ok()) {
+          std::printf("query (%zu tokens): %zu matching spans (io %.0f KB)\n",
+                      queries[i].size(), result.spans.size(),
+                      result.stats.io_bytes / 1e3);
+        } else {
+          std::printf("query (%zu tokens): %s\n", queries[i].size(),
+                      batch->statuses[i].ToString().c_str());
+        }
       }
     }
+    const ndss::BatchStats& stats = batch->stats;
     std::printf("batch: %zu queries, %llu spans, %.3f ms total "
                 "(%zu threads, io %.0f KB, %llu cache hits)\n",
                 queries.size(), static_cast<unsigned long long>(spans),
                 elapsed, threads, io_bytes / 1e3,
                 static_cast<unsigned long long>(cache_hits));
+    std::printf("governance: ok=%llu deadline_exceeded=%llu shed=%llu "
+                "resource_exhausted=%llu failed=%llu peak_query=%.0f KB\n",
+                static_cast<unsigned long long>(stats.queries_ok),
+                static_cast<unsigned long long>(
+                    stats.queries_deadline_exceeded),
+                static_cast<unsigned long long>(stats.queries_shed),
+                static_cast<unsigned long long>(
+                    stats.queries_resource_exhausted),
+                static_cast<unsigned long long>(stats.queries_failed),
+                stats.peak_query_bytes / 1e3);
+    // Exit-code priority: a real failure trumps governed outcomes.
+    if (stats.queries_failed > 0) return 1;
+    if (stats.queries_resource_exhausted > 0) return kExitMemory;
+    if (stats.queries_deadline_exceeded > 0) return kExitDeadline;
+    if (stats.queries_shed > 0) return kExitShed;
     return 0;
   }
 
@@ -165,6 +254,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  RunOne(*searcher, query, options, verbose);
-  return 0;
+  return RunOne(*searcher, query, options, flags, verbose);
 }
