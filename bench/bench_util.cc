@@ -95,6 +95,92 @@ QueryRunResult RunQueries(Searcher& searcher,
   return result;
 }
 
+void JsonWriter::Prefix(const std::string& key) {
+  if (!has_sibling_.empty()) {
+    if (has_sibling_.back()) out_ += ",";
+    out_ += "\n";
+    out_.append(2 * has_sibling_.size(), ' ');
+    has_sibling_.back() = true;
+  }
+  if (!key.empty()) {
+    Escaped(key);
+    out_ += ": ";
+  }
+}
+
+void JsonWriter::Escaped(const std::string& value) {
+  out_ += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      out_ += '\\';
+      out_ += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out_ += buf;
+    } else {
+      out_ += c;
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::BeginObject(const std::string& key) {
+  Prefix(key);
+  out_ += "{";
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  const bool had_fields = has_sibling_.back();
+  has_sibling_.pop_back();
+  if (had_fields) {
+    out_ += "\n";
+    out_.append(2 * has_sibling_.size(), ' ');
+  }
+  out_ += "}";
+  if (has_sibling_.empty()) out_ += "\n";
+}
+
+void JsonWriter::BeginArray(const std::string& key) {
+  Prefix(key);
+  out_ += "[";
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  const bool had_fields = has_sibling_.back();
+  has_sibling_.pop_back();
+  if (had_fields) {
+    out_ += "\n";
+    out_.append(2 * has_sibling_.size(), ' ');
+  }
+  out_ += "]";
+  if (has_sibling_.empty()) out_ += "\n";
+}
+
+void JsonWriter::Field(const std::string& key, const std::string& value) {
+  Prefix(key);
+  Escaped(value);
+}
+
+void JsonWriter::Field(const std::string& key, double value) {
+  Prefix(key);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Field(const std::string& key, uint64_t value) {
+  Prefix(key);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Field(const std::string& key, bool value) {
+  Prefix(key);
+  out_ += value ? "true" : "false";
+}
+
 void PrintHeader(const std::string& experiment, const std::string& note) {
   std::printf("\n================================================="
               "=============================\n");

@@ -52,6 +52,35 @@ QueryRunResult RunQueries(Searcher& searcher,
 /// Prints a section header for one paper figure/table.
 void PrintHeader(const std::string& experiment, const std::string& note);
 
+/// Minimal ordered JSON emitter for checked-in BENCH_*.json reports (see
+/// README "Benchmark reports"): objects/arrays nest via Begin/End pairs,
+/// fields keep insertion order, doubles print with enough digits to
+/// round-trip typical latencies. No dependencies, no escaping beyond
+/// quotes/backslashes/control characters (keys and values are
+/// bench-controlled strings).
+class JsonWriter {
+ public:
+  /// Key-less variants are for array elements and the root value.
+  void BeginObject(const std::string& key = "");
+  void EndObject();
+  void BeginArray(const std::string& key = "");
+  void EndArray();
+  void Field(const std::string& key, const std::string& value);
+  void Field(const std::string& key, double value);
+  void Field(const std::string& key, uint64_t value);
+  void Field(const std::string& key, bool value);
+
+  /// The finished document (every Begin closed), newline-terminated.
+  const std::string& str() const { return out_; }
+
+ private:
+  void Prefix(const std::string& key);
+  void Escaped(const std::string& value);
+
+  std::string out_;
+  std::vector<bool> has_sibling_;  ///< per nesting level: need a comma?
+};
+
 }  // namespace bench
 }  // namespace ndss
 

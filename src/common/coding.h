@@ -86,6 +86,45 @@ inline const char* GetVarint32(const char* p, const char* limit,
   return nullptr;
 }
 
+/// Decodes a 32-bit varint WITHOUT bounds checks: the caller must guarantee
+/// at least kMaxVarint32Bytes readable bytes at `p` (block decoders do this
+/// with one range check per block instead of four per window). Unrolled
+/// with a one-byte fast path — most posting deltas fit in one byte. Returns
+/// nullptr on overlong input (a fifth byte with the continuation bit set),
+/// exactly the inputs the checked decoder rejects when the buffer is ample;
+/// high bits that overflow 32 bits in the fifth byte are truncated the same
+/// way the checked decoder truncates them.
+inline const char* GetVarint32Unchecked(const char* p, uint32_t* value) {
+  uint32_t byte = static_cast<uint8_t>(*p++);
+  if ((byte & 0x80) == 0) {
+    *value = byte;
+    return p;
+  }
+  uint32_t result = byte & 0x7f;
+  byte = static_cast<uint8_t>(*p++);
+  if ((byte & 0x80) == 0) {
+    *value = result | (byte << 7);
+    return p;
+  }
+  result |= (byte & 0x7f) << 7;
+  byte = static_cast<uint8_t>(*p++);
+  if ((byte & 0x80) == 0) {
+    *value = result | (byte << 14);
+    return p;
+  }
+  result |= (byte & 0x7f) << 14;
+  byte = static_cast<uint8_t>(*p++);
+  if ((byte & 0x80) == 0) {
+    *value = result | (byte << 21);
+    return p;
+  }
+  result |= (byte & 0x7f) << 21;
+  byte = static_cast<uint8_t>(*p++);
+  if ((byte & 0x80) != 0) return nullptr;  // overlong: > kMaxVarint32Bytes
+  *value = result | (byte << 28);
+  return p;
+}
+
 /// Decodes a 64-bit varint from [p, limit).
 inline const char* GetVarint64(const char* p, const char* limit,
                                uint64_t* value) {

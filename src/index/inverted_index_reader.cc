@@ -5,6 +5,7 @@
 #include "common/coding.h"
 #include "common/crc32c.h"
 #include "common/query_context.h"
+#include "index/varint_block.h"
 
 namespace ndss {
 
@@ -41,6 +42,12 @@ Result<InvertedIndexReader> InvertedIndexReader::Open(
   const uint32_t format_raw = DecodeFixed32(header + 20);
   if (format_raw > idx::kFormatCompressed) {
     return Status::Corruption("unknown posting format in " + path);
+  }
+  if (zone_step == 0) {
+    // The writer always rejects a zero zone step; a zero here is header
+    // corruption, and both the run decoder and the zone probe's batching
+    // divide by it.
+    return Status::Corruption("zero zone step in index header: " + path);
   }
   // Footer.
   char footer[idx::kFooterSize];
@@ -102,21 +109,19 @@ const ListMeta* InvertedIndexReader::FindList(Token key) const {
 Status InvertedIndexReader::DecodeRun(const char* p, const char* limit,
                                       uint64_t max_windows,
                                       std::vector<PostedWindow>* out) const {
-  TextId prev_text = 0;
-  for (uint64_t i = 0; i < max_windows && p < limit; ++i) {
-    uint32_t text_field, l, c_delta, r_delta;
-    p = GetVarint32(p, limit, &text_field);
-    if (p != nullptr) p = GetVarint32(p, limit, &l);
-    if (p != nullptr) p = GetVarint32(p, limit, &c_delta);
-    if (p != nullptr) p = GetVarint32(p, limit, &r_delta);
-    if (p == nullptr) {
-      return Status::Corruption("truncated varint in compressed list");
-    }
-    // Window 0 of the run is a restart point (absolute text).
-    const TextId text = i == 0 ? text_field : prev_text + text_field;
-    prev_text = text;
-    out->push_back(PostedWindow{text, l, l + c_delta, l + c_delta + r_delta});
+  // Block decode straight into the output (window 0 of the run is a restart
+  // point with an absolute text id). The buffer may cleanly hold fewer than
+  // max_windows windows; only a varint cut off mid-byte is corruption.
+  const size_t old_size = out->size();
+  out->resize(old_size + max_windows);
+  uint64_t decoded = 0;
+  const char* q =
+      DecodeWindowRun(p, limit, max_windows, out->data() + old_size, &decoded);
+  if (q == nullptr) {
+    out->resize(old_size);
+    return Status::Corruption("truncated varint in compressed list");
   }
+  out->resize(old_size + decoded);
   return Status::OK();
 }
 
@@ -161,26 +166,35 @@ Status InvertedIndexReader::ReadList(const ListMeta& meta,
                               std::to_string(meta.key));
   }
   const char* limit = buffer.data() + buffer.size();
-  // One sequential pass; the delta base resets every zone_step_ windows
-  // (restart points carry absolute text ids).
-  TextId prev_text = 0;
+  // One sequential pass, decoded a run (zone_step_ windows, delta base
+  // reset at each restart point) at a time straight into preallocated
+  // output — block decode does one bounds check per chunk instead of four
+  // per window. A checksum-verified list must decode completely, so a short
+  // run is corruption (a CRC collision or a reader bug) even though the
+  // buffer ended cleanly.
+  const size_t old_size = out->size();
+  out->resize(old_size + meta.count);
   const char* q = buffer.data();
-  for (uint64_t i = 0; i < meta.count; ++i) {
-    if (i != 0 && (i & (QueryContext::kCheckIntervalWindows - 1)) == 0) {
-      NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
-    }
-    uint32_t text_field, l, c_delta, r_delta;
-    q = GetVarint32(q, limit, &text_field);
-    if (q != nullptr) q = GetVarint32(q, limit, &l);
-    if (q != nullptr) q = GetVarint32(q, limit, &c_delta);
-    if (q != nullptr) q = GetVarint32(q, limit, &r_delta);
-    if (q == nullptr) {
+  uint64_t i = 0;
+  uint64_t since_check = 0;
+  while (i < meta.count) {
+    const uint64_t run = std::min<uint64_t>(zone_step_, meta.count - i);
+    uint64_t decoded = 0;
+    q = DecodeWindowRun(q, limit, run, out->data() + old_size + i, &decoded);
+    if (q == nullptr || decoded != run) {
+      out->resize(old_size);
       return Status::Corruption("truncated varint in compressed list");
     }
-    const TextId text =
-        i % zone_step_ == 0 ? text_field : prev_text + text_field;
-    prev_text = text;
-    out->push_back(PostedWindow{text, l, l + c_delta, l + c_delta + r_delta});
+    i += run;
+    since_check += run;
+    if (since_check >= QueryContext::kCheckIntervalWindows) {
+      since_check = 0;
+      const Status checkpoint = CheckQueryContext(ctx);
+      if (!checkpoint.ok()) {
+        out->resize(old_size);
+        return checkpoint;
+      }
+    }
   }
   return Status::OK();
 }

@@ -1,0 +1,78 @@
+#ifndef NDSS_INDEX_VARINT_BLOCK_H_
+#define NDSS_INDEX_VARINT_BLOCK_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/coding.h"
+#include "index/posting.h"
+
+namespace ndss {
+
+/// Upper bound on the encoded size of one posting window: four varints
+/// (text delta, l, c - l, r - c), each at most kMaxVarint32Bytes.
+inline constexpr size_t kWindowMaxEncodedBytes = 4 * kMaxVarint32Bytes;
+
+/// Decodes one compressed posting run — up to `max_windows` windows from
+/// [p, limit) into `out` (which must hold max_windows slots). Window 0 of
+/// the run carries an absolute text id (a restart point); later windows
+/// delta-encode it. Per-window fields are (text field, l, c - l, r - c).
+///
+/// The hot loop decodes in chunks sized so that every varint of the chunk
+/// is provably in bounds — one range check per chunk instead of four per
+/// window — using the unrolled GetVarint32Unchecked; the last few windows
+/// near `limit` fall back to the bounds-checked decoder. Output and failure
+/// behavior are bit-identical to the one-varint-at-a-time reference
+/// (reference::DecodeWindowRun): sets `*decoded` to the number of complete
+/// windows and returns the position after the last one (which is `limit`
+/// when the buffer runs out exactly at a window boundary), or returns
+/// nullptr on a truncated or overlong varint.
+inline const char* DecodeWindowRun(const char* p, const char* limit,
+                                   uint64_t max_windows, PostedWindow* out,
+                                   uint64_t* decoded) {
+  uint32_t prev_text = 0;
+  uint64_t n = 0;
+  while (n < max_windows && p < limit) {
+    const uint64_t chunk =
+        std::min<uint64_t>(max_windows - n,
+                           static_cast<uint64_t>(limit - p) /
+                               kWindowMaxEncodedBytes);
+    if (chunk == 0) {
+      // Tail: fewer than kWindowMaxEncodedBytes remain, so this window may
+      // straddle the end of the buffer — decode it checked.
+      uint32_t text_field, l, c_delta, r_delta;
+      const char* q = GetVarint32(p, limit, &text_field);
+      if (q != nullptr) q = GetVarint32(q, limit, &l);
+      if (q != nullptr) q = GetVarint32(q, limit, &c_delta);
+      if (q != nullptr) q = GetVarint32(q, limit, &r_delta);
+      if (q == nullptr) return nullptr;
+      p = q;
+      const uint32_t text = n == 0 ? text_field : prev_text + text_field;
+      prev_text = text;
+      out[n++] = PostedWindow{text, l, l + c_delta, l + c_delta + r_delta};
+      continue;
+    }
+    for (uint64_t i = 0; i < chunk; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+      // Pull upcoming encoded bytes into cache while this window decodes
+      // (prefetching past `limit` is safe — prefetches never fault).
+      __builtin_prefetch(p + 256);
+#endif
+      uint32_t text_field, l, c_delta, r_delta;
+      p = GetVarint32Unchecked(p, &text_field);
+      if (p != nullptr) p = GetVarint32Unchecked(p, &l);
+      if (p != nullptr) p = GetVarint32Unchecked(p, &c_delta);
+      if (p != nullptr) p = GetVarint32Unchecked(p, &r_delta);
+      if (p == nullptr) return nullptr;  // overlong varint
+      const uint32_t text = n == 0 ? text_field : prev_text + text_field;
+      prev_text = text;
+      out[n++] = PostedWindow{text, l, l + c_delta, l + c_delta + r_delta};
+    }
+  }
+  *decoded = n;
+  return p;
+}
+
+}  // namespace ndss
+
+#endif  // NDSS_INDEX_VARINT_BLOCK_H_

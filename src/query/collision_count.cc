@@ -1,5 +1,7 @@
 #include "query/collision_count.h"
 
+#include <algorithm>
+
 #include "common/query_context.h"
 #include "query/interval_scan.h"
 
@@ -7,25 +9,68 @@ namespace ndss {
 
 namespace {
 
-/// Accounted footprint of the groups one IntervalScan call emitted: the
-/// member id arrays plus per-group bookkeeping. Charged after the scan —
-/// detection lags one sweep, but the sweep itself checks the deadline, so
-/// enforcement granularity stays one IntervalScan call.
-uint64_t GroupBytes(const std::vector<IntervalGroup>& groups) {
-  uint64_t bytes = 0;
-  for (const IntervalGroup& group : groups) {
-    bytes += group.members.size() * sizeof(uint32_t) + sizeof(IntervalGroup);
-  }
-  return bytes;
+/// Accounted footprint of one sweep's delta-encoded output. Charged after
+/// the sweep — detection lags one sweep, but the sweep itself checks the
+/// deadline, so enforcement granularity stays one IntervalSweep call.
+uint64_t SweepBytes(const SweepGroups& sweep) {
+  return sweep.groups.size() * sizeof(SweepGroups::Group) +
+         (sweep.adds.size() + sweep.removes.size()) * sizeof(uint32_t);
 }
 
 }  // namespace
 
+void CoalesceMatchRectangles(std::vector<MatchRectangle>* rects,
+                             size_t from) {
+  std::vector<MatchRectangle>& v = *rects;
+  if (v.size() - from < 2) return;
+  // Compacts in place. `prev_slice` / `cur_slice` hold output indices of
+  // the rectangles whose x range is (or absorbed) the previous / current
+  // input slice; a new rectangle merges into at most one of the previous
+  // slice's (their y segments are pairwise disjoint).
+  std::vector<size_t> prev_slice;
+  std::vector<size_t> cur_slice;
+  uint64_t slice_x_begin = ~0ull;
+  uint64_t slice_x_end = ~0ull;
+  size_t write = from;
+  for (size_t read = from; read < v.size(); ++read) {
+    const MatchRectangle r = v[read];
+    if (r.x_begin != slice_x_begin || r.x_end != slice_x_end) {
+      prev_slice.swap(cur_slice);
+      cur_slice.clear();
+      slice_x_begin = r.x_begin;
+      slice_x_end = r.x_end;
+    }
+    bool merged = false;
+    for (size_t q : prev_slice) {
+      MatchRectangle& p = v[q];
+      if (static_cast<uint64_t>(p.x_end) + 1 == r.x_begin &&
+          p.y_begin == r.y_begin && p.y_end == r.y_end &&
+          p.collisions == r.collisions) {
+        p.x_end = r.x_end;
+        cur_slice.push_back(q);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      v[write] = r;
+      cur_slice.push_back(write);
+      ++write;
+    }
+  }
+  v.resize(write);
+}
+
 Status CollisionCount(std::span<const PostedWindow> windows, uint32_t alpha,
                       std::vector<MatchRectangle>* out,
                       const QueryContext* ctx) {
-  if (alpha == 0) alpha = 1;
+  if (alpha == 0) {
+    return Status::InvalidArgument(
+        "CollisionCount: alpha must be >= 1 (was the collision threshold "
+        "miscomputed upstream?)");
+  }
   if (windows.size() < alpha) return Status::OK();
+  const size_t base = out->size();
 
   // The left intervals plus the endpoint array their sweep builds. Released
   // when this call returns, like the vectors themselves.
@@ -33,39 +78,45 @@ Status CollisionCount(std::span<const PostedWindow> windows, uint32_t alpha,
   NDSS_RETURN_NOT_OK(
       scratch.Charge(windows.size() * 3 * sizeof(Interval)));
 
-  // Left intervals [l, c]; interval id = index into `windows`.
+  // Left intervals [l, c]; interval id = index into `windows`, which also
+  // makes sweep instance indices and window indices interchangeable.
   std::vector<Interval> left;
   left.reserve(windows.size());
   for (uint32_t i = 0; i < windows.size(); ++i) {
     left.push_back({windows[i].l, windows[i].c, i});
   }
-  std::vector<IntervalGroup> left_groups;
-  NDSS_RETURN_NOT_OK(IntervalScan(left, alpha, &left_groups, ctx));
-  NDSS_RETURN_NOT_OK(scratch.Charge(GroupBytes(left_groups)));
+  SweepGroups left_sweep;
+  NDSS_RETURN_NOT_OK(IntervalSweep(left, alpha, &left_sweep, ctx));
+  NDSS_RETURN_NOT_OK(scratch.Charge(SweepBytes(left_sweep)));
 
+  SweepReplay replay(windows.size());
   std::vector<Interval> right;
-  std::vector<IntervalGroup> right_groups;
-  for (const IntervalGroup& group : left_groups) {
+  SweepGroups right_sweep;
+  for (size_t g = 0; g < left_sweep.groups.size(); ++g) {
+    const SweepGroups::Group& group = left_sweep.groups[g];
     NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
-    // Per-iteration scratch: the right intervals and the groups of their
-    // sweep are reused next iteration, so their charge is scoped to this
-    // one (summing iterations would overstate a peak that never exists).
+    replay.Apply(left_sweep, g);
+    // Per-iteration scratch: the right intervals and the delta groups of
+    // their sweep are reused next iteration, so their charge is scoped to
+    // this one (summing iterations would overstate a peak that never
+    // exists).
     ScopedMemoryCharge iteration_scratch(ctx);
     NDSS_RETURN_NOT_OK(
-        iteration_scratch.Charge(group.members.size() * 3 * sizeof(Interval)));
+        iteration_scratch.Charge(group.count * 3 * sizeof(Interval)));
     right.clear();
-    for (uint32_t id : group.members) {
-      right.push_back({windows[id].c, windows[id].r, id});
+    for (uint32_t instance : replay.active()) {
+      right.push_back({windows[instance].c, windows[instance].r, instance});
     }
-    right_groups.clear();
-    NDSS_RETURN_NOT_OK(IntervalScan(right, alpha, &right_groups, ctx));
-    NDSS_RETURN_NOT_OK(iteration_scratch.Charge(GroupBytes(right_groups)));
-    for (const IntervalGroup& rg : right_groups) {
-      out->push_back(MatchRectangle{
-          group.overlap_begin, group.overlap_end, rg.overlap_begin,
-          rg.overlap_end, static_cast<uint32_t>(rg.members.size())});
+    NDSS_RETURN_NOT_OK(IntervalSweep(right, alpha, &right_sweep, ctx));
+    NDSS_RETURN_NOT_OK(iteration_scratch.Charge(SweepBytes(right_sweep)));
+    // The right sweep's group cardinalities are the collision counts; no
+    // membership is materialized on either side.
+    for (const SweepGroups::Group& rg : right_sweep.groups) {
+      out->push_back(
+          MatchRectangle{group.begin, group.end, rg.begin, rg.end, rg.count});
     }
   }
+  CoalesceMatchRectangles(out, base);
   return Status::OK();
 }
 

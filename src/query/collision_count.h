@@ -1,6 +1,7 @@
 #ifndef NDSS_QUERY_COLLISION_COUNT_H_
 #define NDSS_QUERY_COLLISION_COUNT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -23,22 +24,44 @@ struct MatchRectangle {
   uint32_t y_begin;
   uint32_t y_end;
   uint32_t collisions;
+
+  friend bool operator==(const MatchRectangle& a, const MatchRectangle& b) {
+    return a.x_begin == b.x_begin && a.x_end == b.x_end &&
+           a.y_begin == b.y_begin && a.y_end == b.y_end &&
+           a.collisions == b.collisions;
+  }
 };
+
+/// Merges x-adjacent rectangles in `rects[from..)` that agree on the y
+/// range and collision count — the fragments the two-sided sweep emits for
+/// one logical overlap when the left subdivision splits at a coordinate
+/// that does not change the qualifying right-side segments. The input must
+/// be in CollisionCount emission order: runs of equal (x_begin, x_end)
+/// slices with increasing, disjoint x ranges. Disjointness and the
+/// exactly-`collisions` guarantee are preserved (a merge only joins
+/// rectangles that each assert the same count over the same y range).
+void CoalesceMatchRectangles(std::vector<MatchRectangle>* rects,
+                             size_t from = 0);
 
 /// Algorithm 4 (CollisionCount): given all compact windows of one text that
 /// collide with the query (from up to k inverted lists) and the collision
 /// threshold `alpha` = ⌈kθ⌉ (or the reduced first-pass threshold under
 /// prefix filtering), finds every rectangle of sequences contained in at
 /// least `alpha` windows. Splits each window (l, c, r) into a left interval
-/// [l, c] and right interval [c, r] and runs IntervalScan on each side.
-/// O(m^2 log m) for a group of m windows.
+/// [l, c] and right interval [c, r] and runs the IntervalSweep kernel on
+/// each side: the left sweep's delta-encoded groups are replayed
+/// incrementally (no per-group member copies), and the right sweeps read
+/// collision counts straight off the group cardinalities. `alpha` must be
+/// >= 1 (InvalidArgument otherwise — a zero threshold means the caller
+/// miscomputed beta, and coercing it would return wrong-but-plausible
+/// results). O(m^2) worst case for a group of m windows, with small
+/// constants.
 ///
 /// With a `ctx`, the deadline/cancellation is checked per left group (plus
-/// inside each IntervalScan sweep) and the O(m^2) scan scratch — interval
-/// arrays, endpoint arrays, and the groups the sweeps emit — is charged to
-/// the memory budget, so a pathological group fails with ResourceExhausted
-/// instead of growing without bound. `out` may hold a prefix of the
-/// rectangles on early exit.
+/// inside each sweep) and the scan scratch — interval arrays, endpoint
+/// arrays, and the sweeps' delta groups — is charged to the memory budget,
+/// so a pathological group fails with ResourceExhausted instead of growing
+/// without bound. `out` may hold a prefix of the rectangles on early exit.
 Status CollisionCount(std::span<const PostedWindow> windows, uint32_t alpha,
                       std::vector<MatchRectangle>* out,
                       const QueryContext* ctx = nullptr);

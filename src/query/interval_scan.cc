@@ -3,69 +3,218 @@
 #include <algorithm>
 
 #include "common/query_context.h"
+#include "query/radix_sort.h"
 
 namespace ndss {
 
-Status IntervalScan(std::span<const Interval> intervals, uint32_t alpha,
-                    std::vector<IntervalGroup>* out,
-                    const QueryContext* ctx) {
-  if (alpha == 0) alpha = 1;
+namespace {
+
+/// One sweep event. `coord` is widened to 64 bits because an end event
+/// lives at interval.end + 1, which overflows uint32_t for intervals
+/// ending at UINT32_MAX (the overflow made such intervals sort before
+/// every start and stick in the active set forever). `instance` is the
+/// index of the interval in the input span, so duplicate ids remove the
+/// right occurrence in O(1).
+struct Endpoint {
+  uint64_t coord;
+  uint32_t instance;
+  uint32_t is_start;
+};
+
+constexpr uint32_t kAbsent = 0xffffffffu;
+
+/// Pending-delta membership of one instance since the last flushed group.
+enum PendingState : uint8_t { kNone = 0, kPendingAdd = 1, kPendingRemove = 2 };
+
+/// Sweep working set: the dense active array with O(1) indexed removal,
+/// plus the adds/removes accumulated since the last flushed group. An
+/// instance sits in at most one pending list; re-adding a
+/// pending-removed instance (or removing a pending-added one) cancels in
+/// O(1) instead of growing both lists.
+struct SweepState {
+  std::vector<uint32_t> active;
+  std::vector<uint32_t> pos;           ///< instance -> index in active
+  std::vector<uint8_t> pending_state;  ///< instance -> PendingState
+  std::vector<uint32_t> pending_pos;   ///< instance -> index in its list
+  std::vector<uint32_t> pending_adds;
+  std::vector<uint32_t> pending_removes;
+  // Scratch for the id-multiset comparison in the coalescing check.
+  std::vector<uint32_t> add_ids;
+  std::vector<uint32_t> remove_ids;
+
+  explicit SweepState(size_t m)
+      : pos(m, kAbsent), pending_state(m, kNone), pending_pos(m, 0) {
+    active.reserve(m);
+  }
+
+  void DropFromList(std::vector<uint32_t>& list, uint32_t instance) {
+    const uint32_t at = pending_pos[instance];
+    const uint32_t last = list.back();
+    list[at] = last;
+    pending_pos[last] = at;
+    list.pop_back();
+    pending_state[instance] = kNone;
+  }
+
+  void Start(uint32_t instance) {
+    pos[instance] = static_cast<uint32_t>(active.size());
+    active.push_back(instance);
+    if (pending_state[instance] == kPendingRemove) {
+      DropFromList(pending_removes, instance);
+    } else {
+      pending_state[instance] = kPendingAdd;
+      pending_pos[instance] = static_cast<uint32_t>(pending_adds.size());
+      pending_adds.push_back(instance);
+    }
+  }
+
+  void End(uint32_t instance) {
+    // Every end event's start sorts strictly earlier (begin <= end <
+    // end + 1), so the instance is always active here.
+    const uint32_t at = pos[instance];
+    const uint32_t last = active.back();
+    active[at] = last;
+    pos[last] = at;
+    active.pop_back();
+    pos[instance] = kAbsent;
+    if (pending_state[instance] == kPendingAdd) {
+      DropFromList(pending_adds, instance);
+    } else {
+      pending_state[instance] = kPendingRemove;
+      pending_pos[instance] = static_cast<uint32_t>(pending_removes.size());
+      pending_removes.push_back(instance);
+    }
+  }
+
+  /// True when the pending deltas leave the member *id* multiset unchanged
+  /// — the coalescing condition. Instance-disjoint swaps of equal ids
+  /// (interval [a, x-1] of id 7 abutting [x, b] of id 7) net to zero here
+  /// even though the instance sets differ.
+  bool PendingNetsToZeroIds(std::span<const Interval> intervals) {
+    if (pending_adds.size() != pending_removes.size()) return false;
+    if (pending_adds.empty()) return true;
+    add_ids.clear();
+    remove_ids.clear();
+    for (uint32_t instance : pending_adds) {
+      add_ids.push_back(intervals[instance].id);
+    }
+    for (uint32_t instance : pending_removes) {
+      remove_ids.push_back(intervals[instance].id);
+    }
+    std::sort(add_ids.begin(), add_ids.end());
+    std::sort(remove_ids.begin(), remove_ids.end());
+    return add_ids == remove_ids;
+  }
+
+  /// Moves the pending deltas into `out` as the slices of a new group and
+  /// resets the pending tracking.
+  void Flush(SweepGroups* out) {
+    for (uint32_t instance : pending_adds) {
+      out->adds.push_back(instance);
+      pending_state[instance] = kNone;
+    }
+    for (uint32_t instance : pending_removes) {
+      out->removes.push_back(instance);
+      pending_state[instance] = kNone;
+    }
+    pending_adds.clear();
+    pending_removes.clear();
+  }
+};
+
+}  // namespace
+
+Status IntervalSweep(std::span<const Interval> intervals, uint32_t alpha,
+                     SweepGroups* out, const QueryContext* ctx) {
+  if (alpha == 0) {
+    return Status::InvalidArgument(
+        "IntervalScan: alpha must be >= 1 (was the collision threshold "
+        "miscomputed upstream?)");
+  }
+  out->Clear();
   if (intervals.size() < alpha) return Status::OK();
   NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
 
-  // Endpoint (coordinate, is_start, interval id). An interval [x, y]
-  // contributes a start at x and an end at y + 1 (it no longer covers y+1).
-  struct Endpoint {
-    uint32_t coord;
-    bool is_start;
-    uint32_t id;
-  };
+  const size_t m = intervals.size();
   std::vector<Endpoint> endpoints;
-  endpoints.reserve(intervals.size() * 2);
-  for (const Interval& interval : intervals) {
-    endpoints.push_back({interval.begin, true, interval.id});
-    endpoints.push_back({interval.end + 1, false, interval.id});
+  endpoints.reserve(m * 2);
+  for (uint32_t instance = 0; instance < m; ++instance) {
+    const Interval& interval = intervals[instance];
+    endpoints.push_back({interval.begin, instance, 1});
+    endpoints.push_back(
+        {static_cast<uint64_t>(interval.end) + 1, instance, 0});
   }
-  std::sort(endpoints.begin(), endpoints.end(),
-            [](const Endpoint& a, const Endpoint& b) {
-              return a.coord < b.coord;
-            });
+  // Endpoint coordinates are sequence positions (<= 2^32), so the radix
+  // sort runs 2-5 byte passes instead of an O(m log m) comparison sort.
+  // Order within one coordinate does not matter: all events at a
+  // coordinate apply before the segment starting there is inspected.
+  {
+    std::vector<Endpoint> scratch;
+    RadixSortByKey(
+        &endpoints, [](const Endpoint& e) { return e.coord; }, &scratch);
+  }
 
-  // Sweep: at each distinct coordinate apply all starts/ends, then the
-  // active set is constant on [coord, next_coord - 1].
-  std::vector<uint32_t> active;
-  active.reserve(intervals.size());
+  SweepState state(m);
   size_t i = 0;
   uint64_t coords_swept = 0;
   while (i < endpoints.size()) {
     if ((++coords_swept & (QueryContext::kCheckIntervalWindows - 1)) == 0) {
       NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
     }
-    const uint32_t coord = endpoints[i].coord;
+    const uint64_t coord = endpoints[i].coord;
     while (i < endpoints.size() && endpoints[i].coord == coord) {
       const Endpoint& endpoint = endpoints[i];
       if (endpoint.is_start) {
-        active.push_back(endpoint.id);
+        state.Start(endpoint.instance);
       } else {
-        // Remove one occurrence of the id (swap-erase keeps O(1)).
-        auto it = std::find(active.begin(), active.end(), endpoint.id);
-        if (it != active.end()) {
-          *it = active.back();
-          active.pop_back();
-        }
+        state.End(endpoint.instance);
       }
       ++i;
     }
     if (i == endpoints.size()) break;  // past the last interval end
-    if (active.size() >= alpha) {
-      IntervalGroup group;
-      group.members = active;
-      group.overlap_begin = coord;
-      group.overlap_end = endpoints[i].coord - 1;
-      out->push_back(std::move(group));
+    if (state.active.size() >= alpha) {
+      const uint32_t begin = static_cast<uint32_t>(coord);
+      const uint32_t end = static_cast<uint32_t>(endpoints[i].coord - 1);
+      if (!out->groups.empty() &&
+          static_cast<uint64_t>(out->groups.back().end) + 1 == coord &&
+          state.PendingNetsToZeroIds(intervals)) {
+        // Same member ids as the abutting previous segment: one logical
+        // group; extend it. The pending instance-level deltas stay pending
+        // so the next flushed group's slices remain exact.
+        out->groups.back().end = end;
+      } else {
+        state.Flush(out);
+        out->groups.push_back(
+            {begin, end, static_cast<uint32_t>(state.active.size()),
+             static_cast<uint32_t>(out->adds.size()),
+             static_cast<uint32_t>(out->removes.size())});
+      }
     }
   }
   return Status::OK();
+}
+
+Status IntervalScan(std::span<const Interval> intervals, uint32_t alpha,
+                    std::vector<IntervalGroup>* out,
+                    const QueryContext* ctx) {
+  SweepGroups sweep;
+  const Status status = IntervalSweep(intervals, alpha, &sweep, ctx);
+  // On early (governance) exit the sweep holds a prefix of the groups;
+  // materialize it so `out` keeps the documented prefix contract.
+  SweepReplay replay(intervals.size());
+  out->reserve(out->size() + sweep.groups.size());
+  for (size_t g = 0; g < sweep.groups.size(); ++g) {
+    replay.Apply(sweep, g);
+    IntervalGroup group;
+    group.overlap_begin = sweep.groups[g].begin;
+    group.overlap_end = sweep.groups[g].end;
+    group.members.reserve(replay.active().size());
+    for (uint32_t instance : replay.active()) {
+      group.members.push_back(intervals[instance].id);
+    }
+    out->push_back(std::move(group));
+  }
+  return status;
 }
 
 }  // namespace ndss

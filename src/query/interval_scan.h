@@ -22,23 +22,112 @@ struct Interval {
 /// One maximal group found by IntervalScan: the ids of all input intervals
 /// that contain every point of [overlap_begin, overlap_end], where that
 /// range is an elementary segment of the endpoint subdivision (so the
-/// containing set is constant across it).
+/// containing set is constant across it). Member order is unspecified.
 struct IntervalGroup {
   std::vector<uint32_t> members;
   uint32_t overlap_begin;
   uint32_t overlap_end;
 };
 
-/// Algorithm 5 (IntervalScan): sweeps the endpoints of `intervals` in order
-/// and reports, for every elementary segment covered by at least `alpha`
-/// intervals, the set of covering intervals together with the segment.
-/// Each qualifying (subset, segment) pair is reported exactly once, and the
-/// reported segments are pairwise disjoint (Lemma 1). O(m log m) for the
-/// sort plus O(m) per reported group.
+/// Delta-encoded output of the sweep kernel (IntervalSweep). Group g's
+/// member set is obtained from group g-1's by adding `adds` and removing
+/// `removes` (group 0 starts from the empty set), where both arrays hold
+/// *instance* indices into the input span — the id of instance i is
+/// intervals[i].id, and duplicate ids are therefore tracked per occurrence.
+/// An instance appears in at most one of the two slices of any group, so
+/// the slices may be replayed in either order.
 ///
-/// With a `ctx`, the sweep checks the deadline/cancellation every
+/// This representation is what makes overlapping groups cheap: a sweep over
+/// m intervals emits O(m) delta entries in total, where materializing every
+/// group's member list is O(m^2) for heavily overlapping (skewed) inputs.
+/// `count` is the group's member count, so consumers that only need
+/// cardinalities (CollisionCount's right sweeps) never replay at all.
+struct SweepGroups {
+  struct Group {
+    uint32_t begin;        ///< first coordinate of the elementary segment
+    uint32_t end;          ///< last coordinate (inclusive)
+    uint32_t count;        ///< member count across the segment
+    uint32_t adds_end;     ///< exclusive prefix offset into `adds`
+    uint32_t removes_end;  ///< exclusive prefix offset into `removes`
+  };
+  std::vector<Group> groups;
+  std::vector<uint32_t> adds;
+  std::vector<uint32_t> removes;
+
+  void Clear() {
+    groups.clear();
+    adds.clear();
+    removes.clear();
+  }
+
+  /// The delta slices of group g (g-1's slice ends where g's begins).
+  std::span<const uint32_t> AddsOf(size_t g) const {
+    const uint32_t begin = g == 0 ? 0 : groups[g - 1].adds_end;
+    return {adds.data() + begin, groups[g].adds_end - begin};
+  }
+  std::span<const uint32_t> RemovesOf(size_t g) const {
+    const uint32_t begin = g == 0 ? 0 : groups[g - 1].removes_end;
+    return {removes.data() + begin, groups[g].removes_end - begin};
+  }
+};
+
+/// Replays SweepGroups deltas into a dense active-instance array with an
+/// O(1) per-event position index (the same structure the sweep itself
+/// uses). Call Apply(g) for g = 0, 1, ... in order; active() is then group
+/// g's member instances, in unspecified order.
+class SweepReplay {
+ public:
+  explicit SweepReplay(size_t num_instances) : pos_(num_instances, kAbsent) {}
+
+  void Apply(const SweepGroups& sweep, size_t g) {
+    for (uint32_t instance : sweep.AddsOf(g)) {
+      pos_[instance] = static_cast<uint32_t>(active_.size());
+      active_.push_back(instance);
+    }
+    for (uint32_t instance : sweep.RemovesOf(g)) {
+      const uint32_t at = pos_[instance];
+      const uint32_t last = active_.back();
+      active_[at] = last;
+      pos_[last] = at;
+      active_.pop_back();
+      pos_[instance] = kAbsent;
+    }
+  }
+
+  std::span<const uint32_t> active() const { return active_; }
+
+ private:
+  static constexpr uint32_t kAbsent = 0xffffffffu;
+  std::vector<uint32_t> active_;
+  std::vector<uint32_t> pos_;
+};
+
+/// The Algorithm 5 sweep kernel: sweeps the endpoints of `intervals` in
+/// coordinate order (radix sort — endpoints are sequence coordinates, far
+/// below 2^64) and reports every elementary segment covered by at least
+/// `alpha` intervals as a delta-encoded group. Adjacent segments whose
+/// member id multisets are identical (possible when one interval's end and
+/// another's start of the same id meet at a coordinate) are coalesced into
+/// one group. Removals from the active set are O(1) via a per-instance
+/// position index. `alpha` must be >= 1 (InvalidArgument otherwise).
+///
+/// Endpoint coordinates are widened internally, so intervals ending at
+/// UINT32_MAX are handled exactly (no wraparound).
+///
+/// `out` is cleared first (delta offsets are relative to this call). With a
+/// `ctx`, the sweep checks the deadline/cancellation every
 /// QueryContext::kCheckIntervalWindows distinct coordinates and stops early
 /// with the context's error (`out` may hold a prefix of the groups).
+Status IntervalSweep(std::span<const Interval> intervals, uint32_t alpha,
+                     SweepGroups* out, const QueryContext* ctx = nullptr);
+
+/// Algorithm 5 (IntervalScan): IntervalSweep with every group's member ids
+/// materialized (compatibility and property-test surface; the query path
+/// consumes the delta form directly). Groups are emitted in segment order,
+/// segments are pairwise disjoint, and each qualifying (subset, segment)
+/// pair is reported exactly once, with adjacent equal-membership segments
+/// coalesced. O(m log m)-equivalent radix sweep plus O(|members|) per
+/// reported group.
 Status IntervalScan(std::span<const Interval> intervals, uint32_t alpha,
                     std::vector<IntervalGroup>* out,
                     const QueryContext* ctx = nullptr);

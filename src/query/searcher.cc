@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "index/inverted_index_reader.h"
 #include "index/memory_index.h"
+#include "query/radix_sort.h"
 
 namespace ndss {
 
@@ -229,11 +230,13 @@ struct TextGroup {
 
 void GroupByText(std::vector<PostedWindow>& windows,
                  std::vector<TextGroup>* groups, uint32_t min_size) {
-  std::sort(windows.begin(), windows.end(),
-            [](const PostedWindow& a, const PostedWindow& b) {
-              if (a.text != b.text) return a.text < b.text;
-              return a.l < b.l;
-            });
+  // (text, l) order as one radix pass over packed 64-bit keys; for the
+  // Zipfian pass-1 window counts this sort dominated the CPU profile.
+  // CollisionCount's output is invariant to the order of same-(text, l)
+  // windows, so the stability change from std::sort is unobservable.
+  RadixSortByKey(&windows, [](const PostedWindow& w) {
+    return (static_cast<uint64_t>(w.text) << 32) | w.l;
+  });
   size_t i = 0;
   while (i < windows.size()) {
     size_t j = i;
@@ -264,9 +267,8 @@ std::vector<MatchSpan> MergeRectangles(
     raw.push_back(MatchSpan{tr.text, r.x_begin, r.y_end, r.collisions,
                             static_cast<double>(r.collisions) / k});
   }
-  std::sort(raw.begin(), raw.end(), [](const MatchSpan& a, const MatchSpan& b) {
-    if (a.text != b.text) return a.text < b.text;
-    return a.begin < b.begin;
+  RadixSortByKey(&raw, [](const MatchSpan& s) {
+    return (static_cast<uint64_t>(s.text) << 32) | s.begin;
   });
   for (const MatchSpan& span : raw) {
     if (!spans.empty() && spans.back().text == span.text &&
@@ -627,6 +629,17 @@ Status Searcher::SearchOnce(std::span<const Token> query,
   result.stats.short_lists = static_cast<uint32_t>(short_lists.size());
   result.stats.long_lists = static_cast<uint32_t>(long_lists.size());
   const uint32_t beta1 = beta - static_cast<uint32_t>(long_lists.size());
+  // θ ∈ (0, 1] makes β = ⌈θk'⌉ >= 1, and the demotion above caps the long
+  // set at β - 1, so β1 >= 1 too. The sweep kernels reject a zero threshold
+  // outright (it would mean "every text matches"), so verify the invariant
+  // here — once, where both thresholds are computed — instead of relying on
+  // each CollisionCount call site.
+  if (beta == 0 || beta1 == 0) {
+    return Status::Internal(
+        "computed a zero collision threshold (beta=" + std::to_string(beta) +
+        ", beta1=" + std::to_string(beta1) + ", k_eff=" +
+        std::to_string(k_eff) + ")");
+  }
   // First governance checkpoint, after list classification: even a query
   // that arrives with an expired deadline reports which lists it would
   // have touched (the partial-stats contract).

@@ -104,6 +104,27 @@ TEST(CollisionCountTest, IdenticalWindows) {
   }
 }
 
+TEST(CollisionCountTest, AlphaZeroRejected) {
+  std::vector<PostedWindow> windows = {W(0, 2, 4)};
+  std::vector<MatchRectangle> rects;
+  EXPECT_TRUE(CollisionCount(windows, 0, &rects).IsInvalidArgument());
+  EXPECT_TRUE(rects.empty());
+}
+
+TEST(CollisionCountTest, FragmentedRectanglesCoalesce) {
+  // Regression: the left sweep splits [0, 9] at i = 6 (w0 ends, w1 starts)
+  // but every sequence (i, j) with i in [0, 9], j in [9, 20] lies in
+  // exactly two windows, so the two fragments describe one rectangle. The
+  // old implementation reported both, fragmenting downstream spans and
+  // double-reporting the region to anyone summing areas.
+  std::vector<PostedWindow> windows = {W(0, 5, 20), W(6, 9, 20), W(0, 9, 20)};
+  std::vector<MatchRectangle> rects;
+  ASSERT_TRUE(CollisionCount(windows, 2, &rects).ok());
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], (MatchRectangle{0, 9, 9, 20, 2}));
+  CheckAgainstNaive(windows, 2, 24);
+}
+
 TEST(CollisionCountTest, RandomizedAgainstNaive) {
   Rng rng(4242);
   for (int trial = 0; trial < 60; ++trial) {

@@ -127,6 +127,100 @@ TEST(IntervalScanTest, RandomizedAgainstNaive) {
   }
 }
 
+TEST(IntervalScanTest, AlphaZeroRejected) {
+  // A zero threshold means the caller miscomputed beta; the old behavior of
+  // silently coercing it to 1 returned wrong-but-plausible results.
+  std::vector<Interval> intervals = {{0, 5, 0}};
+  std::vector<IntervalGroup> groups;
+  EXPECT_TRUE(IntervalScan(intervals, 0, &groups).IsInvalidArgument());
+  EXPECT_TRUE(groups.empty());
+  SweepGroups sweep;
+  EXPECT_TRUE(IntervalSweep(intervals, 0, &sweep).IsInvalidArgument());
+}
+
+TEST(IntervalScanTest, IntervalEndingAtMaxCoordinate) {
+  // Regression: the end event lives at end + 1, which wrapped to 0 in
+  // uint32 arithmetic and made the interval sort before every start.
+  std::vector<Interval> intervals = {{5, UINT32_MAX, 0}};
+  std::vector<IntervalGroup> groups;
+  ASSERT_TRUE(IntervalScan(intervals, 1, &groups).ok());
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].overlap_begin, 5u);
+  EXPECT_EQ(groups[0].overlap_end, UINT32_MAX);
+  EXPECT_EQ(groups[0].members, std::vector<uint32_t>{0});
+}
+
+TEST(IntervalScanTest, OverlapAtMaxCoordinate) {
+  std::vector<Interval> intervals = {{UINT32_MAX - 2, UINT32_MAX, 0},
+                                     {UINT32_MAX - 1, UINT32_MAX, 1}};
+  std::vector<IntervalGroup> groups;
+  ASSERT_TRUE(IntervalScan(intervals, 2, &groups).ok());
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].overlap_begin, UINT32_MAX - 1);
+  EXPECT_EQ(groups[0].overlap_end, UINT32_MAX);
+  std::vector<uint32_t> members = groups[0].members;
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(IntervalScanTest, AdjacentSegmentsWithEqualIdsCoalesce) {
+  // Regression: two abutting intervals carrying the same id describe one
+  // uninterrupted membership, but the sweep used to emit two groups with
+  // identical member multisets (duplicate results downstream).
+  std::vector<Interval> intervals = {{0, 5, 7}, {6, 10, 7}};
+  std::vector<IntervalGroup> groups;
+  ASSERT_TRUE(IntervalScan(intervals, 1, &groups).ok());
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].overlap_begin, 0u);
+  EXPECT_EQ(groups[0].overlap_end, 10u);
+  EXPECT_EQ(groups[0].members, std::vector<uint32_t>{7});
+}
+
+TEST(IntervalScanTest, AdjacentSegmentsWithDifferentIdsStaySplit) {
+  // Same shape, distinct ids: the membership really changes at 6, so the
+  // two segments must stay separate groups.
+  std::vector<Interval> intervals = {{0, 5, 7}, {6, 10, 8}};
+  std::vector<IntervalGroup> groups;
+  ASSERT_TRUE(IntervalScan(intervals, 1, &groups).ok());
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members, std::vector<uint32_t>{7});
+  EXPECT_EQ(groups[1].members, std::vector<uint32_t>{8});
+}
+
+TEST(IntervalScanTest, SweepDeltasReplayToScanGroups) {
+  // The delta-encoded form (IntervalSweep + SweepReplay) and the
+  // materialized form (IntervalScan) must agree group by group.
+  Rng rng(99);
+  std::vector<Interval> intervals;
+  for (uint32_t id = 0; id < 40; ++id) {
+    const uint32_t begin = static_cast<uint32_t>(rng.Uniform(60));
+    intervals.push_back(
+        {begin, begin + static_cast<uint32_t>(rng.Uniform(25)), id});
+  }
+  for (uint32_t alpha : {1u, 2u, 4u}) {
+    std::vector<IntervalGroup> groups;
+    ASSERT_TRUE(IntervalScan(intervals, alpha, &groups).ok());
+    SweepGroups sweep;
+    ASSERT_TRUE(IntervalSweep(intervals, alpha, &sweep).ok());
+    ASSERT_EQ(sweep.groups.size(), groups.size());
+    SweepReplay replay(intervals.size());
+    for (size_t g = 0; g < sweep.groups.size(); ++g) {
+      replay.Apply(sweep, g);
+      EXPECT_EQ(sweep.groups[g].begin, groups[g].overlap_begin);
+      EXPECT_EQ(sweep.groups[g].end, groups[g].overlap_end);
+      EXPECT_EQ(sweep.groups[g].count, groups[g].members.size());
+      std::vector<uint32_t> ids;
+      for (uint32_t instance : replay.active()) {
+        ids.push_back(intervals[instance].id);
+      }
+      std::vector<uint32_t> expected = groups[g].members;
+      std::sort(ids.begin(), ids.end());
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(ids, expected) << "group " << g;
+    }
+  }
+}
+
 TEST(IntervalScanTest, SegmentsAreDisjointAndOrdered) {
   Rng rng(17);
   std::vector<Interval> intervals;
