@@ -1,0 +1,258 @@
+// Sharded scatter-gather vs merged-index baseline.
+//
+// Partitions one corpus into 1/2/4/8 shards, serves each partition through
+// a ShardedSearcher, and compares per-query latency and QPS against a
+// single Searcher over MergeIndexes of the same shards. Before any timing,
+// every shard count's answers are verified bit-identical (spans and
+// rectangles) against the merged baseline on the bench query set — a
+// mismatch exits 1, which is what the nightly CI step keys on.
+//
+// Usage: bench_sharded_query [--json] [--quick] [--out=PATH]
+//   --json   also write the machine-readable report (default
+//            BENCH_sharded_query.json; see README "Benchmark reports")
+//   --quick  smaller corpus / fewer queries (CI-sized)
+//   --out=   report path for --json
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "index/index_builder.h"
+#include "index/index_merger.h"
+#include "query/searcher.h"
+#include "shard/sharded_searcher.h"
+
+namespace ndss {
+namespace {
+
+struct Percentiles {
+  double p50_us = 0;
+  double p95_us = 0;
+};
+
+Percentiles ComputePercentiles(std::vector<double> micros) {
+  Percentiles p;
+  if (micros.empty()) return p;
+  std::sort(micros.begin(), micros.end());
+  p.p50_us = micros[micros.size() / 2];
+  p.p95_us = micros[std::min(micros.size() - 1, micros.size() * 95 / 100)];
+  return p;
+}
+
+struct RunReport {
+  std::string name;
+  uint64_t shards = 0;
+  Percentiles latency;
+  double qps = 0;
+  double mean_spans = 0;
+};
+
+[[noreturn]] void FailEquivalence(uint64_t shards, size_t query) {
+  std::fprintf(stderr,
+               "FATAL: %llu-shard scatter-gather disagrees with the merged "
+               "baseline on query %zu\n",
+               static_cast<unsigned long long>(shards), query);
+  std::exit(1);
+}
+
+bool SameMatches(const SearchResult& a, const SearchResult& b) {
+  if (a.rectangles.size() != b.rectangles.size() ||
+      a.spans.size() != b.spans.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.rectangles.size(); ++i) {
+    if (a.rectangles[i].text != b.rectangles[i].text ||
+        !(a.rectangles[i].rect == b.rectangles[i].rect)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.spans.size(); ++i) {
+    if (a.spans[i].text != b.spans[i].text ||
+        a.spans[i].begin != b.spans[i].begin ||
+        a.spans[i].end != b.spans[i].end ||
+        a.spans[i].collisions != b.spans[i].collisions) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename SearchFn>
+RunReport TimeQueries(const std::string& name, uint64_t shards,
+                      const std::vector<std::vector<Token>>& queries,
+                      SearchFn&& search) {
+  RunReport report;
+  report.name = name;
+  report.shards = shards;
+  std::vector<double> micros;
+  micros.reserve(queries.size());
+  Stopwatch total;
+  for (const auto& query : queries) {
+    Stopwatch watch;
+    Result<SearchResult> result = search(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    micros.push_back(watch.ElapsedMicros());
+    report.mean_spans += static_cast<double>(result->spans.size());
+  }
+  const double total_seconds = total.ElapsedSeconds();
+  report.qps = total_seconds > 0 ? queries.size() / total_seconds : 0;
+  report.latency = ComputePercentiles(std::move(micros));
+  report.mean_spans /= static_cast<double>(queries.size());
+  return report;
+}
+
+void PrintRun(const RunReport& r) {
+  std::printf("%-18s %7llu %12.1f %12.1f %10.1f %12.2f\n", r.name.c_str(),
+              static_cast<unsigned long long>(r.shards), r.latency.p50_us,
+              r.latency.p95_us, r.qps, r.mean_spans);
+}
+
+int Run(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  std::string out_path = "BENCH_sharded_query.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json] [--quick] [--out=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const uint32_t num_texts = bench::Scaled(quick ? 400 : 3000);
+  const uint32_t vocab = 2000;
+  const uint32_t num_queries = quick ? 60 : 300;
+  const std::string dir = bench::ScratchDir("sharded_query");
+
+  bench::PrintHeader(
+      "Sharded scatter-gather vs merged baseline",
+      "each shard count is verified bit-identical against the merged index "
+      "on the full query set before timing; a mismatch aborts with exit 1");
+  std::printf("corpus: %u texts, vocab %u, %u queries\n\n", num_texts, vocab,
+              num_queries);
+
+  SyntheticCorpus sc = bench::MakeBenchCorpus(num_texts, vocab, 1234);
+  const auto queries =
+      bench::MakeQueries(sc.corpus, num_queries, 40, 0.1, vocab, 99);
+  SearchOptions options;
+  options.theta = 0.6;
+
+  IndexBuildOptions build;
+  build.k = 8;
+  build.t = 20;
+
+  std::printf("%-18s %7s %12s %12s %10s %12s\n", "serving", "shards",
+              "p50 us", "p95 us", "QPS", "spans/query");
+
+  std::vector<RunReport> runs;
+  for (const uint32_t num_shards : {1u, 2u, 4u, 8u}) {
+    // Partition the corpus into `num_shards` contiguous shards and build
+    // each one.
+    const std::string base = dir + "/n" + std::to_string(num_shards);
+    std::vector<std::string> shard_dirs;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      Corpus shard;
+      const uint32_t begin = s * num_texts / num_shards;
+      const uint32_t end = (s + 1) * num_texts / num_shards;
+      for (uint32_t i = begin; i < end; ++i) shard.AddText(sc.corpus.text(i));
+      const std::string shard_dir = base + "/s" + std::to_string(s);
+      auto built = BuildIndexInMemory(shard, shard_dir, build);
+      if (!built.ok()) {
+        std::fprintf(stderr, "build failed: %s\n",
+                     built.status().ToString().c_str());
+        return 1;
+      }
+      shard_dirs.push_back(shard_dir);
+    }
+    auto merged =
+        MergeIndexes(shard_dirs, base + "/merged", IndexMergeOptions{});
+    if (!merged.ok()) {
+      std::fprintf(stderr, "merge failed: %s\n",
+                   merged.status().ToString().c_str());
+      return 1;
+    }
+
+    ShardManifest manifest;
+    manifest.shard_dirs = shard_dirs;
+    if (!manifest.Save(base + "/set").ok()) return 1;
+    auto sharded = ShardedSearcher::Open(base + "/set");
+    auto baseline = Searcher::Open(base + "/merged");
+    if (!sharded.ok() || !baseline.ok()) {
+      std::fprintf(stderr, "open failed\n");
+      return 1;
+    }
+
+    // Equivalence gate before any timing.
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto expected = baseline->Search(queries[q], options);
+      auto actual = sharded->Search(queries[q], options);
+      if (!expected.ok() || !actual.ok() ||
+          !SameMatches(*expected, *actual)) {
+        FailEquivalence(num_shards, q);
+      }
+    }
+
+    runs.push_back(TimeQueries("merged", num_shards, queries,
+                               [&](const std::vector<Token>& q) {
+                                 return baseline->Search(q, options);
+                               }));
+    PrintRun(runs.back());
+    runs.push_back(TimeQueries("scatter-gather", num_shards, queries,
+                               [&](const std::vector<Token>& q) {
+                                 return sharded->Search(q, options);
+                               }));
+    PrintRun(runs.back());
+  }
+
+  if (json) {
+    bench::JsonWriter writer;
+    writer.BeginObject();
+    writer.Field("bench", std::string("sharded_query"));
+    writer.Field("quick", quick);
+    writer.Field("scale", bench::ScaleFactor());
+    writer.Field("num_texts", static_cast<uint64_t>(num_texts));
+    writer.Field("num_queries", static_cast<uint64_t>(num_queries));
+    writer.Field("equivalence_verified", true);
+    writer.BeginArray("runs");
+    for (const RunReport& r : runs) {
+      writer.BeginObject();
+      writer.Field("serving", r.name);
+      writer.Field("shards", r.shards);
+      writer.Field("p50_us", r.latency.p50_us);
+      writer.Field("p95_us", r.latency.p95_us);
+      writer.Field("qps", r.qps);
+      writer.Field("mean_spans", r.mean_spans);
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(writer.str().data(), 1, writer.str().size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ndss
+
+int main(int argc, char** argv) { return ndss::Run(argc, argv); }

@@ -102,6 +102,7 @@ class QueryContext {
   /// `flag` is observed, not owned; it must outlive every query using this
   /// context. nullptr detaches.
   void set_cancel_flag(const std::atomic<bool>* flag) { cancel_ = flag; }
+  const std::atomic<bool>* cancel_flag() const { return cancel_; }
   bool cancelled() const {
     return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
   }

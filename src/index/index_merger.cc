@@ -1,6 +1,8 @@
 #include "index/index_merger.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <unordered_set>
 
 #include "common/file_io.h"
 #include "common/retry.h"
@@ -10,12 +12,35 @@
 
 namespace ndss {
 
+Status ValidateShardDirs(const std::vector<std::string>& shard_dirs) {
+  if (shard_dirs.empty()) {
+    return Status::InvalidArgument(
+        "no shard directories given (a shard set must name at least one "
+        "shard)");
+  }
+  std::unordered_set<std::string> seen;
+  for (const std::string& dir : shard_dirs) {
+    std::string normalized =
+        std::filesystem::path(dir).lexically_normal().string();
+    // lexically_normal keeps a trailing separator ("a/" stays "a/"), but
+    // "a/" and "a" name the same shard directory.
+    while (normalized.size() > 1 && normalized.back() == '/') {
+      normalized.pop_back();
+    }
+    if (!seen.insert(normalized).second) {
+      return Status::InvalidArgument(
+          "duplicate shard directory " + dir +
+          ": each shard must appear exactly once (its texts would otherwise "
+          "be indexed twice under different ids)");
+    }
+  }
+  return Status::OK();
+}
+
 Result<IndexBuildStats> MergeIndexes(
     const std::vector<std::string>& shard_dirs, const std::string& out_dir,
     const IndexMergeOptions& options) {
-  if (shard_dirs.empty()) {
-    return Status::InvalidArgument("no shards to merge");
-  }
+  NDSS_RETURN_NOT_OK(ValidateShardDirs(shard_dirs));
   Stopwatch total;
   // Load and validate shard metas; compute text-id offsets. Incomplete
   // shards (crashed builds, no commit marker) are rejected up front.

@@ -20,6 +20,14 @@ struct IndexMergeOptions {
   index_format::PostingFormat posting_format = index_format::kFormatRaw;
 };
 
+/// Validates a user-supplied shard directory list: rejects an empty list
+/// and duplicate entries (paths are compared lexically normalized, so
+/// "shard0" and "./shard0" collide) with a descriptive InvalidArgument.
+/// Shared by MergeIndexes and the shard-manifest loader: both interpret the
+/// list as a concatenation of disjoint corpora, which a duplicate silently
+/// breaks (the same texts would be indexed twice under different ids).
+Status ValidateShardDirs(const std::vector<std::string>& shard_dirs);
+
 /// Merges several shard indexes into one.
 ///
 /// Shards must have been built with identical (k, seed, t) — the merge

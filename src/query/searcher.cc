@@ -404,16 +404,20 @@ Result<BatchResult> Searcher::SearchBatch(
   batch.statuses.assign(queries.size(), Status::OK());
 
   // Inflight budget: shared list cache + every live per-query arena.
-  // Unlimited (accounting only) unless max_inflight_bytes is set.
-  MemoryBudget inflight(limits.max_inflight_bytes);
+  // Unlimited (accounting only) unless max_inflight_bytes is set. A fan-out
+  // layer may parent it so one cap spans every sub-batch.
+  MemoryBudget inflight(limits.max_inflight_bytes, limits.inflight_parent);
   ListCache cache;
   cache.budget = cache_budget_bytes;
   cache.inflight = &inflight;
 
-  const bool has_batch_deadline = limits.batch_timeout_micros > 0;
+  const bool has_batch_deadline =
+      limits.has_batch_deadline || limits.batch_timeout_micros > 0;
   const QueryContext::Clock::time_point batch_deadline =
-      QueryContext::Clock::now() +
-      std::chrono::microseconds(limits.batch_timeout_micros);
+      limits.has_batch_deadline
+          ? limits.batch_deadline
+          : QueryContext::Clock::now() +
+                std::chrono::microseconds(limits.batch_timeout_micros);
 
   auto run_query = [&](size_t i) {
     // Admission control: past the batch deadline a queued query is shed

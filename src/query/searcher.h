@@ -105,6 +105,8 @@ struct SearchStats {
   uint64_t candidate_texts = 0;   ///< texts surviving pass 1
   uint32_t degraded_funcs = 0;    ///< hash functions dropped for this query
                                   ///< (0 = full-fidelity answer)
+  uint32_t degraded_shards = 0;   ///< shards excluded from this answer (only
+                                  ///< ever non-zero for a ShardedSearcher)
   double io_seconds = 0;          ///< time in index reads
   double cpu_seconds = 0;         ///< time in grouping + CollisionCount
   double wall_seconds = 0;        ///< end-to-end latency of the query
@@ -156,6 +158,22 @@ struct BatchLimits {
   uint64_t max_inflight_bytes = 0;
 
   ShedPolicy shed_policy = ShedPolicy::kCancelRunning;
+
+  // ---- fan-out composition hooks ----
+  // Set by a layer that splits one logical batch across several Searchers
+  // (ShardedSearcher): every sub-batch must shed against the same clock and
+  // count against one memory cap, which the relative/per-call fields above
+  // cannot express. Plain callers leave them untouched.
+
+  /// When true, `batch_deadline` is the absolute batch deadline and
+  /// `batch_timeout_micros` is ignored.
+  bool has_batch_deadline = false;
+  QueryContext::Clock::time_point batch_deadline{};
+
+  /// Optional parent of this batch's inflight budget (shared list cache +
+  /// live query arenas), so one cross-searcher cap spans every sub-batch.
+  /// Observed, not owned; must outlive the SearchBatch call.
+  MemoryBudget* inflight_parent = nullptr;
 };
 
 /// Batch-level governance counters. `queries_degraded` counts ok queries

@@ -1,0 +1,68 @@
+#ifndef NDSS_SHARD_SHARD_MANIFEST_H_
+#define NDSS_SHARD_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "index/index_meta.h"
+
+namespace ndss {
+
+/// The durable description of a shard set: an ordered list of shard index
+/// directories plus a monotonically increasing epoch, stored as
+/// `<set_dir>/MANIFEST`.
+///
+/// The shard order is load-bearing: global text ids are assigned by
+/// concatenation (shard i's local ids are offset by the total text count of
+/// shards 0..i-1), exactly the semantics MergeIndexes documents. Reordering
+/// the list renumbers the corpus.
+///
+/// Format (v2 idioms, like index.meta): little-endian fixed-width fields,
+///   magic u64, epoch u64, num_shards u32,
+///   num_shards x (path_len u32, path bytes),
+///   masked CRC32C u32 over everything before it.
+/// Save() commits via tmp + fsync + rename, so a crash leaves either the
+/// old or the new manifest, never a torn one. Load() verifies the checksum
+/// and rejects an empty or duplicate-containing shard list (the same
+/// validation MergeIndexes applies).
+struct ShardManifest {
+  /// Incremented by every committed topology change (attach/detach).
+  uint64_t epoch = 0;
+
+  /// Shard index directories, as given at create/attach time. Relative
+  /// entries are resolved against the set directory (see ResolveShardDir),
+  /// so a shard set built with relative paths can be moved as a unit.
+  std::vector<std::string> shard_dirs;
+
+  /// Path of the manifest file under `set_dir`.
+  static std::string Path(const std::string& set_dir);
+
+  /// Loads and validates `<set_dir>/MANIFEST`.
+  static Result<ShardManifest> Load(const std::string& set_dir);
+
+  /// Durably commits this manifest to `<set_dir>/MANIFEST` (the directory
+  /// is created if needed). Validates the shard list first.
+  Status Save(const std::string& set_dir) const;
+};
+
+/// Resolves a manifest entry to a usable path: absolute entries pass
+/// through, relative ones are joined to `set_dir`.
+std::string ResolveShardDir(const std::string& set_dir,
+                            const std::string& entry);
+
+/// Loads one shard's IndexMeta, first requiring its CURRENT commit marker
+/// (an interrupted build must never join a serving topology).
+Result<IndexMeta> LoadShardMeta(const std::string& shard_dir);
+
+/// Checks that every shard was built with identical (k, seed, t) and that
+/// the concatenated corpus stays within 2^32 texts — the preconditions
+/// MergeIndexes enforces, applied to a serving topology.
+Status ValidateShardMetas(const std::vector<IndexMeta>& metas,
+                          const std::vector<std::string>& shard_dirs);
+
+}  // namespace ndss
+
+#endif  // NDSS_SHARD_SHARD_MANIFEST_H_

@@ -1,0 +1,564 @@
+#include "shard/sharded_searcher.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "index/index_merger.h"
+
+namespace ndss {
+
+namespace {
+
+bool IsGovernanceStatus(const Status& status) {
+  return status.IsDeadlineExceeded() || status.IsCancelled() ||
+         status.IsResourceExhausted();
+}
+
+std::string NormalizePath(const std::string& path) {
+  std::string normalized =
+      std::filesystem::path(path).lexically_normal().string();
+  while (normalized.size() > 1 && normalized.back() == '/') {
+    normalized.pop_back();
+  }
+  return normalized;
+}
+
+/// Element-wise stats merge across shards. Counters sum (each shard did
+/// that work); degraded_funcs takes the worst shard (the answer's fidelity
+/// floor); wall_seconds takes the slowest shard (the scatter runs them
+/// concurrently) and is overwritten by the caller's own stopwatch at the
+/// top level; peak_memory_bytes sums because the shard arenas are live
+/// concurrently.
+void AccumulateStats(const SearchStats& in, SearchStats* out) {
+  out->io_bytes += in.io_bytes;
+  out->short_lists += in.short_lists;
+  out->long_lists += in.long_lists;
+  out->empty_lists += in.empty_lists;
+  out->cache_hits += in.cache_hits;
+  out->windows_scanned += in.windows_scanned;
+  out->candidate_texts += in.candidate_texts;
+  out->degraded_funcs = std::max(out->degraded_funcs, in.degraded_funcs);
+  out->io_seconds += in.io_seconds;
+  out->cpu_seconds += in.cpu_seconds;
+  out->wall_seconds = std::max(out->wall_seconds, in.wall_seconds);
+  out->peak_memory_bytes += in.peak_memory_bytes;
+}
+
+/// Runs fn(0..n-1) on `pool` and blocks until all n complete. Unlike
+/// ThreadPool::WaitIdle, the per-call counter only waits for THIS call's
+/// tasks, so concurrent queries can share one pool without waiting on each
+/// other's work.
+void ScatterOnPool(ThreadPool* pool, size_t n,
+                   const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable done;
+  size_t remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    pool->Submit([&, i] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&] { return remaining == 0; });
+}
+
+/// One shard's contribution to one query.
+struct ShardOutcome {
+  Status status;
+  SearchResult result;
+  bool ran = false;  ///< false = shard was already dropped at snapshot time
+};
+
+/// One shard of the set. Shared across topology snapshots (an attach or
+/// detach reuses the untouched shards' handles), so in-flight queries keep
+/// a detached shard alive until their snapshot dies. `dropped` is the
+/// shard-level analogue of Searcher's per-function degradation: set once on
+/// a corruption, never cleared, and checked when a query snapshots its
+/// runnable set.
+struct ShardHandle {
+  std::string entry;  ///< manifest entry, as stored
+  std::string dir;    ///< resolved index directory
+  IndexMeta meta;
+  std::optional<Searcher> searcher;  ///< absent when dropped at open
+  std::atomic<bool> dropped{false};
+};
+
+/// An immutable topology: the shard list of one epoch plus the
+/// concatenation offsets that define global text ids. Queries hold one via
+/// shared_ptr for their whole run, so AttachShard / DetachShard never
+/// change a query's view mid-flight.
+struct Topology {
+  uint64_t epoch = 0;
+  std::vector<std::shared_ptr<ShardHandle>> shards;
+  std::vector<TextId> offsets;
+  IndexMeta combined;
+};
+
+std::shared_ptr<const Topology> BuildTopology(
+    uint64_t epoch, std::vector<std::shared_ptr<ShardHandle>> shards) {
+  auto topo = std::make_shared<Topology>();
+  topo->epoch = epoch;
+  topo->shards = std::move(shards);
+  uint64_t num_texts = 0;
+  uint64_t total_tokens = 0;
+  for (const auto& shard : topo->shards) {
+    topo->offsets.push_back(static_cast<TextId>(num_texts));
+    num_texts += shard->meta.num_texts;
+    total_tokens += shard->meta.total_tokens;
+  }
+  topo->combined = topo->shards.front()->meta;
+  topo->combined.num_texts = num_texts;
+  topo->combined.total_tokens = total_tokens;
+  return topo;
+}
+
+}  // namespace
+
+struct ShardedSearcher::State {
+  std::string set_dir;
+  ShardedSearcherOptions options;
+  std::unique_ptr<ThreadPool> pool;
+
+  /// Guards the snapshot pointer only; held for the duration of a pointer
+  /// copy or swap, never across IO.
+  mutable std::mutex mu;
+  std::shared_ptr<const Topology> topology;
+
+  /// Serializes topology changes (manifest IO happens under this, outside
+  /// `mu`, so queries never block on a disk write).
+  std::mutex admin_mu;
+
+  std::shared_ptr<const Topology> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu);
+    return topology;
+  }
+
+  void Swap(std::shared_ptr<const Topology> next) {
+    std::lock_guard<std::mutex> lock(mu);
+    topology = std::move(next);
+  }
+
+  Status SearchImpl(std::span<const Token> query, const SearchOptions& options,
+                    const QueryContext* ctx, SearchResult* result);
+  Result<BatchResult> SearchBatchImpl(
+      const std::vector<std::vector<Token>>& queries,
+      const SearchOptions& options, const BatchLimits& limits,
+      uint64_t cache_budget_bytes, size_t num_threads);
+  Status GatherQuery(const Topology& topo, std::vector<ShardOutcome>& subs,
+                     SearchResult* result);
+};
+
+/// Merges the per-shard outcomes of one query into `*result`, remapping
+/// local text ids by each shard's concatenation offset. Shards are visited
+/// in topology order and their texts occupy disjoint ascending id ranges,
+/// so the concatenated rectangles and spans keep the single-searcher's
+/// text-ascending order — this is what makes the merged output bit-
+/// identical to a search over the merged index.
+///
+/// Failure merge: a Corruption from a shard is isolated (the handle is
+/// dropped for good) when allow_shard_drop is on; otherwise hard errors
+/// beat governance statuses, and within a class the lowest shard index
+/// wins. Failed shards still contribute their partial stats (and partial
+/// matches), honouring the partial-stats contract.
+Status ShardedSearcher::State::GatherQuery(const Topology& topo,
+                                           std::vector<ShardOutcome>& subs,
+                                           SearchResult* result) {
+  Status hard_error;
+  Status governance;
+  uint32_t excluded = 0;
+  for (size_t i = 0; i < topo.shards.size(); ++i) {
+    if (!subs[i].ran) {
+      ++excluded;  // dropped before this query started
+      continue;
+    }
+    ShardOutcome& sub = subs[i];
+    if (sub.status.IsCorruption() && options.allow_shard_drop) {
+      // Shard-level fault isolation: the shard is lying about its data, so
+      // nothing it produced for this query is trustworthy. Survivors answer
+      // with the shard's id range gone dark.
+      if (!topo.shards[i]->dropped.exchange(true)) {
+        NDSS_LOG(kWarning) << "degraded serving: dropping shard "
+                           << topo.shards[i]->dir << ": "
+                           << sub.status.ToString();
+      }
+      ++excluded;
+      continue;
+    }
+    AccumulateStats(sub.result.stats, &result->stats);
+    const TextId offset = topo.offsets[i];
+    for (TextMatchRectangle& tr : sub.result.rectangles) {
+      tr.text += offset;
+      result->rectangles.push_back(tr);
+    }
+    for (MatchSpan& span : sub.result.spans) {
+      span.text += offset;
+      result->spans.push_back(span);
+    }
+    if (!sub.status.ok()) {
+      if (IsGovernanceStatus(sub.status)) {
+        if (governance.ok()) governance = sub.status;
+      } else if (hard_error.ok()) {
+        hard_error = sub.status;
+      }
+    }
+  }
+  result->stats.degraded_shards = excluded;
+  if (excluded == topo.shards.size()) {
+    return Status::Corruption("every shard of the set is dropped");
+  }
+  if (!hard_error.ok()) return hard_error;
+  return governance;
+}
+
+Status ShardedSearcher::State::SearchImpl(std::span<const Token> query,
+                                          const SearchOptions& search_options,
+                                          const QueryContext* ctx,
+                                          SearchResult* result) {
+  *result = SearchResult();
+  Stopwatch wall;
+  const std::shared_ptr<const Topology> topo = Snapshot();
+  std::vector<ShardOutcome> subs(topo->shards.size());
+  std::vector<size_t> runnable;
+  for (size_t i = 0; i < topo->shards.size(); ++i) {
+    if (topo->shards[i]->searcher.has_value() &&
+        !topo->shards[i]->dropped.load(std::memory_order_relaxed)) {
+      runnable.push_back(i);
+    }
+  }
+  if (runnable.empty()) {
+    return Status::Corruption("every shard of the set is dropped");
+  }
+  ScatterOnPool(pool.get(), runnable.size(), [&](size_t j) {
+    const size_t i = runnable[j];
+    ShardOutcome& sub = subs[i];
+    sub.ran = true;
+    if (ctx == nullptr) {
+      // Ungoverned fast path, bit-identical to the pre-governance shard
+      // query.
+      sub.status = topo->shards[i]->searcher->Search(query, search_options,
+                                                     nullptr, &sub.result);
+      return;
+    }
+    // Hierarchical governance: the deadline and cancel flag are shared
+    // verbatim; the shard gets an accounting-only arena parented to the
+    // query's budget, so the caller's cap spans the whole scatter while
+    // per-shard peaks stay observable.
+    QueryContext child;
+    if (ctx->has_deadline()) child.set_deadline(ctx->deadline());
+    child.set_cancel_flag(ctx->cancel_flag());
+    MemoryBudget arena(0, ctx->memory_budget());
+    if (ctx->memory_budget() != nullptr) child.set_memory_budget(&arena);
+    sub.status = topo->shards[i]->searcher->Search(query, search_options,
+                                                   &child, &sub.result);
+  });
+  const Status status = GatherQuery(*topo, subs, result);
+  result->stats.wall_seconds = wall.ElapsedSeconds();
+  if (ctx != nullptr && ctx->memory_budget() != nullptr) {
+    result->stats.peak_memory_bytes = ctx->memory_budget()->peak();
+  }
+  return status;
+}
+
+Result<BatchResult> ShardedSearcher::State::SearchBatchImpl(
+    const std::vector<std::vector<Token>>& queries,
+    const SearchOptions& search_options, const BatchLimits& limits,
+    uint64_t cache_budget_bytes, size_t num_threads) {
+  if (limits.batch_timeout_micros < 0 || limits.query_timeout_micros < 0) {
+    return Status::InvalidArgument("batch timeouts must be >= 0");
+  }
+  const std::shared_ptr<const Topology> topo = Snapshot();
+  std::vector<size_t> runnable;
+  for (size_t i = 0; i < topo->shards.size(); ++i) {
+    if (topo->shards[i]->searcher.has_value() &&
+        !topo->shards[i]->dropped.load(std::memory_order_relaxed)) {
+      runnable.push_back(i);
+    }
+  }
+  if (runnable.empty()) {
+    return Status::Corruption("every shard of the set is dropped");
+  }
+
+  // Composition hooks: every shard sub-batch sheds against one absolute
+  // deadline and charges one inflight budget, so the caller's limits mean
+  // the same thing they would on a single Searcher.
+  BatchLimits sub_limits = limits;
+  if (!sub_limits.has_batch_deadline && limits.batch_timeout_micros > 0) {
+    sub_limits.has_batch_deadline = true;
+    sub_limits.batch_deadline =
+        QueryContext::Clock::now() +
+        std::chrono::microseconds(limits.batch_timeout_micros);
+    sub_limits.batch_timeout_micros = 0;
+  }
+  MemoryBudget inflight(limits.max_inflight_bytes, limits.inflight_parent);
+  sub_limits.max_inflight_bytes = 0;
+  sub_limits.inflight_parent = &inflight;
+  const uint64_t shard_cache_budget = cache_budget_bytes / runnable.size();
+
+  struct ShardBatch {
+    Status status;
+    BatchResult batch;
+  };
+  std::vector<ShardBatch> shard_batches(topo->shards.size());
+  ScatterOnPool(pool.get(), runnable.size(), [&](size_t j) {
+    const size_t i = runnable[j];
+    Result<BatchResult> sub = topo->shards[i]->searcher->SearchBatch(
+        queries, search_options, sub_limits, shard_cache_budget, num_threads);
+    if (sub.ok()) {
+      shard_batches[i].batch = std::move(*sub);
+    } else {
+      shard_batches[i].status = sub.status();
+    }
+  });
+  for (size_t i : runnable) {
+    // A sub-batch call itself only fails on invalid arguments, which no
+    // per-query merge can repair.
+    if (!shard_batches[i].status.ok()) return shard_batches[i].status;
+  }
+
+  BatchResult out;
+  out.results.resize(queries.size());
+  out.statuses.assign(queries.size(), Status::OK());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::vector<ShardOutcome> subs(topo->shards.size());
+    for (size_t i : runnable) {
+      subs[i].ran = true;
+      subs[i].status = shard_batches[i].batch.statuses[q];
+      subs[i].result = std::move(shard_batches[i].batch.results[q]);
+    }
+    out.statuses[q] = GatherQuery(*topo, subs, &out.results[q]);
+
+    const Status& status = out.statuses[q];
+    if (status.ok()) {
+      ++out.stats.queries_ok;
+      if (out.results[q].stats.degraded_funcs > 0 ||
+          out.results[q].stats.degraded_shards > 0) {
+        ++out.stats.queries_degraded;
+      }
+    } else if (status.IsDeadlineExceeded()) {
+      ++out.stats.queries_deadline_exceeded;
+    } else if (status.IsCancelled()) {
+      ++out.stats.queries_shed;
+    } else if (status.IsResourceExhausted()) {
+      ++out.stats.queries_resource_exhausted;
+    } else {
+      ++out.stats.queries_failed;
+    }
+    out.stats.peak_query_bytes = std::max(
+        out.stats.peak_query_bytes, out.results[q].stats.peak_memory_bytes);
+  }
+  out.stats.peak_inflight_bytes = inflight.peak();
+  return out;
+}
+
+ShardedSearcher::ShardedSearcher(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+ShardedSearcher::ShardedSearcher(ShardedSearcher&&) noexcept = default;
+ShardedSearcher& ShardedSearcher::operator=(ShardedSearcher&&) noexcept =
+    default;
+ShardedSearcher::~ShardedSearcher() = default;
+
+Result<ShardedSearcher> ShardedSearcher::Open(
+    const std::string& set_dir, const ShardedSearcherOptions& options) {
+  NDSS_ASSIGN_OR_RETURN(ShardManifest manifest, ShardManifest::Load(set_dir));
+  std::vector<std::shared_ptr<ShardHandle>> shards;
+  std::vector<IndexMeta> metas;
+  size_t healthy = 0;
+  for (const std::string& entry : manifest.shard_dirs) {
+    auto handle = std::make_shared<ShardHandle>();
+    handle->entry = entry;
+    handle->dir = ResolveShardDir(set_dir, entry);
+    // The meta is required even under allow_shard_drop: without it the
+    // shard's id range is unknown and every later shard's global ids would
+    // shift, breaking the stable-id contract of a degraded drop.
+    NDSS_ASSIGN_OR_RETURN(handle->meta, LoadShardMeta(handle->dir));
+    Result<Searcher> searcher =
+        Searcher::Open(handle->dir, options.shard_options);
+    if (searcher.ok()) {
+      handle->searcher.emplace(std::move(*searcher));
+      ++healthy;
+    } else {
+      if (!options.allow_shard_drop) return searcher.status();
+      NDSS_LOG(kWarning) << "degraded open: dropping shard " << handle->dir
+                         << ": " << searcher.status().ToString();
+      handle->dropped.store(true, std::memory_order_relaxed);
+    }
+    metas.push_back(handle->meta);
+    shards.push_back(std::move(handle));
+  }
+  NDSS_RETURN_NOT_OK(ValidateShardMetas(metas, manifest.shard_dirs));
+  if (healthy == 0) {
+    return Status::Corruption("no healthy shard in set " + set_dir);
+  }
+  auto state = std::make_unique<State>();
+  state->set_dir = set_dir;
+  state->options = options;
+  state->topology = BuildTopology(manifest.epoch, std::move(shards));
+  size_t threads = options.num_threads;
+  if (threads == 0) {
+    const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min(state->topology->shards.size(), hw);
+  }
+  state->pool = std::make_unique<ThreadPool>(std::max<size_t>(1, threads));
+  return ShardedSearcher(std::move(state));
+}
+
+Result<SearchResult> ShardedSearcher::Search(std::span<const Token> query,
+                                             const SearchOptions& options) {
+  SearchResult result;
+  NDSS_RETURN_NOT_OK(state_->SearchImpl(query, options, nullptr, &result));
+  return result;
+}
+
+Status ShardedSearcher::Search(std::span<const Token> query,
+                               const SearchOptions& options,
+                               const QueryContext* ctx, SearchResult* result) {
+  if (result == nullptr) {
+    return Status::InvalidArgument("result must be non-null");
+  }
+  return state_->SearchImpl(query, options, ctx, result);
+}
+
+Result<std::vector<SearchResult>> ShardedSearcher::SearchBatch(
+    const std::vector<std::vector<Token>>& queries,
+    const SearchOptions& options, uint64_t cache_budget_bytes,
+    size_t num_threads) {
+  NDSS_ASSIGN_OR_RETURN(
+      BatchResult batch,
+      state_->SearchBatchImpl(queries, options, BatchLimits{},
+                              cache_budget_bytes, num_threads));
+  for (const Status& status : batch.statuses) {
+    if (!status.ok()) return status;
+  }
+  return std::move(batch.results);
+}
+
+Result<BatchResult> ShardedSearcher::SearchBatch(
+    const std::vector<std::vector<Token>>& queries,
+    const SearchOptions& options, const BatchLimits& limits,
+    uint64_t cache_budget_bytes, size_t num_threads) {
+  return state_->SearchBatchImpl(queries, options, limits, cache_budget_bytes,
+                                 num_threads);
+}
+
+Status ShardedSearcher::AttachShard(const std::string& shard_dir) {
+  std::lock_guard<std::mutex> admin(state_->admin_mu);
+  const std::shared_ptr<const Topology> topo = state_->Snapshot();
+  const std::string resolved = ResolveShardDir(state_->set_dir, shard_dir);
+  const std::string normalized_entry = NormalizePath(shard_dir);
+  const std::string normalized_dir = NormalizePath(resolved);
+  for (const auto& shard : topo->shards) {
+    if (NormalizePath(shard->entry) == normalized_entry ||
+        NormalizePath(shard->dir) == normalized_dir) {
+      return Status::InvalidArgument("shard " + shard_dir +
+                                     " is already attached");
+    }
+  }
+  auto handle = std::make_shared<ShardHandle>();
+  handle->entry = shard_dir;
+  handle->dir = resolved;
+  NDSS_ASSIGN_OR_RETURN(handle->meta, LoadShardMeta(resolved));
+  if (handle->meta.k != topo->combined.k ||
+      handle->meta.seed != topo->combined.seed ||
+      handle->meta.t != topo->combined.t) {
+    return Status::InvalidArgument(
+        "shard " + shard_dir +
+        " was built with different (k, seed, t) than the set");
+  }
+  if (topo->combined.num_texts + handle->meta.num_texts > 0xffffffffULL) {
+    return Status::InvalidArgument("attaching " + shard_dir +
+                                   " would exceed 2^32 texts");
+  }
+  // Attaching a broken shard fails loudly even under allow_shard_drop:
+  // degradation is for faults that happen while serving, not ones visible
+  // at admission.
+  NDSS_ASSIGN_OR_RETURN(Searcher searcher,
+                        Searcher::Open(resolved, state_->options.shard_options));
+  handle->searcher.emplace(std::move(searcher));
+
+  ShardManifest manifest;
+  manifest.epoch = topo->epoch + 1;
+  for (const auto& shard : topo->shards) {
+    manifest.shard_dirs.push_back(shard->entry);
+  }
+  manifest.shard_dirs.push_back(shard_dir);
+  // Durable truth first, serving second: if the commit fails the topology
+  // is unchanged; if we crash right after it, the next Open serves the new
+  // shard list.
+  NDSS_RETURN_NOT_OK(manifest.Save(state_->set_dir));
+  std::vector<std::shared_ptr<ShardHandle>> shards = topo->shards;
+  shards.push_back(std::move(handle));
+  state_->Swap(BuildTopology(manifest.epoch, std::move(shards)));
+  return Status::OK();
+}
+
+Status ShardedSearcher::DetachShard(const std::string& shard_dir) {
+  std::lock_guard<std::mutex> admin(state_->admin_mu);
+  const std::shared_ptr<const Topology> topo = state_->Snapshot();
+  const std::string normalized_entry = NormalizePath(shard_dir);
+  const std::string normalized_dir =
+      NormalizePath(ResolveShardDir(state_->set_dir, shard_dir));
+  size_t found = topo->shards.size();
+  for (size_t i = 0; i < topo->shards.size(); ++i) {
+    if (NormalizePath(topo->shards[i]->entry) == normalized_entry ||
+        NormalizePath(topo->shards[i]->dir) == normalized_dir) {
+      found = i;
+      break;
+    }
+  }
+  if (found == topo->shards.size()) {
+    return Status::NotFound("shard " + shard_dir + " is not in the set");
+  }
+  if (topo->shards.size() == 1) {
+    return Status::InvalidArgument(
+        "cannot detach the last shard (a shard set must keep at least one)");
+  }
+  ShardManifest manifest;
+  manifest.epoch = topo->epoch + 1;
+  std::vector<std::shared_ptr<ShardHandle>> shards;
+  for (size_t i = 0; i < topo->shards.size(); ++i) {
+    if (i == found) continue;
+    manifest.shard_dirs.push_back(topo->shards[i]->entry);
+    shards.push_back(topo->shards[i]);
+  }
+  NDSS_RETURN_NOT_OK(manifest.Save(state_->set_dir));
+  state_->Swap(BuildTopology(manifest.epoch, std::move(shards)));
+  return Status::OK();
+}
+
+uint64_t ShardedSearcher::epoch() const { return state_->Snapshot()->epoch; }
+
+IndexMeta ShardedSearcher::meta() const {
+  return state_->Snapshot()->combined;
+}
+
+std::vector<ShardInfo> ShardedSearcher::shards() const {
+  const std::shared_ptr<const Topology> topo = state_->Snapshot();
+  std::vector<ShardInfo> out;
+  out.reserve(topo->shards.size());
+  for (size_t i = 0; i < topo->shards.size(); ++i) {
+    const ShardHandle& shard = *topo->shards[i];
+    out.push_back(ShardInfo{
+        shard.dir, topo->offsets[i], shard.meta.num_texts,
+        !shard.searcher.has_value() ||
+            shard.dropped.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+}  // namespace ndss

@@ -1,0 +1,167 @@
+#ifndef NDSS_SHARD_SHARDED_SEARCHER_H_
+#define NDSS_SHARD_SHARDED_SEARCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/query_context.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "index/index_meta.h"
+#include "query/searcher.h"
+#include "shard/shard_manifest.h"
+#include "text/types.h"
+
+namespace ndss {
+
+/// Options for opening a ShardedSearcher.
+struct ShardedSearcherOptions {
+  /// Passed to every per-shard Searcher::Open (function-level degradation
+  /// within one shard).
+  SearcherOptions shard_options;
+
+  /// Shard-level fault isolation. At open: a shard whose index cannot be
+  /// opened is dropped (with a warning) instead of failing Open, as long as
+  /// at least one shard survives. At query time: a shard whose search fails
+  /// with Corruption is dropped for the Searcher's lifetime and the query
+  /// is answered by the survivors, with SearchStats::degraded_shards
+  /// counting the exclusions. Text ids of the surviving shards do NOT
+  /// shift: a dropped shard keeps its id range (its texts simply stop
+  /// appearing in answers), unlike DetachShard which renumbers.
+  bool allow_shard_drop = false;
+
+  /// Worker threads for the scatter phase (each shard's sub-query runs on
+  /// one). 0 = one per shard at open time, capped at the hardware
+  /// concurrency. The pool is shared by every concurrent caller.
+  size_t num_threads = 0;
+};
+
+/// One shard's place in the current topology, for observability.
+struct ShardInfo {
+  std::string dir;       ///< resolved index directory
+  TextId text_offset;    ///< first global text id of this shard
+  uint64_t num_texts;    ///< texts this shard contributes
+  bool dropped;          ///< isolated after a corruption (still holds its
+                         ///< id range; contributes nothing to answers)
+};
+
+/// Serves a ShardManifest's shard set as if it were one merged index,
+/// without paying the merge.
+///
+///   NDSS_ASSIGN_OR_RETURN(ShardedSearcher s, ShardedSearcher::Open(dir));
+///   NDSS_ASSIGN_OR_RETURN(SearchResult r, s.Search(query, options));
+///
+/// Search / governed Search / SearchBatch scatter the query over every
+/// shard's proven single-shard path (in parallel on an internal pool),
+/// remap each shard's local text ids into global ids using the
+/// concatenation-offset semantics MergeIndexes documents, and concatenate
+/// in shard order. Because shards partition the corpus by text and the
+/// single-shard algorithm is exact per text, the merged `rectangles` and
+/// `spans` are bit-identical to a Searcher over MergeIndexes({shards}) —
+/// the equivalence the sharded_searcher_test proves. SearchStats are the
+/// element-wise sum over shards (classification counters can differ from
+/// the merged index's, since list lengths are per-shard), except:
+/// `degraded_funcs` is the worst shard's count, `degraded_shards` counts
+/// shards excluded from the answer, and `wall_seconds` is the end-to-end
+/// scatter-gather latency.
+///
+/// Governance composes hierarchically: one deadline and cancel flag are
+/// shared by every shard's sub-query, and each shard gets an accounting
+/// arena parented to the query's MemoryBudget, so the caller's cap spans
+/// the whole scatter. A shard returning DeadlineExceeded / Cancelled /
+/// ResourceExhausted fails the query with that status while the merged
+/// partial stats (and any partial matches) survive, mirroring the
+/// single-shard partial-stats contract.
+///
+/// Topology changes are online: AttachShard / DetachShard durably commit a
+/// new manifest (tmp + fsync + rename, epoch + 1) and then swap an
+/// immutable topology snapshot. In-flight queries keep the snapshot they
+/// started with — they finish on their epoch's shard list and id
+/// numbering, and a detached shard's resources are released only when the
+/// last such query completes.
+///
+/// Thread-safety: once opened, all Search/SearchBatch variants may be
+/// called from any number of threads, concurrently with AttachShard /
+/// DetachShard (topology changes serialize among themselves). Moving a
+/// ShardedSearcher must not overlap with any in-flight call.
+class ShardedSearcher {
+ public:
+  /// Opens the shard set described by `<set_dir>/MANIFEST`.
+  static Result<ShardedSearcher> Open(
+      const std::string& set_dir, const ShardedSearcherOptions& options = {});
+
+  ShardedSearcher(ShardedSearcher&&) noexcept;
+  ShardedSearcher& operator=(ShardedSearcher&&) noexcept;
+  ~ShardedSearcher();
+
+  /// Scatter-gather search over the current topology (see class comment
+  /// for the merge semantics).
+  Result<SearchResult> Search(std::span<const Token> query,
+                              const SearchOptions& options);
+
+  /// Governed variant: `ctx` (deadline, cancel flag, memory budget) is
+  /// shared across every shard's sub-query; nullptr = ungoverned. On a
+  /// governance failure the merged partial stats survive in `*result`.
+  Status Search(std::span<const Token> query, const SearchOptions& options,
+                const QueryContext* ctx, SearchResult* result);
+
+  /// Batch scatter-gather: each shard runs the whole batch through its own
+  /// shared list cache (`cache_budget_bytes` is split evenly across
+  /// shards) with `num_threads` workers per shard, so total concurrency is
+  /// about shards x num_threads. Per-query results across shards are
+  /// merged exactly like Search. On error the whole batch fails with the
+  /// lowest-index failing query's status.
+  Result<std::vector<SearchResult>> SearchBatch(
+      const std::vector<std::vector<Token>>& queries,
+      const SearchOptions& options,
+      uint64_t cache_budget_bytes = 256ull << 20, size_t num_threads = 1);
+
+  /// Governed batch: one batch deadline is shared by every shard's
+  /// sub-batch (computed once, passed as an absolute time), and one
+  /// inflight budget spans every shard's cache and arenas via
+  /// BatchLimits's composition hooks. Per-query deadlines are measured
+  /// from each shard's pickup of the query. Per-query statuses merge like
+  /// Search; BatchStats classify the merged outcomes.
+  Result<BatchResult> SearchBatch(
+      const std::vector<std::vector<Token>>& queries,
+      const SearchOptions& options, const BatchLimits& limits,
+      uint64_t cache_budget_bytes = 256ull << 20, size_t num_threads = 1);
+
+  /// Opens `shard_dir`, validates it against the current topology (no
+  /// duplicate, identical (k, seed, t), text-id headroom), durably commits
+  /// the manifest with epoch + 1, then swaps the topology. The new shard's
+  /// texts get ids starting at the previous topology's total.
+  Status AttachShard(const std::string& shard_dir);
+
+  /// Removes `shard_dir` (matched against manifest entries or their
+  /// resolved paths) from the set: durably commits the shrunk manifest
+  /// with epoch + 1, then swaps the topology. Remaining shards are
+  /// renumbered by concatenation order, exactly as if the set had been
+  /// created without the detached shard. The last shard cannot be
+  /// detached. In-flight queries finish on the old topology.
+  Status DetachShard(const std::string& shard_dir);
+
+  /// Epoch of the topology new queries will see.
+  uint64_t epoch() const;
+
+  /// Combined build parameters of the current topology: (k, seed, t) of
+  /// the shared hash family, num_texts / total_tokens summed over shards
+  /// (dropped shards included — they keep their id range).
+  IndexMeta meta() const;
+
+  /// Current topology, in concatenation order.
+  std::vector<ShardInfo> shards() const;
+
+ private:
+  struct State;
+  explicit ShardedSearcher(std::unique_ptr<State> state);
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_SHARD_SHARDED_SEARCHER_H_

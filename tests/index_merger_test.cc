@@ -147,6 +147,143 @@ TEST_F(IndexMergerTest, MergeToCompressedOutput) {
   EXPECT_EQ(Dump(dir_ + "/merged", build.k), Dump(dir_ + "/full", build.k));
 }
 
+TEST_F(IndexMergerTest, SingleShardMergeIsIdentityRebuild) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 25;
+  corpus_options.vocab_size = 150;
+  corpus_options.seed = 75;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  IndexBuildOptions build;
+  build.k = 4;
+  build.t = 15;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/s1", build).ok());
+
+  auto stats = MergeIndexes({dir_ + "/s1"}, dir_ + "/merged",
+                            IndexMergeOptions{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(Dump(dir_ + "/merged", build.k), Dump(dir_ + "/s1", build.k));
+  auto meta = IndexMeta::Load(dir_ + "/merged");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->num_texts, 25u);
+}
+
+TEST_F(IndexMergerTest, EmptyShardContributesOnlyItsIdRange) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 30;
+  corpus_options.vocab_size = 150;
+  corpus_options.seed = 76;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  IndexBuildOptions build;
+  build.k = 4;
+  build.t = 15;
+
+  // A shard whose every text is shorter than t posts no windows at all,
+  // but its texts still occupy ids — the merge must keep the offsets.
+  Corpus first, empty, third;
+  for (size_t i = 0; i < 15; ++i) first.AddText(sc.corpus.text(i));
+  for (int i = 0; i < 5; ++i) {
+    empty.AddText(std::vector<Token>{1, 2, 3});
+  }
+  for (size_t i = 15; i < 30; ++i) third.AddText(sc.corpus.text(i));
+  ASSERT_TRUE(BuildIndexInMemory(first, dir_ + "/s1", build).ok());
+  ASSERT_TRUE(BuildIndexInMemory(empty, dir_ + "/s2", build).ok());
+  ASSERT_TRUE(BuildIndexInMemory(third, dir_ + "/s3", build).ok());
+
+  auto stats = MergeIndexes({dir_ + "/s1", dir_ + "/s2", dir_ + "/s3"},
+                            dir_ + "/merged", IndexMergeOptions{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  Corpus combined;
+  for (size_t i = 0; i < 15; ++i) combined.AddText(sc.corpus.text(i));
+  for (int i = 0; i < 5; ++i) combined.AddText(std::vector<Token>{1, 2, 3});
+  for (size_t i = 15; i < 30; ++i) combined.AddText(sc.corpus.text(i));
+  ASSERT_TRUE(BuildIndexInMemory(combined, dir_ + "/full", build).ok());
+  EXPECT_EQ(Dump(dir_ + "/merged", build.k), Dump(dir_ + "/full", build.k));
+  auto meta = IndexMeta::Load(dir_ + "/merged");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->num_texts, 35u);
+}
+
+TEST_F(IndexMergerTest, MixedPostingFormatsMerge) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 40;
+  corpus_options.vocab_size = 200;
+  corpus_options.seed = 77;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  Corpus first, second;
+  for (size_t i = 0; i < 20; ++i) first.AddText(sc.corpus.text(i));
+  for (size_t i = 20; i < 40; ++i) second.AddText(sc.corpus.text(i));
+
+  // One raw shard, one compressed shard: the merge must read both.
+  IndexBuildOptions raw;
+  raw.k = 3;
+  raw.t = 15;
+  IndexBuildOptions compressed = raw;
+  compressed.posting_format = index_format::kFormatCompressed;
+  ASSERT_TRUE(BuildIndexInMemory(first, dir_ + "/s1", raw).ok());
+  ASSERT_TRUE(BuildIndexInMemory(second, dir_ + "/s2", compressed).ok());
+
+  auto stats = MergeIndexes({dir_ + "/s1", dir_ + "/s2"}, dir_ + "/merged",
+                            IndexMergeOptions{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/full", raw).ok());
+  EXPECT_EQ(Dump(dir_ + "/merged", raw.k), Dump(dir_ + "/full", raw.k));
+}
+
+TEST_F(IndexMergerTest, MismatchedBuildParametersRejected) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 10;
+  corpus_options.vocab_size = 100;
+  corpus_options.seed = 78;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  IndexBuildOptions base;
+  base.k = 4;
+  base.t = 15;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/base", base).ok());
+
+  IndexBuildOptions different_k = base;
+  different_k.k = 5;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/k", different_k).ok());
+  EXPECT_FALSE(MergeIndexes({dir_ + "/base", dir_ + "/k"}, dir_ + "/out",
+                            IndexMergeOptions{})
+                   .ok());
+
+  IndexBuildOptions different_seed = base;
+  different_seed.seed = base.seed + 1;
+  ASSERT_TRUE(
+      BuildIndexInMemory(sc.corpus, dir_ + "/seed", different_seed).ok());
+  EXPECT_FALSE(MergeIndexes({dir_ + "/base", dir_ + "/seed"}, dir_ + "/out",
+                            IndexMergeOptions{})
+                   .ok());
+}
+
+TEST_F(IndexMergerTest, DuplicateAndEmptyShardListsRejected) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 10;
+  corpus_options.vocab_size = 100;
+  corpus_options.seed = 79;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  IndexBuildOptions build;
+  build.k = 3;
+  build.t = 15;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/s1", build).ok());
+
+  auto duplicate = MergeIndexes({dir_ + "/s1", dir_ + "/s1"}, dir_ + "/out",
+                                IndexMergeOptions{});
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_TRUE(duplicate.status().IsInvalidArgument());
+
+  // Different spellings of the same directory are still duplicates.
+  auto spelled = MergeIndexes({dir_ + "/s1", dir_ + "/./s1"}, dir_ + "/out",
+                              IndexMergeOptions{});
+  ASSERT_FALSE(spelled.ok());
+  EXPECT_TRUE(spelled.status().IsInvalidArgument());
+
+  auto empty = MergeIndexes({}, dir_ + "/out", IndexMergeOptions{});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_TRUE(empty.status().IsInvalidArgument());
+}
+
 TEST_F(IndexMergerTest, IncompatibleShardsRejected) {
   SyntheticCorpusOptions corpus_options;
   corpus_options.num_texts = 10;

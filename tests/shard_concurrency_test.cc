@@ -1,0 +1,222 @@
+// ShardedSearcher under concurrency: many query threads against one
+// ShardedSearcher while an admin thread attaches and detaches a shard.
+// Every observed answer must exactly match one of the two topologies'
+// expected outputs (epoch snapshots: a query never sees a half-applied
+// topology change). Written to run under TSan (cmake -DNDSS_SANITIZE=thread).
+
+#include "shard/sharded_searcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/file_io.h"
+#include "corpusgen/synthetic.h"
+#include "index/index_builder.h"
+#include "index/index_merger.h"
+#include "query/searcher.h"
+
+namespace ndss {
+namespace {
+
+class ShardConcurrencyTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kNumTexts = 90;
+  static constexpr uint32_t kShardTexts = 30;  // 3 shards
+
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_shardconc_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(CreateDirectories(dir_).ok());
+
+    SyntheticCorpusOptions corpus_options;
+    corpus_options.num_texts = kNumTexts;
+    corpus_options.vocab_size = 300;
+    corpus_options.plant_rate = 0.35;
+    corpus_options.seed = 101;
+    sc_ = GenerateSyntheticCorpus(corpus_options);
+
+    IndexBuildOptions build;
+    build.k = 4;
+    build.t = 15;
+    for (uint32_t s = 0; s < 3; ++s) {
+      Corpus shard;
+      for (uint32_t i = s * kShardTexts; i < (s + 1) * kShardTexts; ++i) {
+        shard.AddText(sc_.corpus.text(i));
+      }
+      ASSERT_TRUE(BuildIndexInMemory(shard, ShardDir(s), build).ok());
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string ShardDir(uint32_t s) const {
+    return dir_ + "/s" + std::to_string(s);
+  }
+  std::string SetDir() const { return dir_ + "/set"; }
+
+  static std::string Fingerprint(const SearchResult& result) {
+    std::string fp;
+    for (const MatchSpan& span : result.spans) {
+      fp += std::to_string(span.text) + ":" + std::to_string(span.begin) +
+            "-" + std::to_string(span.end) + "/" +
+            std::to_string(span.collisions) + ";";
+    }
+    return fp;
+  }
+
+  std::vector<std::vector<Token>> MakeQueries(size_t count) const {
+    Rng rng(7);
+    std::vector<std::vector<Token>> queries;
+    for (size_t q = 0; q < count; ++q) {
+      const TextId source = static_cast<TextId>(rng.Uniform(kNumTexts));
+      const auto text = sc_.corpus.text(source);
+      const uint32_t length =
+          std::min<uint32_t>(30, static_cast<uint32_t>(text.size()));
+      queries.push_back(PerturbSequence(text, 0, length, 0.1, 300, rng));
+    }
+    return queries;
+  }
+
+  std::string dir_;
+  SyntheticCorpus sc_;
+};
+
+TEST_F(ShardConcurrencyTest, AttachDetachUnderQueryLoad) {
+  ShardManifest manifest;
+  manifest.shard_dirs = {ShardDir(0), ShardDir(1)};
+  ASSERT_TRUE(manifest.Save(SetDir()).ok());
+
+  SearchOptions options;
+  options.theta = 0.6;
+  const auto queries = MakeQueries(6);
+
+  // Expected answers for both topologies the admin thread cycles between,
+  // computed from single merged baselines.
+  ASSERT_TRUE(MergeIndexes({ShardDir(0), ShardDir(1)}, dir_ + "/m2",
+                           IndexMergeOptions{})
+                  .ok());
+  ASSERT_TRUE(MergeIndexes({ShardDir(0), ShardDir(1), ShardDir(2)},
+                           dir_ + "/m3", IndexMergeOptions{})
+                  .ok());
+  std::vector<std::string> fp2, fp3;
+  {
+    auto m2 = Searcher::Open(dir_ + "/m2");
+    auto m3 = Searcher::Open(dir_ + "/m3");
+    ASSERT_TRUE(m2.ok() && m3.ok());
+    for (const auto& query : queries) {
+      auto a = m2->Search(query, options);
+      auto b = m3->Search(query, options);
+      ASSERT_TRUE(a.ok() && b.ok());
+      fp2.push_back(Fingerprint(*a));
+      fp3.push_back(Fingerprint(*b));
+    }
+  }
+
+  auto sharded = ShardedSearcher::Open(SetDir());
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries_run{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> workers;
+  const size_t kWorkers = 4;
+  for (size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      size_t q = w % queries.size();
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (w % 2 == 0) {
+          auto result = sharded->Search(queries[q], options);
+          if (!result.ok()) {
+            ++mismatches;
+          } else {
+            const std::string fp = Fingerprint(*result);
+            if (fp != fp2[q] && fp != fp3[q]) ++mismatches;
+          }
+          ++queries_run;
+        } else {
+          // Batch path: every query in the batch must come from ONE
+          // snapshot, so all fingerprints match the same topology.
+          auto batch = sharded->SearchBatch(queries, options, 16 << 20, 2);
+          if (!batch.ok()) {
+            ++mismatches;
+          } else {
+            bool all2 = true, all3 = true;
+            for (size_t i = 0; i < queries.size(); ++i) {
+              const std::string fp = Fingerprint((*batch)[i]);
+              all2 &= fp == fp2[i];
+              all3 &= fp == fp3[i];
+            }
+            if (!all2 && !all3) ++mismatches;
+          }
+          queries_run += queries.size();
+        }
+        q = (q + 1) % queries.size();
+      }
+    });
+  }
+
+  // Admin thread: cycle shard 2 in and out while the workers hammer.
+  uint64_t epochs = 0;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    ASSERT_TRUE(sharded->AttachShard(ShardDir(2)).ok());
+    ++epochs;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(sharded->DetachShard(ShardDir(2)).ok());
+    ++epochs;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (std::thread& t : workers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(queries_run.load(), 0u);
+  EXPECT_EQ(sharded->epoch(), epochs);
+  EXPECT_EQ(sharded->meta().num_texts, 2 * kShardTexts);
+}
+
+TEST_F(ShardConcurrencyTest, ConcurrentGovernedSearches) {
+  ShardManifest manifest;
+  manifest.shard_dirs = {ShardDir(0), ShardDir(1), ShardDir(2)};
+  ASSERT_TRUE(manifest.Save(SetDir()).ok());
+  auto sharded = ShardedSearcher::Open(SetDir());
+  ASSERT_TRUE(sharded.ok());
+
+  SearchOptions options;
+  options.theta = 0.6;
+  const auto queries = MakeQueries(4);
+  std::vector<std::string> expected;
+  for (const auto& query : queries) {
+    auto result = sharded->Search(query, options);
+    ASSERT_TRUE(result.ok());
+    expected.push_back(Fingerprint(*result));
+  }
+
+  // Concurrent governed queries share the scatter pool; a permissive
+  // budget and deadline must not change any answer.
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> workers;
+  for (size_t w = 0; w < 8; ++w) {
+    workers.emplace_back([&, w] {
+      for (int iter = 0; iter < 5; ++iter) {
+        const size_t q = (w + iter) % queries.size();
+        QueryContext ctx = QueryContext::WithTimeout(60'000'000);
+        MemoryBudget budget(1ull << 30);
+        ctx.set_memory_budget(&budget);
+        SearchResult result;
+        const Status status =
+            sharded->Search(queries[q], options, &ctx, &result);
+        if (!status.ok() || Fingerprint(result) != expected[q]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace
+}  // namespace ndss

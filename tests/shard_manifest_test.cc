@@ -1,0 +1,132 @@
+#include "shard/shard_manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/file_io.h"
+#include "index/index_merger.h"
+
+namespace ndss {
+namespace {
+
+class ShardManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_manifest_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(CreateDirectories(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Flips one byte of the manifest at `offset`.
+  void FlipByte(uint64_t offset) {
+    const std::string path = ShardManifest::Path(dir_);
+    auto data = ReadFileToString(path);
+    ASSERT_TRUE(data.ok());
+    ASSERT_LT(offset, data->size());
+    (*data)[offset] ^= 0x5a;
+    ASSERT_TRUE(WriteStringToFile(path, *data).ok());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ShardManifestTest, RoundTrip) {
+  ShardManifest manifest;
+  manifest.epoch = 42;
+  manifest.shard_dirs = {"shards/s0", "/abs/s1", "shards/s2"};
+  ASSERT_TRUE(manifest.Save(dir_).ok());
+
+  auto loaded = ShardManifest::Load(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 42u);
+  EXPECT_EQ(loaded->shard_dirs, manifest.shard_dirs);
+}
+
+TEST_F(ShardManifestTest, SaveIsAtomicReplace) {
+  ShardManifest manifest;
+  manifest.epoch = 1;
+  manifest.shard_dirs = {"a"};
+  ASSERT_TRUE(manifest.Save(dir_).ok());
+  manifest.epoch = 2;
+  manifest.shard_dirs = {"a", "b"};
+  ASSERT_TRUE(manifest.Save(dir_).ok());
+
+  auto loaded = ShardManifest::Load(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->epoch, 2u);
+  EXPECT_EQ(loaded->shard_dirs.size(), 2u);
+}
+
+TEST_F(ShardManifestTest, RejectsEmptyAndDuplicateShardLists) {
+  ShardManifest manifest;
+  auto empty = manifest.Save(dir_);
+  EXPECT_TRUE(empty.IsInvalidArgument()) << empty.ToString();
+
+  manifest.shard_dirs = {"s0", "s1", "s0"};
+  auto duplicate = manifest.Save(dir_);
+  EXPECT_TRUE(duplicate.IsInvalidArgument()) << duplicate.ToString();
+
+  // Paths that normalize to the same directory are duplicates too.
+  manifest.shard_dirs = {"s0", "./s0"};
+  EXPECT_TRUE(manifest.Save(dir_).IsInvalidArgument());
+}
+
+TEST_F(ShardManifestTest, MissingManifestIsNotFoundOrIOError) {
+  auto loaded = ShardManifest::Load(dir_ + "/nonexistent");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_FALSE(loaded.status().IsCorruption());
+}
+
+TEST_F(ShardManifestTest, CorruptionDetectedAtEveryByte) {
+  ShardManifest manifest;
+  manifest.epoch = 7;
+  manifest.shard_dirs = {"s0", "s1"};
+  ASSERT_TRUE(manifest.Save(dir_).ok());
+  auto size = FileSize(ShardManifest::Path(dir_));
+  ASSERT_TRUE(size.ok());
+
+  for (uint64_t offset = 0; offset < *size; ++offset) {
+    FlipByte(offset);
+    auto loaded = ShardManifest::Load(dir_);
+    EXPECT_FALSE(loaded.ok()) << "flip at byte " << offset << " undetected";
+    FlipByte(offset);  // restore
+  }
+  EXPECT_TRUE(ShardManifest::Load(dir_).ok());
+}
+
+TEST_F(ShardManifestTest, TruncationDetectedAtEveryLength) {
+  ShardManifest manifest;
+  manifest.epoch = 3;
+  manifest.shard_dirs = {"s0"};
+  ASSERT_TRUE(manifest.Save(dir_).ok());
+  const std::string path = ShardManifest::Path(dir_);
+  auto data = ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+
+  for (size_t keep = 0; keep < data->size(); ++keep) {
+    ASSERT_TRUE(WriteStringToFile(path, data->substr(0, keep)).ok());
+    auto loaded = ShardManifest::Load(dir_);
+    EXPECT_FALSE(loaded.ok()) << "truncation to " << keep << " undetected";
+  }
+}
+
+TEST_F(ShardManifestTest, ResolveShardDir) {
+  EXPECT_EQ(ResolveShardDir("/set", "shards/s0"), "/set/shards/s0");
+  EXPECT_EQ(ResolveShardDir("/set", "/abs/s1"), "/abs/s1");
+}
+
+TEST_F(ShardManifestTest, ValidateShardDirsUnit) {
+  EXPECT_TRUE(ValidateShardDirs({}).IsInvalidArgument());
+  EXPECT_TRUE(ValidateShardDirs({"a", "b"}).ok());
+  EXPECT_TRUE(ValidateShardDirs({"a", "a"}).IsInvalidArgument());
+  // Lexical normalization: trailing slash and ./ spellings collide.
+  EXPECT_TRUE(ValidateShardDirs({"a/", "a"}).IsInvalidArgument());
+  EXPECT_TRUE(ValidateShardDirs({"x/./a", "x/a"}).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ndss

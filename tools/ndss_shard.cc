@@ -1,0 +1,235 @@
+// ndss_shard: manages the MANIFEST of a shard set served by
+// ShardedSearcher. All subcommands are offline manifest operations — they
+// validate against the shard indexes on disk and commit crash-safely (tmp +
+// fsync + rename), but never touch a live server; a serving process applies
+// the same changes online via AttachShard / DetachShard.
+//
+//   ndss_shard create --set=DIR SHARD_DIR...
+//   ndss_shard attach --set=DIR SHARD_DIR
+//   ndss_shard detach --set=DIR SHARD_DIR
+//   ndss_shard status --set=DIR [--json]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "index/index_merger.h"
+#include "shard/shard_manifest.h"
+#include "tool_flags.h"
+
+namespace {
+
+using ndss::IndexMeta;
+using ndss::LoadShardMeta;
+using ndss::ResolveShardDir;
+using ndss::Result;
+using ndss::ShardManifest;
+using ndss::Status;
+using ndss::ValidateShardMetas;
+using ndss::tools::Die;
+using ndss::tools::Flags;
+
+[[noreturn]] void Usage() {
+  Die(
+      "usage: ndss_shard CMD --set=DIR [args]\n"
+      "  create --set=DIR SHARD_DIR...   write a fresh manifest (epoch 0)\n"
+      "  attach --set=DIR SHARD_DIR      add a shard (epoch + 1)\n"
+      "  detach --set=DIR SHARD_DIR      remove a shard (epoch + 1)\n"
+      "  status --set=DIR [--json]       describe the set");
+}
+
+/// Loads and cross-validates every shard meta of `manifest`; dies on the
+/// first invalid shard.
+void ValidateMetas(const std::string& set_dir, const ShardManifest& manifest) {
+  std::vector<IndexMeta> metas;
+  for (const std::string& entry : manifest.shard_dirs) {
+    Result<IndexMeta> meta = LoadShardMeta(ResolveShardDir(set_dir, entry));
+    if (!meta.ok()) Die(entry + ": " + meta.status().ToString());
+    metas.push_back(std::move(*meta));
+  }
+  const Status status = ValidateShardMetas(metas, manifest.shard_dirs);
+  if (!status.ok()) Die(status.ToString());
+}
+
+void Commit(const std::string& set_dir, const ShardManifest& manifest,
+            const char* verb, const std::string& detail) {
+  const Status status = manifest.Save(set_dir);
+  if (!status.ok()) Die(status.ToString());
+  std::printf("%s %s: epoch %llu, %zu shard%s\n", verb, detail.c_str(),
+              static_cast<unsigned long long>(manifest.epoch),
+              manifest.shard_dirs.size(),
+              manifest.shard_dirs.size() == 1 ? "" : "s");
+}
+
+int Create(const std::string& set_dir, const std::vector<std::string>& dirs) {
+  ShardManifest manifest;
+  manifest.epoch = 0;
+  manifest.shard_dirs = dirs;
+  ValidateMetas(set_dir, manifest);
+  Commit(set_dir, manifest, "created", set_dir);
+  return 0;
+}
+
+int Attach(const std::string& set_dir, const std::string& shard_dir) {
+  Result<ShardManifest> manifest = ShardManifest::Load(set_dir);
+  if (!manifest.ok()) Die(manifest.status().ToString());
+  manifest->shard_dirs.push_back(shard_dir);
+  ++manifest->epoch;
+  // Save re-runs the duplicate check; ValidateMetas re-runs (k, seed, t).
+  ValidateMetas(set_dir, *manifest);
+  Commit(set_dir, *manifest, "attached", shard_dir);
+  return 0;
+}
+
+int Detach(const std::string& set_dir, const std::string& shard_dir) {
+  Result<ShardManifest> manifest = ShardManifest::Load(set_dir);
+  if (!manifest.ok()) Die(manifest.status().ToString());
+  const std::string resolved = ResolveShardDir(set_dir, shard_dir);
+  std::vector<std::string> kept;
+  for (const std::string& entry : manifest->shard_dirs) {
+    if (entry == shard_dir || ResolveShardDir(set_dir, entry) == resolved) {
+      continue;
+    }
+    kept.push_back(entry);
+  }
+  if (kept.size() == manifest->shard_dirs.size()) {
+    Die("shard " + shard_dir + " is not in the set");
+  }
+  if (kept.empty()) {
+    Die("cannot detach the last shard (a shard set must keep at least one)");
+  }
+  manifest->shard_dirs = std::move(kept);
+  ++manifest->epoch;
+  Commit(set_dir, *manifest, "detached", shard_dir);
+  return 0;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out.append(buf);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+int PrintStatus(const std::string& set_dir, bool json) {
+  Result<ShardManifest> manifest = ShardManifest::Load(set_dir);
+  if (!manifest.ok()) Die(manifest.status().ToString());
+
+  struct Row {
+    std::string dir;
+    uint64_t text_offset = 0;
+    IndexMeta meta;
+    Status status;
+  };
+  std::vector<Row> rows;
+  uint64_t num_texts = 0;
+  uint64_t total_tokens = 0;
+  size_t broken = 0;
+  for (const std::string& entry : manifest->shard_dirs) {
+    Row row;
+    row.dir = ResolveShardDir(set_dir, entry);
+    row.text_offset = num_texts;
+    Result<IndexMeta> meta = LoadShardMeta(row.dir);
+    if (meta.ok()) {
+      row.meta = std::move(*meta);
+      num_texts += row.meta.num_texts;
+      total_tokens += row.meta.total_tokens;
+    } else {
+      row.status = meta.status();
+      ++broken;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  if (json) {
+    std::printf("{\n  \"set_dir\": \"%s\",\n  \"epoch\": %llu,\n"
+                "  \"num_shards\": %zu,\n  \"broken_shards\": %zu,\n"
+                "  \"num_texts\": %llu,\n  \"total_tokens\": %llu,\n"
+                "  \"shards\": [\n",
+                JsonEscape(set_dir).c_str(),
+                static_cast<unsigned long long>(manifest->epoch), rows.size(),
+                broken, static_cast<unsigned long long>(num_texts),
+                static_cast<unsigned long long>(total_tokens));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      if (row.status.ok()) {
+        std::printf("    {\"dir\": \"%s\", \"ok\": true, "
+                    "\"text_offset\": %llu, \"num_texts\": %llu, "
+                    "\"k\": %u, \"seed\": %llu, \"t\": %u}%s\n",
+                    JsonEscape(row.dir).c_str(),
+                    static_cast<unsigned long long>(row.text_offset),
+                    static_cast<unsigned long long>(row.meta.num_texts),
+                    row.meta.k,
+                    static_cast<unsigned long long>(row.meta.seed), row.meta.t,
+                    i + 1 < rows.size() ? "," : "");
+      } else {
+        std::printf("    {\"dir\": \"%s\", \"ok\": false, \"error\": "
+                    "\"%s\"}%s\n",
+                    JsonEscape(row.dir).c_str(),
+                    JsonEscape(row.status.ToString()).c_str(),
+                    i + 1 < rows.size() ? "," : "");
+      }
+    }
+    std::printf("  ]\n}\n");
+  } else {
+    std::printf("shard set %s: epoch %llu, %zu shards (%zu broken), "
+                "%llu texts, %llu tokens\n",
+                set_dir.c_str(),
+                static_cast<unsigned long long>(manifest->epoch), rows.size(),
+                broken, static_cast<unsigned long long>(num_texts),
+                static_cast<unsigned long long>(total_tokens));
+    for (const Row& row : rows) {
+      if (row.status.ok()) {
+        std::printf("  %-40s offset=%-10llu texts=%-10llu k=%u t=%u\n",
+                    row.dir.c_str(),
+                    static_cast<unsigned long long>(row.text_offset),
+                    static_cast<unsigned long long>(row.meta.num_texts),
+                    row.meta.k, row.meta.t);
+      } else {
+        std::printf("  %-40s BROKEN: %s\n", row.dir.c_str(),
+                    row.status.ToString().c_str());
+      }
+    }
+  }
+  // Like ndss_fsck: a non-zero exit for a set that cannot fully serve.
+  return broken == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.positional().empty()) Usage();
+  const std::string cmd = flags.positional().front();
+  const std::string set_dir = flags.GetString("set", "");
+  if (set_dir.empty()) Usage();
+  const std::vector<std::string> args(flags.positional().begin() + 1,
+                                      flags.positional().end());
+  if (cmd == "create") {
+    if (args.empty()) Usage();
+    return Create(set_dir, args);
+  }
+  if (cmd == "attach") {
+    if (args.size() != 1) Usage();
+    return Attach(set_dir, args.front());
+  }
+  if (cmd == "detach") {
+    if (args.size() != 1) Usage();
+    return Detach(set_dir, args.front());
+  }
+  if (cmd == "status") {
+    if (!args.empty()) Usage();
+    return PrintStatus(set_dir, flags.GetBool("json", false));
+  }
+  Usage();
+}

@@ -3,10 +3,15 @@
 // lists enormous, Section 3.5) — and optionally a compact-window width
 // histogram (--widths, reads every list of hash function 0).
 //
-//   ndss_stats --index=/data/idx [--widths]
+//   ndss_stats --index=/data/idx [--widths] [--json]
+//
+// --json emits the summary (build parameters, list/window totals, the
+// percentile distribution) as a single machine-readable object, like
+// ndss_fsck --json; --widths is ignored in that mode.
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "index/index_meta.h"
@@ -38,11 +43,47 @@ int main(int argc, char** argv) {
     }
     total_windows += reader->num_windows();
   }
+  std::sort(counts.begin(), counts.end(), std::greater<uint64_t>());
+
+  if (flags.GetBool("json", false)) {
+    std::string escaped_dir;
+    for (char c : index_dir) {
+      if (c == '"' || c == '\\') escaped_dir.push_back('\\');
+      escaped_dir.push_back(c);
+    }
+    std::printf("{\n  \"index\": \"%s\",\n  \"k\": %u,\n  \"seed\": %llu,\n"
+                "  \"t\": %u,\n  \"num_texts\": %llu,\n"
+                "  \"total_tokens\": %llu,\n  \"lists\": %zu,\n"
+                "  \"windows\": %llu,\n  \"list_bytes\": %llu,\n"
+                "  \"zone_lists\": %llu,\n",
+                escaped_dir.c_str(), meta->k,
+                static_cast<unsigned long long>(meta->seed), meta->t,
+                static_cast<unsigned long long>(meta->num_texts),
+                static_cast<unsigned long long>(meta->total_tokens),
+                counts.size(),
+                static_cast<unsigned long long>(total_windows),
+                static_cast<unsigned long long>(total_bytes),
+                static_cast<unsigned long long>(zone_lists));
+    std::printf("  \"list_length_percentiles\": {");
+    const double json_n = static_cast<double>(counts.size());
+    const double pcts[] = {0.0, 0.001, 0.01, 0.05, 0.10, 0.25, 0.50, 0.90};
+    for (size_t i = 0; i < 8; ++i) {
+      const uint64_t value =
+          counts.empty()
+              ? 0
+              : counts[std::min<size_t>(counts.size() - 1,
+                                        static_cast<size_t>(pcts[i] * json_n))];
+      std::printf("%s\"%.1f\": %llu", i == 0 ? "" : ", ", pcts[i] * 100,
+                  static_cast<unsigned long long>(value));
+    }
+    std::printf("}\n}\n");
+    return 0;
+  }
+
   if (counts.empty()) {
     std::printf("index is empty\n");
     return 0;
   }
-  std::sort(counts.begin(), counts.end(), std::greater<uint64_t>());
 
   std::printf("k=%u t=%u  lists=%zu  windows=%llu  list bytes=%.2f MB  "
               "zone-mapped lists=%llu\n",
