@@ -1,0 +1,351 @@
+// Self-healing under injected I/O faults: degraded serving and recovery.
+//
+// Serves a 4-shard set through a self-healing ShardedSearcher with a
+// FaultInjectionEnv underneath, and measures the three numbers an operator
+// cares about when a shard goes bad:
+//
+//   1. what degraded serving costs — p50/p95 latency and the fraction of
+//      answers missing the faulty shard while a fault storm is active;
+//   2. how fast the breaker reacts — queries until the shard is quarantined
+//      (after which queries stop paying for its failing reads at all);
+//   3. how fast full service returns — wall-clock from Heal() until the
+//      HealthMonitor's probe reopens the shard and answers are again
+//      bit-identical to the never-faulted merged baseline (verified, not
+//      assumed; a post-recovery mismatch exits 1).
+//
+// Usage: bench_chaos [--json] [--quick] [--out=PATH]
+//   --json   also write the machine-readable report (default
+//            BENCH_chaos.json; see README "Benchmark reports")
+//   --quick  smaller corpus / fewer queries (CI-sized)
+//   --out=   report path for --json
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/env.h"
+#include "common/fault_injection_env.h"
+#include "common/stopwatch.h"
+#include "index/index_builder.h"
+#include "index/index_merger.h"
+#include "query/searcher.h"
+#include "shard/sharded_searcher.h"
+
+namespace ndss {
+namespace {
+
+struct Percentiles {
+  double p50_us = 0;
+  double p95_us = 0;
+};
+
+Percentiles ComputePercentiles(std::vector<double> micros) {
+  Percentiles p;
+  if (micros.empty()) return p;
+  std::sort(micros.begin(), micros.end());
+  p.p50_us = micros[micros.size() / 2];
+  p.p95_us = micros[std::min(micros.size() - 1, micros.size() * 95 / 100)];
+  return p;
+}
+
+bool SameMatches(const SearchResult& a, const SearchResult& b) {
+  if (a.rectangles.size() != b.rectangles.size() ||
+      a.spans.size() != b.spans.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.rectangles.size(); ++i) {
+    if (a.rectangles[i].text != b.rectangles[i].text ||
+        !(a.rectangles[i].rect == b.rectangles[i].rect)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.spans.size(); ++i) {
+    if (a.spans[i].text != b.spans[i].text ||
+        a.spans[i].begin != b.spans[i].begin ||
+        a.spans[i].end != b.spans[i].end ||
+        a.spans[i].collisions != b.spans[i].collisions) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct PhaseReport {
+  std::string name;
+  double fail_probability = 0;
+  size_t queries = 0;
+  size_t degraded = 0;  ///< answers missing at least one shard
+  Percentiles latency;
+};
+
+struct StormReport {
+  double fail_probability = 0;
+  PhaseReport storm;
+  uint64_t drops = 0;  ///< exclusions charged to the shard
+  uint64_t quarantines = 0;
+  uint64_t reopens = 0;
+  double recovery_ms = 0;  ///< Heal() -> healthy + bit-exact answers
+};
+
+template <typename SearchFn>
+PhaseReport RunPhase(const std::string& name,
+                     const std::vector<std::vector<Token>>& queries,
+                     SearchFn&& search) {
+  PhaseReport report;
+  report.name = name;
+  std::vector<double> micros;
+  micros.reserve(queries.size());
+  for (const auto& query : queries) {
+    Stopwatch watch;
+    Result<SearchResult> result = search(query);
+    micros.push_back(watch.ElapsedMicros());
+    ++report.queries;
+    if (result.ok() && result->stats.degraded_shards > 0) ++report.degraded;
+  }
+  report.latency = ComputePercentiles(std::move(micros));
+  return report;
+}
+
+void PrintPhase(const PhaseReport& r) {
+  std::printf("%-16s %8.2f %8zu %9zu %12.1f %12.1f\n", r.name.c_str(),
+              r.fail_probability, r.queries, r.degraded, r.latency.p50_us,
+              r.latency.p95_us);
+}
+
+int Run(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  std::string out_path = "BENCH_chaos.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json] [--quick] [--out=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const uint32_t num_texts = bench::Scaled(quick ? 400 : 2000);
+  const uint32_t vocab = 2000;
+  const uint32_t num_queries = quick ? 80 : 300;
+  const uint32_t num_shards = 4;
+  const std::string dir = bench::ScratchDir("chaos");
+
+  bench::PrintHeader(
+      "Self-healing under injected I/O faults",
+      "one shard's reads fail with probability p; after each storm the set "
+      "must heal back to bit-identical answers or the bench exits 1");
+  std::printf("corpus: %u texts over %u shards, %u queries per phase\n\n",
+              num_texts, num_shards, num_queries);
+
+  SyntheticCorpus sc = bench::MakeBenchCorpus(num_texts, vocab, 4242);
+  const auto queries =
+      bench::MakeQueries(sc.corpus, num_queries, 40, 0.1, vocab, 77);
+  SearchOptions options;
+  options.theta = 0.6;
+
+  IndexBuildOptions build;
+  build.k = 8;
+  build.t = 20;
+  std::vector<std::string> shard_dirs;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    Corpus shard;
+    const uint32_t begin = s * num_texts / num_shards;
+    const uint32_t end = (s + 1) * num_texts / num_shards;
+    for (uint32_t i = begin; i < end; ++i) shard.AddText(sc.corpus.text(i));
+    const std::string shard_dir = dir + "/s" + std::to_string(s);
+    auto built = BuildIndexInMemory(shard, shard_dir, build);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    shard_dirs.push_back(shard_dir);
+  }
+  auto merged = MergeIndexes(shard_dirs, dir + "/merged", IndexMergeOptions{});
+  if (!merged.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 merged.status().ToString().c_str());
+    return 1;
+  }
+  ShardManifest manifest;
+  manifest.shard_dirs = shard_dirs;
+  if (!manifest.Save(dir + "/set").ok()) return 1;
+
+  // The baseline opens its files through the real env before fault
+  // injection is installed; the sharded searcher opens after, so every one
+  // of its preads routes through the fault env.
+  auto baseline = Searcher::Open(dir + "/merged");
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 baseline.status().ToString().c_str());
+    return 1;
+  }
+  auto fault = std::make_unique<FaultInjectionEnv>(Env::Posix());
+  SetDefaultEnv(fault.get());
+
+  ShardedSearcherOptions serve;
+  serve.enable_self_healing = true;
+  serve.health.consecutive_failures_to_quarantine = 2;
+  serve.health.initial_probe_delay_micros = 1000;
+  serve.health.max_probe_delay_micros = 100'000;
+  serve.health.monitor_poll_micros = 1000;
+
+  int exit_code = 0;
+  std::vector<PhaseReport> phases;
+  std::vector<StormReport> storms;
+  {
+    auto sharded = ShardedSearcher::Open(dir + "/set", serve);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   sharded.status().ToString().c_str());
+      SetDefaultEnv(nullptr);
+      return 1;
+    }
+    const auto search = [&](const std::vector<Token>& q) {
+      return sharded->Search(q, options);
+    };
+    const auto counters = [&] { return sharded->shards()[1].health; };
+
+    std::printf("%-16s %8s %8s %9s %12s %12s\n", "phase", "p", "queries",
+                "degraded", "p50 us", "p95 us");
+    phases.push_back(RunPhase("healthy", queries, search));
+    PrintPhase(phases.back());
+
+    for (const double p : {0.05, 0.5}) {
+      ShardHealthSnapshot before = counters();
+      fault->SetFaultPathFilter(shard_dirs[1]);
+      fault->SetFailProbability(p, /*seed=*/0x9E3779B9 ^ uint64_t(p * 1000));
+
+      StormReport storm;
+      storm.fail_probability = p;
+      storm.storm = RunPhase("storm", queries, search);
+      storm.storm.fail_probability = p;
+      PrintPhase(storm.storm);
+
+      // Storm over: clear faults and time the heal-and-verify loop.
+      fault->Heal();
+      Stopwatch recovery;
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      bool healed = false;
+      while (std::chrono::steady_clock::now() < deadline) {
+        bool all_healthy = true;
+        for (const ShardInfo& info : sharded->shards()) {
+          all_healthy = all_healthy &&
+                        info.health.state == ShardHealth::kHealthy &&
+                        !info.dropped;
+        }
+        if (all_healthy) {
+          healed = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (healed) {
+        for (size_t q = 0; q < queries.size(); ++q) {
+          auto expected = baseline->Search(queries[q], options);
+          auto actual = sharded->Search(queries[q], options);
+          if (!expected.ok() || !actual.ok() ||
+              actual->stats.degraded_shards != 0 ||
+              !SameMatches(*expected, *actual)) {
+            std::fprintf(stderr,
+                         "FATAL: post-recovery answer for query %zu is not "
+                         "bit-identical to the merged baseline (p=%.2f)\n",
+                         q, p);
+            exit_code = 1;
+            break;
+          }
+        }
+      } else {
+        std::fprintf(stderr,
+                     "FATAL: shard set did not heal within 30s of the "
+                     "p=%.2f storm clearing\n",
+                     p);
+        exit_code = 1;
+      }
+      storm.recovery_ms = recovery.ElapsedMillis();
+
+      ShardHealthSnapshot after = counters();
+      storm.drops = after.drops - before.drops;
+      storm.quarantines = after.quarantines - before.quarantines;
+      storm.reopens = after.reopens - before.reopens;
+      std::printf(
+          "  p=%.2f: drops=%llu quarantines=%llu reopens=%llu "
+          "recovery=%.1f ms\n",
+          p, static_cast<unsigned long long>(storm.drops),
+          static_cast<unsigned long long>(storm.quarantines),
+          static_cast<unsigned long long>(storm.reopens), storm.recovery_ms);
+      storms.push_back(storm);
+
+      phases.push_back(RunPhase("recovered", queries, search));
+      PrintPhase(phases.back());
+      if (exit_code != 0) break;
+    }
+  }
+  SetDefaultEnv(nullptr);
+
+  if (json) {
+    bench::JsonWriter writer;
+    writer.BeginObject();
+    writer.Field("bench", std::string("chaos"));
+    writer.Field("quick", quick);
+    writer.Field("scale", bench::ScaleFactor());
+    writer.Field("num_texts", static_cast<uint64_t>(num_texts));
+    writer.Field("num_shards", static_cast<uint64_t>(num_shards));
+    writer.Field("num_queries", static_cast<uint64_t>(num_queries));
+    writer.Field("recovered_bit_identical", exit_code == 0);
+    writer.BeginArray("phases");
+    for (const PhaseReport& r : phases) {
+      writer.BeginObject();
+      writer.Field("phase", r.name);
+      writer.Field("fail_probability", r.fail_probability);
+      writer.Field("queries", static_cast<uint64_t>(r.queries));
+      writer.Field("degraded", static_cast<uint64_t>(r.degraded));
+      writer.Field("p50_us", r.latency.p50_us);
+      writer.Field("p95_us", r.latency.p95_us);
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.BeginArray("storms");
+    for (const StormReport& s : storms) {
+      writer.BeginObject();
+      writer.Field("fail_probability", s.fail_probability);
+      writer.Field("degraded", static_cast<uint64_t>(s.storm.degraded));
+      writer.Field("storm_p50_us", s.storm.latency.p50_us);
+      writer.Field("storm_p95_us", s.storm.latency.p95_us);
+      writer.Field("drops", s.drops);
+      writer.Field("quarantines", s.quarantines);
+      writer.Field("reopens", s.reopens);
+      writer.Field("recovery_ms", s.recovery_ms);
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(writer.str().data(), 1, writer.str().size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace ndss
+
+int main(int argc, char** argv) { return ndss::Run(argc, argv); }

@@ -130,6 +130,22 @@ void FaultInjectionEnv::SetFailOnce(bool fail_once) {
   fail_once_ = fail_once;
 }
 
+void FaultInjectionEnv::SetFailProbability(double p, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_probability_ = p;
+  fault_rng_ = Rng(seed);
+}
+
+void FaultInjectionEnv::SetFaultPathFilter(std::string substring) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_path_filter_ = std::move(substring);
+}
+
+void FaultInjectionEnv::SetFaultBudget(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_budget_ = n;
+}
+
 void FaultInjectionEnv::CorruptNextAppend() {
   std::lock_guard<std::mutex> lock(mu_);
   corrupt_next_append_ = true;
@@ -153,6 +169,9 @@ void FaultInjectionEnv::Heal() {
   corrupt_next_append_ = false;
   short_appends_ = false;
   short_reads_ = false;
+  fail_probability_ = 0.0;
+  fault_path_filter_.clear();
+  fault_budget_ = -1;
 }
 
 void FaultInjectionEnv::ResetOpCount() {
@@ -181,10 +200,26 @@ Status FaultInjectionEnv::CountOp(const std::string& what) {
     return Status::IOError("injected crash (env is down): " + what);
   }
   const int64_t op = op_count_++;
-  if (fail_at_op_ >= 0 && op == fail_at_op_) {
+  const bool eligible =
+      fault_budget_ != 0 &&
+      (fault_path_filter_.empty() ||
+       what.find(fault_path_filter_) != std::string::npos);
+  bool fire = false;
+  if (eligible && fail_at_op_ >= 0 && op == fail_at_op_) {
+    fire = true;
+    if (fail_once_) fail_at_op_ = -1;
+  } else if (eligible && fail_probability_ > 0.0 &&
+             fault_rng_.NextBool(fail_probability_)) {
+    fire = true;
+  }
+  if (fire) {
     ++faults_injected_;
     if (crash_on_fault_) crashed_ = true;
-    if (fail_once_) fail_at_op_ = -1;
+    if (fault_budget_ > 0 && --fault_budget_ == 0) {
+      // Burst exhausted: disarm everything so the next op succeeds.
+      fail_at_op_ = -1;
+      fail_probability_ = 0.0;
+    }
     return Status::IOError("injected fault at op " + std::to_string(op) +
                            ": " + what);
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/random.h"
 
 namespace ndss {
 
@@ -52,6 +53,30 @@ class FaultInjectionEnv : public Env {
   /// When set, an injected failure disarms itself after firing once, so the
   /// next attempt succeeds (models a transient fault for retry tests).
   void SetFailOnce(bool fail_once);
+
+  // ---- fault schedules (chaos harness) ----
+  //
+  // The chaos_test driver composes these three knobs into scripted
+  // schedules: a *storm* is a nonzero probability with no budget, a *burst*
+  // is probability 1.0 with a small budget, and *clear-after-T* is the
+  // driver calling Heal() after a timed phase. All three are seeded /
+  // deterministic so a failing schedule replays bit-identically.
+
+  /// Every eligible operation fails with probability `p` (0 disarms),
+  /// drawn from an RNG seeded with `seed` — the same seed replays the same
+  /// fault sequence for the same operation stream. Composes with
+  /// SetFaultPathFilter and SetFaultBudget.
+  void SetFailProbability(double p, uint64_t seed = 0x57081);
+
+  /// Restricts injected faults (FailAtOp and SetFailProbability) to
+  /// operations whose description contains `substring` — e.g. one shard's
+  /// directory, so a storm darkens that shard while the rest serve.
+  /// Every operation still advances the op counter. Empty = no filter.
+  void SetFaultPathFilter(std::string substring);
+
+  /// At most `n` more faults fire; when the budget hits zero all fault
+  /// programming disarms (a bounded burst). Negative = unlimited.
+  void SetFaultBudget(int64_t n);
 
   /// Flips one bit in the payload of the next Append that goes through.
   void CorruptNextAppend();
@@ -125,6 +150,10 @@ class FaultInjectionEnv : public Env {
   bool corrupt_next_append_ = false;
   bool short_appends_ = false;
   bool short_reads_ = false;
+  double fail_probability_ = 0.0;
+  Rng fault_rng_{0x57081};
+  std::string fault_path_filter_;
+  int64_t fault_budget_ = -1;  ///< faults left to fire; negative = unlimited
   std::unordered_map<std::string, FileState> files_;
 };
 

@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +51,31 @@ LogLevel GetLogLevel() {
 }
 
 namespace internal {
+
+std::ostream& operator<<(std::ostream& os, const Suppressed& suppressed) {
+  if (suppressed.count > 0) {
+    os << "[" << suppressed.count << " similar suppressed] ";
+  }
+  return os;
+}
+
+bool LogRateLimiter::ShouldLog(double interval_seconds, uint64_t* suppressed) {
+  const int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  int64_t next = next_allowed_nanos_.load(std::memory_order_relaxed);
+  if (now < next ||
+      !next_allowed_nanos_.compare_exchange_strong(
+          next, now + static_cast<int64_t>(interval_seconds * 1e9),
+          std::memory_order_relaxed)) {
+    // Either inside the quiet interval, or another thread won the slot.
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  *suppressed = suppressed_.exchange(0, std::memory_order_relaxed);
+  return true;
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level),

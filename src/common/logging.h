@@ -1,6 +1,8 @@
 #ifndef NDSS_COMMON_LOGGING_H_
 #define NDSS_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -46,6 +48,28 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Stream manipulator emitted by the rate-limited log macros: prints a
+/// "[N similar suppressed] " prefix when suppressions happened since the
+/// last emitted message, nothing otherwise.
+struct Suppressed {
+  uint64_t count;
+};
+std::ostream& operator<<(std::ostream& os, const Suppressed& suppressed);
+
+/// Token gate for NDSS_LOG_EVERY_SECONDS: at most one log per interval per
+/// call site, counting how many messages were swallowed in between.
+/// Lock-free; safe to hit from many threads.
+class LogRateLimiter {
+ public:
+  /// True when this call may log; `*suppressed` then receives (and resets)
+  /// the number of calls rejected since the last accepted one.
+  bool ShouldLog(double interval_seconds, uint64_t* suppressed);
+
+ private:
+  std::atomic<int64_t> next_allowed_nanos_{0};
+  std::atomic<uint64_t> suppressed_{0};
+};
+
 }  // namespace internal
 }  // namespace ndss
 
@@ -54,6 +78,44 @@ class LogMessage {
 #define NDSS_LOG(severity)                                        \
   ::ndss::internal::LogMessage(::ndss::LogLevel::severity, __FILE__, \
                                __LINE__)
+
+#define NDSS_LOG_INTERNAL_CAT2(a, b) a##b
+#define NDSS_LOG_INTERNAL_CAT(a, b) NDSS_LOG_INTERNAL_CAT2(a, b)
+
+/// Sampled logging: emits the 1st, (n+1)th, (2n+1)th, ... hit of this call
+/// site, prefixing each emitted line with the number of suppressed
+/// occurrences. Deterministic (count-based), so tests can assert on it.
+/// Expands to more than one statement — use standalone, never as an
+/// unbraced if/else body.
+#define NDSS_LOG_EVERY_N(severity, n)                                       \
+  static ::std::atomic<::std::uint64_t> NDSS_LOG_INTERNAL_CAT(              \
+      ndss_log_occurrences_, __LINE__){0};                                  \
+  ::std::uint64_t NDSS_LOG_INTERNAL_CAT(ndss_log_occ_, __LINE__) =          \
+      NDSS_LOG_INTERNAL_CAT(ndss_log_occurrences_, __LINE__)                \
+          .fetch_add(1, ::std::memory_order_relaxed);                       \
+  if (NDSS_LOG_INTERNAL_CAT(ndss_log_occ_, __LINE__) % (n) == 0)            \
+  NDSS_LOG(severity) << ::ndss::internal::Suppressed{                       \
+      NDSS_LOG_INTERNAL_CAT(ndss_log_occ_, __LINE__) == 0                   \
+          ? 0                                                               \
+          : static_cast<::std::uint64_t>(n) - 1}
+
+/// Time-based rate limiting: at most one line per `secs` seconds from this
+/// call site, prefixing each emitted line with how many were suppressed in
+/// between. The right tool for warning paths that a fault storm can hit
+/// thousands of times per second (retry loops, degraded shard drops).
+/// Expands to more than one statement — use standalone, never as an
+/// unbraced if/else body.
+#define NDSS_LOG_EVERY_SECONDS(severity, secs)                              \
+  static ::ndss::internal::LogRateLimiter NDSS_LOG_INTERNAL_CAT(            \
+      ndss_log_limiter_, __LINE__);                                         \
+  ::std::uint64_t NDSS_LOG_INTERNAL_CAT(ndss_log_suppressed_, __LINE__) =   \
+      0;                                                                    \
+  if (NDSS_LOG_INTERNAL_CAT(ndss_log_limiter_, __LINE__)                    \
+          .ShouldLog((secs),                                                \
+                     &NDSS_LOG_INTERNAL_CAT(ndss_log_suppressed_,           \
+                                            __LINE__)))                     \
+  NDSS_LOG(severity) << ::ndss::internal::Suppressed{                       \
+      NDSS_LOG_INTERNAL_CAT(ndss_log_suppressed_, __LINE__)}
 
 /// Aborts with a message if `condition` is false. Active in all build types;
 /// use for invariants whose violation implies memory corruption or an

@@ -1,10 +1,24 @@
 #include "common/retry.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
+#include "common/random.h"
 
 namespace ndss {
+
+namespace {
+
+/// Per-call jitter seeds when the policy does not pin one: a counter mixed
+/// through SplitMix64, so two concurrent RunWithRetry calls never share a
+/// backoff schedule.
+uint64_t NextJitterSeed() {
+  static std::atomic<uint64_t> counter{0x7e7721e5};
+  return SplitMix64(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
 
 bool IsRetryableStatus(const Status& status) {
   return status.IsIOError();
@@ -17,6 +31,7 @@ Status RunWithRetry(const RetryPolicy& policy,
   const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
   uint64_t backoff = policy.initial_backoff_micros;
   uint64_t slept = 0;
+  Rng jitter(policy.jitter_seed != 0 ? policy.jitter_seed : NextJitterSeed());
   Status status;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     if (ctx != nullptr) {
@@ -29,6 +44,15 @@ Status RunWithRetry(const RetryPolicy& policy,
     status = op();
     if (status.ok() || !IsRetryableStatus(status)) return status;
     if (attempt == attempts) break;
+    if (policy.decorrelated_jitter) {
+      // backoff already holds the previous sleep (or the initial backoff);
+      // draw the next one from [initial, prev * multiplier].
+      const uint64_t base = policy.initial_backoff_micros;
+      const uint64_t upper = std::max(
+          base, static_cast<uint64_t>(static_cast<double>(backoff) *
+                                      policy.backoff_multiplier));
+      backoff = base + jitter.Uniform(upper - base + 1);
+    }
     uint64_t sleep = backoff;
     if (policy.max_total_micros > 0) {
       if (slept >= policy.max_total_micros) break;
@@ -39,12 +63,17 @@ Status RunWithRetry(const RetryPolicy& policy,
       if (remaining <= 0) return ctx->Check();
       sleep = std::min(sleep, static_cast<uint64_t>(remaining));
     }
-    NDSS_LOG(kWarning) << "retryable IO failure (attempt " << attempt << "/"
-                       << attempts << "): " << status.ToString();
+    // A fault storm hits this line once per failed attempt per operation;
+    // sample it so real signal survives chaos runs.
+    NDSS_LOG_EVERY_SECONDS(kWarning, 1.0)
+        << "retryable IO failure (attempt " << attempt << "/" << attempts
+        << "): " << status.ToString();
     env->SleepMicros(sleep);
     slept += sleep;
-    backoff = static_cast<uint64_t>(static_cast<double>(backoff) *
-                                    policy.backoff_multiplier);
+    if (!policy.decorrelated_jitter) {
+      backoff = static_cast<uint64_t>(static_cast<double>(backoff) *
+                                      policy.backoff_multiplier);
+    }
   }
   return status;
 }

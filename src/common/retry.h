@@ -28,6 +28,20 @@ struct RetryPolicy {
   /// error is returned instead of sleeping again — a flaky read under a
   /// query deadline must not back off past the point of usefulness.
   uint64_t max_total_micros = 0;
+
+  /// Decorrelated jitter. With the deterministic schedule above, every
+  /// per-shard query that hits the same flaky device retries in lockstep
+  /// and re-collides on every attempt. When true, each backoff is instead
+  /// drawn uniformly from [initial_backoff_micros, prev_sleep *
+  /// backoff_multiplier] (AWS's "decorrelated jitter"), which keeps the
+  /// same expected growth while spreading concurrent retriers apart.
+  bool decorrelated_jitter = false;
+
+  /// Seed for the jitter RNG. 0 (the default) derives a distinct seed per
+  /// RunWithRetry call from a process-wide counter — concurrent retry
+  /// loops decorrelate, which is the point. Nonzero makes the schedule
+  /// fully deterministic for tests.
+  uint64_t jitter_seed = 0;
 };
 
 /// True for failures worth retrying: transient IOError. Corruption,

@@ -1,0 +1,85 @@
+#include "shard/health_monitor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ndss {
+
+HealthMonitor::HealthMonitor(const ShardHealthOptions& options,
+                             const SearcherOptions& open_options, ListFn list,
+                             ReopenFn reopen)
+    : options_(options),
+      open_options_(open_options),
+      list_(std::move(list)),
+      reopen_(std::move(reopen)) {}
+
+HealthMonitor::~HealthMonitor() { Stop(); }
+
+void HealthMonitor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void HealthMonitor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+  // Safe without the lock: Start/Stop are the owner's teardown path, not
+  // concurrent with each other.
+  thread_ = std::thread();
+}
+
+void HealthMonitor::Kick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++kicks_;
+  cv_.notify_all();
+}
+
+void HealthMonitor::Run() {
+  uint64_t seen_kicks = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::microseconds(options_.monitor_poll_micros),
+                   [&] { return stop_ || kicks_ != seen_kicks; });
+      if (stop_) return;
+      seen_kicks = kicks_;
+    }
+    Tick(SteadyNowMicros());
+  }
+}
+
+void HealthMonitor::Tick(uint64_t now_micros) {
+  for (ProbeTarget& target : list_()) {
+    if (target.tracker == nullptr || !target.tracker->ProbeDue(now_micros)) {
+      continue;
+    }
+    const bool deep = target.tracker->DeepCheckDue();
+    target.tracker->BeginProbe(deep);
+    Result<Searcher> probed = ProbeShard(target.dir, open_options_, deep);
+    if (!probed.ok()) {
+      target.tracker->ProbeFailed(probed.status(), SteadyNowMicros());
+      continue;
+    }
+    const Status installed = reopen_(target.dir, std::move(*probed));
+    if (!installed.ok()) {
+      // The shard was detached or rebuilt incompatibly while we probed;
+      // treat as a failed probe (backoff keeps future attempts cheap).
+      target.tracker->ProbeFailed(installed, SteadyNowMicros());
+      continue;
+    }
+    target.tracker->ProbeSucceeded();
+    NDSS_LOG(kInfo) << "self-healing: shard " << target.dir << " reopened ("
+                    << (deep ? "deep" : "cheap") << " probe passed)";
+  }
+}
+
+}  // namespace ndss

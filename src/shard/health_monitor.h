@@ -1,0 +1,88 @@
+#ifndef NDSS_SHARD_HEALTH_MONITOR_H_
+#define NDSS_SHARD_HEALTH_MONITOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/searcher.h"
+#include "shard/shard_health.h"
+
+namespace ndss {
+
+/// One quarantined shard the monitor may try to heal, snapshotted from the
+/// owner's current topology.
+struct ProbeTarget {
+  std::string dir;  ///< resolved index directory to probe
+  std::shared_ptr<ShardHealthTracker> tracker;
+};
+
+/// Background recovery thread of a self-healing shard set.
+///
+/// Every poll interval (or immediately after Kick) it asks the owner for
+/// the currently quarantined shards, and for each one whose probe delay
+/// has elapsed runs ProbeShard — cheap open + header/CRC validation,
+/// escalating to the deep full-list check once
+/// ShardHealthOptions::deep_check_after_probes cheap probes have failed —
+/// and on success hands the freshly opened Searcher back to the owner to
+/// swap into the serving topology. All state transitions go through the
+/// shard's ShardHealthTracker, so query threads observe them atomically.
+///
+/// The monitor owns no topology: `list` and `reopen` are the owner's
+/// (ShardedSearcher's) and must be safe to call from the monitor thread
+/// until Stop() returns. Stop() (also run by the destructor) joins the
+/// thread; a probe in flight finishes first.
+class HealthMonitor {
+ public:
+  /// `list` snapshots the probe targets; `reopen` installs a recovered
+  /// shard's Searcher (returning non-OK when the shard left the topology
+  /// or no longer matches — the probe then counts as failed).
+  using ListFn = std::function<std::vector<ProbeTarget>()>;
+  using ReopenFn = std::function<Status(const std::string& dir, Searcher)>;
+
+  HealthMonitor(const ShardHealthOptions& options,
+                const SearcherOptions& open_options, ListFn list,
+                ReopenFn reopen);
+  ~HealthMonitor();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Starts the background thread (idempotent).
+  void Start();
+
+  /// Stops and joins the background thread (idempotent).
+  void Stop();
+
+  /// Wakes the thread now — called when a shard enters quarantine so the
+  /// first probe is scheduled promptly instead of a poll interval later.
+  void Kick();
+
+  /// One synchronous monitor pass at `now_micros` (what the thread runs
+  /// each wakeup). Exposed so tests can drive recovery deterministically
+  /// without the thread.
+  void Tick(uint64_t now_micros);
+
+ private:
+  void Run();
+
+  const ShardHealthOptions options_;
+  const SearcherOptions open_options_;
+  const ListFn list_;
+  const ReopenFn reopen_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  uint64_t kicks_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace ndss
+
+#endif  // NDSS_SHARD_HEALTH_MONITOR_H_

@@ -1,0 +1,208 @@
+#ifndef NDSS_SHARD_SHARD_HEALTH_H_
+#define NDSS_SHARD_SHARD_HEALTH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "query/searcher.h"
+
+namespace ndss {
+
+/// Health of one shard in a self-healing serving topology.
+///
+///       serve ok                    breaker trips / Corruption
+///   ┌─────────────┐             ┌──────────────────────────────┐
+///   ▼             │             │                              ▼
+/// healthy ──► suspect ──────────┘        probe due        quarantined
+///   ▲   transient failure                                   │    ▲
+///   │                                                       ▼    │ probe
+///   └────────────────────────────────────────────────── probing ─┘ fails
+///                     probe succeeds (reopen)
+///
+/// kHealthy and kSuspect shards serve queries (a suspect shard has failed
+/// recently but the circuit breaker has not tripped); kQuarantined and
+/// kProbing shards are excluded from the serving set until the
+/// HealthMonitor heals them.
+enum class ShardHealth : int {
+  kHealthy = 0,
+  kSuspect = 1,
+  kQuarantined = 2,
+  kProbing = 3,
+};
+
+/// Stable lower-case name for `health` (e.g. "quarantined"), for logs and
+/// the ndss_shard status --json output.
+const char* ShardHealthName(ShardHealth health);
+
+/// Steady-clock microseconds (arbitrary epoch) — the time base every
+/// ShardHealthTracker method takes, so callers and tests share one clock.
+uint64_t SteadyNowMicros();
+
+/// Circuit-breaker and probing thresholds for one shard set. The defaults
+/// suit production serving; tests shrink the intervals to milliseconds.
+struct ShardHealthOptions {
+  /// Consecutive transient failures that trip the breaker (quarantine the
+  /// shard). Corruption quarantines immediately regardless.
+  uint32_t consecutive_failures_to_quarantine = 3;
+
+  /// Error-rate breaker: quarantine when at least `error_rate_min_samples`
+  /// of the last `error_rate_window` serve outcomes are recorded and the
+  /// failure fraction reaches `error_rate_threshold`. Catches flaky-but-
+  /// not-consecutive failure patterns the consecutive breaker misses.
+  double error_rate_threshold = 0.5;
+  uint32_t error_rate_window = 16;
+  uint32_t error_rate_min_samples = 8;
+
+  /// Delay from quarantine to the first recovery probe; doubles (x
+  /// `probe_backoff_multiplier`) after every failed probe, capped at
+  /// `max_probe_delay_micros`.
+  uint64_t initial_probe_delay_micros = 100'000;
+  double probe_backoff_multiplier = 2.0;
+  uint64_t max_probe_delay_micros = 30'000'000;
+
+  /// After this many consecutive failed probes the cheap probe (meta +
+  /// index headers) escalates to a deep check that reads and CRC-verifies
+  /// every posting list, fsck-style: a shard that keeps flapping gets a
+  /// full physical once-over before it is trusted again.
+  uint32_t deep_check_after_probes = 3;
+
+  /// Wake-up granularity of the HealthMonitor thread. Probes fire on the
+  /// first tick after their delay elapses.
+  uint64_t monitor_poll_micros = 20'000;
+};
+
+/// Point-in-time copy of one shard's health, for observability
+/// (ShardedSearcher::shards, ndss_shard status, bench/chaos reports).
+struct ShardHealthSnapshot {
+  ShardHealth state = ShardHealth::kHealthy;
+  uint64_t transient_failures = 0;   ///< IOError-class serve failures seen
+  uint64_t corruption_failures = 0;  ///< Corruption-class serve failures seen
+  uint64_t drops = 0;        ///< queries this shard was excluded from
+  uint64_t quarantines = 0;  ///< times the shard entered quarantine
+  uint64_t reopens = 0;      ///< times a probe healed it back to serving
+  uint64_t probes = 0;       ///< recovery probes attempted
+  uint64_t probe_failures = 0;  ///< probes that failed (total)
+  uint32_t consecutive_failures = 0;
+  std::string last_error;  ///< most recent serve/probe failure, "" if none
+};
+
+/// Per-shard health state machine driven from two sides: the query path
+/// reports serve outcomes (RecordSuccess / RecordFailure) and the
+/// HealthMonitor drives quarantine probing (ProbeDue / BeginProbe /
+/// ProbeSucceeded / ProbeFailed).
+///
+/// Error classification: Corruption means the shard is lying about its
+/// data — quarantine immediately. Transient failures (IOError and anything
+/// else non-governance) count against two circuit breakers (consecutive
+/// and windowed error-rate); the shard keeps serving as kSuspect until one
+/// trips. Governance statuses (deadline, cancel, budget) are the caller's
+/// doing and must not be recorded at all.
+///
+/// Time is passed in as steady-clock microseconds so tests can drive the
+/// machine deterministically. Thread-safe; every method may be called
+/// concurrently from query threads and the monitor.
+class ShardHealthTracker {
+ public:
+  explicit ShardHealthTracker(const ShardHealthOptions& options = {});
+
+  /// Records a successful serve. A suspect shard heals to kHealthy and
+  /// both breakers reset. No effect while quarantined/probing (a stale
+  /// in-flight success must not short-circuit a probe).
+  void RecordSuccess();
+
+  /// Records a failed serve at `now_micros`. Returns true when this
+  /// failure transitions the shard into quarantine (the caller excludes it
+  /// from the serving set and kicks the monitor). Idempotent while already
+  /// quarantined.
+  bool RecordFailure(const Status& status, uint64_t now_micros);
+
+  /// Counts one query answered without this shard (for the `drops`
+  /// counter; the exclusion decision itself is the caller's).
+  void RecordDrop();
+
+  /// Quarantines immediately, bypassing the breakers — for faults where no
+  /// suspect grace period makes sense, e.g. a shard that fails to open at
+  /// all. Returns true when this call performed the transition (false if
+  /// already quarantined/probing).
+  bool Quarantine(const Status& cause, uint64_t now_micros);
+
+  /// True when the shard is quarantined and its probe delay has elapsed.
+  bool ProbeDue(uint64_t now_micros) const;
+
+  /// True when the next probe should run the deep (full-CRC) check: either
+  /// enough probes failed this quarantine, or the shard has flapped —
+  /// re-entered quarantine after a cheap reopen — that many times since a
+  /// deep probe last passed. The flap rule is what stops a shard whose
+  /// posting lists are corrupt (headers fine, so cheap probes pass) from
+  /// cycling reopen -> serve -> fail forever.
+  bool DeepCheckDue() const;
+
+  /// kQuarantined -> kProbing. Call before the (slow) probe IO so a
+  /// concurrent snapshot sees the attempt; `deep` is what DeepCheckDue
+  /// advised (a passing deep probe resets the flap escalation).
+  void BeginProbe(bool deep);
+
+  /// kProbing -> kHealthy; resets breakers and probe backoff.
+  void ProbeSucceeded();
+
+  /// kProbing -> kQuarantined; escalates the probe backoff.
+  void ProbeFailed(const Status& status, uint64_t now_micros);
+
+  ShardHealth state() const;
+
+  /// True when the shard should be excluded from new queries' runnable
+  /// sets (kQuarantined or kProbing).
+  bool excluded() const;
+
+  ShardHealthSnapshot Snapshot() const;
+
+ private:
+  /// Pushes one outcome into the error-rate window (lock held).
+  void RecordOutcomeLocked(bool failed);
+
+  /// Failure fraction over the window, or 0 before min samples (lock held).
+  bool RateBreakerTrippedLocked() const;
+
+  /// Enters quarantine at `now_micros` (lock held).
+  void QuarantineLocked(uint64_t now_micros);
+
+  const ShardHealthOptions options_;
+
+  mutable std::mutex mu_;
+  ShardHealth state_ = ShardHealth::kHealthy;
+  std::vector<bool> window_;  ///< ring buffer of recent outcomes (true=fail)
+  size_t window_next_ = 0;
+  size_t window_filled_ = 0;
+  uint32_t consecutive_failures_ = 0;
+  uint64_t next_probe_micros_ = 0;
+  uint64_t probe_delay_micros_ = 0;
+  uint32_t probes_since_quarantine_ = 0;
+  uint32_t quarantines_since_deep_ok_ = 0;
+  bool probing_deep_ = false;
+  uint64_t transient_failures_ = 0;
+  uint64_t corruption_failures_ = 0;
+  uint64_t drops_ = 0;
+  uint64_t quarantines_ = 0;
+  uint64_t reopens_ = 0;
+  uint64_t probes_ = 0;
+  uint64_t probe_failures_ = 0;
+  std::string last_error_;
+};
+
+/// The recovery probe the HealthMonitor runs against a quarantined shard,
+/// shared with `ndss_shard status` so operators can run exactly the check
+/// the monitor applies. The cheap probe validates the commit marker, the
+/// meta checksum, and every inverted-index file header by opening a full
+/// Searcher; `deep` additionally reads and CRC-verifies every posting list
+/// (fsck --deep's coverage). On success the returned Searcher is ready to
+/// swap into the serving topology.
+Result<Searcher> ProbeShard(const std::string& shard_dir,
+                            const SearcherOptions& options, bool deep);
+
+}  // namespace ndss
+
+#endif  // NDSS_SHARD_SHARD_HEALTH_H_

@@ -13,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "index/index_merger.h"
+#include "shard/health_monitor.h"
 
 namespace ndss {
 
@@ -97,6 +98,12 @@ struct ShardHandle {
   IndexMeta meta;
   std::optional<Searcher> searcher;  ///< absent when dropped at open
   std::atomic<bool> dropped{false};
+
+  /// Health state machine, present iff enable_self_healing. Shared with
+  /// the HealthMonitor's probe targets and carried over to the replacement
+  /// handle on reopen, so drop/quarantine/reopen counters span the shard's
+  /// whole service life rather than one handle's.
+  std::shared_ptr<ShardHealthTracker> health;
 };
 
 /// An immutable topology: the shard list of one epoch plus the
@@ -162,7 +169,79 @@ struct ShardedSearcher::State {
       uint64_t cache_budget_bytes, size_t num_threads);
   Status GatherQuery(const Topology& topo, std::vector<ShardOutcome>& subs,
                      SearchResult* result);
+
+  /// Probe targets for the HealthMonitor: every quarantined shard of the
+  /// current topology (kProbing shards are mid-probe already).
+  std::vector<ProbeTarget> QuarantinedTargets() const {
+    const std::shared_ptr<const Topology> topo = Snapshot();
+    std::vector<ProbeTarget> targets;
+    for (const auto& shard : topo->shards) {
+      if (shard->health != nullptr &&
+          shard->health->state() == ShardHealth::kQuarantined) {
+        targets.push_back(ProbeTarget{shard->dir, shard->health});
+      }
+    }
+    return targets;
+  }
+
+  /// Installs a probed-healthy Searcher for the quarantined shard at `dir`,
+  /// called by the HealthMonitor after ProbeShard succeeds. A fresh handle
+  /// (same tracker, so counters persist) replaces the dropped one and the
+  /// topology swaps at the SAME epoch — reopening is not a durable topology
+  /// change, the manifest never stopped listing the shard. Serializes with
+  /// Attach/Detach via admin_mu; in-flight queries finish on their
+  /// snapshot, exactly as for attach/detach.
+  Status ReopenShard(const std::string& dir, Searcher searcher);
+
+  /// Background prober, present iff enable_self_healing. Declared last so
+  /// it is destroyed (joined) first, while the topology, locks, and pool
+  /// its callbacks use are still alive.
+  std::unique_ptr<HealthMonitor> monitor;
 };
+
+Status ShardedSearcher::State::ReopenShard(const std::string& dir,
+                                           Searcher searcher) {
+  std::lock_guard<std::mutex> admin(admin_mu);
+  const std::shared_ptr<const Topology> topo = Snapshot();
+  size_t found = topo->shards.size();
+  for (size_t i = 0; i < topo->shards.size(); ++i) {
+    if (topo->shards[i]->dir == dir) {
+      found = i;
+      break;
+    }
+  }
+  if (found == topo->shards.size()) {
+    return Status::NotFound("shard " + dir +
+                            " left the topology while being probed");
+  }
+  const std::shared_ptr<ShardHandle>& old = topo->shards[found];
+  if (old->health == nullptr ||
+      old->health->state() != ShardHealth::kProbing) {
+    // The dir was detached and re-attached (fresh handle, fresh tracker)
+    // while the probe ran; the probing tracker is an orphan now.
+    return Status::NotFound("shard " + dir +
+                            " was replaced while being probed");
+  }
+  const IndexMeta& meta = searcher.meta();
+  if (meta.num_texts != old->meta.num_texts || meta.k != old->meta.k ||
+      meta.seed != old->meta.seed || meta.t != old->meta.t) {
+    // The shard was rebuilt in place with different contents or parameters;
+    // swapping it in would shift every later shard's id range (or change
+    // the hash family). Operators must detach + attach for that.
+    return Status::InvalidArgument(
+        "shard " + dir + " no longer matches its pre-quarantine meta");
+  }
+  auto handle = std::make_shared<ShardHandle>();
+  handle->entry = old->entry;
+  handle->dir = old->dir;
+  handle->meta = old->meta;
+  handle->searcher.emplace(std::move(searcher));
+  handle->health = old->health;
+  std::vector<std::shared_ptr<ShardHandle>> shards = topo->shards;
+  shards[found] = std::move(handle);
+  Swap(BuildTopology(topo->epoch, std::move(shards)));
+  return Status::OK();
+}
 
 /// Merges the per-shard outcomes of one query into `*result`, remapping
 /// local text ids by each shard's concatenation offset. Shards are visited
@@ -171,11 +250,17 @@ struct ShardedSearcher::State {
 /// text-ascending order — this is what makes the merged output bit-
 /// identical to a search over the merged index.
 ///
-/// Failure merge: a Corruption from a shard is isolated (the handle is
-/// dropped for good) when allow_shard_drop is on; otherwise hard errors
-/// beat governance statuses, and within a class the lowest shard index
-/// wins. Failed shards still contribute their partial stats (and partial
-/// matches), honouring the partial-stats contract.
+/// Failure merge: under enable_self_healing ANY non-governance failure
+/// excludes the shard from this query's answer (survivors respond,
+/// degraded_shards counts it honestly) and is reported to the shard's
+/// health tracker, which decides whether the shard leaves the serving set
+/// — Corruption immediately, transient errors once a breaker trips.
+/// Without self-healing, a Corruption is isolated (the handle is dropped
+/// for good) when allow_shard_drop is on; otherwise hard errors beat
+/// governance statuses, and within a class the lowest shard index wins.
+/// Failed shards still contribute their partial stats (and partial
+/// matches), honouring the partial-stats contract — except excluded ones,
+/// whose output is not trusted at all.
 Status ShardedSearcher::State::GatherQuery(const Topology& topo,
                                            std::vector<ShardOutcome>& subs,
                                            SearchResult* result) {
@@ -185,9 +270,31 @@ Status ShardedSearcher::State::GatherQuery(const Topology& topo,
   for (size_t i = 0; i < topo.shards.size(); ++i) {
     if (!subs[i].ran) {
       ++excluded;  // dropped before this query started
+      if (topo.shards[i]->health != nullptr) {
+        topo.shards[i]->health->RecordDrop();
+      }
       continue;
     }
     ShardOutcome& sub = subs[i];
+    if (!sub.status.ok() && options.enable_self_healing &&
+        !IsGovernanceStatus(sub.status)) {
+      ShardHandle& shard = *topo.shards[i];
+      if (shard.health->RecordFailure(sub.status, SteadyNowMicros())) {
+        shard.dropped.store(true, std::memory_order_relaxed);
+        NDSS_LOG(kWarning) << "self-healing: quarantining shard " << shard.dir
+                           << ": " << sub.status.ToString();
+        if (monitor != nullptr) monitor->Kick();
+      } else {
+        // Suspect (or concurrently quarantined): excluded from this answer
+        // only. Storms hit this line per query per shard, so rate-limit.
+        NDSS_LOG_EVERY_SECONDS(kWarning, 1.0)
+            << "degraded serving: excluding shard " << shard.dir
+            << " from this query: " << sub.status.ToString();
+      }
+      shard.health->RecordDrop();
+      ++excluded;
+      continue;
+    }
     if (sub.status.IsCorruption() && options.allow_shard_drop) {
       // Shard-level fault isolation: the shard is lying about its data, so
       // nothing it produced for this query is trustworthy. Survivors answer
@@ -216,6 +323,8 @@ Status ShardedSearcher::State::GatherQuery(const Topology& topo,
       } else if (hard_error.ok()) {
         hard_error = sub.status;
       }
+    } else if (topo.shards[i]->health != nullptr) {
+      topo.shards[i]->health->RecordSuccess();
     }
   }
   result->stats.degraded_shards = excluded;
@@ -327,8 +436,16 @@ Result<BatchResult> ShardedSearcher::State::SearchBatchImpl(
   });
   for (size_t i : runnable) {
     // A sub-batch call itself only fails on invalid arguments, which no
-    // per-query merge can repair.
-    if (!shard_batches[i].status.ok()) return shard_batches[i].status;
+    // per-query merge can repair — except under self-healing, where a
+    // storage-level whole-batch failure becomes that shard failing every
+    // query of the batch (GatherQuery then excludes and classifies it).
+    if (shard_batches[i].status.ok()) continue;
+    if (options.enable_self_healing &&
+        !IsGovernanceStatus(shard_batches[i].status) &&
+        !shard_batches[i].status.IsInvalidArgument()) {
+      continue;
+    }
+    return shard_batches[i].status;
   }
 
   BatchResult out;
@@ -338,6 +455,12 @@ Result<BatchResult> ShardedSearcher::State::SearchBatchImpl(
     std::vector<ShardOutcome> subs(topo->shards.size());
     for (size_t i : runnable) {
       subs[i].ran = true;
+      if (!shard_batches[i].status.ok()) {
+        // Whole-sub-batch failure (self-healing path): no per-query output
+        // exists for this shard.
+        subs[i].status = shard_batches[i].status;
+        continue;
+      }
       subs[i].status = shard_batches[i].batch.statuses[q];
       subs[i].result = std::move(shard_batches[i].batch.results[q]);
     }
@@ -376,6 +499,9 @@ ShardedSearcher::~ShardedSearcher() = default;
 Result<ShardedSearcher> ShardedSearcher::Open(
     const std::string& set_dir, const ShardedSearcherOptions& options) {
   NDSS_ASSIGN_OR_RETURN(ShardManifest manifest, ShardManifest::Load(set_dir));
+  // Self-healing subsumes shard-level isolation: it must survive the same
+  // faults allow_shard_drop does, plus transient ones.
+  const bool isolate = options.allow_shard_drop || options.enable_self_healing;
   std::vector<std::shared_ptr<ShardHandle>> shards;
   std::vector<IndexMeta> metas;
   size_t healthy = 0;
@@ -383,6 +509,9 @@ Result<ShardedSearcher> ShardedSearcher::Open(
     auto handle = std::make_shared<ShardHandle>();
     handle->entry = entry;
     handle->dir = ResolveShardDir(set_dir, entry);
+    if (options.enable_self_healing) {
+      handle->health = std::make_shared<ShardHealthTracker>(options.health);
+    }
     // The meta is required even under allow_shard_drop: without it the
     // shard's id range is unknown and every later shard's global ids would
     // shift, breaking the stable-id contract of a degraded drop.
@@ -393,10 +522,16 @@ Result<ShardedSearcher> ShardedSearcher::Open(
       handle->searcher.emplace(std::move(*searcher));
       ++healthy;
     } else {
-      if (!options.allow_shard_drop) return searcher.status();
+      if (!isolate) return searcher.status();
       NDSS_LOG(kWarning) << "degraded open: dropping shard " << handle->dir
                          << ": " << searcher.status().ToString();
       handle->dropped.store(true, std::memory_order_relaxed);
+      if (handle->health != nullptr) {
+        // Unopenable = no suspect grace: straight to quarantine so the
+        // monitor starts probing for recovery right away. Note the handle
+        // has no Searcher — reopening builds a fresh handle anyway.
+        handle->health->Quarantine(searcher.status(), SteadyNowMicros());
+      }
     }
     metas.push_back(handle->meta);
     shards.push_back(std::move(handle));
@@ -415,6 +550,18 @@ Result<ShardedSearcher> ShardedSearcher::Open(
     threads = std::min(state->topology->shards.size(), hw);
   }
   state->pool = std::make_unique<ThreadPool>(std::max<size_t>(1, threads));
+  if (options.enable_self_healing) {
+    // The callbacks capture the State address, which is stable across
+    // ShardedSearcher moves (the unique_ptr moves, the State does not).
+    State* s = state.get();
+    state->monitor = std::make_unique<HealthMonitor>(
+        options.health, options.shard_options,
+        [s] { return s->QuarantinedTargets(); },
+        [s](const std::string& dir, Searcher searcher) {
+          return s->ReopenShard(dir, std::move(searcher));
+        });
+    state->monitor->Start();
+  }
   return ShardedSearcher(std::move(state));
 }
 
@@ -490,6 +637,10 @@ Status ShardedSearcher::AttachShard(const std::string& shard_dir) {
   NDSS_ASSIGN_OR_RETURN(Searcher searcher,
                         Searcher::Open(resolved, state_->options.shard_options));
   handle->searcher.emplace(std::move(searcher));
+  if (state_->options.enable_self_healing) {
+    handle->health = std::make_shared<ShardHealthTracker>(
+        state_->options.health);
+  }
 
   ShardManifest manifest;
   manifest.epoch = topo->epoch + 1;
@@ -553,10 +704,18 @@ std::vector<ShardInfo> ShardedSearcher::shards() const {
   out.reserve(topo->shards.size());
   for (size_t i = 0; i < topo->shards.size(); ++i) {
     const ShardHandle& shard = *topo->shards[i];
-    out.push_back(ShardInfo{
-        shard.dir, topo->offsets[i], shard.meta.num_texts,
-        !shard.searcher.has_value() ||
-            shard.dropped.load(std::memory_order_relaxed)});
+    ShardInfo info;
+    info.dir = shard.dir;
+    info.text_offset = topo->offsets[i];
+    info.num_texts = shard.meta.num_texts;
+    info.dropped = !shard.searcher.has_value() ||
+                   shard.dropped.load(std::memory_order_relaxed);
+    if (shard.health != nullptr) {
+      info.health = shard.health->Snapshot();
+    } else if (info.dropped) {
+      info.health.state = ShardHealth::kQuarantined;
+    }
+    out.push_back(std::move(info));
   }
   return out;
 }

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "index/index_meta.h"
 #include "query/searcher.h"
+#include "shard/shard_health.h"
 #include "shard/shard_manifest.h"
 #include "text/types.h"
 
@@ -33,6 +34,26 @@ struct ShardedSearcherOptions {
   /// appearing in answers), unlike DetachShard which renumbers.
   bool allow_shard_drop = false;
 
+  /// Self-healing serving. Implies shard-level isolation (as if
+  /// `allow_shard_drop` were set) and extends it: ANY non-governance
+  /// sub-query failure excludes that shard from that query's answer
+  /// (`degraded_shards` counts it honestly) while a per-shard
+  /// ShardHealthTracker classifies the error — Corruption quarantines the
+  /// shard immediately, transient IOErrors only once a circuit breaker
+  /// trips (consecutive or windowed error-rate; see ShardHealthOptions).
+  /// A background HealthMonitor thread probes quarantined shards (cheap
+  /// open + header/CRC validation, escalating to a deep full-list check
+  /// after repeated failures) and atomically reopens recovered shards via
+  /// the same epoch-guarded topology swap AttachShard uses — so a
+  /// transient fault degrades answers instead of failing queries, and
+  /// serving returns to exact (degraded_shards == 0) once the fault
+  /// clears. Unlike an allow_shard_drop drop, quarantine is reversible.
+  bool enable_self_healing = false;
+
+  /// Breaker thresholds and probe cadence for self-healing (ignored unless
+  /// `enable_self_healing`).
+  ShardHealthOptions health;
+
   /// Worker threads for the scatter phase (each shard's sub-query runs on
   /// one). 0 = one per shard at open time, capped at the hardware
   /// concurrency. The pool is shared by every concurrent caller.
@@ -46,6 +67,13 @@ struct ShardInfo {
   uint64_t num_texts;    ///< texts this shard contributes
   bool dropped;          ///< isolated after a corruption (still holds its
                          ///< id range; contributes nothing to answers)
+
+  /// Live health of this shard. Under enable_self_healing this is the
+  /// tracker's snapshot (state machine + drop/quarantine/reopen counters +
+  /// last error); otherwise the counters stay zero and `health.state` just
+  /// mirrors `dropped` (a legacy allow_shard_drop drop reads as a
+  /// quarantine that never heals).
+  ShardHealthSnapshot health;
 };
 
 /// Serves a ShardManifest's shard set as if it were one merged index,

@@ -233,6 +233,74 @@ TEST_F(EnvFaultInjectionTest, RenamePreservesSyncedState) {
   EXPECT_EQ("payload", *content);
 }
 
+// ---- probabilistic storms, path filters, fault budgets (chaos knobs) ----
+
+/// One counted write sequence (open + append + close) against `path`.
+Status TouchFile(Env* env, const std::string& path) {
+  auto file = env->NewWritableFile(path, /*append=*/false);
+  if (!file.ok()) return file.status();
+  NDSS_RETURN_NOT_OK((*file)->Append("x", 1));
+  return (*file)->Close();
+}
+
+TEST_F(EnvFaultInjectionTest, ProbabilisticFaultsAreSeededDeterministic) {
+  auto run = [&](uint64_t seed) {
+    fault_->Heal();
+    fault_->SetFailProbability(0.5, seed);
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      pattern += TouchFile(fault_.get(),
+                           dir_ + "/p" + std::to_string(i))
+                     .ok()
+                     ? 'o'
+                     : 'x';
+    }
+    return pattern;
+  };
+  const std::string first = run(0x57081);
+  EXPECT_EQ(first, run(0x57081)) << "same seed must replay the same storm";
+  EXPECT_NE(first, run(0x1234)) << "different seed, different storm";
+  EXPECT_NE(first.find('x'), std::string::npos) << "storm injected nothing";
+  EXPECT_NE(first.find('o'), std::string::npos) << "storm failed everything";
+}
+
+TEST_F(EnvFaultInjectionTest, PathFilterRestrictsFaultsToOneShard) {
+  ASSERT_TRUE(fault_->CreateDirectories(dir_ + "/a").ok());
+  ASSERT_TRUE(fault_->CreateDirectories(dir_ + "/b").ok());
+  fault_->SetFaultPathFilter(dir_ + "/a/");
+  fault_->SetFailProbability(1.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(
+        TouchFile(fault_.get(), dir_ + "/a/f" + std::to_string(i)).ok());
+    EXPECT_TRUE(
+        TouchFile(fault_.get(), dir_ + "/b/f" + std::to_string(i)).ok());
+  }
+}
+
+TEST_F(EnvFaultInjectionTest, FaultBudgetBoundsABurstThenDisarms) {
+  fault_->SetFailProbability(1.0);
+  fault_->SetFaultBudget(3);
+  // Every op fails until exactly 3 faults have fired; afterwards the env
+  // behaves normally without an explicit Heal.
+  int failures = 0;
+  for (int i = 0; i < 10 && failures < 3; ++i) {
+    if (!TouchFile(fault_.get(), dir_ + "/burst").ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(fault_->faults_injected(), 3);
+  EXPECT_TRUE(TouchFile(fault_.get(), dir_ + "/after").ok());
+  EXPECT_EQ(fault_->faults_injected(), 3);
+}
+
+TEST_F(EnvFaultInjectionTest, HealClearsChaosKnobs) {
+  fault_->SetFailProbability(1.0);
+  fault_->SetFaultPathFilter(dir_);
+  fault_->SetFaultBudget(100);
+  EXPECT_FALSE(TouchFile(fault_.get(), dir_ + "/pre").ok());
+  fault_->Heal();
+  EXPECT_TRUE(TouchFile(fault_.get(), dir_ + "/post").ok());
+}
+
 TEST_F(EnvFaultInjectionTest, RetryRecoversFromTransientFault) {
   fault_->SetFailOnce(true);
   fault_->FailAtOp(fault_->op_count());  // the very next operation fails once

@@ -181,6 +181,80 @@ TEST(RetryGovernanceTest, CancelledContextIsNotRetryable) {
   EXPECT_TRUE(IsRetryableStatus(Status::IOError("io")));
 }
 
+// ---- decorrelated retry jitter (satellite: jittered retries) ----
+
+/// Env whose only job is to record the backoff sleeps RunWithRetry asks
+/// for, instead of actually sleeping.
+class SleepRecordingEnv : public FaultInjectionEnv {
+ public:
+  SleepRecordingEnv() : FaultInjectionEnv(Env::Posix()) {}
+  void SleepMicros(uint64_t micros) override { sleeps.push_back(micros); }
+  std::vector<uint64_t> sleeps;
+};
+
+std::vector<uint64_t> JitteredSleeps(uint64_t seed) {
+  SleepRecordingEnv env;
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_micros = 1000;
+  policy.backoff_multiplier = 3.0;
+  policy.decorrelated_jitter = true;
+  policy.jitter_seed = seed;
+  const Status status =
+      RunWithRetry(policy, [] { return Status::IOError("flaky"); }, &env);
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_EQ(env.sleeps.size(), 7u);  // every attempt but the last sleeps
+  return env.sleeps;
+}
+
+TEST(RetryJitterTest, DecorrelatedJitterStaysInBounds) {
+  // AWS decorrelated jitter: each sleep is drawn from
+  // [initial, prev_sleep * multiplier].
+  const std::vector<uint64_t> sleeps = JitteredSleeps(0x1DEA);
+  uint64_t prev = 1000;
+  for (const uint64_t sleep : sleeps) {
+    EXPECT_GE(sleep, 1000u);
+    EXPECT_LE(sleep, static_cast<uint64_t>(3.0 * static_cast<double>(prev)));
+    prev = sleep;
+  }
+}
+
+TEST(RetryJitterTest, SeededScheduleIsDeterministic) {
+  EXPECT_EQ(JitteredSleeps(0x1DEA), JitteredSleeps(0x1DEA));
+  // Different seeds decorrelate (7 draws from growing ranges colliding
+  // entirely is as good as impossible).
+  EXPECT_NE(JitteredSleeps(0x1DEA), JitteredSleeps(0xF00D));
+}
+
+TEST(RetryJitterTest, ZeroSeedDecorrelatesConcurrentCalls) {
+  // Seed 0 derives a fresh per-call seed, so two back-to-back runs must not
+  // share a backoff schedule — that lockstep is what jitter exists to kill.
+  EXPECT_NE(JitteredSleeps(0), JitteredSleeps(0));
+}
+
+TEST(RetryJitterTest, JitterRespectsTotalBackoffCap) {
+  SleepRecordingEnv env;
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff_micros = 1000;
+  policy.decorrelated_jitter = true;
+  policy.jitter_seed = 0x5EED;
+  policy.max_total_micros = 10'000;
+  int attempts = 0;
+  const Status status = RunWithRetry(
+      policy,
+      [&] {
+        ++attempts;
+        return Status::IOError("flaky");
+      },
+      &env);
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_LT(attempts, 50);
+  uint64_t total = 0;
+  for (const uint64_t sleep : env.sleeps) total += sleep;
+  EXPECT_LE(total, 10'000u);
+}
+
 // ---- governed IntervalScan / CollisionCount ----
 
 TEST(GovernedScanTest, IntervalScanStopsOnExpiredContext) {

@@ -1,0 +1,569 @@
+// Self-healing serving: the ShardHealthTracker state machine (breakers,
+// probe escalation), and the end-to-end contract — a shard failing
+// transiently is quarantined, the HealthMonitor reopens it once the fault
+// clears, and answers return to bit-identical with degraded_shards == 0.
+
+#include "shard/shard_health.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/fault_injection_env.h"
+#include "common/file_io.h"
+#include "corpusgen/synthetic.h"
+#include "index/index_builder.h"
+#include "index/index_format.h"
+#include "index/index_merger.h"
+#include "query/searcher.h"
+#include "shard/sharded_searcher.h"
+
+namespace ndss {
+namespace {
+
+Status TransientError() { return Status::IOError("injected"); }
+Status CorruptionError() { return Status::Corruption("bad crc"); }
+
+TEST(ShardHealthTrackerTest, CorruptionQuarantinesImmediately) {
+  ShardHealthTracker tracker;
+  EXPECT_EQ(tracker.state(), ShardHealth::kHealthy);
+  EXPECT_TRUE(tracker.RecordFailure(CorruptionError(), 1000));
+  EXPECT_EQ(tracker.state(), ShardHealth::kQuarantined);
+  EXPECT_TRUE(tracker.excluded());
+  // Idempotent while quarantined.
+  EXPECT_FALSE(tracker.RecordFailure(CorruptionError(), 2000));
+  const ShardHealthSnapshot snap = tracker.Snapshot();
+  EXPECT_EQ(snap.quarantines, 1u);
+  EXPECT_EQ(snap.corruption_failures, 2u);
+  EXPECT_FALSE(snap.last_error.empty());
+}
+
+TEST(ShardHealthTrackerTest, ConsecutiveBreakerTripsAfterThreshold) {
+  ShardHealthOptions options;
+  options.consecutive_failures_to_quarantine = 3;
+  ShardHealthTracker tracker(options);
+  EXPECT_FALSE(tracker.RecordFailure(TransientError(), 1));
+  EXPECT_EQ(tracker.state(), ShardHealth::kSuspect);
+  EXPECT_FALSE(tracker.excluded());  // suspect shards keep serving
+  EXPECT_FALSE(tracker.RecordFailure(TransientError(), 2));
+  EXPECT_TRUE(tracker.RecordFailure(TransientError(), 3));
+  EXPECT_EQ(tracker.state(), ShardHealth::kQuarantined);
+  EXPECT_EQ(tracker.Snapshot().transient_failures, 3u);
+}
+
+TEST(ShardHealthTrackerTest, SuccessResetsConsecutiveBreaker) {
+  ShardHealthOptions options;
+  options.consecutive_failures_to_quarantine = 3;
+  // Keep the rate breaker out of this test's way.
+  options.error_rate_min_samples = 100;
+  ShardHealthTracker tracker(options);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_FALSE(tracker.RecordFailure(TransientError(), round));
+    EXPECT_FALSE(tracker.RecordFailure(TransientError(), round));
+    tracker.RecordSuccess();
+    EXPECT_EQ(tracker.state(), ShardHealth::kHealthy);
+  }
+}
+
+TEST(ShardHealthTrackerTest, ErrorRateBreakerCatchesFlakyPattern) {
+  ShardHealthOptions options;
+  options.consecutive_failures_to_quarantine = 3;  // never reached below
+  options.error_rate_threshold = 0.5;
+  options.error_rate_window = 16;
+  options.error_rate_min_samples = 8;
+  ShardHealthTracker tracker(options);
+  // fail, fail, ok, repeated: consecutive never exceeds 2, but the window
+  // fills with 2/3 failures and trips the rate breaker at min samples.
+  bool quarantined = false;
+  for (int i = 0; i < 4 && !quarantined; ++i) {
+    quarantined = tracker.RecordFailure(TransientError(), i);
+    if (!quarantined) quarantined = tracker.RecordFailure(TransientError(), i);
+    if (!quarantined) tracker.RecordSuccess();
+  }
+  EXPECT_TRUE(quarantined);
+  EXPECT_EQ(tracker.state(), ShardHealth::kQuarantined);
+}
+
+TEST(ShardHealthTrackerTest, GovernanceStatusesAreNotRecorded) {
+  ShardHealthOptions options;
+  options.consecutive_failures_to_quarantine = 1;
+  ShardHealthTracker tracker(options);
+  EXPECT_FALSE(tracker.RecordFailure(Status::DeadlineExceeded("slow"), 1));
+  EXPECT_FALSE(tracker.RecordFailure(Status::Cancelled("shed"), 2));
+  EXPECT_FALSE(tracker.RecordFailure(Status::ResourceExhausted("budget"), 3));
+  EXPECT_EQ(tracker.state(), ShardHealth::kHealthy);
+  const ShardHealthSnapshot snap = tracker.Snapshot();
+  EXPECT_EQ(snap.transient_failures, 0u);
+  EXPECT_EQ(snap.corruption_failures, 0u);
+  EXPECT_TRUE(snap.last_error.empty());
+}
+
+TEST(ShardHealthTrackerTest, ProbeLifecycleAndBackoff) {
+  ShardHealthOptions options;
+  options.initial_probe_delay_micros = 100;
+  options.probe_backoff_multiplier = 2.0;
+  options.max_probe_delay_micros = 350;
+  options.deep_check_after_probes = 2;
+  ShardHealthTracker tracker(options);
+  ASSERT_TRUE(tracker.RecordFailure(CorruptionError(), 1000));
+
+  EXPECT_FALSE(tracker.ProbeDue(1099));
+  EXPECT_TRUE(tracker.ProbeDue(1100));
+  EXPECT_FALSE(tracker.DeepCheckDue());
+  tracker.BeginProbe(false);
+  EXPECT_EQ(tracker.state(), ShardHealth::kProbing);
+  EXPECT_FALSE(tracker.ProbeDue(2000));  // not while probing
+
+  // A stale query success while probing must not short-circuit the probe.
+  tracker.RecordSuccess();
+  EXPECT_EQ(tracker.state(), ShardHealth::kProbing);
+
+  // First failure: backoff 100 -> 200.
+  tracker.ProbeFailed(TransientError(), 2000);
+  EXPECT_EQ(tracker.state(), ShardHealth::kQuarantined);
+  EXPECT_FALSE(tracker.ProbeDue(2199));
+  EXPECT_TRUE(tracker.ProbeDue(2200));
+
+  // Second (still cheap) probe fails: backoff 200 -> 400 caps at 350, and
+  // two failed probes make the deep check due for the third.
+  EXPECT_FALSE(tracker.DeepCheckDue());
+  tracker.BeginProbe(false);
+  tracker.ProbeFailed(TransientError(), 3000);
+  EXPECT_FALSE(tracker.ProbeDue(3349));
+  EXPECT_TRUE(tracker.ProbeDue(3350));
+  EXPECT_TRUE(tracker.DeepCheckDue());
+
+  tracker.BeginProbe(true);
+  tracker.ProbeSucceeded();
+  EXPECT_EQ(tracker.state(), ShardHealth::kHealthy);
+  const ShardHealthSnapshot snap = tracker.Snapshot();
+  EXPECT_EQ(snap.reopens, 1u);
+  EXPECT_EQ(snap.probes, 3u);
+  EXPECT_EQ(snap.probe_failures, 2u);
+  EXPECT_TRUE(snap.last_error.empty());  // a healed shard carries no stigma
+}
+
+TEST(ShardHealthTrackerTest, FlappingShardEscalatesToDeepCheck) {
+  ShardHealthOptions options;
+  options.deep_check_after_probes = 2;
+  ShardHealthTracker tracker(options);
+  // Two quarantine -> cheap-reopen -> fail-again cycles: each cheap pass
+  // leaves the flap counter standing, so the third quarantine demands deep.
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    ASSERT_TRUE(tracker.RecordFailure(CorruptionError(), cycle * 1000));
+    tracker.BeginProbe(false);
+    tracker.ProbeSucceeded();
+    EXPECT_EQ(tracker.state(), ShardHealth::kHealthy);
+  }
+  ASSERT_TRUE(tracker.RecordFailure(CorruptionError(), 9000));
+  EXPECT_TRUE(tracker.DeepCheckDue());
+  // A passing deep probe clears the flap escalation.
+  tracker.BeginProbe(true);
+  tracker.ProbeSucceeded();
+  ASSERT_TRUE(tracker.RecordFailure(CorruptionError(), 10000));
+  EXPECT_FALSE(tracker.DeepCheckDue());
+}
+
+TEST(ShardHealthTrackerTest, ExplicitQuarantineBypassesBreakers) {
+  ShardHealthTracker tracker;  // consecutive threshold 3
+  EXPECT_TRUE(tracker.Quarantine(TransientError(), 500));
+  EXPECT_EQ(tracker.state(), ShardHealth::kQuarantined);
+  EXPECT_FALSE(tracker.Quarantine(TransientError(), 600));  // idempotent
+  EXPECT_EQ(tracker.Snapshot().quarantines, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: ShardedSearcher + FaultInjectionEnv + HealthMonitor.
+
+class ShardHealthE2ETest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kNumTexts = 120;
+  static constexpr uint32_t kShardTexts = 40;  // 3 shards
+
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_health_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(CreateDirectories(dir_).ok());
+
+    SyntheticCorpusOptions corpus_options;
+    corpus_options.num_texts = kNumTexts;
+    corpus_options.vocab_size = 400;
+    corpus_options.plant_rate = 0.35;
+    corpus_options.seed = 92;
+    sc_ = GenerateSyntheticCorpus(corpus_options);
+
+    build_.k = 5;
+    build_.t = 20;
+    for (uint32_t s = 0; s < 3; ++s) {
+      Corpus shard;
+      for (uint32_t i = s * kShardTexts; i < (s + 1) * kShardTexts; ++i) {
+        shard.AddText(sc_.corpus.text(i));
+      }
+      ASSERT_TRUE(BuildIndexInMemory(shard, ShardDir(s), build_).ok());
+    }
+    ShardManifest manifest;
+    manifest.shard_dirs = {ShardDir(0), ShardDir(1), ShardDir(2)};
+    ASSERT_TRUE(manifest.Save(SetDir()).ok());
+
+    // Everything from here on (searcher opens, query reads, probes) runs
+    // through the fault env; the indexes above were built clean.
+    fault_ = std::make_unique<FaultInjectionEnv>(Env::Posix());
+    SetDefaultEnv(fault_.get());
+  }
+
+  void TearDown() override {
+    SetDefaultEnv(nullptr);
+    fault_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string ShardDir(uint32_t s) const {
+    return dir_ + "/s" + std::to_string(s);
+  }
+  std::string SetDir() const { return dir_ + "/set"; }
+
+  /// Self-healing options tuned for test time: quarantine after 2 failed
+  /// queries, probe within a few ms, escalate to deep quickly.
+  static ShardedSearcherOptions FastHealingOptions() {
+    ShardedSearcherOptions options;
+    options.enable_self_healing = true;
+    options.health.consecutive_failures_to_quarantine = 2;
+    options.health.error_rate_min_samples = 1000;  // consecutive only
+    options.health.initial_probe_delay_micros = 1'000;
+    options.health.probe_backoff_multiplier = 2.0;
+    options.health.max_probe_delay_micros = 50'000;
+    options.health.deep_check_after_probes = 2;
+    options.health.monitor_poll_micros = 1'000;
+    return options;
+  }
+
+  /// A Searcher over MergeIndexes(dirs) — the never-faulted baseline every
+  /// recovered answer must bit-match.
+  Searcher MergedBaselineOf(const std::vector<std::string>& dirs) {
+    const std::string out =
+        dir_ + "/merged" + std::to_string(merged_counter_++);
+    auto stats = MergeIndexes(dirs, out, IndexMergeOptions{});
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    auto searcher = Searcher::Open(out);
+    EXPECT_TRUE(searcher.ok()) << searcher.status().ToString();
+    return std::move(*searcher);
+  }
+  Searcher MergedBaseline() {
+    return MergedBaselineOf({ShardDir(0), ShardDir(1), ShardDir(2)});
+  }
+
+  std::vector<std::vector<Token>> MakeQueries(size_t count) const {
+    Rng rng(6);
+    std::vector<std::vector<Token>> queries;
+    for (size_t q = 0; q < count; ++q) {
+      const TextId source = static_cast<TextId>(rng.Uniform(kNumTexts));
+      const auto text = sc_.corpus.text(source);
+      const uint32_t length =
+          std::min<uint32_t>(35, static_cast<uint32_t>(text.size()));
+      queries.push_back(PerturbSequence(text, 0, length, 0.1, 400, rng));
+    }
+    return queries;
+  }
+
+  static void ExpectSameMatches(const SearchResult& expected,
+                                const SearchResult& actual,
+                                const std::string& label) {
+    ASSERT_EQ(expected.rectangles.size(), actual.rectangles.size()) << label;
+    for (size_t i = 0; i < expected.rectangles.size(); ++i) {
+      EXPECT_EQ(expected.rectangles[i].text, actual.rectangles[i].text)
+          << label;
+      EXPECT_TRUE(expected.rectangles[i].rect == actual.rectangles[i].rect)
+          << label;
+    }
+    ASSERT_EQ(expected.spans.size(), actual.spans.size()) << label;
+    for (size_t i = 0; i < expected.spans.size(); ++i) {
+      EXPECT_EQ(expected.spans[i].text, actual.spans[i].text) << label;
+      EXPECT_EQ(expected.spans[i].begin, actual.spans[i].begin) << label;
+      EXPECT_EQ(expected.spans[i].end, actual.spans[i].end) << label;
+    }
+  }
+
+  static SearchResult EraseTextRange(SearchResult result, TextId begin,
+                                     TextId end) {
+    std::erase_if(result.rectangles, [&](const TextMatchRectangle& r) {
+      return r.text >= begin && r.text < end;
+    });
+    std::erase_if(result.spans, [&](const MatchSpan& s) {
+      return s.text >= begin && s.text < end;
+    });
+    return result;
+  }
+
+  /// Polls `pred` (e.g. "shard healed") until it holds or `timeout` runs
+  /// out; returns whether it held.
+  static bool WaitFor(const std::function<bool()>& pred,
+                      std::chrono::milliseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+  }
+
+  /// XORs the posting region of every inverted-index file of `shard_dir`
+  /// (headers and footers stay valid, so cheap probes pass while reads and
+  /// deep probes fail their CRC).
+  void CorruptShardLists(const std::string& shard_dir) {
+    for (uint32_t func = 0; func < build_.k; ++func) {
+      const std::string path = IndexMeta::InvertedIndexPath(shard_dir, func);
+      auto data = ReadFileToString(path);
+      ASSERT_TRUE(data.ok());
+      const uint64_t directory_offset = DecodeFixed64(
+          data->data() + data->size() - index_format::kFooterSize + 16);
+      for (uint64_t i = index_format::kHeaderSize; i < directory_offset; ++i) {
+        (*data)[i] ^= 0x5a;
+      }
+      ASSERT_TRUE(WriteStringToFile(path, *data).ok());
+    }
+  }
+
+  std::string dir_;
+  SyntheticCorpus sc_;
+  IndexBuildOptions build_;
+  std::unique_ptr<FaultInjectionEnv> fault_;
+  int merged_counter_ = 0;
+};
+
+// The ISSUE's acceptance scenario: a transiently failing shard is
+// quarantined, served around (degraded answers stay exact over the
+// surviving id ranges), auto-reopened once the fault clears, and the set
+// returns to bit-identical answers with degraded_shards == 0.
+TEST_F(ShardHealthE2ETest, TransientFaultQuarantinesThenAutoReopens) {
+  auto sharded = ShardedSearcher::Open(SetDir(), FastHealingOptions());
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  Searcher merged = MergedBaseline();
+
+  SearchOptions options;
+  options.theta = 0.6;
+  const auto queries = MakeQueries(12);
+
+  // Healthy phase: bit-identical to the merged baseline.
+  for (const auto& query : queries) {
+    auto expected = merged.Search(query, options);
+    auto actual = sharded->Search(query, options);
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    ExpectSameMatches(*expected, *actual, "healthy");
+    EXPECT_EQ(actual->stats.degraded_shards, 0u);
+  }
+
+  // Storm on shard 1 only: every read of its files fails.
+  fault_->SetFaultPathFilter(ShardDir(1));
+  fault_->SetFailProbability(1.0);
+
+  // Serve through the storm until the breaker trips (2 failing queries).
+  bool quarantined = false;
+  for (int i = 0; i < 200 && !quarantined; ++i) {
+    for (const auto& query : queries) {
+      auto actual = sharded->Search(query, options);
+      ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+      auto expected = merged.Search(query, options);
+      ASSERT_TRUE(expected.ok());
+      if (actual->stats.degraded_shards > 0) {
+        // Shard 1 excluded: answers are exact over shards 0 and 2.
+        ExpectSameMatches(EraseTextRange(*expected, kShardTexts,
+                                         2 * kShardTexts),
+                          *actual, "degraded");
+      } else {
+        ExpectSameMatches(*expected, *actual, "pre-trip");
+      }
+    }
+    quarantined =
+        sharded->shards()[1].health.state == ShardHealth::kQuarantined;
+  }
+  ASSERT_TRUE(quarantined);
+  {
+    const ShardInfo info = sharded->shards()[1];
+    EXPECT_TRUE(info.dropped);
+    EXPECT_GE(info.health.quarantines, 1u);
+    EXPECT_GE(info.health.drops, 1u);
+    EXPECT_FALSE(info.health.last_error.empty());
+  }
+  const uint64_t epoch_during_fault = sharded->epoch();
+
+  // Fault clears; the monitor probes and reopens the shard on its own.
+  fault_->Heal();
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return sharded->shards()[1].health.state == ShardHealth::kHealthy;
+      },
+      std::chrono::seconds(10)));
+
+  // Reopen is not a topology change: same epoch, nothing written to the
+  // manifest.
+  EXPECT_EQ(sharded->epoch(), epoch_during_fault);
+  {
+    const ShardInfo info = sharded->shards()[1];
+    EXPECT_FALSE(info.dropped);
+    EXPECT_GE(info.health.reopens, 1u);
+  }
+
+  // Recovered phase: bit-identical again, degraded_shards back to 0.
+  for (const auto& query : queries) {
+    auto expected = merged.Search(query, options);
+    auto actual = sharded->Search(query, options);
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    ExpectSameMatches(*expected, *actual, "recovered");
+    EXPECT_EQ(actual->stats.degraded_shards, 0u);
+  }
+}
+
+// A shard whose posting lists are corrupt on disk passes cheap probes
+// (headers are intact) and flaps reopen -> fail -> quarantine; the flap
+// escalation forces a deep probe, which pins it down until the files are
+// actually repaired — after which it heals and answers are exact again.
+TEST_F(ShardHealthE2ETest, PersistentCorruptionEscalatesToDeepProbe) {
+  // Back up shard 1 so the "repair" below is a byte-exact restore.
+  const std::string backup = dir_ + "/s1_backup";
+  std::filesystem::copy(ShardDir(1), backup);
+  CorruptShardLists(ShardDir(1));
+
+  auto sharded = ShardedSearcher::Open(SetDir(), FastHealingOptions());
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  // Shard 1's on-disk files are corrupt, so the baseline merges the backup.
+  Searcher merged = MergedBaselineOf({ShardDir(0), backup, ShardDir(2)});
+
+  SearchOptions options;
+  options.theta = 0.6;
+  const auto queries = MakeQueries(8);
+
+  // Serve until a deep probe has failed. Throughout, answers must stay
+  // exact no matter where the flap cycle is: either shard 1's sub-query
+  // read nothing corrupt (full answer) or it failed and was excluded
+  // (answer exact over the survivors).
+  const bool deep_probe_failed = WaitFor(
+      [&] {
+        for (const auto& query : queries) {
+          auto actual = sharded->Search(query, options);
+          if (!actual.ok()) continue;  // all-dropped window
+          auto expected = merged.Search(query, options);
+          EXPECT_TRUE(expected.ok());
+          if (actual->stats.degraded_shards > 0) {
+            ExpectSameMatches(
+                EraseTextRange(*expected, kShardTexts, 2 * kShardTexts),
+                *actual, "corrupt phase");
+          } else {
+            ExpectSameMatches(*expected, *actual, "corrupt phase full");
+          }
+        }
+        return sharded->shards()[1].health.probe_failures >= 1;
+      },
+      std::chrono::seconds(10));
+  ASSERT_TRUE(deep_probe_failed);
+  EXPECT_GE(sharded->shards()[1].health.quarantines, 1u);
+
+  // Repair the shard on disk; the next deep probe passes and it rejoins.
+  std::filesystem::remove_all(ShardDir(1));
+  std::filesystem::copy(backup, ShardDir(1));
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return sharded->shards()[1].health.state == ShardHealth::kHealthy;
+      },
+      std::chrono::seconds(10)));
+
+  for (const auto& query : queries) {
+    auto expected = merged.Search(query, options);
+    auto actual = sharded->Search(query, options);
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    ExpectSameMatches(*expected, *actual, "repaired");
+    EXPECT_EQ(actual->stats.degraded_shards, 0u);
+  }
+}
+
+// TSan coverage: the monitor's probe/reopen path racing query threads,
+// shards() snapshots, and attach/detach topology churn under a low-grade
+// fault storm. Correctness here is "no data race, no crash, and exact
+// answers once the dust settles".
+TEST_F(ShardHealthE2ETest, MonitorRacesQueriesAndTopologyChanges) {
+  // A fourth shard (empty id-range contribution comes after s0..s2, so
+  // attach/detach does not disturb their global ids).
+  Corpus extra;
+  for (uint32_t i = 0; i < kShardTexts; ++i) {
+    extra.AddText(sc_.corpus.text(i % kNumTexts));
+  }
+  ASSERT_TRUE(BuildIndexInMemory(extra, ShardDir(3), build_).ok());
+
+  auto sharded = ShardedSearcher::Open(SetDir(), FastHealingOptions());
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  // Low-grade storm on shard 1: enough failures to keep quarantines and
+  // reopens cycling while the test runs.
+  fault_->SetFaultPathFilter(ShardDir(1));
+  fault_->SetFailProbability(0.05, /*seed=*/0xAB5);
+
+  SearchOptions options;
+  options.theta = 0.6;
+  const auto queries = MakeQueries(6);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      size_t q = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Statuses are free to be IOError during the storm; the invariant
+        // under test is memory-safety and tracker consistency.
+        (void)sharded->Search(queries[q % queries.size()], options);
+        ++q;
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)sharded->AttachShard(ShardDir(3));
+      (void)sharded->DetachShard(ShardDir(3));
+    }
+  });
+  workers.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const ShardInfo& info : sharded->shards()) {
+        (void)info.health.state;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  for (std::thread& worker : workers) worker.join();
+
+  // Settle: clear faults, pin the topology back to the base three shards,
+  // and wait for full health.
+  fault_->Heal();
+  (void)sharded->DetachShard(ShardDir(3));
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        const auto shards = sharded->shards();
+        if (shards.size() != 3) return false;
+        for (const ShardInfo& info : shards) {
+          if (info.health.state != ShardHealth::kHealthy) return false;
+        }
+        return true;
+      },
+      std::chrono::seconds(10)));
+
+  Searcher merged = MergedBaseline();
+  for (const auto& query : queries) {
+    auto expected = merged.Search(query, options);
+    auto actual = sharded->Search(query, options);
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    ExpectSameMatches(*expected, *actual, "settled");
+    EXPECT_EQ(actual->stats.degraded_shards, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ndss

@@ -7,13 +7,22 @@
 //   ndss_shard create --set=DIR SHARD_DIR...
 //   ndss_shard attach --set=DIR SHARD_DIR
 //   ndss_shard detach --set=DIR SHARD_DIR
-//   ndss_shard status --set=DIR [--json]
+//   ndss_shard status --set=DIR [--json] [--probe] [--deep]
+//
+// status reports the health each shard would have in a serving process:
+// --probe runs the same cheap recovery probe the self-healing HealthMonitor
+// uses (open a full Searcher, validating the commit marker and every index
+// header), and --deep escalates to the monitor's deep probe (additionally
+// reads and CRC-checks every posting list). Without either flag only the
+// shard meta is validated.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "index/index_merger.h"
+#include "query/searcher.h"
+#include "shard/shard_health.h"
 #include "shard/shard_manifest.h"
 #include "tool_flags.h"
 
@@ -21,8 +30,13 @@ namespace {
 
 using ndss::IndexMeta;
 using ndss::LoadShardMeta;
+using ndss::ProbeShard;
 using ndss::ResolveShardDir;
 using ndss::Result;
+using ndss::Searcher;
+using ndss::SearcherOptions;
+using ndss::ShardHealth;
+using ndss::ShardHealthName;
 using ndss::ShardManifest;
 using ndss::Status;
 using ndss::ValidateShardMetas;
@@ -35,7 +49,10 @@ using ndss::tools::Flags;
       "  create --set=DIR SHARD_DIR...   write a fresh manifest (epoch 0)\n"
       "  attach --set=DIR SHARD_DIR      add a shard (epoch + 1)\n"
       "  detach --set=DIR SHARD_DIR      remove a shard (epoch + 1)\n"
-      "  status --set=DIR [--json]       describe the set");
+      "  status --set=DIR [--json] [--probe] [--deep]\n"
+      "                                  describe the set; --probe runs the\n"
+      "                                  HealthMonitor's cheap recovery probe\n"
+      "                                  per shard, --deep its deep probe");
 }
 
 /// Loads and cross-validates every shard meta of `manifest`; dies on the
@@ -121,7 +138,8 @@ std::string JsonEscape(const std::string& in) {
   return out;
 }
 
-int PrintStatus(const std::string& set_dir, bool json) {
+int PrintStatus(const std::string& set_dir, bool json, bool probe,
+                bool deep) {
   Result<ShardManifest> manifest = ShardManifest::Load(set_dir);
   if (!manifest.ok()) Die(manifest.status().ToString());
 
@@ -130,6 +148,10 @@ int PrintStatus(const std::string& set_dir, bool json) {
     uint64_t text_offset = 0;
     IndexMeta meta;
     Status status;
+    // The state a self-healing ShardedSearcher would assign the shard if it
+    // observed what the chosen check observed: a shard whose meta or probe
+    // fails would be quarantined; one that passes serves healthy.
+    ShardHealth health = ShardHealth::kHealthy;
   };
   std::vector<Row> rows;
   uint64_t num_texts = 0;
@@ -144,38 +166,50 @@ int PrintStatus(const std::string& set_dir, bool json) {
       row.meta = std::move(*meta);
       num_texts += row.meta.num_texts;
       total_tokens += row.meta.total_tokens;
+      if (probe) {
+        Result<Searcher> opened = ProbeShard(row.dir, SearcherOptions(), deep);
+        if (!opened.ok()) {
+          row.status = opened.status();
+          row.health = ShardHealth::kQuarantined;
+          ++broken;
+        }
+      }
     } else {
       row.status = meta.status();
+      row.health = ShardHealth::kQuarantined;
       ++broken;
     }
     rows.push_back(std::move(row));
   }
+  const char* probe_mode = deep ? "deep" : probe ? "cheap" : "none";
 
   if (json) {
     std::printf("{\n  \"set_dir\": \"%s\",\n  \"epoch\": %llu,\n"
+                "  \"probe\": \"%s\",\n"
                 "  \"num_shards\": %zu,\n  \"broken_shards\": %zu,\n"
                 "  \"num_texts\": %llu,\n  \"total_tokens\": %llu,\n"
                 "  \"shards\": [\n",
                 JsonEscape(set_dir).c_str(),
-                static_cast<unsigned long long>(manifest->epoch), rows.size(),
-                broken, static_cast<unsigned long long>(num_texts),
+                static_cast<unsigned long long>(manifest->epoch), probe_mode,
+                rows.size(), broken,
+                static_cast<unsigned long long>(num_texts),
                 static_cast<unsigned long long>(total_tokens));
     for (size_t i = 0; i < rows.size(); ++i) {
       const Row& row = rows[i];
       if (row.status.ok()) {
-        std::printf("    {\"dir\": \"%s\", \"ok\": true, "
+        std::printf("    {\"dir\": \"%s\", \"ok\": true, \"health\": \"%s\", "
                     "\"text_offset\": %llu, \"num_texts\": %llu, "
                     "\"k\": %u, \"seed\": %llu, \"t\": %u}%s\n",
-                    JsonEscape(row.dir).c_str(),
+                    JsonEscape(row.dir).c_str(), ShardHealthName(row.health),
                     static_cast<unsigned long long>(row.text_offset),
                     static_cast<unsigned long long>(row.meta.num_texts),
                     row.meta.k,
                     static_cast<unsigned long long>(row.meta.seed), row.meta.t,
                     i + 1 < rows.size() ? "," : "");
       } else {
-        std::printf("    {\"dir\": \"%s\", \"ok\": false, \"error\": "
-                    "\"%s\"}%s\n",
-                    JsonEscape(row.dir).c_str(),
+        std::printf("    {\"dir\": \"%s\", \"ok\": false, \"health\": "
+                    "\"%s\", \"last_error\": \"%s\"}%s\n",
+                    JsonEscape(row.dir).c_str(), ShardHealthName(row.health),
                     JsonEscape(row.status.ToString()).c_str(),
                     i + 1 < rows.size() ? "," : "");
       }
@@ -183,20 +217,22 @@ int PrintStatus(const std::string& set_dir, bool json) {
     std::printf("  ]\n}\n");
   } else {
     std::printf("shard set %s: epoch %llu, %zu shards (%zu broken), "
-                "%llu texts, %llu tokens\n",
+                "%llu texts, %llu tokens%s%s\n",
                 set_dir.c_str(),
                 static_cast<unsigned long long>(manifest->epoch), rows.size(),
                 broken, static_cast<unsigned long long>(num_texts),
-                static_cast<unsigned long long>(total_tokens));
+                static_cast<unsigned long long>(total_tokens),
+                probe ? ", probe=" : "", probe ? probe_mode : "");
     for (const Row& row : rows) {
       if (row.status.ok()) {
-        std::printf("  %-40s offset=%-10llu texts=%-10llu k=%u t=%u\n",
-                    row.dir.c_str(),
+        std::printf("  %-40s %-11s offset=%-10llu texts=%-10llu k=%u t=%u\n",
+                    row.dir.c_str(), ShardHealthName(row.health),
                     static_cast<unsigned long long>(row.text_offset),
                     static_cast<unsigned long long>(row.meta.num_texts),
                     row.meta.k, row.meta.t);
       } else {
-        std::printf("  %-40s BROKEN: %s\n", row.dir.c_str(),
+        std::printf("  %-40s %-11s %s\n", row.dir.c_str(),
+                    ShardHealthName(row.health),
                     row.status.ToString().c_str());
       }
     }
@@ -229,7 +265,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "status") {
     if (!args.empty()) Usage();
-    return PrintStatus(set_dir, flags.GetBool("json", false));
+    const bool deep = flags.GetBool("deep", false);
+    const bool probe = flags.GetBool("probe", false) || deep;
+    return PrintStatus(set_dir, flags.GetBool("json", false), probe, deep);
   }
   Usage();
 }

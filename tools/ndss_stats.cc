@@ -7,10 +7,14 @@
 //
 // --json emits the summary (build parameters, list/window totals, the
 // percentile distribution) as a single machine-readable object, like
-// ndss_fsck --json; --widths is ignored in that mode.
+// ndss_fsck --json; --widths is ignored in that mode. In --json mode
+// failures are reported as {"ok": false, "error": ...} with exit 1 instead
+// of a bare stderr line, so monitoring that shells out to this tool can
+// keep a single JSON parser on the happy and sad paths alike.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -18,14 +22,44 @@
 #include "index/inverted_index_reader.h"
 #include "tool_flags.h"
 
+namespace {
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out.append(buf);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Reports `message` in whichever shape the caller asked for and exits 1.
+[[noreturn]] void Fail(bool json, const std::string& message) {
+  if (!json) ndss::tools::Die(message);
+  std::printf("{\"ok\": false, \"error\": \"%s\"}\n",
+              JsonEscape(message).c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   ndss::tools::Flags flags(argc, argv);
+  const bool json = flags.GetBool("json", false);
   const std::string index_dir = flags.GetString("index", "");
   if (index_dir.empty()) {
-    ndss::tools::Die("usage: ndss_stats --index=DIR");
+    Fail(json, "usage: ndss_stats --index=DIR");
   }
   auto meta = ndss::IndexMeta::Load(index_dir);
-  if (!meta.ok()) ndss::tools::Die(meta.status().ToString());
+  if (!meta.ok()) Fail(json, meta.status().ToString());
 
   std::vector<uint64_t> counts;
   uint64_t total_windows = 0;
@@ -35,7 +69,7 @@ int main(int argc, char** argv) {
     const std::string path =
         ndss::IndexMeta::InvertedIndexPath(index_dir, func);
     auto reader = ndss::InvertedIndexReader::Open(path);
-    if (!reader.ok()) ndss::tools::Die(reader.status().ToString());
+    if (!reader.ok()) Fail(json, reader.status().ToString());
     for (const ndss::ListMeta& list : reader->directory()) {
       counts.push_back(list.count);
       total_bytes += list.list_bytes;
@@ -45,13 +79,10 @@ int main(int argc, char** argv) {
   }
   std::sort(counts.begin(), counts.end(), std::greater<uint64_t>());
 
-  if (flags.GetBool("json", false)) {
-    std::string escaped_dir;
-    for (char c : index_dir) {
-      if (c == '"' || c == '\\') escaped_dir.push_back('\\');
-      escaped_dir.push_back(c);
-    }
-    std::printf("{\n  \"index\": \"%s\",\n  \"k\": %u,\n  \"seed\": %llu,\n"
+  if (json) {
+    const std::string escaped_dir = JsonEscape(index_dir);
+    std::printf("{\n  \"ok\": true,\n"
+                "  \"index\": \"%s\",\n  \"k\": %u,\n  \"seed\": %llu,\n"
                 "  \"t\": %u,\n  \"num_texts\": %llu,\n"
                 "  \"total_tokens\": %llu,\n  \"lists\": %zu,\n"
                 "  \"windows\": %llu,\n  \"list_bytes\": %llu,\n"
