@@ -1,0 +1,411 @@
+// Serving-layer overhead and behaviour under governance, end to end over
+// real sockets.
+//
+// Stands up the full serving stack in one process — ShardedSearcher (self-
+// healing) -> SearchService -> HttpServer on an ephemeral 127.0.0.1 port —
+// and measures:
+//
+//   1. equivalence gate (before any timing): every query's HTTP answer
+//      must serialize bit-identically to the direct ShardedSearcher
+//      answer through the same JSON path, or the bench exits 1. The
+//      network front-end must not change answers.
+//   2. closed-loop latency sweep: p50/p95/p99 and throughput at client
+//      concurrency 1/2/4 (1/2 under --quick), i.e. what the HTTP + JSON +
+//      admission layers cost over the raw library call.
+//   3. governed behaviour: a tiny-deadline mix must produce 504s with
+//      partial stats, and an inflight limit of 1 under concurrent load
+//      must shed with 429s. Either failing to trigger exits 1 — the
+//      governance path is load-bearing, not best-effort.
+//
+// Usage: bench_serve [--json] [--quick] [--out=PATH]
+//   --json   also write the machine-readable report (default
+//            BENCH_serve.json; see README "Benchmark reports")
+//   --quick  smaller corpus / fewer requests (CI-sized)
+//   --out=   report path for --json
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "index/index_builder.h"
+#include "net/http.h"
+#include "net/json.h"
+#include "net/serve.h"
+#include "shard/shard_manifest.h"
+#include "shard/sharded_searcher.h"
+
+namespace ndss {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+struct Percentiles {
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+Percentiles ComputePercentiles(std::vector<double> ms) {
+  Percentiles p;
+  if (ms.empty()) return p;
+  std::sort(ms.begin(), ms.end());
+  p.p50_ms = ms[ms.size() / 2];
+  p.p95_ms = ms[std::min(ms.size() - 1, ms.size() * 95 / 100)];
+  p.p99_ms = ms[std::min(ms.size() - 1, ms.size() * 99 / 100)];
+  return p;
+}
+
+/// Canonical serialization of an answer's content (spans + rectangles,
+/// not stats); both sides of the gate go through net::SearchResultToJson.
+std::string AnswerKey(const net::JsonValue& object) {
+  const net::JsonValue* spans = object.Find("spans");
+  const net::JsonValue* rectangles = object.Find("rectangles");
+  return (spans != nullptr ? spans->Dump() : "") + "|" +
+         (rectangles != nullptr ? rectangles->Dump() : "");
+}
+
+std::string RequestBody(const std::vector<Token>& query, double theta,
+                        double deadline_ms = 0, double sleep_ms = 0) {
+  net::JsonValue tokens = net::JsonValue::Array();
+  for (Token token : query) {
+    tokens.Append(net::JsonValue::Number(static_cast<uint64_t>(token)));
+  }
+  net::JsonValue body = net::JsonValue::Object();
+  body.Set("tokens", std::move(tokens));
+  body.Set("theta", net::JsonValue::Number(theta));
+  if (deadline_ms > 0) {
+    body.Set("deadline_ms", net::JsonValue::Number(deadline_ms));
+  }
+  if (sleep_ms > 0) {
+    body.Set("debug_sleep_ms", net::JsonValue::Number(sleep_ms));
+  }
+  return body.Dump();
+}
+
+struct SweepPoint {
+  size_t concurrency = 0;
+  size_t requests = 0;
+  double qps = 0;
+  Percentiles latency;
+};
+
+int Run(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json] [--quick] [--out=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const uint32_t num_texts = bench::Scaled(quick ? 300 : 1500);
+  const uint32_t vocab = 2000;
+  const uint32_t num_queries = quick ? 40 : 150;
+  const uint32_t num_shards = 3;
+  const size_t requests_per_point = quick ? 120 : 600;
+  const std::string dir = bench::ScratchDir("serve");
+
+  bench::PrintHeader(
+      "Serving front-end: HTTP overhead and governed behaviour",
+      "every HTTP answer must be bit-identical to the direct searcher "
+      "answer, tiny deadlines must 504, an inflight limit of 1 must 429 "
+      "— any of those failing exits 1");
+  std::printf("corpus: %u texts over %u shards, %u pooled queries\n\n",
+              num_texts, num_shards, num_queries);
+
+  SyntheticCorpus sc = bench::MakeBenchCorpus(num_texts, vocab, 1337);
+  const auto queries =
+      bench::MakeQueries(sc.corpus, num_queries, 40, 0.1, vocab, 99);
+  SearchOptions options;
+  options.theta = 0.6;
+
+  IndexBuildOptions build;
+  build.k = 8;
+  build.t = 20;
+  std::vector<std::string> shard_dirs;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    Corpus shard;
+    const uint32_t begin = s * num_texts / num_shards;
+    const uint32_t end = (s + 1) * num_texts / num_shards;
+    for (uint32_t i = begin; i < end; ++i) shard.AddText(sc.corpus.text(i));
+    const std::string shard_dir = dir + "/s" + std::to_string(s);
+    auto built = BuildIndexInMemory(shard, shard_dir, build);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    shard_dirs.push_back(shard_dir);
+  }
+  ShardManifest manifest;
+  manifest.shard_dirs = shard_dirs;
+  if (!manifest.Save(dir + "/set").ok()) return 1;
+
+  ShardedSearcherOptions searcher_options;
+  searcher_options.enable_self_healing = true;
+  auto searcher = ShardedSearcher::Open(dir + "/set", searcher_options);
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 searcher.status().ToString().c_str());
+    return 1;
+  }
+
+  net::ServeOptions serve_options;
+  serve_options.search = options;
+  net::SearchService service(&*searcher, serve_options);
+  net::HttpServer server;
+  net::HttpServerOptions server_options;
+  server_options.num_threads = 8;
+  if (!server
+           .Start(server_options,
+                  [&service](const net::HttpRequest& request) {
+                    return service.Handle(request);
+                  })
+           .ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    return 1;
+  }
+
+  // --- 1. Equivalence gate: HTTP answers vs the library, bit for bit. ---
+  std::vector<std::string> bodies;
+  std::vector<std::string> expected;
+  for (const auto& query : queries) {
+    bodies.push_back(RequestBody(query, options.theta));
+    auto direct = searcher->Search(query, options);
+    if (!direct.ok()) {
+      std::fprintf(stderr, "direct search failed: %s\n",
+                   direct.status().ToString().c_str());
+      return 1;
+    }
+    net::JsonValue object = net::JsonValue::Object();
+    net::SearchResultToJson(*direct, &object);
+    expected.push_back(AnswerKey(object));
+  }
+  size_t mismatches = 0;
+  {
+    net::HttpClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) {
+      std::fprintf(stderr, "connect failed\n");
+      return 1;
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto response = client.Post("/v1/search", bodies[i]);
+      if (!response.ok() || response->status != 200) {
+        std::fprintf(stderr, "query %zu failed over HTTP\n", i);
+        return 1;
+      }
+      auto parsed = net::ParseJson(response->body);
+      if (!parsed.ok() || AnswerKey(*parsed) != expected[i]) ++mismatches;
+    }
+  }
+  std::printf("equivalence gate: %zu queries, %zu mismatches\n",
+              queries.size(), mismatches);
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "FAIL: HTTP answers differ from the direct searcher\n");
+    return 1;
+  }
+
+  // --- 2. Closed-loop latency sweep. ---
+  std::vector<size_t> concurrencies = quick ? std::vector<size_t>{1, 2}
+                                            : std::vector<size_t>{1, 2, 4};
+  std::vector<SweepPoint> sweep;
+  std::printf("\n%-12s %9s %9s %10s %10s %10s\n", "concurrency", "requests",
+              "qps", "p50 ms", "p95 ms", "p99 ms");
+  for (size_t concurrency : concurrencies) {
+    std::atomic<size_t> next{0};
+    std::vector<std::vector<double>> worker_ms(concurrency);
+    const SteadyClock::time_point begin = SteadyClock::now();
+    std::vector<std::thread> workers;
+    for (size_t w = 0; w < concurrency; ++w) {
+      workers.emplace_back([&, w] {
+        net::HttpClient client;
+        if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+        while (true) {
+          const size_t i = next.fetch_add(1);
+          if (i >= requests_per_point) break;
+          const SteadyClock::time_point issue = SteadyClock::now();
+          auto response =
+              client.Post("/v1/search", bodies[i % bodies.size()]);
+          if (!response.ok()) break;
+          worker_ms[w].push_back(
+              std::chrono::duration<double, std::milli>(SteadyClock::now() -
+                                                        issue)
+                  .count());
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    const double elapsed =
+        std::chrono::duration<double>(SteadyClock::now() - begin).count();
+    std::vector<double> all_ms;
+    for (auto& ms : worker_ms) {
+      all_ms.insert(all_ms.end(), ms.begin(), ms.end());
+    }
+    SweepPoint point;
+    point.concurrency = concurrency;
+    point.requests = all_ms.size();
+    point.qps = elapsed > 0 ? static_cast<double>(all_ms.size()) / elapsed : 0;
+    point.latency = ComputePercentiles(std::move(all_ms));
+    std::printf("%-12zu %9zu %9.1f %10.3f %10.3f %10.3f\n",
+                point.concurrency, point.requests, point.qps,
+                point.latency.p50_ms, point.latency.p95_ms,
+                point.latency.p99_ms);
+    if (point.requests < requests_per_point) {
+      std::fprintf(stderr, "FAIL: %zu of %zu requests completed\n",
+                   point.requests, requests_per_point);
+      return 1;
+    }
+    sweep.push_back(point);
+  }
+
+  // --- 3a. Governed: a tiny deadline must 504 (with partial stats). ---
+  const size_t governed_requests = quick ? 40 : 150;
+  size_t deadline_hits = 0, deadline_with_stats = 0;
+  {
+    net::HttpClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) return 1;
+    for (size_t i = 0; i < governed_requests; ++i) {
+      auto response = client.Post(
+          "/v1/search", RequestBody(queries[i % queries.size()],
+                                    options.theta, /*deadline_ms=*/1e-3));
+      if (!response.ok()) break;
+      if (response->status == 504) {
+        ++deadline_hits;
+        auto parsed = net::ParseJson(response->body);
+        if (parsed.ok() && parsed->Find("stats") != nullptr) {
+          ++deadline_with_stats;
+        }
+      }
+    }
+  }
+  std::printf("\ntiny deadline: %zu of %zu requests 504 "
+              "(%zu carried partial stats)\n",
+              deadline_hits, governed_requests, deadline_with_stats);
+  if (deadline_hits == 0 || deadline_with_stats != deadline_hits) {
+    std::fprintf(stderr, "FAIL: deadline governance did not engage\n");
+    return 1;
+  }
+
+  // --- 3b. Governed: inflight limit 1 must shed with 429. ---
+  // A second service over the same searcher, with the only slot held by a
+  // debug-sleeping request; every concurrent request must be rejected at
+  // admission, deterministically.
+  net::ServeOptions strict_options;
+  strict_options.search = options;
+  strict_options.max_inflight = 1;
+  strict_options.allow_debug_sleep = true;
+  net::SearchService strict_service(&*searcher, strict_options);
+  net::HttpServer strict_server;
+  if (!strict_server
+           .Start(server_options,
+                  [&strict_service](const net::HttpRequest& request) {
+                    return strict_service.Handle(request);
+                  })
+           .ok()) {
+    return 1;
+  }
+  size_t shed = 0;
+  const size_t shed_attempts = quick ? 20 : 60;
+  {
+    std::thread sleeper([&] {
+      net::HttpClient client;
+      if (!client.Connect("127.0.0.1", strict_server.port()).ok()) return;
+      (void)client.Post("/v1/search",
+                        RequestBody(queries[0], options.theta, 0,
+                                    /*sleep_ms=*/quick ? 1500 : 3000));
+    });
+    net::HttpClient client;
+    if (!client.Connect("127.0.0.1", strict_server.port()).ok()) return 1;
+    // Wait for the sleeper to hold the slot (visible via /v1/status).
+    for (int i = 0; i < 200; ++i) {
+      auto status = client.Get("/v1/status");
+      if (status.ok()) {
+        auto parsed = net::ParseJson(status->body);
+        const net::JsonValue* inflight =
+            parsed.ok() ? parsed->Find("inflight") : nullptr;
+        if (inflight != nullptr && inflight->number() >= 1) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (size_t i = 0; i < shed_attempts; ++i) {
+      auto response = client.Post(
+          "/v1/search",
+          RequestBody(queries[i % queries.size()], options.theta));
+      if (response.ok() && response->status == 429) ++shed;
+    }
+    sleeper.join();
+  }
+  const double shed_rate =
+      static_cast<double>(shed) / static_cast<double>(shed_attempts);
+  std::printf("admission (max_inflight=1): %zu of %zu requests shed "
+              "(%.0f%%)\n",
+              shed, shed_attempts, 100 * shed_rate);
+  strict_server.Stop();
+  server.Stop();
+  if (shed == 0) {
+    std::fprintf(stderr, "FAIL: admission control did not shed\n");
+    return 1;
+  }
+
+  if (json) {
+    bench::JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", std::string("serve"));
+    w.Field("quick", quick);
+    w.BeginObject("equivalence");
+    w.Field("queries", static_cast<uint64_t>(queries.size()));
+    w.Field("mismatches", static_cast<uint64_t>(mismatches));
+    w.EndObject();
+    w.BeginArray("closed_loop");
+    for (const SweepPoint& point : sweep) {
+      w.BeginObject();
+      w.Field("concurrency", static_cast<uint64_t>(point.concurrency));
+      w.Field("requests", static_cast<uint64_t>(point.requests));
+      w.Field("qps", point.qps);
+      w.Field("p50_ms", point.latency.p50_ms);
+      w.Field("p95_ms", point.latency.p95_ms);
+      w.Field("p99_ms", point.latency.p99_ms);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.BeginObject("governed");
+    w.Field("tiny_deadline_requests", static_cast<uint64_t>(
+                                          governed_requests));
+    w.Field("tiny_deadline_504", static_cast<uint64_t>(deadline_hits));
+    w.Field("shed_attempts", static_cast<uint64_t>(shed_attempts));
+    w.Field("shed_429", static_cast<uint64_t>(shed));
+    w.Field("shed_rate", shed_rate);
+    w.EndObject();
+    w.EndObject();
+    std::ofstream out(out_path);
+    out << w.str();
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ndss
+
+int main(int argc, char** argv) { return ndss::Run(argc, argv); }

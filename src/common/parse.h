@@ -1,0 +1,97 @@
+#ifndef NDSS_COMMON_PARSE_H_
+#define NDSS_COMMON_PARSE_H_
+
+#include <cerrno>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace ndss {
+
+/// Strict numeric/boolean parsers shared by the CLI flag layer
+/// (tools/tool_flags.h) and the ndss_serve request parsing.
+///
+/// Unlike bare strtoll/strtod with a null endptr, these reject anything
+/// that is not exactly one value: empty strings, leading whitespace,
+/// trailing garbage ("0.8x", "12abc"), and out-of-range magnitudes all
+/// return false and leave `*out` untouched. That turns the old
+/// silent-garbage-to-zero behaviour (`--deadline-ms=abc` parsing as an
+/// *infinite* deadline) into a loud failure at the caller.
+
+/// Parses a base-10 signed integer occupying the whole of `s`.
+inline bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s.front()))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+/// Parses a base-10 unsigned integer occupying the whole of `s`. A leading
+/// '-' is rejected (strtoull would silently wrap it).
+inline bool ParseUint64(const std::string& s, uint64_t* out) {
+  if (s.empty() || s.front() == '-' ||
+      std::isspace(static_cast<unsigned char>(s.front()))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+/// ParseUint64 restricted to the uint32 range (token ids, ports).
+inline bool ParseUint32(const std::string& s, uint32_t* out) {
+  uint64_t wide = 0;
+  if (!ParseUint64(s, &wide) ||
+      wide > std::numeric_limits<uint32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(wide);
+  return true;
+}
+
+/// Parses a finite decimal floating-point value occupying the whole of
+/// `s`. Overflow to infinity and "nan"/"inf" spellings are rejected: no
+/// flag or request field has a meaningful non-finite value.
+inline bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s.front()))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  if (value != value || value > std::numeric_limits<double>::max() ||
+      value < -std::numeric_limits<double>::max()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+/// Accepts exactly "true"/"1" and "false"/"0". "TRUE", "yes", "on" and
+/// friends are rejected so a typo cannot silently flip a boolean flag.
+inline bool ParseBool(const std::string& s, bool* out) {
+  if (s == "true" || s == "1") {
+    *out = true;
+    return true;
+  }
+  if (s == "false" || s == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ndss
+
+#endif  // NDSS_COMMON_PARSE_H_

@@ -30,6 +30,32 @@ std::string_view StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kOutOfRange:
+      return 416;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kCancelled:
+      return 499;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kIOError:
+    case StatusCode::kCorruption:
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string result(StatusCodeToString(code_));

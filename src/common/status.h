@@ -29,6 +29,14 @@ enum class StatusCode {
 /// Returns a stable human-readable name for `code` (e.g. "IOError").
 std::string_view StatusCodeToString(StatusCode code);
 
+/// The HTTP status an ndss_serve response carries for a request that ended
+/// with `code`. The governance codes map onto the conventional overload
+/// trio — ResourceExhausted (8) → 429 Too Many Requests, DeadlineExceeded
+/// (9) → 504 Gateway Timeout, Cancelled (10) → 499 Client Closed Request
+/// (nginx's convention) — so a load balancer can tell shed/overload from
+/// breakage. Caller errors map to 400/404/416; everything else is a 500.
+int HttpStatusForCode(StatusCode code);
+
 /// Result of a fallible operation that produces no value.
 ///
 /// The library does not throw exceptions on its regular control paths; every

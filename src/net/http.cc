@@ -1,0 +1,459 @@
+#include "net/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "common/parse.h"
+
+namespace ndss {
+namespace net {
+
+namespace {
+
+constexpr size_t kMaxHeadBytes = 64u << 10;  // request/status line + headers
+
+/// recv() window used by server workers so blocked reads re-check the
+/// server's stop flag at this granularity.
+constexpr int kServerPollMs = 200;
+
+/// Client-side cap on waiting for one response; searches can block for
+/// their whole deadline, so this is generous.
+constexpr int kClientRecvTimeoutMs = 120 * 1000;
+
+void SetRecvTimeout(int fd, int millis) {
+  timeval tv;
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void SetNoDelay(int fd) {
+  int on = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+}
+
+Status SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+/// Splits the header block (everything before the blank line, which must
+/// already be complete in `head`) into a first line and lower-cased
+/// header map.
+Status ParseHead(const std::string& head, std::string* first_line,
+                 std::map<std::string, std::string>* headers) {
+  size_t pos = head.find("\r\n");
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument("http: missing request line terminator");
+  }
+  *first_line = head.substr(0, pos);
+  pos += 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) break;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("http: malformed header line");
+    }
+    (*headers)[ToLower(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+  }
+  return Status::OK();
+}
+
+/// Buffered reads from one socket. ReadMessage accumulates one full HTTP
+/// message (head + Content-Length body); bytes past it stay buffered for
+/// the next keep-alive request.
+class MessageReader {
+ public:
+  MessageReader(int fd, size_t max_body_bytes)
+      : fd_(fd), max_body_bytes_(max_body_bytes) {}
+
+  /// Outcome of waiting for one message.
+  enum class Outcome {
+    kMessage,   ///< a complete head+body was parsed
+    kClosed,    ///< peer closed with no partial message buffered
+    kTimeout,   ///< one recv window elapsed with no new bytes
+    kTooLarge,  ///< head or declared body over the limit
+    kError,     ///< malformed message or socket error
+  };
+
+  /// Waits for one complete message. On kTimeout the caller decides
+  /// whether to keep waiting (idle budget) and calls again; buffered
+  /// partial data is preserved across calls.
+  Outcome ReadMessage(std::string* first_line,
+                      std::map<std::string, std::string>* headers,
+                      std::string* body) {
+    while (true) {
+      const size_t head_end = buffer_.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        return FinishMessage(head_end, first_line, headers, body);
+      }
+      if (buffer_.size() > kMaxHeadBytes) return Outcome::kTooLarge;
+      const Outcome o = FillSome();
+      if (o != Outcome::kMessage) return o;
+    }
+  }
+
+  bool has_partial() const { return !buffer_.empty(); }
+
+ private:
+  /// Appends whatever recv returns; kMessage here just means "got bytes".
+  Outcome FillSome() {
+    char chunk[8192];
+    while (true) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<size_t>(n));
+        return Outcome::kMessage;
+      }
+      if (n == 0) return Outcome::kClosed;
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Outcome::kTimeout;
+      return Outcome::kError;
+    }
+  }
+
+  Outcome FinishMessage(size_t head_end, std::string* first_line,
+                        std::map<std::string, std::string>* headers,
+                        std::string* body) {
+    headers->clear();
+    if (!ParseHead(buffer_.substr(0, head_end + 2), first_line, headers)
+             .ok()) {
+      return Outcome::kError;
+    }
+    uint64_t content_length = 0;
+    const auto it = headers->find("content-length");
+    if (it != headers->end() &&
+        !ParseUint64(it->second, &content_length)) {
+      return Outcome::kError;
+    }
+    if (content_length > max_body_bytes_) return Outcome::kTooLarge;
+    const size_t body_begin = head_end + 4;
+    while (buffer_.size() - body_begin < content_length) {
+      const Outcome o = FillSome();
+      if (o != Outcome::kMessage) return o;
+    }
+    *body = buffer_.substr(body_begin, content_length);
+    buffer_.erase(0, body_begin + content_length);
+    return Outcome::kMessage;
+  }
+
+  const int fd_;
+  const size_t max_body_bytes_;
+  std::string buffer_;
+};
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpReasonPhrase(response.status) + "\r\n";
+  bool have_type = false;
+  for (const auto& [name, value] : response.headers) {
+    if (ToLower(name) == "content-type") have_type = true;
+    out += name + ": " + value + "\r\n";
+  }
+  if (!have_type && !response.body.empty()) {
+    out += "Content-Type: application/json\r\n";
+  }
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Payload Too Large";
+    case 416:
+      return "Range Not Satisfiable";
+    case 429:
+      return "Too Many Requests";
+    case 499:
+      return "Client Closed Request";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Unknown";
+  }
+}
+
+Status HttpServer::Start(const HttpServerOptions& options,
+                         HttpHandler handler) {
+  if (listen_fd_ >= 0) return Status::InvalidArgument("server already started");
+  options_ = options;
+  handler_ = std::move(handler);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int on = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status s =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    const Status s =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Unblocks accept(); in-flight connection workers notice the flag at
+  // their next recv window and drain.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.reset();  // waits for outstanding connection tasks
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket shut down (or unrecoverable)
+    }
+    SetNoDelay(fd);
+    SetRecvTimeout(fd, kServerPollMs);
+    pool_->Submit([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  MessageReader reader(fd, options_.max_body_bytes);
+  int idle_ms = 0;
+  while (true) {
+    std::string first_line;
+    std::map<std::string, std::string> headers;
+    std::string body;
+    const MessageReader::Outcome outcome =
+        reader.ReadMessage(&first_line, &headers, &body);
+    if (outcome == MessageReader::Outcome::kTimeout) {
+      idle_ms += kServerPollMs;
+      const bool give_up =
+          idle_ms >= options_.idle_timeout_ms ||
+          (stopping_.load(std::memory_order_relaxed) && !reader.has_partial());
+      if (give_up) break;
+      continue;
+    }
+    if (outcome == MessageReader::Outcome::kTooLarge) {
+      HttpResponse too_large;
+      too_large.status = 413;
+      too_large.body = "{\"error\":\"request too large\"}";
+      SendAll(fd, SerializeResponse(too_large, /*keep_alive=*/false));
+      break;
+    }
+    if (outcome != MessageReader::Outcome::kMessage) break;  // closed/error
+    idle_ms = 0;
+
+    HttpRequest request;
+    request.headers = std::move(headers);
+    request.body = std::move(body);
+    {
+      const size_t sp1 = first_line.find(' ');
+      const size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos
+                                   : first_line.find(' ', sp1 + 1);
+      if (sp2 == std::string::npos) {
+        HttpResponse bad;
+        bad.status = 400;
+        bad.body = "{\"error\":\"malformed request line\"}";
+        SendAll(fd, SerializeResponse(bad, /*keep_alive=*/false));
+        break;
+      }
+      request.method = first_line.substr(0, sp1);
+      request.target = first_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+    const std::string* connection = request.FindHeader("connection");
+    const bool keep_alive =
+        (connection == nullptr || ToLower(*connection) != "close") &&
+        !stopping_.load(std::memory_order_relaxed);
+
+    const HttpResponse response = handler_(request);
+    if (!SendAll(fd, SerializeResponse(response, keep_alive)).ok()) break;
+    if (!keep_alive) break;
+  }
+  ::close(fd);
+}
+
+Status HttpClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not a numeric IPv4 host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s =
+        Status::IOError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  SetNoDelay(fd);
+  SetRecvTimeout(fd, kClientRecvTimeoutMs);
+  fd_ = fd;
+  return Status::OK();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<HttpResponse> HttpClient::Roundtrip(const HttpRequest& request) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  std::string out = request.method + " " + request.target + " HTTP/1.1\r\n";
+  out += "Host: ndss\r\n";
+  for (const auto& [name, value] : request.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  out += "\r\n";
+  out += request.body;
+  Status sent = SendAll(fd_, out);
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+
+  MessageReader reader(fd_, /*max_body_bytes=*/256u << 20);
+  std::string status_line;
+  std::map<std::string, std::string> headers;
+  std::string body;
+  const MessageReader::Outcome outcome =
+      reader.ReadMessage(&status_line, &headers, &body);
+  if (outcome != MessageReader::Outcome::kMessage) {
+    Close();
+    return Status::IOError("reading response failed (closed or timed out)");
+  }
+  // "HTTP/1.1 <code> <reason>"
+  const size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos) {
+    Close();
+    return Status::IOError("malformed status line: " + status_line);
+  }
+  size_t sp2 = status_line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) sp2 = status_line.size();
+  uint32_t code = 0;
+  if (!ParseUint32(status_line.substr(sp1 + 1, sp2 - sp1 - 1), &code)) {
+    Close();
+    return Status::IOError("malformed status code: " + status_line);
+  }
+  HttpResponse response;
+  response.status = static_cast<int>(code);
+  response.headers = std::move(headers);
+  response.body = std::move(body);
+  const auto it = response.headers.find("connection");
+  if (it != response.headers.end() && ToLower(it->second) == "close") {
+    Close();
+  }
+  return response;
+}
+
+Result<HttpResponse> HttpClient::Get(const std::string& target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  return Roundtrip(request);
+}
+
+Result<HttpResponse> HttpClient::Post(const std::string& target,
+                                      const std::string& body) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = target;
+  request.body = body;
+  return Roundtrip(request);
+}
+
+}  // namespace net
+}  // namespace ndss

@@ -1,0 +1,143 @@
+#ifndef NDSS_NET_HTTP_H_
+#define NDSS_NET_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace ndss {
+namespace net {
+
+/// One parsed HTTP/1.1 request. Header names are lower-cased at parse
+/// time; values keep their bytes (leading/trailing whitespace stripped).
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string target;  ///< request path, e.g. "/v1/search"
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  const std::string* FindHeader(const std::string& lower_name) const {
+    auto it = headers.find(lower_name);
+    return it == headers.end() ? nullptr : &it->second;
+  }
+};
+
+/// One HTTP/1.1 response. Content-Length and Connection are emitted by the
+/// server; handlers only fill status/body (and extra headers if needed).
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+/// Maps an HTTP status code to its canonical reason phrase (a small fixed
+/// table; unknown codes get "Unknown").
+const char* HttpReasonPhrase(int status);
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back with port()).
+  uint16_t port = 0;
+
+  /// Worker threads. One accepted connection occupies one worker for its
+  /// lifetime (keep-alive requests are served back to back), so this is
+  /// also the concurrent-connection limit; further connections queue in
+  /// the accept backlog. Sized by the ndss_serve --threads flag.
+  size_t num_threads = 8;
+
+  /// A keep-alive connection idle longer than this is closed. Also bounds
+  /// how long Stop() waits for an idle connection to notice shutdown.
+  int idle_timeout_ms = 5000;
+
+  /// Requests with a larger body are rejected with 413 before reading.
+  size_t max_body_bytes = 64u << 20;
+};
+
+/// A minimal blocking HTTP/1.1 server over POSIX sockets: an accept-loop
+/// thread plus a ThreadPool of connection workers. Supports exactly what
+/// the ndss_serve protocol needs — GET/POST with Content-Length bodies and
+/// keep-alive — and nothing else (no TLS, no chunked encoding, no
+/// pipelining; requests on one connection are serialized).
+///
+/// The handler runs on a worker thread and may block (searches do);
+/// admission control and request governance live above this layer in
+/// SearchService. Thread-safety: Start/Stop from one thread; the handler
+/// must be safe for concurrent calls.
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer() { Stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:<port>, starts the accept loop and workers. Fails
+  /// with IOError if the port cannot be bound.
+  Status Start(const HttpServerOptions& options, HttpHandler handler);
+
+  /// Stops accepting, wakes idle connections, drains in-flight handlers,
+  /// and joins every thread. Idempotent.
+  void Stop();
+
+  /// The bound port (resolved when options.port == 0). 0 before Start.
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  HttpServerOptions options_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// A blocking client connection with keep-alive, for the load-test client
+/// and tests. One connection serves one request at a time; open several
+/// for concurrency.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient() { Close(); }
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to `host`:`port`. `host` must be a numeric IPv4 address or
+  /// "localhost".
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// Sends `request` and reads the response. On an IOError the connection
+  /// is closed; Connect again to retry (the server may have closed an
+  /// idle keep-alive connection under us).
+  Result<HttpResponse> Roundtrip(const HttpRequest& request);
+
+  /// Convenience: one-line GET / POST against the open connection.
+  Result<HttpResponse> Get(const std::string& target);
+  Result<HttpResponse> Post(const std::string& target,
+                            const std::string& body);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace ndss
+
+#endif  // NDSS_NET_HTTP_H_

@@ -1,0 +1,536 @@
+#include "net/serve.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/parse.h"
+
+namespace ndss {
+namespace net {
+
+namespace {
+
+/// RAII admitted-request slot.
+class InflightGuard {
+ public:
+  explicit InflightGuard(std::atomic<int64_t>* inflight)
+      : inflight_(inflight) {}
+  ~InflightGuard() { inflight_->fetch_sub(1, std::memory_order_relaxed); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  std::atomic<int64_t>* const inflight_;
+};
+
+/// Reads an optional finite number field: absent leaves `*out` untouched,
+/// present-but-not-a-number is an InvalidArgument.
+Status GetNumber(const JsonValue& object, const std::string& key,
+                 double* out) {
+  const JsonValue* field = object.Find(key);
+  if (field == nullptr) return Status::OK();
+  if (!field->is_number()) {
+    return Status::InvalidArgument("field '" + key + "' must be a number");
+  }
+  *out = field->number();
+  return Status::OK();
+}
+
+Status GetBoolField(const JsonValue& object, const std::string& key,
+                    bool* out) {
+  const JsonValue* field = object.Find(key);
+  if (field == nullptr) return Status::OK();
+  if (!field->is_bool()) {
+    return Status::InvalidArgument("field '" + key + "' must be a boolean");
+  }
+  *out = field->bool_value();
+  return Status::OK();
+}
+
+/// Validates one JSON array of token ids. Mirrors the strict CLI token
+/// parsing in ndss_query: every element must be an integral number in
+/// [0, 2^32), anything else is a loud 400.
+Status TokensFromJson(const JsonValue& array, const std::string& what,
+                      std::vector<Token>* out) {
+  if (!array.is_array()) {
+    return Status::InvalidArgument("'" + what + "' must be an array");
+  }
+  out->clear();
+  out->reserve(array.array().size());
+  for (const JsonValue& element : array.array()) {
+    const double v = element.is_number() ? element.number() : -1;
+    if (!element.is_number() || v != std::floor(v) || v < 0 ||
+        v > 4294967295.0) {
+      return Status::InvalidArgument(
+          "'" + what + "' elements must be integer token ids in [0, 2^32)");
+    }
+    out->push_back(static_cast<Token>(v));
+  }
+  return Status::OK();
+}
+
+void AppendStats(const SearchStats& stats, JsonValue* object) {
+  object->Set("stats", SearchStatsToJson(stats));
+}
+
+JsonValue SpanToJson(const MatchSpan& span) {
+  JsonValue v = JsonValue::Object();
+  v.Set("text", JsonValue::Number(static_cast<uint64_t>(span.text)));
+  v.Set("begin", JsonValue::Number(static_cast<uint64_t>(span.begin)));
+  v.Set("end", JsonValue::Number(static_cast<uint64_t>(span.end)));
+  v.Set("collisions",
+        JsonValue::Number(static_cast<uint64_t>(span.collisions)));
+  v.Set("similarity", JsonValue::Number(span.estimated_similarity));
+  return v;
+}
+
+JsonValue RectangleToJson(const TextMatchRectangle& rectangle) {
+  JsonValue v = JsonValue::Object();
+  v.Set("text", JsonValue::Number(static_cast<uint64_t>(rectangle.text)));
+  v.Set("x_begin",
+        JsonValue::Number(static_cast<uint64_t>(rectangle.rect.x_begin)));
+  v.Set("x_end",
+        JsonValue::Number(static_cast<uint64_t>(rectangle.rect.x_end)));
+  v.Set("y_begin",
+        JsonValue::Number(static_cast<uint64_t>(rectangle.rect.y_begin)));
+  v.Set("y_end",
+        JsonValue::Number(static_cast<uint64_t>(rectangle.rect.y_end)));
+  v.Set("collisions",
+        JsonValue::Number(static_cast<uint64_t>(rectangle.rect.collisions)));
+  return v;
+}
+
+HttpResponse JsonResponse(int status, const JsonValue& body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = body.Dump();
+  return response;
+}
+
+}  // namespace
+
+JsonValue SearchStatsToJson(const SearchStats& stats) {
+  JsonValue v = JsonValue::Object();
+  v.Set("io_bytes", JsonValue::Number(stats.io_bytes));
+  v.Set("short_lists",
+        JsonValue::Number(static_cast<uint64_t>(stats.short_lists)));
+  v.Set("long_lists",
+        JsonValue::Number(static_cast<uint64_t>(stats.long_lists)));
+  v.Set("empty_lists",
+        JsonValue::Number(static_cast<uint64_t>(stats.empty_lists)));
+  v.Set("cache_hits",
+        JsonValue::Number(static_cast<uint64_t>(stats.cache_hits)));
+  v.Set("windows_scanned", JsonValue::Number(stats.windows_scanned));
+  v.Set("candidate_texts", JsonValue::Number(stats.candidate_texts));
+  v.Set("degraded_funcs",
+        JsonValue::Number(static_cast<uint64_t>(stats.degraded_funcs)));
+  v.Set("degraded_shards",
+        JsonValue::Number(static_cast<uint64_t>(stats.degraded_shards)));
+  v.Set("wall_seconds", JsonValue::Number(stats.wall_seconds));
+  v.Set("peak_memory_bytes", JsonValue::Number(stats.peak_memory_bytes));
+  return v;
+}
+
+void SearchResultToJson(const SearchResult& result, JsonValue* out) {
+  JsonValue spans = JsonValue::Array();
+  for (const MatchSpan& span : result.spans) spans.Append(SpanToJson(span));
+  out->Set("spans", std::move(spans));
+  JsonValue rectangles = JsonValue::Array();
+  for (const TextMatchRectangle& rectangle : result.rectangles) {
+    rectangles.Append(RectangleToJson(rectangle));
+  }
+  out->Set("rectangles", std::move(rectangles));
+  AppendStats(result.stats, out);
+}
+
+SearchService::SearchService(ShardedSearcher* searcher, ServeOptions options)
+    : searcher_(searcher),
+      options_(std::move(options)),
+      server_budget_(options_.server_memory_bytes) {}
+
+ServeCounters SearchService::counters() const {
+  ServeCounters c;
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.searches_ok = searches_ok_.load(std::memory_order_relaxed);
+  c.rejected_admission = rejected_admission_.load(std::memory_order_relaxed);
+  c.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  c.cancelled = cancelled_.load(std::memory_order_relaxed);
+  c.resource_exhausted = resource_exhausted_.load(std::memory_order_relaxed);
+  c.invalid = invalid_.load(std::memory_order_relaxed);
+  c.failed = failed_.load(std::memory_order_relaxed);
+  return c;
+}
+
+HttpResponse SearchService::ErrorResponse(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kResourceExhausted:
+      resource_exhausted_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+      invalid_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("code", JsonValue::String(std::string(
+                       StatusCodeToString(status.code()))));
+  body.Set("error", JsonValue::String(status.message()));
+  return JsonResponse(HttpStatusForCode(status.code()), body);
+}
+
+HttpResponse SearchService::Handle(const HttpRequest& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (request.target == "/v1/search") {
+    if (request.method != "POST") {
+      invalid_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse r;
+      r.status = 405;
+      r.body = "{\"error\":\"use POST\"}";
+      return r;
+    }
+    return HandleSearch(request);
+  }
+  if (request.target == "/v1/search_batch") {
+    if (request.method != "POST") {
+      invalid_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse r;
+      r.status = 405;
+      r.body = "{\"error\":\"use POST\"}";
+      return r;
+    }
+    return HandleSearchBatch(request);
+  }
+  if (request.target == "/v1/status") return HandleStatus();
+  if (request.target == "/v1/shards") return HandleShards();
+  invalid_.fetch_add(1, std::memory_order_relaxed);
+  HttpResponse r;
+  r.status = 404;
+  r.body = "{\"error\":\"unknown route\"}";
+  return r;
+}
+
+HttpResponse SearchService::HandleSearch(const HttpRequest& request) {
+  const QueryContext::Clock::time_point arrival =
+      QueryContext::Clock::now();
+
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  if (!parsed->is_object()) {
+    return ErrorResponse(
+        Status::InvalidArgument("request body must be a JSON object"));
+  }
+
+  const JsonValue* tokens_field = parsed->Find("tokens");
+  if (tokens_field == nullptr) {
+    return ErrorResponse(Status::InvalidArgument("missing 'tokens'"));
+  }
+  std::vector<Token> tokens;
+  Status s = TokensFromJson(*tokens_field, "tokens", &tokens);
+  if (!s.ok()) return ErrorResponse(s);
+
+  double deadline_ms = static_cast<double>(options_.default_deadline_ms);
+  double memory_mb =
+      static_cast<double>(options_.default_request_memory_bytes) / (1 << 20);
+  double theta = options_.search.theta;
+  double debug_sleep_ms = 0;
+  bool no_prefix_filter = !options_.search.use_prefix_filter;
+  s = GetNumber(*parsed, "deadline_ms", &deadline_ms);
+  if (s.ok()) s = GetNumber(*parsed, "memory_mb", &memory_mb);
+  if (s.ok()) s = GetNumber(*parsed, "theta", &theta);
+  if (s.ok()) s = GetNumber(*parsed, "debug_sleep_ms", &debug_sleep_ms);
+  if (s.ok()) s = GetBoolField(*parsed, "no_prefix_filter", &no_prefix_filter);
+  if (!s.ok()) return ErrorResponse(s);
+
+  // The deadline header wins over the body field — a proxy can tighten a
+  // request without parsing it. Strictly parsed: "abc" is a 400, not an
+  // infinite deadline.
+  const std::string* header = request.FindHeader("x-ndss-deadline-ms");
+  if (header != nullptr && !ParseDouble(*header, &deadline_ms)) {
+    return ErrorResponse(Status::InvalidArgument(
+        "malformed x-ndss-deadline-ms header: '" + *header + "'"));
+  }
+  if (deadline_ms < 0 || memory_mb < 0 || debug_sleep_ms < 0) {
+    return ErrorResponse(
+        Status::InvalidArgument("negative deadline/memory/sleep"));
+  }
+
+  // Admission control: reject before any index work.
+  const int64_t admitted = inflight_.fetch_add(1, std::memory_order_relaxed);
+  InflightGuard guard(&inflight_);
+  if (options_.max_inflight > 0 &&
+      admitted >= static_cast<int64_t>(options_.max_inflight)) {
+    rejected_admission_.fetch_add(1, std::memory_order_relaxed);
+    JsonValue body = JsonValue::Object();
+    body.Set("code", JsonValue::String("ResourceExhausted"));
+    body.Set("error",
+             JsonValue::String("admission: too many in-flight requests"));
+    return JsonResponse(429, body);
+  }
+
+  if (debug_sleep_ms > 0 && options_.allow_debug_sleep) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<int64_t>(debug_sleep_ms * 1000)));
+  }
+
+  SearchOptions search_options = options_.search;
+  search_options.theta = theta;
+  search_options.use_prefix_filter = !no_prefix_filter;
+
+  MemoryBudget request_budget(
+      static_cast<uint64_t>(memory_mb * (1 << 20)), &server_budget_);
+  QueryContext ctx;
+  ctx.set_memory_budget(&request_budget);
+  if (deadline_ms > 0) {
+    ctx.set_deadline(arrival + std::chrono::microseconds(
+                                   static_cast<int64_t>(deadline_ms * 1000)));
+  }
+
+  SearchResult result;
+  s = searcher_->Search(tokens, search_options, &ctx, &result);
+  if (!s.ok()) {
+    // Governed outcomes carry the partial stats the query accumulated.
+    HttpResponse response = ErrorResponse(s);
+    Result<JsonValue> body = ParseJson(response.body);
+    if (body.ok()) {
+      AppendStats(result.stats, &*body);
+      response.body = body->Dump();
+    }
+    return response;
+  }
+  searches_ok_.fetch_add(1, std::memory_order_relaxed);
+  JsonValue body = JsonValue::Object();
+  body.Set("code", JsonValue::String("OK"));
+  SearchResultToJson(result, &body);
+  return JsonResponse(200, body);
+}
+
+HttpResponse SearchService::HandleSearchBatch(const HttpRequest& request) {
+  const QueryContext::Clock::time_point arrival =
+      QueryContext::Clock::now();
+
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  if (!parsed->is_object()) {
+    return ErrorResponse(
+        Status::InvalidArgument("request body must be a JSON object"));
+  }
+  const JsonValue* queries_field = parsed->Find("queries");
+  if (queries_field == nullptr || !queries_field->is_array()) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing 'queries' (array of token arrays)"));
+  }
+  std::vector<std::vector<Token>> queries;
+  queries.reserve(queries_field->array().size());
+  for (const JsonValue& entry : queries_field->array()) {
+    std::vector<Token> tokens;
+    Status s = TokensFromJson(entry, "queries", &tokens);
+    if (!s.ok()) return ErrorResponse(s);
+    queries.push_back(std::move(tokens));
+  }
+
+  double deadline_ms = static_cast<double>(options_.default_deadline_ms);
+  double batch_deadline_ms = 0;
+  double memory_mb =
+      static_cast<double>(options_.default_request_memory_bytes) / (1 << 20);
+  double inflight_mb = 0;
+  double theta = options_.search.theta;
+  bool no_prefix_filter = !options_.search.use_prefix_filter;
+  Status s = GetNumber(*parsed, "deadline_ms", &deadline_ms);
+  if (s.ok()) s = GetNumber(*parsed, "batch_deadline_ms", &batch_deadline_ms);
+  if (s.ok()) s = GetNumber(*parsed, "memory_mb", &memory_mb);
+  if (s.ok()) s = GetNumber(*parsed, "inflight_mb", &inflight_mb);
+  if (s.ok()) s = GetNumber(*parsed, "theta", &theta);
+  if (s.ok()) s = GetBoolField(*parsed, "no_prefix_filter", &no_prefix_filter);
+  if (!s.ok()) return ErrorResponse(s);
+  const std::string* header = request.FindHeader("x-ndss-deadline-ms");
+  if (header != nullptr && !ParseDouble(*header, &batch_deadline_ms)) {
+    return ErrorResponse(Status::InvalidArgument(
+        "malformed x-ndss-deadline-ms header: '" + *header + "'"));
+  }
+  if (deadline_ms < 0 || batch_deadline_ms < 0 || memory_mb < 0 ||
+      inflight_mb < 0) {
+    return ErrorResponse(
+        Status::InvalidArgument("negative deadline/memory limit"));
+  }
+
+  BatchLimits limits;
+  limits.query_timeout_micros = static_cast<int64_t>(deadline_ms * 1000);
+  if (batch_deadline_ms > 0) {
+    // Absolute, measured from request receipt — parse time is on the
+    // clock, exactly like ShardedSearcher's own fan-out composition.
+    limits.has_batch_deadline = true;
+    limits.batch_deadline =
+        arrival + std::chrono::microseconds(
+                      static_cast<int64_t>(batch_deadline_ms * 1000));
+  }
+  limits.max_query_bytes = static_cast<uint64_t>(memory_mb * (1 << 20));
+  limits.max_inflight_bytes =
+      static_cast<uint64_t>(inflight_mb * (1 << 20));
+  limits.inflight_parent = &server_budget_;
+  const JsonValue* shed = parsed->Find("shed_policy");
+  if (shed != nullptr) {
+    if (!shed->is_string()) {
+      return ErrorResponse(
+          Status::InvalidArgument("'shed_policy' must be a string"));
+    }
+    if (shed->string_value() == "reject-new") {
+      limits.shed_policy = ShedPolicy::kRejectNew;
+    } else if (shed->string_value() == "cancel-running") {
+      limits.shed_policy = ShedPolicy::kCancelRunning;
+    } else {
+      return ErrorResponse(Status::InvalidArgument(
+          "shed_policy must be reject-new or cancel-running"));
+    }
+  }
+
+  const int64_t admitted = inflight_.fetch_add(1, std::memory_order_relaxed);
+  InflightGuard guard(&inflight_);
+  if (options_.max_inflight > 0 &&
+      admitted >= static_cast<int64_t>(options_.max_inflight)) {
+    rejected_admission_.fetch_add(1, std::memory_order_relaxed);
+    JsonValue body = JsonValue::Object();
+    body.Set("code", JsonValue::String("ResourceExhausted"));
+    body.Set("error",
+             JsonValue::String("admission: too many in-flight requests"));
+    return JsonResponse(429, body);
+  }
+
+  SearchOptions search_options = options_.search;
+  search_options.theta = theta;
+  search_options.use_prefix_filter = !no_prefix_filter;
+
+  Result<BatchResult> batch = searcher_->SearchBatch(
+      queries, search_options, limits, options_.cache_budget_bytes,
+      options_.batch_threads);
+  if (!batch.ok()) return ErrorResponse(batch.status());
+
+  searches_ok_.fetch_add(1, std::memory_order_relaxed);
+  JsonValue body = JsonValue::Object();
+  body.Set("code", JsonValue::String("OK"));
+  JsonValue results = JsonValue::Array();
+  for (size_t i = 0; i < batch->results.size(); ++i) {
+    JsonValue entry = JsonValue::Object();
+    const Status& status = batch->statuses[i];
+    entry.Set("code", JsonValue::String(
+                          std::string(StatusCodeToString(status.code()))));
+    entry.Set("http", JsonValue::Number(
+                          static_cast<uint64_t>(HttpStatusForCode(
+                              status.code()))));
+    if (status.ok()) {
+      SearchResultToJson(batch->results[i], &entry);
+    } else {
+      entry.Set("error", JsonValue::String(status.message()));
+      AppendStats(batch->results[i].stats, &entry);
+    }
+    results.Append(std::move(entry));
+  }
+  body.Set("results", std::move(results));
+  const BatchStats& stats = batch->stats;
+  JsonValue batch_stats = JsonValue::Object();
+  batch_stats.Set("queries_ok", JsonValue::Number(stats.queries_ok));
+  batch_stats.Set("queries_degraded",
+                  JsonValue::Number(stats.queries_degraded));
+  batch_stats.Set("queries_deadline_exceeded",
+                  JsonValue::Number(stats.queries_deadline_exceeded));
+  batch_stats.Set("queries_shed", JsonValue::Number(stats.queries_shed));
+  batch_stats.Set("queries_resource_exhausted",
+                  JsonValue::Number(stats.queries_resource_exhausted));
+  batch_stats.Set("queries_failed", JsonValue::Number(stats.queries_failed));
+  batch_stats.Set("peak_query_bytes",
+                  JsonValue::Number(stats.peak_query_bytes));
+  batch_stats.Set("peak_inflight_bytes",
+                  JsonValue::Number(stats.peak_inflight_bytes));
+  body.Set("batch_stats", std::move(batch_stats));
+  return JsonResponse(200, body);
+}
+
+HttpResponse SearchService::HandleStatus() {
+  const IndexMeta meta = searcher_->meta();
+  const std::vector<ShardInfo> shards = searcher_->shards();
+  size_t serving = 0;
+  for (const ShardInfo& shard : shards) {
+    if (!shard.dropped && shard.health.state != ShardHealth::kQuarantined &&
+        shard.health.state != ShardHealth::kProbing) {
+      ++serving;
+    }
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("code", JsonValue::String("OK"));
+  body.Set("epoch", JsonValue::Number(searcher_->epoch()));
+  body.Set("k", JsonValue::Number(static_cast<uint64_t>(meta.k)));
+  body.Set("t", JsonValue::Number(static_cast<uint64_t>(meta.t)));
+  body.Set("num_texts", JsonValue::Number(meta.num_texts));
+  body.Set("total_tokens", JsonValue::Number(meta.total_tokens));
+  body.Set("num_shards", JsonValue::Number(static_cast<uint64_t>(
+                             shards.size())));
+  body.Set("serving_shards",
+           JsonValue::Number(static_cast<uint64_t>(serving)));
+  body.Set("inflight", JsonValue::Number(static_cast<uint64_t>(
+                           std::max<int64_t>(0, inflight()))));
+  body.Set("max_inflight", JsonValue::Number(static_cast<uint64_t>(
+                               options_.max_inflight)));
+  JsonValue memory = JsonValue::Object();
+  memory.Set("used_bytes", JsonValue::Number(server_budget_.used()));
+  memory.Set("peak_bytes", JsonValue::Number(server_budget_.peak()));
+  memory.Set("max_bytes", JsonValue::Number(server_budget_.max_bytes()));
+  body.Set("server_memory", std::move(memory));
+  const ServeCounters c = counters();
+  JsonValue counters_json = JsonValue::Object();
+  counters_json.Set("requests", JsonValue::Number(c.requests));
+  counters_json.Set("searches_ok", JsonValue::Number(c.searches_ok));
+  counters_json.Set("rejected_admission",
+                    JsonValue::Number(c.rejected_admission));
+  counters_json.Set("deadline_exceeded",
+                    JsonValue::Number(c.deadline_exceeded));
+  counters_json.Set("cancelled", JsonValue::Number(c.cancelled));
+  counters_json.Set("resource_exhausted",
+                    JsonValue::Number(c.resource_exhausted));
+  counters_json.Set("invalid", JsonValue::Number(c.invalid));
+  counters_json.Set("failed", JsonValue::Number(c.failed));
+  body.Set("counters", std::move(counters_json));
+  return JsonResponse(200, body);
+}
+
+HttpResponse SearchService::HandleShards() {
+  JsonValue body = JsonValue::Object();
+  body.Set("code", JsonValue::String("OK"));
+  body.Set("epoch", JsonValue::Number(searcher_->epoch()));
+  JsonValue shards_json = JsonValue::Array();
+  for (const ShardInfo& shard : searcher_->shards()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("dir", JsonValue::String(shard.dir));
+    entry.Set("text_offset", JsonValue::Number(static_cast<uint64_t>(
+                                 shard.text_offset)));
+    entry.Set("num_texts", JsonValue::Number(shard.num_texts));
+    entry.Set("dropped", JsonValue::Bool(shard.dropped));
+    entry.Set("health",
+              JsonValue::String(ShardHealthName(shard.health.state)));
+    entry.Set("drops", JsonValue::Number(shard.health.drops));
+    entry.Set("quarantines", JsonValue::Number(shard.health.quarantines));
+    entry.Set("reopens", JsonValue::Number(shard.health.reopens));
+    entry.Set("transient_failures",
+              JsonValue::Number(shard.health.transient_failures));
+    entry.Set("corruption_failures",
+              JsonValue::Number(shard.health.corruption_failures));
+    if (!shard.health.last_error.empty()) {
+      entry.Set("last_error", JsonValue::String(shard.health.last_error));
+    }
+    shards_json.Append(std::move(entry));
+  }
+  body.Set("shards", std::move(shards_json));
+  return JsonResponse(200, body);
+}
+
+}  // namespace net
+}  // namespace ndss

@@ -1,0 +1,512 @@
+// End-to-end tests of the ndss_serve stack over real sockets: HttpServer +
+// SearchService on an ephemeral port against a small sharded index.
+//
+// The load-bearing claims:
+//   - answers over HTTP are bit-identical to the direct ShardedSearcher
+//     (serialized through the same JSON path on both sides);
+//   - governance maps onto the wire: a tiny deadline is a 504 carrying the
+//     partial stats, the inflight limit is a deterministic 429, a faulty
+//     shard degrades answers (200 + degraded_shards) and its health shows
+//     in /v1/shards, then heals back to exact;
+//   - malformed requests are loud 400s, never silently-zero fields;
+//   - concurrent clients race safely with online attach/detach (the TSan
+//     suite runs this file).
+
+#include "net/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/fault_injection_env.h"
+#include "common/file_io.h"
+#include "corpusgen/synthetic.h"
+#include "index/index_builder.h"
+#include "net/http.h"
+#include "net/json.h"
+#include "query/searcher.h"
+#include "shard/shard_manifest.h"
+#include "shard/sharded_searcher.h"
+
+namespace ndss {
+namespace {
+
+using net::HttpClient;
+using net::HttpRequest;
+using net::HttpResponse;
+using net::HttpServer;
+using net::HttpServerOptions;
+using net::JsonValue;
+using net::ParseJson;
+using net::SearchService;
+using net::ServeOptions;
+
+/// Canonical serialization of an answer's content (spans + rectangles, not
+/// stats — stats carry wall-clock times). Both the server and this helper
+/// go through net::SearchResultToJson, so equality is bit-identity.
+std::string AnswerKey(const JsonValue& object) {
+  const JsonValue* spans = object.Find("spans");
+  const JsonValue* rectangles = object.Find("rectangles");
+  return (spans != nullptr ? spans->Dump() : "") + "|" +
+         (rectangles != nullptr ? rectangles->Dump() : "");
+}
+
+std::string AnswerKey(const SearchResult& result) {
+  JsonValue object = JsonValue::Object();
+  net::SearchResultToJson(result, &object);
+  return AnswerKey(object);
+}
+
+std::string SearchBody(const std::vector<Token>& query, double theta,
+                       double deadline_ms = 0, double sleep_ms = 0) {
+  JsonValue tokens = JsonValue::Array();
+  for (Token token : query) {
+    tokens.Append(JsonValue::Number(static_cast<uint64_t>(token)));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("tokens", std::move(tokens));
+  body.Set("theta", JsonValue::Number(theta));
+  if (deadline_ms > 0) {
+    body.Set("deadline_ms", JsonValue::Number(deadline_ms));
+  }
+  if (sleep_ms > 0) {
+    body.Set("debug_sleep_ms", JsonValue::Number(sleep_ms));
+  }
+  return body.Dump();
+}
+
+/// Number field of a (nested) response object, or -1.
+double NumberField(const JsonValue& object, const std::string& key) {
+  const JsonValue* field = object.Find(key);
+  return field != nullptr && field->is_number() ? field->number() : -1;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kNumTexts = 160;
+  static constexpr uint32_t kShardTexts = 40;  // 3 serving + 1 spare shard
+
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_serve_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(CreateDirectories(dir_).ok());
+
+    SyntheticCorpusOptions corpus_options;
+    corpus_options.num_texts = kNumTexts;
+    corpus_options.vocab_size = 400;
+    corpus_options.plant_rate = 0.35;
+    corpus_options.seed = 91;
+    sc_ = GenerateSyntheticCorpus(corpus_options);
+
+    build_.k = 5;
+    build_.t = 20;
+    for (uint32_t s = 0; s < 4; ++s) {
+      Corpus shard;
+      for (uint32_t i = s * kShardTexts; i < (s + 1) * kShardTexts; ++i) {
+        shard.AddText(sc_.corpus.text(i));
+      }
+      ASSERT_TRUE(BuildIndexInMemory(shard, ShardDir(s), build_).ok());
+    }
+    ShardManifest manifest;
+    manifest.shard_dirs = {ShardDir(0), ShardDir(1), ShardDir(2)};
+    ASSERT_TRUE(manifest.Save(SetDir()).ok());
+  }
+
+  void TearDown() override {
+    server_.reset();
+    service_.reset();
+    searcher_.reset();
+    SetDefaultEnv(nullptr);
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string ShardDir(uint32_t s) const {
+    return dir_ + "/s" + std::to_string(s);
+  }
+  std::string SetDir() const { return dir_ + "/set"; }
+
+  /// Opens the sharded searcher and starts the server over it.
+  void StartServer(ServeOptions serve_options,
+                   ShardedSearcherOptions searcher_options = {}) {
+    searcher_options.enable_self_healing = true;
+    auto searcher = ShardedSearcher::Open(SetDir(), searcher_options);
+    ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+    searcher_ =
+        std::make_unique<ShardedSearcher>(std::move(*searcher));
+    serve_options.search.theta = kTheta;
+    service_ = std::make_unique<SearchService>(searcher_.get(),
+                                               serve_options);
+    server_ = std::make_unique<HttpServer>();
+    HttpServerOptions server_options;
+    server_options.num_threads = 4;
+    ASSERT_TRUE(server_
+                    ->Start(server_options,
+                            [this](const HttpRequest& request) {
+                              return service_->Handle(request);
+                            })
+                    .ok());
+  }
+
+  /// One-shot POST on a fresh connection.
+  HttpResponse Post(const std::string& target, const std::string& body) {
+    HttpClient client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    auto response = client.Post(target, body);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? *response : HttpResponse{};
+  }
+
+  HttpResponse Get(const std::string& target) {
+    HttpClient client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    auto response = client.Get(target);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? *response : HttpResponse{};
+  }
+
+  std::vector<std::vector<Token>> MakeQueries(size_t count) const {
+    Rng rng(5);
+    std::vector<std::vector<Token>> queries;
+    for (size_t q = 0; q < count; ++q) {
+      const TextId source = static_cast<TextId>(
+          rng.Uniform(3 * kShardTexts));  // texts of the serving shards
+      const auto text = sc_.corpus.text(source);
+      const uint32_t length =
+          std::min<uint32_t>(35, static_cast<uint32_t>(text.size()));
+      queries.push_back(PerturbSequence(text, 0, length, 0.1, 400, rng));
+    }
+    return queries;
+  }
+
+  static constexpr double kTheta = 0.6;
+
+  std::string dir_;
+  SyntheticCorpus sc_;
+  IndexBuildOptions build_;
+  std::unique_ptr<ShardedSearcher> searcher_;
+  std::unique_ptr<SearchService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(ServeTest, SearchMatchesDirectSearcherBitForBit) {
+  StartServer(ServeOptions{});
+  SearchOptions options;
+  options.theta = kTheta;
+  for (const auto& query : MakeQueries(12)) {
+    auto direct = searcher_->Search(query, options);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+    HttpResponse response = Post("/v1/search", SearchBody(query, kTheta));
+    ASSERT_EQ(response.status, 200) << response.body;
+    auto parsed = ParseJson(response.body);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->Find("code")->string_value(), "OK");
+    EXPECT_EQ(AnswerKey(*parsed), AnswerKey(*direct));
+  }
+}
+
+TEST_F(ServeTest, SearchBatchMatchesDirectSearcher) {
+  StartServer(ServeOptions{});
+  const auto queries = MakeQueries(8);
+  SearchOptions options;
+  options.theta = kTheta;
+
+  JsonValue queries_json = JsonValue::Array();
+  for (const auto& query : queries) {
+    JsonValue tokens = JsonValue::Array();
+    for (Token token : query) {
+      tokens.Append(JsonValue::Number(static_cast<uint64_t>(token)));
+    }
+    queries_json.Append(std::move(tokens));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("queries", std::move(queries_json));
+  body.Set("theta", JsonValue::Number(kTheta));
+
+  HttpResponse response = Post("/v1/search_batch", body.Dump());
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* results = parsed->Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array().size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto direct = searcher_->Search(queries[i], options);
+    ASSERT_TRUE(direct.ok());
+    const JsonValue& entry = results->array()[i];
+    EXPECT_EQ(entry.Find("code")->string_value(), "OK") << "query " << i;
+    EXPECT_EQ(AnswerKey(entry), AnswerKey(*direct)) << "query " << i;
+  }
+  const JsonValue* batch_stats = parsed->Find("batch_stats");
+  ASSERT_NE(batch_stats, nullptr);
+  EXPECT_EQ(NumberField(*batch_stats, "queries_ok"),
+            static_cast<double>(queries.size()));
+}
+
+TEST_F(ServeTest, AdmissionControlShedsWith429) {
+  ServeOptions options;
+  options.max_inflight = 1;
+  options.allow_debug_sleep = true;
+  StartServer(options);
+  const auto queries = MakeQueries(1);
+
+  // Occupy the only slot with a sleeping request...
+  std::thread sleeper([&] {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    auto response = client.Post(
+        "/v1/search", SearchBody(queries[0], kTheta, 0, /*sleep_ms=*/2000));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 200);
+  });
+  // ...wait until the server counts it in-flight (admin ops are exempt
+  // from admission, so /v1/status works at the limit)...
+  bool occupied = false;
+  for (int i = 0; i < 400 && !occupied; ++i) {
+    auto parsed = ParseJson(Get("/v1/status").body);
+    ASSERT_TRUE(parsed.ok());
+    occupied = NumberField(*parsed, "inflight") >= 1;
+    if (!occupied) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(occupied);
+
+  // ...then every further search must be rejected, deterministically.
+  HttpResponse response = Post("/v1/search", SearchBody(queries[0], kTheta));
+  EXPECT_EQ(response.status, 429) << response.body;
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("code")->string_value(), "ResourceExhausted");
+  EXPECT_NE(parsed->Find("error")->string_value().find("admission"),
+            std::string::npos);
+  sleeper.join();
+
+  auto status = ParseJson(Get("/v1/status").body);
+  ASSERT_TRUE(status.ok());
+  const JsonValue* counters = status->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(NumberField(*counters, "rejected_admission"), 1);
+}
+
+TEST_F(ServeTest, TinyDeadlineIs504WithPartialStats) {
+  StartServer(ServeOptions{});
+  const auto queries = MakeQueries(1);
+  HttpResponse response = Post(
+      "/v1/search", SearchBody(queries[0], kTheta, /*deadline_ms=*/1e-3));
+  ASSERT_EQ(response.status, 504) << response.body;
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("code")->string_value(), "DeadlineExceeded");
+  // The partial-stats contract carries over the wire.
+  const JsonValue* stats = parsed->Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(NumberField(*stats, "wall_seconds"), 0);
+
+  // The header wins over the body field.
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/search";
+  request.headers["x-ndss-deadline-ms"] = "0.001";
+  request.body = SearchBody(queries[0], kTheta);  // no deadline in body
+  auto via_header = client.Roundtrip(request);
+  ASSERT_TRUE(via_header.ok());
+  EXPECT_EQ(via_header->status, 504);
+}
+
+TEST_F(ServeTest, MalformedRequestsAreLoud400s) {
+  StartServer(ServeOptions{});
+  const auto queries = MakeQueries(1);
+
+  EXPECT_EQ(Post("/v1/search", "{not json").status, 400);
+  EXPECT_EQ(Post("/v1/search", "[1,2,3]").status, 400);
+  EXPECT_EQ(Post("/v1/search", "{}").status, 400);  // missing tokens
+  EXPECT_EQ(Post("/v1/search", R"({"tokens":[1,"abc",3]})").status, 400);
+  EXPECT_EQ(Post("/v1/search", R"({"tokens":[1.5]})").status, 400);
+  EXPECT_EQ(Post("/v1/search", R"({"tokens":[4294967296]})").status, 400);
+  EXPECT_EQ(Post("/v1/search", R"({"tokens":[-1]})").status, 400);
+  EXPECT_EQ(
+      Post("/v1/search", R"({"tokens":[1],"deadline_ms":"soon"})").status,
+      400);
+  EXPECT_EQ(Post("/v1/search", R"({"tokens":[1],"deadline_ms":-5})").status,
+            400);
+  EXPECT_EQ(Post("/v1/search_batch", R"({"queries":[[1],"x"]})").status,
+            400);
+  EXPECT_EQ(
+      Post("/v1/search_batch",
+           R"({"queries":[[1]],"shed_policy":"sometimes"})")
+          .status,
+      400);
+
+  // A malformed deadline header must be a 400, never an infinite deadline
+  // (the wire-level twin of the --deadline-ms=abc CLI bug).
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/search";
+  request.headers["x-ndss-deadline-ms"] = "abc";
+  request.body = SearchBody(queries[0], kTheta);
+  auto response = client.Roundtrip(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 400);
+
+  EXPECT_EQ(Get("/v1/nope").status, 404);
+  EXPECT_EQ(Get("/v1/search").status, 405);
+
+  auto status = ParseJson(Get("/v1/status").body);
+  ASSERT_TRUE(status.ok());
+  const JsonValue* counters = status->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(NumberField(*counters, "invalid"), 13);
+  EXPECT_EQ(NumberField(*counters, "searches_ok"), 0);
+}
+
+TEST_F(ServeTest, StatusAndShardsReportTopology) {
+  StartServer(ServeOptions{});
+  auto status = ParseJson(Get("/v1/status").body);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(NumberField(*status, "num_shards"), 3);
+  EXPECT_EQ(NumberField(*status, "serving_shards"), 3);
+  EXPECT_EQ(NumberField(*status, "num_texts"), 3.0 * kShardTexts);
+  EXPECT_EQ(NumberField(*status, "inflight"), 0);
+
+  auto shards = ParseJson(Get("/v1/shards").body);
+  ASSERT_TRUE(shards.ok());
+  const JsonValue* list = shards->Find("shards");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->array().size(), 3u);
+  for (size_t s = 0; s < 3; ++s) {
+    const JsonValue& entry = list->array()[s];
+    EXPECT_EQ(entry.Find("health")->string_value(), "healthy");
+    EXPECT_EQ(NumberField(entry, "text_offset"),
+              static_cast<double>(s * kShardTexts));
+    EXPECT_EQ(NumberField(entry, "num_texts"), kShardTexts);
+  }
+}
+
+TEST_F(ServeTest, FaultyShardDegradesAnswersAndHealsBack) {
+  // The searcher must open through the fault env so every pread of shard 1
+  // can be failed; the server then keeps answering with the survivors.
+  auto fault = std::make_unique<FaultInjectionEnv>(Env::Posix());
+  SetDefaultEnv(fault.get());
+
+  ShardedSearcherOptions searcher_options;
+  searcher_options.health.consecutive_failures_to_quarantine = 2;
+  searcher_options.health.initial_probe_delay_micros = 1000;
+  searcher_options.health.max_probe_delay_micros = 100'000;
+  searcher_options.health.monitor_poll_micros = 1000;
+  StartServer(ServeOptions{}, searcher_options);
+  const auto queries = MakeQueries(6);
+
+  fault->SetFaultPathFilter(ShardDir(1));
+  fault->SetFailProbability(1.0);
+
+  // Degraded serving: still 200, with the exclusion reported honestly.
+  bool degraded = false;
+  for (int i = 0; i < 50 && !degraded; ++i) {
+    HttpResponse response =
+        Post("/v1/search", SearchBody(queries[i % queries.size()], kTheta));
+    ASSERT_EQ(response.status, 200) << response.body;
+    auto parsed = ParseJson(response.body);
+    ASSERT_TRUE(parsed.ok());
+    degraded = NumberField(*parsed->Find("stats"), "degraded_shards") >= 1;
+  }
+  EXPECT_TRUE(degraded);
+
+  // The shard's state shows in the admin plane.
+  bool unhealthy = false;
+  for (int i = 0; i < 200 && !unhealthy; ++i) {
+    auto shards = ParseJson(Get("/v1/shards").body);
+    ASSERT_TRUE(shards.ok());
+    const JsonValue& entry = shards->Find("shards")->array()[1];
+    unhealthy = entry.Find("health")->string_value() != "healthy";
+    if (!unhealthy) {
+      (void)Post("/v1/search",
+                 SearchBody(queries[i % queries.size()], kTheta));
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(unhealthy);
+
+  // Fault clears -> the health monitor reopens the shard and answers are
+  // exact again.
+  fault->Heal();
+  bool recovered = false;
+  for (int i = 0; i < 1000 && !recovered; ++i) {
+    HttpResponse response =
+        Post("/v1/search", SearchBody(queries[i % queries.size()], kTheta));
+    if (response.status == 200) {
+      auto parsed = ParseJson(response.body);
+      ASSERT_TRUE(parsed.ok());
+      recovered =
+          NumberField(*parsed->Find("stats"), "degraded_shards") == 0;
+    }
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(recovered);
+
+  // Server down before the env goes away.
+  server_.reset();
+  service_.reset();
+  searcher_.reset();
+  SetDefaultEnv(nullptr);
+}
+
+TEST_F(ServeTest, ConcurrentClientsRaceAttachDetachSafely) {
+  StartServer(ServeOptions{});
+  const auto queries = MakeQueries(4);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> responses{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) return;
+      size_t i = static_cast<size_t>(c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto response = client.Post(
+            "/v1/search", SearchBody(queries[i++ % queries.size()], kTheta));
+        if (!response.ok()) break;
+        // Topology changes under us, so answers legitimately differ run
+        // to run — but every response must be a well-formed 200.
+        EXPECT_EQ(response->status, 200);
+        auto parsed = ParseJson(response->body);
+        EXPECT_TRUE(parsed.ok());
+        responses.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Attach/detach the spare shard while clients hammer the server; also
+  // poll the admin plane, which reads the same topology.
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    ASSERT_TRUE(searcher_->AttachShard(ShardDir(3)).ok());
+    auto shards = ParseJson(Get("/v1/shards").body);
+    ASSERT_TRUE(shards.ok());
+    EXPECT_EQ(shards->Find("shards")->array().size(), 4u);
+    ASSERT_TRUE(searcher_->DetachShard(ShardDir(3)).ok());
+  }
+  // Let the clients observe the final topology a little longer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  for (auto& client : clients) client.join();
+  EXPECT_GT(responses.load(), 0u);
+
+  auto status = ParseJson(Get("/v1/status").body);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(NumberField(*status, "num_shards"), 3);
+  EXPECT_EQ(NumberField(*status, "epoch"), 8);  // 4 attach/detach cycles
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,166 @@
+// Tests for the strict tools/tool_flags.h parser and the shared
+// common/parse.h primitives behind it.
+//
+// These pin the bugfix this layer exists for: `--deadline-ms=abc` used to
+// strtoll to 0 — an *infinite* deadline instead of an error — and
+// `--theta=0.8x` silently truncated to 0.8. Every malformed value must now
+// Die() (exit 1 with a message naming the flag), which the death tests
+// assert literally.
+
+#include "../tools/tool_flags.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/parse.h"
+#include "gtest/gtest.h"
+
+namespace ndss {
+namespace {
+
+/// Builds a Flags over a tool-style argv (argv[0] is the program name).
+tools::Flags MakeFlags(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;  // keeps c_str()s alive
+  storage = std::move(args);
+  storage.insert(storage.begin(), "tool");
+  argv.reserve(storage.size());
+  for (std::string& arg : storage) argv.push_back(arg.data());
+  return tools::Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ParseTest, Int64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, std::numeric_limits<int64_t>::max());
+
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("1x", &v));     // trailing garbage
+  EXPECT_FALSE(ParseInt64(" 1", &v));     // leading space
+  EXPECT_FALSE(ParseInt64("1 ", &v));     // trailing space
+  EXPECT_FALSE(ParseInt64("0.5", &v));
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &v));  // overflow
+}
+
+TEST(ParseTest, Uint64AndUint32) {
+  uint64_t u = 0;
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &u));
+  EXPECT_EQ(u, std::numeric_limits<uint64_t>::max());
+  // strtoull silently wraps "-1" to UINT64_MAX; we must not.
+  EXPECT_FALSE(ParseUint64("-1", &u));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &u));
+
+  uint32_t w = 0;
+  EXPECT_TRUE(ParseUint32("4294967295", &w));
+  EXPECT_EQ(w, std::numeric_limits<uint32_t>::max());
+  EXPECT_FALSE(ParseUint32("4294967296", &w));
+  EXPECT_FALSE(ParseUint32("12,13", &w));
+}
+
+TEST(ParseTest, Double) {
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("0.8", &d));
+  EXPECT_DOUBLE_EQ(d, 0.8);
+  EXPECT_TRUE(ParseDouble("-1e3", &d));
+  EXPECT_DOUBLE_EQ(d, -1000);
+
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble("0.8x", &d));  // the --theta=0.8x bug
+  EXPECT_FALSE(ParseDouble("nan", &d));   // finite values only
+  EXPECT_FALSE(ParseDouble("inf", &d));
+  EXPECT_FALSE(ParseDouble("1e999", &d));
+}
+
+TEST(ParseTest, Bool) {
+  bool b = false;
+  EXPECT_TRUE(ParseBool("true", &b));
+  EXPECT_TRUE(b);
+  EXPECT_TRUE(ParseBool("1", &b));
+  EXPECT_TRUE(b);
+  EXPECT_TRUE(ParseBool("false", &b));
+  EXPECT_FALSE(b);
+  EXPECT_TRUE(ParseBool("0", &b));
+  EXPECT_FALSE(b);
+
+  // "TRUE", "yes", etc. used to read as silently-false booleans.
+  EXPECT_FALSE(ParseBool("TRUE", &b));
+  EXPECT_FALSE(ParseBool("yes", &b));
+  EXPECT_FALSE(ParseBool("on", &b));
+  EXPECT_FALSE(ParseBool("", &b));
+}
+
+TEST(FlagsTest, WellFormedValues) {
+  // Note the space form is greedy: a bare flag followed by a positional
+  // would swallow it, so positionals come first and `--quiet` sits last.
+  tools::Flags flags = MakeFlags({"input.crp", "--deadline-ms=250",
+                                  "--theta=0.85", "--compress=true",
+                                  "--threads", "4", "--quiet"});
+  EXPECT_EQ(flags.GetInt("deadline-ms", 0), 250);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("theta", 0), 0.85);
+  EXPECT_TRUE(flags.GetBool("compress", false));
+  EXPECT_TRUE(flags.GetBool("quiet", false));  // bare flag: boolean true
+  EXPECT_EQ(flags.GetInt("threads", 0), 4);    // space form
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.crp");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  tools::Flags flags = MakeFlags({});
+  EXPECT_EQ(flags.GetInt("deadline-ms", 77), 77);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("theta", 0.5), 0.5);
+  EXPECT_TRUE(flags.GetBool("compress", true));
+  EXPECT_EQ(flags.GetString("out", "fallback"), "fallback");
+  EXPECT_FALSE(flags.Has("out"));
+}
+
+using FlagsDeathTest = ::testing::Test;
+
+TEST(FlagsDeathTest, MalformedIntDies) {
+  // The original bug: this parsed as deadline 0 == no deadline at all.
+  tools::Flags flags = MakeFlags({"--deadline-ms=abc"});
+  EXPECT_EXIT(flags.GetInt("deadline-ms", 0),
+              ::testing::ExitedWithCode(1), "deadline-ms.*malformed integer");
+  tools::Flags trailing = MakeFlags({"--threads=4x"});
+  EXPECT_EXIT(trailing.GetInt("threads", 0), ::testing::ExitedWithCode(1),
+              "malformed integer '4x'");
+  tools::Flags overflow = MakeFlags({"--n=99999999999999999999"});
+  EXPECT_EXIT(overflow.GetInt("n", 0), ::testing::ExitedWithCode(1),
+              "malformed integer");
+}
+
+TEST(FlagsDeathTest, MalformedDoubleDies) {
+  tools::Flags flags = MakeFlags({"--theta=0.8x"});
+  EXPECT_EXIT(flags.GetDouble("theta", 0), ::testing::ExitedWithCode(1),
+              "theta.*malformed number '0.8x'");
+}
+
+TEST(FlagsDeathTest, UnrecognizedBoolLiteralDies) {
+  // "TRUE"/"yes" used to silently read as false.
+  tools::Flags upper = MakeFlags({"--compress=TRUE"});
+  EXPECT_EXIT(upper.GetBool("compress", false),
+              ::testing::ExitedWithCode(1), "expected true/false/1/0");
+  tools::Flags yes = MakeFlags({"--compress=yes"});
+  EXPECT_EXIT(yes.GetBool("compress", false), ::testing::ExitedWithCode(1),
+              "expected true/false/1/0, got 'yes'");
+}
+
+TEST(FlagsDeathTest, BareFlagReadAsNumberDies) {
+  // `--a --b`: a records the literal "true"; reading it as a number must
+  // die loudly instead of parsing to 0.
+  tools::Flags flags = MakeFlags({"--deadline-ms", "--quiet"});
+  EXPECT_TRUE(flags.GetBool("deadline-ms", false));
+  EXPECT_EXIT(flags.GetInt("deadline-ms", 0), ::testing::ExitedWithCode(1),
+              "malformed integer 'true'");
+  EXPECT_EXIT(flags.GetDouble("deadline-ms", 0),
+              ::testing::ExitedWithCode(1), "malformed number 'true'");
+}
+
+}  // namespace
+}  // namespace ndss

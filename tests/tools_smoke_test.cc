@@ -1,0 +1,168 @@
+// Smoke test over the real ndss_* tool binaries (paths injected by CMake
+// via NDSS_TOOLS_BIN_DIR): the corpusgen -> build -> shard -> query
+// pipeline end to end, the serve + load_test pair over a live socket, and
+// the regression suite for the silent CLI-parsing bugs — every malformed
+// flag value must exit 1 (usage error), never run with a silently-zero
+// value.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ndss {
+namespace {
+
+#ifndef NDSS_TOOLS_BIN_DIR
+#error "NDSS_TOOLS_BIN_DIR must be defined by the build"
+#endif
+
+std::string Tool(const std::string& name) {
+  return std::string(NDSS_TOOLS_BIN_DIR) + "/" + name;
+}
+
+/// Runs `command` through the shell with stdout/stderr captured to a log
+/// (printed on unexpected exit codes by the assertions below); returns the
+/// tool's exit code, or -1 if it died on a signal.
+int RunCommand(const std::string& command, const std::string& log) {
+  const int raw = std::system((command + " >" + log + " 2>&1").c_str());
+  if (raw == -1 || !WIFEXITED(raw)) return -1;
+  return WEXITSTATUS(raw);
+}
+
+std::string ReadLog(const std::string& log) {
+  std::ifstream in(log);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+class ToolsSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_tools_smoke";
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(std::filesystem::create_directories(dir_));
+    log_ = dir_ + "/log";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Asserts `command` exits with `expected`, printing the tool log if not.
+  void ExpectExit(int expected, const std::string& command) {
+    const int code = RunCommand(command, log_);
+    EXPECT_EQ(code, expected) << command << "\n" << ReadLog(log_);
+  }
+
+  std::string dir_;
+  std::string log_;
+};
+
+TEST_F(ToolsSmokeTest, PipelineAndServeEndToEnd) {
+  const std::string c1 = dir_ + "/c1.crp";
+  const std::string c2 = dir_ + "/c2.crp";
+  ExpectExit(0, Tool("ndss_corpusgen") + " --out=" + c1 +
+                    " --texts=40 --min-len=50 --max-len=120 --vocab=300"
+                    " --seed=1");
+  ExpectExit(0, Tool("ndss_corpusgen") + " --out=" + c2 +
+                    " --texts=40 --min-len=50 --max-len=120 --vocab=300"
+                    " --seed=2");
+  ExpectExit(0, Tool("ndss_build") + " --corpus=" + c1 + " --index=" + dir_ +
+                    "/s1 --k=4 --t=6");
+  ExpectExit(0, Tool("ndss_build") + " --corpus=" + c2 + " --index=" + dir_ +
+                    "/s2 --k=4 --t=6");
+  ExpectExit(0, Tool("ndss_shard") + " create --set=" + dir_ + "/set " +
+                    dir_ + "/s1 " + dir_ + "/s2");
+  ExpectExit(0, Tool("ndss_query") + " --index=" + dir_ +
+                    "/s1 --tokens=1,2,3,4,5,6,7,8");
+  ExpectExit(0, Tool("ndss_query") + " --index=" + dir_ + "/s1 --corpus=" +
+                    c1 + " --random=3 --len=24");
+
+  // Serve the set on an ephemeral port and drive it with the load-test
+  // client, equivalence gate on: answers over HTTP must be bit-identical
+  // to the direct ShardedSearcher.
+  const std::string port_file = dir_ + "/port";
+  const std::string pid_file = dir_ + "/pid";
+  ASSERT_EQ(std::system((Tool("ndss_serve") + " --set=" + dir_ +
+                         "/set --port-file=" + port_file +
+                         " --serve-seconds=60 --quiet >" + dir_ +
+                         "/serve.log 2>&1 & echo $! > " + pid_file)
+                            .c_str()),
+            0);
+  std::string port;
+  for (int i = 0; i < 200 && port.empty(); ++i) {
+    std::ifstream in(port_file);
+    std::getline(in, port);
+    if (port.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  ASSERT_FALSE(port.empty()) << ReadLog(dir_ + "/serve.log");
+
+  ExpectExit(0, Tool("ndss_load_test") + " --port=" + port + " --corpus=" +
+                    c1 + " --verify-set=" + dir_ +
+                    "/set --requests=20 --concurrency=2 --queries=6"
+                    " --len=24 --json");
+
+  std::string pid = ReadLog(pid_file);
+  if (!pid.empty() && pid.back() == '\n') pid.pop_back();
+  (void)std::system(("kill " + pid + " 2>/dev/null").c_str());
+}
+
+TEST_F(ToolsSmokeTest, MalformedTokenListExitsWithUsageError) {
+  const std::string corpus = dir_ + "/c.crp";
+  ASSERT_EQ(RunCommand(Tool("ndss_corpusgen") + " --out=" + corpus +
+                    " --texts=20 --min-len=40 --max-len=80 --vocab=200",
+                log_),
+            0);
+  ASSERT_EQ(RunCommand(Tool("ndss_build") + " --corpus=" + corpus + " --index=" +
+                    dir_ + "/idx --k=4 --t=6",
+                log_),
+            0);
+  // "12,abc,34" used to strtoul the bad entry to 0 and silently query
+  // token 0; it must be a loud usage error now.
+  ExpectExit(1, Tool("ndss_query") + " --index=" + dir_ +
+                    "/idx --tokens=12,abc,34");
+  EXPECT_NE(ReadLog(log_).find("malformed token"), std::string::npos);
+  ExpectExit(1,
+             Tool("ndss_query") + " --index=" + dir_ + "/idx --tokens=1,,2");
+  ExpectExit(1,
+             Tool("ndss_query") + " --index=" + dir_ + "/idx --tokens=-1");
+}
+
+TEST_F(ToolsSmokeTest, MalformedFlagValuesExitWithUsageError) {
+  const std::string corpus = dir_ + "/c.crp";
+  ASSERT_EQ(RunCommand(Tool("ndss_corpusgen") + " --out=" + corpus +
+                    " --texts=20 --min-len=40 --max-len=80 --vocab=200",
+                log_),
+            0);
+  ASSERT_EQ(RunCommand(Tool("ndss_build") + " --corpus=" + corpus + " --index=" +
+                    dir_ + "/idx --k=4 --t=6",
+                log_),
+            0);
+  // None of these may run a search: a bad value must die in flag parsing,
+  // not query with deadline 0 (infinite) / theta 0.8-truncated.
+  ExpectExit(1, Tool("ndss_query") + " --index=" + dir_ +
+                    "/idx --tokens=1,2 --deadline-ms=abc");
+  EXPECT_NE(ReadLog(log_).find("malformed number"), std::string::npos);
+  ExpectExit(1, Tool("ndss_query") + " --index=" + dir_ +
+                    "/idx --tokens=1,2 --theta=0.8x");
+  EXPECT_NE(ReadLog(log_).find("malformed number"), std::string::npos);
+  ExpectExit(1, Tool("ndss_corpusgen") + " --out=" + dir_ +
+                    "/x.crp --texts=10x");
+  ExpectExit(1, Tool("ndss_build") + " --corpus=" + dir_ + "/x --index=" +
+                    dir_ + "/y --compress=YES");
+  EXPECT_NE(ReadLog(log_).find("expected true/false/1/0"),
+            std::string::npos);
+  ExpectExit(1, Tool("ndss_serve") + " --set=" + dir_ +
+                    "/nonexistent --max-inflight=many");
+  ExpectExit(1, Tool("ndss_load_test") + " --port=1");  // no server: exit 1
+}
+
+}  // namespace
+}  // namespace ndss

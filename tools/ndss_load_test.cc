@@ -1,0 +1,397 @@
+// ndss_load_test: drives open- or closed-loop HTTP traffic against a live
+// ndss_serve and reports latency percentiles, shed rate, and the error
+// breakdown:
+//
+//   ndss_load_test --port=8080 [--host=127.0.0.1]
+//                  [--corpus=FILE] [--queries=64] [--len=64] [--noise=0.05]
+//                  [--vocab=32000] [--seed=1] [--theta=0.8]
+//                  [--mode=closed|open] [--concurrency=4] [--qps=100]
+//                  [--duration-s=5 | --requests=N]
+//                  [--deadline-ms=0] [--deadline-fraction=1]
+//                  [--verify-set=DIR] [--json] [--out=FILE]
+//
+// Closed loop: each of --concurrency workers keeps exactly one request in
+// flight (throughput-limited by the server). Open loop: the i-th request is
+// scheduled at start + i/qps regardless of completions, and latency is
+// measured from the scheduled send time, so queueing delay under overload
+// is charged to the server (the coordinated-omission-free convention).
+//
+// Queries are perturbed spans of --corpus texts (near-duplicate queries
+// with real matches) or uniform random tokens when no corpus is given.
+// --deadline-fraction sends --deadline-ms on that fraction of requests,
+// mixing governed and ungoverned traffic; 429/504/499 responses count as
+// shed/deadline/cancelled, not errors.
+//
+// --verify-set opens the same shard set directly and precomputes every
+// pooled query's exact answer; each 200 response (when not degraded) must
+// serialize bit-identically through the same JSON path, or the run exits
+// nonzero. This is the equivalence gate: the network front-end must not
+// change answers.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "corpusgen/synthetic.h"
+#include "net/http.h"
+#include "net/json.h"
+#include "net/serve.h"
+#include "shard/sharded_searcher.h"
+#include "text/corpus_file.h"
+#include "tool_flags.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Sample {
+  double latency_ms = 0;
+  int status = 0;        ///< HTTP status; 0 = transport error
+  bool verified = false;
+  bool mismatch = false;
+};
+
+struct WorkerLog {
+  std::vector<Sample> samples;
+  uint64_t reconnects = 0;
+};
+
+double Percentile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(index, sorted_ms.size() - 1)];
+}
+
+/// The canonical serialization of an answer's content (spans + rectangles,
+/// not stats — stats carry wall-clock times that legitimately differ).
+/// Both sides of the equivalence gate go through net::SearchResultToJson,
+/// so equality here is bit-identity of the answer.
+std::string AnswerKey(const ndss::net::JsonValue& response_object) {
+  const ndss::net::JsonValue* spans = response_object.Find("spans");
+  const ndss::net::JsonValue* rectangles = response_object.Find("rectangles");
+  std::string key = spans != nullptr ? spans->Dump() : "";
+  key += "|";
+  key += rectangles != nullptr ? rectangles->Dump() : "";
+  return key;
+}
+
+std::string AnswerKey(const ndss::SearchResult& result) {
+  ndss::net::JsonValue object = ndss::net::JsonValue::Object();
+  ndss::net::SearchResultToJson(result, &object);
+  return AnswerKey(object);
+}
+
+uint64_t DegradedShards(const ndss::net::JsonValue& response_object) {
+  const ndss::net::JsonValue* stats = response_object.Find("stats");
+  if (stats == nullptr) return 0;
+  const ndss::net::JsonValue* degraded = stats->Find("degraded_shards");
+  return degraded != nullptr && degraded->is_number()
+             ? static_cast<uint64_t>(degraded->number())
+             : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ndss::tools::Flags flags(argc, argv);
+  const int64_t port = flags.GetInt("port", 0);
+  if (port <= 0 || port > 65535) {
+    ndss::tools::Die(
+        "usage: ndss_load_test --port=PORT [--host=127.0.0.1] "
+        "[--corpus=FILE] [--queries=64] [--len=64] [--noise=0.05] "
+        "[--vocab=32000] [--seed=1] [--theta=0.8] [--mode=closed|open] "
+        "[--concurrency=4] [--qps=100] [--duration-s=5 | --requests=N] "
+        "[--deadline-ms=0] [--deadline-fraction=1] [--verify-set=DIR] "
+        "[--json] [--out=FILE]");
+  }
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const std::string mode = flags.GetString("mode", "closed");
+  if (mode != "closed" && mode != "open") {
+    ndss::tools::Die("--mode must be closed or open");
+  }
+  const size_t concurrency = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("concurrency", 4)));
+  const double qps = flags.GetDouble("qps", 100);
+  if (mode == "open" && qps <= 0) ndss::tools::Die("--qps must be > 0");
+  const double duration_s = flags.GetDouble("duration-s", 5);
+  const int64_t max_requests = flags.GetInt("requests", 0);
+  const double deadline_ms = flags.GetDouble("deadline-ms", 0);
+  const double deadline_fraction = flags.GetDouble("deadline-fraction", 1);
+  const double theta = flags.GetDouble("theta", 0.8);
+  const uint32_t num_queries = static_cast<uint32_t>(
+      std::max<int64_t>(1, flags.GetInt("queries", 64)));
+  const uint32_t query_len =
+      static_cast<uint32_t>(std::max<int64_t>(1, flags.GetInt("len", 64)));
+  const double noise = flags.GetDouble("noise", 0.05);
+  const uint32_t vocab =
+      static_cast<uint32_t>(std::max<int64_t>(2, flags.GetInt("vocab",
+                                                              32000)));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const bool json_output = flags.GetBool("json", false);
+
+  // Build the query pool: perturbed corpus spans when a corpus is given
+  // (queries with real near-duplicate matches), uniform random otherwise.
+  ndss::Rng rng(seed);
+  std::vector<std::vector<ndss::Token>> queries;
+  const std::string corpus_path = flags.GetString("corpus", "");
+  if (!corpus_path.empty()) {
+    auto reader = ndss::CorpusFileReader::Open(corpus_path);
+    if (!reader.ok()) ndss::tools::Die(reader.status().ToString());
+    auto corpus = reader->ReadAll();
+    if (!corpus.ok()) ndss::tools::Die(corpus.status().ToString());
+    for (uint32_t i = 0; i < num_queries; ++i) {
+      const size_t text_index = rng.Uniform(corpus->num_texts());
+      const std::span<const ndss::Token> text = corpus->text(text_index);
+      const uint32_t len = std::min<uint32_t>(
+          query_len, static_cast<uint32_t>(text.size()));
+      const uint32_t begin = static_cast<uint32_t>(
+          rng.Uniform(text.size() - len + 1));
+      queries.push_back(
+          ndss::PerturbSequence(text, begin, len, noise, vocab, rng));
+    }
+  } else {
+    for (uint32_t i = 0; i < num_queries; ++i) {
+      std::vector<ndss::Token> query(query_len);
+      for (ndss::Token& token : query) {
+        token = static_cast<ndss::Token>(rng.Uniform(vocab));
+      }
+      queries.push_back(std::move(query));
+    }
+  }
+
+  // Pre-serialize each query's request body, with and without a deadline.
+  std::vector<std::string> bodies_plain;
+  std::vector<std::string> bodies_deadline;
+  for (const std::vector<ndss::Token>& query : queries) {
+    ndss::net::JsonValue tokens = ndss::net::JsonValue::Array();
+    for (ndss::Token token : query) {
+      tokens.Append(ndss::net::JsonValue::Number(
+          static_cast<uint64_t>(token)));
+    }
+    ndss::net::JsonValue body = ndss::net::JsonValue::Object();
+    body.Set("tokens", std::move(tokens));
+    body.Set("theta", ndss::net::JsonValue::Number(theta));
+    bodies_plain.push_back(body.Dump());
+    body.Set("deadline_ms", ndss::net::JsonValue::Number(deadline_ms));
+    bodies_deadline.push_back(body.Dump());
+  }
+
+  // The equivalence gate: precompute every pooled query's exact answer
+  // through the library directly, serialized via the same JSON path.
+  std::vector<std::string> expected_keys;
+  const std::string verify_set = flags.GetString("verify-set", "");
+  if (!verify_set.empty()) {
+    ndss::ShardedSearcherOptions searcher_options;
+    auto searcher = ndss::ShardedSearcher::Open(verify_set, searcher_options);
+    if (!searcher.ok()) ndss::tools::Die(searcher.status().ToString());
+    ndss::SearchOptions search_options;
+    search_options.theta = theta;
+    for (const std::vector<ndss::Token>& query : queries) {
+      auto result = searcher->Search(query, search_options);
+      if (!result.ok()) ndss::tools::Die(result.status().ToString());
+      expected_keys.push_back(AnswerKey(*result));
+    }
+  }
+
+  std::atomic<int64_t> next_request{0};
+  std::atomic<bool> stop{false};
+  std::vector<WorkerLog> logs(concurrency);
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point end_time =
+      start + std::chrono::microseconds(
+                  static_cast<int64_t>(duration_s * 1e6));
+
+  auto worker = [&](size_t worker_index) {
+    WorkerLog& log = logs[worker_index];
+    ndss::net::HttpClient client;
+    if (!client.Connect(host, static_cast<uint16_t>(port)).ok()) {
+      stop.store(true);
+      return;
+    }
+    // Deterministic per-request deadline mix, shared by all workers: the
+    // request's global index decides, not worker scheduling.
+    ndss::Rng mix_rng(seed ^ 0x10adbeef);
+
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int64_t i = next_request.fetch_add(1, std::memory_order_relaxed);
+      if (max_requests > 0 && i >= max_requests) break;
+
+      Clock::time_point issue = Clock::now();
+      if (mode == "open") {
+        // The i-th request is due at start + i/qps; latency is measured
+        // from that scheduled time even if we send late (queueing under
+        // overload is the server's problem, not hidden by the client).
+        const Clock::time_point scheduled =
+            start + std::chrono::microseconds(
+                        static_cast<int64_t>(static_cast<double>(i) * 1e6 /
+                                             qps));
+        std::this_thread::sleep_until(scheduled);
+        issue = scheduled;
+      }
+      if (max_requests <= 0 && Clock::now() >= end_time) break;
+
+      const size_t query_index = static_cast<size_t>(i) % queries.size();
+      const bool governed =
+          deadline_ms > 0 &&
+          (deadline_fraction >= 1 ||
+           ndss::SplitMix64(seed ^ static_cast<uint64_t>(i)) %
+                   1000000 <
+               static_cast<uint64_t>(deadline_fraction * 1000000));
+      const std::string& body = governed ? bodies_deadline[query_index]
+                                         : bodies_plain[query_index];
+
+      auto response = client.Post("/v1/search", body);
+      Sample sample;
+      sample.latency_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - issue)
+              .count();
+      if (!response.ok()) {
+        sample.status = 0;
+        ++log.reconnects;
+        client.Close();
+        if (!client.Connect(host, static_cast<uint16_t>(port)).ok()) {
+          log.samples.push_back(sample);
+          break;
+        }
+      } else {
+        sample.status = response->status;
+        if (response->status == 200 && !expected_keys.empty()) {
+          auto parsed = ndss::net::ParseJson(response->body);
+          if (parsed.ok() && DegradedShards(*parsed) == 0) {
+            sample.verified = true;
+            sample.mismatch =
+                AnswerKey(*parsed) != expected_keys[query_index];
+          }
+        }
+      }
+      log.samples.push_back(sample);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(concurrency);
+  for (size_t i = 0; i < concurrency; ++i) threads.emplace_back(worker, i);
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Merge.
+  std::vector<double> latencies_ms;
+  std::map<int, uint64_t> by_status;
+  uint64_t total = 0, ok = 0, shed = 0, deadline = 0, cancelled = 0;
+  uint64_t transport = 0, verified = 0, mismatches = 0, reconnects = 0;
+  for (const WorkerLog& log : logs) {
+    reconnects += log.reconnects;
+    for (const Sample& sample : log.samples) {
+      ++total;
+      ++by_status[sample.status];
+      if (sample.status != 0) latencies_ms.push_back(sample.latency_ms);
+      if (sample.status == 200) ++ok;
+      if (sample.status == 429) ++shed;
+      if (sample.status == 504) ++deadline;
+      if (sample.status == 499) ++cancelled;
+      if (sample.status == 0) ++transport;
+      if (sample.verified) ++verified;
+      if (sample.mismatch) ++mismatches;
+    }
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50 = Percentile(latencies_ms, 0.50);
+  const double p95 = Percentile(latencies_ms, 0.95);
+  const double p99 = Percentile(latencies_ms, 0.99);
+  const double achieved_qps =
+      elapsed_s > 0 ? static_cast<double>(total) / elapsed_s : 0;
+  const double shed_rate =
+      total > 0 ? static_cast<double>(shed) / static_cast<double>(total) : 0;
+
+  ndss::net::JsonValue report = ndss::net::JsonValue::Object();
+  report.Set("mode", ndss::net::JsonValue::String(mode));
+  report.Set("concurrency", ndss::net::JsonValue::Number(
+                                static_cast<uint64_t>(concurrency)));
+  if (mode == "open") {
+    report.Set("target_qps", ndss::net::JsonValue::Number(qps));
+  }
+  report.Set("requests", ndss::net::JsonValue::Number(total));
+  report.Set("elapsed_s", ndss::net::JsonValue::Number(elapsed_s));
+  report.Set("achieved_qps", ndss::net::JsonValue::Number(achieved_qps));
+  report.Set("p50_ms", ndss::net::JsonValue::Number(p50));
+  report.Set("p95_ms", ndss::net::JsonValue::Number(p95));
+  report.Set("p99_ms", ndss::net::JsonValue::Number(p99));
+  report.Set("ok", ndss::net::JsonValue::Number(ok));
+  report.Set("shed", ndss::net::JsonValue::Number(shed));
+  report.Set("shed_rate", ndss::net::JsonValue::Number(shed_rate));
+  report.Set("deadline_exceeded", ndss::net::JsonValue::Number(deadline));
+  report.Set("cancelled", ndss::net::JsonValue::Number(cancelled));
+  report.Set("transport_errors", ndss::net::JsonValue::Number(transport));
+  report.Set("reconnects", ndss::net::JsonValue::Number(reconnects));
+  ndss::net::JsonValue statuses = ndss::net::JsonValue::Object();
+  for (const auto& [status, count] : by_status) {
+    statuses.Set(std::to_string(status), ndss::net::JsonValue::Number(count));
+  }
+  report.Set("by_status", std::move(statuses));
+  if (!expected_keys.empty()) {
+    ndss::net::JsonValue verify = ndss::net::JsonValue::Object();
+    verify.Set("compared", ndss::net::JsonValue::Number(verified));
+    verify.Set("mismatches", ndss::net::JsonValue::Number(mismatches));
+    report.Set("verify", std::move(verify));
+  }
+
+  if (json_output) {
+    std::printf("%s\n", report.Dump().c_str());
+  } else {
+    std::printf("ndss_load_test: %s loop, %zu workers%s\n", mode.c_str(),
+                concurrency,
+                mode == "open"
+                    ? (", target " + std::to_string(qps) + " qps").c_str()
+                    : "");
+    std::printf("  requests      %llu in %.2fs (%.1f qps achieved)\n",
+                static_cast<unsigned long long>(total), elapsed_s,
+                achieved_qps);
+    std::printf("  latency ms    p50 %.3f  p95 %.3f  p99 %.3f\n", p50, p95,
+                p99);
+    std::printf("  outcomes      ok %llu  shed %llu (%.1f%%)  deadline %llu"
+                "  cancelled %llu  transport %llu\n",
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(shed), 100 * shed_rate,
+                static_cast<unsigned long long>(deadline),
+                static_cast<unsigned long long>(cancelled),
+                static_cast<unsigned long long>(transport));
+    for (const auto& [status, count] : by_status) {
+      std::printf("  status %-6d %llu\n", status,
+                  static_cast<unsigned long long>(count));
+    }
+    if (!expected_keys.empty()) {
+      std::printf("  verify        %llu compared, %llu mismatches\n",
+                  static_cast<unsigned long long>(verified),
+                  static_cast<unsigned long long>(mismatches));
+    }
+  }
+  const std::string out_path = flags.GetString("out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << report.Dump() << "\n";
+    if (!out.good()) ndss::tools::Die("cannot write " + out_path);
+  }
+
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "ndss_load_test: FAIL: %llu responses differed from the "
+                 "direct ShardedSearcher answer\n",
+                 static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  if (total == 0 || transport == total) {
+    std::fprintf(stderr, "ndss_load_test: no responses received\n");
+    return 1;
+  }
+  return 0;
+}

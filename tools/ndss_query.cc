@@ -41,8 +41,13 @@ std::vector<ndss::Token> ParseTokens(const std::string& list) {
   std::stringstream stream(list);
   std::string item;
   while (std::getline(stream, item, ',')) {
-    tokens.push_back(
-        static_cast<ndss::Token>(std::strtoul(item.c_str(), nullptr, 10)));
+    uint32_t value = 0;
+    if (!ndss::ParseUint32(item, &value)) {
+      // A malformed entry used to strtoul to 0 and silently query token 0.
+      ndss::tools::Die("--tokens: malformed token '" + item +
+                       "' (expected a comma-separated uint32 list)");
+    }
+    tokens.push_back(static_cast<ndss::Token>(value));
   }
   return tokens;
 }

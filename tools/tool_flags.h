@@ -8,12 +8,28 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
+
 namespace ndss {
 namespace tools {
 
+/// Prints `message` to stderr and exits with status 1.
+[[noreturn]] inline void Die(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(1);
+}
+
 /// Minimal command-line flag parser for the ndss_* tools. Flags are
 /// `--name=value` or `--name value`; everything else is a positional
-/// argument.
+/// argument. A bare `--name` (no value, next argument is another flag or
+/// missing) records the boolean literal "true".
+///
+/// The typed getters validate strictly (common/parse.h) and Die() on a
+/// malformed value: `--deadline-ms=abc` used to strtoll to 0 — an
+/// *infinite* deadline instead of an error — and `--theta=0.8x` silently
+/// truncated. A bare `--name` followed by another flag reads as boolean
+/// true, so asking for it as an int/double also dies loudly instead of
+/// parsing "true" as 0.
 class Flags {
  public:
   Flags(int argc, char** argv) {
@@ -43,20 +59,33 @@ class Flags {
 
   int64_t GetInt(const std::string& name, int64_t default_value) const {
     auto it = values_.find(name);
-    return it == values_.end() ? default_value
-                               : std::strtoll(it->second.c_str(), nullptr, 10);
+    if (it == values_.end()) return default_value;
+    int64_t value = 0;
+    if (!ParseInt64(it->second, &value)) {
+      Die("--" + name + ": malformed integer '" + it->second + "'");
+    }
+    return value;
   }
 
   double GetDouble(const std::string& name, double default_value) const {
     auto it = values_.find(name);
-    return it == values_.end() ? default_value
-                               : std::strtod(it->second.c_str(), nullptr);
+    if (it == values_.end()) return default_value;
+    double value = 0;
+    if (!ParseDouble(it->second, &value)) {
+      Die("--" + name + ": malformed number '" + it->second + "'");
+    }
+    return value;
   }
 
   bool GetBool(const std::string& name, bool default_value) const {
     auto it = values_.find(name);
     if (it == values_.end()) return default_value;
-    return it->second == "true" || it->second == "1";
+    bool value = false;
+    if (!ParseBool(it->second, &value)) {
+      Die("--" + name + ": expected true/false/1/0, got '" + it->second +
+          "'");
+    }
+    return value;
   }
 
   bool Has(const std::string& name) const { return values_.count(name) != 0; }
@@ -67,12 +96,6 @@ class Flags {
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
-
-/// Prints `message` to stderr and exits with status 1.
-[[noreturn]] inline void Die(const std::string& message) {
-  std::fprintf(stderr, "error: %s\n", message.c_str());
-  std::exit(1);
-}
 
 }  // namespace tools
 }  // namespace ndss
