@@ -169,6 +169,24 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    std::error_code ec;
+    std::filesystem::resize_file(path, size, ec);
+    if (ec) {
+      return Status::IOError("truncate '" + path + "': " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDirectory(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (ec) {
+      return Status::IOError("rmdir '" + path + "': " + ec.message());
+    }
+    return Status::OK();
+  }
+
   Status RenameFile(const std::string& from, const std::string& to) override {
     std::error_code ec;
     std::filesystem::rename(from, to, ec);

@@ -81,6 +81,14 @@ class Env {
   virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
   virtual Status RemoveFile(const std::string& path) = 0;
 
+  /// Truncates (or extends with zeros) `path` to exactly `size` bytes. Used
+  /// by WAL recovery to cut a torn tail back to the last valid frame. Must
+  /// not be called while a writer holds the file open.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Removes the *empty* directory `path`; OK if it does not exist.
+  virtual Status RemoveDirectory(const std::string& path) = 0;
+
   /// Atomically renames `from` to `to`, replacing `to` if it exists. This is
   /// the commit primitive of the crash-safe build protocol.
   virtual Status RenameFile(const std::string& from, const std::string& to) = 0;

@@ -51,6 +51,17 @@ class FaultWritableFile : public WritableFile {
 
   Status Sync() override {
     NDSS_RETURN_NOT_OK(env_->CountOp("sync " + path_));
+    {
+      std::lock_guard<std::mutex> lock(env_->mu_);
+      if (env_->fail_fsync_) {
+        // fsyncgate model: the fsync fails and the dirty pages it covered may
+        // already be gone, so synced_size is deliberately NOT advanced — a
+        // later DropUnsyncedData() discards everything since the last good
+        // sync, which is what the caller must assume happened.
+        ++env_->faults_injected_;
+        return Status::IOError("injected fsync failure on " + path_);
+      }
+    }
     NDSS_RETURN_NOT_OK(base_->Sync());
     std::lock_guard<std::mutex> lock(env_->mu_);
     auto& state = env_->StateLocked(path_);
@@ -161,6 +172,11 @@ void FaultInjectionEnv::SetShortReads(bool on) {
   short_reads_ = on;
 }
 
+void FaultInjectionEnv::SetFailFsync(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_fsync_ = on;
+}
+
 void FaultInjectionEnv::Heal() {
   std::lock_guard<std::mutex> lock(mu_);
   fail_at_op_ = -1;
@@ -172,6 +188,7 @@ void FaultInjectionEnv::Heal() {
   fail_probability_ = 0.0;
   fault_path_filter_.clear();
   fault_budget_ = -1;
+  fail_fsync_ = false;
 }
 
 void FaultInjectionEnv::ResetOpCount() {
@@ -294,6 +311,26 @@ Status FaultInjectionEnv::RemoveFile(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
   files_.erase(path);
   return Status::OK();
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  NDSS_RETURN_NOT_OK(CountOp("truncate " + path));
+  NDSS_RETURN_NOT_OK(base_->TruncateFile(path, size));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    // A truncate is a metadata operation: model it as immediately durable
+    // (like rename), so the crash model never resurrects the cut bytes.
+    it->second.written_size = std::min(it->second.written_size, size);
+    it->second.synced_size = std::min(it->second.synced_size, size);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveDirectory(const std::string& path) {
+  NDSS_RETURN_NOT_OK(CountOp("rmdir " + path));
+  return base_->RemoveDirectory(path);
 }
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,

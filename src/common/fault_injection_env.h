@@ -90,6 +90,15 @@ class FaultInjectionEnv : public Env {
   /// pread would). The caller's short-read detection turns it into IOError.
   void SetShortReads(bool on);
 
+  /// When set, every Sync() fails with IOError *without* marking the file's
+  /// bytes durable — the fsyncgate model, where a failed fsync may already
+  /// have dropped the dirty pages, so a later "successful" fsync proves
+  /// nothing. Callers must treat the error as possible data loss (fail the
+  /// write path loudly, never retry the fsync on the same fd); a subsequent
+  /// DropUnsyncedData() discards exactly what a correct caller must assume
+  /// is gone.
+  void SetFailFsync(bool on);
+
   /// Disarms all faults and clears the crashed state. Data already dropped
   /// stays dropped.
   void Heal();
@@ -117,6 +126,8 @@ class FaultInjectionEnv : public Env {
   bool FileExists(const std::string& path) override;
   Result<uint64_t> GetFileSize(const std::string& path) override;
   Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status RemoveDirectory(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status CreateDirectories(const std::string& path) override;
   Result<std::vector<std::string>> ListDirectory(
@@ -150,6 +161,7 @@ class FaultInjectionEnv : public Env {
   bool corrupt_next_append_ = false;
   bool short_appends_ = false;
   bool short_reads_ = false;
+  bool fail_fsync_ = false;
   double fail_probability_ = 0.0;
   Rng fault_rng_{0x57081};
   std::string fault_path_filter_;

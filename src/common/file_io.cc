@@ -222,6 +222,21 @@ Status RemoveFile(const std::string& path) {
   return GetDefaultEnv()->RemoveFile(path);
 }
 
+Status TruncateFile(const std::string& path, uint64_t size) {
+  return GetDefaultEnv()->TruncateFile(path, size);
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  Env* env = GetDefaultEnv();
+  if (!env->FileExists(path)) return Status::OK();
+  NDSS_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        env->ListDirectory(path));
+  for (const std::string& name : names) {
+    NDSS_RETURN_NOT_OK(env->RemoveFile(path + "/" + name));
+  }
+  return env->RemoveDirectory(path);
+}
+
 Status RenameFile(const std::string& from, const std::string& to) {
   return GetDefaultEnv()->RenameFile(from, to);
 }

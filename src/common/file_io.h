@@ -157,6 +157,14 @@ Result<uint64_t> FileSize(const std::string& path);
 /// Deletes `path` if it exists; OK if it does not.
 Status RemoveFile(const std::string& path);
 
+/// Truncates `path` to exactly `size` bytes (see Env::TruncateFile).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Removes the directory `path` and everything inside it, through the
+/// default Env (one level of nesting only — NDSS shard directories are
+/// flat). OK if `path` does not exist.
+Status RemoveDirRecursive(const std::string& path);
+
 /// Atomically renames `from` to `to`, replacing `to` if it exists.
 Status RenameFile(const std::string& from, const std::string& to);
 

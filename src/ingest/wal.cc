@@ -1,0 +1,145 @@
+#include "ingest/wal.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/file_io.h"
+
+namespace ndss {
+
+namespace {
+// frame header: payload_len u32 + seqno u64.
+constexpr size_t kHeaderBytes = 12;
+constexpr size_t kCrcBytes = 4;
+}  // namespace
+
+void EncodeWalFrame(uint64_t seqno, std::span<const Token> tokens,
+                    std::string* out) {
+  const size_t start = out->size();
+  PutFixed32(out, static_cast<uint32_t>(tokens.size() * 4));
+  PutFixed64(out, seqno);
+  for (const Token token : tokens) PutFixed32(out, token);
+  const uint32_t crc =
+      crc32c::Value(out->data() + start, out->size() - start);
+  PutFixed32(out, crc32c::Mask(crc));
+}
+
+Result<WalScan> ScanWal(const std::string& path, Env* env) {
+  if (env == nullptr) env = GetDefaultEnv();
+  WalScan scan;
+  if (!env->FileExists(path)) return scan;
+
+  NDSS_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                        env->NewRandomAccessFile(path, 1 << 20));
+  const uint64_t file_bytes = file->size();
+  scan.file_bytes = file_bytes;
+  std::string data(file_bytes, '\0');
+  uint64_t read = 0;
+  while (read < file_bytes) {
+    NDSS_ASSIGN_OR_RETURN(
+        const size_t n, file->Read(data.data() + read, file_bytes - read));
+    if (n == 0) {
+      return Status::IOError("wal '" + path + "' shrank while scanning");
+    }
+    read += n;
+  }
+
+  // Scan frames until EOF or the first frame that cannot be valid. Whatever
+  // stops the scan — torn header, torn payload, checksum mismatch, a
+  // length field that cannot be a real frame, a seqno that goes backwards —
+  // marks the torn tail; the frames before it are the durable prefix.
+  auto stop = [&](const std::string& reason) {
+    scan.torn_bytes = scan.file_bytes - scan.valid_bytes;
+    scan.torn_reason = reason;
+    return scan;
+  };
+  uint64_t pos = 0;
+  uint64_t prev_seqno = 0;
+  while (pos < file_bytes) {
+    if (pos + kHeaderBytes + kCrcBytes > file_bytes) {
+      return stop("torn frame header");
+    }
+    const uint32_t payload_len = DecodeFixed32(data.data() + pos);
+    if (payload_len % 4 != 0) return stop("frame length not a token multiple");
+    const uint64_t frame_bytes = kHeaderBytes + payload_len + kCrcBytes;
+    if (pos + frame_bytes > file_bytes) return stop("torn frame payload");
+    const uint32_t stored_crc =
+        DecodeFixed32(data.data() + pos + kHeaderBytes + payload_len);
+    if (crc32c::Value(data.data() + pos, kHeaderBytes + payload_len) !=
+        crc32c::Unmask(stored_crc)) {
+      return stop("frame checksum mismatch");
+    }
+    const uint64_t seqno = DecodeFixed64(data.data() + pos + 4);
+    if (!scan.frames.empty() && seqno <= prev_seqno) {
+      return stop("frame seqno not increasing");
+    }
+    WalFrame frame;
+    frame.seqno = seqno;
+    frame.tokens.resize(payload_len / 4);
+    for (size_t i = 0; i < frame.tokens.size(); ++i) {
+      frame.tokens[i] =
+          DecodeFixed32(data.data() + pos + kHeaderBytes + 4 * i);
+    }
+    if (scan.frames.empty()) scan.min_seqno = seqno;
+    scan.max_seqno = seqno;
+    prev_seqno = seqno;
+    scan.frames.push_back(std::move(frame));
+    pos += frame_bytes;
+    scan.valid_bytes = pos;
+  }
+  return scan;
+}
+
+Result<WalScan> RecoverWal(const std::string& path, Env* env) {
+  if (env == nullptr) env = GetDefaultEnv();
+  NDSS_ASSIGN_OR_RETURN(WalScan scan, ScanWal(path, env));
+  if (scan.torn_bytes > 0) {
+    NDSS_RETURN_NOT_OK(env->TruncateFile(path, scan.valid_bytes));
+  }
+  return scan;
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path, Env* env) {
+  if (env == nullptr) env = GetDefaultEnv();
+  NDSS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        env->NewWritableFile(path, /*append=*/true));
+  return WalWriter(std::move(file), path);
+}
+
+Status WalWriter::Poison(Status status) {
+  if (poison_.ok()) poison_ = status;
+  return status;
+}
+
+Status WalWriter::Append(uint64_t seqno, std::span<const Token> tokens) {
+  if (!poison_.ok()) return poison_;
+  std::string frame;
+  frame.reserve(WalFrameBytes(tokens.size()));
+  EncodeWalFrame(seqno, tokens, &frame);
+  const Status appended = file_->Append(frame.data(), frame.size());
+  if (!appended.ok()) {
+    // The file may now hold a torn frame; only a reopen (which re-runs
+    // recovery) can re-establish the frame boundary.
+    return Poison(appended);
+  }
+  bytes_appended_ += frame.size();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (!poison_.ok()) return poison_;
+  const Status synced = file_->Sync();
+  // Never retried: after a failed fsync the kernel may have dropped the
+  // dirty pages, so a second fsync reporting OK would not mean the data is
+  // durable (the fsyncgate failure mode).
+  if (!synced.ok()) return Poison(synced);
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const Status closed = file_->Close();
+  file_ = nullptr;
+  return poison_.ok() ? closed : poison_;
+}
+
+}  // namespace ndss

@@ -1,0 +1,124 @@
+#ifndef NDSS_INGEST_WAL_H_
+#define NDSS_INGEST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "text/types.h"
+
+namespace ndss {
+
+/// Write-ahead log for streaming ingestion: a flat file of CRC32C-framed
+/// document records, one per appended document.
+///
+/// Frame format (little-endian fixed-width fields):
+///   payload_len u32    bytes of token payload; must be a multiple of 4
+///   seqno u64          strictly increasing within a log
+///   payload            payload_len/4 tokens, u32 each
+///   crc u32            masked CRC32C over payload_len|seqno|payload
+///
+/// Durability contract: Append() only buffers; a document is acknowledged
+/// (and must survive a crash) only after a Sync() covering it returns OK.
+/// Recovery scans frames from the start and stops at the first frame that
+/// is torn, checksum-broken, or non-monotone in seqno — everything before
+/// it is the valid prefix, everything after is a torn tail to truncate.
+/// Because appends are sequential and syncs ordered, a crash can only tear
+/// the tail, so "valid prefix" and "acknowledged prefix" coincide.
+
+/// One recovered WAL frame.
+struct WalFrame {
+  uint64_t seqno = 0;
+  std::vector<Token> tokens;
+};
+
+/// What a WAL scan found. `frames` is the valid prefix; if the file held
+/// more bytes than the prefix, `torn_bytes > 0` and `torn_reason` says why
+/// scanning stopped (a clean EOF at a frame boundary leaves both empty).
+struct WalScan {
+  std::vector<WalFrame> frames;
+  uint64_t valid_bytes = 0;  ///< the valid prefix ends here
+  uint64_t file_bytes = 0;   ///< total file size at scan time
+  uint64_t torn_bytes = 0;   ///< file_bytes - valid_bytes
+  std::string torn_reason;   ///< why the scan stopped before EOF
+  uint64_t min_seqno = 0;    ///< of the valid prefix (0 when empty)
+  uint64_t max_seqno = 0;    ///< of the valid prefix (0 when empty)
+};
+
+/// Scans the WAL at `path`. A missing file is an empty log, not an error;
+/// only IO failures are errors — any malformed frame just ends the valid
+/// prefix. `env` defaults to GetDefaultEnv().
+Result<WalScan> ScanWal(const std::string& path, Env* env = nullptr);
+
+/// Scans and repairs: truncates a torn tail back to the last valid frame so
+/// a writer can append cleanly. No-op when the log is clean or missing.
+Result<WalScan> RecoverWal(const std::string& path, Env* env = nullptr);
+
+/// Appender over a (recovered) WAL file. Not thread-safe — the Ingester
+/// serializes all writer calls under its pipeline lock.
+///
+/// fsync semantics (the fsyncgate rule): a failed Sync() means the kernel
+/// may already have dropped the dirty pages, so retrying the fsync — by
+/// hand or via RunWithRetry — can "succeed" while the data is gone. The
+/// writer therefore poisons itself on the first Append/Flush/Sync failure:
+/// every later call returns the original error, and the only way forward is
+/// to reopen the log, which re-runs recovery against what actually reached
+/// the disk.
+class WalWriter {
+ public:
+  /// Opens `path` for appending (creating it if absent). The caller must
+  /// have run RecoverWal first if the file may hold a torn tail.
+  static Result<WalWriter> Open(const std::string& path, Env* env = nullptr);
+
+  WalWriter(WalWriter&&) noexcept = default;
+  WalWriter& operator=(WalWriter&&) noexcept = default;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter() = default;
+
+  /// Appends one frame to the OS buffer. Not durable until Sync().
+  Status Append(uint64_t seqno, std::span<const Token> tokens);
+
+  /// Makes every appended frame durable. On failure the writer is poisoned
+  /// (see class comment) and the caller must treat the unsynced suffix as
+  /// lost.
+  Status Sync();
+
+  Status Close();
+
+  /// Set after the first failed operation; all calls fail fast with this.
+  const Status& poison() const { return poison_; }
+  bool poisoned() const { return !poison_.ok(); }
+
+  /// Bytes appended through this writer (durable only up to the last Sync).
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, std::string path)
+      : file_(std::move(file)), path_(std::move(path)) {}
+
+  Status Poison(Status status);
+
+  std::unique_ptr<WritableFile> file_;
+  std::string path_;
+  Status poison_ = Status::OK();
+  uint64_t bytes_appended_ = 0;
+};
+
+/// Serializes one frame (exposed for fsck and tests).
+void EncodeWalFrame(uint64_t seqno, std::span<const Token> tokens,
+                    std::string* out);
+
+/// Size in bytes of a frame holding `num_tokens` tokens.
+constexpr uint64_t WalFrameBytes(uint64_t num_tokens) {
+  return 4 + 8 + 4 * num_tokens + 4;
+}
+
+}  // namespace ndss
+
+#endif  // NDSS_INGEST_WAL_H_

@@ -160,6 +160,8 @@ ServeCounters SearchService::counters() const {
   c.resource_exhausted = resource_exhausted_.load(std::memory_order_relaxed);
   c.invalid = invalid_.load(std::memory_order_relaxed);
   c.failed = failed_.load(std::memory_order_relaxed);
+  c.ingests_ok = ingests_ok_.load(std::memory_order_relaxed);
+  c.docs_ingested = docs_ingested_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -211,8 +213,19 @@ HttpResponse SearchService::Handle(const HttpRequest& request) {
     }
     return HandleSearchBatch(request);
   }
+  if (request.target == "/v1/ingest") {
+    if (request.method != "POST") {
+      invalid_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse r;
+      r.status = 405;
+      r.body = "{\"error\":\"use POST\"}";
+      return r;
+    }
+    return HandleIngest(request);
+  }
   if (request.target == "/v1/status") return HandleStatus();
   if (request.target == "/v1/shards") return HandleShards();
+  if (request.target == "/v1/healthz") return HandleHealthz();
   invalid_.fetch_add(1, std::memory_order_relaxed);
   HttpResponse r;
   r.status = 404;
@@ -455,6 +468,99 @@ HttpResponse SearchService::HandleSearchBatch(const HttpRequest& request) {
   return JsonResponse(200, body);
 }
 
+HttpResponse SearchService::HandleIngest(const HttpRequest& request) {
+  Ingester* ingester = ingester_.load(std::memory_order_acquire);
+  if (ingester == nullptr) {
+    return ErrorResponse(
+        Status::InvalidArgument("ingestion is not enabled on this server"));
+  }
+
+  Result<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  if (!parsed->is_object()) {
+    return ErrorResponse(
+        Status::InvalidArgument("request body must be a JSON object"));
+  }
+  const JsonValue* documents_field = parsed->Find("documents");
+  if (documents_field == nullptr || !documents_field->is_array()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "missing 'documents' (array of token arrays)"));
+  }
+  std::vector<std::vector<Token>> documents;
+  documents.reserve(documents_field->array().size());
+  for (const JsonValue& entry : documents_field->array()) {
+    std::vector<Token> tokens;
+    Status s = TokensFromJson(entry, "documents", &tokens);
+    if (!s.ok()) return ErrorResponse(s);
+    if (tokens.empty()) {
+      return ErrorResponse(
+          Status::InvalidArgument("'documents' entries must be non-empty"));
+    }
+    documents.push_back(std::move(tokens));
+  }
+  if (documents.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("'documents' must not be empty"));
+  }
+
+  // Writes compete for the same admission slots as searches: a server
+  // drowning in queries sheds ingestion too, instead of wedging on the
+  // pipeline lock.
+  const int64_t admitted = inflight_.fetch_add(1, std::memory_order_relaxed);
+  InflightGuard guard(&inflight_);
+  if (options_.max_inflight > 0 &&
+      admitted >= static_cast<int64_t>(options_.max_inflight)) {
+    rejected_admission_.fetch_add(1, std::memory_order_relaxed);
+    JsonValue body = JsonValue::Object();
+    body.Set("code", JsonValue::String("ResourceExhausted"));
+    body.Set("error",
+             JsonValue::String("admission: too many in-flight requests"));
+    return JsonResponse(429, body);
+  }
+
+  uint64_t last_seqno = 0;
+  Status appended = ingester->AppendBatch(documents, &last_seqno);
+  if (!appended.ok()) return ErrorResponse(appended);
+
+  ingests_ok_.fetch_add(1, std::memory_order_relaxed);
+  docs_ingested_.fetch_add(documents.size(), std::memory_order_relaxed);
+  const IngestStats stats = ingester->stats();
+  JsonValue body = JsonValue::Object();
+  body.Set("code", JsonValue::String("OK"));
+  body.Set("docs", JsonValue::Number(static_cast<uint64_t>(documents.size())));
+  body.Set("last_seqno", JsonValue::Number(last_seqno));
+  body.Set("applied_seqno", JsonValue::Number(stats.applied_seqno));
+  body.Set("delta_docs", JsonValue::Number(stats.delta_docs));
+  body.Set("spills", JsonValue::Number(stats.spills));
+  return JsonResponse(200, body);
+}
+
+HttpResponse SearchService::HandleHealthz() {
+  // Liveness is implicit (we answered); readiness demands a fully healthy
+  // serving path: replay finished, every shard serving, write path sound.
+  const bool replaying = wal_replaying_.load(std::memory_order_acquire);
+  size_t unhealthy = 0;
+  for (const ShardInfo& shard : searcher_->shards()) {
+    if (shard.dropped || shard.health.state == ShardHealth::kQuarantined ||
+        shard.health.state == ShardHealth::kProbing) {
+      ++unhealthy;
+    }
+  }
+  Ingester* ingester = ingester_.load(std::memory_order_acquire);
+  const bool poisoned = ingester != nullptr && ingester->poisoned();
+  const bool ready = !replaying && unhealthy == 0 && !poisoned;
+
+  JsonValue body = JsonValue::Object();
+  body.Set("code", JsonValue::String("OK"));
+  body.Set("live", JsonValue::Bool(true));
+  body.Set("ready", JsonValue::Bool(ready));
+  body.Set("wal_replaying", JsonValue::Bool(replaying));
+  body.Set("unhealthy_shards",
+           JsonValue::Number(static_cast<uint64_t>(unhealthy)));
+  body.Set("ingester_poisoned", JsonValue::Bool(poisoned));
+  return JsonResponse(ready ? 200 : 503, body);
+}
+
 HttpResponse SearchService::HandleStatus() {
   const IndexMeta meta = searcher_->meta();
   const std::vector<ShardInfo> shards = searcher_->shards();
@@ -498,6 +604,8 @@ HttpResponse SearchService::HandleStatus() {
                     JsonValue::Number(c.resource_exhausted));
   counters_json.Set("invalid", JsonValue::Number(c.invalid));
   counters_json.Set("failed", JsonValue::Number(c.failed));
+  counters_json.Set("ingests_ok", JsonValue::Number(c.ingests_ok));
+  counters_json.Set("docs_ingested", JsonValue::Number(c.docs_ingested));
   body.Set("counters", std::move(counters_json));
   return JsonResponse(200, body);
 }

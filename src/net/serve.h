@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/query_context.h"
+#include "ingest/ingester.h"
 #include "net/http.h"
 #include "net/json.h"
 #include "query/searcher.h"
@@ -58,6 +59,8 @@ struct ServeCounters {
   uint64_t resource_exhausted = 0;  ///< 429 from a memory budget
   uint64_t invalid = 0;             ///< 400/404/405
   uint64_t failed = 0;              ///< 5xx
+  uint64_t ingests_ok = 0;          ///< successful /v1/ingest requests
+  uint64_t docs_ingested = 0;       ///< documents acknowledged via HTTP
 };
 
 /// The ndss_serve request router: maps HTTP requests onto the governed
@@ -69,8 +72,17 @@ struct ServeCounters {
 ///   POST /v1/search_batch  {"queries":[[...],...], "deadline_ms":..,
 ///                           "batch_deadline_ms":.., "memory_mb":..,
 ///                           "inflight_mb":.., "shed_policy":"reject-new"}
+///   POST /v1/ingest        {"documents":[[tok,...],...]} — appends through
+///                          the attached Ingester; 200 only after the WAL
+///                          fsync (the documents are durable AND visible)
 ///   GET  /v1/status        server + topology + counters snapshot
 ///   GET  /v1/shards        per-shard health (self-healing state machine)
+///   GET  /v1/healthz       liveness + readiness; 200 when ready, 503 when
+///                          not (WAL replay in progress, a shard
+///                          quarantined or dropped, or the ingester
+///                          poisoned). Admission-exempt like /v1/status, so
+///                          an orchestrator's probe never competes with
+///                          query traffic for admission slots.
 ///
 /// Governance mapping: `deadline_ms` (or the `x-ndss-deadline-ms` header,
 /// which wins) becomes the QueryContext deadline measured from request
@@ -92,6 +104,20 @@ class SearchService {
  public:
   SearchService(ShardedSearcher* searcher, ServeOptions options);
 
+  /// Attaches the write path. Without one, /v1/ingest answers 400 and
+  /// /v1/healthz ignores ingestion state. Observed, not owned; must outlive
+  /// the service (or be detached with nullptr first).
+  void set_ingester(Ingester* ingester) {
+    ingester_.store(ingester, std::memory_order_release);
+  }
+
+  /// Marks WAL replay in progress: /v1/healthz reports ready=false until
+  /// cleared. Lets ndss_serve bind its port (and answer probes) before the
+  /// potentially long recovery pass finishes.
+  void set_wal_replaying(bool replaying) {
+    wal_replaying_.store(replaying, std::memory_order_release);
+  }
+
   /// The HttpServer handler.
   HttpResponse Handle(const HttpRequest& request);
 
@@ -104,8 +130,10 @@ class SearchService {
  private:
   HttpResponse HandleSearch(const HttpRequest& request);
   HttpResponse HandleSearchBatch(const HttpRequest& request);
+  HttpResponse HandleIngest(const HttpRequest& request);
   HttpResponse HandleStatus();
   HttpResponse HandleShards();
+  HttpResponse HandleHealthz();
 
   /// 4xx/5xx response with {"code","error"} and counter classification.
   HttpResponse ErrorResponse(const Status& status);
@@ -113,6 +141,8 @@ class SearchService {
   ShardedSearcher* const searcher_;
   const ServeOptions options_;
   MemoryBudget server_budget_;
+  std::atomic<Ingester*> ingester_{nullptr};
+  std::atomic<bool> wal_replaying_{false};
   std::atomic<int64_t> inflight_{0};
 
   std::atomic<uint64_t> requests_{0};
@@ -123,6 +153,8 @@ class SearchService {
   std::atomic<uint64_t> resource_exhausted_{0};
   std::atomic<uint64_t> invalid_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> ingests_ok_{0};
+  std::atomic<uint64_t> docs_ingested_{0};
 };
 
 /// Serializes one SearchResult (spans, rectangles, stats) into `out`'s

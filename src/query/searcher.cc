@@ -178,6 +178,15 @@ uint32_t Searcher::degraded_funcs() const {
   return dropped;
 }
 
+uint64_t Searcher::TotalWindows() const {
+  uint64_t total = 0;
+  for (InvertedListSource* source : SnapshotSources()) {
+    if (source == nullptr) continue;
+    for (const ListMeta& meta : source->directory()) total += meta.count;
+  }
+  return total;
+}
+
 uint64_t Searcher::ListCountPercentile(double fraction) const {
   std::vector<uint64_t> counts;
   uint64_t total_windows = 0;

@@ -299,6 +299,11 @@ class Searcher {
   /// SearchOptions::long_list_threshold from a target prefix length.
   uint64_t ListCountPercentile(double fraction) const;
 
+  /// Total indexed windows across the live sources (the sum of every
+  /// directory's list counts). The ingestion memtable sizes its spill
+  /// budget from this (windows dominate an in-memory index's footprint).
+  uint64_t TotalWindows() const;
+
   /// Number of hash functions currently dropped due to corruption.
   uint32_t degraded_funcs() const;
 

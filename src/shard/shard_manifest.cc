@@ -8,9 +8,13 @@
 namespace ndss {
 
 namespace {
-constexpr uint64_t kManifestMagic = 0x32494e414d53444eULL;  // "NDSMANI2"-ish
-// magic u64 + epoch u64 + num_shards u32 ... crc u32.
-constexpr size_t kFixedPrefix = 8 + 8 + 4;
+/// Original format: magic u64 + epoch u64 + num_shards u32 ... crc u32.
+constexpr uint64_t kManifestMagicV1 = 0x32494e414d53444eULL;  // "NDSMANI2"-ish
+/// Current format adds applied_seqno u64 after the epoch (WAL replay
+/// watermark for streaming ingestion).
+constexpr uint64_t kManifestMagicV2 = 0x33494e414d53444eULL;  // "NDSMANI3"-ish
+constexpr size_t kFixedPrefixV1 = 8 + 8 + 4;
+constexpr size_t kFixedPrefixV2 = 8 + 8 + 8 + 4;
 constexpr size_t kCrcSize = 4;
 /// Paths longer than this are certainly corruption, not configuration.
 constexpr uint32_t kMaxPathLen = 4096;
@@ -23,8 +27,9 @@ std::string ShardManifest::Path(const std::string& set_dir) {
 Status ShardManifest::Save(const std::string& set_dir) const {
   NDSS_RETURN_NOT_OK(ValidateShardDirs(shard_dirs));
   std::string data;
-  PutFixed64(&data, kManifestMagic);
+  PutFixed64(&data, kManifestMagicV2);
   PutFixed64(&data, epoch);
+  PutFixed64(&data, applied_seqno);
   PutFixed32(&data, static_cast<uint32_t>(shard_dirs.size()));
   for (const std::string& dir : shard_dirs) {
     if (dir.size() > kMaxPathLen) {
@@ -41,11 +46,16 @@ Status ShardManifest::Save(const std::string& set_dir) const {
 Result<ShardManifest> ShardManifest::Load(const std::string& set_dir) {
   const std::string path = Path(set_dir);
   NDSS_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
-  if (data.size() < kFixedPrefix + kCrcSize) {
+  if (data.size() < kFixedPrefixV1 + kCrcSize) {
     return Status::Corruption("shard manifest truncated: " + path);
   }
-  if (DecodeFixed64(data.data()) != kManifestMagic) {
+  const uint64_t magic = DecodeFixed64(data.data());
+  if (magic != kManifestMagicV1 && magic != kManifestMagicV2) {
     return Status::Corruption("bad shard manifest magic in " + path);
+  }
+  const bool has_seqno = magic == kManifestMagicV2;
+  if (has_seqno && data.size() < kFixedPrefixV2 + kCrcSize) {
+    return Status::Corruption("shard manifest truncated: " + path);
   }
   const uint32_t stored_crc =
       DecodeFixed32(data.data() + data.size() - kCrcSize);
@@ -55,8 +65,10 @@ Result<ShardManifest> ShardManifest::Load(const std::string& set_dir) {
   }
   ShardManifest manifest;
   manifest.epoch = DecodeFixed64(data.data() + 8);
-  const uint32_t num_shards = DecodeFixed32(data.data() + 16);
-  size_t pos = kFixedPrefix;
+  if (has_seqno) manifest.applied_seqno = DecodeFixed64(data.data() + 16);
+  const size_t fixed_prefix = has_seqno ? kFixedPrefixV2 : kFixedPrefixV1;
+  const uint32_t num_shards = DecodeFixed32(data.data() + fixed_prefix - 4);
+  size_t pos = fixed_prefix;
   const size_t body_end = data.size() - kCrcSize;
   for (uint32_t i = 0; i < num_shards; ++i) {
     if (pos + 4 > body_end) {

@@ -21,16 +21,24 @@ namespace ndss {
 /// the list renumbers the corpus.
 ///
 /// Format (v2 idioms, like index.meta): little-endian fixed-width fields,
-///   magic u64, epoch u64, num_shards u32,
+///   magic u64, epoch u64, applied_seqno u64, num_shards u32,
 ///   num_shards x (path_len u32, path bytes),
 ///   masked CRC32C u32 over everything before it.
 /// Save() commits via tmp + fsync + rename, so a crash leaves either the
 /// old or the new manifest, never a torn one. Load() verifies the checksum
 /// and rejects an empty or duplicate-containing shard list (the same
-/// validation MergeIndexes applies).
+/// validation MergeIndexes applies). Manifests written before the
+/// applied_seqno field (the v1 magic, no seqno) still load, with
+/// applied_seqno = 0; Save always writes the current format.
 struct ShardManifest {
   /// Incremented by every committed topology change (attach/detach).
   uint64_t epoch = 0;
+
+  /// Highest WAL sequence number whose document is contained in the sealed
+  /// shards below. WAL replay skips frames at or below this, which makes
+  /// replay idempotent: a crash between a spill commit and the WAL
+  /// truncation re-reads those frames but never re-applies them.
+  uint64_t applied_seqno = 0;
 
   /// Shard index directories, as given at create/attach time. Relative
   /// entries are resolved against the set directory (see ResolveShardDir),

@@ -110,18 +110,30 @@ struct ShardHandle {
 /// concatenation offsets that define global text ids. Queries hold one via
 /// shared_ptr for their whole run, so AttachShard / DetachShard never
 /// change a query's view mid-flight.
+///
+/// `delta` is the streaming-ingestion memtable: an in-memory pseudo-shard
+/// that always sits after the sealed shards, so its texts take the ids from
+/// `delta_offset` up and the concatenation order (and therefore every
+/// sealed text's global id) is unaffected by its comings and goings.
 struct Topology {
   uint64_t epoch = 0;
   std::vector<std::shared_ptr<ShardHandle>> shards;
   std::vector<TextId> offsets;
-  IndexMeta combined;
+  IndexMeta combined;  ///< sealed shards + delta
+
+  std::shared_ptr<Searcher> delta;  ///< nullptr when no memtable is set
+  TextId delta_offset = 0;          ///< first global text id of the delta
+  uint64_t applied_seqno = 0;       ///< WAL watermark of the sealed shards
 };
 
 std::shared_ptr<const Topology> BuildTopology(
-    uint64_t epoch, std::vector<std::shared_ptr<ShardHandle>> shards) {
+    uint64_t epoch, std::vector<std::shared_ptr<ShardHandle>> shards,
+    std::shared_ptr<Searcher> delta, uint64_t applied_seqno) {
   auto topo = std::make_shared<Topology>();
   topo->epoch = epoch;
   topo->shards = std::move(shards);
+  topo->delta = std::move(delta);
+  topo->applied_seqno = applied_seqno;
   uint64_t num_texts = 0;
   uint64_t total_tokens = 0;
   for (const auto& shard : topo->shards) {
@@ -129,10 +141,23 @@ std::shared_ptr<const Topology> BuildTopology(
     num_texts += shard->meta.num_texts;
     total_tokens += shard->meta.total_tokens;
   }
+  topo->delta_offset = static_cast<TextId>(num_texts);
   topo->combined = topo->shards.front()->meta;
+  if (topo->delta != nullptr) {
+    num_texts += topo->delta->meta().num_texts;
+    total_tokens += topo->delta->meta().total_tokens;
+  }
   topo->combined.num_texts = num_texts;
   topo->combined.total_tokens = total_tokens;
   return topo;
+}
+
+/// Index of the delta's ShardOutcome in a query's sub-outcome vector (one
+/// slot past the sealed shards).
+size_t DeltaSlot(const Topology& topo) { return topo.shards.size(); }
+
+size_t NumSlots(const Topology& topo) {
+  return topo.shards.size() + (topo.delta != nullptr ? 1 : 0);
 }
 
 }  // namespace
@@ -239,7 +264,8 @@ Status ShardedSearcher::State::ReopenShard(const std::string& dir,
   handle->health = old->health;
   std::vector<std::shared_ptr<ShardHandle>> shards = topo->shards;
   shards[found] = std::move(handle);
-  Swap(BuildTopology(topo->epoch, std::move(shards)));
+  Swap(BuildTopology(topo->epoch, std::move(shards), topo->delta,
+                     topo->applied_seqno));
   return Status::OK();
 }
 
@@ -327,8 +353,34 @@ Status ShardedSearcher::State::GatherQuery(const Topology& topo,
       topo.shards[i]->health->RecordSuccess();
     }
   }
+  // The delta memtable contributes last (its texts own the highest ids, so
+  // appending keeps the text-ascending output order). It is in-memory and
+  // has no health tracker: it cannot fail with storage faults, so any
+  // non-governance error is a hard error, never a degraded exclusion.
+  if (topo.delta != nullptr && subs.size() > topo.shards.size()) {
+    ShardOutcome& sub = subs[DeltaSlot(topo)];
+    if (sub.ran) {
+      AccumulateStats(sub.result.stats, &result->stats);
+      const TextId offset = topo.delta_offset;
+      for (TextMatchRectangle& tr : sub.result.rectangles) {
+        tr.text += offset;
+        result->rectangles.push_back(tr);
+      }
+      for (MatchSpan& span : sub.result.spans) {
+        span.text += offset;
+        result->spans.push_back(span);
+      }
+      if (!sub.status.ok()) {
+        if (IsGovernanceStatus(sub.status)) {
+          if (governance.ok()) governance = sub.status;
+        } else if (hard_error.ok()) {
+          hard_error = sub.status;
+        }
+      }
+    }
+  }
   result->stats.degraded_shards = excluded;
-  if (excluded == topo.shards.size()) {
+  if (excluded == topo.shards.size() && topo.delta == nullptr) {
     return Status::Corruption("every shard of the set is dropped");
   }
   if (!hard_error.ok()) return hard_error;
@@ -342,7 +394,7 @@ Status ShardedSearcher::State::SearchImpl(std::span<const Token> query,
   *result = SearchResult();
   Stopwatch wall;
   const std::shared_ptr<const Topology> topo = Snapshot();
-  std::vector<ShardOutcome> subs(topo->shards.size());
+  std::vector<ShardOutcome> subs(NumSlots(*topo));
   std::vector<size_t> runnable;
   for (size_t i = 0; i < topo->shards.size(); ++i) {
     if (topo->shards[i]->searcher.has_value() &&
@@ -350,18 +402,22 @@ Status ShardedSearcher::State::SearchImpl(std::span<const Token> query,
       runnable.push_back(i);
     }
   }
-  if (runnable.empty()) {
+  if (runnable.empty() && topo->delta == nullptr) {
     return Status::Corruption("every shard of the set is dropped");
   }
+  if (topo->delta != nullptr) runnable.push_back(DeltaSlot(*topo));
   ScatterOnPool(pool.get(), runnable.size(), [&](size_t j) {
     const size_t i = runnable[j];
+    Searcher* searcher = i == DeltaSlot(*topo)
+                             ? topo->delta.get()
+                             : &*topo->shards[i]->searcher;
     ShardOutcome& sub = subs[i];
     sub.ran = true;
     if (ctx == nullptr) {
       // Ungoverned fast path, bit-identical to the pre-governance shard
       // query.
-      sub.status = topo->shards[i]->searcher->Search(query, search_options,
-                                                     nullptr, &sub.result);
+      sub.status =
+          searcher->Search(query, search_options, nullptr, &sub.result);
       return;
     }
     // Hierarchical governance: the deadline and cancel flag are shared
@@ -373,8 +429,7 @@ Status ShardedSearcher::State::SearchImpl(std::span<const Token> query,
     child.set_cancel_flag(ctx->cancel_flag());
     MemoryBudget arena(0, ctx->memory_budget());
     if (ctx->memory_budget() != nullptr) child.set_memory_budget(&arena);
-    sub.status = topo->shards[i]->searcher->Search(query, search_options,
-                                                   &child, &sub.result);
+    sub.status = searcher->Search(query, search_options, &child, &sub.result);
   });
   const Status status = GatherQuery(*topo, subs, result);
   result->stats.wall_seconds = wall.ElapsedSeconds();
@@ -399,9 +454,10 @@ Result<BatchResult> ShardedSearcher::State::SearchBatchImpl(
       runnable.push_back(i);
     }
   }
-  if (runnable.empty()) {
+  if (runnable.empty() && topo->delta == nullptr) {
     return Status::Corruption("every shard of the set is dropped");
   }
+  if (topo->delta != nullptr) runnable.push_back(DeltaSlot(*topo));
 
   // Composition hooks: every shard sub-batch sheds against one absolute
   // deadline and charges one inflight budget, so the caller's limits mean
@@ -423,10 +479,13 @@ Result<BatchResult> ShardedSearcher::State::SearchBatchImpl(
     Status status;
     BatchResult batch;
   };
-  std::vector<ShardBatch> shard_batches(topo->shards.size());
+  std::vector<ShardBatch> shard_batches(NumSlots(*topo));
   ScatterOnPool(pool.get(), runnable.size(), [&](size_t j) {
     const size_t i = runnable[j];
-    Result<BatchResult> sub = topo->shards[i]->searcher->SearchBatch(
+    Searcher* searcher = i == DeltaSlot(*topo)
+                             ? topo->delta.get()
+                             : &*topo->shards[i]->searcher;
+    Result<BatchResult> sub = searcher->SearchBatch(
         queries, search_options, sub_limits, shard_cache_budget, num_threads);
     if (sub.ok()) {
       shard_batches[i].batch = std::move(*sub);
@@ -439,8 +498,9 @@ Result<BatchResult> ShardedSearcher::State::SearchBatchImpl(
     // per-query merge can repair — except under self-healing, where a
     // storage-level whole-batch failure becomes that shard failing every
     // query of the batch (GatherQuery then excludes and classifies it).
+    // The delta is in-memory: its whole-batch failure is always fatal.
     if (shard_batches[i].status.ok()) continue;
-    if (options.enable_self_healing &&
+    if (options.enable_self_healing && i != DeltaSlot(*topo) &&
         !IsGovernanceStatus(shard_batches[i].status) &&
         !shard_batches[i].status.IsInvalidArgument()) {
       continue;
@@ -452,7 +512,7 @@ Result<BatchResult> ShardedSearcher::State::SearchBatchImpl(
   out.results.resize(queries.size());
   out.statuses.assign(queries.size(), Status::OK());
   for (size_t q = 0; q < queries.size(); ++q) {
-    std::vector<ShardOutcome> subs(topo->shards.size());
+    std::vector<ShardOutcome> subs(NumSlots(*topo));
     for (size_t i : runnable) {
       subs[i].ran = true;
       if (!shard_batches[i].status.ok()) {
@@ -543,7 +603,8 @@ Result<ShardedSearcher> ShardedSearcher::Open(
   auto state = std::make_unique<State>();
   state->set_dir = set_dir;
   state->options = options;
-  state->topology = BuildTopology(manifest.epoch, std::move(shards));
+  state->topology = BuildTopology(manifest.epoch, std::move(shards), nullptr,
+                                  manifest.applied_seqno);
   size_t threads = options.num_threads;
   if (threads == 0) {
     const size_t hw = std::max(1u, std::thread::hardware_concurrency());
@@ -644,6 +705,7 @@ Status ShardedSearcher::AttachShard(const std::string& shard_dir) {
 
   ShardManifest manifest;
   manifest.epoch = topo->epoch + 1;
+  manifest.applied_seqno = topo->applied_seqno;
   for (const auto& shard : topo->shards) {
     manifest.shard_dirs.push_back(shard->entry);
   }
@@ -654,7 +716,8 @@ Status ShardedSearcher::AttachShard(const std::string& shard_dir) {
   NDSS_RETURN_NOT_OK(manifest.Save(state_->set_dir));
   std::vector<std::shared_ptr<ShardHandle>> shards = topo->shards;
   shards.push_back(std::move(handle));
-  state_->Swap(BuildTopology(manifest.epoch, std::move(shards)));
+  state_->Swap(BuildTopology(manifest.epoch, std::move(shards), topo->delta,
+                             topo->applied_seqno));
   return Status::OK();
 }
 
@@ -681,6 +744,7 @@ Status ShardedSearcher::DetachShard(const std::string& shard_dir) {
   }
   ShardManifest manifest;
   manifest.epoch = topo->epoch + 1;
+  manifest.applied_seqno = topo->applied_seqno;
   std::vector<std::shared_ptr<ShardHandle>> shards;
   for (size_t i = 0; i < topo->shards.size(); ++i) {
     if (i == found) continue;
@@ -688,8 +752,204 @@ Status ShardedSearcher::DetachShard(const std::string& shard_dir) {
     shards.push_back(topo->shards[i]);
   }
   NDSS_RETURN_NOT_OK(manifest.Save(state_->set_dir));
-  state_->Swap(BuildTopology(manifest.epoch, std::move(shards)));
+  state_->Swap(BuildTopology(manifest.epoch, std::move(shards), topo->delta,
+                             topo->applied_seqno));
   return Status::OK();
+}
+
+Status ShardedSearcher::SetDelta(std::shared_ptr<Searcher> delta) {
+  std::lock_guard<std::mutex> admin(state_->admin_mu);
+  const std::shared_ptr<const Topology> topo = state_->Snapshot();
+  if (delta != nullptr) {
+    const IndexMeta& meta = delta->meta();
+    if (meta.k != topo->combined.k || meta.seed != topo->combined.seed ||
+        meta.t != topo->combined.t) {
+      return Status::InvalidArgument(
+          "delta index was built with different (k, seed, t) than the set");
+    }
+    uint64_t sealed_texts = 0;
+    for (const auto& shard : topo->shards) {
+      sealed_texts += shard->meta.num_texts;
+    }
+    if (sealed_texts + meta.num_texts > 0xffffffffULL) {
+      return Status::InvalidArgument("delta index would exceed 2^32 texts");
+    }
+  }
+  state_->Swap(BuildTopology(topo->epoch, topo->shards, std::move(delta),
+                             topo->applied_seqno));
+  return Status::OK();
+}
+
+Status ShardedSearcher::PromoteDelta(const std::string& shard_entry,
+                                     std::shared_ptr<Searcher> next_delta,
+                                     uint64_t applied_seqno) {
+  std::lock_guard<std::mutex> admin(state_->admin_mu);
+  const std::shared_ptr<const Topology> topo = state_->Snapshot();
+  const std::string resolved = ResolveShardDir(state_->set_dir, shard_entry);
+  const std::string normalized_entry = NormalizePath(shard_entry);
+  const std::string normalized_dir = NormalizePath(resolved);
+  for (const auto& shard : topo->shards) {
+    if (NormalizePath(shard->entry) == normalized_entry ||
+        NormalizePath(shard->dir) == normalized_dir) {
+      return Status::InvalidArgument("shard " + shard_entry +
+                                     " is already attached");
+    }
+  }
+  if (applied_seqno < topo->applied_seqno) {
+    return Status::InvalidArgument(
+        "applied_seqno must not move backwards (have " +
+        std::to_string(topo->applied_seqno) + ", got " +
+        std::to_string(applied_seqno) + ")");
+  }
+  auto handle = std::make_shared<ShardHandle>();
+  handle->entry = shard_entry;
+  handle->dir = resolved;
+  NDSS_ASSIGN_OR_RETURN(handle->meta, LoadShardMeta(resolved));
+  if (handle->meta.k != topo->combined.k ||
+      handle->meta.seed != topo->combined.seed ||
+      handle->meta.t != topo->combined.t) {
+    return Status::InvalidArgument(
+        "shard " + shard_entry +
+        " was built with different (k, seed, t) than the set");
+  }
+  uint64_t num_texts = handle->meta.num_texts;
+  for (const auto& shard : topo->shards) num_texts += shard->meta.num_texts;
+  if (next_delta != nullptr) num_texts += next_delta->meta().num_texts;
+  if (num_texts > 0xffffffffULL) {
+    return Status::InvalidArgument("promoting " + shard_entry +
+                                   " would exceed 2^32 texts");
+  }
+  // A spilled shard that cannot be opened must fail the promotion loudly:
+  // the memtable keeps serving these documents and the WAL keeps them
+  // durable, so nothing is lost.
+  NDSS_ASSIGN_OR_RETURN(
+      Searcher searcher,
+      Searcher::Open(resolved, state_->options.shard_options));
+  handle->searcher.emplace(std::move(searcher));
+  if (state_->options.enable_self_healing) {
+    handle->health =
+        std::make_shared<ShardHealthTracker>(state_->options.health);
+  }
+
+  ShardManifest manifest;
+  manifest.epoch = topo->epoch + 1;
+  manifest.applied_seqno = applied_seqno;
+  for (const auto& shard : topo->shards) {
+    manifest.shard_dirs.push_back(shard->entry);
+  }
+  manifest.shard_dirs.push_back(shard_entry);
+  // The manifest commit is the atomic point of the spill: before it, a
+  // crash recovers by replaying the WAL into a fresh memtable (the built
+  // shard directory is an unreferenced orphan); after it, replay skips the
+  // spilled frames via applied_seqno. The swap below retires the old delta
+  // and admits the sealed shard in one step, so no query snapshot ever
+  // sees the spilled documents twice or not at all.
+  NDSS_RETURN_NOT_OK(manifest.Save(state_->set_dir));
+  std::vector<std::shared_ptr<ShardHandle>> shards = topo->shards;
+  shards.push_back(std::move(handle));
+  state_->Swap(BuildTopology(manifest.epoch, std::move(shards),
+                             std::move(next_delta), applied_seqno));
+  return Status::OK();
+}
+
+Status ShardedSearcher::ReplaceShards(
+    const std::vector<std::string>& shard_entries,
+    const std::string& merged_entry) {
+  if (shard_entries.empty()) {
+    return Status::InvalidArgument("ReplaceShards needs at least one shard");
+  }
+  std::lock_guard<std::mutex> admin(state_->admin_mu);
+  const std::shared_ptr<const Topology> topo = state_->Snapshot();
+  // The run must match the current topology exactly — same shards, same
+  // order, contiguous. A compaction planned against an older topology
+  // (shards detached or already compacted since) must not commit: text-id
+  // preservation only holds for the topology the merge actually read.
+  size_t start = topo->shards.size();
+  for (size_t i = 0; i < topo->shards.size(); ++i) {
+    if (NormalizePath(topo->shards[i]->entry) ==
+            NormalizePath(shard_entries.front()) ||
+        NormalizePath(topo->shards[i]->dir) ==
+            NormalizePath(
+                ResolveShardDir(state_->set_dir, shard_entries.front()))) {
+      start = i;
+      break;
+    }
+  }
+  if (start == topo->shards.size() ||
+      start + shard_entries.size() > topo->shards.size()) {
+    return Status::NotFound("compaction run is not in the current topology");
+  }
+  uint64_t run_texts = 0;
+  for (size_t j = 0; j < shard_entries.size(); ++j) {
+    const auto& shard = topo->shards[start + j];
+    if (NormalizePath(shard->entry) != NormalizePath(shard_entries[j]) &&
+        NormalizePath(shard->dir) !=
+            NormalizePath(ResolveShardDir(state_->set_dir,
+                                          shard_entries[j]))) {
+      return Status::NotFound(
+          "compaction run no longer matches the topology at " +
+          shard_entries[j]);
+    }
+    run_texts += shard->meta.num_texts;
+  }
+  auto handle = std::make_shared<ShardHandle>();
+  handle->entry = merged_entry;
+  handle->dir = ResolveShardDir(state_->set_dir, merged_entry);
+  NDSS_ASSIGN_OR_RETURN(handle->meta, LoadShardMeta(handle->dir));
+  if (handle->meta.k != topo->combined.k ||
+      handle->meta.seed != topo->combined.seed ||
+      handle->meta.t != topo->combined.t) {
+    return Status::InvalidArgument(
+        "merged shard " + merged_entry +
+        " was built with different (k, seed, t) than the set");
+  }
+  if (handle->meta.num_texts != run_texts) {
+    // The merged shard must be id-preserving: exactly the run's texts, in
+    // concatenation order. Anything else would renumber every later shard.
+    return Status::InvalidArgument(
+        "merged shard " + merged_entry + " holds " +
+        std::to_string(handle->meta.num_texts) + " texts, expected " +
+        std::to_string(run_texts));
+  }
+  NDSS_ASSIGN_OR_RETURN(
+      Searcher searcher,
+      Searcher::Open(handle->dir, state_->options.shard_options));
+  handle->searcher.emplace(std::move(searcher));
+  if (state_->options.enable_self_healing) {
+    handle->health =
+        std::make_shared<ShardHealthTracker>(state_->options.health);
+  }
+
+  ShardManifest manifest;
+  manifest.epoch = topo->epoch + 1;
+  manifest.applied_seqno = topo->applied_seqno;
+  std::vector<std::shared_ptr<ShardHandle>> shards;
+  for (size_t i = 0; i < topo->shards.size(); ++i) {
+    if (i == start) {
+      manifest.shard_dirs.push_back(merged_entry);
+      shards.push_back(handle);
+    }
+    if (i >= start && i < start + shard_entries.size()) continue;
+    manifest.shard_dirs.push_back(topo->shards[i]->entry);
+    shards.push_back(topo->shards[i]);
+  }
+  NDSS_RETURN_NOT_OK(manifest.Save(state_->set_dir));
+  state_->Swap(BuildTopology(manifest.epoch, std::move(shards), topo->delta,
+                             topo->applied_seqno));
+  return Status::OK();
+}
+
+uint64_t ShardedSearcher::applied_seqno() const {
+  return state_->Snapshot()->applied_seqno;
+}
+
+uint64_t ShardedSearcher::delta_texts() const {
+  const std::shared_ptr<const Topology> topo = state_->Snapshot();
+  return topo->delta != nullptr ? topo->delta->meta().num_texts : 0;
+}
+
+const std::string& ShardedSearcher::set_dir() const {
+  return state_->set_dir;
 }
 
 uint64_t ShardedSearcher::epoch() const { return state_->Snapshot()->epoch; }

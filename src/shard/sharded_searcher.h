@@ -172,6 +172,54 @@ class ShardedSearcher {
   /// detached. In-flight queries finish on the old topology.
   Status DetachShard(const std::string& shard_dir);
 
+  // ---- streaming ingestion (see src/ingest/ingester.h) ----
+  //
+  // The Ingester serves its in-memory memtable through the topology as a
+  // *delta*: a pseudo-shard appended after every sealed shard, whose texts
+  // take the highest global ids. Queries scatter over sealed shards and
+  // the delta alike, so search results over (sealed + delta) are exactly
+  // what a batch build over the same documents would return. The delta is
+  // not durable and never appears in the manifest — the WAL is its
+  // durability, and `applied_seqno` records which prefix of the WAL the
+  // sealed shards already contain.
+
+  /// Installs (or with nullptr clears) the delta searcher. Not a durable
+  /// topology change: the epoch and manifest stay put. The delta's
+  /// (k, seed, t) must match the set's; its texts must fit in the 2^32 id
+  /// space. In-flight queries keep the delta snapshot they started with.
+  Status SetDelta(std::shared_ptr<Searcher> delta);
+
+  /// Atomically commits a memtable spill: attaches the sealed shard at
+  /// `shard_entry` (relative entries resolve against the set directory),
+  /// durably commits the manifest with epoch + 1 and `applied_seqno`, and
+  /// swaps the topology with `next_delta` (usually nullptr — the spilled
+  /// memtable's replacement) in one step, so no query window ever sees the
+  /// spilled documents twice (old delta + new shard) or not at all.
+  Status PromoteDelta(const std::string& shard_entry,
+                      std::shared_ptr<Searcher> next_delta,
+                      uint64_t applied_seqno);
+
+  /// Atomically commits a compaction: replaces the contiguous run of
+  /// shards named by `shard_entries` (in topology order) with the single
+  /// merged shard at `merged_entry`, preserving every global text id (the
+  /// merged shard must hold exactly the run's texts, in order — the
+  /// MergeIndexes contract). Commits the manifest with epoch + 1; the
+  /// delta and applied_seqno pass through unchanged. Returns NotFound if
+  /// the run no longer matches the current topology (a stale compaction
+  /// plan after a concurrent attach/detach), in which case nothing
+  /// changes.
+  Status ReplaceShards(const std::vector<std::string>& shard_entries,
+                       const std::string& merged_entry);
+
+  /// Highest WAL seqno contained in the sealed shards (see ShardManifest).
+  uint64_t applied_seqno() const;
+
+  /// Texts currently served from the delta memtable (0 when none is set).
+  uint64_t delta_texts() const;
+
+  /// The set directory this searcher serves.
+  const std::string& set_dir() const;
+
   /// Epoch of the topology new queries will see.
   uint64_t epoch() const;
 

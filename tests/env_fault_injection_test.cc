@@ -217,6 +217,55 @@ TEST_F(EnvFaultInjectionTest, DropUnsyncedDataKeepsOnlySyncedPrefix) {
   EXPECT_EQ("durable", *after);
 }
 
+TEST_F(EnvFaultInjectionTest, TruncateFileIsCountedAndClampsDurability) {
+  const std::string path = dir_ + "/truncated";
+  {
+    auto file = fault_->NewWritableFile(path, false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("0123456789", 10).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  // TruncateFile routes through the fault machinery like any other op.
+  fault_->FailAtOp(fault_->op_count());
+  EXPECT_FALSE(fault_->TruncateFile(path, 4).ok());
+  ASSERT_TRUE(fault_->TruncateFile(path, 4).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ("0123", *content);
+
+  // The tracked durable size follows the truncation: a crash afterwards
+  // must not resurrect the truncated-away synced bytes.
+  ASSERT_TRUE(fault_->DropUnsyncedData().ok());
+  content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ("0123", *content);
+}
+
+TEST_F(EnvFaultInjectionTest, FailFsyncFailsSyncWithoutAdvancingDurability) {
+  const std::string path = dir_ + "/fsyncgate";
+  auto file = fault_->NewWritableFile(path, false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("acked", 5).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+
+  fault_->SetFailFsync(true);
+  ASSERT_TRUE((*file)->Append("-lost", 5).ok());
+  const Status synced = (*file)->Sync();
+  EXPECT_TRUE(synced.IsIOError()) << synced.ToString();
+
+  // The failed fsync did NOT advance the durable watermark: after a crash
+  // only the previously synced prefix survives. (This models the kernel
+  // dropping dirty pages on fsync failure — fsyncgate.)
+  ASSERT_TRUE((*file)->Close().ok());
+  file->reset();
+  fault_->SetFailFsync(false);
+  ASSERT_TRUE(fault_->DropUnsyncedData().ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ("acked", *content);
+}
+
 TEST_F(EnvFaultInjectionTest, RenamePreservesSyncedState) {
   const std::string tmp = dir_ + "/f.tmp";
   {

@@ -1,0 +1,347 @@
+// Crash safety of the streaming-ingestion pipeline.
+//
+// The crash-point sweep arms a simulated power loss at EVERY env operation
+// of a fixed ingest schedule (WAL appends and fsyncs, spill builds, manifest
+// commits, WAL truncations, compactions) and asserts the recovery contract
+// after each: the set reopens servable, no acknowledged document is lost,
+// and the recovered index answers bit-identically to a batch build over the
+// recovered document prefix.
+//
+// The chaos test runs ingestion, background compaction, and queries
+// concurrently under seeded fault storms with repeated kill/recover cycles.
+// Knobs follow chaos_test: NDSS_INGEST_CHAOS_MS stretches the run for
+// nightly soaks; a failing schedule is dumped to $NDSS_CHAOS_ARTIFACT.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/fault_injection_env.h"
+#include "corpusgen/synthetic.h"
+#include "ingest/ingester.h"
+#include "ingest/wal.h"
+#include "query/searcher.h"
+#include "shard/sharded_searcher.h"
+#include "text/corpus.h"
+
+namespace ndss {
+namespace {
+
+/// Order- and field-sensitive FNV-1a fingerprint of a result's matches.
+uint64_t Fingerprint(const SearchResult& result) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(result.rectangles.size());
+  for (const TextMatchRectangle& r : result.rectangles) {
+    mix(r.text);
+    mix(r.rect.x_begin);
+    mix(r.rect.x_end);
+    mix(r.rect.y_begin);
+    mix(r.rect.y_end);
+    mix(r.rect.collisions);
+  }
+  mix(result.spans.size());
+  for (const MatchSpan& s : result.spans) {
+    mix(s.text);
+    mix(s.begin);
+    mix(s.end);
+    mix(s.collisions);
+  }
+  return h;
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+class IngestCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_ingest_crash_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+
+    SyntheticCorpusOptions options;
+    options.num_texts = 600;
+    options.min_text_length = 30;
+    options.max_text_length = 60;
+    options.vocab_size = 150;
+    options.plant_rate = 0.3;
+    options.seed = 77;
+    sc_ = GenerateSyntheticCorpus(options);
+
+    build_.k = 4;
+    build_.t = 8;
+  }
+
+  void TearDown() override {
+    SetDefaultEnv(nullptr);
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::vector<Token> Doc(size_t i) const {
+    const auto tokens = sc_.corpus.text(i);
+    return std::vector<Token>(tokens.begin(), tokens.end());
+  }
+
+  /// Fingerprints of the fixed query set against `search`.
+  template <typename SearchFn>
+  std::vector<uint64_t> QueryFingerprints(SearchFn&& search) {
+    SearchOptions options;
+    options.theta = 0.5;
+    std::vector<uint64_t> fingerprints;
+    for (size_t i = 0; i < 5; ++i) {
+      const auto tokens = sc_.corpus.text(i * 3);
+      const std::vector<Token> query(tokens.begin(), tokens.begin() + 20);
+      auto result = search(query, options);
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      fingerprints.push_back(result.ok() ? Fingerprint(*result) : 0);
+    }
+    return fingerprints;
+  }
+
+  /// The batch-built reference over the first `count` documents.
+  std::vector<uint64_t> ReferenceFingerprints(size_t count) {
+    Corpus reference;
+    for (size_t i = 0; i < count; ++i) reference.AddText(sc_.corpus.text(i));
+    auto searcher = Searcher::InMemory(reference, build_);
+    EXPECT_TRUE(searcher.ok()) << searcher.status().ToString();
+    return QueryFingerprints(
+        [&](std::span<const Token> q, const SearchOptions& o) {
+          return searcher->Search(q, o);
+        });
+  }
+
+  /// Reopens the set after a (simulated) crash and asserts the recovery
+  /// contract: servable, >= `acked` documents, bit-identical to the batch
+  /// reference over the recovered prefix. Returns the recovered doc count.
+  uint64_t VerifyRecovered(const std::string& set_dir, uint64_t acked,
+                           const std::string& context) {
+    auto searcher = ShardedSearcher::Open(set_dir);
+    EXPECT_TRUE(searcher.ok())
+        << context << ": reopen failed: " << searcher.status().ToString();
+    if (!searcher.ok()) return 0;
+    IngestOptions options;
+    options.build = build_;
+    options.enable_compaction = false;
+    auto ingester = Ingester::Open(&*searcher, options);
+    EXPECT_TRUE(ingester.ok())
+        << context << ": ingester reopen failed: "
+        << ingester.status().ToString();
+    if (!ingester.ok()) return 0;
+
+    const uint64_t recovered = searcher->meta().num_texts;
+    EXPECT_GE(recovered, acked)
+        << context << ": acknowledged documents were lost";
+    EXPECT_LE(recovered, sc_.corpus.num_texts()) << context;
+    const auto got = QueryFingerprints(
+        [&](std::span<const Token> q, const SearchOptions& o) {
+          return searcher->Search(q, o);
+        });
+    EXPECT_EQ(got, ReferenceFingerprints(recovered))
+        << context << ": recovered index diverges from the batch build over "
+        << recovered << " documents";
+    EXPECT_TRUE((*ingester)->Close().ok()) << context;
+    return recovered;
+  }
+
+  std::string dir_;
+  SyntheticCorpus sc_;
+  IndexBuildOptions build_;
+};
+
+// Arms a crash at env operation `crash_op`, runs the schedule until the
+// crash bites (or the schedule completes), then verifies recovery. Sweeps
+// crash_op upward until a run completes faultless — by construction every
+// write site of the pipeline gets hit.
+TEST_F(IngestCrashTest, CrashPointSweepRecoversEverywhere) {
+  constexpr size_t kDocs = 12;
+  constexpr int64_t kMaxCrashOp = 100000;  // runaway guard
+  bool completed = false;
+
+  for (int64_t crash_op = 0; !completed; ++crash_op) {
+    ASSERT_LT(crash_op, kMaxCrashOp) << "schedule never completed";
+    const std::string set_dir =
+        dir_ + "/sweep_" + std::to_string(crash_op);
+    SCOPED_TRACE("crash_op=" + std::to_string(crash_op));
+
+    auto fault = std::make_unique<FaultInjectionEnv>(Env::Posix());
+    SetDefaultEnv(fault.get());
+    ASSERT_TRUE(Ingester::CreateSet(set_dir, build_).ok());
+
+    // The schedule under test starts here; everything above ran unfaulted.
+    fault->ResetOpCount();
+    fault->ArmCrashAtOp(crash_op);
+
+    uint64_t acked = 0;
+    bool clean = true;
+    {
+      auto searcher = ShardedSearcher::Open(set_dir);
+      clean = searcher.ok();
+      if (clean) {
+        IngestOptions options;
+        options.build = build_;
+        options.enable_compaction = false;
+        options.memtable_max_docs = 4;
+        options.compaction_fanin = 2;
+        auto ingester = Ingester::Open(&*searcher, options);
+        clean = ingester.ok();
+        if (clean) {
+          // Append in batches of 3 (spills fire mid-schedule), then seal
+          // the tail and compact to a fixed point.
+          for (size_t i = 0; i < kDocs && clean; i += 3) {
+            std::vector<std::vector<Token>> batch;
+            for (size_t j = i; j < i + 3 && j < kDocs; ++j) {
+              batch.push_back(Doc(j));
+            }
+            const size_t batch_size = batch.size();
+            clean = (*ingester)->AppendBatch(std::move(batch)).ok();
+            if (clean) acked += batch_size;
+          }
+          if (clean) clean = (*ingester)->Flush().ok();
+          bool compacted = clean;
+          while (clean && compacted) {
+            clean = (*ingester)->CompactOnce(&compacted).ok();
+          }
+          (*ingester)->Close();  // failure expected when the crash hit
+        }
+      }
+    }
+
+    // Power loss: unsynced bytes vanish, then the machine comes back.
+    ASSERT_TRUE(fault->DropUnsyncedData().ok());
+    fault->Heal();
+    VerifyRecovered(set_dir, acked, "crash_op=" + std::to_string(crash_op));
+
+    SetDefaultEnv(nullptr);
+    fault.reset();
+    std::filesystem::remove_all(set_dir);
+    completed = clean;
+  }
+}
+
+// Ingestion + background compaction + queries under seeded fault storms,
+// with kill/recover cycles. After every recovery the index must contain all
+// acked documents and answer bit-identically to the batch reference.
+TEST_F(IngestCrashTest, ChaosIngestCompactServeKill) {
+  const int total_ms = EnvInt("NDSS_INGEST_CHAOS_MS", 1500);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(total_ms);
+  const std::string set_dir = dir_ + "/set";
+
+  auto fault = std::make_unique<FaultInjectionEnv>(Env::Posix());
+  SetDefaultEnv(fault.get());
+  ASSERT_TRUE(Ingester::CreateSet(set_dir, build_).ok());
+
+  uint64_t acked = 0;     // documents durably acknowledged so far
+  uint64_t recovered = 0; // documents in the index after the last recovery
+  std::ostringstream schedule;
+  int cycle = 0;
+
+  while (std::chrono::steady_clock::now() < deadline &&
+         acked + 16 < sc_.corpus.num_texts()) {
+    SCOPED_TRACE("cycle=" + std::to_string(cycle));
+    schedule << "cycle " << cycle << ": start acked=" << acked << "\n";
+
+    auto searcher = ShardedSearcher::Open(set_dir);
+    ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+    IngestOptions options;
+    options.build = build_;
+    options.memtable_max_docs = 6;
+    options.compaction_fanin = 3;
+    options.compaction_poll_micros = 2000;
+    options.compaction_retry.initial_backoff_micros = 100;
+    options.compaction_quarantine_micros = 2000;
+    auto ingester = Ingester::Open(&*searcher, options);
+    ASSERT_TRUE(ingester.ok()) << ingester.status().ToString();
+    ASSERT_EQ(searcher->meta().num_texts, recovered)
+        << "replay after recovery lost or duplicated documents";
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> cycle_acked{0};
+
+    // Writer: sequential appends; the first failure ends the cycle (the
+    // ingester is poisoned — exactly the process-death model).
+    std::thread writer([&] {
+      size_t next = acked;
+      while (!stop.load(std::memory_order_relaxed) &&
+             next + 2 <= sc_.corpus.num_texts()) {
+        std::vector<std::vector<Token>> batch = {Doc(next), Doc(next + 1)};
+        if (!(*ingester)->AppendBatch(std::move(batch)).ok()) break;
+        next += 2;
+        cycle_acked.fetch_add(2, std::memory_order_relaxed);
+      }
+    });
+
+    // Readers: results during a storm may be errors or degraded; the only
+    // requirement here is no crash. Exactness is asserted at recovery.
+    std::thread reader([&] {
+      SearchOptions search_options;
+      search_options.theta = 0.5;
+      size_t q = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto tokens = sc_.corpus.text(q++ % 16);
+        const std::vector<Token> query(tokens.begin(), tokens.begin() + 20);
+        (void)searcher->Search(query, search_options);
+      }
+    });
+
+    // Fault schedule: let clean load run, then a seeded storm on the set
+    // directory until the writer dies or a timed lull.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const double p = 0.02 + 0.01 * (cycle % 4);
+    schedule << "  storm p=" << p << " seed=" << (1000 + cycle) << "\n";
+    fault->SetFaultPathFilter(set_dir);
+    fault->SetFailProbability(p, 1000 + cycle);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+    reader.join();
+    (*ingester)->Close();  // may fail under the storm; that is the point
+    ingester->reset();
+    searcher = Status::IOError("killed");
+
+    // Power loss + restart.
+    ASSERT_TRUE(fault->DropUnsyncedData().ok());
+    fault->Heal();
+    acked += cycle_acked.load(std::memory_order_relaxed);
+    schedule << "  killed; acked=" << acked << "\n";
+    recovered = VerifyRecovered(set_dir, acked,
+                                "chaos cycle " + std::to_string(cycle));
+    // Replay may legally resurrect a batch that was durable but unacked
+    // (synced before the storm hit the ack path); never fewer than acked.
+    acked = recovered < acked ? acked : recovered;
+    ++cycle;
+
+    if (::testing::Test::HasFailure()) break;
+  }
+
+  schedule << "end: cycles=" << cycle << " acked=" << acked << "\n";
+  if (::testing::Test::HasFailure()) {
+    const char* artifact = std::getenv("NDSS_CHAOS_ARTIFACT");
+    if (artifact != nullptr) {
+      std::ofstream out(artifact, std::ios::app);
+      out << "=== ingest chaos failing schedule ===\n" << schedule.str();
+    }
+    std::printf("%s", schedule.str().c_str());
+  }
+  EXPECT_GT(cycle, 0);
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,284 @@
+// WAL framing, recovery, and fsync-failure (fsyncgate) semantics.
+//
+// The torn-tail sweeps are the heart: a WAL cut at EVERY byte length, and
+// with EVERY byte corrupted, must scan to exactly the longest valid frame
+// prefix — never an error, never a frame past the damage. The fsyncgate
+// regression proves a failed fsync surfaces as a loud error on the write
+// path (no silent ack) and permanently poisons the writer: the fsync is
+// attempted exactly once, never retried.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/fault_injection_env.h"
+#include "common/file_io.h"
+#include "ingest/wal.h"
+#include "text/types.h"
+
+namespace ndss {
+namespace {
+
+class IngestWalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_wal_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/WAL";
+  }
+
+  void TearDown() override {
+    SetDefaultEnv(nullptr);
+    std::filesystem::remove_all(dir_);
+  }
+
+  /// Writes `frames` through a WalWriter with one final sync.
+  void WriteFrames(const std::vector<WalFrame>& frames) {
+    auto writer = WalWriter::Open(path_);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const WalFrame& frame : frames) {
+      ASSERT_TRUE(writer->Append(frame.seqno, frame.tokens).ok());
+    }
+    ASSERT_TRUE(writer->Sync().ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+
+  /// The raw bytes of the WAL file.
+  std::string ReadRaw() {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  void WriteRaw(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  static std::vector<WalFrame> SampleFrames() {
+    return {{1, {10, 20, 30}},
+            {2, {7}},
+            {5, {100, 200, 300, 400, 500}},
+            {6, {42, 43}}};
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(IngestWalTest, RoundTrip) {
+  const std::vector<WalFrame> frames = SampleFrames();
+  WriteFrames(frames);
+
+  auto scan = ScanWal(path_);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan->frames.size(), frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(scan->frames[i].seqno, frames[i].seqno);
+    EXPECT_EQ(scan->frames[i].tokens, frames[i].tokens);
+  }
+  EXPECT_EQ(scan->torn_bytes, 0u);
+  EXPECT_TRUE(scan->torn_reason.empty());
+  EXPECT_EQ(scan->min_seqno, 1u);
+  EXPECT_EQ(scan->max_seqno, 6u);
+  EXPECT_EQ(scan->valid_bytes, scan->file_bytes);
+
+  uint64_t expected_bytes = 0;
+  for (const WalFrame& frame : frames) {
+    expected_bytes += WalFrameBytes(frame.tokens.size());
+  }
+  EXPECT_EQ(scan->file_bytes, expected_bytes);
+}
+
+TEST_F(IngestWalTest, MissingFileIsEmptyLog) {
+  auto scan = ScanWal(dir_ + "/does_not_exist");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->frames.empty());
+  EXPECT_EQ(scan->file_bytes, 0u);
+
+  auto recovered = RecoverWal(dir_ + "/does_not_exist");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->frames.empty());
+}
+
+TEST_F(IngestWalTest, TruncationSweepKeepsLongestFramePrefix) {
+  const std::vector<WalFrame> frames = SampleFrames();
+  WriteFrames(frames);
+  const std::string raw = ReadRaw();
+
+  // Frame boundaries, so each cut length maps to an expected frame count.
+  std::vector<uint64_t> boundaries = {0};
+  for (const WalFrame& frame : frames) {
+    boundaries.push_back(boundaries.back() +
+                         WalFrameBytes(frame.tokens.size()));
+  }
+
+  for (size_t cut = 0; cut <= raw.size(); ++cut) {
+    WriteRaw(raw.substr(0, cut));
+    auto scan = ScanWal(path_);
+    ASSERT_TRUE(scan.ok()) << "cut=" << cut << ": "
+                           << scan.status().ToString();
+    size_t expected_frames = 0;
+    while (expected_frames + 1 < boundaries.size() &&
+           boundaries[expected_frames + 1] <= cut) {
+      ++expected_frames;
+    }
+    EXPECT_EQ(scan->frames.size(), expected_frames) << "cut=" << cut;
+    EXPECT_EQ(scan->valid_bytes, boundaries[expected_frames])
+        << "cut=" << cut;
+    EXPECT_EQ(scan->torn_bytes, cut - boundaries[expected_frames])
+        << "cut=" << cut;
+
+    // Recovery truncates the torn tail; the rescan must be clean.
+    auto recovered = RecoverWal(path_);
+    ASSERT_TRUE(recovered.ok()) << "cut=" << cut;
+    auto rescan = ScanWal(path_);
+    ASSERT_TRUE(rescan.ok()) << "cut=" << cut;
+    EXPECT_EQ(rescan->frames.size(), expected_frames) << "cut=" << cut;
+    EXPECT_EQ(rescan->torn_bytes, 0u) << "cut=" << cut;
+    EXPECT_EQ(rescan->file_bytes, boundaries[expected_frames])
+        << "cut=" << cut;
+  }
+}
+
+TEST_F(IngestWalTest, CorruptionSweepNeverYieldsFramePastDamage) {
+  const std::vector<WalFrame> frames = SampleFrames();
+  WriteFrames(frames);
+  const std::string raw = ReadRaw();
+
+  std::vector<uint64_t> boundaries = {0};
+  for (const WalFrame& frame : frames) {
+    boundaries.push_back(boundaries.back() +
+                         WalFrameBytes(frame.tokens.size()));
+  }
+
+  for (size_t pos = 0; pos < raw.size(); ++pos) {
+    std::string corrupted = raw;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x40);
+    WriteRaw(corrupted);
+    auto scan = ScanWal(path_);
+    ASSERT_TRUE(scan.ok()) << "pos=" << pos;
+    // The frame containing the flipped byte must not survive; the frames
+    // before it must all survive (their bytes are untouched).
+    size_t damaged_frame = 0;
+    while (boundaries[damaged_frame + 1] <= pos) ++damaged_frame;
+    EXPECT_LE(scan->frames.size(), damaged_frame) << "pos=" << pos;
+    // A flipped length field can make the scanner misparse everything after
+    // it, but the untouched frames BEFORE the damage must parse — unless
+    // the damage is in frame 0.
+    if (scan->frames.size() < damaged_frame) {
+      // Allowed only if the corruption reached backwards — impossible: the
+      // scan is strictly sequential, so anything short of damaged_frame
+      // means the scanner stopped early. That would lose acknowledged data.
+      ADD_FAILURE() << "pos=" << pos << ": scan kept " << scan->frames.size()
+                    << " frames, expected " << damaged_frame;
+    }
+    for (size_t i = 0; i < scan->frames.size(); ++i) {
+      EXPECT_EQ(scan->frames[i].seqno, frames[i].seqno) << "pos=" << pos;
+      EXPECT_EQ(scan->frames[i].tokens, frames[i].tokens) << "pos=" << pos;
+    }
+  }
+}
+
+TEST_F(IngestWalTest, NonMonotoneSeqnoEndsValidPrefix) {
+  // Hand-build a log whose third frame repeats a seqno.
+  std::string raw;
+  EncodeWalFrame(1, std::vector<Token>{1, 2}, &raw);
+  EncodeWalFrame(2, std::vector<Token>{3}, &raw);
+  EncodeWalFrame(2, std::vector<Token>{4}, &raw);
+  WriteRaw(raw);
+
+  auto scan = ScanWal(path_);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->frames.size(), 2u);
+  EXPECT_GT(scan->torn_bytes, 0u);
+  EXPECT_EQ(scan->torn_reason, "frame seqno not increasing");
+}
+
+TEST_F(IngestWalTest, AppendAfterRecoveryContinuesCleanly) {
+  WriteFrames(SampleFrames());
+  // Tear the tail mid-frame, recover, then append a new frame.
+  const std::string raw = ReadRaw();
+  WriteRaw(raw.substr(0, raw.size() - 3));
+  ASSERT_TRUE(RecoverWal(path_).ok());
+
+  auto writer = WalWriter::Open(path_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(9, std::vector<Token>{77, 88}).ok());
+  ASSERT_TRUE(writer->Sync().ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  auto scan = ScanWal(path_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->frames.size(), 4u);  // 3 surviving + 1 appended
+  EXPECT_EQ(scan->frames.back().seqno, 9u);
+  EXPECT_EQ(scan->torn_bytes, 0u);
+}
+
+// ---- fsyncgate ----
+
+TEST_F(IngestWalTest, FailedFsyncSurfacesAsErrorNotSilentAck) {
+  FaultInjectionEnv fault(Env::Posix());
+  SetDefaultEnv(&fault);
+
+  auto writer = WalWriter::Open(path_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(1, std::vector<Token>{1, 2, 3}).ok());
+  ASSERT_TRUE(writer->Sync().ok());
+
+  fault.SetFailFsync(true);
+  ASSERT_TRUE(writer->Append(2, std::vector<Token>{4, 5, 6}).ok());
+  const Status failed = writer->Sync();
+  ASSERT_FALSE(failed.ok()) << "failed fsync must not ack";
+  EXPECT_TRUE(failed.IsIOError());
+  EXPECT_TRUE(writer->poisoned());
+
+  // The poison is sticky and fail-fast: no further fsync attempt reaches
+  // the file system (fsyncgate — a retried fsync can falsely succeed).
+  const int64_t ops_before = fault.op_count();
+  const Status again = writer->Sync();
+  EXPECT_EQ(again, failed);
+  EXPECT_EQ(fault.op_count(), ops_before);
+  const Status append = writer->Append(3, std::vector<Token>{7});
+  EXPECT_EQ(append, failed);
+  EXPECT_EQ(fault.op_count(), ops_before);
+
+  // Clearing the fault does NOT resurrect the writer; only a reopen (which
+  // trusts the on-disk scan) can. The unacked frame is gone after a crash.
+  fault.Heal();
+  EXPECT_FALSE(writer->Sync().ok());
+  writer = Status::IOError("drop writer");
+  ASSERT_TRUE(fault.DropUnsyncedData().ok());
+
+  auto scan = ScanWal(path_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->frames.size(), 1u);  // only the acked frame survived
+  EXPECT_EQ(scan->frames[0].seqno, 1u);
+}
+
+TEST_F(IngestWalTest, PoisonedAfterFailedAppend) {
+  FaultInjectionEnv fault(Env::Posix());
+  SetDefaultEnv(&fault);
+
+  auto writer = WalWriter::Open(path_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(1, std::vector<Token>{1}).ok());
+
+  fault.FailAtOp(fault.op_count());  // the next operation fails
+  const Status failed = writer->Append(2, std::vector<Token>{2});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(writer->poisoned());
+  // A failed append may have left a torn frame; later appends must not
+  // write past it even after the fault clears.
+  EXPECT_FALSE(writer->Append(3, std::vector<Token>{3}).ok());
+}
+
+}  // namespace
+}  // namespace ndss

@@ -1,0 +1,439 @@
+// Streaming-ingestion semantics: WAL-acked appends are immediately
+// searchable and bit-identical to a batch build over the same documents,
+// across every lifecycle transition — memtable only, after spills, after
+// restarts (single and double replay), after compaction, and under injected
+// fsync and compaction failures.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/fault_injection_env.h"
+#include "corpusgen/synthetic.h"
+#include "index/index_builder.h"
+#include "ingest/ingester.h"
+#include "ingest/wal.h"
+#include "query/searcher.h"
+#include "shard/sharded_searcher.h"
+#include "text/corpus.h"
+
+namespace ndss {
+namespace {
+
+/// Field-sensitive serialization of a result's matches, so a sharded
+/// streaming answer can be compared to a batch-built reference for exact
+/// agreement.
+std::string Fingerprint(const SearchResult& result) {
+  std::ostringstream out;
+  for (const TextMatchRectangle& r : result.rectangles) {
+    out << "R" << r.text << ":" << r.rect.x_begin << "," << r.rect.x_end
+        << "," << r.rect.y_begin << "," << r.rect.y_end << ","
+        << r.rect.collisions << ";";
+  }
+  for (const MatchSpan& s : result.spans) {
+    out << "S" << s.text << ":" << s.begin << "," << s.end << ","
+        << s.collisions << ";";
+  }
+  return out.str();
+}
+
+class IngesterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_dir_ = ::testing::TempDir() + "/ndss_ingester_" +
+               ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(set_dir_);
+
+    SyntheticCorpusOptions options;
+    options.num_texts = 48;
+    options.min_text_length = 40;
+    options.max_text_length = 90;
+    options.vocab_size = 120;
+    options.seed = 11;
+    sc_ = GenerateSyntheticCorpus(options);
+
+    build_.k = 4;
+    build_.t = 10;
+  }
+
+  void TearDown() override {
+    SetDefaultEnv(nullptr);
+    std::filesystem::remove_all(set_dir_);
+  }
+
+  std::vector<std::vector<Token>> Docs(size_t count) const {
+    std::vector<std::vector<Token>> docs;
+    for (size_t i = 0; i < count; ++i) {
+      const auto tokens = sc_.corpus.text(i);
+      docs.emplace_back(tokens.begin(), tokens.end());
+    }
+    return docs;
+  }
+
+  std::vector<std::vector<Token>> Queries() const {
+    std::vector<std::vector<Token>> queries;
+    for (size_t i = 0; i < 6; ++i) {
+      const auto tokens = sc_.corpus.text(i * 7);
+      queries.emplace_back(tokens.begin(), tokens.begin() + 30);
+    }
+    return queries;
+  }
+
+  /// Fingerprints of the fixed query set against the batch-built in-memory
+  /// reference over the first `count` documents.
+  std::vector<std::string> ReferenceFingerprints(size_t count) {
+    Corpus reference;
+    for (const auto& doc : Docs(count)) reference.AddText(doc);
+    auto searcher = Searcher::InMemory(reference, build_);
+    EXPECT_TRUE(searcher.ok()) << searcher.status().ToString();
+    return RunQueries([&](std::span<const Token> q, const SearchOptions& o) {
+      return searcher->Search(q, o);
+    });
+  }
+
+  std::vector<std::string> ShardedFingerprints(ShardedSearcher& searcher) {
+    return RunQueries([&](std::span<const Token> q, const SearchOptions& o) {
+      return searcher.Search(q, o);
+    });
+  }
+
+  template <typename SearchFn>
+  std::vector<std::string> RunQueries(SearchFn&& search) {
+    SearchOptions options;
+    options.theta = 0.5;
+    std::vector<std::string> fingerprints;
+    for (const auto& query : Queries()) {
+      auto result = search(query, options);
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      fingerprints.push_back(result.ok() ? Fingerprint(*result) : "<error>");
+    }
+    return fingerprints;
+  }
+
+  /// Appends `docs` through `ingester` in batches of `batch_size`. One
+  /// AppendBatch is one group commit (and trips at most one spill), so
+  /// spill-counting tests must feed documents in sub-budget batches.
+  static void AppendInBatches(Ingester& ingester,
+                              const std::vector<std::vector<Token>>& docs,
+                              size_t batch_size) {
+    for (size_t i = 0; i < docs.size(); i += batch_size) {
+      std::vector<std::vector<Token>> batch(
+          docs.begin() + i,
+          docs.begin() + std::min(docs.size(), i + batch_size));
+      ASSERT_TRUE(ingester.AppendBatch(std::move(batch)).ok());
+    }
+  }
+
+  IngestOptions NoCompaction() const {
+    IngestOptions options;
+    options.build = build_;
+    options.enable_compaction = false;
+    return options;
+  }
+
+  std::string set_dir_;
+  SyntheticCorpus sc_;
+  IndexBuildOptions build_;
+};
+
+TEST_F(IngesterTest, AppendsMatchBatchBuild) {
+  ASSERT_TRUE(Ingester::CreateSet(set_dir_, build_).ok());
+  auto searcher = ShardedSearcher::Open(set_dir_);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  auto ingester = Ingester::Open(&*searcher, NoCompaction());
+  ASSERT_TRUE(ingester.ok()) << ingester.status().ToString();
+
+  const auto docs = Docs(20);
+  uint64_t seqno = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*ingester)->Append(docs[i], &seqno).ok());
+    EXPECT_EQ(seqno, i + 1);
+  }
+  std::vector<std::vector<Token>> rest(docs.begin() + 10, docs.end());
+  uint64_t last = 0;
+  ASSERT_TRUE((*ingester)->AppendBatch(rest, &last).ok());
+  EXPECT_EQ(last, 20u);
+
+  EXPECT_EQ(searcher->meta().num_texts, 20u);
+  EXPECT_EQ(searcher->delta_texts(), 20u);
+  EXPECT_EQ(ShardedFingerprints(*searcher), ReferenceFingerprints(20));
+
+  const IngestStats stats = (*ingester)->stats();
+  EXPECT_EQ(stats.docs_appended, 20u);
+  EXPECT_EQ(stats.last_seqno, 20u);
+  EXPECT_EQ(stats.delta_docs, 20u);
+  EXPECT_EQ(stats.spills, 0u);
+}
+
+TEST_F(IngesterTest, SpillSealsShardAndResetsWal) {
+  ASSERT_TRUE(Ingester::CreateSet(set_dir_, build_).ok());
+  auto searcher = ShardedSearcher::Open(set_dir_);
+  ASSERT_TRUE(searcher.ok());
+  IngestOptions options = NoCompaction();
+  options.memtable_max_docs = 8;
+  auto ingester = Ingester::Open(&*searcher, options);
+  ASSERT_TRUE(ingester.ok()) << ingester.status().ToString();
+
+  const uint64_t epoch_before = searcher->epoch();
+  AppendInBatches(**ingester, Docs(24), 4);
+
+  const IngestStats stats = (*ingester)->stats();
+  EXPECT_EQ(stats.spills, 3u);
+  EXPECT_EQ(stats.applied_seqno, 24u);
+  EXPECT_EQ(stats.delta_docs, 0u);
+  EXPECT_EQ(searcher->applied_seqno(), 24u);
+  EXPECT_GT(searcher->epoch(), epoch_before);
+  EXPECT_EQ(searcher->shards().size(), 4u);  // genesis + 3 spills
+  EXPECT_EQ(searcher->meta().num_texts, 24u);
+
+  // The spilled prefix left the WAL.
+  auto wal_size = GetDefaultEnv()->GetFileSize(set_dir_ + "/WAL");
+  ASSERT_TRUE(wal_size.ok());
+  EXPECT_EQ(*wal_size, 0u);
+
+  EXPECT_EQ(ShardedFingerprints(*searcher), ReferenceFingerprints(24));
+
+  // Flush with an empty memtable is a no-op.
+  ASSERT_TRUE((*ingester)->Flush().ok());
+  EXPECT_EQ((*ingester)->stats().spills, 3u);
+}
+
+TEST_F(IngesterTest, RestartReplaysUnsealedDocuments) {
+  ASSERT_TRUE(Ingester::CreateSet(set_dir_, build_).ok());
+  {
+    auto searcher = ShardedSearcher::Open(set_dir_);
+    ASSERT_TRUE(searcher.ok());
+    IngestOptions options = NoCompaction();
+    options.memtable_max_docs = 8;
+    auto ingester = Ingester::Open(&*searcher, options);
+    ASSERT_TRUE(ingester.ok());
+    // 20 docs in batches of 4: 2 spills of 8, then 4 left in memtable + WAL.
+    AppendInBatches(**ingester, Docs(20), 4);
+    ASSERT_TRUE((*ingester)->Close().ok());
+  }
+  {
+    auto searcher = ShardedSearcher::Open(set_dir_);
+    ASSERT_TRUE(searcher.ok());
+    EXPECT_EQ(searcher->meta().num_texts, 16u);  // sealed shards only
+    auto ingester = Ingester::Open(&*searcher, NoCompaction());
+    ASSERT_TRUE(ingester.ok()) << ingester.status().ToString();
+    EXPECT_EQ((*ingester)->stats().docs_replayed, 4u);
+    EXPECT_EQ(searcher->meta().num_texts, 20u);  // + replayed memtable
+    EXPECT_EQ(ShardedFingerprints(*searcher), ReferenceFingerprints(20));
+
+    // Appends continue the WAL seqno sequence.
+    uint64_t seqno = 0;
+    ASSERT_TRUE((*ingester)->Append(Docs(21)[20], &seqno).ok());
+    EXPECT_EQ(seqno, 21u);
+    EXPECT_EQ(ShardedFingerprints(*searcher), ReferenceFingerprints(21));
+  }
+}
+
+TEST_F(IngesterTest, DoubleReplayIsIdempotent) {
+  ASSERT_TRUE(Ingester::CreateSet(set_dir_, build_).ok());
+  {
+    auto searcher = ShardedSearcher::Open(set_dir_);
+    ASSERT_TRUE(searcher.ok());
+    auto ingester = Ingester::Open(&*searcher, NoCompaction());
+    ASSERT_TRUE(ingester.ok());
+    ASSERT_TRUE((*ingester)->AppendBatch(Docs(12)).ok());
+  }
+  const std::vector<std::string> expected = ReferenceFingerprints(12);
+  for (int replay = 0; replay < 2; ++replay) {
+    auto searcher = ShardedSearcher::Open(set_dir_);
+    ASSERT_TRUE(searcher.ok());
+    auto ingester = Ingester::Open(&*searcher, NoCompaction());
+    ASSERT_TRUE(ingester.ok()) << ingester.status().ToString();
+    // Replaying the same WAL twice must not duplicate documents.
+    EXPECT_EQ((*ingester)->stats().docs_replayed, 12u) << "replay " << replay;
+    EXPECT_EQ(searcher->meta().num_texts, 12u) << "replay " << replay;
+    EXPECT_EQ(searcher->delta_texts(), 12u) << "replay " << replay;
+    EXPECT_EQ(ShardedFingerprints(*searcher), expected) << "replay " << replay;
+  }
+}
+
+TEST_F(IngesterTest, ReplaySkipsFramesAtOrBelowAppliedSeqno) {
+  ASSERT_TRUE(Ingester::CreateSet(set_dir_, build_).ok());
+  {
+    auto searcher = ShardedSearcher::Open(set_dir_);
+    ASSERT_TRUE(searcher.ok());
+    auto ingester = Ingester::Open(&*searcher, NoCompaction());
+    ASSERT_TRUE(ingester.ok());
+    ASSERT_TRUE((*ingester)->AppendBatch(Docs(10)).ok());
+    ASSERT_TRUE((*ingester)->Flush().ok());  // seals all 10, applied = 10
+  }
+  // Simulate a crash between the spill's manifest commit and the WAL
+  // truncation: put the already-applied frames back.
+  {
+    auto writer = WalWriter::Open(set_dir_ + "/WAL");
+    ASSERT_TRUE(writer.ok());
+    const auto docs = Docs(10);
+    for (size_t i = 0; i < docs.size(); ++i) {
+      ASSERT_TRUE(writer->Append(i + 1, docs[i]).ok());
+    }
+    ASSERT_TRUE(writer->Sync().ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto searcher = ShardedSearcher::Open(set_dir_);
+  ASSERT_TRUE(searcher.ok());
+  EXPECT_EQ(searcher->applied_seqno(), 10u);
+  auto ingester = Ingester::Open(&*searcher, NoCompaction());
+  ASSERT_TRUE(ingester.ok());
+  EXPECT_EQ((*ingester)->stats().docs_replayed, 0u);
+  EXPECT_EQ(searcher->meta().num_texts, 10u);  // no duplicates
+  EXPECT_EQ(ShardedFingerprints(*searcher), ReferenceFingerprints(10));
+}
+
+TEST_F(IngesterTest, CompactionFoldsShardsAndPreservesAnswers) {
+  ASSERT_TRUE(Ingester::CreateSet(set_dir_, build_).ok());
+  auto searcher = ShardedSearcher::Open(set_dir_);
+  ASSERT_TRUE(searcher.ok());
+  IngestOptions options = NoCompaction();
+  options.memtable_max_docs = 4;
+  options.compaction_fanin = 3;
+  auto ingester = Ingester::Open(&*searcher, options);
+  ASSERT_TRUE(ingester.ok());
+
+  AppendInBatches(**ingester, Docs(32), 4);
+  const size_t shards_before = searcher->shards().size();
+  EXPECT_EQ(shards_before, 9u);  // genesis + 8 spills
+
+  // Drive the compactor synchronously until a fixed point.
+  bool compacted = true;
+  while (compacted) {
+    ASSERT_TRUE((*ingester)->CompactOnce(&compacted).ok());
+  }
+  EXPECT_LT(searcher->shards().size(), shards_before);
+  EXPECT_GT((*ingester)->stats().compactions, 0u);
+  EXPECT_EQ(searcher->meta().num_texts, 32u);
+  EXPECT_EQ(ShardedFingerprints(*searcher), ReferenceFingerprints(32));
+
+  // The folded input directories are gone; survivors and the set reopen.
+  auto reopened = ShardedSearcher::Open(set_dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(ShardedFingerprints(*reopened), ReferenceFingerprints(32));
+}
+
+TEST_F(IngesterTest, CompactionFailureLeavesServingIntact) {
+  FaultInjectionEnv fault(Env::Posix());
+  SetDefaultEnv(&fault);
+
+  ASSERT_TRUE(Ingester::CreateSet(set_dir_, build_).ok());
+  auto searcher = ShardedSearcher::Open(set_dir_);
+  ASSERT_TRUE(searcher.ok());
+  IngestOptions options = NoCompaction();
+  options.memtable_max_docs = 4;
+  options.compaction_retry.max_attempts = 2;
+  options.compaction_retry.initial_backoff_micros = 1;
+  auto ingester = Ingester::Open(&*searcher, options);
+  ASSERT_TRUE(ingester.ok());
+  AppendInBatches(**ingester, Docs(16), 4);
+  const size_t shards_before = searcher->shards().size();
+
+  // Every write into a compaction output directory fails.
+  fault.SetFaultPathFilter("compact-");
+  fault.SetFailProbability(1.0);
+  bool compacted = true;
+  const Status failed = (*ingester)->CompactOnce(&compacted);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_FALSE(compacted);
+  EXPECT_GE((*ingester)->stats().compaction_failures, 1u);
+
+  // Serving and ingestion never degraded; the topology is untouched.
+  EXPECT_EQ(searcher->shards().size(), shards_before);
+  EXPECT_EQ(ShardedFingerprints(*searcher), ReferenceFingerprints(16));
+  ASSERT_TRUE((*ingester)->Append(Docs(17)[16]).ok());
+
+  // Once the fault clears, compaction succeeds.
+  fault.Heal();
+  ASSERT_TRUE((*ingester)->CompactOnce(&compacted).ok());
+  EXPECT_TRUE(compacted);
+  EXPECT_LT(searcher->shards().size(), shards_before);
+  EXPECT_EQ(ShardedFingerprints(*searcher), ReferenceFingerprints(17));
+}
+
+TEST_F(IngesterTest, FailedFsyncPoisonsAppendsButNotServing) {
+  FaultInjectionEnv fault(Env::Posix());
+  SetDefaultEnv(&fault);
+
+  ASSERT_TRUE(Ingester::CreateSet(set_dir_, build_).ok());
+  auto searcher = ShardedSearcher::Open(set_dir_);
+  ASSERT_TRUE(searcher.ok());
+  auto ingester = Ingester::Open(&*searcher, NoCompaction());
+  ASSERT_TRUE(ingester.ok());
+  ASSERT_TRUE((*ingester)->AppendBatch(Docs(8)).ok());
+
+  fault.SetFailFsync(true);
+  const Status failed = (*ingester)->Append(Docs(9)[8]);
+  ASSERT_FALSE(failed.ok()) << "a failed WAL fsync must surface, not ack";
+  EXPECT_TRUE((*ingester)->poisoned());
+
+  // Sticky: healing the env does not resurrect the write path (fsyncgate —
+  // only a re-open that re-scans the on-disk log can).
+  fault.Heal();
+  EXPECT_FALSE((*ingester)->Append(Docs(9)[8]).ok());
+  EXPECT_FALSE((*ingester)->Flush().ok());
+
+  // Serving still answers with exactly the acked documents.
+  EXPECT_EQ(searcher->meta().num_texts, 8u);
+  EXPECT_EQ(ShardedFingerprints(*searcher), ReferenceFingerprints(8));
+  EXPECT_EQ((*ingester)->stats().docs_appended, 8u);
+
+  // A crash + restart recovers the acked prefix; the unacked document is
+  // gone, as the error promised.
+  ingester->reset();
+  searcher = Status::IOError("dropped");
+  ASSERT_TRUE(fault.DropUnsyncedData().ok());
+  auto recovered_searcher = ShardedSearcher::Open(set_dir_);
+  ASSERT_TRUE(recovered_searcher.ok());
+  auto recovered = Ingester::Open(&*recovered_searcher, NoCompaction());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered_searcher->meta().num_texts, 8u);
+  EXPECT_EQ(ShardedFingerprints(*recovered_searcher),
+            ReferenceFingerprints(8));
+  EXPECT_FALSE((*recovered)->poisoned());
+}
+
+TEST_F(IngesterTest, GuardsAndEdgeCases) {
+  ASSERT_TRUE(Ingester::CreateSet(set_dir_, build_).ok());
+  // Creating over an existing set fails.
+  EXPECT_FALSE(Ingester::CreateSet(set_dir_, build_).ok());
+
+  auto searcher = ShardedSearcher::Open(set_dir_);
+  ASSERT_TRUE(searcher.ok());
+
+  // Mismatched build parameters are rejected.
+  IngestOptions wrong = NoCompaction();
+  wrong.build.k = build_.k + 1;
+  EXPECT_FALSE(Ingester::Open(&*searcher, wrong).ok());
+
+  auto ingester = Ingester::Open(&*searcher, NoCompaction());
+  ASSERT_TRUE(ingester.ok());
+  EXPECT_TRUE((*ingester)->AppendBatch({}).ok());  // empty batch is a no-op
+  ASSERT_TRUE((*ingester)->Close().ok());
+  EXPECT_TRUE((*ingester)->Close().ok());  // idempotent
+  EXPECT_FALSE((*ingester)->Append(Docs(1)[0]).ok());  // closed
+}
+
+TEST_F(IngesterTest, OrphanSweepRemovesUncommittedSpill) {
+  ASSERT_TRUE(Ingester::CreateSet(set_dir_, build_).ok());
+  // A crash mid-spill leaves a half-built, uncommitted shard directory.
+  const std::string orphan = set_dir_ + "/delta-00000000000000000099";
+  std::filesystem::create_directories(orphan);
+  std::ofstream(orphan + "/inverted.0.ndx") << "partial";
+
+  auto searcher = ShardedSearcher::Open(set_dir_);
+  ASSERT_TRUE(searcher.ok());
+  auto ingester = Ingester::Open(&*searcher, NoCompaction());
+  ASSERT_TRUE(ingester.ok()) << ingester.status().ToString();
+  EXPECT_FALSE(std::filesystem::exists(orphan));
+}
+
+}  // namespace
+}  // namespace ndss

@@ -29,6 +29,7 @@
 #include "common/file_io.h"
 #include "corpusgen/synthetic.h"
 #include "index/index_builder.h"
+#include "ingest/ingester.h"
 #include "net/http.h"
 #include "net/json.h"
 #include "query/searcher.h"
@@ -123,6 +124,7 @@ class ServeTest : public ::testing::Test {
   void TearDown() override {
     server_.reset();
     service_.reset();
+    ingester_.reset();
     searcher_.reset();
     SetDefaultEnv(nullptr);
     std::filesystem::remove_all(dir_);
@@ -153,6 +155,35 @@ class ServeTest : public ::testing::Test {
                               return service_->Handle(request);
                             })
                     .ok());
+  }
+
+  /// Creates a fresh streamable (WAL-backed) set and starts the server over
+  /// it with the write path open, mirroring `ndss_serve --ingest`.
+  void StartIngestServer(ServeOptions serve_options = {}) {
+    const std::string set_dir = dir_ + "/iset";
+    ASSERT_TRUE(Ingester::CreateSet(set_dir, build_).ok());
+    auto searcher = ShardedSearcher::Open(set_dir);
+    ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+    searcher_ = std::make_unique<ShardedSearcher>(std::move(*searcher));
+    serve_options.search.theta = kTheta;
+    service_ = std::make_unique<SearchService>(searcher_.get(),
+                                               serve_options);
+    server_ = std::make_unique<HttpServer>();
+    HttpServerOptions server_options;
+    server_options.num_threads = 4;
+    ASSERT_TRUE(server_
+                    ->Start(server_options,
+                            [this](const HttpRequest& request) {
+                              return service_->Handle(request);
+                            })
+                    .ok());
+    IngestOptions ingest_options;
+    ingest_options.build = build_;
+    ingest_options.enable_compaction = false;
+    auto ingester = Ingester::Open(searcher_.get(), ingest_options);
+    ASSERT_TRUE(ingester.ok()) << ingester.status().ToString();
+    ingester_ = std::move(*ingester);
+    service_->set_ingester(ingester_.get());
   }
 
   /// One-shot POST on a fresh connection.
@@ -192,6 +223,7 @@ class ServeTest : public ::testing::Test {
   SyntheticCorpus sc_;
   IndexBuildOptions build_;
   std::unique_ptr<ShardedSearcher> searcher_;
+  std::unique_ptr<Ingester> ingester_;
   std::unique_ptr<SearchService> service_;
   std::unique_ptr<HttpServer> server_;
 };
@@ -506,6 +538,96 @@ TEST_F(ServeTest, ConcurrentClientsRaceAttachDetachSafely) {
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(NumberField(*status, "num_shards"), 3);
   EXPECT_EQ(NumberField(*status, "epoch"), 8);  // 4 attach/detach cycles
+}
+
+// ---- streaming ingestion over HTTP ----
+
+TEST_F(ServeTest, HealthzReportsReadinessTransitions) {
+  StartServer(ServeOptions{});
+
+  HttpResponse ready = Get("/v1/healthz");
+  EXPECT_EQ(ready.status, 200);
+  auto parsed = ParseJson(ready.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("live")->bool_value(), true);
+  EXPECT_EQ(parsed->Find("ready")->bool_value(), true);
+  EXPECT_EQ(parsed->Find("wal_replaying")->bool_value(), false);
+  EXPECT_EQ(NumberField(*parsed, "unhealthy_shards"), 0);
+
+  // During WAL replay the server is live but not ready: an LB must not
+  // route traffic to it, but an orchestrator must not kill it either.
+  service_->set_wal_replaying(true);
+  HttpResponse replaying = Get("/v1/healthz");
+  EXPECT_EQ(replaying.status, 503);
+  parsed = ParseJson(replaying.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("live")->bool_value(), true);
+  EXPECT_EQ(parsed->Find("ready")->bool_value(), false);
+  EXPECT_EQ(parsed->Find("wal_replaying")->bool_value(), true);
+
+  service_->set_wal_replaying(false);
+  EXPECT_EQ(Get("/v1/healthz").status, 200);
+}
+
+TEST_F(ServeTest, IngestThenSearchFindsTheDocumentOverHttp) {
+  StartIngestServer();
+
+  // Healthz is ready with the write path open.
+  EXPECT_EQ(Get("/v1/healthz").status, 200);
+
+  // Ingest four documents over the wire.
+  JsonValue documents = JsonValue::Array();
+  for (size_t i = 0; i < 4; ++i) {
+    JsonValue tokens = JsonValue::Array();
+    for (Token token : sc_.corpus.text(i)) {
+      tokens.Append(JsonValue::Number(static_cast<uint64_t>(token)));
+    }
+    documents.Append(std::move(tokens));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("documents", std::move(documents));
+  HttpResponse ingested = Post("/v1/ingest", body.Dump());
+  EXPECT_EQ(ingested.status, 200) << ingested.body;
+  auto parsed = ParseJson(ingested.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(NumberField(*parsed, "docs"), 4);
+  EXPECT_EQ(NumberField(*parsed, "last_seqno"), 4);
+  EXPECT_EQ(NumberField(*parsed, "delta_docs"), 4);
+
+  // The acked documents are immediately searchable through the same server.
+  const auto text = sc_.corpus.text(2);
+  const std::vector<Token> query(text.begin(), text.begin() + 35);
+  HttpResponse found = Post("/v1/search", SearchBody(query, kTheta));
+  EXPECT_EQ(found.status, 200) << found.body;
+  auto answer = ParseJson(found.body);
+  ASSERT_TRUE(answer.ok());
+  const JsonValue* spans = answer->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  EXPECT_FALSE(spans->array().empty())
+      << "ingested document not found by search";
+
+  // The write path shows up in the counters.
+  auto status = ParseJson(Get("/v1/status").body);
+  ASSERT_TRUE(status.ok());
+  const JsonValue* counters = status->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(NumberField(*counters, "ingests_ok"), 1);
+  EXPECT_EQ(NumberField(*counters, "docs_ingested"), 4);
+
+  // Malformed ingest bodies are loud 400s.
+  EXPECT_EQ(Post("/v1/ingest", "{}").status, 400);
+  EXPECT_EQ(Post("/v1/ingest", "{\"documents\":[]}").status, 400);
+  EXPECT_EQ(Post("/v1/ingest", "{\"documents\":[[]]}").status, 400);
+}
+
+TEST_F(ServeTest, IngestWithoutWritePathIsRejected) {
+  StartServer(ServeOptions{});  // no ingester attached
+  HttpResponse rejected =
+      Post("/v1/ingest", "{\"documents\":[[1,2,3]]}");
+  EXPECT_EQ(rejected.status, 400);
+  auto parsed = ParseJson(rejected.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("code")->string_value(), "InvalidArgument");
 }
 
 }  // namespace

@@ -4,7 +4,10 @@
 
 #include <filesystem>
 #include <string>
+#include <vector>
 
+#include "common/coding.h"
+#include "common/crc32c.h"
 #include "common/file_io.h"
 #include "index/index_merger.h"
 
@@ -112,6 +115,50 @@ TEST_F(ShardManifestTest, TruncationDetectedAtEveryLength) {
     auto loaded = ShardManifest::Load(dir_);
     EXPECT_FALSE(loaded.ok()) << "truncation to " << keep << " undetected";
   }
+}
+
+TEST_F(ShardManifestTest, AppliedSeqnoRoundTrip) {
+  ShardManifest manifest;
+  manifest.epoch = 7;
+  manifest.applied_seqno = 123456789012345ull;
+  manifest.shard_dirs = {"genesis", "delta-1"};
+  ASSERT_TRUE(manifest.Save(dir_).ok());
+
+  auto loaded = ShardManifest::Load(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->applied_seqno, 123456789012345ull);
+  EXPECT_EQ(loaded->epoch, 7u);
+  EXPECT_EQ(loaded->shard_dirs, manifest.shard_dirs);
+}
+
+TEST_F(ShardManifestTest, LegacyV1ManifestLoadsWithZeroAppliedSeqno) {
+  // Hand-encode the pre-ingestion format: magic, epoch, num_shards,
+  // length-prefixed dirs, masked CRC — no applied_seqno field.
+  constexpr uint64_t kManifestMagicV1 = 0x32494e414d53444eULL;
+  std::string data;
+  PutFixed64(&data, kManifestMagicV1);
+  PutFixed64(&data, 9);  // epoch
+  PutFixed32(&data, 2);  // num_shards
+  for (const std::string& dir : {std::string("s0"), std::string("s1")}) {
+    PutFixed32(&data, static_cast<uint32_t>(dir.size()));
+    data.append(dir);
+  }
+  PutFixed32(&data, crc32c::Mask(crc32c::Value(data.data(), data.size())));
+  ASSERT_TRUE(WriteStringToFile(ShardManifest::Path(dir_), data).ok());
+
+  auto loaded = ShardManifest::Load(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 9u);
+  EXPECT_EQ(loaded->applied_seqno, 0u);
+  EXPECT_EQ(loaded->shard_dirs,
+            (std::vector<std::string>{"s0", "s1"}));
+
+  // Save always writes the current format: the round-trip upgrades it.
+  ASSERT_TRUE(loaded->Save(dir_).ok());
+  auto upgraded = ShardManifest::Load(dir_);
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_EQ(upgraded->epoch, 9u);
+  EXPECT_EQ(upgraded->applied_seqno, 0u);
 }
 
 TEST_F(ShardManifestTest, ResolveShardDir) {

@@ -7,12 +7,21 @@
 //              [--theta=0.8] [--no-prefix-filter] [--long-list-threshold=N]
 //              [--batch-threads=1] [--no-self-healing] [--port-file=PATH]
 //              [--serve-seconds=0] [--allow-debug-sleep] [--quiet]
+//              [--ingest] [--memtable-mb=8] [--no-compaction]
 //
 // Routes (see src/net/serve.h for the request/response schema):
 //   POST /v1/search        one governed query
 //   POST /v1/search_batch  a governed batch (shared list cache, shedding)
+//   POST /v1/ingest        append documents (requires --ingest)
 //   GET  /v1/status        topology + admission + counters snapshot
 //   GET  /v1/shards        per-shard self-healing health
+//   GET  /v1/healthz       liveness/readiness probe (always admitted)
+//
+// --ingest opens the set's WAL-backed streaming write path: the port binds
+// first (so /v1/healthz answers, reporting ready=false), then WAL recovery
+// replays unsealed documents into the serving memtable, then /v1/ingest
+// starts acknowledging writes. --memtable-mb sets the spill budget;
+// --no-compaction disables the background folding of small sealed shards.
 //
 // A request's deadline_ms (or X-Ndss-Deadline-Ms header) becomes its
 // QueryContext deadline; memory_mb parents into --server-memory-mb;
@@ -32,6 +41,7 @@
 #include <fstream>
 #include <thread>
 
+#include "ingest/ingester.h"
 #include "net/http.h"
 #include "net/serve.h"
 #include "shard/sharded_searcher.h"
@@ -55,7 +65,8 @@ int main(int argc, char** argv) {
         "[--default-deadline-ms=0] [--theta=0.8] [--no-prefix-filter] "
         "[--long-list-threshold=4096] [--batch-threads=1] "
         "[--no-self-healing] [--port-file=PATH] [--serve-seconds=0] "
-        "[--allow-debug-sleep] [--quiet]");
+        "[--allow-debug-sleep] [--quiet] "
+        "[--ingest] [--memtable-mb=8] [--no-compaction]");
   }
   const bool quiet = flags.GetBool("quiet", false);
 
@@ -113,6 +124,34 @@ int main(int argc, char** argv) {
     if (!out.good()) ndss::tools::Die("cannot write " + port_file);
   }
 
+  // The write path opens after the port is bound so /v1/healthz can answer
+  // ready=false during a potentially long WAL replay.
+  std::unique_ptr<ndss::Ingester> ingester;
+  if (flags.GetBool("ingest", false)) {
+    service.set_wal_replaying(true);
+    ndss::IngestOptions ingest_options;
+    ingest_options.build.k = meta.k;
+    ingest_options.build.seed = meta.seed;
+    ingest_options.build.t = meta.t;
+    ingest_options.memtable_budget_bytes = static_cast<uint64_t>(
+        flags.GetDouble("memtable-mb", 8) * (1 << 20));
+    ingest_options.enable_compaction = !flags.GetBool("no-compaction", false);
+    auto opened = ndss::Ingester::Open(&*searcher, ingest_options);
+    if (!opened.ok()) ndss::tools::Die(opened.status().ToString());
+    ingester = std::move(opened).value();
+    service.set_ingester(ingester.get());
+    service.set_wal_replaying(false);
+    if (!quiet) {
+      const ndss::IngestStats is = ingester->stats();
+      std::printf("ndss_serve: ingestion open (replayed %llu docs, "
+                  "applied_seqno=%llu, memtable %llu docs)\n",
+                  static_cast<unsigned long long>(is.docs_replayed),
+                  static_cast<unsigned long long>(is.applied_seqno),
+                  static_cast<unsigned long long>(is.delta_docs));
+      std::fflush(stdout);
+    }
+  }
+
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   const int64_t serve_seconds = flags.GetInt("serve-seconds", 0);
@@ -126,12 +165,22 @@ int main(int argc, char** argv) {
     }
   }
   server.Stop();
+  if (ingester != nullptr) {
+    // Commit anything staged and close the WAL; the memtable is replayed
+    // from the WAL at the next --ingest start.
+    service.set_ingester(nullptr);
+    const ndss::Status closed = ingester->Close();
+    if (!closed.ok() && !quiet) {
+      std::printf("ndss_serve: ingester close: %s\n",
+                  closed.ToString().c_str());
+    }
+  }
 
   const ndss::net::ServeCounters counters = service.counters();
   if (!quiet) {
     std::printf("ndss_serve: exiting (requests=%llu ok=%llu admission=%llu "
                 "deadline=%llu cancelled=%llu resource=%llu invalid=%llu "
-                "failed=%llu)\n",
+                "failed=%llu ingests=%llu docs_ingested=%llu)\n",
                 static_cast<unsigned long long>(counters.requests),
                 static_cast<unsigned long long>(counters.searches_ok),
                 static_cast<unsigned long long>(counters.rejected_admission),
@@ -139,7 +188,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(counters.cancelled),
                 static_cast<unsigned long long>(counters.resource_exhausted),
                 static_cast<unsigned long long>(counters.invalid),
-                static_cast<unsigned long long>(counters.failed));
+                static_cast<unsigned long long>(counters.failed),
+                static_cast<unsigned long long>(counters.ingests_ok),
+                static_cast<unsigned long long>(counters.docs_ingested));
   }
   return 0;
 }
