@@ -244,28 +244,48 @@ uint64_t DecodeWholeList(const EncodedList& list, PostedWindow* out,
   return i;
 }
 
-KernelReport BenchDecode(bool quick) {
+/// decode_block measures the calibrated dispatch (what queries run);
+/// decode_scalar and decode_simd pin each implementation so the nightly
+/// report shows both sides of the runtime choice on that machine. Every
+/// variant is verified bit-identical against the reference first.
+void BenchDecode(bool quick, std::vector<KernelReport>* kernels) {
   const uint64_t count = quick ? 150000 : 1000000;
   const int iters = quick ? 8 : 15;
   const EncodedList list = MakeEncodedList(count, 7);
 
-  std::vector<PostedWindow> fast_out(count), ref_out(count);
-  if (DecodeWholeList(list, fast_out.data(), DecodeWindowRun) != count ||
-      DecodeWholeList(list, ref_out.data(), reference::DecodeWindowRun) !=
-          count ||
-      fast_out != ref_out) {
+  std::vector<PostedWindow> ref_out(count), out(count);
+  if (DecodeWholeList(list, ref_out.data(), reference::DecodeWindowRun) !=
+      count) {
     FailEquivalence("decode_block");
   }
+  const Percentiles ref = TimeIterations(iters, [&] {
+    return DecodeWholeList(list, out.data(), reference::DecodeWindowRun);
+  });
 
-  KernelReport report{"decode_block", count, iters, {}, {}};
-  report.fast = TimeIterations(iters, [&] {
-    return DecodeWholeList(list, fast_out.data(), DecodeWindowRun);
-  });
-  report.ref = TimeIterations(iters, [&] {
-    return DecodeWholeList(list, ref_out.data(),
-                           reference::DecodeWindowRun);
-  });
-  return report;
+  struct Variant {
+    const char* name;
+    WindowDecodeFn fn;
+  };
+  std::vector<Variant> variants = {{"decode_block", &DecodeWindowRun},
+                                   {"decode_scalar", &DecodeWindowRunScalar}};
+#if defined(NDSS_VARINT_SIMD)
+  if (SimdWindowDecodeSupported()) {
+    variants.push_back({"decode_simd", &DecodeWindowRunSimd});
+  }
+  if (WordWindowDecodeSupported()) {
+    variants.push_back({"decode_word", &DecodeWindowRunWord});
+  }
+#endif
+  for (const Variant& v : variants) {
+    if (DecodeWholeList(list, out.data(), v.fn) != count || out != ref_out) {
+      FailEquivalence(v.name);
+    }
+    KernelReport report{v.name, count, iters, {}, ref};
+    report.fast = TimeIterations(
+        iters, [&] { return DecodeWholeList(list, out.data(), v.fn); });
+    kernels->push_back(report);
+    PrintKernel(kernels->back());
+  }
 }
 
 // ---- sorts ---------------------------------------------------------------
@@ -425,15 +445,16 @@ int Run(int argc, char** argv) {
   PrintKernel(kernels.back());
   kernels.push_back(BenchCollisionCount(quick));
   PrintKernel(kernels.back());
-  kernels.push_back(BenchDecode(quick));
-  PrintKernel(kernels.back());
+  BenchDecode(quick, &kernels);
   kernels.push_back(BenchWindowSort(quick));
   PrintKernel(kernels.back());
   kernels.push_back(BenchSpanSort(quick));
   PrintKernel(kernels.back());
 
+  std::printf("\ndecode dispatch chose: %s\n", WindowDecodePathName());
+
   const EndToEnd e2e = BenchEndToEnd(quick);
-  std::printf("\nend-to-end: %llu queries, %.1f QPS, p50 %.0f us, "
+  std::printf("end-to-end: %llu queries, %.1f QPS, p50 %.0f us, "
               "p95 %.0f us, %.2f spans/query\n",
               static_cast<unsigned long long>(e2e.queries), e2e.qps,
               e2e.latency.p50_us, e2e.latency.p95_us, e2e.mean_spans);
@@ -444,6 +465,7 @@ int Run(int argc, char** argv) {
     writer.Field("bench", std::string("query_hot_path"));
     writer.Field("quick", quick);
     writer.Field("scale", bench::ScaleFactor());
+    writer.Field("decode_path", std::string(WindowDecodePathName()));
     writer.BeginArray("kernels");
     for (const KernelReport& r : kernels) {
       writer.BeginObject();

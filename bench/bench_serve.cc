@@ -16,6 +16,10 @@
 //      partial stats, and an inflight limit of 1 under concurrent load
 //      must shed with 429s. Either failing to trigger exits 1 — the
 //      governance path is load-bearing, not best-effort.
+//   4. zipfian hot set: one skewed query schedule replayed before and
+//      after EnableListCache. Answers must stay bit-identical across the
+//      passes and the cross-query cache's hit ratio (read off /v1/status)
+//      must exceed 0.5, or the bench exits 1.
 //
 // Usage: bench_serve [--json] [--quick] [--out=PATH]
 //   --json   also write the machine-readable report (default
@@ -34,6 +38,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/random.h"
+#include "corpusgen/zipf.h"
 #include "index/index_builder.h"
 #include "net/http.h"
 #include "net/json.h"
@@ -358,9 +364,112 @@ int Run(int argc, char** argv) {
               "(%.0f%%)\n",
               shed, shed_attempts, 100 * shed_rate);
   strict_server.Stop();
-  server.Stop();
   if (shed == 0) {
     std::fprintf(stderr, "FAIL: admission control did not shed\n");
+    return 1;
+  }
+
+  // --- 4. Zipfian hot set: the cross-query list cache, end to end. ---
+  // Memorization probes in production re-hit a small hot set of sequences,
+  // so the posting lists they touch repeat heavily. Replay one Zipfian-
+  // sampled schedule twice over the live server — once before the cross-
+  // query cache is enabled, once after — and require (a) every answer to
+  // be bit-identical across the passes and (b) the cache to actually
+  // carry the skew (hit ratio > 0.5, read back off /v1/status, the same
+  // counters operators see). Either failing exits 1.
+  const size_t zipf_requests = quick ? 200 : 800;
+  ZipfSampler zipf(queries.size(), /*s=*/1.1);
+  Rng zipf_rng(271828);
+  std::vector<size_t> schedule(zipf_requests);
+  for (size_t& slot : schedule) {
+    slot = static_cast<size_t>(zipf.Sample(zipf_rng));
+  }
+  const auto run_schedule = [&](std::vector<std::string>* answers,
+                                double* qps) {
+    net::HttpClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) return false;
+    const SteadyClock::time_point begin = SteadyClock::now();
+    for (size_t i : schedule) {
+      auto response = client.Post("/v1/search", bodies[i]);
+      if (!response.ok() || response->status != 200) return false;
+      auto parsed = net::ParseJson(response->body);
+      if (!parsed.ok()) return false;
+      answers->push_back(AnswerKey(*parsed));
+    }
+    const double elapsed =
+        std::chrono::duration<double>(SteadyClock::now() - begin).count();
+    *qps = elapsed > 0 ? static_cast<double>(schedule.size()) / elapsed : 0;
+    return true;
+  };
+  std::vector<std::string> uncached_answers;
+  std::vector<std::string> cached_answers;
+  double uncached_qps = 0;
+  double cached_qps = 0;
+  if (!run_schedule(&uncached_answers, &uncached_qps)) {
+    std::fprintf(stderr, "FAIL: uncached zipfian pass did not complete\n");
+    return 1;
+  }
+  const Status cache_enabled =
+      searcher->EnableListCache(64ull << 20, service.server_budget());
+  if (!cache_enabled.ok()) {
+    std::fprintf(stderr, "FAIL: EnableListCache: %s\n",
+                 cache_enabled.ToString().c_str());
+    return 1;
+  }
+  if (!run_schedule(&cached_answers, &cached_qps)) {
+    std::fprintf(stderr, "FAIL: cached zipfian pass did not complete\n");
+    return 1;
+  }
+  size_t cache_mismatches = 0;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (cached_answers[i] != uncached_answers[i]) ++cache_mismatches;
+  }
+  uint64_t cache_hits = 0, cache_misses = 0, cache_bytes = 0, cache_entries = 0;
+  double hit_ratio = 0;
+  {
+    net::HttpClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) return 1;
+    auto status = client.Get("/v1/status");
+    if (!status.ok()) return 1;
+    auto parsed = net::ParseJson(status->body);
+    const net::JsonValue* cache_json =
+        parsed.ok() ? parsed->Find("list_cache") : nullptr;
+    if (cache_json == nullptr) {
+      std::fprintf(stderr, "FAIL: /v1/status carries no list_cache\n");
+      return 1;
+    }
+    const auto number = [cache_json](const char* key) -> uint64_t {
+      const net::JsonValue* value = cache_json->Find(key);
+      return value != nullptr ? static_cast<uint64_t>(value->number()) : 0;
+    };
+    cache_hits = number("hits");
+    cache_misses = number("misses");
+    cache_bytes = number("bytes_used");
+    cache_entries = number("entries");
+    const net::JsonValue* ratio = cache_json->Find("hit_ratio");
+    hit_ratio = ratio != nullptr ? ratio->number() : 0;
+  }
+  std::printf("\nzipfian hot set (s=%.1f, %zu requests over %zu queries):\n",
+              zipf.s(), zipf_requests, queries.size());
+  std::printf("  uncached %8.1f qps   cached %8.1f qps   mismatches %zu\n",
+              uncached_qps, cached_qps, cache_mismatches);
+  std::printf("  cache: %llu hits / %llu misses (ratio %.3f), "
+              "%llu entries, %llu bytes\n",
+              static_cast<unsigned long long>(cache_hits),
+              static_cast<unsigned long long>(cache_misses), hit_ratio,
+              static_cast<unsigned long long>(cache_entries),
+              static_cast<unsigned long long>(cache_bytes));
+  server.Stop();
+  if (cache_mismatches > 0) {
+    std::fprintf(stderr,
+                 "FAIL: cached answers differ from uncached answers\n");
+    return 1;
+  }
+  if (hit_ratio <= 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: zipfian hit ratio %.3f <= 0.5 — the cache is not "
+                 "carrying the hot set\n",
+                 hit_ratio);
     return 1;
   }
 
@@ -392,6 +501,19 @@ int Run(int argc, char** argv) {
     w.Field("shed_attempts", static_cast<uint64_t>(shed_attempts));
     w.Field("shed_429", static_cast<uint64_t>(shed));
     w.Field("shed_rate", shed_rate);
+    w.EndObject();
+    w.BeginObject("zipfian");
+    w.Field("requests", static_cast<uint64_t>(zipf_requests));
+    w.Field("query_pool", static_cast<uint64_t>(queries.size()));
+    w.Field("zipf_s", zipf.s());
+    w.Field("qps_uncached", uncached_qps);
+    w.Field("qps_cached", cached_qps);
+    w.Field("mismatches", static_cast<uint64_t>(cache_mismatches));
+    w.Field("cache_hits", cache_hits);
+    w.Field("cache_misses", cache_misses);
+    w.Field("hit_ratio", hit_ratio);
+    w.Field("cache_entries", cache_entries);
+    w.Field("cache_bytes", cache_bytes);
     w.EndObject();
     w.EndObject();
     std::ofstream out(out_path);

@@ -2,10 +2,14 @@
 #define NDSS_INDEX_VARINT_BLOCK_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 
 #include "common/coding.h"
 #include "index/posting.h"
+#include "index/varint_simd.h"
 
 namespace ndss {
 
@@ -13,23 +17,17 @@ namespace ndss {
 /// (text delta, l, c - l, r - c), each at most kMaxVarint32Bytes.
 inline constexpr size_t kWindowMaxEncodedBytes = 4 * kMaxVarint32Bytes;
 
-/// Decodes one compressed posting run — up to `max_windows` windows from
-/// [p, limit) into `out` (which must hold max_windows slots). Window 0 of
-/// the run carries an absolute text id (a restart point); later windows
-/// delta-encode it. Per-window fields are (text field, l, c - l, r - c).
-///
-/// The hot loop decodes in chunks sized so that every varint of the chunk
-/// is provably in bounds — one range check per chunk instead of four per
-/// window — using the unrolled GetVarint32Unchecked; the last few windows
-/// near `limit` fall back to the bounds-checked decoder. Output and failure
-/// behavior are bit-identical to the one-varint-at-a-time reference
-/// (reference::DecodeWindowRun): sets `*decoded` to the number of complete
-/// windows and returns the position after the last one (which is `limit`
-/// when the buffer runs out exactly at a window boundary), or returns
-/// nullptr on a truncated or overlong varint.
-inline const char* DecodeWindowRun(const char* p, const char* limit,
-                                   uint64_t max_windows, PostedWindow* out,
-                                   uint64_t* decoded) {
+/// Scalar DecodeWindowRun (see the dispatching wrapper below for the
+/// contract). The hot loop decodes in chunks sized so that every varint of
+/// the chunk is provably in bounds — one range check per chunk instead of
+/// four per window — using the unrolled GetVarint32Unchecked; the last few
+/// windows near `limit` fall back to the bounds-checked decoder. Kept as
+/// the portable fallback of the SIMD path (varint_simd.h) and as a test
+/// target in its own right.
+inline const char* DecodeWindowRunScalar(const char* p, const char* limit,
+                                         uint64_t max_windows,
+                                         PostedWindow* out,
+                                         uint64_t* decoded) {
   uint32_t prev_text = 0;
   uint64_t n = 0;
   while (n < max_windows && p < limit) {
@@ -71,6 +69,147 @@ inline const char* DecodeWindowRun(const char* p, const char* limit,
   }
   *decoded = n;
   return p;
+}
+
+/// Signature shared by every window-run decoder.
+using WindowDecodeFn = const char* (*)(const char* p, const char* limit,
+                                       uint64_t max_windows,
+                                       PostedWindow* out, uint64_t* decoded);
+
+namespace varint_internal {
+
+/// Picks the decoder DecodeWindowRun dispatches to, once per process.
+///
+/// Which path wins is data- and microarchitecture-dependent: the scalar
+/// chunked decoder rides the branch predictor (fast on streams with steady
+/// varint lengths), the vector decoder is prediction-free (fast on
+/// irregular streams and on cores where the predicted-branch chain stalls),
+/// and the word-at-a-time pext decoder splits the difference (branch-light
+/// extraction, speculative pointer advance). Rather than guess, decode a
+/// small writer-faithful synthetic stream with every candidate the CPU
+/// supports and keep the fastest — the cost is a few hundred microseconds,
+/// paid on the first posting-list read. NDSS_NO_SIMD_DECODE=1 forces the
+/// scalar path; NDSS_SIMD_DECODE=1 / NDSS_WORD_DECODE=1 force the vector /
+/// word path (all skip calibration; unsupported CPUs always get the scalar
+/// path).
+inline WindowDecodeFn ChooseWindowDecode() {
+#if defined(NDSS_VARINT_SIMD)
+  const bool simd_ok = SimdWindowDecodeSupported();
+  const bool word_ok = WordWindowDecodeSupported();
+  if ((!simd_ok && !word_ok) ||
+      std::getenv("NDSS_NO_SIMD_DECODE") != nullptr) {
+    return &DecodeWindowRunScalar;
+  }
+  if (std::getenv("NDSS_SIMD_DECODE") != nullptr && simd_ok) {
+    return &DecodeWindowRunSimd;
+  }
+  if (std::getenv("NDSS_WORD_DECODE") != nullptr && word_ok) {
+    return &DecodeWindowRunWord;
+  }
+  // Calibration stream: runs of 64 windows with posting-like magnitudes
+  // (small text deltas, multi-byte l, small interval deltas), mirroring
+  // what MakeEncodedList in bench_hot_path generates.
+  constexpr uint64_t kWindows = 512;
+  constexpr uint32_t kRun = 64;
+  std::string enc;
+  uint64_t x = 88172645463325252ull;
+  auto next = [&x]() {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(x >> 33);
+  };
+  uint32_t text = 0;
+  uint32_t prev_text = 0;
+  for (uint64_t i = 0; i < kWindows; ++i) {
+    if (next() % 4 == 0) text += next() % 40;
+    PutVarint32(&enc, i % kRun == 0 ? text : text - prev_text);
+    prev_text = text;
+    PutVarint32(&enc, next() % (1u << 20));
+    PutVarint32(&enc, next() % 64);
+    PutVarint32(&enc, next() % 64);
+  }
+  PostedWindow out[kRun];
+  const char* limit = enc.data() + enc.size();
+  const auto decode_all = [&](WindowDecodeFn fn) {
+    const char* p = enc.data();
+    for (uint64_t i = 0; i < kWindows; i += kRun) {
+      uint64_t decoded = 0;
+      p = fn(p, limit, kRun, out, &decoded);
+      if (p == nullptr) return false;
+    }
+    return true;
+  };
+  const auto best_of = [&](WindowDecodeFn fn) {
+    double best = 1e30;
+    for (int round = 0; round < 4; ++round) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < 16; ++rep) {
+        if (!decode_all(fn)) return 1e30;
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best,
+                      std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+  };
+  // Warm every candidate (instruction fetch, lookup tables), then race
+  // them and keep the fastest.
+  WindowDecodeFn candidates[3] = {&DecodeWindowRunScalar, nullptr, nullptr};
+  size_t num_candidates = 1;
+  if (simd_ok) candidates[num_candidates++] = &DecodeWindowRunSimd;
+  if (word_ok) candidates[num_candidates++] = &DecodeWindowRunWord;
+  for (size_t i = 0; i < num_candidates; ++i) decode_all(candidates[i]);
+  WindowDecodeFn best_fn = candidates[0];
+  double best_s = best_of(candidates[0]);
+  for (size_t i = 1; i < num_candidates; ++i) {
+    const double s = best_of(candidates[i]);
+    if (s < best_s) {
+      best_s = s;
+      best_fn = candidates[i];
+    }
+  }
+  return best_fn;
+#else
+  return &DecodeWindowRunScalar;
+#endif
+}
+
+}  // namespace varint_internal
+
+/// The decoder DecodeWindowRun dispatches to (calibrated on first use).
+inline WindowDecodeFn ActiveWindowDecode() {
+  static const WindowDecodeFn fn = varint_internal::ChooseWindowDecode();
+  return fn;
+}
+
+/// Name of the dispatched path, for bench reports and status endpoints.
+inline const char* WindowDecodePathName() {
+#if defined(NDSS_VARINT_SIMD)
+  if (ActiveWindowDecode() == &DecodeWindowRunSimd) return "simd";
+  if (ActiveWindowDecode() == &DecodeWindowRunWord) return "word";
+  return "scalar";
+#else
+  return "scalar";
+#endif
+}
+
+/// Decodes one compressed posting run — up to `max_windows` windows from
+/// [p, limit) into `out` (which must hold max_windows slots). Window 0 of
+/// the run carries an absolute text id (a restart point); later windows
+/// delta-encode it. Per-window fields are (text field, l, c - l, r - c).
+///
+/// Dispatches to the AVX2 mask decoder (varint_simd.h) or the scalar
+/// chunked decoder above — a runtime CPU check plus a one-time calibration
+/// race (see ChooseWindowDecode), overridable with NDSS_NO_SIMD_DECODE /
+/// NDSS_SIMD_DECODE. Both paths are bit-identical to the
+/// one-varint-at-a-time reference (reference::DecodeWindowRun): sets
+/// `*decoded` to the number of complete windows and returns the position
+/// after the last one (which is `limit` when the buffer runs out exactly at
+/// a window boundary), or returns nullptr on a truncated or overlong
+/// varint.
+inline const char* DecodeWindowRun(const char* p, const char* limit,
+                                   uint64_t max_windows, PostedWindow* out,
+                                   uint64_t* decoded) {
+  return ActiveWindowDecode()(p, limit, max_windows, out, decoded);
 }
 
 }  // namespace ndss

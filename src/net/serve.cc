@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/parse.h"
+#include "index/varint_block.h"
+#include "query/list_cache.h"
 
 namespace ndss {
 namespace net {
@@ -122,6 +124,8 @@ JsonValue SearchStatsToJson(const SearchStats& stats) {
         JsonValue::Number(static_cast<uint64_t>(stats.empty_lists)));
   v.Set("cache_hits",
         JsonValue::Number(static_cast<uint64_t>(stats.cache_hits)));
+  v.Set("shared_cache_hits",
+        JsonValue::Number(static_cast<uint64_t>(stats.shared_cache_hits)));
   v.Set("windows_scanned", JsonValue::Number(stats.windows_scanned));
   v.Set("candidate_texts", JsonValue::Number(stats.candidate_texts));
   v.Set("degraded_funcs",
@@ -591,6 +595,28 @@ HttpResponse SearchService::HandleStatus() {
   memory.Set("peak_bytes", JsonValue::Number(server_budget_.peak()));
   memory.Set("max_bytes", JsonValue::Number(server_budget_.max_bytes()));
   body.Set("server_memory", std::move(memory));
+  JsonValue cache_json = JsonValue::Object();
+  const CrossQueryListCache* cache = searcher_->list_cache();
+  cache_json.Set("enabled", JsonValue::Bool(cache != nullptr));
+  if (cache != nullptr) {
+    const CrossQueryListCache::Counters cc = cache->counters();
+    cache_json.Set("budget_bytes", JsonValue::Number(cache->budget_bytes()));
+    cache_json.Set("bytes_used", JsonValue::Number(cc.bytes_used));
+    cache_json.Set("entries", JsonValue::Number(cc.entries));
+    cache_json.Set("hits", JsonValue::Number(cc.hits));
+    cache_json.Set("misses", JsonValue::Number(cc.misses));
+    cache_json.Set("insertions", JsonValue::Number(cc.insertions));
+    cache_json.Set("evictions", JsonValue::Number(cc.evictions));
+    cache_json.Set("invalidations", JsonValue::Number(cc.invalidations));
+    const uint64_t lookups = cc.hits + cc.misses;
+    cache_json.Set("hit_ratio",
+                   JsonValue::Number(lookups == 0
+                                         ? 0.0
+                                         : static_cast<double>(cc.hits) /
+                                               static_cast<double>(lookups)));
+  }
+  body.Set("list_cache", std::move(cache_json));
+  body.Set("decode_path", JsonValue::String(WindowDecodePathName()));
   const ServeCounters c = counters();
   JsonValue counters_json = JsonValue::Object();
   counters_json.Set("requests", JsonValue::Number(c.requests));

@@ -127,6 +127,12 @@ class SearchService {
   }
   const ServeOptions& options() const { return options_; }
 
+  /// The server-wide budget every request parents into. Exposed so main()
+  /// can charge shared subsystems against the same cap — ndss_serve
+  /// parents the cross-query list cache here, which makes cached lists and
+  /// inflight query memory compete for one server_memory_bytes limit.
+  MemoryBudget* server_budget() { return &server_budget_; }
+
  private:
   HttpResponse HandleSearch(const HttpRequest& request);
   HttpResponse HandleSearchBatch(const HttpRequest& request);

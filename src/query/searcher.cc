@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "index/inverted_index_reader.h"
 #include "index/memory_index.h"
+#include "query/list_cache.h"
 #include "query/radix_sort.h"
 
 namespace ndss {
@@ -310,6 +311,17 @@ struct Searcher::ListCache {
     bool stored = false;  ///< read succeeded and fit within the budget
   };
 
+  /// Stored entries hold their Reserve charge until the batch ends; give it
+  /// back when the cache dies, or the bytes leak into the batch's inflight
+  /// budget ancestry (limits.inflight_parent) and strangle later batches.
+  /// Safe because the cache is declared after the inflight budget in
+  /// SearchBatch, so it is destroyed first.
+  ~ListCache() {
+    if (inflight != nullptr) {
+      inflight->Release(bytes.load(std::memory_order_relaxed));
+    }
+  }
+
   static constexpr size_t kShards = 16;
   struct Shard {
     std::mutex mu;
@@ -321,6 +333,11 @@ struct Searcher::ListCache {
   /// Optional batch-wide inflight budget (governed SearchBatch): cached
   /// list bytes are accounted there alongside the per-query arenas.
   MemoryBudget* inflight = nullptr;
+  /// Optional cross-query cache, consulted before this batch cache (see
+  /// BatchLimits::shared_cache). Lists it serves or loads never enter the
+  /// batch cache — the shared cache already dedupes the read.
+  CrossQueryListCache* shared = nullptr;
+  uint64_t shared_owner = 0;
 
   static uint64_t Key(uint32_t func, Token token) {
     return (static_cast<uint64_t>(func) << 32) | token;
@@ -386,6 +403,26 @@ Status Searcher::Search(std::span<const Token> query,
   return SearchInternal(query, options, nullptr, ctx, result);
 }
 
+Status Searcher::Search(std::span<const Token> query,
+                        const SearchOptions& options, const QueryContext* ctx,
+                        CrossQueryListCache* shared_cache,
+                        uint64_t shared_cache_owner, SearchResult* result) {
+  if (result == nullptr) {
+    return Status::InvalidArgument("result must be non-null");
+  }
+  *result = SearchResult();
+  if (shared_cache == nullptr || shared_cache_owner == 0) {
+    return SearchInternal(query, options, nullptr, ctx, result);
+  }
+  // A budget-0 batch cache retains nothing itself (every Reserve fails, so
+  // lists the shared cache does not serve are read directly); it only
+  // carries the cross-query cache into the pass-1 loop.
+  ListCache cache;
+  cache.shared = shared_cache;
+  cache.shared_owner = shared_cache_owner;
+  return SearchInternal(query, options, &cache, ctx, result);
+}
+
 Result<std::vector<SearchResult>> Searcher::SearchBatch(
     const std::vector<std::vector<Token>>& queries,
     const SearchOptions& options, uint64_t cache_budget_bytes,
@@ -419,6 +456,10 @@ Result<BatchResult> Searcher::SearchBatch(
   ListCache cache;
   cache.budget = cache_budget_bytes;
   cache.inflight = &inflight;
+  if (limits.shared_cache != nullptr && limits.shared_cache_owner != 0) {
+    cache.shared = limits.shared_cache;
+    cache.shared_owner = limits.shared_cache_owner;
+  }
 
   const bool has_batch_deadline =
       limits.has_batch_deadline || limits.batch_timeout_micros > 0;
@@ -669,6 +710,60 @@ Status Searcher::SearchOnce(std::span<const Token> query,
     NDSS_RETURN_NOT_OK(CheckQueryContext(ctx));
     NDSS_RETURN_NOT_OK(
         arena.Charge(ref.meta->count * sizeof(PostedWindow)));
+    if (cache != nullptr && cache->shared != nullptr) {
+      // Cross-query cache first: one read serves every request that wants
+      // this list, across batches, until the owning source is retired.
+      CrossQueryListCache* shared = cache->shared;
+      const CrossQueryListCache::Key skey{
+          cache->shared_owner, ListCache::Key(ref.func, ref.meta->key)};
+      std::shared_ptr<CrossQueryListCache::Entry> entry =
+          shared->GetOrCreate(skey);
+      bool loaded_here = false;
+      std::call_once(entry->once, [&] {
+        loaded_here = true;
+        shared->RecordMiss();
+        entry->windows.reserve(ref.meta->count);
+        entry->status = ReadListRetrying(sources[ref.func], *ref.meta,
+                                         &entry->windows, &io_bytes, ctx,
+                                         options.read_retry);
+        if (!entry->status.ok()) return;
+        entry->bytes = entry->windows.size() * sizeof(PostedWindow) +
+                       CrossQueryListCache::kEntryOverhead;
+        entry->stored = true;
+        // Retention is best-effort: a full budget serves this query (and
+        // its waiters) from the loaded entry without keeping it.
+        shared->Commit(skey, entry);
+      });
+      if (!entry->status.ok()) {
+        // Failed loads never stay cached: drop the key (iff it still maps
+        // to this entry) so a later query retries the read.
+        shared->Abandon(skey, entry);
+        if (IsGovernanceStatus(entry->status)) {
+          if (loaded_here) {
+            // This query's own limits aborted the load; that says nothing
+            // about the list.
+            return entry->status;
+          }
+          // Another query's limits poisoned the entry — fall through to
+          // the batch cache / direct read.
+        } else {
+          // A bad list fails every query that touched the entry the same
+          // way, so degraded retries agree on which function to drop.
+          if (entry->status.IsCorruption()) *failed_func = ref.func;
+          return entry->status;
+        }
+      } else if (entry->stored) {
+        windows.insert(windows.end(), entry->windows.begin(),
+                       entry->windows.end());
+        if (!loaded_here) {
+          // The hit belongs to the query that avoided the read; the
+          // loader already counted the miss and its io_bytes.
+          ++result.stats.shared_cache_hits;
+          shared->RecordHit();
+        }
+        continue;
+      }
+    }
     if (cache != nullptr) {
       const uint64_t key = ListCache::Key(ref.func, ref.meta->key);
       std::shared_ptr<ListCache::Entry> entry = cache->GetOrCreate(key);

@@ -22,6 +22,8 @@
 
 namespace ndss {
 
+class CrossQueryListCache;
+
 /// Options for one near-duplicate search.
 struct SearchOptions {
   /// Jaccard similarity threshold θ; a sequence qualifies when it shares at
@@ -101,6 +103,8 @@ struct SearchStats {
   uint32_t long_lists = 0;        ///< lists handled by zone-map probes
   uint32_t empty_lists = 0;       ///< query min-hash keys absent from index
   uint32_t cache_hits = 0;        ///< pass-1 lists served from a batch cache
+  uint32_t shared_cache_hits = 0; ///< pass-1 lists served from the
+                                  ///< cross-query list cache (no IO)
   uint64_t windows_scanned = 0;   ///< windows fed to CollisionCount
   uint64_t candidate_texts = 0;   ///< texts surviving pass 1
   uint32_t degraded_funcs = 0;    ///< hash functions dropped for this query
@@ -174,6 +178,14 @@ struct BatchLimits {
   /// live query arenas), so one cross-searcher cap spans every sub-batch.
   /// Observed, not owned; must outlive the SearchBatch call.
   MemoryBudget* inflight_parent = nullptr;
+
+  /// Optional cross-query list cache (see CrossQueryListCache): pass-1
+  /// lists are looked up there first, under `shared_cache_owner` — the
+  /// immutable-source id of the Searcher this batch runs against. Observed,
+  /// not owned; must outlive the SearchBatch call. Requires a non-zero
+  /// owner id (owner 0 means "no cache identity" and disables the lookup).
+  CrossQueryListCache* shared_cache = nullptr;
+  uint64_t shared_cache_owner = 0;
 };
 
 /// Batch-level governance counters. `queries_degraded` counts ok queries
@@ -254,6 +266,17 @@ class Searcher {
   /// cannot express.
   Status Search(std::span<const Token> query, const SearchOptions& options,
                 const QueryContext* ctx, SearchResult* result);
+
+  /// Governed variant that additionally consults `shared_cache` for pass-1
+  /// lists under `shared_cache_owner` — the immutable-source id naming this
+  /// Searcher in the cache's keyspace (0 means "no cache identity" and
+  /// disables the lookup, making this identical to the overload above).
+  /// Matches and spans are bit-identical with or without the cache; only
+  /// SearchStats IO attribution changes (a served list counts a
+  /// shared_cache_hit instead of io_bytes).
+  Status Search(std::span<const Token> query, const SearchOptions& options,
+                const QueryContext* ctx, CrossQueryListCache* shared_cache,
+                uint64_t shared_cache_owner, SearchResult* result);
 
   /// Runs many queries with a shared pass-1 list cache: Zipfian token
   /// skew makes nearby queries hit the same min-hash keys, so each

@@ -45,6 +45,7 @@ void AccumulateStats(const SearchStats& in, SearchStats* out) {
   out->long_lists += in.long_lists;
   out->empty_lists += in.empty_lists;
   out->cache_hits += in.cache_hits;
+  out->shared_cache_hits += in.shared_cache_hits;
   out->windows_scanned += in.windows_scanned;
   out->candidate_texts += in.candidate_texts;
   out->degraded_funcs = std::max(out->degraded_funcs, in.degraded_funcs);
@@ -86,6 +87,17 @@ struct ShardOutcome {
   bool ran = false;  ///< false = shard was already dropped at snapshot time
 };
 
+/// Mints the immutable-source ids the cross-query list cache keys on. Ids
+/// are process-global and never reused: every ShardHandle (one opened
+/// Searcher over one immutable sealed shard) and every published delta
+/// snapshot gets a fresh one, so a cache entry can only be found by queries
+/// running against the exact source that loaded it — staleness is
+/// impossible by construction (see CrossQueryListCache).
+uint64_t NextCacheOwnerId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 /// One shard of the set. Shared across topology snapshots (an attach or
 /// detach reuses the untouched shards' handles), so in-flight queries keep
 /// a detached shard alive until their snapshot dies. `dropped` is the
@@ -98,6 +110,11 @@ struct ShardHandle {
   IndexMeta meta;
   std::optional<Searcher> searcher;  ///< absent when dropped at open
   std::atomic<bool> dropped{false};
+
+  /// This handle's identity in the cross-query list cache. A reopened or
+  /// replaced shard gets a new handle and therefore a new id; the old id's
+  /// entries are erased when the old handle leaves the topology.
+  uint64_t cache_owner = NextCacheOwnerId();
 
   /// Health state machine, present iff enable_self_healing. Shared with
   /// the HealthMonitor's probe targets and carried over to the replacement
@@ -124,15 +141,23 @@ struct Topology {
   std::shared_ptr<Searcher> delta;  ///< nullptr when no memtable is set
   TextId delta_offset = 0;          ///< first global text id of the delta
   uint64_t applied_seqno = 0;       ///< WAL watermark of the sealed shards
+
+  /// Cache identity of `delta` (0 when no delta). Unlike a sealed shard the
+  /// memtable is mutable, so every SetDelta/PromoteDelta publish mints a
+  /// fresh id — entries loaded from an older delta snapshot become
+  /// unreachable the moment a new one is installed.
+  uint64_t delta_cache_owner = 0;
 };
 
 std::shared_ptr<const Topology> BuildTopology(
     uint64_t epoch, std::vector<std::shared_ptr<ShardHandle>> shards,
-    std::shared_ptr<Searcher> delta, uint64_t applied_seqno) {
+    std::shared_ptr<Searcher> delta, uint64_t delta_cache_owner,
+    uint64_t applied_seqno) {
   auto topo = std::make_shared<Topology>();
   topo->epoch = epoch;
   topo->shards = std::move(shards);
   topo->delta = std::move(delta);
+  topo->delta_cache_owner = topo->delta != nullptr ? delta_cache_owner : 0;
   topo->applied_seqno = applied_seqno;
   uint64_t num_texts = 0;
   uint64_t total_tokens = 0;
@@ -175,6 +200,30 @@ struct ShardedSearcher::State {
   /// Serializes topology changes (manifest IO happens under this, outside
   /// `mu`, so queries never block on a disk write).
   std::mutex admin_mu;
+
+  /// Cross-query list cache, absent until EnableListCache. The atomic
+  /// mirror lets queries grab it with one acquire load (enabling races
+  /// benignly with in-flight queries: they just miss the cache once); the
+  /// unique_ptr owns it until the State dies. Destroying the State must
+  /// not overlap an in-flight call (the class contract), and the monitor —
+  /// the only background toucher — is declared after these members, so it
+  /// is joined before the cache goes away.
+  std::unique_ptr<CrossQueryListCache> list_cache_store;
+  std::atomic<CrossQueryListCache*> list_cache{nullptr};
+
+  /// Garbage-collects the cache entries of retired sources. Called (with
+  /// the owner ids a topology change just made unreachable) after the swap.
+  /// This is eager reclamation, not correctness: owner ids are never
+  /// reused, so whatever an in-flight query on the old snapshot still
+  /// loads under a retired id is unreachable by every later query and ages
+  /// out of the LRU on its own.
+  void RetireCacheOwners(std::initializer_list<uint64_t> owners) {
+    CrossQueryListCache* cache = list_cache.load(std::memory_order_acquire);
+    if (cache == nullptr) return;
+    for (uint64_t owner : owners) {
+      if (owner != 0) cache->EraseOwner(owner);
+    }
+  }
 
   std::shared_ptr<const Topology> Snapshot() const {
     std::lock_guard<std::mutex> lock(mu);
@@ -265,7 +314,8 @@ Status ShardedSearcher::State::ReopenShard(const std::string& dir,
   std::vector<std::shared_ptr<ShardHandle>> shards = topo->shards;
   shards[found] = std::move(handle);
   Swap(BuildTopology(topo->epoch, std::move(shards), topo->delta,
-                     topo->applied_seqno));
+                     topo->delta_cache_owner, topo->applied_seqno));
+  RetireCacheOwners({old->cache_owner});
   return Status::OK();
 }
 
@@ -406,18 +456,24 @@ Status ShardedSearcher::State::SearchImpl(std::span<const Token> query,
     return Status::Corruption("every shard of the set is dropped");
   }
   if (topo->delta != nullptr) runnable.push_back(DeltaSlot(*topo));
+  CrossQueryListCache* const cache =
+      list_cache.load(std::memory_order_acquire);
   ScatterOnPool(pool.get(), runnable.size(), [&](size_t j) {
     const size_t i = runnable[j];
-    Searcher* searcher = i == DeltaSlot(*topo)
-                             ? topo->delta.get()
-                             : &*topo->shards[i]->searcher;
+    const bool is_delta = i == DeltaSlot(*topo);
+    Searcher* searcher =
+        is_delta ? topo->delta.get() : &*topo->shards[i]->searcher;
+    // Each source looks up cached lists under its own immutable owner id
+    // (a nullptr cache or id 0 degrades to the uncached path).
+    const uint64_t owner =
+        is_delta ? topo->delta_cache_owner : topo->shards[i]->cache_owner;
     ShardOutcome& sub = subs[i];
     sub.ran = true;
     if (ctx == nullptr) {
       // Ungoverned fast path, bit-identical to the pre-governance shard
       // query.
-      sub.status =
-          searcher->Search(query, search_options, nullptr, &sub.result);
+      sub.status = searcher->Search(query, search_options, nullptr, cache,
+                                    owner, &sub.result);
       return;
     }
     // Hierarchical governance: the deadline and cancel flag are shared
@@ -429,7 +485,8 @@ Status ShardedSearcher::State::SearchImpl(std::span<const Token> query,
     child.set_cancel_flag(ctx->cancel_flag());
     MemoryBudget arena(0, ctx->memory_budget());
     if (ctx->memory_budget() != nullptr) child.set_memory_budget(&arena);
-    sub.status = searcher->Search(query, search_options, &child, &sub.result);
+    sub.status = searcher->Search(query, search_options, &child, cache, owner,
+                                  &sub.result);
   });
   const Status status = GatherQuery(*topo, subs, result);
   result->stats.wall_seconds = wall.ElapsedSeconds();
@@ -480,13 +537,23 @@ Result<BatchResult> ShardedSearcher::State::SearchBatchImpl(
     BatchResult batch;
   };
   std::vector<ShardBatch> shard_batches(NumSlots(*topo));
+  CrossQueryListCache* const cache =
+      list_cache.load(std::memory_order_acquire);
   ScatterOnPool(pool.get(), runnable.size(), [&](size_t j) {
     const size_t i = runnable[j];
-    Searcher* searcher = i == DeltaSlot(*topo)
-                             ? topo->delta.get()
-                             : &*topo->shards[i]->searcher;
-    Result<BatchResult> sub = searcher->SearchBatch(
-        queries, search_options, sub_limits, shard_cache_budget, num_threads);
+    const bool is_delta = i == DeltaSlot(*topo);
+    Searcher* searcher =
+        is_delta ? topo->delta.get() : &*topo->shards[i]->searcher;
+    // The cross-query cache rides the composed limits: each sub-batch gets
+    // its source's immutable owner id, so shards never mix up each other's
+    // lists and a retired source's entries are unreachable.
+    BatchLimits shard_limits = sub_limits;
+    shard_limits.shared_cache = cache;
+    shard_limits.shared_cache_owner =
+        is_delta ? topo->delta_cache_owner : topo->shards[i]->cache_owner;
+    Result<BatchResult> sub =
+        searcher->SearchBatch(queries, search_options, shard_limits,
+                              shard_cache_budget, num_threads);
     if (sub.ok()) {
       shard_batches[i].batch = std::move(*sub);
     } else {
@@ -604,7 +671,7 @@ Result<ShardedSearcher> ShardedSearcher::Open(
   state->set_dir = set_dir;
   state->options = options;
   state->topology = BuildTopology(manifest.epoch, std::move(shards), nullptr,
-                                  manifest.applied_seqno);
+                                  0, manifest.applied_seqno);
   size_t threads = options.num_threads;
   if (threads == 0) {
     const size_t hw = std::max(1u, std::thread::hardware_concurrency());
@@ -717,7 +784,7 @@ Status ShardedSearcher::AttachShard(const std::string& shard_dir) {
   std::vector<std::shared_ptr<ShardHandle>> shards = topo->shards;
   shards.push_back(std::move(handle));
   state_->Swap(BuildTopology(manifest.epoch, std::move(shards), topo->delta,
-                             topo->applied_seqno));
+                             topo->delta_cache_owner, topo->applied_seqno));
   return Status::OK();
 }
 
@@ -753,7 +820,8 @@ Status ShardedSearcher::DetachShard(const std::string& shard_dir) {
   }
   NDSS_RETURN_NOT_OK(manifest.Save(state_->set_dir));
   state_->Swap(BuildTopology(manifest.epoch, std::move(shards), topo->delta,
-                             topo->applied_seqno));
+                             topo->delta_cache_owner, topo->applied_seqno));
+  state_->RetireCacheOwners({topo->shards[found]->cache_owner});
   return Status::OK();
 }
 
@@ -775,8 +843,11 @@ Status ShardedSearcher::SetDelta(std::shared_ptr<Searcher> delta) {
       return Status::InvalidArgument("delta index would exceed 2^32 texts");
     }
   }
+  const bool has_delta = delta != nullptr;
   state_->Swap(BuildTopology(topo->epoch, topo->shards, std::move(delta),
+                             has_delta ? NextCacheOwnerId() : 0,
                              topo->applied_seqno));
+  state_->RetireCacheOwners({topo->delta_cache_owner});
   return Status::OK();
 }
 
@@ -847,8 +918,12 @@ Status ShardedSearcher::PromoteDelta(const std::string& shard_entry,
   NDSS_RETURN_NOT_OK(manifest.Save(state_->set_dir));
   std::vector<std::shared_ptr<ShardHandle>> shards = topo->shards;
   shards.push_back(std::move(handle));
+  const bool has_next_delta = next_delta != nullptr;
   state_->Swap(BuildTopology(manifest.epoch, std::move(shards),
-                             std::move(next_delta), applied_seqno));
+                             std::move(next_delta),
+                             has_next_delta ? NextCacheOwnerId() : 0,
+                             applied_seqno));
+  state_->RetireCacheOwners({topo->delta_cache_owner});
   return Status::OK();
 }
 
@@ -935,8 +1010,30 @@ Status ShardedSearcher::ReplaceShards(
   }
   NDSS_RETURN_NOT_OK(manifest.Save(state_->set_dir));
   state_->Swap(BuildTopology(manifest.epoch, std::move(shards), topo->delta,
-                             topo->applied_seqno));
+                             topo->delta_cache_owner, topo->applied_seqno));
+  for (size_t j = 0; j < shard_entries.size(); ++j) {
+    state_->RetireCacheOwners({topo->shards[start + j]->cache_owner});
+  }
   return Status::OK();
+}
+
+Status ShardedSearcher::EnableListCache(uint64_t budget_bytes,
+                                        MemoryBudget* parent) {
+  std::lock_guard<std::mutex> admin(state_->admin_mu);
+  if (state_->list_cache_store != nullptr) {
+    return Status::InvalidArgument("the list cache is already enabled");
+  }
+  state_->list_cache_store =
+      std::make_unique<CrossQueryListCache>(budget_bytes, parent);
+  // Publish last: a query that loads the pointer sees a fully constructed
+  // cache.
+  state_->list_cache.store(state_->list_cache_store.get(),
+                           std::memory_order_release);
+  return Status::OK();
+}
+
+const CrossQueryListCache* ShardedSearcher::list_cache() const {
+  return state_->list_cache.load(std::memory_order_acquire);
 }
 
 uint64_t ShardedSearcher::applied_seqno() const {

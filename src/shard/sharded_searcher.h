@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "index/index_meta.h"
+#include "query/list_cache.h"
 #include "query/searcher.h"
 #include "shard/shard_health.h"
 #include "shard/shard_manifest.h"
@@ -210,6 +211,22 @@ class ShardedSearcher {
   /// changes.
   Status ReplaceShards(const std::vector<std::string>& shard_entries,
                        const std::string& merged_entry);
+
+  // ---- cross-query list cache (see src/query/list_cache.h) ----
+
+  /// Enables the cross-query posting-list cache: hot pass-1 lists stay
+  /// decoded in memory across requests, bounded by `budget_bytes` and
+  /// charged to `parent` (optionally — e.g. a server-wide MemoryBudget).
+  /// Every shard (and the delta) gets an immutable owner id in the cache's
+  /// keyspace; topology changes that retire a source (detach, reopen,
+  /// compaction, a delta publish) retire its id, so stale entries are
+  /// unreachable by construction and are garbage-collected eagerly.
+  /// Answers are bit-identical with the cache on or off. Call once, before
+  /// serving; InvalidArgument if already enabled.
+  Status EnableListCache(uint64_t budget_bytes, MemoryBudget* parent = nullptr);
+
+  /// The cache enabled above, for observability (nullptr when disabled).
+  const CrossQueryListCache* list_cache() const;
 
   /// Highest WAL seqno contained in the sealed shards (see ShardManifest).
   uint64_t applied_seqno() const;

@@ -223,22 +223,160 @@ TEST(IntervalScanPropertyTest, BlockDecodeMatchesReferenceDecode) {
   }
 }
 
+// Every decoder that can serve DecodeWindowRun: the dispatched wrapper,
+// the scalar chunked path, and (when this CPU supports it) the vector
+// path. The dispatched wrapper is tested in its own right so calibration
+// can never pick a path the suite did not cover.
+struct NamedDecoder {
+  const char* name;
+  WindowDecodeFn fn;
+};
+
+std::vector<NamedDecoder> DecodersUnderTest() {
+  std::vector<NamedDecoder> decoders;
+  decoders.push_back({"dispatched", &DecodeWindowRun});
+  decoders.push_back({"scalar", &DecodeWindowRunScalar});
+#if defined(NDSS_VARINT_SIMD)
+  if (SimdWindowDecodeSupported()) {
+    decoders.push_back({"simd", &DecodeWindowRunSimd});
+  }
+  if (WordWindowDecodeSupported()) {
+    decoders.push_back({"word", &DecodeWindowRunWord});
+  }
+#endif
+  return decoders;
+}
+
+TEST(IntervalScanPropertyTest, BlockDecodeTruncationSweep) {
+  // Truncate a multi-chunk run at EVERY byte offset and decode with every
+  // max_windows regime: each prefix must reproduce the reference decoder
+  // exactly — same windows, same end pointer, same nullptr on a torn
+  // varint. This is the regime where fast paths hand off to their checked
+  // tail loops (the historical parity bug), so sweep three encoding
+  // profiles that move the handoff point around.
+  Rng rng(424242);
+  constexpr size_t kCount = 100;
+  for (int profile = 0; profile < 3; ++profile) {
+    std::vector<PostedWindow> windows;
+    uint32_t text = 0;
+    for (size_t i = 0; i < kCount; ++i) {
+      uint32_t l = 0, dc = 0, dr = 0;
+      switch (profile) {
+        case 0:  // every varint one byte: densest windows, pure fast path
+          text += static_cast<uint32_t>(rng.Uniform(3));
+          l = static_cast<uint32_t>(rng.Uniform(100));
+          dc = static_cast<uint32_t>(rng.Uniform(100));
+          dr = static_cast<uint32_t>(rng.Uniform(100));
+          break;
+        case 1:  // fat varints: windows near the 20-byte encoding bound
+          text += static_cast<uint32_t>(rng.Uniform(1u << 27));
+          l = static_cast<uint32_t>(rng.Uniform(1u << 28));
+          dc = static_cast<uint32_t>(rng.Uniform(1u << 21));
+          dr = static_cast<uint32_t>(rng.Uniform(1u << 21));
+          break;
+        default:  // mixed widths: handoff points land everywhere
+          if (rng.Uniform(4) == 0) {
+            text += static_cast<uint32_t>(rng.Uniform(1u << 20));
+          }
+          l = static_cast<uint32_t>(rng.Uniform(rng.Uniform(2) == 0
+                                                    ? 100u
+                                                    : (1u << 28)));
+          dc = static_cast<uint32_t>(rng.Uniform(1u << 14));
+          dr = static_cast<uint32_t>(rng.Uniform(1u << 14));
+          break;
+      }
+      windows.push_back(PostedWindow{text, l, l + dc, l + dc + dr});
+    }
+    const std::string encoded = EncodeRun(windows);
+    const std::vector<NamedDecoder> decoders = DecodersUnderTest();
+    const uint64_t regimes[] = {0, kCount / 2, kCount, kCount + 3};
+    for (size_t cut = 0; cut <= encoded.size(); ++cut) {
+      const char* p = encoded.data();
+      const char* limit = p + cut;
+      for (const uint64_t max_windows : regimes) {
+        std::vector<PostedWindow> oracle(kCount + 3);
+        uint64_t oracle_n = 0;
+        const char* oracle_end = reference::DecodeWindowRun(
+            p, limit, max_windows, oracle.data(), &oracle_n);
+        for (const NamedDecoder& d : decoders) {
+          std::vector<PostedWindow> fast(kCount + 3);
+          uint64_t fast_n = 0;
+          const char* fast_end =
+              d.fn(p, limit, max_windows, fast.data(), &fast_n);
+          const std::string label = std::string(d.name) + " profile " +
+                                    std::to_string(profile) + " cut " +
+                                    std::to_string(cut) + " max_windows " +
+                                    std::to_string(max_windows);
+          ASSERT_EQ(fast_end == nullptr, oracle_end == nullptr) << label;
+          if (fast_end == nullptr) continue;
+          ASSERT_EQ(fast_end, oracle_end) << label;
+          ASSERT_EQ(fast_n, oracle_n) << label;
+          fast.resize(fast_n);
+          std::vector<PostedWindow> expect = oracle;
+          expect.resize(oracle_n);
+          ASSERT_EQ(fast, expect) << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(IntervalScanPropertyTest, BlockDecodeBoundaryRegimes) {
+  // The two boundary cases pinned explicitly (the sweep above also crosses
+  // them): a run whose last window ends exactly at `limit` must decode
+  // completely and return `limit`, and max_windows == 0 must decode
+  // nothing and return `p` untouched.
+  std::vector<PostedWindow> windows;
+  for (uint32_t i = 0; i < 70; ++i) {
+    // Mixed widths so the exact-limit case exercises both the fast path
+    // (early windows) and the checked tail (final windows).
+    const uint32_t l = (i % 3 == 0) ? (1u << 27) : i;
+    windows.push_back(PostedWindow{i * 5, l, l + i, l + 2 * i});
+  }
+  const std::string encoded = EncodeRun(windows);
+  const char* p = encoded.data();
+  const char* limit = p + encoded.size();
+  for (const NamedDecoder& d : DecodersUnderTest()) {
+    std::vector<PostedWindow> out(windows.size());
+    uint64_t n = 0;
+    const char* end = d.fn(p, limit, windows.size(), out.data(), &n);
+    ASSERT_EQ(end, limit) << d.name;
+    ASSERT_EQ(n, windows.size()) << d.name;
+    EXPECT_EQ(out, windows) << d.name;
+    n = 77;
+    end = d.fn(p, limit, 0, out.data(), &n);
+    EXPECT_EQ(end, p) << d.name;
+    EXPECT_EQ(n, 0u) << d.name;
+  }
+}
+
 TEST(IntervalScanPropertyTest, BlockDecodeRejectsOverlongVarint) {
-  // Five continuation bytes: both decoders must fail identically whether
-  // the run is decoded checked (short buffer) or unchecked (long buffer).
-  std::string encoded;
-  for (int i = 0; i < 5; ++i) encoded.push_back(static_cast<char>(0xff));
-  encoded.push_back(0x01);
-  encoded.append(64, '\0');  // plenty of slack: forces the unchecked path
-  std::vector<PostedWindow> out(4);
-  uint64_t n = 0;
-  EXPECT_EQ(DecodeWindowRun(encoded.data(), encoded.data() + encoded.size(),
-                            4, out.data(), &n),
-            nullptr);
-  EXPECT_EQ(reference::DecodeWindowRun(encoded.data(),
-                                       encoded.data() + encoded.size(), 4,
-                                       out.data(), &n),
-            nullptr);
+  // Five continuation bytes: every decoder must fail identically whether
+  // the run is decoded checked (short buffer) or unchecked (long buffer),
+  // and whether the overlong varint opens the stream or sits behind a few
+  // valid windows (mid-block for the vector path).
+  for (const size_t valid_prefix : {size_t{0}, size_t{3}, size_t{9}}) {
+    std::vector<PostedWindow> windows;
+    for (uint32_t i = 0; i < valid_prefix; ++i) {
+      windows.push_back(PostedWindow{i, i, 2 * i, 3 * i});
+    }
+    std::string encoded = EncodeRun(windows);
+    for (int i = 0; i < 5; ++i) encoded.push_back(static_cast<char>(0xff));
+    encoded.push_back(0x01);
+    encoded.append(64, '\0');  // plenty of slack: forces the unchecked path
+    std::vector<PostedWindow> out(valid_prefix + 4);
+    uint64_t n = 0;
+    EXPECT_EQ(reference::DecodeWindowRun(
+                  encoded.data(), encoded.data() + encoded.size(),
+                  valid_prefix + 4, out.data(), &n),
+              nullptr);
+    for (const NamedDecoder& d : DecodersUnderTest()) {
+      EXPECT_EQ(d.fn(encoded.data(), encoded.data() + encoded.size(),
+                     valid_prefix + 4, out.data(), &n),
+                nullptr)
+          << d.name << " valid_prefix " << valid_prefix;
+    }
+  }
 }
 
 }  // namespace

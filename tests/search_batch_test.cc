@@ -90,6 +90,88 @@ TEST_F(SearchBatchTest, CacheHitsReduceIo) {
       << "repeated queries must be served almost entirely from cache";
 }
 
+TEST_F(SearchBatchTest, CacheHitIoAttribution) {
+  // Pass-2 zone probes are uncached, so disable the prefix filter: every
+  // list is pass-1 and the attribution invariant is exact. Sequential
+  // (num_threads = 1), so each doubled query's first occurrence loads every
+  // list its second occurrence wants.
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  SearchOptions options;
+  options.theta = 0.7;
+  options.use_prefix_filter = false;
+  std::vector<std::vector<Token>> doubled = queries_;
+  doubled.insert(doubled.end(), queries_.begin(), queries_.end());
+  auto batch = searcher->SearchBatch(doubled, options, 256ull << 20,
+                                     /*num_threads=*/1);
+  ASSERT_TRUE(batch.ok());
+  for (size_t q = queries_.size(); q < doubled.size(); ++q) {
+    const SearchStats& stats = (*batch)[q].stats;
+    // A hit is charged to the waiting query and costs it no IO; the
+    // loader already paid the read. Double-counting either way would
+    // break io_bytes == 0 or cache_hits == short_lists.
+    EXPECT_EQ(stats.io_bytes, 0u) << "q=" << q;
+    EXPECT_EQ(stats.cache_hits, stats.short_lists) << "q=" << q;
+  }
+  // Each distinct list is read at most once: total loads (short-list scans
+  // minus hits) can never exceed the number of distinct lists, which is
+  // bounded by the non-hit scans of the first half.
+  uint64_t scans = 0, hits = 0, first_half_scans = 0, first_half_hits = 0;
+  for (size_t q = 0; q < doubled.size(); ++q) {
+    scans += (*batch)[q].stats.short_lists;
+    hits += (*batch)[q].stats.cache_hits;
+    if (q < queries_.size()) {
+      first_half_scans += (*batch)[q].stats.short_lists;
+      first_half_hits += (*batch)[q].stats.cache_hits;
+    }
+  }
+  EXPECT_EQ(scans - hits, first_half_scans - first_half_hits)
+      << "the second half must perform no loads at all";
+}
+
+TEST_F(SearchBatchTest, InflightParentReleasedAfterBatch) {
+  // Regression: the batch list cache reserved bytes against the inflight
+  // budget but never released them, so every batch leaked its cached-list
+  // bytes into the parent (in ndss_serve, the server-wide budget) until
+  // the cap strangled later batches.
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  SearchOptions options;
+  options.theta = 0.7;
+  MemoryBudget parent(0);  // accounting-only server-wide budget
+  BatchLimits limits;
+  limits.inflight_parent = &parent;
+  for (int round = 0; round < 3; ++round) {
+    auto batch = searcher->SearchBatch(queries_, options, limits,
+                                       256ull << 20, /*num_threads=*/2);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_GT(parent.peak(), 0u) << "the cache never charged the parent";
+    EXPECT_EQ(parent.used(), 0u)
+        << "round " << round << " leaked cached-list bytes into the parent";
+  }
+}
+
+TEST_F(SearchBatchTest, InflightParentReleasedAfterExhaustedBatch) {
+  // Same leak, failure flavor: queries that die of ResourceExhausted must
+  // not strand their cache reservations either.
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok());
+  SearchOptions options;
+  options.theta = 0.7;
+  MemoryBudget parent(0);
+  BatchLimits limits;
+  limits.inflight_parent = &parent;
+  limits.max_query_bytes = 1;  // every query arena charge fails
+  for (int round = 0; round < 3; ++round) {
+    auto batch = searcher->SearchBatch(queries_, options, limits,
+                                       256ull << 20, /*num_threads=*/2);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_GT(batch->stats.queries_resource_exhausted, 0u);
+    EXPECT_EQ(parent.used(), 0u)
+        << "round " << round << " leaked cached-list bytes into the parent";
+  }
+}
+
 TEST_F(SearchBatchTest, ZeroBudgetDisablesCaching) {
   auto searcher = Searcher::Open(dir_);
   ASSERT_TRUE(searcher.ok());

@@ -3,7 +3,8 @@
 // governance stack mapped onto requests:
 //
 //   ndss_serve --set=DIR [--port=0] [--threads=8] [--max-inflight=64]
-//              [--server-memory-mb=0] [--default-deadline-ms=0]
+//              [--server-memory-mb=0] [--list-cache-mb=0]
+//              [--default-deadline-ms=0]
 //              [--theta=0.8] [--no-prefix-filter] [--long-list-threshold=N]
 //              [--batch-threads=1] [--no-self-healing] [--port-file=PATH]
 //              [--serve-seconds=0] [--allow-debug-sleep] [--quiet]
@@ -22,6 +23,12 @@
 // replays unsealed documents into the serving memtable, then /v1/ingest
 // starts acknowledging writes. --memtable-mb sets the spill budget;
 // --no-compaction disables the background folding of small sealed shards.
+//
+// --list-cache-mb enables the cross-query posting-list cache: hot pass-1
+// lists stay decoded in memory across requests (bounded LRU, charged to
+// the --server-memory-mb budget, invalidated when topology changes or a
+// delta publish retires their source). Answers are bit-identical with the
+// cache on or off; /v1/status reports its hit/miss/eviction counters.
 //
 // A request's deadline_ms (or X-Ndss-Deadline-Ms header) becomes its
 // QueryContext deadline; memory_mb parents into --server-memory-mb;
@@ -61,7 +68,7 @@ int main(int argc, char** argv) {
   if (set_dir.empty()) {
     ndss::tools::Die(
         "usage: ndss_serve --set=DIR [--port=0] [--threads=8] "
-        "[--max-inflight=64] [--server-memory-mb=0] "
+        "[--max-inflight=64] [--server-memory-mb=0] [--list-cache-mb=0] "
         "[--default-deadline-ms=0] [--theta=0.8] [--no-prefix-filter] "
         "[--long-list-threshold=4096] [--batch-threads=1] "
         "[--no-self-healing] [--port-file=PATH] [--serve-seconds=0] "
@@ -93,6 +100,17 @@ int main(int argc, char** argv) {
                                                             1)));
   serve_options.allow_debug_sleep = flags.GetBool("allow-debug-sleep", false);
   ndss::net::SearchService service(&*searcher, serve_options);
+
+  // Enable the cross-query list cache before the port binds (no request
+  // ever races the enable) and parent it into the server-wide budget, so
+  // cached lists and inflight query memory share one cap.
+  const uint64_t list_cache_bytes =
+      static_cast<uint64_t>(flags.GetDouble("list-cache-mb", 0) * (1 << 20));
+  if (list_cache_bytes > 0) {
+    const ndss::Status enabled =
+        searcher->EnableListCache(list_cache_bytes, service.server_budget());
+    if (!enabled.ok()) ndss::tools::Die(enabled.ToString());
+  }
 
   ndss::net::HttpServerOptions server_options;
   server_options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
