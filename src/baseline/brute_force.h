@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hash/hash_family.h"
+#include "sketch/sketch_scheme.h"
 #include "text/corpus.h"
 #include "text/types.h"
 
@@ -31,6 +32,14 @@ struct BaselineMatch {
 /// text of length L — small inputs only.
 std::vector<BaselineMatch> BruteForceApproxSearch(
     const Corpus& corpus, const HashFamily& family,
+    std::span<const Token> query, double theta, uint32_t t);
+
+/// Same ground truth under a pluggable sketch scheme (for kIndependent the
+/// result is bit-identical to the HashFamily overload). Used to validate
+/// the index-based search for C-MinHash indexes, whose hash functions are
+/// circulant derivations rather than independent mixes.
+std::vector<BaselineMatch> BruteForceApproxSearch(
+    const Corpus& corpus, const SketchScheme& scheme,
     std::span<const Token> query, double theta, uint32_t t);
 
 /// Brute-force search under the *exact* distinct Jaccard similarity

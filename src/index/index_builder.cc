@@ -9,9 +9,9 @@
 #include "common/retry.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
-#include "hash/hash_family.h"
 #include "index/inverted_index_writer.h"
 #include "index/posting.h"
+#include "sketch/sketch_scheme.h"
 
 namespace ndss {
 
@@ -39,28 +39,44 @@ IndexMeta MakeMeta(const IndexBuildOptions& options, uint64_t num_texts,
   meta.total_tokens = total_tokens;
   meta.zone_step = options.zone_step;
   meta.zone_threshold = options.zone_threshold;
+  meta.sketch = options.sketch;
   return meta;
 }
 
 /// Generates the KeyedWindows of every text of `corpus` under function
-/// `func`, in parallel across texts. Output order is unspecified.
-void GenerateFunctionWindows(const Corpus& corpus, const HashFamily& family,
-                             uint32_t func, const IndexBuildOptions& options,
+/// `func`, in parallel across texts. When `base_rows` is enabled (C-MinHash
+/// builds), the hash row of each text is derived from its precomputed base
+/// row — the single σ pass shared by all k functions — instead of hashing
+/// the tokens again. Output order is unspecified, and the downstream sort
+/// by KeyedWindowLess (a total order) makes the emitted index bytes
+/// independent of it.
+void GenerateFunctionWindows(const Corpus& corpus, const SketchScheme& scheme,
+                             const CorpusBaseRows& base_rows, uint32_t func,
+                             const IndexBuildOptions& options,
                              std::vector<KeyedWindow>* out) {
   const size_t num_texts = corpus.num_texts();
   const size_t num_threads = std::max<size_t>(1, options.num_threads);
-  if (num_threads == 1) {
+  auto generate_range = [&](size_t begin, size_t end,
+                            std::vector<KeyedWindow>* sink) {
     WindowGenerator generator(options.window_method, options.rmq_kind);
     std::vector<CompactWindow> windows;
-    for (size_t i = 0; i < num_texts; ++i) {
+    for (size_t i = begin; i < end; ++i) {
       const std::span<const Token> text = corpus.text(i);
       windows.clear();
-      generator.Generate(family, func, text, options.t, &windows);
+      if (base_rows.enabled()) {
+        generator.GenerateFromBase(scheme, func, base_rows.row(i), options.t,
+                                   &windows);
+      } else {
+        generator.Generate(scheme, func, text, options.t, &windows);
+      }
       const TextId id = corpus.base_id() + static_cast<TextId>(i);
       for (const CompactWindow& w : windows) {
-        out->push_back(KeyedWindow{text[w.c], id, w.l, w.c, w.r});
+        sink->push_back(KeyedWindow{text[w.c], id, w.l, w.c, w.r});
       }
     }
+  };
+  if (num_threads == 1) {
+    generate_range(0, num_texts, out);
     return;
   }
   // Each thread fills a private buffer (the paper's parallel build); buffers
@@ -70,17 +86,7 @@ void GenerateFunctionWindows(const Corpus& corpus, const HashFamily& family,
   ParallelFor(num_threads, num_threads, [&](size_t th) {
     const size_t begin = th * chunk;
     const size_t end = std::min(num_texts, begin + chunk);
-    WindowGenerator generator(options.window_method, options.rmq_kind);
-    std::vector<CompactWindow> windows;
-    for (size_t i = begin; i < end; ++i) {
-      const std::span<const Token> text = corpus.text(i);
-      windows.clear();
-      generator.Generate(family, func, text, options.t, &windows);
-      const TextId id = corpus.base_id() + static_cast<TextId>(i);
-      for (const CompactWindow& w : windows) {
-        buffers[th].push_back(KeyedWindow{text[w.c], id, w.l, w.c, w.r});
-      }
-    }
+    generate_range(begin, end, &buffers[th]);
   });
   for (auto& buffer : buffers) {
     out->insert(out->end(), buffer.begin(), buffer.end());
@@ -98,15 +104,24 @@ Result<IndexBuildStats> BuildIndexInMemory(const Corpus& corpus,
   // leftovers of a crashed one; the marker is re-written as the last step.
   NDSS_RETURN_NOT_OK(RemoveIndexCommitMarker(dir));
   NDSS_RETURN_NOT_OK(CleanupIndexOrphans(dir));
-  const HashFamily family(options.k, options.seed);
+  const SketchScheme scheme(options.sketch, options.k, options.seed);
   Stopwatch total;
   IndexBuildStats stats;
+
+  // C-MinHash: hash every token once up front; the k per-function passes
+  // below derive their rows from this (8 bytes per corpus token while the
+  // build runs). kIndependent materializes nothing here.
+  Stopwatch base_phase;
+  const CorpusBaseRows base_rows =
+      CorpusBaseRows::Build(scheme, corpus, options.num_threads);
+  stats.generate_seconds += base_phase.ElapsedSeconds();
 
   std::vector<KeyedWindow> windows;
   for (uint32_t func = 0; func < options.k; ++func) {
     Stopwatch phase;
     windows.clear();
-    GenerateFunctionWindows(corpus, family, func, options, &windows);
+    GenerateFunctionWindows(corpus, scheme, base_rows, func, options,
+                            &windows);
     stats.generate_seconds += phase.ElapsedSeconds();
 
     phase.Restart();
@@ -248,7 +263,7 @@ Result<IndexBuildStats> BuildIndexExternal(const std::string& corpus_path,
   // crashed one before writing anything.
   NDSS_RETURN_NOT_OK(RemoveIndexCommitMarker(dir));
   NDSS_RETURN_NOT_OK(CleanupIndexOrphans(dir));
-  const HashFamily family(options.k, options.seed);
+  const SketchScheme scheme(options.sketch, options.k, options.seed);
   Stopwatch total;
   IndexBuildStats stats;
   ExternalBuildContext ctx{&options, dir, &stats};
@@ -293,10 +308,18 @@ Result<IndexBuildStats> BuildIndexExternal(const std::string& corpus_path,
   for (;;) {
     NDSS_ASSIGN_OR_RETURN(Corpus batch, corpus.ReadBatch(options.batch_tokens));
     if (batch.empty()) break;
+    // C-MinHash: one σ pass per batch, shared by the k function loops below
+    // and released with the batch (8 bytes per batch token, well under the
+    // batch's own footprint).
+    Stopwatch base_phase;
+    const CorpusBaseRows base_rows =
+        CorpusBaseRows::Build(scheme, batch, options.num_threads);
+    stats.generate_seconds += base_phase.ElapsedSeconds();
     for (uint32_t func = 0; func < options.k; ++func) {
       Stopwatch phase;
       generated.clear();
-      GenerateFunctionWindows(batch, family, func, options, &generated);
+      GenerateFunctionWindows(batch, scheme, base_rows, func, options,
+                              &generated);
       stats.generate_seconds += phase.ElapsedSeconds();
       for (const KeyedWindow& w : generated) {
         const uint32_t p = PartitionOf(w.key, P, 0);

@@ -24,6 +24,11 @@ struct IndexBuildOptions {
   /// Master seed of the hash family; queries must use the same (k, seed).
   uint64_t seed = 0x5eed5eed5eed5eedULL;
 
+  /// Sketching scheme (see SketchSchemeId). kCMinHash hashes each token
+  /// once and derives the k functions by circulant re-use, instead of k
+  /// independent hash passes; queries must use the same scheme.
+  SketchSchemeId sketch = SketchSchemeId::kIndependent;
+
   /// Length threshold t: only sequences with at least t tokens are indexed.
   uint32_t t = 25;
 

@@ -51,11 +51,10 @@ Result<IndexBuildStats> MergeIndexes(
   for (const std::string& dir : shard_dirs) {
     NDSS_RETURN_NOT_OK(CheckIndexCommitMarker(dir));
     NDSS_ASSIGN_OR_RETURN(IndexMeta meta, IndexMeta::Load(dir));
-    if (!metas.empty() &&
-        (meta.k != metas[0].k || meta.seed != metas[0].seed ||
-         meta.t != metas[0].t)) {
+    if (!metas.empty() && !SameSketchFamily(meta, metas[0])) {
       return Status::InvalidArgument(
-          "shard " + dir + " was built with different (k, seed, t)");
+          "shard " + dir +
+          " was built with different (k, seed, t, sketch scheme)");
     }
     offsets.push_back(static_cast<TextId>(num_texts));
     num_texts += meta.num_texts;

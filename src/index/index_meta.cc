@@ -10,10 +10,15 @@ namespace ndss {
 namespace {
 // v1 (no checksum) — recognized only for rejection.
 constexpr uint64_t kMetaMagicV1 = 0x314154454d58444eULL;  // "NDXMETA1"-ish
-constexpr uint64_t kMetaMagic = 0x324154454d58444eULL;    // "NDXMETA2"-ish
-// magic u64, k u32, seed u64, t u32, num_texts u64, total_tokens u64,
+// v2 (checksummed, no sketch-scheme field) — still loadable; implies
+// sketch = kIndependent, the only scheme that existed then.
+constexpr uint64_t kMetaMagicV2 = 0x324154454d58444eULL;  // "NDXMETA2"-ish
+constexpr uint64_t kMetaMagic = 0x334154454d58444eULL;    // "NDXMETA3"-ish
+// v2: magic u64, k u32, seed u64, t u32, num_texts u64, total_tokens u64,
 // zone_step u32, zone_threshold u32, crc u32.
-constexpr size_t kMetaSize = 8 + 4 + 8 + 4 + 8 + 8 + 4 + 4 + 4;
+constexpr size_t kMetaSizeV2 = 8 + 4 + 8 + 4 + 8 + 8 + 4 + 4 + 4;
+// v3 appends sketch_scheme u32 before the crc.
+constexpr size_t kMetaSize = kMetaSizeV2 + 4;
 }  // namespace
 
 Status IndexMeta::Save(const std::string& dir) const {
@@ -27,6 +32,7 @@ Status IndexMeta::Save(const std::string& dir) const {
   PutFixed64(&data, total_tokens);
   PutFixed32(&data, zone_step);
   PutFixed32(&data, zone_threshold);
+  PutFixed32(&data, static_cast<uint32_t>(sketch));
   PutFixed32(&data, crc32c::Mask(crc32c::Value(data.data(), data.size())));
   return WriteStringToFileAtomic(dir + "/index.meta", data);
 }
@@ -39,14 +45,17 @@ Result<IndexMeta> IndexMeta::Load(const std::string& dir) {
         "index meta in " + dir +
         " is format v1 (no checksum); rebuild the index with this version");
   }
-  if (data.size() != kMetaSize) {
+  const bool is_v2 =
+      data.size() >= 8 && DecodeFixed64(data.data()) == kMetaMagicV2;
+  const size_t expected_size = is_v2 ? kMetaSizeV2 : kMetaSize;
+  if (data.size() != expected_size) {
     return Status::Corruption("index meta has wrong size in " + dir);
   }
-  if (DecodeFixed64(data.data()) != kMetaMagic) {
+  if (!is_v2 && DecodeFixed64(data.data()) != kMetaMagic) {
     return Status::Corruption("bad index meta magic in " + dir);
   }
-  const uint32_t stored_crc = DecodeFixed32(data.data() + kMetaSize - 4);
-  if (crc32c::Value(data.data(), kMetaSize - 4) !=
+  const uint32_t stored_crc = DecodeFixed32(data.data() + expected_size - 4);
+  if (crc32c::Value(data.data(), expected_size - 4) !=
       crc32c::Unmask(stored_crc)) {
     return Status::Corruption("index meta checksum mismatch in " + dir);
   }
@@ -59,6 +68,14 @@ Result<IndexMeta> IndexMeta::Load(const std::string& dir) {
   meta.total_tokens = DecodeFixed64(p + 24);
   meta.zone_step = DecodeFixed32(p + 32);
   meta.zone_threshold = DecodeFixed32(p + 36);
+  if (is_v2) {
+    meta.sketch = SketchSchemeId::kIndependent;
+  } else {
+    const uint32_t raw_scheme = DecodeFixed32(p + 40);
+    NDSS_RETURN_NOT_OK(
+        ValidateSketchSchemeId(raw_scheme, dir + "/index.meta"));
+    meta.sketch = static_cast<SketchSchemeId>(raw_scheme);
+  }
   return meta;
 }
 

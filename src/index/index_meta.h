@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "sketch/sketch_scheme.h"
 
 namespace ndss {
 
@@ -33,17 +34,37 @@ struct IndexMeta {
   /// Lists with at least this many windows get a zone map.
   uint32_t zone_threshold = 256;
 
-  /// Saves to `<dir>/index.meta` (v2: checksummed, written atomically via a
+  /// Sketching scheme the index was built under (v3 field). v2 metas load
+  /// as kIndependent — the only scheme that existed when v2 was written —
+  /// so pre-existing indexes keep answering bit-identically.
+  SketchSchemeId sketch = SketchSchemeId::kIndependent;
+
+  /// The SketchScheme these parameters describe.
+  SketchScheme Scheme() const { return SketchScheme(sketch, k, seed); }
+
+  /// Saves to `<dir>/index.meta` (v3: checksummed, written atomically via a
   /// temp file + rename).
   Status Save(const std::string& dir) const;
 
-  /// Loads from `<dir>/index.meta`, verifying the checksum. v1 files are
-  /// rejected with InvalidArgument.
+  /// Loads from `<dir>/index.meta`, verifying the checksum. Accepts v3 and
+  /// v2 (which implies sketch = kIndependent); v1 files are rejected with
+  /// InvalidArgument, and a v3 file carrying an unknown sketch-scheme id is
+  /// rejected with Corruption rather than silently misread.
   static Result<IndexMeta> Load(const std::string& dir);
 
   /// Path of the inverted-index file for hash function `func` under `dir`.
   static std::string InvertedIndexPath(const std::string& dir, uint32_t func);
 };
+
+/// True when two metas describe the same sketch family — same scheme, k,
+/// seed, and t — i.e. their window sets and sketches are drawn from
+/// identical hash functions and thresholds, so their indexes may be merged,
+/// attached to one sharded searcher, or served against the same queries.
+/// Every mismatch-rejection site (merge, shard attach/swap, ingest open)
+/// goes through this one predicate.
+inline bool SameSketchFamily(const IndexMeta& a, const IndexMeta& b) {
+  return a.sketch == b.sketch && a.k == b.k && a.seed == b.seed && a.t == b.t;
+}
 
 /// Commit-marker protocol. A completed index build writes `<dir>/CURRENT`
 /// as its very last durable step; Searcher::Open refuses a directory with

@@ -7,16 +7,22 @@
 namespace ndss {
 
 InMemoryInvertedIndex::InMemoryInvertedIndex(const Corpus& corpus,
-                                             const HashFamily& family,
+                                             const SketchScheme& scheme,
                                              uint32_t func, uint32_t t,
-                                             WindowGenMethod method) {
+                                             WindowGenMethod method,
+                                             const CorpusBaseRows* base_rows) {
   WindowGenerator generator(method);
   std::vector<CompactWindow> scratch;
   std::vector<KeyedWindow> keyed;
+  const bool from_base = base_rows != nullptr && base_rows->enabled();
   for (size_t i = 0; i < corpus.num_texts(); ++i) {
     const std::span<const Token> text = corpus.text(i);
     scratch.clear();
-    generator.Generate(family, func, text, t, &scratch);
+    if (from_base) {
+      generator.GenerateFromBase(scheme, func, base_rows->row(i), t, &scratch);
+    } else {
+      generator.Generate(scheme, func, text, t, &scratch);
+    }
     const TextId id = corpus.base_id() + static_cast<TextId>(i);
     for (const CompactWindow& w : scratch) {
       keyed.push_back(KeyedWindow{text[w.c], id, w.l, w.c, w.r});

@@ -8,6 +8,7 @@
 #include "hash/hash_family.h"
 #include "index/list_source.h"
 #include "index/posting.h"
+#include "sketch/sketch_scheme.h"
 #include "text/corpus.h"
 #include "window/window_generator.h"
 
@@ -26,9 +27,24 @@ class InMemoryInvertedIndex : public InvertedListSource {
  public:
   /// Builds the index of hash function `func` over `corpus`: all valid
   /// compact windows with length threshold `t`, grouped by min-hash key.
+  /// When `base_rows` is non-null and enabled, the per-text hash rows are
+  /// derived from the precomputed base rows (the C-MinHash shared σ pass —
+  /// callers building all k functions over one corpus pass the same rows to
+  /// every constructor); pass nullptr to hash from the tokens directly.
+  InMemoryInvertedIndex(const Corpus& corpus, const SketchScheme& scheme,
+                        uint32_t func, uint32_t t,
+                        WindowGenMethod method = WindowGenMethod::kMonotonicStack,
+                        const CorpusBaseRows* base_rows = nullptr);
+
+  /// Legacy entry point: function `func` of a k-independent HashFamily
+  /// (bit-identical to the SketchScheme overload with kIndependent).
   InMemoryInvertedIndex(const Corpus& corpus, const HashFamily& family,
                         uint32_t func, uint32_t t,
-                        WindowGenMethod method = WindowGenMethod::kMonotonicStack);
+                        WindowGenMethod method = WindowGenMethod::kMonotonicStack)
+      : InMemoryInvertedIndex(
+            corpus, SketchScheme(SketchSchemeId::kIndependent, family.k(),
+                                 family.seed()),
+            func, t, method) {}
 
   using InvertedListSource::ReadList;
   using InvertedListSource::ReadWindowsForText;

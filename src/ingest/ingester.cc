@@ -87,9 +87,10 @@ Result<std::unique_ptr<Ingester>> Ingester::Open(ShardedSearcher* searcher,
   const IndexMeta set_meta = searcher->meta();
   const IndexBuildOptions& build = options.build;
   if (build.k != set_meta.k || build.seed != set_meta.seed ||
-      build.t != set_meta.t) {
+      build.t != set_meta.t || build.sketch != set_meta.sketch) {
     return Status::InvalidArgument(
-        "ingest build options disagree with the set's (k, seed, t)");
+        "ingest build options disagree with the set's (k, seed, t, sketch "
+        "scheme)");
   }
   if (options.compaction_fanin < 2) {
     return Status::InvalidArgument("compaction_fanin must be at least 2");

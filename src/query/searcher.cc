@@ -72,10 +72,10 @@ struct Searcher::DegradedState {
   std::vector<char> dropped;  ///< 1 = function dropped after a read failure
 };
 
-Searcher::Searcher(IndexMeta meta, HashFamily family,
+Searcher::Searcher(IndexMeta meta, SketchScheme scheme,
                    std::vector<std::unique_ptr<InvertedListSource>> sources)
     : meta_(meta),
-      family_(std::move(family)),
+      scheme_(std::move(scheme)),
       sources_(std::move(sources)),
       degraded_(std::make_unique<DegradedState>()) {
   degraded_->dropped.assign(sources_.size(), 0);
@@ -147,19 +147,22 @@ Result<Searcher> Searcher::Open(const std::string& dir,
   if (healthy == 0) {
     return Status::Corruption("no healthy inverted-index file in " + dir);
   }
-  return Searcher(meta, HashFamily(meta.k, meta.seed), std::move(sources));
+  return Searcher(meta, meta.Scheme(), std::move(sources));
 }
 
 Result<Searcher> Searcher::InMemory(const Corpus& corpus,
                                     const IndexBuildOptions& options) {
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
   if (options.t == 0) return Status::InvalidArgument("t must be >= 1");
-  const HashFamily family(options.k, options.seed);
+  const SketchScheme scheme(options.sketch, options.k, options.seed);
+  // C-MinHash: one shared hashing pass feeds all k per-function builds.
+  const CorpusBaseRows base_rows =
+      CorpusBaseRows::Build(scheme, corpus, options.num_threads);
   std::vector<std::unique_ptr<InvertedListSource>> sources;
   sources.reserve(options.k);
   for (uint32_t func = 0; func < options.k; ++func) {
     sources.push_back(std::make_unique<InMemoryInvertedIndex>(
-        corpus, family, func, options.t, options.window_method));
+        corpus, scheme, func, options.t, options.window_method, &base_rows));
   }
   IndexMeta meta;
   meta.k = options.k;
@@ -167,7 +170,8 @@ Result<Searcher> Searcher::InMemory(const Corpus& corpus,
   meta.t = options.t;
   meta.num_texts = corpus.num_texts();
   meta.total_tokens = corpus.total_tokens();
-  return Searcher(meta, family, std::move(sources));
+  meta.sketch = options.sketch;
+  return Searcher(meta, scheme, std::move(sources));
 }
 
 uint32_t Searcher::degraded_funcs() const {
@@ -620,7 +624,7 @@ Status Searcher::SearchOnce(std::span<const Token> query,
 
   Stopwatch cpu;
   const MinHashSketch sketch =
-      ComputeSketch(family_, query.data(), query.size());
+      ComputeSketch(scheme_, query.data(), query.size());
   result.stats.cpu_seconds += cpu.ElapsedSeconds();
 
   // Classify the k lists. Absent keys contribute nothing and count as

@@ -334,7 +334,7 @@ class Searcher {
   struct ListCache;
   struct DegradedState;
 
-  Searcher(IndexMeta meta, HashFamily family,
+  Searcher(IndexMeta meta, SketchScheme scheme,
            std::vector<std::unique_ptr<InvertedListSource>> sources);
 
   /// Raw pointers to the sources healthy right now (nullptr per dropped
@@ -361,7 +361,7 @@ class Searcher {
                     SearchResult* result);
 
   IndexMeta meta_;
-  HashFamily family_;
+  SketchScheme scheme_;
   std::vector<std::unique_ptr<InvertedListSource>> sources_;
   /// Heap-allocated so Searcher stays movable (holds a mutex).
   std::unique_ptr<DegradedState> degraded_;

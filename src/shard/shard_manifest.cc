@@ -106,12 +106,11 @@ Status ValidateShardMetas(const std::vector<IndexMeta>& metas,
                           const std::vector<std::string>& shard_dirs) {
   uint64_t num_texts = 0;
   for (size_t i = 0; i < metas.size(); ++i) {
-    if (metas[i].k != metas[0].k || metas[i].seed != metas[0].seed ||
-        metas[i].t != metas[0].t) {
+    if (!SameSketchFamily(metas[i], metas[0])) {
       return Status::InvalidArgument(
           "shard " + shard_dirs[i] +
-          " was built with different (k, seed, t) than " + shard_dirs[0] +
-          "; a shard set must share one hash family");
+          " was built with different (k, seed, t, sketch scheme) than " +
+          shard_dirs[0] + "; a shard set must share one sketch family");
     }
     num_texts += metas[i].num_texts;
   }

@@ -297,8 +297,8 @@ Status ShardedSearcher::State::ReopenShard(const std::string& dir,
                             " was replaced while being probed");
   }
   const IndexMeta& meta = searcher.meta();
-  if (meta.num_texts != old->meta.num_texts || meta.k != old->meta.k ||
-      meta.seed != old->meta.seed || meta.t != old->meta.t) {
+  if (meta.num_texts != old->meta.num_texts ||
+      !SameSketchFamily(meta, old->meta)) {
     // The shard was rebuilt in place with different contents or parameters;
     // swapping it in would shift every later shard's id range (or change
     // the hash family). Operators must detach + attach for that.
@@ -748,12 +748,10 @@ Status ShardedSearcher::AttachShard(const std::string& shard_dir) {
   handle->entry = shard_dir;
   handle->dir = resolved;
   NDSS_ASSIGN_OR_RETURN(handle->meta, LoadShardMeta(resolved));
-  if (handle->meta.k != topo->combined.k ||
-      handle->meta.seed != topo->combined.seed ||
-      handle->meta.t != topo->combined.t) {
+  if (!SameSketchFamily(handle->meta, topo->combined)) {
     return Status::InvalidArgument(
         "shard " + shard_dir +
-        " was built with different (k, seed, t) than the set");
+        " was built with different (k, seed, t, sketch scheme) than the set");
   }
   if (topo->combined.num_texts + handle->meta.num_texts > 0xffffffffULL) {
     return Status::InvalidArgument("attaching " + shard_dir +
@@ -830,10 +828,10 @@ Status ShardedSearcher::SetDelta(std::shared_ptr<Searcher> delta) {
   const std::shared_ptr<const Topology> topo = state_->Snapshot();
   if (delta != nullptr) {
     const IndexMeta& meta = delta->meta();
-    if (meta.k != topo->combined.k || meta.seed != topo->combined.seed ||
-        meta.t != topo->combined.t) {
+    if (!SameSketchFamily(meta, topo->combined)) {
       return Status::InvalidArgument(
-          "delta index was built with different (k, seed, t) than the set");
+          "delta index was built with different (k, seed, t, sketch scheme) "
+          "than the set");
     }
     uint64_t sealed_texts = 0;
     for (const auto& shard : topo->shards) {
@@ -876,12 +874,10 @@ Status ShardedSearcher::PromoteDelta(const std::string& shard_entry,
   handle->entry = shard_entry;
   handle->dir = resolved;
   NDSS_ASSIGN_OR_RETURN(handle->meta, LoadShardMeta(resolved));
-  if (handle->meta.k != topo->combined.k ||
-      handle->meta.seed != topo->combined.seed ||
-      handle->meta.t != topo->combined.t) {
+  if (!SameSketchFamily(handle->meta, topo->combined)) {
     return Status::InvalidArgument(
         "shard " + shard_entry +
-        " was built with different (k, seed, t) than the set");
+        " was built with different (k, seed, t, sketch scheme) than the set");
   }
   uint64_t num_texts = handle->meta.num_texts;
   for (const auto& shard : topo->shards) num_texts += shard->meta.num_texts;
@@ -971,12 +967,10 @@ Status ShardedSearcher::ReplaceShards(
   handle->entry = merged_entry;
   handle->dir = ResolveShardDir(state_->set_dir, merged_entry);
   NDSS_ASSIGN_OR_RETURN(handle->meta, LoadShardMeta(handle->dir));
-  if (handle->meta.k != topo->combined.k ||
-      handle->meta.seed != topo->combined.seed ||
-      handle->meta.t != topo->combined.t) {
+  if (!SameSketchFamily(handle->meta, topo->combined)) {
     return Status::InvalidArgument(
         "merged shard " + merged_entry +
-        " was built with different (k, seed, t) than the set");
+        " was built with different (k, seed, t, sketch scheme) than the set");
   }
   if (handle->meta.num_texts != run_texts) {
     // The merged shard must be id-preserving: exactly the run's texts, in

@@ -21,6 +21,38 @@ void WindowGenerator::Generate(const HashFamily& family, uint32_t func,
   }
 }
 
+void WindowGenerator::Generate(const SketchScheme& scheme, uint32_t func,
+                               std::span<const Token> text, uint32_t t,
+                               std::vector<CompactWindow>* out) {
+  NDSS_CHECK(t >= 1) << "length threshold must be >= 1";
+  const size_t n = text.size();
+  if (n < t) return;
+  hashes_.resize(n);
+  scheme.FillHashRow(func, text.data(), n, hashes_.data());
+  if (method_ == WindowGenMethod::kMonotonicStack) {
+    GenerateStack(t, out);
+  } else {
+    GenerateRmq(t, out);
+  }
+}
+
+void WindowGenerator::GenerateFromBase(const SketchScheme& scheme,
+                                       uint32_t func,
+                                       std::span<const uint64_t> base,
+                                       uint32_t t,
+                                       std::vector<CompactWindow>* out) {
+  NDSS_CHECK(t >= 1) << "length threshold must be >= 1";
+  const size_t n = base.size();
+  if (n < t) return;
+  hashes_.resize(n);
+  scheme.FillHashRowFromBase(func, base.data(), n, hashes_.data());
+  if (method_ == WindowGenMethod::kMonotonicStack) {
+    GenerateStack(t, out);
+  } else {
+    GenerateRmq(t, out);
+  }
+}
+
 // Divide-and-conquer (Algorithm 2) with an explicit work stack: recursion
 // depth is Θ(n) in the worst case (monotone hash arrays), which would
 // overflow the call stack for long texts.

@@ -7,6 +7,7 @@
 
 #include "hash/hash_family.h"
 #include "rmq/rmq.h"
+#include "sketch/sketch_scheme.h"
 #include "text/types.h"
 #include "window/compact_window.h"
 
@@ -46,6 +47,23 @@ class WindowGenerator {
   void Generate(const HashFamily& family, uint32_t func,
                 std::span<const Token> text, uint32_t t,
                 std::vector<CompactWindow>* out);
+
+  /// Same, under function `func` of a pluggable sketch scheme. For a
+  /// kIndependent scheme this produces exactly the HashFamily overload's
+  /// windows (the hash rows are bit-identical).
+  void Generate(const SketchScheme& scheme, uint32_t func,
+                std::span<const Token> text, uint32_t t,
+                std::vector<CompactWindow>* out);
+
+  /// Same, but derives the hash row from a precomputed base row (see
+  /// SketchScheme::FillBaseRow) instead of hashing the tokens — the
+  /// C-MinHash fast path, where one σ pass is shared by all k functions.
+  /// `base` must be scheme.FillBaseRow of the text this call stands for and
+  /// `base.size()` is the text length. Produces exactly the windows of
+  /// Generate(scheme, func, text, t, out) for the corresponding text.
+  void GenerateFromBase(const SketchScheme& scheme, uint32_t func,
+                        std::span<const uint64_t> base, uint32_t t,
+                        std::vector<CompactWindow>* out);
 
   WindowGenMethod method() const { return method_; }
   RmqKind rmq_kind() const { return rmq_kind_; }

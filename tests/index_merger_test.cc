@@ -304,5 +304,38 @@ TEST_F(IndexMergerTest, IncompatibleShardsRejected) {
   EXPECT_FALSE(MergeIndexes({}, dir_ + "/out", IndexMergeOptions{}).ok());
 }
 
+TEST_F(IndexMergerTest, MixedSketchSchemesRejected) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 10;
+  corpus_options.vocab_size = 100;
+  corpus_options.seed = 75;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+  // Same (k, seed, t) but different sketch schemes: the window keys were
+  // drawn from different hash functions, so merging would interleave
+  // incomparable postings.
+  IndexBuildOptions a;
+  a.k = 4;
+  a.t = 15;
+  IndexBuildOptions b = a;
+  b.sketch = SketchSchemeId::kCMinHash;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/s1", a).ok());
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/s2", b).ok());
+  auto mixed = MergeIndexes({dir_ + "/s1", dir_ + "/s2"}, dir_ + "/out",
+                            IndexMergeOptions{});
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_TRUE(mixed.status().IsInvalidArgument());
+  EXPECT_NE(mixed.status().ToString().find("sketch scheme"),
+            std::string::npos);
+
+  // Matching cminhash shards merge fine, and the scheme survives the merge.
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_ + "/s3", b).ok());
+  auto merged = MergeIndexes({dir_ + "/s2", dir_ + "/s3"}, dir_ + "/out2",
+                             IndexMergeOptions{});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  auto meta = IndexMeta::Load(dir_ + "/out2");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->sketch, SketchSchemeId::kCMinHash);
+}
+
 }  // namespace
 }  // namespace ndss

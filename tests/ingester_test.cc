@@ -413,12 +413,38 @@ TEST_F(IngesterTest, GuardsAndEdgeCases) {
   wrong.build.k = build_.k + 1;
   EXPECT_FALSE(Ingester::Open(&*searcher, wrong).ok());
 
+  // A different sketch scheme is a family mismatch too, and the error says so.
+  IngestOptions wrong_scheme = NoCompaction();
+  wrong_scheme.build.sketch = SketchSchemeId::kCMinHash;
+  auto mismatched = Ingester::Open(&*searcher, wrong_scheme);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_TRUE(mismatched.status().IsInvalidArgument())
+      << mismatched.status().ToString();
+  EXPECT_NE(mismatched.status().ToString().find("sketch"), std::string::npos)
+      << mismatched.status().ToString();
+
   auto ingester = Ingester::Open(&*searcher, NoCompaction());
   ASSERT_TRUE(ingester.ok());
   EXPECT_TRUE((*ingester)->AppendBatch({}).ok());  // empty batch is a no-op
   ASSERT_TRUE((*ingester)->Close().ok());
   EXPECT_TRUE((*ingester)->Close().ok());  // idempotent
   EXPECT_FALSE((*ingester)->Append(Docs(1)[0]).ok());  // closed
+}
+
+TEST_F(IngesterTest, CMinHashStreamingMatchesBatchBuild) {
+  // The streaming/batch bit-identity contract holds per scheme: a C-MinHash
+  // set answers exactly like a C-MinHash batch build over the same documents.
+  build_.sketch = SketchSchemeId::kCMinHash;
+  ASSERT_TRUE(Ingester::CreateSet(set_dir_, build_).ok());
+  auto searcher = ShardedSearcher::Open(set_dir_);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  EXPECT_EQ(searcher->meta().sketch, SketchSchemeId::kCMinHash);
+  auto ingester = Ingester::Open(&*searcher, NoCompaction());
+  ASSERT_TRUE(ingester.ok()) << ingester.status().ToString();
+
+  AppendInBatches(**ingester, Docs(20), 5);
+  EXPECT_EQ(searcher->meta().num_texts, 20u);
+  EXPECT_EQ(ShardedFingerprints(*searcher), ReferenceFingerprints(20));
 }
 
 TEST_F(IngesterTest, OrphanSweepRemovesUncommittedSpill) {

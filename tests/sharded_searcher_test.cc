@@ -422,6 +422,17 @@ TEST_F(ShardedSearcherTest, TopologyChangeRejections) {
   EXPECT_TRUE(
       sharded->AttachShard(dir_ + "/mismatched").IsInvalidArgument());
 
+  // Same (k, seed, t) but a different sketch scheme is just as foreign:
+  // its postings were keyed by different hash functions.
+  IndexBuildOptions wrong_scheme = build_;
+  wrong_scheme.sketch = SketchSchemeId::kCMinHash;
+  ASSERT_TRUE(
+      BuildIndexInMemory(other, dir_ + "/wrong_scheme", wrong_scheme).ok());
+  const Status scheme_attach = sharded->AttachShard(dir_ + "/wrong_scheme");
+  EXPECT_TRUE(scheme_attach.IsInvalidArgument());
+  EXPECT_NE(scheme_attach.ToString().find("sketch scheme"),
+            std::string::npos);
+
   ASSERT_TRUE(sharded->DetachShard(ShardDir(1)).ok());
   EXPECT_TRUE(sharded->DetachShard(ShardDir(0)).IsInvalidArgument())
       << "the last shard must not be detachable";

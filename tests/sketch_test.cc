@@ -1,0 +1,564 @@
+// Tests of the pluggable sketching subsystem: the kIndependent scheme's
+// bit-identity with the original HashFamily (the v2-compat contract), the
+// C-MinHash circulant derivation, the IndexMeta v3 format field, the
+// end-to-end correctness of C-MinHash indexes against the brute-force
+// ground truth, and the papers' estimator-quality claim (C-MinHash MSE no
+// worse than k-independent) checked statistically over ~1k sequence pairs.
+
+#include "sketch/sketch_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "baseline/brute_force.h"
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/file_io.h"
+#include "common/random.h"
+#include "corpusgen/synthetic.h"
+#include "hash/hash_family.h"
+#include "index/index_builder.h"
+#include "index/index_meta.h"
+#include "index/inverted_index_reader.h"
+#include "query/searcher.h"
+#include "text/corpus_file.h"
+#include "window/window_generator.h"
+
+namespace ndss {
+namespace {
+
+class SketchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ndss_sketch_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+std::vector<Token> RandomTokens(size_t n, uint32_t vocab, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Token> tokens(n);
+  for (size_t i = 0; i < n; ++i) {
+    tokens[i] = static_cast<Token>(rng.Uniform(vocab));
+  }
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Scheme mechanics
+// ---------------------------------------------------------------------------
+
+TEST_F(SketchTest, KIndependentBitIdenticalToHashFamily) {
+  for (const auto& [k, seed] : std::vector<std::pair<uint32_t, uint64_t>>{
+           {1, 0}, {4, 7}, {16, 0x5eed5eed5eed5eedULL}, {70, 123456789}}) {
+    const HashFamily family(k, seed);
+    const SketchScheme scheme(SketchSchemeId::kIndependent, k, seed);
+    ASSERT_EQ(scheme.k(), k);
+    ASSERT_EQ(scheme.seed(), seed);
+    for (uint32_t f = 0; f < k; ++f) {
+      for (Token token : {Token{0}, Token{1}, Token{42}, Token{999999},
+                          Token{0xffffffff}}) {
+        ASSERT_EQ(scheme.Hash(f, token), family.Hash(f, token))
+            << "k=" << k << " seed=" << seed << " f=" << f;
+      }
+    }
+    const std::vector<Token> tokens = RandomTokens(200, 1000, seed + 1);
+    const MinHashSketch a = ComputeSketch(family, tokens.data(), tokens.size());
+    const MinHashSketch b = ComputeSketch(scheme, tokens.data(), tokens.size());
+    ASSERT_EQ(a.min_hashes, b.min_hashes);
+    ASSERT_EQ(a.argmin_tokens, b.argmin_tokens);
+  }
+}
+
+TEST_F(SketchTest, HashDecomposesThroughBase) {
+  for (SketchSchemeId id :
+       {SketchSchemeId::kIndependent, SketchSchemeId::kCMinHash}) {
+    const SketchScheme scheme(id, 70, 99);  // k > 64 exercises rotation wrap
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+      const Token token = static_cast<Token>(rng.Next());
+      const uint64_t base = scheme.BaseHash(token);
+      for (uint32_t f = 0; f < scheme.k(); ++f) {
+        ASSERT_EQ(scheme.Hash(f, token), scheme.HashFromBase(f, base));
+      }
+    }
+  }
+}
+
+TEST_F(SketchTest, RowFillsMatchScalarHashes) {
+  const std::vector<Token> tokens = RandomTokens(500, 1 << 20, 11);
+  for (SketchSchemeId id :
+       {SketchSchemeId::kIndependent, SketchSchemeId::kCMinHash}) {
+    const SketchScheme scheme(id, 67, 0xabcdef);
+    std::vector<uint64_t> base(tokens.size());
+    scheme.FillBaseRow(tokens.data(), tokens.size(), base.data());
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      ASSERT_EQ(base[i], scheme.BaseHash(tokens[i]));
+    }
+    std::vector<uint64_t> direct(tokens.size());
+    std::vector<uint64_t> derived(tokens.size());
+    for (uint32_t f : {0u, 1u, 63u, 64u, 66u}) {
+      scheme.FillHashRow(f, tokens.data(), tokens.size(), direct.data());
+      scheme.FillHashRowFromBase(f, base.data(), tokens.size(),
+                                 derived.data());
+      ASSERT_EQ(direct, derived) << "func " << f;
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        ASSERT_EQ(direct[i], scheme.Hash(f, tokens[i]));
+      }
+    }
+  }
+}
+
+TEST_F(SketchTest, SchemesAreDeterministicAndDistinct) {
+  const SketchScheme a(SketchSchemeId::kCMinHash, 8, 42);
+  const SketchScheme b(SketchSchemeId::kCMinHash, 8, 42);
+  const SketchScheme indep(SketchSchemeId::kIndependent, 8, 42);
+  const SketchScheme other_seed(SketchSchemeId::kCMinHash, 8, 43);
+  int same_as_indep = 0, same_as_other_seed = 0;
+  for (uint32_t f = 0; f < 8; ++f) {
+    for (Token token = 0; token < 64; ++token) {
+      ASSERT_EQ(a.Hash(f, token), b.Hash(f, token));
+      if (a.Hash(f, token) == indep.Hash(f, token)) ++same_as_indep;
+      if (a.Hash(f, token) == other_seed.Hash(f, token)) ++same_as_other_seed;
+    }
+  }
+  // 512 comparisons of 64-bit values: any collision at all is ~0 w.h.p.
+  EXPECT_EQ(same_as_indep, 0);
+  EXPECT_EQ(same_as_other_seed, 0);
+}
+
+TEST_F(SketchTest, CMinHashFunctionsAreDistinctPermutations) {
+  // Distinct tokens never collide under one function (bijection), and
+  // different functions disagree on the same token.
+  const SketchScheme scheme(SketchSchemeId::kCMinHash, 70, 1);
+  const std::vector<Token> tokens = RandomTokens(300, 1u << 30, 5);
+  for (uint32_t f : {0u, 1u, 64u, 69u}) {
+    std::set<uint64_t> values;
+    for (Token token : tokens) values.insert(scheme.Hash(f, token));
+    // Random token draws may repeat; distinct hashes == distinct tokens.
+    const std::set<Token> distinct(tokens.begin(), tokens.end());
+    EXPECT_EQ(values.size(), distinct.size()) << "func " << f;
+  }
+  int agreements = 0;
+  for (uint32_t f = 1; f < 70; ++f) {
+    for (int i = 0; i < 20; ++i) {
+      if (scheme.Hash(f, tokens[i]) == scheme.Hash(0, tokens[i])) {
+        ++agreements;
+      }
+    }
+  }
+  EXPECT_EQ(agreements, 0);
+}
+
+TEST_F(SketchTest, ParseAndNameRoundTrip) {
+  for (SketchSchemeId id :
+       {SketchSchemeId::kIndependent, SketchSchemeId::kCMinHash}) {
+    auto parsed = ParseSketchSchemeName(SketchSchemeName(id));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, id);
+  }
+  auto bad = ParseSketchSchemeName("simhash");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().ToString().find("cminhash"), std::string::npos);
+}
+
+TEST_F(SketchTest, ValidateSchemeIdRejectsUnknown) {
+  EXPECT_TRUE(ValidateSketchSchemeId(0, "ctx").ok());
+  EXPECT_TRUE(ValidateSketchSchemeId(1, "ctx").ok());
+  const Status bad = ValidateSketchSchemeId(7, "some/index.meta");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.IsCorruption());
+  EXPECT_NE(bad.ToString().find("some/index.meta"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Window generation
+// ---------------------------------------------------------------------------
+
+TEST_F(SketchTest, SchemeWindowsMatchFamilyWindowsForKIndependent) {
+  const HashFamily family(4, 77);
+  const SketchScheme scheme(SketchSchemeId::kIndependent, 4, 77);
+  const std::vector<Token> text = RandomTokens(400, 50, 9);
+  WindowGenerator generator;
+  for (uint32_t f = 0; f < 4; ++f) {
+    std::vector<CompactWindow> from_family, from_scheme;
+    generator.Generate(family, f, text, 10, &from_family);
+    generator.Generate(scheme, f, text, 10, &from_scheme);
+    SortWindows(&from_family);
+    SortWindows(&from_scheme);
+    ASSERT_FALSE(from_family.empty());
+    ASSERT_EQ(from_family.size(), from_scheme.size());
+    for (size_t i = 0; i < from_family.size(); ++i) {
+      ASSERT_EQ(from_family[i].l, from_scheme[i].l);
+      ASSERT_EQ(from_family[i].c, from_scheme[i].c);
+      ASSERT_EQ(from_family[i].r, from_scheme[i].r);
+    }
+  }
+}
+
+TEST_F(SketchTest, GenerateFromBaseMatchesDirectGeneration) {
+  const SketchScheme scheme(SketchSchemeId::kCMinHash, 6, 123);
+  const std::vector<Token> text = RandomTokens(600, 80, 21);
+  std::vector<uint64_t> base(text.size());
+  scheme.FillBaseRow(text.data(), text.size(), base.data());
+  WindowGenerator generator;
+  for (uint32_t f = 0; f < 6; ++f) {
+    std::vector<CompactWindow> direct, from_base;
+    generator.Generate(scheme, f, text, 12, &direct);
+    generator.GenerateFromBase(scheme, f, base, 12, &from_base);
+    SortWindows(&direct);
+    SortWindows(&from_base);
+    ASSERT_FALSE(direct.empty());
+    ASSERT_EQ(direct.size(), from_base.size());
+    for (size_t i = 0; i < direct.size(); ++i) {
+      ASSERT_EQ(direct[i].l, from_base[i].l);
+      ASSERT_EQ(direct[i].c, from_base[i].c);
+      ASSERT_EQ(direct[i].r, from_base[i].r);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IndexMeta v3
+// ---------------------------------------------------------------------------
+
+TEST_F(SketchTest, MetaV3RoundTripsSketchScheme) {
+  ASSERT_TRUE(CreateDirectories(dir_).ok());
+  IndexMeta meta;
+  meta.k = 9;
+  meta.seed = 1234;
+  meta.t = 17;
+  meta.num_texts = 5;
+  meta.total_tokens = 500;
+  meta.sketch = SketchSchemeId::kCMinHash;
+  ASSERT_TRUE(meta.Save(dir_).ok());
+  auto loaded = IndexMeta::Load(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->sketch, SketchSchemeId::kCMinHash);
+  EXPECT_EQ(loaded->k, 9u);
+  EXPECT_EQ(loaded->seed, 1234u);
+  EXPECT_EQ(loaded->t, 17u);
+  EXPECT_TRUE(SameSketchFamily(meta, *loaded));
+}
+
+/// Serializes a v2 meta exactly as the pre-v3 code did.
+std::string EncodeV2Meta(uint32_t k, uint64_t seed, uint32_t t) {
+  std::string data;
+  PutFixed64(&data, 0x324154454d58444eULL);  // "NDXMETA2"
+  PutFixed32(&data, k);
+  PutFixed64(&data, seed);
+  PutFixed32(&data, t);
+  PutFixed64(&data, 3);    // num_texts
+  PutFixed64(&data, 333);  // total_tokens
+  PutFixed32(&data, 64);   // zone_step
+  PutFixed32(&data, 256);  // zone_threshold
+  PutFixed32(&data, crc32c::Mask(crc32c::Value(data.data(), data.size())));
+  return data;
+}
+
+TEST_F(SketchTest, MetaV2LoadsAsKIndependent) {
+  ASSERT_TRUE(CreateDirectories(dir_).ok());
+  ASSERT_TRUE(
+      WriteStringToFile(dir_ + "/index.meta", EncodeV2Meta(7, 99, 13)).ok());
+  auto loaded = IndexMeta::Load(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->sketch, SketchSchemeId::kIndependent);
+  EXPECT_EQ(loaded->k, 7u);
+  EXPECT_EQ(loaded->seed, 99u);
+  EXPECT_EQ(loaded->t, 13u);
+  EXPECT_EQ(loaded->num_texts, 3u);
+}
+
+TEST_F(SketchTest, MetaWithUnknownSchemeIdIsLoudCorruption) {
+  ASSERT_TRUE(CreateDirectories(dir_).ok());
+  // A well-formed v3 meta (valid magic and checksum) carrying scheme id 9:
+  // the loader must reject it loudly, not misread it as some valid scheme.
+  std::string data;
+  PutFixed64(&data, 0x334154454d58444eULL);  // "NDXMETA3"
+  PutFixed32(&data, 4);                      // k
+  PutFixed64(&data, 1);                      // seed
+  PutFixed32(&data, 10);                     // t
+  PutFixed64(&data, 0);                      // num_texts
+  PutFixed64(&data, 0);                      // total_tokens
+  PutFixed32(&data, 64);                     // zone_step
+  PutFixed32(&data, 256);                    // zone_threshold
+  PutFixed32(&data, 9);                      // unknown sketch scheme
+  PutFixed32(&data, crc32c::Mask(crc32c::Value(data.data(), data.size())));
+  ASSERT_TRUE(WriteStringToFile(dir_ + "/index.meta", data).ok());
+  auto loaded = IndexMeta::Load(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  EXPECT_NE(loaded.status().ToString().find("sketch scheme"),
+            std::string::npos);
+}
+
+TEST_F(SketchTest, SameSketchFamilyComparesAllFour) {
+  IndexMeta a;
+  a.sketch = SketchSchemeId::kCMinHash;
+  IndexMeta b = a;
+  EXPECT_TRUE(SameSketchFamily(a, b));
+  b.sketch = SketchSchemeId::kIndependent;
+  EXPECT_FALSE(SameSketchFamily(a, b));
+  b = a;
+  b.k += 1;
+  EXPECT_FALSE(SameSketchFamily(a, b));
+  b = a;
+  b.seed += 1;
+  EXPECT_FALSE(SameSketchFamily(a, b));
+  b = a;
+  b.t += 1;
+  EXPECT_FALSE(SameSketchFamily(a, b));
+  b = a;
+  b.num_texts += 1;  // corpus size is not part of the family
+  EXPECT_TRUE(SameSketchFamily(a, b));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: C-MinHash indexes answer correctly and consistently
+// ---------------------------------------------------------------------------
+
+using SequenceKey = std::tuple<TextId, uint32_t, uint32_t>;
+
+std::set<SequenceKey> ExpandRectangles(
+    const std::vector<TextMatchRectangle>& rectangles, uint32_t t) {
+  std::set<SequenceKey> sequences;
+  for (const TextMatchRectangle& tr : rectangles) {
+    for (uint32_t i = tr.rect.x_begin; i <= tr.rect.x_end; ++i) {
+      for (uint32_t j = tr.rect.y_begin; j <= tr.rect.y_end; ++j) {
+        if (j >= i && j - i + 1 >= t) sequences.insert({tr.text, i, j});
+      }
+    }
+  }
+  return sequences;
+}
+
+std::set<SequenceKey> BaselineSequences(
+    const std::vector<BaselineMatch>& matches) {
+  std::set<SequenceKey> sequences;
+  for (const BaselineMatch& m : matches) {
+    sequences.insert({m.text, m.begin, m.end});
+  }
+  return sequences;
+}
+
+TEST_F(SketchTest, CMinHashSearchMatchesBruteForce) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 50;
+  corpus_options.min_text_length = 40;
+  corpus_options.max_text_length = 120;
+  corpus_options.vocab_size = 200;
+  corpus_options.plant_rate = 0.4;
+  corpus_options.min_plant_length = 25;
+  corpus_options.max_plant_length = 50;
+  corpus_options.plant_noise = 0.1;
+  corpus_options.seed = 31;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+
+  IndexBuildOptions build;
+  build.k = 6;
+  build.t = 15;
+  build.sketch = SketchSchemeId::kCMinHash;
+  build.zone_step = 8;
+  build.zone_threshold = 32;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_, build).ok());
+  auto searcher = Searcher::Open(dir_);
+  ASSERT_TRUE(searcher.ok()) << searcher.status().ToString();
+  ASSERT_EQ(searcher->meta().sketch, SketchSchemeId::kCMinHash);
+  const SketchScheme scheme(build.sketch, build.k, build.seed);
+
+  Rng rng(7);
+  for (int q = 0; q < 5; ++q) {
+    const TextId source = static_cast<TextId>(rng.Uniform(50));
+    const auto text = sc.corpus.text(source);
+    const uint32_t length = 20 + static_cast<uint32_t>(rng.Uniform(
+                                     std::min<size_t>(40, text.size() - 20)));
+    const uint32_t begin =
+        static_cast<uint32_t>(rng.Uniform(text.size() - length + 1));
+    const std::vector<Token> query = PerturbSequence(
+        text, begin, length, 0.15, corpus_options.vocab_size, rng);
+
+    for (double theta : {0.5, 0.7, 1.0}) {
+      SearchOptions options;
+      options.theta = theta;
+      options.use_prefix_filter = false;
+      auto result = searcher->Search(query, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      const std::set<SequenceKey> got =
+          ExpandRectangles(result->rectangles, build.t);
+      const std::set<SequenceKey> expected = BaselineSequences(
+          BruteForceApproxSearch(sc.corpus, scheme, query, theta, build.t));
+      ASSERT_EQ(got, expected) << "query " << q << " theta " << theta;
+    }
+  }
+}
+
+/// Reads every window of every list of the index at `dir` as KeyedWindows
+/// (text ids offset by func so all k functions land in one comparable set).
+std::vector<KeyedWindow> DumpIndex(const std::string& dir, uint32_t k) {
+  std::vector<KeyedWindow> all;
+  for (uint32_t func = 0; func < k; ++func) {
+    auto reader =
+        InvertedIndexReader::Open(IndexMeta::InvertedIndexPath(dir, func));
+    EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+    for (const ListMeta& meta : reader->directory()) {
+      std::vector<PostedWindow> windows;
+      EXPECT_TRUE(reader->ReadList(meta, &windows).ok());
+      for (const PostedWindow& w : windows) {
+        all.push_back(
+            KeyedWindow{meta.key, w.text + func * 1000000u, w.l, w.c, w.r});
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(), KeyedWindowLess);
+  return all;
+}
+
+TEST_F(SketchTest, CMinHashExternalBuildBitIdenticalToInMemory) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 80;
+  corpus_options.min_text_length = 60;
+  corpus_options.max_text_length = 200;
+  corpus_options.vocab_size = 300;
+  corpus_options.plant_rate = 0.3;
+  corpus_options.seed = 5;
+  Corpus corpus = GenerateSyntheticCorpus(corpus_options).corpus;
+  ASSERT_TRUE(CreateDirectories(dir_).ok());
+  const std::string corpus_path = dir_ + "/corpus.crp";
+  ASSERT_TRUE(WriteCorpusFile(corpus_path, corpus).ok());
+
+  IndexBuildOptions options;
+  options.k = 4;
+  options.t = 20;
+  options.sketch = SketchSchemeId::kCMinHash;
+  const std::string mem_dir = dir_ + "/mem";
+  ASSERT_TRUE(BuildIndexInMemory(corpus, mem_dir, options).ok());
+
+  IndexBuildOptions external = options;
+  external.batch_tokens = 2000;  // force many batches
+  external.num_partitions = 4;
+  const std::string ext_dir = dir_ + "/ext";
+  ASSERT_TRUE(BuildIndexExternal(corpus_path, ext_dir, external).ok());
+
+  EXPECT_EQ(DumpIndex(mem_dir, options.k), DumpIndex(ext_dir, options.k));
+  auto mem_meta = IndexMeta::Load(mem_dir);
+  auto ext_meta = IndexMeta::Load(ext_dir);
+  ASSERT_TRUE(mem_meta.ok());
+  ASSERT_TRUE(ext_meta.ok());
+  EXPECT_EQ(mem_meta->sketch, SketchSchemeId::kCMinHash);
+  EXPECT_TRUE(SameSketchFamily(*mem_meta, *ext_meta));
+
+  // Parallel in-memory build (base rows shared across threads) is also
+  // bit-identical.
+  IndexBuildOptions parallel = options;
+  parallel.num_threads = 4;
+  const std::string par_dir = dir_ + "/par";
+  ASSERT_TRUE(BuildIndexInMemory(corpus, par_dir, parallel).ok());
+  EXPECT_EQ(DumpIndex(mem_dir, options.k), DumpIndex(par_dir, options.k));
+}
+
+TEST_F(SketchTest, CMinHashDiskAndMemorySearchersAgree) {
+  SyntheticCorpusOptions corpus_options;
+  corpus_options.num_texts = 40;
+  corpus_options.vocab_size = 150;
+  corpus_options.plant_rate = 0.4;
+  corpus_options.seed = 13;
+  SyntheticCorpus sc = GenerateSyntheticCorpus(corpus_options);
+
+  IndexBuildOptions build;
+  build.k = 8;
+  build.t = 15;
+  build.sketch = SketchSchemeId::kCMinHash;
+  ASSERT_TRUE(BuildIndexInMemory(sc.corpus, dir_, build).ok());
+  auto disk = Searcher::Open(dir_);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  auto memory = Searcher::InMemory(sc.corpus, build);
+  ASSERT_TRUE(memory.ok()) << memory.status().ToString();
+
+  Rng rng(17);
+  for (int q = 0; q < 6; ++q) {
+    const TextId source = static_cast<TextId>(rng.Uniform(40));
+    const auto text = sc.corpus.text(source);
+    const uint32_t length =
+        std::min<uint32_t>(30, static_cast<uint32_t>(text.size()));
+    const uint32_t begin =
+        static_cast<uint32_t>(rng.Uniform(text.size() - length + 1));
+    const std::vector<Token> query(text.begin() + begin,
+                                   text.begin() + begin + length);
+    SearchOptions options;
+    options.theta = 0.7;
+    auto from_disk = disk->Search(query, options);
+    auto from_memory = memory->Search(query, options);
+    ASSERT_TRUE(from_disk.ok());
+    ASSERT_TRUE(from_memory.ok());
+    EXPECT_EQ(ExpandRectangles(from_disk->rectangles, build.t),
+              ExpandRectangles(from_memory->rectangles, build.t))
+        << "query " << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Estimator quality: the papers' variance claim
+// ---------------------------------------------------------------------------
+
+TEST_F(SketchTest, CMinHashMseNoWorseThanKIndependent) {
+  // ~1k random sequence pairs at k=16: squared error of the sketch estimate
+  // against the exact distinct Jaccard, averaged per scheme. The C-MinHash
+  // papers prove the circulant estimator's variance is no larger than
+  // k-independent MinHash's (strictly smaller for most similarities); with
+  // a fixed seed this test is deterministic, and the 10% tolerance absorbs
+  // the sampling noise of the finite pair set without masking a real
+  // regression (an implementation bug — e.g. correlated functions — shows
+  // up as a multiplicative MSE blowup, not a few percent).
+  constexpr uint32_t kK = 16;
+  constexpr int kPairs = 1000;
+  const SketchScheme indep(SketchSchemeId::kIndependent, kK, 0xfeed);
+  const SketchScheme cmin(SketchSchemeId::kCMinHash, kK, 0xfeed);
+
+  Rng rng(2024);
+  double se_indep = 0, se_cmin = 0;
+  std::vector<uint64_t> scratch;
+  for (int p = 0; p < kPairs; ++p) {
+    // Overlapping draws from a shared pool give a spread of true Jaccards.
+    const uint32_t vocab = 30 + static_cast<uint32_t>(rng.Uniform(300));
+    const size_t na = 30 + rng.Uniform(100);
+    const size_t nb = 30 + rng.Uniform(100);
+    std::vector<Token> a(na), b(nb);
+    for (size_t i = 0; i < na; ++i) {
+      a[i] = static_cast<Token>(rng.Uniform(vocab));
+    }
+    // b shares a prefix of a (perturbed), rest fresh: correlated pairs.
+    const size_t shared = rng.Uniform(std::min(na, nb));
+    for (size_t i = 0; i < nb; ++i) {
+      b[i] = i < shared ? a[i] : static_cast<Token>(rng.Uniform(vocab));
+    }
+    const double truth = ExactDistinctJaccard(a.data(), na, b.data(), nb);
+    const double est_indep =
+        EstimateJaccard(ComputeSketch(indep, a.data(), na, &scratch),
+                        ComputeSketch(indep, b.data(), nb, &scratch));
+    const double est_cmin =
+        EstimateJaccard(ComputeSketch(cmin, a.data(), na, &scratch),
+                        ComputeSketch(cmin, b.data(), nb, &scratch));
+    se_indep += (est_indep - truth) * (est_indep - truth);
+    se_cmin += (est_cmin - truth) * (est_cmin - truth);
+  }
+  const double mse_indep = se_indep / kPairs;
+  const double mse_cmin = se_cmin / kPairs;
+  // Sanity: both estimators actually work at k=16.
+  EXPECT_LT(mse_indep, 0.05);
+  EXPECT_LT(mse_cmin, 0.05);
+  EXPECT_LE(mse_cmin, mse_indep * 1.10)
+      << "C-MinHash MSE " << mse_cmin << " vs k-independent " << mse_indep;
+}
+
+}  // namespace
+}  // namespace ndss

@@ -114,6 +114,29 @@ TEST_F(ToolsSmokeTest, PipelineAndServeEndToEnd) {
   (void)std::system(("kill " + pid + " 2>/dev/null").c_str());
 }
 
+TEST_F(ToolsSmokeTest, SketchFlagSelectsSchemeEndToEnd) {
+  const std::string corpus = dir_ + "/c.crp";
+  ExpectExit(0, Tool("ndss_corpusgen") + " --out=" + corpus +
+                    " --texts=40 --min-len=50 --max-len=120 --vocab=300"
+                    " --seed=7");
+  ExpectExit(0, Tool("ndss_build") + " --corpus=" + corpus + " --index=" +
+                    dir_ + "/cm --k=4 --t=6 --sketch=cminhash");
+  ExpectExit(0, Tool("ndss_query") + " --index=" + dir_ +
+                    "/cm --tokens=1,2,3,4,5,6,7,8");
+  EXPECT_NE(ReadLog(log_).find("sketch=cminhash"), std::string::npos)
+      << ReadLog(log_);
+
+  // Scheme identity must survive the on-disk round trip into ndss_stats.
+  ExpectExit(0, Tool("ndss_stats") + " --index=" + dir_ + "/cm --json");
+  EXPECT_NE(ReadLog(log_).find("\"sketch\": \"cminhash\""), std::string::npos)
+      << ReadLog(log_);
+
+  // An unknown scheme name must be a loud usage error, not a default.
+  ExpectExit(1, Tool("ndss_build") + " --corpus=" + corpus + " --index=" +
+                    dir_ + "/bad --k=4 --t=6 --sketch=simhash");
+  EXPECT_NE(ReadLog(log_).find("sketch"), std::string::npos) << ReadLog(log_);
+}
+
 TEST_F(ToolsSmokeTest, MalformedTokenListExitsWithUsageError) {
   const std::string corpus = dir_ + "/c.crp";
   ASSERT_EQ(RunCommand(Tool("ndss_corpusgen") + " --out=" + corpus +

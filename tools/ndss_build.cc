@@ -17,10 +17,17 @@ int main(int argc, char** argv) {
     ndss::tools::Die(
         "usage: ndss_build --corpus=FILE --index=DIR [--k=K] [--t=T] "
         "[--external] [--compress] [--threads=N] [--zone-step=S] "
-        "[--batch-tokens=N] [--partitions=P] [--seed=S]");
+        "[--batch-tokens=N] [--partitions=P] [--seed=S] "
+        "[--sketch=kindependent|cminhash]");
   }
   ndss::IndexBuildOptions options;
   options.k = static_cast<uint32_t>(flags.GetInt("k", 32));
+  {
+    ndss::Result<ndss::SketchSchemeId> sketch = ndss::ParseSketchSchemeName(
+        flags.GetString("sketch", "kindependent"));
+    if (!sketch.ok()) ndss::tools::Die(sketch.status().ToString());
+    options.sketch = *sketch;
+  }
   options.t = static_cast<uint32_t>(flags.GetInt("t", 25));
   options.seed = static_cast<uint64_t>(
       flags.GetInt("seed", 0x5eed5eed5eed5eedLL));
@@ -47,6 +54,7 @@ int main(int argc, char** argv) {
   if (!stats.ok()) ndss::tools::Die(stats.status().ToString());
 
   std::printf("index built in %s\n", index_dir.c_str());
+  std::printf("  sketch     : %s\n", ndss::SketchSchemeName(options.sketch));
   std::printf("  windows    : %llu\n",
               static_cast<unsigned long long>(stats->num_windows));
   std::printf("  index size : %.2f MB\n", stats->index_bytes / 1e6);

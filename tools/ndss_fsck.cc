@@ -292,8 +292,9 @@ int main(int argc, char** argv) {
     report.Problem(index_dir + "/index.meta", meta.status().ToString());
     return report.Finish(index_dir);
   }
-  report.Info("meta: k=%u t=%u seed=%llx texts=%llu tokens=%llu\n", meta->k,
-              meta->t, static_cast<unsigned long long>(meta->seed),
+  report.Info("meta: k=%u t=%u sketch=%s seed=%llx texts=%llu tokens=%llu\n",
+              meta->k, meta->t, ndss::SketchSchemeName(meta->sketch),
+              static_cast<unsigned long long>(meta->seed),
               static_cast<unsigned long long>(meta->num_texts),
               static_cast<unsigned long long>(meta->total_tokens));
 

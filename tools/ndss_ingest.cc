@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
   const std::string set_dir = flags.GetString("set", "");
   if (set_dir.empty()) {
     ndss::tools::Die(
-        "usage: ndss_ingest --create --set=DIR [--k=32] [--t=25] [--seed=S]\n"
+        "usage: ndss_ingest --create --set=DIR [--k=32] [--t=25] [--seed=S] "
+        "[--sketch=kindependent|cminhash]\n"
         "       ndss_ingest --set=DIR --corpus=FILE [--batch-docs=64] "
         "[--memtable-mb=8] [--no-compaction] [--flush] [--quiet]");
   }
@@ -37,11 +38,17 @@ int main(int argc, char** argv) {
     build.t = static_cast<uint32_t>(flags.GetInt("t", 25));
     build.seed = static_cast<uint64_t>(
         flags.GetInt("seed", 0x5eed5eed5eed5eedLL));
+    ndss::Result<ndss::SketchSchemeId> sketch = ndss::ParseSketchSchemeName(
+        flags.GetString("sketch", "kindependent"));
+    if (!sketch.ok()) ndss::tools::Die(sketch.status().ToString());
+    build.sketch = *sketch;
     const ndss::Status created = ndss::Ingester::CreateSet(set_dir, build);
     if (!created.ok()) ndss::tools::Die(created.ToString());
     if (!quiet) {
-      std::printf("ndss_ingest: created streamable set %s (k=%u t=%u)\n",
-                  set_dir.c_str(), build.k, build.t);
+      std::printf(
+          "ndss_ingest: created streamable set %s (k=%u t=%u sketch=%s)\n",
+          set_dir.c_str(), build.k, build.t,
+          ndss::SketchSchemeName(build.sketch));
     }
     return 0;
   }
@@ -61,6 +68,7 @@ int main(int argc, char** argv) {
   options.build.k = meta.k;
   options.build.seed = meta.seed;
   options.build.t = meta.t;
+  options.build.sketch = meta.sketch;
   options.memtable_budget_bytes =
       static_cast<uint64_t>(flags.GetDouble("memtable-mb", 8) * (1 << 20));
   options.enable_compaction = !flags.GetBool("no-compaction", false);

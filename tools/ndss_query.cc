@@ -126,8 +126,9 @@ int main(int argc, char** argv) {
   }
   auto searcher = ndss::Searcher::Open(index_dir);
   if (!searcher.ok()) ndss::tools::Die(searcher.status().ToString());
-  std::printf("index: k=%u t=%u texts=%llu tokens=%llu\n",
+  std::printf("index: k=%u t=%u sketch=%s texts=%llu tokens=%llu\n",
               searcher->meta().k, searcher->meta().t,
+              ndss::SketchSchemeName(searcher->meta().sketch),
               static_cast<unsigned long long>(searcher->meta().num_texts),
               static_cast<unsigned long long>(
                   searcher->meta().total_tokens));

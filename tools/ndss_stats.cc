@@ -83,12 +83,14 @@ int main(int argc, char** argv) {
     const std::string escaped_dir = JsonEscape(index_dir);
     std::printf("{\n  \"ok\": true,\n"
                 "  \"index\": \"%s\",\n  \"k\": %u,\n  \"seed\": %llu,\n"
-                "  \"t\": %u,\n  \"num_texts\": %llu,\n"
+                "  \"t\": %u,\n  \"sketch\": \"%s\",\n"
+                "  \"num_texts\": %llu,\n"
                 "  \"total_tokens\": %llu,\n  \"lists\": %zu,\n"
                 "  \"windows\": %llu,\n  \"list_bytes\": %llu,\n"
                 "  \"zone_lists\": %llu,\n",
                 escaped_dir.c_str(), meta->k,
                 static_cast<unsigned long long>(meta->seed), meta->t,
+                ndss::SketchSchemeName(meta->sketch),
                 static_cast<unsigned long long>(meta->num_texts),
                 static_cast<unsigned long long>(meta->total_tokens),
                 counts.size(),
@@ -116,9 +118,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("k=%u t=%u  lists=%zu  windows=%llu  list bytes=%.2f MB  "
-              "zone-mapped lists=%llu\n",
-              meta->k, meta->t, counts.size(),
+  std::printf("k=%u t=%u sketch=%s  lists=%zu  windows=%llu  "
+              "list bytes=%.2f MB  zone-mapped lists=%llu\n",
+              meta->k, meta->t, ndss::SketchSchemeName(meta->sketch),
+              counts.size(),
               static_cast<unsigned long long>(total_windows),
               total_bytes / 1e6,
               static_cast<unsigned long long>(zone_lists));
